@@ -1,0 +1,18 @@
+"""Bench E06: regenerates the baseline attacks (Section 1.2) table.
+
+Runs the experiment once under the benchmark clock and asserts its shape
+checks; the rendered table is printed so ``--benchmark-only -s`` reproduces
+the rows recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e06_baseline_attacks(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E06", "small", 1), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"E06 shape checks failed: {failed}"

@@ -1,0 +1,18 @@
+"""Bench E10: regenerates the premature decisions (Lemma 11) table.
+
+Runs the experiment once under the benchmark clock and asserts its shape
+checks; the rendered table is printed so ``--benchmark-only -s`` reproduces
+the rows recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e10_premature(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("E10", "small", 1), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"E10 shape checks failed: {failed}"

@@ -1,0 +1,41 @@
+"""Benchmarks for the extensions: the counting->agreement pipeline and the
+dynamic-network trajectory."""
+
+import numpy as np
+
+from repro.adversary import placement_for_delta
+from repro.core import CountingConfig, make_adversary, run_byzantine_counting
+from repro.extensions import run_ae_agreement, track_size_over_epochs
+from repro.graphs import build_small_world
+from repro.sim.rng import make_rng
+
+
+def test_bench_counting_to_agreement_pipeline(benchmark):
+    net = build_small_world(1024, 8, seed=3)
+    byz = placement_for_delta(net, 0.5, rng=1)
+    rng = make_rng(2)
+    inputs = (rng.random(net.n) < 0.7).astype(np.int8)
+
+    def pipeline():
+        counting = run_byzantine_counting(
+            net, make_adversary("early-stop"), byz,
+            config=CountingConfig(max_phase=24), seed=4,
+        )
+        budgets = np.maximum(counting.decided_phase, 1) * 3
+        return run_ae_agreement(net, inputs, budgets, byz,
+                                strategy="minority", seed=5)
+
+    result = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    assert result.almost_everywhere and result.validity
+
+
+def test_bench_churn_trajectory(benchmark):
+    def trajectory():
+        return track_size_over_epochs(
+            [256, 512, 1024], d=8, adversary="early-stop", delta=0.5,
+            churn_rate=0.1, seed=6, config=CountingConfig(max_phase=20),
+        )
+
+    report = benchmark.pedantic(trajectory, rounds=1, iterations=1)
+    assert report.tracks_growth()
+    assert report.always_in_band(0.85)

@@ -1,0 +1,79 @@
+"""Microbenchmarks of the library's computational kernels.
+
+These are the pieces whose throughput determines how large an ``n`` the
+experiment suite can reach: graph sampling, the vectorized flooding round,
+and full protocol runs (Algorithm 1 and Algorithm 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import placement_for_delta
+from repro.core import (
+    CountingConfig,
+    make_adversary,
+    run_basic_counting,
+    run_byzantine_counting,
+)
+from repro.graphs import build_small_world, generate_hgraph
+from repro.sim.flood import FloodKernel
+
+N = 1024
+D = 8
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_small_world(N, D, seed=3)
+
+
+def test_bench_hgraph_generation(benchmark):
+    g = benchmark(generate_hgraph, N, D, 5)
+    assert g.n == N
+
+
+def test_bench_small_world_build(benchmark):
+    net = benchmark.pedantic(build_small_world, args=(N, D), kwargs={"seed": 5},
+                             rounds=2, iterations=1)
+    assert net.k == 3
+
+
+def test_bench_flood_round(benchmark, net):
+    kernel = FloodKernel(net.h.indptr, net.h.indices)
+    values = np.random.default_rng(0).integers(1, 30, size=N)
+
+    result = benchmark(kernel.neighbor_max, values)
+    assert result.shape == (N,)
+
+
+def test_bench_algorithm1(benchmark, net):
+    result = benchmark.pedantic(
+        run_basic_counting, args=(net,), kwargs={"seed": 7}, rounds=3, iterations=1
+    )
+    assert result.fraction_decided() == 1.0
+
+
+def test_bench_algorithm2_early_stop(benchmark, net):
+    byz = placement_for_delta(net, 0.5, rng=2)
+    cfg = CountingConfig(max_phase=24)
+
+    def run():
+        return run_byzantine_counting(
+            net, make_adversary("early-stop"), byz, config=cfg, seed=7
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.fraction_decided() == 1.0
+
+
+def test_bench_algorithm2_inflation(benchmark, net):
+    byz = placement_for_delta(net, 0.5, rng=2)
+    cfg = CountingConfig(max_phase=24)
+
+    def run():
+        return run_byzantine_counting(
+            net, make_adversary("inflation"), byz, config=cfg, seed=7
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.injections_rejected > 0

@@ -1,0 +1,72 @@
+"""Attack lab: every baseline vs Algorithm 2 under the same adversaries.
+
+Run:  python examples/attack_lab.py
+
+Reproduces the paper's motivating contrast (Section 1.2): the classical
+size-estimation protocols collapse under a *single* Byzantine node, while
+Algorithm 2 holds a constant-factor estimate for (1-eps) of the honest
+nodes under the full n^{1-delta} budget and the worst strategies we know.
+"""
+
+import numpy as np
+
+from repro import estimate_network_size, practical_band
+from repro.adversary import placement_for_delta
+from repro.baselines import (
+    run_convergecast,
+    run_exponential_support,
+    run_geometric_max,
+)
+from repro.graphs import build_small_world
+
+N, D, SEED = 1024, 8, 7
+
+
+def header(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    net = build_small_world(N, D, seed=SEED)
+    one = np.zeros(N, dtype=bool)
+    one[N // 3] = True
+
+    header("baselines, one single Byzantine node")
+    g = run_geometric_max(net, seed=SEED, byz_mask=one, attack="fake-max")
+    print(f"geometric-max : median estimate {g.median_estimate():6.1f}"
+          f"  (truth {g.true_log2_n:.1f})  -> broken")
+    e = run_exponential_support(net, seed=SEED, repetitions=8, byz_mask=one,
+                                attack="tiny")
+    print(f"exp-support   : median estimate {e.median_estimate():6.3g}"
+          f"  (truth {N})  -> broken")
+    c = run_convergecast(net, byz_mask=one, attack="inflate")
+    print(f"convergecast  : root count     {c.count_at_root:8d}"
+          f"  (truth {N})  -> broken")
+
+    header(f"Algorithm 2, full budget B(n) = n^0.5 = "
+           f"{int(placement_for_delta(net, 0.5, rng=1).sum())} Byzantine nodes")
+    band = practical_band(D)
+    print(f"{'strategy':<16} {'in-band':>8} {'decided':>8} {'median phase':>13}")
+    for name in ("honest", "early-stop", "inflation", "suppression",
+                 "adaptive-record", "combo"):
+        rep = estimate_network_size(N, D, delta=0.5, adversary=name,
+                                    seed=SEED, network=net, band=band)
+        print(f"{name:<16} {rep.fraction_in_band:>8.1%} "
+              f"{rep.fraction_decided:>8.1%} {rep.median_phase:>13.0f}")
+
+    header("the defense that makes it work (verification ablation)")
+    from repro import CountingConfig
+
+    for verify in (True, False):
+        rep = estimate_network_size(
+            N, D, delta=0.5, adversary="inflation", seed=SEED, network=net,
+            config=CountingConfig(max_phase=16, verification=verify),
+        )
+        state = ("all honest nodes terminate, estimates capped"
+                 if rep.fraction_decided == 1.0
+                 else "NO node can ever terminate — network looks infinite")
+        print(f"verification {'ON ' if verify else 'OFF'}: {state}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""P2P overlay bootstrap: size estimation as a preprocessing step.
+
+Run:  python examples/p2p_bootstrap.py
+
+The paper's motivation (Section 1): protocols for Byzantine agreement,
+leader election and sampling on expander overlays *assume* knowledge of
+(an estimate of) log n.  This example closes the loop for one such
+downstream task — almost-everywhere broadcast:
+
+1. nodes run Algorithm 2 to learn L ≈ c log n under Byzantine faults;
+2. each node derives its flooding time-to-live TTL = ceil(L) + slack from
+   its own local estimate (no global coordination);
+3. an honest source floods a payload with that TTL, and we measure how
+   many honest nodes are reached — with the TTL sized by the estimate, the
+   broadcast covers essentially everyone while a naive constant TTL fails.
+"""
+
+import numpy as np
+
+from repro import estimate_network_size
+from repro.adversary import placement_for_delta
+from repro.graphs.balls import bfs_distances
+from repro.graphs import build_small_world
+
+N, D, SEED = 2048, 8, 13
+
+
+def broadcast_coverage(net, byz_mask, source: int, ttl: np.ndarray) -> float:
+    """Fraction of honest nodes reached by flooding from ``source`` when
+    every node relays only while its own TTL allows (Byzantine nodes do
+    not relay at all — the worst case for coverage)."""
+    dist = bfs_distances(net.h.indptr, net.h.indices, source,
+                         blocked=byz_mask)
+    honest = ~byz_mask
+    # A node at distance t is reached iff t <= TTL of the nodes on the
+    # path; with per-node TTLs from local estimates, the binding value is
+    # the receiving node's own TTL (relays refresh hop budgets).
+    reached = (dist >= 0) & (dist <= ttl) & honest
+    return float(reached.sum()) / float(honest.sum())
+
+
+def main() -> None:
+    net = build_small_world(N, D, seed=SEED)
+    byz = placement_for_delta(net, 0.5, rng=SEED)
+    print(f"overlay: n={N} (unknown to nodes), d={D}, "
+          f"Byzantine={int(byz.sum())}")
+
+    # Step 1: Byzantine counting under the early-stop attack.
+    report = estimate_network_size(
+        N, D, adversary="early-stop", byz_mask=byz, seed=SEED, network=net
+    )
+    estimates = report.result.decided_phase  # per-node phase = log-size estimate
+    print(f"Algorithm 2 finished in {report.rounds} rounds; "
+          f"median phase {report.median_phase:.0f}")
+
+    # Step 2: derive per-node TTLs from the *local* estimates.
+    slack = net.k  # absorb the inflation cap (ecc + k - 1)
+    ttl = np.maximum(estimates, 1) + slack
+
+    # Step 3: measure broadcast coverage from an honest source.
+    source = int(np.flatnonzero(~byz)[0])
+    covered = broadcast_coverage(net, byz, source, ttl)
+    naive = broadcast_coverage(net, byz, source,
+                               np.full(N, 2, dtype=np.int64))
+    print(f"\nbroadcast coverage with estimate-derived TTLs: {covered:.1%}")
+    print(f"broadcast coverage with naive TTL=2:            {naive:.1%}")
+    assert covered > 0.95 > naive
+    print("\nthe size estimate is exactly the missing ingredient — done.")
+
+
+if __name__ == "__main__":
+    main()

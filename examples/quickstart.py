@@ -1,0 +1,42 @@
+"""Quickstart: estimate the size of a Byzantine small-world network.
+
+Run:  python examples/quickstart.py
+
+Builds a 2048-node small-world expander G = H(n,8) ∪ L, places the paper's
+Byzantine budget B(n) = n^{1-delta} under the strongest downward attack
+(early-stop), runs Algorithm 2, and prints what the honest nodes concluded.
+"""
+
+import numpy as np
+
+from repro import estimate_network_size
+
+N, D, DELTA, SEED = 2048, 8, 0.5, 42
+
+
+def main() -> None:
+    print(f"sampling G = H({N},{D}) ∪ L and running Algorithm 2 ...")
+    report = estimate_network_size(
+        N, D, delta=DELTA, adversary="early-stop", seed=SEED
+    )
+
+    print(f"\n  network size (hidden from nodes): n = {N}   log2 n = {np.log2(N):.1f}")
+    print(f"  Byzantine nodes:                   {report.byz_count} (= n^(1-{DELTA}))")
+    print(f"  adversary:                         {report.adversary_name}")
+    print(f"  median decided phase:              {report.median_phase:.0f}")
+    print(f"  median log2-size estimate:         {report.median_log2_estimate:.1f}")
+    print(f"  honest nodes in constant-factor band: {report.fraction_in_band:.1%}")
+    print(f"  protocol rounds:                   {report.rounds}")
+
+    # The same network, no attack, for comparison.
+    honest = estimate_network_size(N, D, adversary="honest", seed=SEED,
+                                   network=report.network)
+    print(f"\n  honest-run median phase:           {honest.median_phase:.0f}")
+    print(f"  honest-run in-band fraction:       {honest.fraction_in_band:.1%}")
+
+    assert report.fraction_decided == 1.0
+    print("\nevery honest node terminated with an estimate — done.")
+
+
+if __name__ == "__main__":
+    main()

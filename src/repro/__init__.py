@@ -1,0 +1,44 @@
+"""repro — Byzantine network size estimation in small-world expanders.
+
+A production-grade reproduction of Chatterjee, Pandurangan & Robinson,
+"Network Size Estimation in Small-World Networks under Byzantine Faults"
+(arXiv:2102.09197).  See README.md for a tour and DESIGN.md for the system
+inventory.
+
+Quick start::
+
+    from repro import estimate_network_size
+    report = estimate_network_size(n=1024, d=8, adversary="early-stop", seed=3)
+    print(report.summary())
+"""
+
+from .core import (
+    ADVERSARIES,
+    CountingConfig,
+    CountingResult,
+    EstimateReport,
+    estimate_network_size,
+    make_adversary,
+    practical_band,
+    run_basic_counting,
+    run_byzantine_counting,
+)
+from .graphs import SmallWorldNetwork, build_small_world, generate_hgraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "estimate_network_size",
+    "EstimateReport",
+    "make_adversary",
+    "practical_band",
+    "ADVERSARIES",
+    "CountingConfig",
+    "CountingResult",
+    "run_basic_counting",
+    "run_byzantine_counting",
+    "build_small_world",
+    "generate_hgraph",
+    "SmallWorldNetwork",
+    "__version__",
+]

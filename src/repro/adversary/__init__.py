@@ -1,0 +1,33 @@
+"""Full-information Byzantine adversaries (Section 2.1 model, §3.4 attacks)."""
+
+from .base import Adversary, HonestAdversary, Injection, SubphasePlan, SubphaseState
+from .placement import clustered_placement, placement_for_delta, random_placement
+from .strategies import (
+    HUGE_COLOR,
+    AdaptiveRecordAdversary,
+    ComboAdversary,
+    EarlyStopAdversary,
+    InflationAdversary,
+    SilentAdversary,
+    SuppressionAdversary,
+    TopologyLiarAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "HonestAdversary",
+    "Injection",
+    "SubphasePlan",
+    "SubphaseState",
+    "random_placement",
+    "clustered_placement",
+    "placement_for_delta",
+    "EarlyStopAdversary",
+    "InflationAdversary",
+    "SuppressionAdversary",
+    "SilentAdversary",
+    "TopologyLiarAdversary",
+    "ComboAdversary",
+    "AdaptiveRecordAdversary",
+    "HUGE_COLOR",
+]

@@ -1,0 +1,146 @@
+"""Full-information adversary interface (Section 2.1's adversarial model).
+
+The paper's adversary is *omniscient*: at every round it knows the entire
+state of every node, including all random choices already made (and, in the
+paper's model, even future ones).  We grant exactly that: the engine hands
+the adversary a :class:`SubphaseState` exposing the honest nodes' freshly
+drawn colors, the full running-max state, decision status, and the network
+itself.  The adversary responds with a :class:`SubphasePlan` describing what
+its nodes transmit.
+
+What the adversary **cannot** do (also per the model):
+
+* communicate except along ``G`` edges (the engine only lets Byzantine
+  values propagate through the adjacency),
+* lie about its ID,
+* push a fresh color past the first ``k - 1`` rounds of a subphase when
+  verification is on (Lemma 16 — the engine rejects such injections, which
+  is exactly what the witness-query machinery achieves), or
+* avoid the crash rule: topology lies take effect only through
+  :func:`repro.core.neighborhood.crash_phase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.config import CountingConfig
+    from ..graphs.smallworld import SmallWorldNetwork
+
+__all__ = ["Injection", "SubphasePlan", "SubphaseState", "Adversary", "HonestAdversary"]
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Inject ``value`` at Byzantine nodes ``nodes`` at flooding round ``t``.
+
+    ``t`` counts from 1 (the round in which the injected value is first
+    transmitted to neighbors).  ``t = 1`` is indistinguishable from honest
+    color generation — coin flips are private — and is always accepted;
+    with verification on, rounds ``t > k - 1`` are rejected.
+    """
+
+    t: int
+    nodes: np.ndarray
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.t < 1:
+            raise ValueError("injection round must be >= 1")
+        if self.value < 1:
+            raise ValueError("injected colors must be positive")
+
+
+@dataclass
+class SubphasePlan:
+    """What the Byzantine nodes do during one subphase."""
+
+    #: Colors the Byzantine nodes "generate" at subphase start (length =
+    #: number of Byzantine nodes, aligned with ``state.byz_nodes``).  None
+    #: means generate nothing (send 0 until an injection or relayed max).
+    initial_colors: np.ndarray | None = None
+    #: Mid-subphase injections (each checked against Lemma 16).
+    injections: list[Injection] = field(default_factory=list)
+    #: Whether Byzantine nodes relay the running maximum like honest nodes.
+    #: ``False`` models suppression (they stay silent apart from injections).
+    relay: bool = True
+
+
+@dataclass
+class SubphaseState:
+    """Full-information snapshot handed to the adversary each subphase."""
+
+    phase: int
+    subphase: int
+    rounds: int
+    k: int
+    network: "SmallWorldNetwork"
+    byz_nodes: np.ndarray
+    honest_colors: np.ndarray
+    decided_phase: np.ndarray
+    crashed: np.ndarray
+    rng: np.random.Generator
+
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+    def global_max_color(self) -> int:
+        """The largest honest color drawn this subphase (omniscient view)."""
+        return int(self.honest_colors.max()) if self.honest_colors.size else 0
+
+
+class Adversary:
+    """Base adversary: behaves exactly like honest nodes (no attack)."""
+
+    name = "honest-behavior"
+
+    def __init__(self) -> None:
+        self.network: "SmallWorldNetwork | None" = None
+        self.byz_mask: np.ndarray | None = None
+        self.rng: np.random.Generator | None = None
+
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        network: "SmallWorldNetwork",
+        byz_mask: np.ndarray,
+        rng: np.random.Generator,
+        config: "CountingConfig",
+    ) -> None:
+        """Called once before the run; override for precomputation."""
+        self.network = network
+        self.byz_mask = np.asarray(byz_mask, dtype=bool)
+        self.rng = rng
+        self.config = config
+
+    def topology_claims(self) -> dict[int, tuple[int, ...]]:
+        """Claimed H-adjacency per Byzantine node for the pre-phase.
+
+        Defaults to truthful claims (topology lies only trigger crashes,
+        Lemma 15, so most strategies avoid them).
+        """
+        assert self.network is not None and self.byz_mask is not None
+        from ..core.neighborhood import truthful_claims
+
+        return truthful_claims(self.network, np.flatnonzero(self.byz_mask))
+
+    def subphase_plan(self, state: SubphaseState) -> SubphasePlan:
+        """Default: draw honest-looking colors and relay faithfully."""
+        from ..core.colors import sample_colors
+
+        return SubphasePlan(
+            initial_colors=sample_colors(state.rng, state.byz_nodes.shape[0]),
+            injections=[],
+            relay=True,
+        )
+
+
+class HonestAdversary(Adversary):
+    """Alias emphasizing a no-attack control run."""
+
+    name = "honest"

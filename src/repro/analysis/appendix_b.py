@@ -1,0 +1,218 @@
+"""Appendix B (proof of Lemma 9) as executable probability formulas.
+
+The paper's core probabilistic argument bounds, for a *safe* node ``v`` in
+phase ``i``:
+
+* ``E_{i,j,1}`` — some early round's received maximum is already huge:
+  ``Pr[k_t > 2(l_{i-1} - log2(d-2)) for some t < i] <= (d-2)/(d (d-1)^{i-1})``
+  (Lemma 22, via the Lemma 4 upper tail over the punctured ball
+  ``B*(v, i-1)``);
+* ``E_{i,j,2}`` — the last round's maximum is too small:
+  ``Pr[k_i <= l_i - log2(d-1) - log2(l_i - log2(d-1))] < eps/2 + 1/(d (d-1)^{i-1})``
+  (Lemma 23, combining the inductive inactivity bound with the Lemma 5
+  lower tail over the sphere ``Bd(v, i)``);
+* ``Failure(i, j) = not Success(i, j)`` with
+  ``Pr[Failure(i,j)] < 1/(d (d-1)^{i-2}) + eps/2`` (Lemmas 24-25);
+* ``Failure(i)`` — all ``alpha_i`` independent subphases fail:
+  ``Pr[Failure(i)] <= (Pr[Failure(i,j)])^{alpha_i} <= eps/2^{i+1}``
+  (Lemma 26, which fixes ``alpha_i`` precisely to make this hold).
+
+Every bound is a function here, and ``tests/analysis/test_appendix_b.py``
+validates the distributional steps by Monte Carlo against exact geometric
+tail computations — i.e. the proof's *arithmetic* is reproduced, not just
+its conclusion.
+
+**Reproduction findings** (recorded in EXPERIMENTS.md):
+
+1. *Discretization slack.* Colors are integers, so the Lemma 4/5 events
+   use floored thresholds; the exact tail can exceed the paper's clean
+   ``1/m`` by up to a factor of 2.  Direction and rate are unaffected.
+2. *Lemma 24/25 constant.* The containment ``E1^c ∩ E2^c ⊆ Success``
+   needs the last-round threshold to exceed the early-record cap, but
+   ``2 l_{i-1} > l_i - log2 l_i`` for all relevant ``i`` at ``d = 8``, and
+   more fundamentally the punctured inner ball is a constant fraction
+   ``~1/(d-2)`` of the distance-``i`` sphere, so the true per-subphase
+   failure probability converges to ``~1/(d-2) + o(1)`` — a *constant*,
+   not the geometrically-decaying Lemma 25 expression.  The phase-level
+   conclusion (Lemma 9: ``Pr[Failure(i)] <= eps/2^{i+1}``) survives
+   because failure must repeat across all ``i * alpha_i`` independent
+   subphases: ``(1/(d-2))^{i alpha_i}`` still decays geometrically in
+   ``i``.  :func:`empirical_failure_probability` and
+   :func:`phase_failure_from_subphase` quantify this, and the test suite
+   asserts the *conclusion* with the measured constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bounds import ell
+
+__all__ = [
+    "punctured_ball_size",
+    "sphere_size",
+    "early_record_threshold",
+    "last_round_threshold",
+    "lemma22_bound",
+    "lemma23_bound",
+    "lemma25_failure_bound",
+    "lemma26_phase_failure_bound",
+    "alpha_needed_for_lemma26",
+    "exact_early_record_probability",
+    "exact_low_last_round_probability",
+    "exact_subphase_failure_probability",
+    "phase_failure_from_subphase",
+]
+
+
+def punctured_ball_size(d: int, r: int) -> int:
+    """``|B*(v, r)| = d ((d-1)^r - 1)/(d - 2)`` for a locally tree-like node."""
+    if d <= 2:
+        raise ValueError("need d > 2")
+    if r < 0:
+        raise ValueError("radius must be non-negative")
+    return int(d * ((d - 1) ** r - 1) // (d - 2))
+
+
+def sphere_size(d: int, r: int) -> int:
+    """``|Bd(v, r)| = d (d-1)^{r-1}`` for a locally tree-like node."""
+    if r < 1:
+        raise ValueError("sphere radius must be >= 1")
+    return int(d * (d - 1) ** (r - 1))
+
+
+def early_record_threshold(i: int, d: int) -> float:
+    """Lemma 22's event threshold: ``2 (l_{i-1} - log2(d-2))``.
+
+    ``l_{i-1} - log2(d-2) = log2 |B*(v, i-1)|`` (Lemma 6), so this is the
+    Lemma 4 "twice the log-size" record level for the punctured ball.
+    """
+    if i < 2:
+        raise ValueError("the early-record event needs i >= 2")
+    return 2.0 * (ell(i - 1, d) + np.log2(d - 1) - np.log2(d - 2))
+
+
+def last_round_threshold(i: int, d: int) -> float:
+    """Lemma 23's event threshold: ``l_i - log2(d-1) - log2(l_i - log2(d-1))``.
+
+    ``l_i - log2(d-1) = log2 |Bd(v, i)|`` with our ``ell(i) =
+    log2 d + (i-1) log2(d-1)`` convention, so this is the Lemma 5
+    "log-size minus log-log" lower record level for the sphere.
+    """
+    m = np.log2(sphere_size(d, i))
+    return float(m - np.log2(m))
+
+
+def lemma22_bound(i: int, d: int) -> float:
+    """``Pr[E_{i,j,1}] <= (d-2) / (d (d-1)^{i-1})``."""
+    if i < 2:
+        raise ValueError("need i >= 2")
+    return float((d - 2) / (d * (d - 1.0) ** (i - 1)))
+
+
+def lemma23_bound(i: int, d: int, eps: float) -> float:
+    """``Pr[E_{i,j,2}] < eps/2 + 1 / (d (d-1)^{i-1})``."""
+    if not 0 < eps < 1:
+        raise ValueError("eps in (0,1)")
+    return float(eps / 2.0 + 1.0 / (d * (d - 1.0) ** (i - 1)))
+
+
+def lemma25_failure_bound(i: int, d: int, eps: float) -> float:
+    """``Pr[Failure(i, j)] < 1/(d (d-1)^{i-2}) + eps/2`` (Lemma 25)."""
+    if i < 2:
+        raise ValueError("need i >= 2")
+    return float(1.0 / (d * (d - 1.0) ** (i - 2)) + eps / 2.0)
+
+
+def lemma26_phase_failure_bound(i: int, d: int, eps: float, alpha_i: int) -> float:
+    """``Pr[Failure(i)] <= Pr[Failure(i,j)]^{alpha_i}`` (independent subphases).
+
+    The paper then upper-bounds the base by ``1/(d (d-1)^{i-2})`` alone
+    (its Lemma 26 display), which we follow.
+    """
+    if alpha_i < 1:
+        raise ValueError("alpha_i >= 1")
+    base = 1.0 / (d * (d - 1.0) ** (i - 2))
+    return float(min(1.0, base**alpha_i))
+
+
+def alpha_needed_for_lemma26(i: int, d: int, eps: float) -> int:
+    """Smallest ``alpha`` with ``(1/(d (d-1)^{i-2}))^alpha <= eps/2^{i+1}``.
+
+    This is the constraint the paper's ``alpha_i`` definition solves; the
+    test suite checks our :func:`repro.core.phases.alpha_appendix` always
+    meets it for ``i >= 3``.
+    """
+    target = eps / 2.0 ** (i + 1)
+    base = 1.0 / (d * (d - 1.0) ** (i - 2))
+    if base >= 1.0:
+        raise ValueError("bound degenerate for this i, d")
+    alpha = int(np.ceil(np.log(target) / np.log(base)))
+    return max(1, alpha)
+
+
+# ----------------------------------------------------------------------
+# Exact distributional computations (the Monte-Carlo cross-checks' oracle)
+# ----------------------------------------------------------------------
+
+def exact_early_record_probability(i: int, d: int) -> float:
+    """Exact ``Pr[max over |B*(v, i-1)| colors > early_record_threshold]``.
+
+    The Lemma 22 event, computed from the geometric maximum CDF rather
+    than the union bound — necessarily at most the lemma's bound.
+    """
+    m = punctured_ball_size(d, i - 1)
+    r = int(np.floor(early_record_threshold(i, d)))
+    # Pr[max > r] = 1 - (1 - 2^-r)^m.
+    return float(1.0 - (1.0 - 0.5**r) ** m)
+
+
+def exact_low_last_round_probability(i: int, d: int) -> float:
+    """Exact ``Pr[max over |Bd(v, i)| colors <= last_round_threshold]``
+    assuming every sphere node is active (the Lemma 8 term of Lemma 23)."""
+    m = sphere_size(d, i)
+    r = int(np.floor(last_round_threshold(i, d)))
+    return float((1.0 - 0.5**r) ** m)
+
+
+def exact_subphase_failure_probability(i: int, d: int) -> float:
+    """Exact ``Pr[Failure(i, j)]`` for an ideal locally-tree-like node.
+
+    Failure is "the sphere-``i`` maximum does not strictly beat the inner
+    punctured ball's maximum, or does not clear the threshold":
+
+    ``Pr[Failure] = 1 - Pr[M_out > max(M_in, floor(thr))]``
+
+    computed exactly from the independence of the two geometric maxima by
+    summing over the inner maximum's value.  As ``i`` grows this tends to
+    ``|B*(i-1)| / |B(i)| ~ 1/(d-1)`` plus threshold effects — the constant
+    the Lemma 24/25 reproduction finding refers to.
+    """
+    m_in = punctured_ball_size(d, i - 1)
+    m_out = sphere_size(d, i)
+    floor_thr = int(np.floor(last_round_threshold(i, d)))
+
+    # Pr[M <= r] = (1 - 2^-r)^m for integer r >= 0.
+    def cdf(r: int, m: int) -> float:
+        if r < 0:
+            return 0.0
+        return (1.0 - 0.5 ** max(r, 0)) ** m
+
+    success = 0.0
+    # Success: M_out = v for some v > max(floor_thr, M_in).
+    for v in range(1, 256):
+        p_out_eq = cdf(v, m_out) - cdf(v - 1, m_out)
+        if p_out_eq <= 0 and v > floor_thr + 8:
+            break
+        if v <= floor_thr:
+            continue
+        p_in_below = cdf(v - 1, m_in)
+        success += p_out_eq * p_in_below
+    return float(1.0 - success)
+
+
+def phase_failure_from_subphase(p_subphase: float, i: int, alpha_i: int) -> float:
+    """``Pr[Failure(i)] = p^(i * alpha_i)`` over the pseudocode's subphases."""
+    if not 0.0 <= p_subphase <= 1.0:
+        raise ValueError("probability out of range")
+    return float(p_subphase ** (i * alpha_i))

@@ -1,0 +1,170 @@
+"""The paper's constants and probability bounds, as executable formulas.
+
+Everything here is a direct transcription of a definition, observation or
+lemma; the experiment suite prints these next to measured values.  All
+logarithms are base 2 (colors are fair-coin geometric variables).
+
+Key quantities:
+
+* ``k = ceil(d/3)`` (Section 2.1), ``delta > 3/d`` (Byzantine budget
+  exponent constraint), ``B(n) = n^{1-delta}``.
+* ``a = delta / (10 k log(d-1))`` — below phase ``a log n``, Byzantine-safe
+  nodes see no Byzantine colors (Definition 9, Section 3.2/3.4.3).
+* ``b = 4 / log(1 + gamma/d)`` — by phase ``b log n`` every active core node
+  terminates (Section 3.4, with ``gamma`` the Core's edge expansion).
+* Geometric max tail bounds (Lemmas 4, 5, 7, 8) and the wrong-decision
+  bounds (Lemmas 9, 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "k_of_d",
+    "delta_min",
+    "byzantine_budget",
+    "a_constant",
+    "a_log_n",
+    "b_constant",
+    "b_log_n",
+    "approximation_factor",
+    "ell",
+    "color_threshold",
+    "max_color_upper_tail",
+    "max_color_lower_tail",
+    "chain_probability_bound",
+    "ball_size_bound",
+    "wrong_decision_bound",
+    "azuma_phase_bound",
+    "round_complexity_bound",
+]
+
+
+def k_of_d(d: int) -> int:
+    """``k = ceil(d / 3)``."""
+    return -(-d // 3)
+
+
+def delta_min(d: int) -> float:
+    """The Byzantine exponent must satisfy ``delta > 3/d`` (Section 2.1)."""
+    return 3.0 / d
+
+
+def byzantine_budget(n: int, delta: float) -> int:
+    """``B(n) = floor(n^{1 - delta})`` Byzantine nodes."""
+    if not 0.0 < delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    return int(np.floor(n ** (1.0 - delta)))
+
+
+def a_constant(delta: float, k: int, d: int) -> float:
+    """``a = delta / (10 k log2(d - 1))`` (Definition 9)."""
+    if d <= 2:
+        raise ValueError("need d > 2")
+    return delta / (10.0 * k * np.log2(d - 1))
+
+
+def a_log_n(n: int, delta: float, k: int, d: int) -> float:
+    """The lower phase boundary ``a log2 n``."""
+    return a_constant(delta, k, d) * np.log2(n)
+
+
+def b_constant(gamma: float, d: int) -> float:
+    """``b = 4 / log2(1 + gamma/d)`` with ``gamma`` the Core edge expansion."""
+    if gamma <= 0:
+        raise ValueError("edge expansion gamma must be positive")
+    return 4.0 / np.log2(1.0 + gamma / d)
+
+
+def b_log_n(n: int, gamma: float, d: int) -> float:
+    """The upper phase boundary ``b log2 n``."""
+    return b_constant(gamma, d) * np.log2(n)
+
+
+def approximation_factor(delta: float, k: int, d: int, gamma: float) -> float:
+    """``b / a = 40 k log2(d-1) / (delta log2(1 + gamma/d))`` (Section 3.4.2)."""
+    return b_constant(gamma, d) / a_constant(delta, k, d)
+
+
+def ell(i: int, d: int) -> float:
+    """``l_i = log2 d + (i - 1) log2(d - 1)`` — log of ``|Bd(v, i)| = d(d-1)^{i-1}``.
+
+    (Lemma 6 works with ``l_r = log d + r log(d-1)``; the decision rule in
+    Algorithm 1 line 16 / Algorithm 2 line 18 uses the sphere at distance
+    ``i`` whose size has logarithm ``log d + (i-1) log(d-1)``.)
+    """
+    if i < 1:
+        raise ValueError(f"phase index must be >= 1, got {i}")
+    return np.log2(d) + (i - 1) * np.log2(d - 1)
+
+
+def color_threshold(i: int, d: int) -> float:
+    """Decision threshold ``l - log2 l`` with ``l = ell(i, d)``.
+
+    A node continues past phase ``i`` only if some subphase's last-round
+    record color strictly exceeds this (Algorithm 2 line 18).
+    """
+    level = ell(i, d)
+    if level <= 1.0:
+        return 0.0
+    return level - np.log2(level)
+
+
+def max_color_upper_tail(m: int) -> float:
+    """Lemma 4: ``Pr[max color over m nodes > 2 log2 m] <= 1/m``."""
+    if m < 1:
+        raise ValueError("need m >= 1")
+    return 1.0 / m
+
+
+def max_color_lower_tail(m: int) -> float:
+    """Lemma 5: ``Pr[max color over m nodes <= log2 m - log2 log2 m] < 1/m``."""
+    if m < 2:
+        raise ValueError("need m >= 2")
+    return 1.0 / m
+
+
+def chain_probability_bound(n: int, d: int, k: int, delta: float) -> float:
+    """Observation 6: ``Pr[some k-chain is all-Byzantine] <= n d^{k-1} n^{-k delta}``.
+
+    Equal to ``d^{k-1} / n^{delta'}`` with ``k delta = 1 + delta'``.
+    """
+    return float(n * d ** (k - 1) * n ** (-k * delta))
+
+
+def ball_size_bound(d: int, k: int, tau: int) -> int:
+    """Observation 2: ``|B_G(v, tau)| < (d-1)^{k tau + 1}``."""
+    return int((d - 1) ** (k * tau + 1))
+
+
+def wrong_decision_bound(i: int, eps: float) -> float:
+    """Lemma 9 / 26: a safe node wrongly decides phase ``i`` w.p. ``< eps/2^{i+1}``."""
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must be in (0, 1)")
+    return eps / 2.0 ** (i + 1)
+
+
+def azuma_phase_bound(n: int, i: int, eps: float, d: int) -> float:
+    """Lemma 10: ``Pr[Y_i > n eps / 2^i] < exp(-n eps^2 / 2^kappa)`` with
+    ``kappa = 2i + 3 + (4i + 2) log2(d - 1)`` (capped at 1)."""
+    kappa = 2 * i + 3 + (4 * i + 2) * np.log2(d - 1)
+    return float(min(1.0, np.exp(-n * eps * eps / 2.0**kappa)))
+
+
+def round_complexity_bound(
+    n: int, eps: float, d: int, *, gamma: float = 1.0, verification_cost: int = 2
+) -> int:
+    """Exact round count of the paper's schedule up to phase ``b log2 n``.
+
+    Sums ``i * alpha_i`` subphases of ``i`` flooding rounds each (plus the
+    per-round verification constant), which is the Theta(log^3 n) accounting
+    behind Theorem 1.
+    """
+    from ..core.phases import subphase_count
+
+    b_phase = max(1, int(np.ceil(b_log_n(n, gamma, d))))
+    total = 0
+    for i in range(1, b_phase + 1):
+        total += subphase_count(i, eps, d) * i * (1 + verification_cost)
+    return total

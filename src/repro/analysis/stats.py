@@ -1,0 +1,125 @@
+"""Statistics helpers for the experiment suite.
+
+Small, dependency-light estimators: Wilson score intervals for the
+whp-fraction claims, log-log slope fits for asymptotic-exponent checks,
+and distribution summaries for tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "wilson_interval",
+    "loglog_slope",
+    "polylog_fit",
+    "DistributionSummary",
+    "summarize",
+    "empirical_cdf",
+    "proportion",
+]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z * np.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def proportion(mask: np.ndarray) -> float:
+    """Fraction of True entries in a boolean mask."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size == 0:
+        raise ValueError("empty mask has no proportion")
+    return float(np.count_nonzero(mask)) / mask.size
+
+
+def loglog_slope(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Least-squares slope and intercept of ``log y`` against ``log x``.
+
+    Used to check asymptotic exponents, e.g. "|NLT| grows like n^0.8".
+    Zero y-values are clipped to the smallest positive value present
+    (or 0.5 if all are zero) so a clean claim does not crash the fit.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need at least two matching points")
+    positive = y[y > 0]
+    floor = positive.min() if positive.size else 0.5
+    y = np.maximum(y, floor * 0.5)
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    return float(slope), float(intercept)
+
+
+def polylog_fit(n_values: np.ndarray, rounds: np.ndarray) -> float:
+    """Exponent ``p`` such that ``rounds ≈ c (log2 n)^p`` (least squares).
+
+    This is the check for the Theta(log^3 n) round-complexity claim:
+    regress ``log rounds`` on ``log log n``.
+    """
+    n_values = np.asarray(n_values, dtype=np.float64)
+    rounds = np.asarray(rounds, dtype=np.float64)
+    slope, _ = loglog_slope(np.log2(n_values), rounds)
+    return slope
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def row(self) -> list[float]:
+        return [
+            self.count,
+            self.mean,
+            self.std,
+            self.minimum,
+            self.median,
+            self.maximum,
+        ]
+
+
+def summarize(values: np.ndarray) -> DistributionSummary:
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q25, med, q75 = np.percentile(values, [25, 50, 75])
+    return DistributionSummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std()),
+        minimum=float(values.min()),
+        q25=float(q25),
+        median=float(med),
+        q75=float(q75),
+        maximum=float(values.max()),
+    )
+
+
+def empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted support and empirical CDF values."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        raise ValueError("empty sample")
+    return values, np.arange(1, values.size + 1) / values.size

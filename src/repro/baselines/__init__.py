@@ -1,0 +1,20 @@
+"""Section 1.2 baseline protocols and their Byzantine failure modes."""
+
+from .birthday import BirthdayResult, run_birthday
+from .convergecast import ConvergecastResult, run_convergecast
+from .exponential_support import ExponentialSupportResult, run_exponential_support
+from .flooding_diameter import FloodingDiameterResult, run_flooding_diameter
+from .geometric_max import GeometricMaxResult, run_geometric_max
+
+__all__ = [
+    "GeometricMaxResult",
+    "run_geometric_max",
+    "ExponentialSupportResult",
+    "run_exponential_support",
+    "ConvergecastResult",
+    "run_convergecast",
+    "FloodingDiameterResult",
+    "run_flooding_diameter",
+    "BirthdayResult",
+    "run_birthday",
+]

@@ -1,0 +1,103 @@
+"""Spanning-tree convergecast counting (the Section 1.2 "simple" solution).
+
+Without Byzantine nodes the counting problem is easy: build a BFS spanning
+tree, converge-cast subtree counts to the root, which learns ``n`` exactly
+in ``2D`` rounds.  A single Byzantine node anywhere in the tree can report
+an arbitrary subtree count, corrupting the root's total without bound —
+hence the need for the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.balls import bfs_distances
+
+__all__ = ["ConvergecastResult", "run_convergecast"]
+
+ATTACKS = (None, "inflate", "zero")
+
+
+@dataclass
+class ConvergecastResult:
+    root: int
+    count_at_root: int
+    true_n: int
+    rounds: int
+    depth: int
+    byz: np.ndarray
+
+    @property
+    def exact(self) -> bool:
+        return self.count_at_root == self.true_n
+
+    def relative_error(self) -> float:
+        return abs(self.count_at_root - self.true_n) / self.true_n
+
+
+def run_convergecast(
+    network,
+    root: int = 0,
+    *,
+    byz_mask: np.ndarray | None = None,
+    attack: str | None = None,
+    inflate_by: int = 1_000_000,
+    seed: int | np.random.Generator | None = 0,
+) -> ConvergecastResult:
+    """BFS-tree convergecast count over the ``H`` edges.
+
+    ``attack="inflate"`` makes each Byzantine node add ``inflate_by`` to its
+    true subtree count; ``attack="zero"`` makes it report 0 (erasing its
+    subtree).  The honest run returns exactly ``n``.
+    """
+    if attack not in ATTACKS:
+        raise ValueError(f"unknown attack {attack!r}; choose from {ATTACKS}")
+    n = network.n
+    byz = (
+        np.zeros(n, dtype=bool)
+        if byz_mask is None
+        else np.asarray(byz_mask, dtype=bool)
+    )
+    if attack is not None and not byz.any():
+        raise ValueError(f"attack {attack!r} requires at least one Byzantine node")
+    if byz[root]:
+        raise ValueError("the root must be honest for a meaningful experiment")
+
+    indptr, indices = network.h.indptr, network.h.indices
+    dist = bfs_distances(indptr, indices, root)
+    if np.any(dist == -1):
+        raise ValueError("H is disconnected; convergecast undefined")
+    depth = int(dist.max())
+
+    # Deterministic parent choice: the smallest-id neighbor one level up.
+    parent = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        if v == root:
+            continue
+        nbrs = np.unique(network.h.neighbors(v))
+        ups = nbrs[dist[nbrs] == dist[v] - 1]
+        parent[v] = int(ups.min())
+
+    # Converge-cast: leaves inward, one level per round.
+    subtotal = np.ones(n, dtype=np.int64)
+    order = np.argsort(dist, kind="stable")[::-1]  # deepest first
+    for v in order:
+        if v == root:
+            continue
+        reported = subtotal[v]
+        if byz[v]:
+            if attack == "inflate":
+                reported = subtotal[v] + inflate_by
+            elif attack == "zero":
+                reported = 0
+        subtotal[parent[v]] += reported
+    return ConvergecastResult(
+        root=root,
+        count_at_root=int(subtotal[root]),
+        true_n=n,
+        rounds=2 * depth + 1,
+        depth=depth,
+        byz=byz,
+    )

@@ -1,0 +1,85 @@
+"""Leader-flooding diameter estimation (Section 1.2 / footnote 5).
+
+If an honest leader existed, it could flood a token and every node could
+estimate ``log n`` from the token's first-arrival round (the ball around
+the leader grows by a factor ``~(d-1)`` per hop).  The paper notes this
+*presupposes* leader election — itself hard without knowing ``n`` — and
+that Byzantine nodes can pre-flood fake tokens, deflating arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.balls import bfs_distances
+
+__all__ = ["FloodingDiameterResult", "run_flooding_diameter"]
+
+ATTACKS = (None, "pre-flood")
+
+
+@dataclass
+class FloodingDiameterResult:
+    leader: int
+    arrival: np.ndarray
+    estimates: np.ndarray  # per-node log2-size estimates
+    true_log2_n: float
+    rounds: int
+    byz: np.ndarray
+
+    @property
+    def honest(self) -> np.ndarray:
+        return ~self.byz
+
+    def median_estimate(self) -> float:
+        return float(np.median(self.estimates[self.honest]))
+
+    def fraction_in_band(self, c1: float = 0.25, c2: float = 4.0) -> float:
+        est = self.estimates[self.honest]
+        lo, hi = c1 * self.true_log2_n, c2 * self.true_log2_n
+        return float(np.mean((est >= lo) & (est <= hi)))
+
+
+def run_flooding_diameter(
+    network,
+    leader: int = 0,
+    *,
+    byz_mask: np.ndarray | None = None,
+    attack: str | None = None,
+) -> FloodingDiameterResult:
+    """Estimate ``log2 n`` from token first-arrival times.
+
+    ``attack="pre-flood"`` lets every Byzantine node source an
+    indistinguishable token at round 0, so each node's arrival time becomes
+    its distance to the *nearest* source — an underestimate.
+    """
+    if attack not in ATTACKS:
+        raise ValueError(f"unknown attack {attack!r}; choose from {ATTACKS}")
+    n, d = network.n, network.d
+    byz = (
+        np.zeros(n, dtype=bool)
+        if byz_mask is None
+        else np.asarray(byz_mask, dtype=bool)
+    )
+    if attack == "pre-flood" and not byz.any():
+        raise ValueError("pre-flood attack requires Byzantine nodes")
+    if byz[leader]:
+        raise ValueError("the leader must be honest")
+
+    sources = [leader]
+    if attack == "pre-flood":
+        sources = [leader] + [int(b) for b in np.flatnonzero(byz)]
+    arrival = bfs_distances(network.h.indptr, network.h.indices, np.array(sources))
+    if np.any(arrival == -1):
+        raise ValueError("H is disconnected")
+    estimates = arrival.astype(np.float64) * np.log2(d - 1)
+    return FloodingDiameterResult(
+        leader=leader,
+        arrival=arrival,
+        estimates=estimates,
+        true_log2_n=float(np.log2(n)),
+        rounds=int(arrival.max()),
+        byz=byz,
+    )

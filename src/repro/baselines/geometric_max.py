@@ -1,0 +1,127 @@
+"""The Section 1.2 geometric-max baseline (support estimation).
+
+Every node flips a fair coin until heads (color ``X_u``), then the network
+floods the running maximum; after ``D`` rounds every node knows
+``X̄ = max_u X_u``, which is a constant-factor estimate of ``log2 n`` whp
+(``Pr[X̄ >= 2 log n] <= 1/n`` and ``Pr[X̄ < (log n)/2] <= e^{-sqrt n}``).
+Each node forwards at most ``O(log n)`` distinct values.
+
+The paper's point: **this fails with even one Byzantine node** — a fake
+maximum inflates every estimate arbitrarily, and (in principle) value
+suppression could starve it, though the expander's alternate paths defeat
+suppression.  Both attacks are implemented so experiment E06 can show which
+one actually works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.colors import sample_colors
+from ..sim.flood import FloodKernel
+from ..sim.metrics import MessageMeter
+from ..sim.rng import make_rng
+
+__all__ = ["GeometricMaxResult", "run_geometric_max"]
+
+ATTACKS = (None, "fake-max", "suppress")
+
+
+@dataclass
+class GeometricMaxResult:
+    """Per-node estimates of ``log2 n`` plus protocol accounting."""
+
+    estimates: np.ndarray
+    true_log2_n: float
+    rounds: int
+    max_distinct_forwards: int
+    byz: np.ndarray
+    meter: MessageMeter = field(default_factory=MessageMeter)
+
+    @property
+    def honest(self) -> np.ndarray:
+        return ~self.byz
+
+    def honest_estimates(self) -> np.ndarray:
+        return self.estimates[self.honest]
+
+    def fraction_in_band(self, c1: float = 0.5, c2: float = 2.0) -> float:
+        """Fraction of honest nodes with ``c1 log n <= X̄ <= c2 log n``."""
+        est = self.honest_estimates()
+        lo, hi = c1 * self.true_log2_n, c2 * self.true_log2_n
+        return float(np.mean((est >= lo) & (est <= hi)))
+
+    def median_estimate(self) -> float:
+        return float(np.median(self.honest_estimates()))
+
+
+def run_geometric_max(
+    network,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    byz_mask: np.ndarray | None = None,
+    attack: str | None = None,
+    fake_value: int | None = None,
+    rounds: int | None = None,
+) -> GeometricMaxResult:
+    """Run the baseline on the ``H`` edges of ``network``.
+
+    Parameters
+    ----------
+    attack:
+        ``None`` (honest), ``"fake-max"`` (Byzantine nodes announce
+        ``fake_value``, default ``10 log2 n``), or ``"suppress"``
+        (Byzantine nodes never relay anything).
+    rounds:
+        Flooding rounds; defaults to saturation (tracked exactly).
+    """
+    if attack not in ATTACKS:
+        raise ValueError(f"unknown attack {attack!r}; choose from {ATTACKS}")
+    n, d = network.n, network.d
+    rng = make_rng(seed)
+    byz = (
+        np.zeros(n, dtype=bool)
+        if byz_mask is None
+        else np.asarray(byz_mask, dtype=bool)
+    )
+    if attack is not None and not byz.any():
+        raise ValueError(f"attack {attack!r} requires at least one Byzantine node")
+
+    colors = sample_colors(rng, n)
+    true_log2_n = float(np.log2(n))
+    if attack == "fake-max":
+        value = fake_value if fake_value is not None else int(10 * true_log2_n)
+        colors[byz] = value
+    elif attack == "suppress":
+        colors[byz] = 0
+
+    kernel = FloodKernel(network.h.indptr, network.h.indices)
+    cur = colors.astype(np.int64)
+    changes = np.zeros(n, dtype=np.int64)
+    meter = MessageMeter()
+    limit = rounds if rounds is not None else 4 * n  # saturation guard
+    executed = 0
+    for _ in range(limit):
+        sent = cur.copy()
+        if attack == "suppress":
+            sent[byz] = 0
+        recv = kernel.neighbor_max(sent)
+        nxt = np.maximum(cur, recv)
+        executed += 1
+        meter.add_round()
+        meter.add_messages(int(np.count_nonzero(sent)) * d)
+        changed = nxt > cur
+        changes += changed
+        if rounds is None and not changed.any():
+            break
+        cur = nxt
+    return GeometricMaxResult(
+        estimates=cur.astype(np.float64),
+        true_log2_n=true_log2_n,
+        rounds=executed,
+        max_distinct_forwards=int(changes.max()) + 1,
+        byz=byz,
+        meter=meter,
+    )

@@ -1,0 +1,75 @@
+"""The paper's primary contribution: Byzantine counting (Algorithms 1 & 2)."""
+
+from .basic_counting import run_basic_counting
+from .byzantine_counting import run_byzantine_counting
+from .colors import (
+    color_pmf,
+    color_sf,
+    expected_max_color,
+    max_color_cdf,
+    sample_colors,
+)
+from .config import CountingConfig
+from .coreset import CoreReport, compute_core
+from .estimator import (
+    ADVERSARIES,
+    EstimateReport,
+    estimate_network_size,
+    make_adversary,
+    practical_band,
+)
+from .neighborhood import (
+    AdjacencyClaims,
+    ConflictError,
+    crash_phase,
+    find_conflicts,
+    infer_child_relation,
+    reconstruct_h_ball,
+    truthful_claims,
+)
+from .phases import (
+    alpha,
+    alpha_appendix,
+    alpha_pseudocode,
+    color_threshold,
+    continue_criterion,
+    ell,
+    subphase_count,
+)
+from .results import UNDECIDED, CountingResult
+from .runner import run_counting
+
+__all__ = [
+    "run_basic_counting",
+    "run_byzantine_counting",
+    "run_counting",
+    "CountingConfig",
+    "CountingResult",
+    "UNDECIDED",
+    "sample_colors",
+    "color_pmf",
+    "color_sf",
+    "max_color_cdf",
+    "expected_max_color",
+    "alpha",
+    "alpha_appendix",
+    "alpha_pseudocode",
+    "subphase_count",
+    "color_threshold",
+    "continue_criterion",
+    "ell",
+    "ConflictError",
+    "AdjacencyClaims",
+    "truthful_claims",
+    "reconstruct_h_ball",
+    "find_conflicts",
+    "crash_phase",
+    "infer_child_relation",
+    "CoreReport",
+    "compute_core",
+    "EstimateReport",
+    "estimate_network_size",
+    "make_adversary",
+    "practical_band",
+    "ADVERSARIES",
+]

@@ -1,0 +1,330 @@
+"""Agent-based (message-level) implementation of Algorithms 1 and 2.
+
+Every node is a :class:`~repro.sim.node.NodeProgram` exchanging real
+message objects through the :class:`~repro.sim.engine.SynchronousEngine`:
+
+* the **pre-phase** broadcasts :class:`AdjacencyClaimMessage`s and each
+  honest node runs the actual Lemma 3 reconstruction
+  (:func:`repro.core.neighborhood.reconstruct_h_ball`), crashing on
+  contradiction — this is the genuinely message-level path used by the
+  Figure-1 tests;
+* **flooding** sends :class:`ColorMessage`s along the reconstructed ``H``
+  ports, one engine round per protocol round;
+* **verification** consults a provenance ledger the driver maintains: a
+  color is *legitimate* iff it was generated at a subphase start or
+  injected within the first ``k - 1`` rounds — precisely the predicate the
+  witness-query protocol decides (Lemmas 15/16), with the query/reply
+  message cost metered.
+
+The driver mirrors :func:`repro.core.runner.run_counting` phase-for-phase
+and consumes randomness in the same order, so for identical seeds the two
+engines produce **identical per-node decisions** — the cross-validation
+test in ``tests/integration/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..adversary.base import Adversary, SubphasePlan, SubphaseState
+from ..sim.engine import SynchronousEngine
+from ..sim.messages import AdjacencyClaimMessage, ColorMessage
+from ..sim.node import NodeProgram, RoundContext
+from ..sim.rng import make_rng, spawn
+from .colors import sample_colors
+from .config import CountingConfig
+from .neighborhood import find_conflicts, truthful_claims
+from .phases import color_threshold, subphase_count
+from .results import UNDECIDED, CountingResult
+
+__all__ = ["run_counting_agents", "CountingAgent", "ByzantineCountingAgent"]
+
+
+@dataclass
+class _Ledger:
+    """Provenance of color values: which are legitimate this subphase."""
+
+    legitimate: set[int] = field(default_factory=set)
+
+    def reset(self, values: np.ndarray) -> None:
+        self.legitimate = set(int(v) for v in values if v > 0)
+
+    def admit(self, value: int) -> None:
+        self.legitimate.add(int(value))
+
+    def is_legit(self, value: int) -> bool:
+        return int(value) in self.legitimate
+
+
+class CountingAgent(NodeProgram):
+    """Honest node: floods the running max, records per-round maxima."""
+
+    def __init__(self, node: int, ledger: _Ledger, verification: bool):
+        self.node = node
+        self.ledger = ledger
+        self.verification = verification
+        self.crashed = False
+        self.h_ports: list[int] = []
+        self.claim: tuple[int, ...] = ()
+        self.mode = "idle"  # idle | claim | listen | flood
+        self.cur = 0
+        self.k_last = 0
+        self.k_prev_max = 0
+        self.phase = 0
+        self.subphase = 0
+        self.received_claims: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def begin_subphase(self, color: int, phase: int, subphase: int) -> None:
+        self.cur = int(color)
+        self.k_last = 0
+        self.k_prev_max = 0
+        self.phase = phase
+        self.subphase = subphase
+
+    def on_round(self, ctx: RoundContext) -> None:
+        if self.mode == "claim":
+            for u in ctx.neighbors:
+                ctx.send(int(u), AdjacencyClaimMessage(self.claim))
+            return
+        if self.mode == "listen":
+            for sender, msg in ctx.inbox:
+                if isinstance(msg, AdjacencyClaimMessage):
+                    self.received_claims[sender] = msg.claimed_h_neighbors
+            return
+        if self.mode == "flood":
+            best = 0
+            for sender, msg in ctx.inbox:
+                if not isinstance(msg, ColorMessage):
+                    continue
+                value = msg.color
+                if self.verification and not self.ledger.is_legit(value):
+                    continue  # the (k-1)-ball witnesses refuted it
+                best = max(best, value)
+            # k_last holds only this round's receipt; the driver harvests it
+            # after every engine step and tracks the running maxima itself.
+            self.k_last = best
+            self.cur = max(self.cur, best)
+            if self.cur:
+                for u in self.h_ports:
+                    ctx.send(u, ColorMessage(self.cur, self.phase, self.subphase))
+            return
+        # idle: do nothing
+
+
+class ByzantineCountingAgent(NodeProgram):
+    """Byzantine node driven by the adversary's :class:`SubphasePlan`."""
+
+    def __init__(self, node: int):
+        self.node = node
+        self.crashed = False  # Byzantine nodes never crash
+        self.h_ports: list[int] = []
+        self.claim: tuple[int, ...] | None = ()
+        self.mode = "idle"
+        self.cur = 0
+        self.phase = 0
+        self.subphase = 0
+        self.relay = True
+        #: protocol round -> injected value (already filtered for legality).
+        self.sends_at: dict[int, int] = {}
+        self.current_t = 0
+
+    def on_round(self, ctx: RoundContext) -> None:
+        if self.mode == "claim":
+            if self.claim is not None:
+                for u in ctx.neighbors:
+                    ctx.send(int(u), AdjacencyClaimMessage(tuple(self.claim)))
+            return
+        if self.mode == "listen":
+            return
+        if self.mode == "flood":
+            for sender, msg in ctx.inbox:
+                if isinstance(msg, ColorMessage):
+                    self.cur = max(self.cur, msg.color)
+            t = self.current_t
+            inject = self.sends_at.get(t)
+            if inject is not None:
+                self.cur = max(self.cur, inject)
+            value = self.cur if self.relay else (inject or 0)
+            if value:
+                for u in self.h_ports:
+                    ctx.send(u, ColorMessage(value, self.phase, self.subphase))
+            return
+
+
+def run_counting_agents(
+    network,
+    config: CountingConfig | None = None,
+    seed: int | np.random.Generator | None = 0,
+    adversary: Adversary | None = None,
+    byz_mask: np.ndarray | None = None,
+) -> CountingResult:
+    """Message-level run; mirrors :func:`repro.core.runner.run_counting`."""
+    config = config or CountingConfig()
+    n, d, k = network.n, network.d, network.k
+    root = make_rng(seed)
+    color_rng, adv_rng = spawn(root, 2)
+    byz = (
+        np.zeros(n, dtype=bool)
+        if byz_mask is None
+        else np.asarray(byz_mask, dtype=bool).copy()
+    )
+    byz_nodes = np.flatnonzero(byz)
+    ledger = _Ledger()
+
+    programs: dict[int, NodeProgram] = {}
+    for v in range(n):
+        if byz[v]:
+            programs[v] = ByzantineCountingAgent(v)
+        else:
+            programs[v] = CountingAgent(v, ledger, config.verification and adversary is not None)
+    engine = SynchronousEngine(network, programs, seed=root)
+
+    # ------------------------------------------------------------------
+    # Pre-phase: adjacency claims + Lemma 3 reconstruction + crash rule.
+    truthful = truthful_claims(network)
+    byz_claims: dict[int, tuple[int, ...] | None] = {}
+    if adversary is not None:
+        adversary.bind(network, byz, adv_rng, config)
+        byz_claims = dict(adversary.topology_claims()) if config.verification else {}
+    for v in range(n):
+        prog = programs[v]
+        if byz[v]:
+            prog.claim = byz_claims.get(v) if config.verification else truthful[v]
+        else:
+            prog.claim = truthful[v]
+
+    if adversary is not None and config.verification:
+        for prog in programs.values():
+            prog.mode = "claim"
+        engine.step()
+        for prog in programs.values():
+            prog.mode = "listen"
+        engine.step()
+        for v in range(n):
+            if byz[v]:
+                continue
+            agent = programs[v]
+            ports = network.g_neighbors(v)
+            if find_conflicts(v, ports, dict(agent.received_claims), k, d):
+                agent.crash()
+    crashed = engine.crashed_mask() & ~byz
+
+    # All surviving nodes learn their true H-ports (Lemma 3 guarantees the
+    # reconstruction is faithful for uncrashed nodes).
+    for v in range(n):
+        programs[v].h_ports = [int(u) for u in network.h_neighbors(v)]
+
+    # ------------------------------------------------------------------
+    decided = np.full(n, UNDECIDED, dtype=np.int64)
+    honest_uncrashed = ~byz & ~crashed
+
+    for phase in range(1, config.max_phase + 1):
+        undecided = honest_uncrashed & (decided == UNDECIDED)
+        if not undecided.any():
+            break
+        n_sub = subphase_count(
+            phase, config.eps, d, config.alpha_variant, config.subphase_multiplier
+        )
+        threshold = color_threshold(phase, d)
+        flag_continue = np.zeros(n, dtype=bool)
+
+        for sub in range(1, n_sub + 1):
+            colors = np.zeros(n, dtype=np.int64)
+            count = int(undecided.sum())
+            if count:
+                colors[undecided] = sample_colors(color_rng, count)
+
+            plan: SubphasePlan | None = None
+            if adversary is not None and byz_nodes.size:
+                state = SubphaseState(
+                    phase=phase,
+                    subphase=sub,
+                    rounds=phase,
+                    k=k,
+                    network=network,
+                    byz_nodes=byz_nodes,
+                    honest_colors=colors[~byz],
+                    decided_phase=decided,
+                    crashed=crashed,
+                    rng=adv_rng,
+                )
+                plan = adversary.subphase_plan(state)
+
+            # Configure agents for the subphase.
+            initial = np.zeros(byz_nodes.shape[0], dtype=np.int64)
+            if plan is not None and plan.initial_colors is not None:
+                initial = np.asarray(plan.initial_colors, dtype=np.int64)
+            for idx, b in enumerate(byz_nodes):
+                agent = programs[int(b)]
+                agent.mode = "flood"
+                agent.phase, agent.subphase = phase, sub
+                agent.cur = int(initial[idx])
+                agent.relay = plan.relay if plan is not None else True
+                agent.sends_at = {}
+            ledger.reset(np.concatenate([colors, initial]))
+            if plan is not None:
+                for inj in plan.injections:
+                    legal = not (config.verification and inj.t > k - 1)
+                    if legal:
+                        ledger.admit(inj.value)
+                    for b in inj.nodes:
+                        agent = programs[int(b)]
+                        if legal:
+                            agent.sends_at[inj.t] = max(
+                                agent.sends_at.get(inj.t, 0), inj.value
+                            )
+
+            per_round_k: list[np.ndarray] = []
+            engine.flush_pending()  # subphase boundary: experiments are independent
+            for v in range(n):
+                if not byz[v]:
+                    agent = programs[v]
+                    agent.mode = "flood"
+                    agent.begin_subphase(int(colors[v]), phase, sub)
+
+            # Protocol round t: all nodes transmit, receipts land next
+            # engine step.  We run i+1 engine steps so that i receive
+            # rounds complete, and harvest k_t after each receive.
+            for t in range(0, phase + 1):
+                for b in byz_nodes:
+                    programs[int(b)].current_t = t + 1
+                engine.step()
+                if t >= 1:
+                    kt = np.zeros(n, dtype=np.int64)
+                    for v in range(n):
+                        if not byz[v] and not programs[v].crashed:
+                            kt[v] = programs[v].k_last
+                    per_round_k.append(kt)
+
+            k_stack = np.stack(per_round_k)  # (phase, n)
+            k_last = k_stack[-1]
+            k_prev = (
+                k_stack[:-1].max(axis=0)
+                if k_stack.shape[0] > 1
+                else np.zeros(n, dtype=np.int64)
+            )
+            np.logical_or(
+                flag_continue,
+                (k_last > k_prev) & (k_last > threshold),
+                out=flag_continue,
+            )
+
+        newly = undecided & ~flag_continue
+        decided[newly] = phase
+        if config.stop_when_all_decided and not (
+            honest_uncrashed & (decided == UNDECIDED)
+        ).any():
+            break
+
+    return CountingResult(
+        n=n,
+        d=d,
+        k=k,
+        decided_phase=decided,
+        crashed=crashed,
+        byz=byz,
+        meter=engine.meter,
+    )

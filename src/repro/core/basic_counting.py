@@ -1,0 +1,28 @@
+"""Algorithm 1 — the basic counting protocol (Section 3.1).
+
+All nodes follow the protocol honestly (the paper first analyzes this
+setting, Section 3.2): draw geometric colors each subphase, flood the
+running maximum along ``H`` edges for exactly ``i`` rounds in phase ``i``,
+and decide ``i`` when no subphase produces a last-round record above the
+sphere-size threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import CountingConfig
+from .results import CountingResult
+from .runner import run_counting
+
+__all__ = ["run_basic_counting"]
+
+
+def run_basic_counting(
+    network,
+    config: CountingConfig | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> CountingResult:
+    """Run Algorithm 1 (no Byzantine nodes, no verification machinery)."""
+    config = (config or CountingConfig()).with_(verification=False)
+    return run_counting(network, config=config, seed=seed, adversary=None)

@@ -1,0 +1,41 @@
+"""Algorithm 2 — the Byzantine counting protocol (Section 3.3).
+
+Algorithm 1 plus the two defenses:
+
+1. the pre-phase adjacency exchange with crash-on-contradiction
+   (lines 1-2; Lemma 15 / Figure 1), and
+2. per-color legitimacy verification against the ``(k-1)``-ball witnesses
+   over the ``L`` edges (line 15; Lemma 16), which confines Byzantine color
+   injections to the first ``k - 1`` rounds of every subphase.
+
+Theorem 1: with ``B(n) = O(n^{1-delta})`` randomly placed Byzantine nodes,
+all but an ``eps``-fraction of honest nodes obtain a constant-factor
+estimate of ``log n`` within ``Theta(log^3 n)`` rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adversary.base import Adversary
+from .config import CountingConfig
+from .results import CountingResult
+from .runner import run_counting
+
+__all__ = ["run_byzantine_counting"]
+
+
+def run_byzantine_counting(
+    network,
+    adversary: Adversary,
+    byz_mask: np.ndarray,
+    config: CountingConfig | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> CountingResult:
+    """Run Algorithm 2 against ``adversary`` controlling ``byz_mask`` nodes."""
+    if adversary is None:
+        raise ValueError("Algorithm 2 requires an adversary (use run_basic_counting)")
+    config = config or CountingConfig()
+    return run_counting(
+        network, config=config, seed=seed, adversary=adversary, byz_mask=byz_mask
+    )

@@ -1,0 +1,62 @@
+"""Geometric token colors (Section 3.1 and Observations 4-5).
+
+Every node flips a fair coin until heads; the number of flips is its
+*color* for the subphase.  Colors are therefore geometric(1/2) random
+variables, whose maxima concentrate at ``log2 m`` over ``m`` nodes — the
+mechanism by which the sphere ``Bd(v, i)`` announces its size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sample_colors",
+    "color_pmf",
+    "color_sf",
+    "max_color_cdf",
+    "expected_max_color",
+]
+
+
+def sample_colors(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Draw ``size`` geometric(1/2) colors (support {1, 2, ...})."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.geometric(0.5, size=size).astype(np.int64)
+
+
+def color_pmf(r: int | np.ndarray) -> float | np.ndarray:
+    """Observation 4.1: ``Pr[c = r] = 2^{-r}``."""
+    r = np.asarray(r, dtype=np.float64)
+    out = np.where(r >= 1, 0.5**r, 0.0)
+    return float(out) if out.ndim == 0 else out
+
+
+def color_sf(r: int | np.ndarray) -> float | np.ndarray:
+    """Observation 4.5: ``Pr[c > r] = 2^{-r}`` (survival function)."""
+    r = np.asarray(r, dtype=np.float64)
+    out = np.where(r >= 0, 0.5**r, 1.0)
+    return float(out) if out.ndim == 0 else out
+
+
+def max_color_cdf(r: int | np.ndarray, m: int) -> float | np.ndarray:
+    """Observation 5.3: ``Pr[max over m nodes <= r] = (1 - 2^{-r})^m``."""
+    if m < 1:
+        raise ValueError("need at least one node")
+    r = np.asarray(r, dtype=np.float64)
+    out = np.where(r >= 1, (1.0 - 0.5**r) ** m, np.where(r >= 0, 0.0, 0.0))
+    return float(out) if out.ndim == 0 else out
+
+
+def expected_max_color(m: int, tail_terms: int = 128) -> float:
+    """``E[max]`` over ``m`` i.i.d. geometric(1/2) colors (≈ log2 m + 0.5...).
+
+    Computed from ``E[X] = sum_{r>=0} Pr[X > r] = sum (1 - (1-2^{-r})^m)``.
+    """
+    if m < 1:
+        raise ValueError("need at least one node")
+    r = np.arange(tail_terms, dtype=np.float64)
+    return float(np.sum(1.0 - (1.0 - 0.5**r) ** m))

@@ -1,0 +1,72 @@
+"""Protocol configuration (:class:`CountingConfig`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CountingConfig"]
+
+
+@dataclass(frozen=True)
+class CountingConfig:
+    """Knobs for Algorithm 1 / Algorithm 2 runs.
+
+    Attributes
+    ----------
+    eps:
+        The error parameter (fraction of honest nodes allowed to decide
+        wrongly; drives the ``alpha_i`` repetition counts).
+    alpha_variant, subphase_multiplier:
+        Which of the paper's two ``alpha_i`` formulations and subphase
+        counts to use; see :mod:`repro.core.phases` and DESIGN.md §2.3.
+    max_phase:
+        Safety cap on the number of phases.  Nodes that have not decided
+        by then are reported as undecided (estimate ``-1``) — this is how
+        the no-verification ablation exhibits "the network looks
+        arbitrarily large".
+    verification:
+        Algorithm 2's small-world legitimacy checking.  When on, Byzantine
+        color injections are only accepted during the first ``k - 1``
+        rounds of a subphase (Lemma 16) and topology lies crash their
+        ``G``-neighborhood (Lemma 15); when off, Algorithm 2 degenerates
+        to Algorithm 1 run among Byzantine nodes.
+    verification_round_cost:
+        Extra communication rounds charged per flooding round for the
+        witness queries/replies (they are one query + one reply over
+        direct ``L`` edges, hence 2).
+    stop_when_all_decided:
+        End the run as soon as every honest uncrashed node has decided.
+    count_messages:
+        Maintain the :class:`~repro.sim.metrics.MessageMeter` (small cost;
+        disable for pure-speed benchmarks).
+    record_phase_trace:
+        Keep per-phase records for experiment tables.
+    """
+
+    eps: float = 0.1
+    alpha_variant: str = "appendix"
+    subphase_multiplier: str = "i"
+    max_phase: int = 48
+    verification: bool = True
+    verification_round_cost: int = 2
+    stop_when_all_decided: bool = True
+    count_messages: bool = True
+    record_phase_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.eps < 1.0:
+            raise ValueError(f"eps must be in (0, 1), got {self.eps}")
+        if self.max_phase < 1:
+            raise ValueError("max_phase must be >= 1")
+        if self.alpha_variant not in ("appendix", "pseudocode"):
+            raise ValueError(f"unknown alpha_variant {self.alpha_variant!r}")
+        if self.subphase_multiplier not in ("i", "one"):
+            raise ValueError(
+                f"unknown subphase_multiplier {self.subphase_multiplier!r}"
+            )
+        if self.verification_round_cost < 0:
+            raise ValueError("verification_round_cost must be >= 0")
+
+    def with_(self, **kwargs) -> "CountingConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,172 @@
+"""High-level public API: one-call Byzantine-tolerant size estimation.
+
+This is the entry point a downstream user of the library sees::
+
+    from repro import estimate_network_size
+
+    report = estimate_network_size(n=2048, d=8, delta=0.5,
+                                   adversary="early-stop", seed=7)
+    print(report.median_log2_estimate, report.fraction_in_band)
+
+It samples a network, places the paper's Byzantine budget, runs Algorithm 2
+and condenses the per-node results.  Power users construct the pieces
+directly (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..adversary import base as adversary_base
+from ..adversary import strategies
+from ..adversary.placement import placement_for_delta
+from ..analysis.bounds import delta_min
+from ..graphs.smallworld import SmallWorldNetwork, build_small_world
+from ..sim.rng import derive_seed
+from .byzantine_counting import run_byzantine_counting
+from .basic_counting import run_basic_counting
+from .config import CountingConfig
+from .results import CountingResult
+
+__all__ = ["EstimateReport", "estimate_network_size", "make_adversary", "ADVERSARIES"]
+
+#: Registry of named adversary strategies for the string API.
+ADVERSARIES: dict[str, type] = {
+    "honest": adversary_base.HonestAdversary,
+    "early-stop": strategies.EarlyStopAdversary,
+    "inflation": strategies.InflationAdversary,
+    "suppression": strategies.SuppressionAdversary,
+    "silent": strategies.SilentAdversary,
+    "topology-liar": strategies.TopologyLiarAdversary,
+    "combo": strategies.ComboAdversary,
+    "adaptive-record": strategies.AdaptiveRecordAdversary,
+}
+
+
+def make_adversary(name: str) -> adversary_base.Adversary:
+    """Instantiate a registered adversary strategy by name."""
+    try:
+        cls = ADVERSARIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown adversary {name!r}; choose from {sorted(ADVERSARIES)}"
+        ) from None
+    return cls()
+
+
+@dataclass(frozen=True)
+class EstimateReport:
+    """Condensed outcome of one estimation run."""
+
+    result: CountingResult
+    network: SmallWorldNetwork
+    adversary_name: str
+    byz_count: int
+    median_phase: float
+    median_log2_estimate: float
+    fraction_decided: float
+    fraction_in_band: float
+    band: tuple[float, float]
+    rounds: int
+
+    def summary(self) -> dict[str, float | str]:
+        return {
+            "n": self.network.n,
+            "d": self.network.d,
+            "adversary": self.adversary_name,
+            "byz": self.byz_count,
+            "median_phase": self.median_phase,
+            "median_log2_estimate": self.median_log2_estimate,
+            "fraction_decided": self.fraction_decided,
+            "fraction_in_band": self.fraction_in_band,
+            "rounds": self.rounds,
+        }
+
+
+def practical_band(d: int) -> tuple[float, float]:
+    """The laptop-scale constant-factor band for decided phases.
+
+    A phase-``i`` decision is a ``log n`` estimate up to the metric factor
+    ``log2(d-1)``: honest termination lands near ``ecc_H ≈ log n /
+    log2(d-1)``.  We accept a factor-4 window around that anchor:
+    ``[1/(4 log2(d-1)), 4/log2(d-1)] * log2 n``, the lab-scale stand-in
+    for the paper's ``[a log n, b log n]`` guarantee band.
+    """
+    anchor = 1.0 / np.log2(d - 1)
+    return (anchor / 4.0, anchor * 4.0)
+
+
+def estimate_network_size(
+    n: int,
+    d: int = 8,
+    *,
+    delta: float | None = None,
+    adversary: str | adversary_base.Adversary = "honest",
+    byz_mask: np.ndarray | None = None,
+    config: CountingConfig | None = None,
+    seed: int = 0,
+    network: SmallWorldNetwork | None = None,
+    band: tuple[float, float] | None = None,
+) -> EstimateReport:
+    """Sample a network, place Byzantine nodes, run the protocol, summarize.
+
+    Parameters
+    ----------
+    n, d:
+        Network size and degree (the caller knows ``n``; the nodes do not).
+    delta:
+        Byzantine budget exponent (``B(n) = n^{1-delta}``); defaults to
+        ``1.5 * 3/d`` (comfortably inside the paper's ``delta > 3/d``).
+        Ignored when ``byz_mask`` is given.
+    adversary:
+        Strategy name from :data:`ADVERSARIES` or an instance.
+    network:
+        Reuse an existing sampled network (skips generation).
+    band:
+        Override the accounting band ``(c1, c2)``; defaults to
+        :func:`practical_band`.
+    """
+    if network is None:
+        network = build_small_world(n, d, seed=derive_seed(seed, "graph"))
+    if network.n != n or network.d != d:
+        raise ValueError("provided network does not match n/d")
+    adv = make_adversary(adversary) if isinstance(adversary, str) else adversary
+    if byz_mask is None:
+        if isinstance(adversary, str) and adversary == "honest":
+            byz_mask = np.zeros(n, dtype=bool)
+        else:
+            if delta is None:
+                delta = min(1.0, 1.5 * delta_min(d))
+            byz_mask = placement_for_delta(
+                network, delta, rng=derive_seed(seed, "placement")
+            )
+    byz_mask = np.asarray(byz_mask, dtype=bool)
+    config = config or CountingConfig()
+
+    if byz_mask.any():
+        result = run_byzantine_counting(
+            network, adv, byz_mask, config=config, seed=derive_seed(seed, "run")
+        )
+    else:
+        result = run_basic_counting(
+            network, config=config, seed=derive_seed(seed, "run")
+        )
+
+    band = band or practical_band(d)
+    _, median, _ = result.decision_quantiles()
+    return EstimateReport(
+        result=result,
+        network=network,
+        adversary_name=getattr(adv, "name", str(adversary)),
+        byz_count=int(byz_mask.sum()),
+        median_phase=median,
+        median_log2_estimate=(
+            median * float(np.log2(d - 1)) if np.isfinite(median) else float("nan")
+        ),
+        fraction_decided=result.fraction_decided(),
+        fraction_in_band=result.fraction_in_band(*band),
+        band=band,
+        rounds=result.meter.rounds,
+    )

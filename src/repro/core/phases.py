@@ -1,0 +1,109 @@
+"""Phase/subphase schedule and the termination criterion (Algorithm 1/2).
+
+Phase ``i`` repeats a random experiment (a *subphase*: draw colors, flood
+for exactly ``i`` rounds) several times.  A node continues past phase ``i``
+iff in **some** subphase the highest color it received arrived strictly in
+the last round *and* exceeded the threshold ``l - log2 l`` with
+``l = log2 d + (i-1) log2(d-1)`` (the log-size of the distance-``i``
+sphere).
+
+The paper states the repetition count two ways (see DESIGN.md §2.3):
+
+* ``alpha_variant="appendix"`` (default) — Appendix B / Lemma 26:
+  ``alpha_i = ceil((log2(1/eps) + i + 1 - log2 d) / ((i-2) log2(d-1)))``;
+* ``alpha_variant="pseudocode"`` — Algorithm 1 lines 4-8.
+
+Both are clamped to ``>= 1``, and for ``i <= 2`` (where the appendix formula
+degenerates) we use ``ceil(log2(1/eps))`` repetitions.  The number of
+subphases in phase ``i`` is ``i * alpha_i`` (pseudocode line 9 and
+Lemma 12) unless ``subphase_multiplier="one"`` selects the §3.1 prose
+variant of exactly ``alpha_i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.bounds import color_threshold, ell
+
+__all__ = [
+    "alpha",
+    "alpha_appendix",
+    "alpha_pseudocode",
+    "subphase_count",
+    "continue_criterion",
+    "ell",
+    "color_threshold",
+]
+
+
+def _validate(i: int, eps: float, d: int) -> None:
+    if i < 1:
+        raise ValueError(f"phase index must be >= 1, got {i}")
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"error parameter eps must be in (0, 1), got {eps}")
+    if d < 3:
+        raise ValueError(f"need degree d >= 3, got {d}")
+
+
+def alpha_appendix(i: int, eps: float, d: int) -> int:
+    """Appendix-B repetition count, clamped to >= 1 (degenerate i use eps)."""
+    _validate(i, eps, d)
+    if i <= 2:
+        return max(1, int(np.ceil(np.log2(1.0 / eps))))
+    value = (np.log2(1.0 / eps) + i + 1 - np.log2(d)) / ((i - 2) * np.log2(d - 1))
+    return max(1, int(np.ceil(value)))
+
+
+def alpha_pseudocode(i: int, eps: float, d: int) -> int:
+    """Algorithm 1 lines 4-8, clamped to >= 1.
+
+    Line 4 branches on ``d (d-1)^{i-2} <= 2/eps`` (whether the sphere at
+    distance ``i`` is still small relative to the error budget).
+    """
+    _validate(i, eps, d)
+    if d * (d - 1.0) ** (i - 2) <= 2.0 / eps:
+        denom = np.log2(d) + (i - 2) * np.log2(d - 1)
+        if denom <= 0.25:  # i = 1 makes the denominator tiny/negative
+            return max(1, int(np.ceil(np.log2(1.0 / eps))))
+        value = (np.log2(1.0 / eps) + i + 1) / denom - 1.0
+        return max(1, int(np.ceil(value)))
+    return max(1, int(np.ceil(1.0 + (i + 1) / np.log2(1.0 / eps))))
+
+
+def alpha(i: int, eps: float, d: int, variant: str = "appendix") -> int:
+    """Dispatch on the ``alpha_variant`` config knob."""
+    if variant == "appendix":
+        return alpha_appendix(i, eps, d)
+    if variant == "pseudocode":
+        return alpha_pseudocode(i, eps, d)
+    raise ValueError(f"unknown alpha variant: {variant!r}")
+
+
+def subphase_count(
+    i: int,
+    eps: float,
+    d: int,
+    variant: str = "appendix",
+    multiplier: str = "i",
+) -> int:
+    """Number of subphases in phase ``i``: ``i * alpha_i`` or ``alpha_i``."""
+    base = alpha(i, eps, d, variant)
+    if multiplier == "i":
+        return i * base
+    if multiplier == "one":
+        return base
+    raise ValueError(f"unknown subphase multiplier: {multiplier!r}")
+
+
+def continue_criterion(
+    k_last: np.ndarray, k_prev_max: np.ndarray, i: int, d: int
+) -> np.ndarray:
+    """Algorithm 2 line 18, vectorized over nodes.
+
+    ``k_last`` is the highest color received in round ``i`` of a subphase,
+    ``k_prev_max`` the max over rounds ``t < i``.  Returns the mask of nodes
+    for which this subphase clears ``FlagTerminate`` (i.e. votes to
+    continue to phase ``i + 1``).
+    """
+    return (k_last > k_prev_max) & (k_last > color_threshold(i, d))

@@ -1,0 +1,125 @@
+"""Result containers for counting runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.metrics import MessageMeter, PhaseTrace
+
+__all__ = ["CountingResult", "UNDECIDED"]
+
+#: Sentinel phase value for nodes that never decided within ``max_phase``.
+UNDECIDED = -1
+
+
+@dataclass
+class CountingResult:
+    """Outcome of one Algorithm 1 / Algorithm 2 run.
+
+    The protocol's per-node output is the phase index at which the node
+    decided; the paper interprets that value directly as the node's
+    estimate of ``log n`` (Algorithm 2 line 23).  Because the flooding
+    metric of ``H`` contracts distances by ``log2(d-1)``, the natural
+    *calibrated* size estimate is ``(d-1)^decided_phase`` — helpers for
+    both views are provided.
+    """
+
+    n: int
+    d: int
+    k: int
+    decided_phase: np.ndarray
+    crashed: np.ndarray
+    byz: np.ndarray
+    meter: MessageMeter = field(default_factory=MessageMeter)
+    trace: PhaseTrace = field(default_factory=PhaseTrace)
+    injections_accepted: int = 0
+    injections_rejected: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def honest(self) -> np.ndarray:
+        return ~self.byz
+
+    @property
+    def honest_uncrashed(self) -> np.ndarray:
+        return self.honest & ~self.crashed
+
+    @property
+    def estimates(self) -> np.ndarray:
+        """Per-node estimate of ``log n`` (= decided phase; -1 undecided)."""
+        return self.decided_phase
+
+    def size_estimates(self) -> np.ndarray:
+        """Calibrated size estimates ``(d-1)^phase`` (0 for undecided)."""
+        est = np.zeros(self.n, dtype=np.float64)
+        mask = self.decided_phase > 0
+        est[mask] = (self.d - 1.0) ** self.decided_phase[mask]
+        return est
+
+    def log_size_estimates(self) -> np.ndarray:
+        """Calibrated ``log2`` size estimates ``phase * log2(d-1)``."""
+        est = np.full(self.n, np.nan)
+        mask = self.decided_phase > 0
+        est[mask] = self.decided_phase[mask] * np.log2(self.d - 1)
+        return est
+
+    # ------------------------------------------------------------------
+    def fraction_decided(self) -> float:
+        """Fraction of honest uncrashed nodes that decided."""
+        pool = self.honest_uncrashed
+        if not pool.any():
+            return 0.0
+        return float(np.mean(self.decided_phase[pool] != UNDECIDED))
+
+    def in_band(self, c1: float, c2: float, *, of: str = "honest") -> np.ndarray:
+        """Mask of nodes with ``c1 * log2 n <= phase <= c2 * log2 n``.
+
+        ``of`` selects the accounting population: ``"honest"`` counts all
+        honest nodes (crashed and undecided fail the band, matching
+        Definition 1's "all except B(n) + eps n honest nodes"), while
+        ``"honest_uncrashed"`` restricts to survivors.
+        """
+        log_n = np.log2(self.n)
+        ok = (self.decided_phase >= c1 * log_n) & (
+            self.decided_phase <= c2 * log_n
+        )
+        if of == "honest":
+            return ok & self.honest
+        if of == "honest_uncrashed":
+            return ok & self.honest_uncrashed
+        raise ValueError(f"unknown population {of!r}")
+
+    def fraction_in_band(self, c1: float, c2: float, *, of: str = "honest") -> float:
+        pool = self.honest if of == "honest" else self.honest_uncrashed
+        count = int(pool.sum())
+        if count == 0:
+            return 0.0
+        return float(self.in_band(c1, c2, of=of).sum()) / count
+
+    def decision_quantiles(self) -> tuple[float, float, float]:
+        """(q10, median, q90) of decided phases among honest deciders."""
+        pool = self.honest_uncrashed & (self.decided_phase != UNDECIDED)
+        if not pool.any():
+            return (np.nan, np.nan, np.nan)
+        vals = self.decided_phase[pool]
+        q10, med, q90 = np.percentile(vals, [10, 50, 90])
+        return (float(q10), float(med), float(q90))
+
+    def summary(self) -> dict[str, float]:
+        q10, med, q90 = self.decision_quantiles()
+        return {
+            "n": self.n,
+            "honest": int(self.honest.sum()),
+            "crashed": int(self.crashed.sum()),
+            "fraction_decided": self.fraction_decided(),
+            "phase_q10": q10,
+            "phase_median": med,
+            "phase_q90": q90,
+            "log2_n": float(np.log2(self.n)),
+            "rounds": self.meter.rounds,
+            "messages": self.meter.messages,
+            "injections_accepted": self.injections_accepted,
+            "injections_rejected": self.injections_rejected,
+        }

@@ -1,0 +1,21 @@
+"""Per-claim experiment suite (E01-E14); see DESIGN.md's index."""
+
+from .harness import (
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    Table,
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentResult",
+    "Table",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,23 @@
+"""Shared helpers for experiment modules (network cache, scale presets)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+from ..graphs.smallworld import SmallWorldNetwork, build_small_world
+from ..sim.rng import derive_seed
+
+__all__ = ["network", "ns_for", "DEFAULT_D"]
+
+DEFAULT_D = 8
+
+
+@lru_cache(maxsize=32)
+def network(n: int, d: int = DEFAULT_D, seed: int = 0, k: int | None = None) -> SmallWorldNetwork:
+    """Cached network sample (experiments in one process share graphs)."""
+    return build_small_world(n, d, seed=derive_seed(seed, "net", n, d, k or 0), k=k)
+
+
+def ns_for(scale: str, *, small: tuple[int, ...], full: tuple[int, ...]) -> tuple[int, ...]:
+    return small if scale == "small" else full

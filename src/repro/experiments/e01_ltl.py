@@ -1,0 +1,55 @@
+"""E01 — Lemma 1/21: almost all nodes are locally tree-like.
+
+Claim: in ``H(n, d)``, whp at least ``n - O(n^0.8)`` nodes are locally
+tree-like at radius ``r = log n / (10 log d)``.  At lab scale that radius
+floors to 1, so we measure at ``r = 1`` (and ``r = 2`` at full scale) and
+check (a) the NLT fraction shrinks as ``n`` grows, and (b) the log-log
+slope of ``|NLT|`` vs ``n`` is below 1 (sublinear, consistent with the
+``n^0.8`` envelope).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.stats import loglog_slope
+from ..graphs.classification import ltl_mask, tree_radius
+from .common import DEFAULT_D, network, ns_for
+from .harness import ExperimentResult, Table, register
+
+
+@register(
+    "E01",
+    "Locally tree-like fraction (Lemma 1 / Lemma 21)",
+    "whp at least n - O(n^0.8) nodes of H(n,d) are locally tree-like",
+)
+def run(scale: str, seed: int) -> ExperimentResult:
+    ns = ns_for(scale, small=(256, 512, 1024), full=(256, 512, 1024, 2048, 4096))
+    d = DEFAULT_D
+    radii = (1,) if scale == "small" else (1, 2)
+    result = ExperimentResult(
+        exp_id="E01",
+        title="Locally tree-like fraction",
+        claim="|NLT| = O(n^0.8) (Lemma 21)",
+    )
+    for r in radii:
+        table = Table(
+            title=f"LTL census at radius r={r} (paper radius: log n/(10 log d))",
+            columns=["n", "paper_r", "|NLT|", "NLT_frac", "bound n^0.8", "within"],
+        )
+        nlt_counts = []
+        for n in ns:
+            net = network(n, d, seed)
+            mask = ltl_mask(net.h, r)
+            nlt = int((~mask).sum())
+            nlt_counts.append(nlt)
+            bound = n**0.8
+            table.add(n, tree_radius(n, d), nlt, nlt / n, bound, nlt <= 4 * bound)
+        result.tables.append(table)
+        if r == 1:
+            fracs = [c / n for c, n in zip(nlt_counts, ns)]
+            slope, _ = loglog_slope(np.array(ns), np.array(nlt_counts))
+            result.checks["nlt_fraction_shrinks"] = fracs[-1] < fracs[0]
+            result.checks["nlt_growth_sublinear"] = slope < 1.0
+            result.notes = f"|NLT| ~ n^{slope:.2f} (paper: n^0.8)"
+    return result

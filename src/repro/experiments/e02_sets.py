@@ -1,0 +1,66 @@
+"""E02 — Lemma 2: sizes of the Definition 9 node sets.
+
+Measures every set (Byz, Honest, LTL, NLT, Safe, Unsafe, Bad, BUS,
+Byz-safe) against the lemma's bounds.  The paper's radii are asymptotic
+(``a log n < 1`` at lab scale — see DESIGN.md §2.5), so the Safe/BUS
+columns use radius 1 and the honest check is the *identity* structure
+(complements, unions) plus the scalable bounds (Byz, Honest, Bad, LTL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adversary.placement import placement_for_delta
+from ..analysis.theory import lemma2_bounds
+from ..graphs.classification import classify_nodes
+from .common import DEFAULT_D, network, ns_for
+from .harness import ExperimentResult, Table, register
+
+
+@register(
+    "E02",
+    "Node-set sizes (Lemma 2)",
+    "|Byz|=n^{1-delta}, |NLT|=O(n^0.8), |Bad|<=2n^{1-delta}, |BUS|=o(n), etc.",
+)
+def run(scale: str, seed: int) -> ExperimentResult:
+    ns = ns_for(scale, small=(1024,), full=(1024, 2048, 4096))
+    deltas = (0.45,) if scale == "small" else (0.45, 0.6)
+    d = DEFAULT_D
+    result = ExperimentResult(
+        exp_id="E02", title="Node-set sizes", claim="Lemma 2 size bounds"
+    )
+    for n in ns:
+        for delta in deltas:
+            net = network(n, d, seed)
+            byz = placement_for_delta(net, delta, rng=seed + 1)
+            sets = classify_nodes(net, byz, radius=1, safe_radius=1)
+            sizes = sets.sizes()
+            bounds = lemma2_bounds(n, d, delta)
+            table = Table(
+                title=f"n={n}, delta={delta} (radius=1 stand-in for a log n)",
+                columns=["set", "measured", "paper bound", "bound kind"],
+            )
+            table.add("Byz", sizes["Byz"], bounds["Byz"], "= n^(1-delta)")
+            table.add("Honest", sizes["Honest"], bounds["Honest"], "= n - Byz")
+            table.add("LTL", sizes["LTL"], bounds["LTL_min"], ">= (unit const)")
+            table.add("NLT", sizes["NLT"], bounds["NLT_max"], "<= O(n^0.8)")
+            table.add("Safe", sizes["Safe"], bounds["Safe_min"], ">= n - o(n)")
+            table.add("Unsafe", sizes["Unsafe"], bounds["Unsafe_max"], "<= o(n)")
+            table.add("Bad", sizes["Bad"], bounds["Bad_max"], "<= 2 n^(1-delta)")
+            table.add("BUS", sizes["BUS"], bounds["BUS_max"], "<= o(n)")
+            table.add("Byz-safe", sizes["Byz-safe"], bounds["Byz_safe_min"], ">= n - o(n)")
+            result.tables.append(table)
+            if n == ns[0] and delta == deltas[0]:
+                result.checks["byz_exact_budget"] = sizes["Byz"] == int(
+                    np.floor(bounds["Byz"])
+                )
+                result.checks["bad_within_bound"] = (
+                    sizes["Bad"] <= 2 * bounds["Byz"] + 4 * n**0.8
+                )
+                result.checks["identities_hold"] = (
+                    sizes["Byz"] + sizes["Honest"] == n
+                    and sizes["LTL"] + sizes["NLT"] == n
+                    and sizes["BUS"] + sizes["Byz-safe"] == n
+                )
+    return result

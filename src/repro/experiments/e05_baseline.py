@@ -1,0 +1,62 @@
+"""E05 — Section 1.2: the geometric-max baseline is accurate without faults.
+
+Claims measured: (a) whp ``log n / 2 <= X̄ <= 2 log n``; (b) each node
+forwards at most ``O(log n)`` distinct values; (c) the estimate stabilizes
+within ``D`` rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.geometric_max import run_geometric_max
+from ..graphs.properties import diameter
+from .common import DEFAULT_D, network, ns_for
+from .harness import ExperimentResult, Table, register
+
+
+@register(
+    "E05",
+    "Geometric-max baseline, honest setting (Section 1.2)",
+    "X̄ in [log n/2, 2 log n] whp; <= O(log n) distinct forwards; D rounds",
+)
+def run(scale: str, seed: int) -> ExperimentResult:
+    ns = ns_for(scale, small=(256, 1024), full=(256, 1024, 4096, 8192))
+    reps = 5 if scale == "small" else 10
+    d = DEFAULT_D
+    result = ExperimentResult(
+        exp_id="E05",
+        title="Geometric-max baseline (honest)",
+        claim="constant-factor estimate of log n without Byzantine nodes",
+    )
+    table = Table(
+        title=f"median over {reps} repetitions",
+        columns=["n", "log2 n", "median X̄", "in-band frac", "max distinct fw", "rounds", "diam"],
+    )
+    all_in_band = True
+    forwards_logarithmic = True
+    for n in ns:
+        net = network(n, d, seed)
+        medians, bands, fws, rounds = [], [], [], []
+        for r in range(reps):
+            res = run_geometric_max(net, seed=seed * 100 + r)
+            medians.append(res.median_estimate())
+            bands.append(res.fraction_in_band(0.5, 2.0))
+            fws.append(res.max_distinct_forwards)
+            rounds.append(res.rounds)
+        diam = diameter(net.h.indptr, net.h.indices, rng=seed)
+        table.add(
+            n,
+            float(np.log2(n)),
+            float(np.median(medians)),
+            float(np.mean(bands)),
+            int(np.max(fws)),
+            float(np.median(rounds)),
+            diam,
+        )
+        all_in_band &= np.mean(bands) >= 0.8
+        forwards_logarithmic &= np.max(fws) <= 4 * np.log2(n)
+    result.tables.append(table)
+    result.checks["estimates_in_band"] = bool(all_in_band)
+    result.checks["forwards_O_log_n"] = bool(forwards_logarithmic)
+    return result

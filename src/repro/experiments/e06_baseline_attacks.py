@@ -1,0 +1,95 @@
+"""E06 — Section 1.2: every baseline breaks under Byzantine nodes.
+
+"The geometric distribution protocol fails when even just one Byzantine
+node is present": one fake-max node inflates every estimate without bound.
+The same table covers all five baselines and both attack directions, and
+records which attacks the expander topology *does* absorb (suppression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import (
+    run_birthday,
+    run_convergecast,
+    run_exponential_support,
+    run_flooding_diameter,
+    run_geometric_max,
+)
+from .common import DEFAULT_D, network
+from .harness import ExperimentResult, Table, register
+
+
+@register(
+    "E06",
+    "Baseline failure under Byzantine nodes (Section 1.2)",
+    "one Byzantine node breaks the baselines; suppression alone is absorbed",
+)
+def run(scale: str, seed: int) -> ExperimentResult:
+    n = 1024 if scale == "small" else 4096
+    d = DEFAULT_D
+    net = network(n, d, seed)
+    one = np.zeros(n, dtype=bool)
+    one[n // 2] = True
+    # A fixed *density* (1/64) of spread-out Byzantine nodes keeps the
+    # pre-flood/birthday attack strength scale-invariant; leader excluded.
+    few = np.zeros(n, dtype=bool)
+    few[n // 128 :: n // 64] = True
+
+    result = ExperimentResult(
+        exp_id="E06",
+        title="Baseline attacks",
+        claim="baselines break under Byzantine influence; Alg. 2 is needed",
+    )
+    table = Table(
+        title=f"n={n}; 'breaks' = estimate off by >2x for the median honest node",
+        columns=["protocol", "attack", "#byz", "median estimate", "truth", "breaks"],
+    )
+
+    checks: dict[str, bool] = {}
+
+    g0 = run_geometric_max(net, seed=seed)
+    table.add("geometric-max", "none", 0, g0.median_estimate(), g0.true_log2_n, False)
+    g1 = run_geometric_max(net, seed=seed, byz_mask=one, attack="fake-max")
+    broke = g1.median_estimate() > 2 * g1.true_log2_n
+    table.add("geometric-max", "fake-max", 1, g1.median_estimate(), g1.true_log2_n, broke)
+    checks["one_byz_breaks_geometric_max"] = broke
+    g2 = run_geometric_max(net, seed=seed, byz_mask=one, attack="suppress")
+    held = 0.5 * g2.true_log2_n <= g2.median_estimate() <= 2 * g2.true_log2_n
+    table.add("geometric-max", "suppress", 1, g2.median_estimate(), g2.true_log2_n, not held)
+    checks["suppression_absorbed_by_expander"] = held
+
+    e0 = run_exponential_support(net, seed=seed, repetitions=8)
+    table.add("exp-support", "none", 0, e0.median_estimate(), n, False)
+    e1 = run_exponential_support(net, seed=seed, repetitions=8, byz_mask=one, attack="tiny")
+    broke = e1.median_estimate() > 2 * n
+    table.add("exp-support", "tiny", 1, e1.median_estimate(), n, broke)
+    checks["one_byz_breaks_exp_support"] = broke
+
+    c0 = run_convergecast(net)
+    table.add("convergecast", "none", 0, c0.count_at_root, n, not c0.exact)
+    c1 = run_convergecast(net, byz_mask=one, attack="inflate")
+    table.add("convergecast", "inflate", 1, c1.count_at_root, n, c1.relative_error() > 1)
+    checks["convergecast_exact_honest"] = c0.exact
+    checks["one_byz_breaks_convergecast"] = c1.relative_error() > 1
+
+    f0 = run_flooding_diameter(net)
+    table.add("flood-diameter", "none", 0, f0.median_estimate(), f0.true_log2_n, False)
+    f1 = run_flooding_diameter(net, byz_mask=few, attack="pre-flood")
+    broke = f1.median_estimate() < 0.75 * f0.median_estimate()
+    table.add("flood-diameter", "pre-flood", int(few.sum()), f1.median_estimate(), f1.true_log2_n, broke)
+    checks["preflood_deflates_diameter"] = broke
+
+    b0 = run_birthday(net, seed=seed)
+    b0_breaks = not (n / 2 <= b0.estimate <= 2 * n)
+    table.add("birthday", "none", 0, b0.estimate, n, b0_breaks)
+    b1 = run_birthday(net, seed=seed, byz_mask=few, attack="absorb")
+    b1_breaks = not (n / 2 <= b1.estimate <= 2 * n)
+    table.add("birthday", "absorb", int(few.sum()), b1.estimate, n, b1_breaks)
+    checks["birthday_accurate_honest"] = not b0_breaks
+    checks["byz_breaks_birthday"] = b1_breaks
+
+    result.tables.append(table)
+    result.checks.update(checks)
+    return result

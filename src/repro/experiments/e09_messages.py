@@ -1,0 +1,70 @@
+"""E09 — "small-sized messages" (Section 1.1 footnote 4, Section 2.1).
+
+A message carries a constant number of IDs and ``O(log n)`` bits.  We
+measure, per run: messages per node per round (should be ~d plus a
+constant verification overhead), the largest ID payload of any message
+(constant), and the bit-length of the largest color in flight
+(``<= log2(4 log2 n)`` bits whp, by Lemma 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adversary.placement import placement_for_delta
+from ..core.byzantine_counting import run_byzantine_counting
+from ..core.basic_counting import run_basic_counting
+from ..core.config import CountingConfig
+from ..core.estimator import make_adversary
+from ..sim.metrics import color_bits
+from ..core.colors import sample_colors
+from ..sim.rng import make_rng
+from .common import DEFAULT_D, network, ns_for
+from .harness import ExperimentResult, Table, register
+
+
+@register(
+    "E09",
+    "Message size accounting",
+    "messages carry O(1) IDs + O(log n) bits; per-node per-round load is constant",
+)
+def run(scale: str, seed: int) -> ExperimentResult:
+    ns = ns_for(scale, small=(512, 1024), full=(512, 1024, 2048, 4096))
+    d = DEFAULT_D
+    cfg = CountingConfig(max_phase=32)
+    result = ExperimentResult(
+        exp_id="E09", title="Message sizes", claim="small-sized messages only"
+    )
+    table = Table(
+        title="Communication accounting (Algorithm 1 and Algorithm 2)",
+        columns=[
+            "n",
+            "protocol",
+            "msgs/round/node",
+            "max ids/msg",
+            "max color bits (4log2n bound)",
+        ],
+    )
+    loads = []
+    for n in ns:
+        net = network(n, d, seed)
+        res1 = run_basic_counting(net, config=cfg, seed=seed)
+        load1 = res1.meter.messages / res1.meter.rounds / n
+        max_color = int(sample_colors(make_rng(seed), 4 * n).max())
+        bound_bits = int(np.ceil(np.log2(max(2, 4 * np.log2(n)))))
+        table.add(n, "Alg1", load1, res1.meter.max_message_ids, f"{color_bits(max_color)} ({bound_bits}+)")
+        byz = placement_for_delta(net, 0.5, rng=seed)
+        res2 = run_byzantine_counting(
+            net, make_adversary("early-stop"), byz, config=cfg, seed=seed
+        )
+        load2 = res2.meter.messages / res2.meter.rounds / n
+        table.add(n, "Alg2", load2, res2.meter.max_message_ids, "-")
+        loads.append((load1, load2))
+    result.tables.append(table)
+    result.checks["per_node_load_constant"] = all(
+        l1 <= 2 * d and l2 <= 8 * d for l1, l2 in loads
+    )
+    result.checks["ids_per_message_constant"] = all(
+        res.meter.max_message_ids <= d for res in (res1, res2)
+    )
+    return result

@@ -1,0 +1,66 @@
+"""E10 — Lemma 11: premature decisions are bounded by eps.
+
+Lemma 11: while ``i < a log n``, at most an eps-fraction of nodes decide.
+At lab scale ``a log n < 1``; the measurable mechanism is that the
+``alpha_i`` repetition schedule (which grows like ``log(1/eps)``) keeps
+early-phase wrong decisions below eps, and that tightening eps tightens
+the premature fraction.  We count decisions at phases
+``i <= premature_cutoff`` (half the honest median, the lab stand-in for
+``a log n``) across eps values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.basic_counting import run_basic_counting
+from ..core.config import CountingConfig
+from .common import DEFAULT_D, network
+from .harness import ExperimentResult, Table, register
+
+
+@register(
+    "E10",
+    "Premature decisions (Lemma 11)",
+    "fraction of nodes deciding before a log n is at most eps",
+)
+def run(scale: str, seed: int) -> ExperimentResult:
+    n = 1024 if scale == "small" else 4096
+    reps = 3 if scale == "small" else 6
+    d = DEFAULT_D
+    net = network(n, d, seed)
+    eps_values = (0.05, 0.1, 0.2) if scale == "small" else (0.02, 0.05, 0.1, 0.2, 0.4)
+    result = ExperimentResult(
+        exp_id="E10",
+        title="Premature decisions",
+        claim="premature fraction <= eps, monotone in eps",
+    )
+    # Establish the honest median phase once.
+    base = run_basic_counting(net, config=CountingConfig(eps=0.1), seed=seed)
+    _, med, _ = base.decision_quantiles()
+    cutoff = max(1, int(med) // 2)
+    table = Table(
+        title=f"n={n}, premature cutoff = phase <= {cutoff} (median/2); {reps} reps",
+        columns=["eps", "alpha_1", "premature frac", "<= eps", "mean phase"],
+    )
+    fracs = []
+    from ..core.phases import alpha
+
+    for eps in eps_values:
+        cfg = CountingConfig(eps=eps)
+        vals = []
+        means = []
+        for r in range(reps):
+            res = run_basic_counting(net, config=cfg, seed=seed * 50 + r)
+            decided = res.decided_phase[res.honest_uncrashed]
+            vals.append(float(np.mean((decided != -1) & (decided <= cutoff))))
+            means.append(float(decided[decided != -1].mean()))
+        frac = float(np.mean(vals))
+        fracs.append(frac)
+        table.add(eps, alpha(1, eps, d), frac, frac <= eps + 0.02, float(np.mean(means)))
+    result.tables.append(table)
+    result.checks["premature_below_eps"] = all(
+        f <= e + 0.02 for f, e in zip(fracs, eps_values)
+    )
+    result.checks["monotone_in_eps"] = fracs[0] <= fracs[-1] + 0.02
+    return result

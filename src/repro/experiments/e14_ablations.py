@@ -1,0 +1,107 @@
+"""E14 — Design-choice ablations the analysis calls out.
+
+Three sweeps:
+
+* **delta (Byzantine budget)**: more Byzantine nodes (smaller delta) push
+  more honest nodes below the band under the early-stop attack; the paper's
+  ``delta > 3/d`` regime keeps the failure fraction small.
+* **placement (open problem)**: the paper assumes random placement and
+  explicitly leaves adversarial placement open; clustered placement
+  concentrates the damage (fewer victims, each hit harder) — we record
+  both so the contrast is visible.
+* **eps (error parameter)**: smaller eps buys more subphase repetitions
+  (cost, rounds) for fewer premature decisions (accuracy) — the knob's
+  advertised trade-off (footnote 3).
+"""
+
+from __future__ import annotations
+
+
+from ..adversary.placement import clustered_placement, placement_for_delta
+from ..analysis.bounds import byzantine_budget
+from ..core.basic_counting import run_basic_counting
+from ..core.byzantine_counting import run_byzantine_counting
+from ..core.config import CountingConfig
+from ..core.estimator import make_adversary, practical_band
+from .common import DEFAULT_D, network
+from .harness import ExperimentResult, Table, register
+
+
+@register(
+    "E14",
+    "Ablations: delta, placement, eps",
+    "robustness scales with delta; random placement assumption matters; eps trades rounds for accuracy",
+)
+def run(scale: str, seed: int) -> ExperimentResult:
+    n = 1024 if scale == "small" else 2048
+    d = DEFAULT_D
+    net = network(n, d, seed)
+    band = practical_band(d)
+    cfg = CountingConfig(max_phase=32)
+    result = ExperimentResult(
+        exp_id="E14",
+        title="Design ablations",
+        claim="see module docstring",
+    )
+
+    # --- delta sweep under early-stop ---------------------------------
+    deltas = (0.4, 0.55, 0.7) if scale == "small" else (0.4, 0.5, 0.6, 0.8)
+    t1 = Table(
+        title=f"delta sweep (early-stop adversary, n={n})",
+        columns=["delta", "B(n)", "in-band frac", "phase med"],
+    )
+    fracs = []
+    for delta in deltas:
+        byz = placement_for_delta(net, delta, rng=seed + 2)
+        res = run_byzantine_counting(
+            net, make_adversary("early-stop"), byz, config=cfg, seed=seed + 4
+        )
+        frac = res.fraction_in_band(*band)
+        _, med, _ = res.decision_quantiles()
+        t1.add(delta, byzantine_budget(n, delta), frac, med)
+        fracs.append(frac)
+    result.tables.append(t1)
+    result.checks["fewer_byz_more_accuracy"] = fracs[-1] >= fracs[0] - 0.02
+
+    # --- placement ablation -------------------------------------------
+    delta = 0.5
+    budget = byzantine_budget(n, delta)
+    t2 = Table(
+        title=f"placement ablation (early-stop, delta={delta}, B(n)={budget})",
+        columns=["placement", "in-band frac", "phase q10", "phase med"],
+    )
+    stats = {}
+    for label in ("random", "clustered"):
+        if label == "random":
+            byz = placement_for_delta(net, delta, rng=seed + 6)
+        else:
+            byz = clustered_placement(net, budget, rng=seed + 6)
+        res = run_byzantine_counting(
+            net, make_adversary("early-stop"), byz, config=cfg, seed=seed + 8
+        )
+        q10, med, _ = res.decision_quantiles()
+        frac = res.fraction_in_band(*band)
+        t2.add(label, frac, q10, med)
+        stats[label] = (frac, med)
+    result.tables.append(t2)
+    # Clustering concentrates the damage: the median honest node sits
+    # farther from the Byzantine blob, so estimates recover toward honest.
+    result.checks["clustered_median_not_lower"] = (
+        stats["clustered"][1] >= stats["random"][1] - 0.01
+    )
+
+    # --- eps sweep ------------------------------------------------------
+    eps_values = (0.05, 0.2) if scale == "small" else (0.02, 0.05, 0.1, 0.2)
+    t3 = Table(
+        title=f"eps trade-off (Algorithm 1, n={n})",
+        columns=["eps", "rounds", "phase med", "phase q10"],
+    )
+    rounds_by_eps = []
+    for eps in eps_values:
+        res = run_basic_counting(net, config=cfg.with_(eps=eps), seed=seed + 10)
+        q10, med, _ = res.decision_quantiles()
+        t3.add(eps, res.meter.rounds, med, q10)
+        rounds_by_eps.append(res.meter.rounds)
+    result.tables.append(t3)
+    result.checks["smaller_eps_costs_rounds"] = rounds_by_eps[0] >= rounds_by_eps[-1]
+    return result

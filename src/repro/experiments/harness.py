@@ -1,0 +1,174 @@
+"""Experiment harness: tables, results, registry, and runners.
+
+Every paper claim is an :class:`Experiment` with a stable id (see the
+per-experiment index in DESIGN.md).  ``run(scale, seed)`` produces an
+:class:`ExperimentResult` holding one or more :class:`Table`s (the rows the
+paper "would" report) plus named boolean *shape checks* — the who-wins /
+crossover assertions that must hold even though absolute numbers live on a
+simulator rather than the authors' testbed.
+
+Scales: ``"small"`` finishes in seconds (used by tests and benches);
+``"full"`` is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "Table",
+    "ExperimentResult",
+    "Experiment",
+    "REGISTRY",
+    "register",
+    "get_experiment",
+    "run_experiment",
+    "all_experiment_ids",
+]
+
+SCALES = ("small", "full")
+
+
+@dataclass
+class Table:
+    """A printable result table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(str(cell)))
+        lines = [self.title]
+        header = " | ".join(c.ljust(widths[j]) for j, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(str(cell).ljust(widths[j]) for j, cell in enumerate(row))
+            )
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(v):
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "nan"
+        if abs(v) >= 1000 or (abs(v) < 0.01 and v != 0):
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return v
+
+
+@dataclass
+class ExperimentResult:
+    exp_id: str
+    title: str
+    claim: str
+    tables: list[Table] = field(default_factory=list)
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """All shape checks hold (vacuously true when none are defined)."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"claim: {self.claim}",
+            "",
+        ]
+        for t in self.tables:
+            lines.append(t.render())
+            lines.append("")
+        if self.checks:
+            lines.append("shape checks:")
+            for name, ok in sorted(self.checks.items()):
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    exp_id: str
+    title: str
+    claim: str
+    runner: Callable[[str, int], ExperimentResult]
+
+    def run(self, scale: str = "small", seed: int = 0) -> ExperimentResult:
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+        return self.runner(scale, seed)
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp_id: str, title: str, claim: str):
+    """Decorator registering an experiment runner under ``exp_id``."""
+
+    def deco(fn: Callable[[str, int], ExperimentResult]) -> Experiment:
+        exp = Experiment(exp_id=exp_id, title=title, claim=claim, runner=fn)
+        if exp_id in REGISTRY:
+            raise ValueError(f"duplicate experiment id {exp_id}")
+        REGISTRY[exp_id] = exp
+        return exp
+
+    return deco
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    _ensure_loaded()
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def run_experiment(exp_id: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
+    return get_experiment(exp_id).run(scale, seed)
+
+
+def all_experiment_ids() -> list[str]:
+    _ensure_loaded()
+    return sorted(REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module exactly once (they self-register)."""
+    from . import (  # noqa: F401
+        e01_ltl,
+        e02_sets,
+        e03_expander,
+        e04_chains,
+        e05_baseline,
+        e06_baseline_attacks,
+        e07_theorem1,
+        e08_rounds,
+        e09_messages,
+        e10_premature,
+        e11_core,
+        e12_figure1,
+        e13_ablation_verify,
+        e14_ablations,
+    )

@@ -1,0 +1,46 @@
+"""CLI experiment runner: ``python -m repro.experiments.run [--exp E07] ...``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import all_experiment_ids, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run",
+        description="Reproduce the paper's claims (E01-E14); see DESIGN.md.",
+    )
+    parser.add_argument(
+        "--exp",
+        action="append",
+        default=None,
+        help="experiment id (repeatable); default: all",
+    )
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    ids = args.exp or all_experiment_ids()
+    failures = []
+    for exp_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{exp_id} finished in {elapsed:.1f}s]")
+        print()
+        if not result.passed:
+            failures.append(exp_id)
+    if failures:
+        print(f"FAILED shape checks: {failures}", file=sys.stderr)
+        return 1
+    print(f"All {len(ids)} experiments passed their shape checks.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Extensions beyond the paper's core result.
+
+The paper positions Byzantine counting as "a building block for
+implementing other non-trivial distributed computation tasks … such as
+agreement and leader election where the network size is not known a
+priori" (Section 1.1), and its open problems include dynamic networks
+whose size "may even change over time" (Section 1 / [4, 3]).  This package
+delivers both directions:
+
+* :mod:`repro.extensions.agreement` — almost-everywhere binary agreement
+  whose round budget is derived from the counting protocol's per-node
+  estimates (the advertised preprocessing pipeline, end to end);
+* :mod:`repro.extensions.churn` — epoch-based dynamic networks (node churn
+  and size drift) with repeated estimation, measuring how the estimate
+  tracks the true size.
+"""
+
+from .agreement import AgreementResult, run_ae_agreement
+from .churn import ChurnReport, EpochRecord, track_size_over_epochs
+
+__all__ = [
+    "AgreementResult",
+    "run_ae_agreement",
+    "ChurnReport",
+    "EpochRecord",
+    "track_size_over_epochs",
+]

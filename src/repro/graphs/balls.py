@@ -1,0 +1,165 @@
+"""BFS ball/sphere utilities over CSR adjacency (Definitions 5 and 6).
+
+The paper's analysis constantly refers to ``B(v, r)`` (the ball of radius
+``r`` around ``v``) and ``Bd(v, r)`` (the sphere at distance exactly ``r``).
+Everything here operates on raw CSR arrays ``(indptr, indices)`` so the same
+code serves the regular multigraph ``H`` and the small-world overlay ``G``.
+
+The hot path is :func:`gather_neighbors`, a fully vectorized ragged gather
+(per the HPC guide's "vectorize the inner loop" idiom); BFS layers are then
+set operations on numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gather_neighbors",
+    "bfs_distances",
+    "ball",
+    "sphere",
+    "ball_sizes",
+    "eccentricity",
+    "distances_to_set",
+    "connected_components",
+    "largest_component_mask",
+]
+
+UNREACHED = -1
+
+
+def gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Concatenate the adjacency lists of ``nodes`` (with multiplicity)."""
+    nodes = np.asarray(nodes)
+    if nodes.size == 0:
+        return np.empty(0, dtype=indices.dtype)
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    # position j of the output maps into `indices` at
+    # starts[row(j)] + (j - first_output_index_of_row(j))
+    row_offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+    pos = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(row_offsets, counts)
+        + np.repeat(starts.astype(np.int64), counts)
+    )
+    return indices[pos]
+
+
+def bfs_distances(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    sources: int | np.ndarray,
+    max_depth: int | None = None,
+    *,
+    blocked: np.ndarray | None = None,
+) -> np.ndarray:
+    """Multi-source BFS distances; unreachable nodes get ``UNREACHED``.
+
+    ``blocked`` is an optional boolean mask of nodes that neither relay nor
+    get labelled (used e.g. to compute distances in the graph induced on
+    uncrashed nodes).  Blocked sources are ignored.
+    """
+    n = indptr.shape[0] - 1
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    frontier = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    if blocked is not None:
+        frontier = frontier[~blocked[frontier]]
+    frontier = np.unique(frontier)
+    dist[frontier] = 0
+    depth = 0
+    while frontier.size and (max_depth is None or depth < max_depth):
+        depth += 1
+        nbrs = gather_neighbors(indptr, indices, frontier)
+        nbrs = nbrs[dist[nbrs] == UNREACHED]
+        if blocked is not None and nbrs.size:
+            nbrs = nbrs[~blocked[nbrs]]
+        if nbrs.size == 0:
+            break
+        frontier = np.unique(nbrs)
+        dist[frontier] = depth
+    return dist
+
+
+def ball(
+    indptr: np.ndarray, indices: np.ndarray, v: int, r: int
+) -> np.ndarray:
+    """``B(v, r)``: sorted array of nodes within distance ``r`` of ``v``."""
+    dist = bfs_distances(indptr, indices, v, max_depth=r)
+    return np.flatnonzero(dist != UNREACHED)
+
+
+def sphere(
+    indptr: np.ndarray, indices: np.ndarray, v: int, r: int
+) -> np.ndarray:
+    """``Bd(v, r)``: sorted array of nodes at distance exactly ``r``."""
+    dist = bfs_distances(indptr, indices, v, max_depth=r)
+    return np.flatnonzero(dist == r)
+
+
+def ball_sizes(
+    indptr: np.ndarray, indices: np.ndarray, v: int, r: int
+) -> np.ndarray:
+    """Sizes ``|B(v, 0)|, |B(v, 1)|, ..., |B(v, r)|`` as an array."""
+    dist = bfs_distances(indptr, indices, v, max_depth=r)
+    reached = dist[dist != UNREACHED]
+    counts = np.bincount(reached, minlength=r + 1)
+    return np.cumsum(counts[: r + 1])
+
+
+def eccentricity(indptr: np.ndarray, indices: np.ndarray, v: int) -> int:
+    """Eccentricity of ``v``; raises if the graph is disconnected from v."""
+    dist = bfs_distances(indptr, indices, v)
+    if np.any(dist == UNREACHED):
+        raise ValueError("graph is not connected from source")
+    return int(dist.max())
+
+
+def distances_to_set(
+    indptr: np.ndarray, indices: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """``dist(v, V')`` for every v (Definition 3), via multi-source BFS."""
+    targets = np.asarray(targets)
+    n = indptr.shape[0] - 1
+    if targets.size == 0:
+        return np.full(n, UNREACHED, dtype=np.int32)
+    return bfs_distances(indptr, indices, targets)
+
+
+def connected_components(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    blocked: np.ndarray | None = None,
+) -> np.ndarray:
+    """Component label per node (-1 for blocked nodes)."""
+    n = indptr.shape[0] - 1
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    for start in range(n):
+        if labels[start] != -1 or (blocked is not None and blocked[start]):
+            continue
+        dist = bfs_distances(indptr, indices, start, blocked=blocked)
+        labels[dist != UNREACHED] = next_label
+        next_label += 1
+    return labels
+
+
+def largest_component_mask(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    blocked: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean mask of the largest connected component among unblocked nodes."""
+    labels = connected_components(indptr, indices, blocked=blocked)
+    if labels.max() < 0:
+        return np.zeros(labels.shape[0], dtype=bool)
+    counts = np.bincount(labels[labels >= 0])
+    return labels == int(np.argmax(counts))

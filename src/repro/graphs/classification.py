@@ -1,0 +1,199 @@
+"""Node classification (Definitions 7-9) and set-size accounting (Lemma 2).
+
+The analysis partitions the vertex set several ways:
+
+* **typical / atypical** (Definition 7): a node ``u`` at level ``j`` of the
+  BFS exploration around ``w`` is *typical* if it has exactly one neighbor
+  one level down and ``d - 1`` neighbors one level up.
+* **locally tree-like (LTL)** (Definition 8): ``w`` is LTL if no node in
+  ``B(w, r)`` is atypical, i.e. the induced subgraph on ``B(w, r)`` is the
+  full ``(d-1)``-ary tree.  The paper uses ``r = log n / (10 log d)``.
+* **Safe / Unsafe**: distance (in ``G``) to the nearest non-LTL node is
+  greater / not greater than ``a log n``.
+* **Bad = Byz ∪ NLT**, and **Byzantine-safe** nodes have no bad node within
+  ``a log n`` in ``G``.
+
+At laptop scale the paper's radii round down to zero (see DESIGN.md §2.5),
+so every radius is an explicit parameter with the paper's value available
+from :func:`tree_radius` and :func:`repro.analysis.bounds.a_constant`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .balls import bfs_distances, distances_to_set
+from .hgraph import HGraph
+from .smallworld import SmallWorldNetwork
+
+__all__ = [
+    "tree_radius",
+    "full_tree_ball_size",
+    "is_locally_tree_like",
+    "ltl_mask",
+    "NodeSets",
+    "classify_nodes",
+]
+
+
+def tree_radius(n: int, d: int) -> int:
+    """The paper's LTL radius ``r = log n / (10 log d)``, floored, >= 1."""
+    r = np.log2(n) / (10.0 * np.log2(d))
+    return max(1, int(r))
+
+
+def full_tree_ball_size(d: int, r: int) -> int:
+    """``|B(v, r)|`` when the ball is a full tree: ``1 + d * sum (d-1)^j``."""
+    size = 1
+    width = d
+    for _ in range(r):
+        size += width
+        width *= d - 1
+    return size
+
+
+def is_locally_tree_like(h: HGraph, v: int, r: int) -> bool:
+    """Whether ``B_H(v, r)`` induces a full ``(d-1)``-ary tree (Definition 8).
+
+    Two equivalent conditions are both checked (cheap, and each guards the
+    other against multigraph subtleties): the ball has the full tree size,
+    and the number of induced edges (with multiplicity) is ``|B| - 1``.
+    """
+    dist = bfs_distances(h.indptr, h.indices, v, max_depth=r)
+    in_ball = dist != -1
+    ball_size = int(np.count_nonzero(in_ball))
+    if ball_size != full_tree_ball_size(h.d, r):
+        return False
+    # Count induced edges with multiplicity: sum over ball nodes of
+    # neighbors inside the ball, halved.
+    nodes = np.flatnonzero(in_ball)
+    half_edges = 0
+    for u in nodes:
+        nbrs = h.neighbors(int(u))
+        half_edges += int(np.count_nonzero(in_ball[nbrs]))
+    return half_edges // 2 == ball_size - 1
+
+
+def ltl_mask(h: HGraph, r: int | None = None) -> np.ndarray:
+    """Boolean mask of locally-tree-like nodes at radius ``r``."""
+    if r is None:
+        r = tree_radius(h.n, h.d)
+    return np.array([is_locally_tree_like(h, v, r) for v in range(h.n)], dtype=bool)
+
+
+@dataclass(frozen=True)
+class NodeSets:
+    """The Definition 9 partition, as boolean masks over ``0..n-1``.
+
+    All distances in this classification are distances **in G** (the paper
+    is explicit that Definition 9 deviates from its usual ``H`` convention).
+    """
+
+    byz: np.ndarray
+    honest: np.ndarray
+    ltl: np.ndarray
+    nlt: np.ndarray
+    safe: np.ndarray
+    unsafe: np.ndarray
+    bad: np.ndarray
+    byz_safe: np.ndarray
+    bus: np.ndarray
+    radius: int
+    safe_radius: int
+
+    def sizes(self) -> dict[str, int]:
+        return {
+            "Byz": int(self.byz.sum()),
+            "Honest": int(self.honest.sum()),
+            "LTL": int(self.ltl.sum()),
+            "NLT": int(self.nlt.sum()),
+            "Safe": int(self.safe.sum()),
+            "Unsafe": int(self.unsafe.sum()),
+            "Bad": int(self.bad.sum()),
+            "BUS": int(self.bus.sum()),
+            "Byz-safe": int(self.byz_safe.sum()),
+        }
+
+    def validate(self) -> None:
+        """Check the defining identities of Definition 9."""
+        n = self.byz.shape[0]
+        checks = [
+            np.array_equal(self.honest, ~self.byz),
+            np.array_equal(self.nlt, ~self.ltl),
+            np.array_equal(self.unsafe, ~self.safe),
+            np.array_equal(self.bad, self.byz | self.nlt),
+            np.array_equal(self.bus, ~self.byz_safe),
+        ]
+        if not all(checks):
+            raise AssertionError("NodeSets masks violate Definition 9 identities")
+        for mask in (self.byz, self.ltl, self.safe, self.bad, self.byz_safe):
+            if mask.shape != (n,):
+                raise AssertionError("NodeSets masks have inconsistent shapes")
+
+
+def classify_nodes(
+    net: SmallWorldNetwork,
+    byz_mask: np.ndarray,
+    *,
+    radius: int | None = None,
+    safe_radius: int | None = None,
+) -> NodeSets:
+    """Compute the full Definition 9 partition for a network + placement.
+
+    Parameters
+    ----------
+    net:
+        The sampled small-world network.
+    byz_mask:
+        Boolean mask of Byzantine nodes.
+    radius:
+        LTL radius ``r`` (default: the paper's ``log n / (10 log d)``).
+    safe_radius:
+        The ``a log n`` radius for Safe/BUS classification (default: the
+        paper's value via :func:`repro.analysis.bounds.a_log_n`, floored,
+        minimum 1).
+    """
+    byz_mask = np.asarray(byz_mask, dtype=bool)
+    if byz_mask.shape != (net.n,):
+        raise ValueError("byz_mask must have shape (n,)")
+    if radius is None:
+        radius = tree_radius(net.n, net.d)
+    if safe_radius is None:
+        from ..analysis.bounds import a_log_n, delta_min
+
+        delta = min(1.0, delta_min(net.d) * 1.5)
+        safe_radius = max(1, int(a_log_n(net.n, delta, net.k, net.d)))
+
+    ltl = ltl_mask(net.h, radius)
+    nlt = ~ltl
+    nlt_nodes = np.flatnonzero(nlt)
+    dist_nlt = distances_to_set(net.g_indptr, net.g_indices, nlt_nodes)
+    # Unreached (-1) means "no NLT node anywhere", i.e. infinitely safe.
+    if nlt_nodes.size == 0:
+        unsafe = np.zeros(net.n, dtype=bool)
+    else:
+        unsafe = (dist_nlt != -1) & (dist_nlt <= safe_radius)
+    bad = byz_mask | nlt
+    bad_nodes = np.flatnonzero(bad)
+    if bad_nodes.size == 0:
+        bus = np.zeros(net.n, dtype=bool)
+    else:
+        dist_bad = distances_to_set(net.g_indptr, net.g_indices, bad_nodes)
+        bus = (dist_bad != -1) & (dist_bad <= safe_radius)
+    sets = NodeSets(
+        byz=byz_mask,
+        honest=~byz_mask,
+        ltl=ltl,
+        nlt=nlt,
+        safe=~unsafe,
+        unsafe=unsafe,
+        bad=bad,
+        byz_safe=~bus,
+        bus=bus,
+        radius=radius,
+        safe_radius=safe_radius,
+    )
+    sets.validate()
+    return sets

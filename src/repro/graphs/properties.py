@@ -1,0 +1,253 @@
+"""Graph property estimators (Section 2.1, Lemma 19, Observations 1-3, 7).
+
+The protocol's guarantees rest on three structural properties of the
+network, each measurable here:
+
+* **Expansion** — ``H(n, d)`` is near-Ramanujan whp (Lemma 19): the second
+  adjacency eigenvalue satisfies ``lambda_2 <= 2 sqrt(d-1) + o(1)``.  We
+  compute the spectrum with sparse Lanczos iteration and derive the Cheeger
+  lower bound ``h >= (d - lambda_2) / 2`` on edge expansion, plus a sampled
+  upper bound from explicit cuts.
+* **Clustering** — adding the ``L`` edges makes ``G`` small-world: the mean
+  local clustering coefficient of ``G`` is bounded away from 0 while ``H``'s
+  vanishes like ``d / n``.
+* **Diameter / eccentricity** — ``Theta(log n)`` for sparse expanders; used
+  by Observations 3 and 7 (``b log n >= 2 D``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.rng import make_rng
+from .balls import bfs_distances, gather_neighbors
+from .hgraph import HGraph
+from .smallworld import SmallWorldNetwork
+
+__all__ = [
+    "SpectralReport",
+    "spectral_report",
+    "ramanujan_bound",
+    "edge_expansion_sampled",
+    "cut_expansion",
+    "average_clustering",
+    "eccentricity_sample",
+    "diameter",
+    "DegreeStats",
+    "degree_stats",
+]
+
+
+def ramanujan_bound(d: int) -> float:
+    """``2 sqrt(d - 1)``: the asymptotically optimal second eigenvalue."""
+    return 2.0 * float(np.sqrt(d - 1))
+
+
+@dataclass(frozen=True)
+class SpectralReport:
+    """Adjacency spectrum summary for a regular (multi)graph."""
+
+    d: int
+    lambda1: float
+    lambda2: float
+    ramanujan: float
+    spectral_gap: float
+    cheeger_lower: float
+
+    @property
+    def is_near_ramanujan(self) -> bool:
+        """Whether ``lambda_2`` is within 10% of the Ramanujan bound."""
+        return self.lambda2 <= 1.1 * self.ramanujan
+
+
+def spectral_report(h: HGraph) -> SpectralReport:
+    """Compute ``lambda_1, lambda_2`` of the adjacency of ``H`` via Lanczos."""
+    from scipy.sparse.linalg import eigsh
+
+    mat = h.to_scipy()
+    k = min(3, h.n - 1)
+    vals = eigsh(mat.astype(np.float64), k=k, which="LA", return_eigenvectors=False)
+    vals = np.sort(vals)[::-1]
+    lam1 = float(vals[0])
+    lam2 = float(vals[1]) if vals.shape[0] > 1 else 0.0
+    gap = lam1 - lam2
+    return SpectralReport(
+        d=h.d,
+        lambda1=lam1,
+        lambda2=lam2,
+        ramanujan=ramanujan_bound(h.d),
+        spectral_gap=gap,
+        cheeger_lower=gap / 2.0,
+    )
+
+
+def cut_expansion(
+    indptr: np.ndarray, indices: np.ndarray, subset: np.ndarray
+) -> float:
+    """``|edges(S, V \\ S)| / |S|`` for a vertex subset ``S`` (with multiplicity)."""
+    subset = np.asarray(subset)
+    if subset.size == 0:
+        raise ValueError("subset must be non-empty")
+    n = indptr.shape[0] - 1
+    mask = np.zeros(n, dtype=bool)
+    mask[subset] = True
+    nbrs = gather_neighbors(indptr, indices, subset)
+    boundary = int(np.count_nonzero(~mask[nbrs]))
+    return boundary / subset.size
+
+
+def edge_expansion_sampled(
+    h: HGraph,
+    rng: int | np.random.Generator | None = 0,
+    trials: int = 64,
+) -> float:
+    """Upper bound on the edge expansion ``h(H)`` from sampled cuts.
+
+    Samples both uniformly random subsets and BFS balls (locally clustered
+    sets are the natural candidates for bad cuts) of size up to ``n/2`` and
+    returns the minimum observed ``|boundary| / |S|``.
+    """
+    rng = make_rng(rng)
+    best = float(h.d)
+    for trial in range(trials):
+        if trial % 2 == 0:
+            size = int(rng.integers(1, h.n // 2 + 1))
+            subset = rng.choice(h.n, size=size, replace=False)
+        else:
+            center = int(rng.integers(h.n))
+            radius = int(rng.integers(1, 4))
+            dist = bfs_distances(h.indptr, h.indices, center, max_depth=radius)
+            subset = np.flatnonzero(dist != -1)
+            if subset.size > h.n // 2:
+                subset = subset[: h.n // 2]
+        if subset.size == 0:
+            continue
+        best = min(best, cut_expansion(h.indptr, h.indices, subset))
+    return best
+
+
+def average_clustering(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: int | np.random.Generator | None = 0,
+    sample: int | None = 200,
+) -> float:
+    """Mean local clustering coefficient over a node sample.
+
+    Multi-edges must already be collapsed (use the ``G`` CSR, or unique
+    neighbor sets).  ``sample=None`` computes the exact mean over all nodes.
+    """
+    n = indptr.shape[0] - 1
+    if sample is None or sample >= n:
+        nodes = np.arange(n)
+    else:
+        nodes = make_rng(rng).choice(n, size=sample, replace=False)
+    neighbor_sets = {}
+
+    def nset(v: int) -> set[int]:
+        got = neighbor_sets.get(v)
+        if got is None:
+            got = set(np.unique(indices[indptr[v] : indptr[v + 1]]).tolist())
+            got.discard(v)
+            neighbor_sets[v] = got
+        return got
+
+    total = 0.0
+    for v in nodes:
+        nv = nset(int(v))
+        deg = len(nv)
+        if deg < 2:
+            continue
+        links = sum(len(nset(u) & nv) for u in nv) // 2
+        total += 2.0 * links / (deg * (deg - 1))
+    return total / nodes.shape[0]
+
+
+def eccentricity_sample(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: int | np.random.Generator | None = 0,
+    sample: int = 32,
+) -> np.ndarray:
+    """Eccentricities of a random node sample (connected graphs only)."""
+    n = indptr.shape[0] - 1
+    nodes = make_rng(rng).choice(n, size=min(sample, n), replace=False)
+    eccs = np.empty(nodes.shape[0], dtype=np.int64)
+    for i, v in enumerate(nodes):
+        dist = bfs_distances(indptr, indices, int(v))
+        if np.any(dist == -1):
+            raise ValueError("graph is disconnected; eccentricity undefined")
+        eccs[i] = dist.max()
+    return eccs
+
+
+def diameter(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    exact: bool = False,
+    rng: int | np.random.Generator | None = 0,
+    sample: int = 32,
+) -> int:
+    """Diameter (exact via all-pairs BFS, or a sampled lower bound).
+
+    The sampled variant runs a double sweep (BFS from a random node, then
+    from the farthest node found) plus eccentricities of a random sample;
+    for expanders this is almost always exact.
+    """
+    n = indptr.shape[0] - 1
+    if exact:
+        best = 0
+        for v in range(n):
+            dist = bfs_distances(indptr, indices, v)
+            if np.any(dist == -1):
+                raise ValueError("graph is disconnected; diameter undefined")
+            best = max(best, int(dist.max()))
+        return best
+    rng = make_rng(rng)
+    start = int(rng.integers(n))
+    dist = bfs_distances(indptr, indices, start)
+    if np.any(dist == -1):
+        raise ValueError("graph is disconnected; diameter undefined")
+    far = int(np.argmax(dist))
+    dist2 = bfs_distances(indptr, indices, far)
+    best = int(dist2.max())
+    eccs = eccentricity_sample(indptr, indices, rng, sample=sample)
+    return max(best, int(eccs.max()))
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    minimum: int
+    maximum: int
+    mean: float
+
+    @property
+    def is_regular(self) -> bool:
+        return self.minimum == self.maximum
+
+
+def degree_stats(indptr: np.ndarray) -> DegreeStats:
+    degs = np.diff(indptr)
+    return DegreeStats(
+        minimum=int(degs.min()), maximum=int(degs.max()), mean=float(degs.mean())
+    )
+
+
+def network_summary(net: SmallWorldNetwork) -> dict[str, float]:
+    """One-call structural summary used by examples and experiment tables."""
+    spec = spectral_report(net.h)
+    return {
+        "n": float(net.n),
+        "d": float(net.d),
+        "k": float(net.k),
+        "lambda2": spec.lambda2,
+        "ramanujan": spec.ramanujan,
+        "cheeger_lower": spec.cheeger_lower,
+        "clustering_H": average_clustering(net.h.indptr, net.h.indices, sample=200),
+        "clustering_G": average_clustering(net.g_indptr, net.g_indices, sample=200),
+        "diameter_H": float(diameter(net.h.indptr, net.h.indices)),
+        "max_g_degree": float(net.max_g_degree()),
+    }

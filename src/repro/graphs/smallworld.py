@@ -1,0 +1,180 @@
+"""The small-world network ``G = H ∪ L`` (Section 2.1).
+
+``E(L) = {(u, v) : dist_H(u, v) <= k}`` with ``k = ceil(d / 3)``.  Adding the
+``L`` edges turns the expander ``H`` into a small-world network: neighbors of
+``v`` within distance ``k/2`` in ``H`` are directly connected to each other,
+so the clustering coefficient is large while the degree stays constant
+(``|B_H(v, k)| < (d-1)^{k+1}``, Observation 2).
+
+Nodes in ``G`` do **not** know a priori which of their incident edges belong
+to ``H`` and which to ``L`` (they recover this via the Lemma 3 protocol, see
+:mod:`repro.core.neighborhood`).  The simulator, of course, does know, and
+this class exposes both views:
+
+* ``h``: the underlying :class:`~repro.graphs.hgraph.HGraph`;
+* ``g_indptr`` / ``g_indices``: CSR adjacency of the simple graph ``G``;
+* ``g_dist``: for each CSR slot, ``dist_H(v, neighbor)`` (1..k), so tests and
+  verification logic can reason about the hop structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .balls import bfs_distances, gather_neighbors
+from .hgraph import HGraph, generate_hgraph
+
+__all__ = ["SmallWorldNetwork", "build_small_world", "lattice_parameter"]
+
+
+def lattice_parameter(d: int) -> int:
+    """``k = ceil(d / 3)`` (Section 2.1)."""
+    return -(-d // 3)
+
+
+@dataclass(frozen=True)
+class SmallWorldNetwork:
+    """A sampled ``G = H ∪ L`` network instance."""
+
+    h: HGraph
+    k: int
+    g_indptr: np.ndarray = field(repr=False)
+    g_indices: np.ndarray = field(repr=False)
+    g_dist: np.ndarray = field(repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.h.n
+
+    @property
+    def d(self) -> int:
+        return self.h.d
+
+    def g_neighbors(self, v: int) -> np.ndarray:
+        """Distinct ``G``-neighbors of ``v`` (sorted)."""
+        return self.g_indices[self.g_indptr[v] : self.g_indptr[v + 1]]
+
+    def g_neighbor_dists(self, v: int) -> np.ndarray:
+        """``dist_H(v, u)`` for each entry of :meth:`g_neighbors`."""
+        return self.g_dist[self.g_indptr[v] : self.g_indptr[v + 1]]
+
+    def h_neighbors(self, v: int) -> np.ndarray:
+        """Distinct ``H``-neighbors of ``v``."""
+        return self.h.unique_neighbors(v)
+
+    def g_degree(self, v: int) -> int:
+        return int(self.g_indptr[v + 1] - self.g_indptr[v])
+
+    def is_g_edge(self, u: int, v: int) -> bool:
+        nbrs = self.g_neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.shape[0] and nbrs[pos] == v)
+
+    def is_h_edge(self, u: int, v: int) -> bool:
+        return bool(np.any(self.h.neighbors(u) == v))
+
+    def h_ball(self, v: int, r: int) -> np.ndarray:
+        dist = bfs_distances(self.h.indptr, self.h.indices, v, max_depth=r)
+        return np.flatnonzero(dist != -1)
+
+    def g_ball(self, v: int, r: int) -> np.ndarray:
+        dist = bfs_distances(self.g_indptr, self.g_indices, v, max_depth=r)
+        return np.flatnonzero(dist != -1)
+
+    def max_g_degree(self) -> int:
+        return int(np.max(np.diff(self.g_indptr)))
+
+    def to_networkx(self):
+        """The simple graph ``G`` as a :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for v in range(self.n):
+            for u in self.g_neighbors(v):
+                if u > v:
+                    g.add_edge(v, int(u))
+        return g
+
+    def validate(self) -> None:
+        """Consistency checks between ``H``, ``L`` and the stored CSR."""
+        if self.k < 1:
+            # k defaults to ceil(d/3); overrides (the E14 ablation) are
+            # allowed but must still be a positive radius.
+            raise ValueError("lattice radius k must be >= 1")
+        if self.g_indptr[-1] != self.g_indices.shape[0]:
+            raise ValueError("G CSR indptr/indices mismatch")
+        # Symmetry and distance-tagging spot checks on a node sample.
+        sample = np.linspace(0, self.n - 1, num=min(self.n, 16), dtype=np.int64)
+        for v in sample:
+            nbrs = self.g_neighbors(int(v))
+            dists = self.g_neighbor_dists(int(v))
+            if np.any(nbrs == v):
+                raise ValueError("self-loop in G adjacency")
+            if np.any((dists < 1) | (dists > self.k)):
+                raise ValueError("G neighbor distance outside [1, k]")
+            for u in nbrs:
+                if not self.is_g_edge(int(u), int(v)):
+                    raise ValueError("G adjacency is not symmetric")
+
+
+def build_small_world(
+    n: int,
+    d: int,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    h: HGraph | None = None,
+    k: int | None = None,
+) -> SmallWorldNetwork:
+    """Sample ``H(n, d)`` (unless given) and add the ``L`` edges.
+
+    ``k`` defaults to ``ceil(d/3)``; overriding it is used by the E14
+    ablation (robustness as a function of the lattice radius).
+    """
+    if h is None:
+        h = generate_hgraph(n, d, seed)
+    if k is None:
+        k = lattice_parameter(h.d)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+    # BFS from every node to depth k collects B_H(v, k) \ {v}; those are
+    # exactly v's G-neighbors.  Balls are tiny (< (d-1)^(k+1)), so we gather
+    # per node but keep the per-node work vectorized.
+    nbr_chunks: list[np.ndarray] = []
+    dist_chunks: list[np.ndarray] = []
+    counts = np.empty(h.n, dtype=np.int64)
+    for v in range(h.n):
+        dist = _local_ball_distances(h, v, k)
+        nodes = np.array(sorted(dist.keys()), dtype=np.int64)
+        nodes = nodes[nodes != v]
+        counts[v] = nodes.shape[0]
+        nbr_chunks.append(nodes)
+        dist_chunks.append(np.array([dist[int(u)] for u in nodes], dtype=np.int8))
+    g_indptr = np.zeros(h.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=g_indptr[1:])
+    g_indices = np.concatenate(nbr_chunks) if nbr_chunks else np.empty(0, np.int64)
+    g_dist = np.concatenate(dist_chunks) if dist_chunks else np.empty(0, np.int8)
+    net = SmallWorldNetwork(
+        h=h, k=k, g_indptr=g_indptr, g_indices=g_indices, g_dist=g_dist
+    )
+    net.validate()
+    return net
+
+
+def _local_ball_distances(h: HGraph, v: int, k: int) -> dict[int, int]:
+    """Exact ``dist_H`` for every node in ``B_H(v, k)`` via local BFS."""
+    dist: dict[int, int] = {v: 0}
+    frontier = np.array([v], dtype=np.int64)
+    for depth in range(1, k + 1):
+        nbrs = gather_neighbors(h.indptr, h.indices, frontier)
+        fresh = [int(u) for u in np.unique(nbrs) if int(u) not in dist]
+        if not fresh:
+            break
+        for u in fresh:
+            dist[u] = depth
+        frontier = np.array(fresh, dtype=np.int64)
+    return dist

@@ -1,0 +1,111 @@
+"""Message types for the agent-based engine.
+
+Every message the protocols exchange is a frozen dataclass; the engine
+delivers them synchronously (sent in round ``r`` → received at start of
+round ``r + 1``, per the Section 2.1 model).  Payload sizes are metered via
+:meth:`Message.id_count` / :meth:`Message.bit_count` so the agent engine
+produces the same accounting as the vectorized one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import color_bits
+
+__all__ = [
+    "Message",
+    "ColorMessage",
+    "AdjacencyClaimMessage",
+    "VerifyQueryMessage",
+    "VerifyReplyMessage",
+    "TokenMessage",
+    "ValueMessage",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; subclasses define their payload accounting."""
+
+    def id_count(self) -> int:
+        return 0
+
+    def bit_count(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class ColorMessage(Message):
+    """A flooded color (Algorithm 1/2 line 12/13)."""
+
+    color: int
+    phase: int
+    subphase: int
+
+    def bit_count(self) -> int:
+        return int(color_bits(self.color)) + 16  # color + phase/subphase tags
+
+
+@dataclass(frozen=True)
+class AdjacencyClaimMessage(Message):
+    """A node's claimed H-adjacency list (Algorithm 2 line 1)."""
+
+    claimed_h_neighbors: tuple[int, ...]
+
+    def id_count(self) -> int:
+        return len(self.claimed_h_neighbors)
+
+
+@dataclass(frozen=True)
+class VerifyQueryMessage(Message):
+    """'Did you legitimately relay color c toward w?' (Algorithm 2 line 15)."""
+
+    color: int
+    relay: int
+    phase: int
+    subphase: int
+    round: int
+
+    def id_count(self) -> int:
+        return 1
+
+    def bit_count(self) -> int:
+        return int(color_bits(self.color)) + 24
+
+
+@dataclass(frozen=True)
+class VerifyReplyMessage(Message):
+    """Witness response to a :class:`VerifyQueryMessage`."""
+
+    color: int
+    relay: int
+    legitimate: bool
+
+    def id_count(self) -> int:
+        return 1
+
+    def bit_count(self) -> int:
+        return int(color_bits(self.color)) + 1
+
+
+@dataclass(frozen=True)
+class TokenMessage(Message):
+    """An opaque flooded token (baselines: leader flooding, random walks)."""
+
+    token: int
+    hops: int = 0
+
+    def bit_count(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class ValueMessage(Message):
+    """A generic numeric payload (baselines: support estimation, counts)."""
+
+    value: float
+    tag: str = ""
+
+    def bit_count(self) -> int:
+        return 64

@@ -1,0 +1,110 @@
+"""Round / message / payload accounting ("small-sized messages", §1.1 fn. 4).
+
+The paper's efficiency claims are threefold: ``O(log^3 n)`` rounds,
+messages of constant ID count plus ``O(log n)`` bits, and logarithmic
+per-round local computation.  :class:`MessageMeter` accumulates exactly
+those quantities; :class:`PhaseTrace` records the per-phase protocol
+timeline for the experiment tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MessageMeter", "PhaseRecord", "PhaseTrace", "color_bits"]
+
+
+def color_bits(value: int | np.ndarray) -> int | np.ndarray:
+    """Bits needed to encode a geometric color (unary-free binary encoding)."""
+    v = np.maximum(np.asarray(value), 1)
+    bits = np.floor(np.log2(v)).astype(np.int64) + 1
+    if np.isscalar(value) or np.asarray(value).ndim == 0:
+        return int(bits)
+    return bits
+
+
+@dataclass
+class MessageMeter:
+    """Additive counters for communication cost."""
+
+    rounds: int = 0
+    messages: int = 0
+    id_payload: int = 0
+    bit_payload: int = 0
+    max_message_ids: int = 0
+    max_message_bits: int = 0
+
+    def add_round(self, count: int = 1) -> None:
+        self.rounds += count
+
+    def add_messages(self, count: int, ids_each: int = 0, bits_each: int = 0) -> None:
+        if count < 0:
+            raise ValueError("message count cannot be negative")
+        self.messages += count
+        self.id_payload += count * ids_each
+        self.bit_payload += count * bits_each
+        if count:
+            self.max_message_ids = max(self.max_message_ids, ids_each)
+            self.max_message_bits = max(self.max_message_bits, bits_each)
+
+    def merge(self, other: "MessageMeter") -> None:
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.id_payload += other.id_payload
+        self.bit_payload += other.bit_payload
+        self.max_message_ids = max(self.max_message_ids, other.max_message_ids)
+        self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
+
+    def messages_per_round(self) -> float:
+        return self.messages / self.rounds if self.rounds else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "id_payload": self.id_payload,
+            "bit_payload": self.bit_payload,
+            "max_message_ids": self.max_message_ids,
+            "max_message_bits": self.max_message_bits,
+            "messages_per_round": self.messages_per_round(),
+        }
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One phase of a counting run, as observed by the engine."""
+
+    phase: int
+    subphases: int
+    flooding_rounds: int
+    newly_decided: int
+    active_before: int
+    injections_accepted: int = 0
+    injections_rejected: int = 0
+
+
+@dataclass
+class PhaseTrace:
+    """Chronological list of :class:`PhaseRecord`."""
+
+    records: list[PhaseRecord] = field(default_factory=list)
+
+    def append(self, record: PhaseRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def last_phase(self) -> int:
+        return self.records[-1].phase if self.records else 0
+
+    def total_flooding_rounds(self) -> int:
+        return sum(r.flooding_rounds for r in self.records)
+
+    def decisions_by_phase(self) -> dict[int, int]:
+        return {r.phase: r.newly_decided for r in self.records}

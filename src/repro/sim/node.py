@@ -1,0 +1,72 @@
+"""Node programs and the per-round execution context for the agent engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+__all__ = ["Inbox", "RoundContext", "NodeProgram"]
+
+
+#: An inbox is a list of (sender, message) pairs delivered this round.
+Inbox = list[tuple[int, Message]]
+
+
+@dataclass
+class RoundContext:
+    """Everything a node may legitimately see in one synchronous round.
+
+    ``neighbors`` is the node's **G**-adjacency (its physical ports); the
+    protocol model forbids sending to anyone else, which :meth:`send`
+    enforces.  ``rng`` is the node's private random stream.
+    """
+
+    node: int
+    round: int
+    neighbors: "np.ndarray"
+    inbox: Inbox
+    rng: "np.random.Generator"
+    _outbox: list[tuple[int, Message]] = field(default_factory=list)
+
+    def send(self, dest: int, message: Message) -> None:
+        """Queue ``message`` for delivery to neighbor ``dest`` next round."""
+        if dest == self.node:
+            raise ValueError("a node cannot send to itself")
+        # Membership check against the physical ports.
+        if not any(int(u) == dest for u in self.neighbors):
+            raise ValueError(
+                f"node {self.node} tried to send to non-neighbor {dest}"
+            )
+        self._outbox.append((dest, message))
+
+    def broadcast(self, message: Message) -> None:
+        """Send ``message`` to every G-neighbor."""
+        for u in self.neighbors:
+            self._outbox.append((int(u), message))
+
+    def drain_outbox(self) -> list[tuple[int, Message]]:
+        out, self._outbox = self._outbox, []
+        return out
+
+
+class NodeProgram:
+    """Base class for per-node protocol logic.
+
+    Subclasses override :meth:`on_round`; honest programs only use the
+    context (Byzantine programs in :mod:`repro.adversary` are constructed
+    with an engine back-reference, modelling the full-information model).
+    """
+
+    def on_round(self, ctx: RoundContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    #: Whether the node has crashed (stops sending and processing).
+    crashed: bool = False
+
+    def crash(self) -> None:
+        self.crashed = True

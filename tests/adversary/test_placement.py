@@ -1,0 +1,57 @@
+"""Unit tests for Byzantine placement."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import clustered_placement, placement_for_delta, random_placement
+from repro.analysis.bounds import byzantine_budget
+from repro.graphs.balls import bfs_distances
+
+
+class TestRandomPlacement:
+    def test_exact_count(self):
+        mask = random_placement(100, 13, rng=0)
+        assert mask.sum() == 13
+
+    def test_zero(self):
+        assert random_placement(100, 0, rng=0).sum() == 0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            random_placement(10, 11, rng=0)
+        with pytest.raises(ValueError):
+            random_placement(10, -1, rng=0)
+
+    def test_deterministic(self):
+        a = random_placement(100, 10, rng=4)
+        b = random_placement(100, 10, rng=4)
+        assert np.array_equal(a, b)
+
+
+class TestClusteredPlacement:
+    def test_forms_connected_blob(self, net_small):
+        mask = clustered_placement(net_small, 20, rng=1)
+        assert mask.sum() == 20
+        nodes = np.flatnonzero(mask)
+        # All chosen nodes lie within a small ball of the closest-to-center
+        # node: check pairwise H-distance from the first node is small.
+        dist = bfs_distances(net_small.h.indptr, net_small.h.indices, int(nodes[0]))
+        assert dist[nodes].max() <= 2 * net_small.k
+
+    def test_count_validated(self, net_small):
+        with pytest.raises(ValueError):
+            clustered_placement(net_small, net_small.n + 1, rng=0)
+
+
+class TestPlacementForDelta:
+    def test_budget(self, net_small):
+        mask = placement_for_delta(net_small, 0.5, rng=0)
+        assert mask.sum() == byzantine_budget(net_small.n, 0.5)
+
+    def test_clustered_flag(self, net_small):
+        mask = placement_for_delta(net_small, 0.5, rng=0, clustered=True)
+        assert mask.sum() == byzantine_budget(net_small.n, 0.5)
+
+    def test_delta_one_no_byzantine(self, net_small):
+        mask = placement_for_delta(net_small, 1.0, rng=0)
+        assert mask.sum() == 1  # n^0 = 1

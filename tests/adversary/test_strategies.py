@@ -1,0 +1,126 @@
+"""Unit tests for adversary strategies and plan construction."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdaptiveRecordAdversary,
+    Adversary,
+    ComboAdversary,
+    EarlyStopAdversary,
+    HonestAdversary,
+    Injection,
+    InflationAdversary,
+    SilentAdversary,
+    SubphaseState,
+    SuppressionAdversary,
+    TopologyLiarAdversary,
+)
+from repro.core import CountingConfig
+from repro.sim.rng import make_rng
+
+
+@pytest.fixture()
+def state(net_small, byz_mask_small):
+    return SubphaseState(
+        phase=4,
+        subphase=1,
+        rounds=4,
+        k=net_small.k,
+        network=net_small,
+        byz_nodes=np.flatnonzero(byz_mask_small),
+        honest_colors=np.array([1, 2, 3, 7], dtype=np.int64),
+        decided_phase=np.full(net_small.n, -1, dtype=np.int64),
+        crashed=np.zeros(net_small.n, dtype=bool),
+        rng=make_rng(0),
+    )
+
+
+def bind(adv, net_small, byz_mask_small):
+    adv.bind(net_small, byz_mask_small, make_rng(1), CountingConfig())
+    return adv
+
+
+class TestInjectionValidation:
+    def test_round_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Injection(t=0, nodes=np.array([1]), value=5)
+
+    def test_value_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Injection(t=1, nodes=np.array([1]), value=0)
+
+
+class TestPlans:
+    def test_honest_plan_draws_colors(self, state, net_small, byz_mask_small):
+        adv = bind(HonestAdversary(), net_small, byz_mask_small)
+        plan = adv.subphase_plan(state)
+        assert plan.relay
+        assert plan.injections == []
+        assert plan.initial_colors.shape == (3,)
+        assert np.all(plan.initial_colors >= 1)
+
+    def test_early_stop_huge_colors(self, state, net_small, byz_mask_small):
+        adv = bind(EarlyStopAdversary(value=999), net_small, byz_mask_small)
+        plan = adv.subphase_plan(state)
+        assert np.all(plan.initial_colors == 999)
+        assert plan.relay
+
+    def test_inflation_escalates_per_round(self, state, net_small, byz_mask_small):
+        adv = bind(InflationAdversary(), net_small, byz_mask_small)
+        plan = adv.subphase_plan(state)
+        assert len(plan.injections) == state.rounds
+        values = [inj.value for inj in plan.injections]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)  # strictly increasing
+
+    def test_suppression_silent(self, state, net_small, byz_mask_small):
+        adv = bind(SuppressionAdversary(), net_small, byz_mask_small)
+        plan = adv.subphase_plan(state)
+        assert not plan.relay
+        assert plan.initial_colors is None
+
+    def test_silent_no_claims(self, net_small, byz_mask_small):
+        adv = bind(SilentAdversary(), net_small, byz_mask_small)
+        assert adv.topology_claims() == {}
+
+    def test_combo_splits_budget(self, state, net_small, byz_mask_small):
+        adv = bind(ComboAdversary(early_fraction=0.5), net_small, byz_mask_small)
+        plan = adv.subphase_plan(state)
+        early_count = int(np.count_nonzero(plan.initial_colors))
+        late_count = sum(inj.nodes.size for inj in plan.injections)
+        assert early_count + late_count == 3
+
+    def test_combo_fraction_validated(self):
+        with pytest.raises(ValueError):
+            ComboAdversary(early_fraction=1.5)
+
+    def test_adaptive_uses_global_max(self, state, net_small, byz_mask_small):
+        adv = bind(AdaptiveRecordAdversary(), net_small, byz_mask_small)
+        plan = adv.subphase_plan(state)
+        assert plan.injections[0].value == 8  # max honest color 7 + 1
+
+
+class TestTopologyClaims:
+    def test_default_truthful(self, net_small, byz_mask_small):
+        adv = bind(Adversary(), net_small, byz_mask_small)
+        claims = adv.topology_claims()
+        for b, claim in claims.items():
+            real = tuple(sorted(int(u) for u in net_small.h.neighbors(b)))
+            assert claim == real
+
+    def test_liar_inserts_phantom(self, net_small, byz_mask_small):
+        adv = bind(TopologyLiarAdversary(), net_small, byz_mask_small)
+        claims = adv.topology_claims()
+        for b, claim in claims.items():
+            assert len(claim) == net_small.d
+            assert max(claim) >= net_small.n  # the phantom ID
+
+    def test_liar_inner_strategy(self, state, net_small, byz_mask_small):
+        adv = bind(
+            TopologyLiarAdversary(inner=EarlyStopAdversary(value=50)),
+            net_small,
+            byz_mask_small,
+        )
+        plan = adv.subphase_plan(state)
+        assert np.all(plan.initial_colors == 50)

@@ -1,0 +1,182 @@
+"""Monte-Carlo reproduction of the Appendix-B probability machinery.
+
+Each test validates one inequality of the Lemma 9 proof chain against
+either an exact geometric-tail computation or simulation — the proof's
+arithmetic, reproduced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.appendix_b import (
+    alpha_needed_for_lemma26,
+    early_record_threshold,
+    exact_early_record_probability,
+    exact_low_last_round_probability,
+    last_round_threshold,
+    lemma22_bound,
+    lemma23_bound,
+    lemma25_failure_bound,
+    lemma26_phase_failure_bound,
+    punctured_ball_size,
+    sphere_size,
+)
+from repro.core.colors import sample_colors
+from repro.core.phases import alpha_appendix
+from repro.sim.rng import make_rng
+
+D = 8
+
+
+class TestTreeSizes:
+    @pytest.mark.parametrize("r,expected", [(1, 8), (2, 8 + 56), (3, 8 + 56 + 392)])
+    def test_punctured_ball(self, r, expected):
+        assert punctured_ball_size(D, r) == expected
+
+    @pytest.mark.parametrize("r,expected", [(1, 8), (2, 56), (3, 392)])
+    def test_sphere(self, r, expected):
+        assert sphere_size(D, r) == expected
+
+    def test_ball_is_sum_of_spheres(self):
+        for r in range(1, 6):
+            assert punctured_ball_size(D, r) == sum(
+                sphere_size(D, j) for j in range(1, r + 1)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            punctured_ball_size(2, 1)
+        with pytest.raises(ValueError):
+            sphere_size(D, 0)
+
+
+class TestLemma22:
+    """Early-record events are rare: exact probability tracks the bound.
+
+    Colors are integers, so the threshold is floored and the exact tail
+    can exceed the paper's continuous-threshold bound by up to a factor 2
+    (reproduction finding #1 in ``appendix_b``); the rate is identical.
+    """
+
+    @pytest.mark.parametrize("i", [2, 3, 4, 5, 6])
+    def test_exact_within_discretization_slack(self, i):
+        assert exact_early_record_probability(i, D) <= 2 * lemma22_bound(i, D)
+
+    @pytest.mark.parametrize("i", [3, 4])
+    def test_monte_carlo_matches_exact(self, i):
+        rng = make_rng(5)
+        m = punctured_ball_size(D, i - 1)
+        thr = early_record_threshold(i, D)
+        trials = 4000
+        hits = sum(
+            int(sample_colors(rng, m).max() > thr) for _ in range(trials)
+        )
+        exact = exact_early_record_probability(i, D)
+        assert hits / trials == pytest.approx(exact, abs=4 * np.sqrt(exact / trials) + 0.01)
+
+    def test_bound_shrinks_geometrically(self):
+        values = [lemma22_bound(i, D) for i in range(2, 10)]
+        ratios = [a / b for a, b in zip(values[1:], values)]
+        for r in ratios:
+            assert r == pytest.approx(1.0 / (D - 1))
+
+
+class TestLemma23:
+    """Low last-round maxima are rare (given full sphere activity)."""
+
+    @pytest.mark.parametrize("i", [2, 3, 4, 5])
+    def test_exact_below_lemma8_term(self, i):
+        # The distributional part of Lemma 23 (eps/2 excluded) is Lemma 8's
+        # 1/|Bd| bound, up to the integer floor of the threshold.
+        exact = exact_low_last_round_probability(i, D)
+        assert exact <= 4.0 / sphere_size(D, i)
+
+    @pytest.mark.parametrize("i", [2, 3])
+    def test_monte_carlo_matches_exact(self, i):
+        rng = make_rng(7)
+        m = sphere_size(D, i)
+        thr = last_round_threshold(i, D)
+        trials = 4000
+        hits = sum(
+            int(sample_colors(rng, m).max() <= thr) for _ in range(trials)
+        )
+        exact = exact_low_last_round_probability(i, D)
+        assert hits / trials == pytest.approx(exact, abs=4 * np.sqrt(max(exact, 0.001) / trials) + 0.01)
+
+    def test_total_bound_structure(self):
+        b = lemma23_bound(3, D, 0.1)
+        assert b == pytest.approx(0.05 + 1.0 / (D * (D - 1) ** 2))
+
+
+class TestFailureChain:
+    @pytest.mark.parametrize("i", [3, 4, 6, 8])
+    @pytest.mark.parametrize("eps", [0.05, 0.1, 0.2])
+    def test_lemma25_combines_22_and_23(self, i, eps):
+        # Pr[Failure(i,j)] <= Pr[E1] + Pr[E2] (union bound inside Lemma 24).
+        assert lemma25_failure_bound(i, D, eps) >= (
+            lemma22_bound(i, D) + lemma23_bound(i, D, eps) - eps / 2
+        ) - 1e-12
+
+    @pytest.mark.parametrize("i", range(3, 14))
+    @pytest.mark.parametrize("eps", [0.05, 0.1, 0.3])
+    def test_alpha_appendix_satisfies_lemma26(self, i, eps):
+        """The implemented schedule drives Pr[Failure(i)] below eps/2^{i+1}."""
+        alpha = alpha_appendix(i, eps, D)
+        needed = alpha_needed_for_lemma26(i, D, eps)
+        assert alpha >= needed
+        bound = lemma26_phase_failure_bound(i, D, eps, alpha)
+        assert bound <= eps / 2.0 ** (i + 1) + 1e-12
+
+    def test_phase_failure_sums_below_eps(self):
+        """The Lemma 11 union step: sum_i eps/2^{i+1} < eps."""
+        eps = 0.1
+        total = sum(
+            lemma26_phase_failure_bound(i, D, eps, alpha_appendix(i, eps, D))
+            for i in range(3, 40)
+        )
+        assert total < eps
+
+
+class TestEndToEndLemma9:
+    """Reproduction finding #2: the true per-subphase failure probability
+    is a constant (~1/(d-2) + threshold effects), *above* the Lemma 25
+    expression — yet the Lemma 9 conclusion survives via the i*alpha_i
+    subphase repetitions.  Both facts are asserted."""
+
+    def test_monte_carlo_matches_exact_subphase_failure(self):
+        from repro.analysis.appendix_b import exact_subphase_failure_probability
+
+        i, trials = 3, 3000
+        rng = make_rng(11)
+        thr = last_round_threshold(i, D)
+        failures = 0
+        for _ in range(trials):
+            inner = sample_colors(rng, punctured_ball_size(D, i - 1))
+            outer = sample_colors(rng, sphere_size(D, i))
+            success = (outer.max() > inner.max()) and (outer.max() > thr)
+            failures += not success
+        exact = exact_subphase_failure_probability(i, D)
+        assert failures / trials == pytest.approx(exact, abs=0.03)
+
+    def test_lemma25_constant_is_optimistic(self):
+        """Documents the finding: exact failure > the paper's expression."""
+        from repro.analysis.appendix_b import exact_subphase_failure_probability
+
+        for i in (3, 4, 5):
+            assert exact_subphase_failure_probability(i, D) > lemma25_failure_bound(
+                i, D, 0.1
+            )
+
+    def test_lemma9_conclusion_survives_with_measured_constant(self):
+        """p_measured^(i*alpha_i) <= eps/2^{i+1} for all relevant phases."""
+        from repro.analysis.appendix_b import (
+            exact_subphase_failure_probability,
+            phase_failure_from_subphase,
+        )
+
+        eps = 0.1
+        for i in range(3, 12):
+            p = exact_subphase_failure_probability(i, D)
+            alpha = alpha_appendix(i, eps, D)
+            phase_fail = phase_failure_from_subphase(p, i, alpha)
+            assert phase_fail <= eps / 2.0 ** (i + 1), (i, p, alpha, phase_fail)

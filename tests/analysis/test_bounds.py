@@ -1,0 +1,104 @@
+"""Unit tests for the paper's constants and probability bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bounds
+
+
+class TestConstants:
+    @pytest.mark.parametrize("d,k", [(8, 3), (9, 3), (10, 4)])
+    def test_k_of_d(self, d, k):
+        assert bounds.k_of_d(d) == k
+
+    def test_delta_min(self):
+        assert bounds.delta_min(8) == pytest.approx(0.375)
+
+    def test_byzantine_budget(self):
+        assert bounds.byzantine_budget(1024, 0.5) == 32
+        assert bounds.byzantine_budget(1024, 1.0) == 1
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            bounds.byzantine_budget(1024, 0.0)
+
+    def test_a_constant_formula(self):
+        # a = delta / (10 k log2(d-1)).
+        a = bounds.a_constant(0.6, 3, 8)
+        assert a == pytest.approx(0.6 / (30 * np.log2(7)))
+
+    def test_b_constant_formula(self):
+        b = bounds.b_constant(1.0, 8)
+        assert b == pytest.approx(4 / np.log2(1 + 1 / 8))
+
+    def test_approximation_factor_identity(self):
+        # b/a = 40 k log2(d-1) / (delta log2(1 + gamma/d)) (Section 3.4.2).
+        got = bounds.approximation_factor(0.5, 3, 8, 1.0)
+        expected = 40 * 3 * np.log2(7) / (0.5 * np.log2(1.125))
+        assert got == pytest.approx(expected)
+
+    def test_a_below_b(self):
+        a = bounds.a_constant(0.5, 3, 8)
+        b = bounds.b_constant(1.0, 8)
+        assert a < b
+
+    def test_gamma_must_be_positive(self):
+        with pytest.raises(ValueError):
+            bounds.b_constant(0.0, 8)
+
+
+class TestTailBounds:
+    def test_upper_tail(self):
+        assert bounds.max_color_upper_tail(64) == pytest.approx(1 / 64)
+
+    def test_lower_tail(self):
+        assert bounds.max_color_lower_tail(64) == pytest.approx(1 / 64)
+
+    def test_tails_validated(self):
+        with pytest.raises(ValueError):
+            bounds.max_color_upper_tail(0)
+        with pytest.raises(ValueError):
+            bounds.max_color_lower_tail(1)
+
+    def test_wrong_decision_halves_per_phase(self):
+        # Lemma 9: eps / 2^{i+1}.
+        assert bounds.wrong_decision_bound(3, 0.1) == pytest.approx(0.1 / 16)
+        assert bounds.wrong_decision_bound(4, 0.1) == pytest.approx(
+            bounds.wrong_decision_bound(3, 0.1) / 2
+        )
+
+    def test_azuma_decreases_with_n(self):
+        small = bounds.azuma_phase_bound(256, 1, 0.1, 8)
+        large = bounds.azuma_phase_bound(4096, 1, 0.1, 8)
+        assert large <= small
+
+    def test_chain_bound_formula(self):
+        # n d^{k-1} n^{-k delta}.
+        got = bounds.chain_probability_bound(1024, 8, 3, 0.5)
+        assert got == pytest.approx(1024 * 64 * 1024 ** (-1.5))
+
+    def test_chain_bound_shrinks_with_n(self):
+        a = bounds.chain_probability_bound(512, 8, 3, 0.5)
+        b = bounds.chain_probability_bound(4096, 8, 3, 0.5)
+        assert b < a
+
+
+class TestBallAndRounds:
+    def test_ball_size_bound(self):
+        # Observation 2: (d-1)^{k tau + 1}.
+        assert bounds.ball_size_bound(8, 3, 1) == 7**4
+
+    def test_round_complexity_polylog(self):
+        r1 = bounds.round_complexity_bound(256, 0.1, 8)
+        r2 = bounds.round_complexity_bound(4096, 0.1, 8)
+        assert r2 > r1
+        # Polylog: going from 2^8 to 2^12 should grow by less than
+        # the (12/8)^3 * constant factor blowup times a slack factor.
+        assert r2 / r1 < 2 * (12 / 8) ** 3
+
+    def test_threshold_consistency_with_ell(self):
+        for i in range(1, 10):
+            level = bounds.ell(i, 8)
+            assert bounds.color_threshold(i, 8) == pytest.approx(
+                level - np.log2(level)
+            )

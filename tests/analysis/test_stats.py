@@ -1,0 +1,84 @@
+"""Unit tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    empirical_cdf,
+    loglog_slope,
+    polylog_fit,
+    proportion,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+
+    def test_extremes_clamped(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0
+        lo, hi = wilson_interval(20, 20)
+        assert hi == 1.0
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestSlopes:
+    def test_exact_power_law(self):
+        x = np.array([1.0, 2, 4, 8, 16])
+        y = 3 * x**0.8
+        slope, intercept = loglog_slope(x, y)
+        assert slope == pytest.approx(0.8)
+        assert np.exp(intercept) == pytest.approx(3.0)
+
+    def test_handles_zero_values(self):
+        x = np.array([1.0, 2, 4])
+        y = np.array([0.0, 2, 4])
+        slope, _ = loglog_slope(x, y)  # should not crash
+        assert np.isfinite(slope)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope(np.array([1.0]), np.array([1.0]))
+
+    def test_polylog_fit(self):
+        ns = np.array([2.0**8, 2.0**10, 2.0**12, 2.0**14])
+        rounds = 5 * np.log2(ns) ** 3
+        assert polylog_fit(ns, rounds) == pytest.approx(3.0)
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        s = summarize(np.arange(101, dtype=float))
+        assert s.count == 101
+        assert s.median == 50.0
+        assert s.minimum == 0.0
+        assert s.maximum == 100.0
+        assert s.q25 == 25.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+    def test_empirical_cdf(self):
+        xs, ps = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        assert xs.tolist() == [1.0, 2.0, 3.0]
+        assert ps.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_proportion(self):
+        assert proportion(np.array([True, False, True, True])) == 0.75
+        with pytest.raises(ValueError):
+            proportion(np.array([], dtype=bool))

@@ -1,0 +1,55 @@
+"""Unit tests for bundled paper predictions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import lemma2_bounds, paper_predictions
+
+
+class TestPaperPredictions:
+    def test_fields_consistent(self):
+        p = paper_predictions(1024, 8, 0.5, eps=0.1)
+        assert p.k == 3
+        assert p.byz_budget == 32
+        assert p.a_log_n == pytest.approx(p.a * 10)
+        assert p.b_log_n == pytest.approx(p.b * 10)
+        assert p.approximation_factor == pytest.approx(p.b / p.a)
+        assert p.a_log_n < p.b_log_n
+
+    def test_delta_constraint_enforced(self):
+        with pytest.raises(ValueError, match="delta"):
+            paper_predictions(1024, 8, 0.2)  # 0.2 < 3/8
+
+    def test_in_band(self):
+        p = paper_predictions(1024, 8, 0.5)
+        assert p.in_band((p.a_log_n + p.b_log_n) / 2)
+        assert not p.in_band(p.b_log_n * 2)
+
+    def test_rounds_bound_positive(self):
+        p = paper_predictions(1024, 8, 0.5)
+        assert p.rounds_bound > 0
+
+
+class TestLemma2Bounds:
+    def test_keys_complete(self):
+        b = lemma2_bounds(1024, 8, 0.5)
+        assert set(b) == {
+            "Byz",
+            "Honest",
+            "LTL_min",
+            "NLT_max",
+            "Unsafe_max",
+            "Safe_min",
+            "Bad_max",
+            "BUS_max",
+            "Byz_safe_min",
+        }
+
+    def test_complementarity(self):
+        b = lemma2_bounds(1024, 8, 0.5)
+        assert b["Byz"] + b["Honest"] == pytest.approx(1024)
+        assert b["BUS_max"] + b["Byz_safe_min"] == pytest.approx(1024)
+
+    def test_bad_bound(self):
+        b = lemma2_bounds(1024, 8, 0.5)
+        assert b["Bad_max"] == pytest.approx(2 * 1024**0.5)

@@ -1,0 +1,163 @@
+"""Unit tests for the five Section 1.2 baseline protocols."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    run_birthday,
+    run_convergecast,
+    run_exponential_support,
+    run_flooding_diameter,
+    run_geometric_max,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    from repro.graphs import build_small_world
+
+    return build_small_world(512, 8, seed=13)
+
+
+@pytest.fixture(scope="module")
+def one_byz(net):
+    mask = np.zeros(net.n, dtype=bool)
+    mask[100] = True
+    return mask
+
+
+class TestGeometricMax:
+    def test_honest_in_band(self, net):
+        res = run_geometric_max(net, seed=1)
+        assert res.fraction_in_band(0.5, 2.0) >= 0.95
+
+    def test_all_agree_after_saturation(self, net):
+        res = run_geometric_max(net, seed=1)
+        assert np.unique(res.estimates).size == 1  # everyone saw the max
+
+    def test_distinct_forwards_logarithmic(self, net):
+        res = run_geometric_max(net, seed=1)
+        assert res.max_distinct_forwards <= 4 * np.log2(net.n)
+
+    def test_fake_max_inflates(self, net, one_byz):
+        res = run_geometric_max(net, seed=1, byz_mask=one_byz, attack="fake-max")
+        assert res.median_estimate() >= 5 * res.true_log2_n
+
+    def test_custom_fake_value(self, net, one_byz):
+        res = run_geometric_max(
+            net, seed=1, byz_mask=one_byz, attack="fake-max", fake_value=777
+        )
+        assert res.median_estimate() == 777
+
+    def test_suppress_absorbed(self, net, one_byz):
+        res = run_geometric_max(net, seed=1, byz_mask=one_byz, attack="suppress")
+        assert res.fraction_in_band(0.5, 2.0) >= 0.9
+
+    def test_fixed_rounds(self, net):
+        res = run_geometric_max(net, seed=1, rounds=2)
+        assert res.rounds == 2
+
+    def test_attack_requires_byz(self, net):
+        with pytest.raises(ValueError, match="requires"):
+            run_geometric_max(net, attack="fake-max")
+
+    def test_unknown_attack(self, net):
+        with pytest.raises(ValueError, match="unknown attack"):
+            run_geometric_max(net, attack="zap")
+
+
+class TestExponentialSupport:
+    def test_honest_within_factor_two(self, net):
+        res = run_exponential_support(net, seed=2, repetitions=16)
+        assert res.fraction_within_factor(2.0) >= 0.9
+
+    def test_more_reps_tighter(self, net):
+        r4 = run_exponential_support(net, seed=2, repetitions=4)
+        r64 = run_exponential_support(net, seed=2, repetitions=64)
+        err4 = abs(r4.median_estimate() - net.n) / net.n
+        err64 = abs(r64.median_estimate() - net.n) / net.n
+        assert err64 <= err4 + 0.05
+
+    def test_tiny_attack_inflates(self, net, one_byz):
+        res = run_exponential_support(
+            net, seed=2, repetitions=8, byz_mask=one_byz, attack="tiny"
+        )
+        assert res.median_estimate() > 100 * net.n
+
+    def test_repetitions_validated(self, net):
+        with pytest.raises(ValueError):
+            run_exponential_support(net, repetitions=0)
+
+
+class TestConvergecast:
+    def test_exact_honest(self, net):
+        res = run_convergecast(net)
+        assert res.exact
+        assert res.count_at_root == net.n
+        assert res.rounds == 2 * res.depth + 1
+
+    def test_inflate_attack(self, net, one_byz):
+        res = run_convergecast(net, byz_mask=one_byz, attack="inflate", inflate_by=10**6)
+        assert res.count_at_root == net.n + 10**6
+
+    def test_zero_attack_erases_subtree(self, net, one_byz):
+        res = run_convergecast(net, byz_mask=one_byz, attack="zero")
+        assert res.count_at_root < net.n
+
+    def test_byzantine_root_rejected(self, net):
+        mask = np.zeros(net.n, dtype=bool)
+        mask[0] = True
+        with pytest.raises(ValueError, match="root"):
+            run_convergecast(net, root=0, byz_mask=mask, attack="inflate")
+
+
+class TestFloodingDiameter:
+    def test_honest_band(self, net):
+        res = run_flooding_diameter(net)
+        assert res.fraction_in_band(0.25, 4.0) >= 0.95
+
+    def test_arrival_matches_bfs(self, net):
+        from repro.graphs.balls import bfs_distances
+
+        res = run_flooding_diameter(net, leader=5)
+        assert np.array_equal(
+            res.arrival, bfs_distances(net.h.indptr, net.h.indices, 5)
+        )
+
+    def test_preflood_deflates(self, net):
+        mask = np.zeros(net.n, dtype=bool)
+        mask[50:66] = True
+        honest = run_flooding_diameter(net)
+        attacked = run_flooding_diameter(net, byz_mask=mask, attack="pre-flood")
+        assert attacked.median_estimate() < honest.median_estimate()
+
+    def test_byzantine_leader_rejected(self, net):
+        mask = np.zeros(net.n, dtype=bool)
+        mask[0] = True
+        with pytest.raises(ValueError, match="leader"):
+            run_flooding_diameter(net, leader=0, byz_mask=mask, attack="pre-flood")
+
+
+class TestBirthday:
+    def test_honest_reasonable(self, net):
+        res = run_birthday(net, seed=3)
+        assert res.relative_error() < 1.0
+
+    def test_unique_attack_inflates(self, net):
+        mask = np.zeros(net.n, dtype=bool)
+        mask[::16] = True
+        honest = run_birthday(net, seed=3)
+        attacked = run_birthday(net, seed=3, byz_mask=mask, attack="unique")
+        assert attacked.estimate > honest.estimate
+        assert attacked.hijacked > 0
+
+    def test_absorb_attack_deflates(self, net):
+        mask = np.zeros(net.n, dtype=bool)
+        mask[::16] = True
+        attacked = run_birthday(net, seed=3, byz_mask=mask, attack="absorb")
+        assert attacked.estimate < net.n / 2
+
+    def test_custom_walk_parameters(self, net):
+        res = run_birthday(net, seed=3, walks=50, walk_length=10)
+        assert res.walks == 50
+        assert res.walk_length == 10

@@ -1,0 +1,34 @@
+"""Shared fixtures: session-scoped sampled networks (generation is the
+slowest step, so tests share immutable instances)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_small_world, generate_hgraph
+
+
+@pytest.fixture(scope="session")
+def h_small():
+    """A small H(128, 8) sample."""
+    return generate_hgraph(128, 8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def net_small():
+    """A small G = H ∪ L sample (n=128, d=8, k=3)."""
+    return build_small_world(128, 8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def net_medium():
+    """A medium network for protocol-level tests (n=512)."""
+    return build_small_world(512, 8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def byz_mask_small(net_small):
+    mask = np.zeros(net_small.n, dtype=bool)
+    mask[[5, 40, 77]] = True
+    return mask

@@ -1,0 +1,119 @@
+"""Unit tests for the agent-based protocol implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core import CountingConfig
+from repro.core.agents import (
+    ByzantineCountingAgent,
+    CountingAgent,
+    _Ledger,
+    run_counting_agents,
+)
+from repro.graphs import build_small_world
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_small_world(96, 8, seed=17)
+
+
+class TestLedger:
+    def test_reset_and_membership(self):
+        ledger = _Ledger()
+        ledger.reset(np.array([3, 0, 7]))
+        assert ledger.is_legit(3)
+        assert ledger.is_legit(7)
+        assert not ledger.is_legit(0)  # zero = silence, never a color
+        assert not ledger.is_legit(99)
+
+    def test_admit(self):
+        ledger = _Ledger()
+        ledger.reset(np.array([1]))
+        ledger.admit(50)
+        assert ledger.is_legit(50)
+
+    def test_reset_clears(self):
+        ledger = _Ledger()
+        ledger.reset(np.array([5]))
+        ledger.reset(np.array([6]))
+        assert not ledger.is_legit(5)
+
+
+class TestHonestAgent:
+    def test_verification_filters_illegit_colors(self):
+        ledger = _Ledger()
+        ledger.reset(np.array([2]))
+        agent = CountingAgent(0, ledger, verification=True)
+        agent.begin_subphase(color=1, phase=1, subphase=1)
+        agent.h_ports = []
+
+        from repro.sim.messages import ColorMessage
+        from repro.sim.node import RoundContext
+
+        ctx = RoundContext(
+            node=0,
+            round=1,
+            neighbors=np.array([1]),
+            inbox=[(1, ColorMessage(999, 1, 1)), (1, ColorMessage(2, 1, 1))],
+            rng=np.random.default_rng(0),
+        )
+        agent.mode = "flood"
+        agent.on_round(ctx)
+        assert agent.k_last == 2  # 999 refuted by witnesses, 2 accepted
+        assert agent.cur == 2
+
+    def test_without_verification_accepts_all(self):
+        ledger = _Ledger()
+        ledger.reset(np.array([2]))
+        agent = CountingAgent(0, ledger, verification=False)
+        agent.begin_subphase(color=1, phase=1, subphase=1)
+        agent.h_ports = []
+
+        from repro.sim.messages import ColorMessage
+        from repro.sim.node import RoundContext
+
+        ctx = RoundContext(
+            node=0,
+            round=1,
+            neighbors=np.array([1]),
+            inbox=[(1, ColorMessage(999, 1, 1))],
+            rng=np.random.default_rng(0),
+        )
+        agent.mode = "flood"
+        agent.on_round(ctx)
+        assert agent.cur == 999
+
+
+class TestByzantineAgent:
+    def test_injection_schedule(self):
+        agent = ByzantineCountingAgent(5)
+        agent.mode = "flood"
+        agent.h_ports = []
+        agent.relay = False
+        agent.sends_at = {2: 777}
+        agent.current_t = 2
+
+        from repro.sim.node import RoundContext
+
+        ctx = RoundContext(
+            node=5,
+            round=3,
+            neighbors=np.array([], dtype=np.int64),
+            inbox=[],
+            rng=np.random.default_rng(0),
+        )
+        agent.on_round(ctx)
+        assert agent.cur == 777
+
+
+class TestDriver:
+    def test_runs_to_completion(self, net):
+        cfg = CountingConfig(max_phase=12, verification=False)
+        res = run_counting_agents(net, cfg, seed=1)
+        assert res.fraction_decided() == 1.0
+
+    def test_decided_phases_positive(self, net):
+        cfg = CountingConfig(max_phase=12, verification=False)
+        res = run_counting_agents(net, cfg, seed=1)
+        assert np.all(res.decided_phase[res.honest_uncrashed] >= 1)

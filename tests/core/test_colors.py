@@ -1,0 +1,82 @@
+"""Unit tests for geometric color machinery (Observations 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.colors import (
+    color_pmf,
+    color_sf,
+    expected_max_color,
+    max_color_cdf,
+    sample_colors,
+)
+from repro.sim.rng import make_rng
+
+
+class TestSampling:
+    def test_support_positive(self):
+        colors = sample_colors(make_rng(0), 10_000)
+        assert colors.min() >= 1
+
+    def test_mean_close_to_two(self):
+        colors = sample_colors(make_rng(1), 50_000)
+        assert colors.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_empty(self):
+        assert sample_colors(make_rng(0), 0).shape == (0,)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sample_colors(make_rng(0), -1)
+
+    def test_tail_matches_observation4(self):
+        colors = sample_colors(make_rng(2), 100_000)
+        # Pr[c > 3] = 1/8 (Observation 4.5).
+        assert np.mean(colors > 3) == pytest.approx(0.125, abs=0.01)
+
+
+class TestDistributionFunctions:
+    def test_pmf_sums_to_one(self):
+        rs = np.arange(1, 60)
+        assert color_pmf(rs).sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("r", [1, 2, 5])
+    def test_pmf_value(self, r):
+        assert color_pmf(r) == pytest.approx(0.5**r)
+
+    def test_sf_identity(self):
+        # Pr[c > r] = 1 - sum_{j<=r} pmf(j).
+        for r in (1, 3, 7):
+            total = sum(color_pmf(j) for j in range(1, r + 1))
+            assert color_sf(r) == pytest.approx(1 - total)
+
+    def test_pmf_zero_below_support(self):
+        assert color_pmf(0) == 0.0
+
+    def test_max_cdf_observation5(self):
+        # Pr[max <= r] = (1 - 2^-r)^m.
+        assert max_color_cdf(3, 10) == pytest.approx((1 - 0.125) ** 10)
+
+    def test_max_cdf_monotone_in_r(self):
+        values = [max_color_cdf(r, 64) for r in range(1, 12)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_max_cdf_requires_m(self):
+        with pytest.raises(ValueError):
+            max_color_cdf(2, 0)
+
+
+class TestExpectedMax:
+    def test_single_node(self):
+        assert expected_max_color(1) == pytest.approx(2.0, rel=1e-3)
+
+    def test_grows_like_log(self):
+        e16 = expected_max_color(16)
+        e256 = expected_max_color(256)
+        # log2(256/16) = 4 more nodes-doublings => roughly +4.
+        assert 3.0 <= e256 - e16 <= 5.0
+
+    def test_monte_carlo_agreement(self):
+        rng = make_rng(3)
+        sims = [sample_colors(rng, 128).max() for _ in range(2000)]
+        assert np.mean(sims) == pytest.approx(expected_max_color(128), rel=0.03)

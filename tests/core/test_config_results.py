@@ -1,0 +1,105 @@
+"""Unit tests for CountingConfig and CountingResult."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CountingConfig
+from repro.core.results import UNDECIDED, CountingResult
+from repro.sim.metrics import MessageMeter
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = CountingConfig()
+        assert cfg.eps == 0.1
+        assert cfg.verification
+
+    def test_with_replaces(self):
+        cfg = CountingConfig().with_(eps=0.05, max_phase=10)
+        assert cfg.eps == 0.05
+        assert cfg.max_phase == 10
+        assert CountingConfig().eps == 0.1  # original untouched
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"eps": 0.0},
+            {"eps": 1.0},
+            {"max_phase": 0},
+            {"alpha_variant": "x"},
+            {"subphase_multiplier": "x"},
+            {"verification_round_cost": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CountingConfig(**kwargs)
+
+
+def make_result(decided, byz=None, crashed=None, n=None, d=8):
+    decided = np.asarray(decided, dtype=np.int64)
+    n = n or decided.shape[0]
+    byz = np.zeros(n, dtype=bool) if byz is None else np.asarray(byz, dtype=bool)
+    crashed = (
+        np.zeros(n, dtype=bool) if crashed is None else np.asarray(crashed, dtype=bool)
+    )
+    return CountingResult(
+        n=n, d=d, k=3, decided_phase=decided, crashed=crashed, byz=byz,
+        meter=MessageMeter(),
+    )
+
+
+class TestResult:
+    def test_fraction_decided(self):
+        res = make_result([1, 2, UNDECIDED, 3])
+        assert res.fraction_decided() == 0.75
+
+    def test_fraction_excludes_byz_and_crashed(self):
+        res = make_result(
+            [1, UNDECIDED, 2, 3],
+            byz=[False, True, False, False],
+            crashed=[False, False, True, False],
+        )
+        assert res.fraction_decided() == 1.0  # pool = nodes 0, 3
+
+    def test_in_band(self):
+        # n=16 -> log2 n = 4; band [0.5, 1.5] -> phases 2..6.
+        res = make_result([1, 2, 4, 6, 7, UNDECIDED] + [3] * 10, n=16)
+        band = res.in_band(0.5, 1.5)
+        assert band[0] == False  # noqa: E712
+        assert band[1] and band[2] and band[3]
+        assert not band[4] and not band[5]
+
+    def test_undecided_fails_band(self):
+        res = make_result([UNDECIDED] * 16, n=16)
+        assert res.fraction_in_band(0.1, 10.0) == 0.0
+
+    def test_size_estimates(self):
+        res = make_result([2, UNDECIDED, 3, 1])
+        est = res.size_estimates()
+        assert est[0] == pytest.approx(49.0)
+        assert est[1] == 0.0
+        assert est[2] == pytest.approx(343.0)
+
+    def test_log_size_estimates(self):
+        res = make_result([2, UNDECIDED])
+        est = res.log_size_estimates()
+        assert est[0] == pytest.approx(2 * np.log2(7))
+        assert np.isnan(est[1])
+
+    def test_quantiles(self):
+        res = make_result([5] * 10)
+        assert res.decision_quantiles() == (5.0, 5.0, 5.0)
+
+    def test_quantiles_empty(self):
+        res = make_result([UNDECIDED, UNDECIDED])
+        q = res.decision_quantiles()
+        assert all(np.isnan(x) for x in q)
+
+    def test_summary_keys(self):
+        s = make_result([1, 2, 3, 4]).summary()
+        assert {"n", "fraction_decided", "rounds", "phase_median"} <= set(s)
+
+    def test_unknown_population_rejected(self):
+        with pytest.raises(ValueError):
+            make_result([1]).in_band(0.1, 2.0, of="everyone")

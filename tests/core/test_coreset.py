@@ -1,0 +1,46 @@
+"""Unit tests for Core computation (Lemma 14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coreset import compute_core
+
+
+class TestComputeCore:
+    def test_intact_graph_full_core(self, h_small):
+        byz = np.zeros(h_small.n, dtype=bool)
+        crashed = np.zeros(h_small.n, dtype=bool)
+        report = compute_core(h_small, byz, crashed, rng=0)
+        assert report.size == h_small.n
+        assert report.fraction == 1.0
+
+    def test_excludes_byz_and_crashed(self, h_small):
+        byz = np.zeros(h_small.n, dtype=bool)
+        byz[:5] = True
+        crashed = np.zeros(h_small.n, dtype=bool)
+        crashed[10:15] = True
+        report = compute_core(h_small, byz, crashed, rng=0)
+        assert report.size <= h_small.n - 10
+        assert not report.core[byz].any()
+        assert not report.core[crashed].any()
+
+    def test_expander_core_remains_giant(self, h_small):
+        byz = np.zeros(h_small.n, dtype=bool)
+        byz[::10] = True  # 10% removed
+        crashed = np.zeros(h_small.n, dtype=bool)
+        report = compute_core(h_small, byz, crashed, rng=0)
+        # Removing o(n) nodes from an expander leaves a giant component.
+        assert report.fraction > 0.8
+
+    def test_expansion_estimate_positive(self, h_small):
+        byz = np.zeros(h_small.n, dtype=bool)
+        crashed = np.zeros(h_small.n, dtype=bool)
+        report = compute_core(h_small, byz, crashed, rng=0, expansion_trials=16)
+        assert report.expansion_lower_estimate > 0
+
+    def test_everything_removed(self, h_small):
+        byz = np.ones(h_small.n, dtype=bool)
+        crashed = np.zeros(h_small.n, dtype=bool)
+        report = compute_core(h_small, byz, crashed, rng=0)
+        assert report.size == 0
+        assert report.expansion_lower_estimate == 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for the high-level estimation API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ADVERSARIES,
+    CountingConfig,
+    estimate_network_size,
+    make_adversary,
+    practical_band,
+)
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in ADVERSARIES:
+            adv = make_adversary(name)
+            assert hasattr(adv, "subphase_plan")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown adversary"):
+            make_adversary("evil-twin")
+
+
+class TestPracticalBand:
+    def test_brackets_anchor(self):
+        c1, c2 = practical_band(8)
+        anchor = 1 / np.log2(7)
+        assert c1 < anchor < c2
+
+    def test_factor_structure(self):
+        c1, c2 = practical_band(8)
+        assert c2 / c1 == pytest.approx(16.0)
+
+
+class TestEstimateNetworkSize:
+    def test_honest_run(self):
+        report = estimate_network_size(256, 8, adversary="honest", seed=2)
+        assert report.byz_count == 0
+        assert report.fraction_decided == 1.0
+        assert report.fraction_in_band >= 0.9
+        assert report.median_log2_estimate == pytest.approx(
+            report.median_phase * np.log2(7)
+        )
+
+    def test_byzantine_run(self):
+        report = estimate_network_size(
+            256, 8, delta=0.5, adversary="early-stop", seed=2
+        )
+        assert report.byz_count == int(np.floor(256**0.5))
+        assert report.fraction_decided == 1.0
+
+    def test_summary_keys(self):
+        report = estimate_network_size(256, 8, seed=2)
+        assert {"n", "adversary", "fraction_in_band", "rounds"} <= set(
+            report.summary()
+        )
+
+    def test_network_reuse(self):
+        from repro.graphs import build_small_world
+
+        net = build_small_world(256, 8, seed=9)
+        report = estimate_network_size(256, 8, network=net, seed=2)
+        assert report.network is net
+
+    def test_network_mismatch_rejected(self):
+        from repro.graphs import build_small_world
+
+        net = build_small_world(128, 8, seed=9)
+        with pytest.raises(ValueError, match="match"):
+            estimate_network_size(256, 8, network=net, seed=2)
+
+    def test_explicit_mask(self):
+        mask = np.zeros(256, dtype=bool)
+        mask[7] = True
+        report = estimate_network_size(
+            256, 8, adversary="suppression", byz_mask=mask, seed=2
+        )
+        assert report.byz_count == 1
+
+    def test_custom_config(self):
+        cfg = CountingConfig(max_phase=2)
+        report = estimate_network_size(256, 8, config=cfg, seed=2)
+        assert report.result.decided_phase.max() <= 2
+
+    def test_adversary_instance(self):
+        from repro.adversary import EarlyStopAdversary
+
+        report = estimate_network_size(
+            256, 8, delta=0.5, adversary=EarlyStopAdversary(), seed=2
+        )
+        assert report.adversary_name == "early-stop"
+        assert report.byz_count > 0

@@ -1,0 +1,174 @@
+"""Unit tests for Lemma 3 reconstruction and the crash rule (Lemma 15)."""
+
+import numpy as np
+import pytest
+
+from repro.core.neighborhood import (
+    ConflictError,
+    crash_phase,
+    find_conflicts,
+    infer_child_relation,
+    reconstruct_h_ball,
+    truthful_claims,
+)
+from repro.graphs.balls import bfs_distances
+
+
+@pytest.fixture(scope="module")
+def truth(net_small):
+    return truthful_claims(net_small)
+
+
+# net_small is session-scoped in conftest; redeclare at module scope for the
+# truth fixture's benefit.
+@pytest.fixture(scope="module")
+def net_small():
+    from repro.graphs import build_small_world
+
+    return build_small_world(128, 8, seed=7)
+
+
+class TestTruthfulClaims:
+    def test_claims_have_degree_d(self, net_small, truth):
+        for v in (0, 10, 90):
+            assert len(truth[v]) == net_small.d
+
+    def test_claims_sorted_with_multiplicity(self, net_small, truth):
+        for v in range(net_small.n):
+            assert list(truth[v]) == sorted(truth[v])
+
+    def test_subset_of_nodes(self, net_small):
+        partial = truthful_claims(net_small, np.array([3, 5]))
+        assert set(partial) == {3, 5}
+
+
+class TestReconstruction:
+    def test_faithful_on_clean_network(self, net_small, truth):
+        for v in (0, 33, 101):
+            ports = net_small.g_neighbors(v)
+            claims = {int(u): truth[int(u)] for u in ports}
+            recon = reconstruct_h_ball(v, ports, claims, net_small.k, net_small.d)
+            true_d = bfs_distances(
+                net_small.h.indptr, net_small.h.indices, v, max_depth=net_small.k
+            )
+            for node, dist in recon.items():
+                assert true_d[node] == dist
+            # Every ball member is reconstructed.
+            assert set(recon) == set(np.flatnonzero(true_d >= 0).tolist())
+
+    def test_silent_neighbors_tolerated(self, net_small, truth):
+        v = 7
+        ports = net_small.g_neighbors(v)
+        claims = {int(u): truth[int(u)] for u in ports}
+        # Drop half the claims: silence is not a contradiction.
+        for u in list(claims)[::2]:
+            del claims[u]
+        recon = reconstruct_h_ball(v, ports, claims, net_small.k, net_small.d)
+        assert recon[v] == 0  # still returns something sensible
+
+    def test_degree_violation_detected(self, net_small, truth):
+        v = 7
+        ports = net_small.g_neighbors(v)
+        claims = {int(u): truth[int(u)] for u in ports}
+        liar = int(ports[0])
+        claims[liar] = claims[liar][:-1]  # only d-1 entries
+        with pytest.raises(ConflictError, match="degree"):
+            reconstruct_h_ball(v, ports, claims, net_small.k, net_small.d)
+
+    def test_asymmetric_claim_detected(self, net_small, truth):
+        v = 12
+        ports = net_small.g_neighbors(v)
+        port_set = set(map(int, ports))
+        claims = {int(u): truth[int(u)] for u in ports}
+        # Find a liar whose claim includes another port; replace that
+        # entry with a *different port* it is NOT adjacent to.
+        for liar in map(int, ports):
+            said = set(claims[liar])
+            non_adjacent_ports = [
+                w for w in port_set if w not in said and w != liar
+            ]
+            adjacent_ports = [w for w in said if w in port_set]
+            if non_adjacent_ports and adjacent_ports:
+                lie = list(claims[liar])
+                lie[lie.index(adjacent_ports[0])] = non_adjacent_ports[0]
+                claims[liar] = tuple(sorted(lie))
+                break
+        with pytest.raises(ConflictError, match="asymmetric"):
+            reconstruct_h_ball(v, ports, claims, net_small.k, net_small.d)
+
+    def test_phantom_detected(self, net_small, truth):
+        v = 25
+        ports = net_small.g_neighbors(v)
+        # Pick a liar at H-distance 1 (its claims sit at level <= k-1).
+        dist = bfs_distances(
+            net_small.h.indptr, net_small.h.indices, v, max_depth=1
+        )
+        liar = int(np.flatnonzero(dist == 1)[0])
+        claims = {int(u): truth[int(u)] for u in ports}
+        lie = list(claims[liar])
+        # Replace an entry that is not v itself with a phantom ID.
+        idx = next(i for i, x in enumerate(lie) if x != v)
+        lie[idx] = net_small.n + 99
+        claims[liar] = tuple(sorted(lie))
+        with pytest.raises(ConflictError):
+            reconstruct_h_ball(v, ports, claims, net_small.k, net_small.d)
+
+
+class TestFindConflicts:
+    def test_clean_claims_no_conflict(self, net_small, truth):
+        for v in (0, 50):
+            ports = net_small.g_neighbors(v)
+            claims = {int(u): truth[int(u)] for u in ports}
+            assert find_conflicts(v, ports, claims, net_small.k, net_small.d) == ()
+
+    def test_returns_witnesses(self, net_small, truth):
+        v = 7
+        ports = net_small.g_neighbors(v)
+        claims = {int(u): truth[int(u)] for u in ports}
+        liar = int(ports[0])
+        claims[liar] = claims[liar][:-1]
+        witnesses = find_conflicts(v, ports, claims, net_small.k, net_small.d)
+        assert liar in witnesses
+
+
+class TestCrashPhase:
+    def test_truthful_claims_no_crash(self, net_small, truth):
+        byz = np.zeros(net_small.n, dtype=bool)
+        byz[[5, 40]] = True
+        claims = {5: truth[5], 40: truth[40]}
+        crashed = crash_phase(net_small, byz, claims)
+        assert not crashed.any()
+
+    def test_silence_no_crash(self, net_small):
+        byz = np.zeros(net_small.n, dtype=bool)
+        byz[5] = True
+        crashed = crash_phase(net_small, byz, {})
+        assert not crashed.any()
+
+    def test_liar_crashes_neighborhood(self, net_small, truth):
+        byz = np.zeros(net_small.n, dtype=bool)
+        byz[5] = True
+        lie = tuple(sorted(list(truth[5][1:]) + [net_small.n + 1]))
+        crashed = crash_phase(net_small, byz, {5: lie})
+        assert crashed.any()
+        # Byzantine nodes never crash.
+        assert not crashed[5]
+        # Crashes concentrate around the liar (within its G-ball).
+        g_ball = set(net_small.g_neighbors(5).tolist())
+        assert set(np.flatnonzero(crashed).tolist()) <= g_ball
+
+
+class TestChildRelation:
+    def test_lemma3_rules(self):
+        ng_v = {1, 2, 3, 4, 5}
+        ng_u = {1, 2, 3, 9}
+        ng_w = {1, 2, 8}
+        # N(w) ∩ N(v) = {1,2} ⊂ N(u) ∩ N(v) = {1,2,3}: w is child of u.
+        assert infer_child_relation(ng_v, ng_u, ng_w) == "w_child_of_u"
+        assert infer_child_relation(ng_v, ng_w, ng_u) == "u_child_of_w"
+
+    def test_siblings(self):
+        assert infer_child_relation({1, 2}, {1, 9}, {1, 8}) == "siblings"
+
+    def test_unrelated(self):
+        assert infer_child_relation({1, 2, 3}, {1, 9}, {2, 8}) == "unrelated"

@@ -1,0 +1,99 @@
+"""Unit tests for the phase schedule and termination criterion."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import color_threshold, ell
+from repro.core.phases import (
+    alpha,
+    alpha_appendix,
+    alpha_pseudocode,
+    continue_criterion,
+    subphase_count,
+)
+
+
+class TestAlpha:
+    @pytest.mark.parametrize("i", range(1, 20))
+    def test_appendix_at_least_one(self, i):
+        assert alpha_appendix(i, 0.1, 8) >= 1
+
+    @pytest.mark.parametrize("i", range(1, 20))
+    def test_pseudocode_at_least_one(self, i):
+        assert alpha_pseudocode(i, 0.1, 8) >= 1
+
+    def test_appendix_small_i_uses_eps(self):
+        assert alpha_appendix(1, 0.01, 8) == int(np.ceil(np.log2(100)))
+
+    def test_appendix_decreases_with_i(self):
+        # More rounds per subphase -> fewer repetitions needed.
+        values = [alpha_appendix(i, 0.1, 8) for i in range(3, 12)]
+        assert values == sorted(values, reverse=True)
+
+    def test_smaller_eps_more_repetitions(self):
+        assert alpha_appendix(3, 0.01, 8) >= alpha_appendix(3, 0.2, 8)
+
+    def test_dispatch(self):
+        assert alpha(4, 0.1, 8, "appendix") == alpha_appendix(4, 0.1, 8)
+        assert alpha(4, 0.1, 8, "pseudocode") == alpha_pseudocode(4, 0.1, 8)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            alpha(4, 0.1, 8, "nope")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            alpha_appendix(0, 0.1, 8)
+        with pytest.raises(ValueError):
+            alpha_appendix(3, 1.5, 8)
+        with pytest.raises(ValueError):
+            alpha_appendix(3, 0.1, 2)
+
+
+class TestSubphaseCount:
+    def test_multiplier_i(self):
+        assert subphase_count(5, 0.1, 8, "appendix", "i") == 5 * alpha_appendix(5, 0.1, 8)
+
+    def test_multiplier_one(self):
+        assert subphase_count(5, 0.1, 8, "appendix", "one") == alpha_appendix(5, 0.1, 8)
+
+    def test_unknown_multiplier(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            subphase_count(5, 0.1, 8, "appendix", "two")
+
+
+class TestThreshold:
+    def test_ell_formula(self):
+        # l_i = log2 d + (i-1) log2(d-1): log-size of Bd(v, i).
+        assert ell(1, 8) == pytest.approx(3.0)
+        assert ell(2, 8) == pytest.approx(3.0 + np.log2(7))
+
+    def test_threshold_below_ell(self):
+        for i in range(1, 12):
+            assert color_threshold(i, 8) < ell(i, 8)
+
+    def test_threshold_monotone(self):
+        values = [color_threshold(i, 8) for i in range(1, 16)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError):
+            ell(0, 8)
+
+
+class TestContinueCriterion:
+    def test_requires_strict_record(self):
+        k_last = np.array([5, 3, 9])
+        k_prev = np.array([5, 2, 2])
+        out = continue_criterion(k_last, k_prev, i=2, d=8)
+        # threshold(2, 8) = ell - log2(ell) ~ 3.27: node 0 fails (not a
+        # strict record), node 1 fails (record but below threshold),
+        # node 2 passes (record and above threshold).
+        assert out.tolist() == [False, False, True]
+
+    def test_phase_one_vacuous_history(self):
+        k_last = np.array([2, 1])
+        k_prev = np.zeros(2, dtype=np.int64)
+        out = continue_criterion(k_last, k_prev, i=1, d=8)
+        # threshold(1, 8) = 3 - log2(3) ~ 1.41.
+        assert out.tolist() == [True, False]

@@ -1,0 +1,105 @@
+"""Unit tests for Algorithm 1 (the basic counting protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CountingConfig, run_basic_counting
+from repro.graphs import build_small_world
+
+
+class TestTermination:
+    def test_everyone_decides(self, net_medium):
+        res = run_basic_counting(net_medium, seed=1)
+        assert res.fraction_decided() == 1.0
+
+    def test_decisions_positive(self, net_medium):
+        res = run_basic_counting(net_medium, seed=1)
+        assert np.all(res.decided_phase >= 1)
+
+    def test_no_crashes_without_adversary(self, net_medium):
+        res = run_basic_counting(net_medium, seed=1)
+        assert not res.crashed.any()
+
+    def test_max_phase_cap(self, net_medium):
+        cfg = CountingConfig(max_phase=1)
+        res = run_basic_counting(net_medium, config=cfg, seed=1)
+        assert np.all((res.decided_phase == 1) | (res.decided_phase == -1))
+
+
+class TestAccuracy:
+    def test_constant_factor_estimate(self, net_medium):
+        res = run_basic_counting(net_medium, seed=2)
+        _, med, _ = res.decision_quantiles()
+        # n=512: log2 n ≈ 9, metric anchor log2 n/log2 7 ≈ 3.2; the
+        # decision lands near the eccentricity (4-5).
+        anchor = np.log2(net_medium.n) / np.log2(net_medium.d - 1)
+        assert 0.5 * anchor <= med <= 3 * anchor
+
+    def test_larger_network_larger_estimate(self):
+        small = build_small_world(128, 8, seed=3)
+        large = build_small_world(2048, 8, seed=3)
+        r_small = run_basic_counting(small, seed=4)
+        r_large = run_basic_counting(large, seed=4)
+        assert r_large.decision_quantiles()[1] > r_small.decision_quantiles()[1]
+
+    def test_tight_decision_spread(self, net_medium):
+        res = run_basic_counting(net_medium, seed=5)
+        q10, _, q90 = res.decision_quantiles()
+        assert q90 - q10 <= 3  # almost-everywhere agreement on the estimate
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, net_medium):
+        a = run_basic_counting(net_medium, seed=7)
+        b = run_basic_counting(net_medium, seed=7)
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+
+    def test_different_seed_differs_somewhere(self, net_medium):
+        a = run_basic_counting(net_medium, seed=7)
+        b = run_basic_counting(net_medium, seed=8)
+        assert not np.array_equal(a.decided_phase, b.decided_phase)
+
+
+class TestAccounting:
+    def test_meter_populated(self, net_medium):
+        res = run_basic_counting(net_medium, seed=1)
+        assert res.meter.rounds > 0
+        assert res.meter.messages > 0
+
+    def test_trace_contents(self, net_medium):
+        res = run_basic_counting(net_medium, seed=1)
+        assert len(res.trace) >= 1
+        phases = [r.phase for r in res.trace]
+        assert phases == sorted(phases)
+        assert sum(r.newly_decided for r in res.trace) == net_medium.n
+
+    def test_trace_subphase_schedule(self, net_medium):
+        from repro.core.phases import subphase_count
+
+        cfg = CountingConfig()
+        res = run_basic_counting(net_medium, config=cfg, seed=1)
+        for rec in res.trace:
+            assert rec.subphases == subphase_count(
+                rec.phase, cfg.eps, net_medium.d, cfg.alpha_variant, cfg.subphase_multiplier
+            )
+            assert rec.flooding_rounds == rec.subphases * rec.phase
+
+    def test_count_messages_off(self, net_medium):
+        cfg = CountingConfig(count_messages=False)
+        res = run_basic_counting(net_medium, config=cfg, seed=1)
+        assert res.meter.messages == 0
+        assert res.meter.rounds > 0  # rounds still counted
+
+    def test_no_injections_without_adversary(self, net_medium):
+        res = run_basic_counting(net_medium, seed=1)
+        assert res.injections_accepted == 0
+        assert res.injections_rejected == 0
+
+
+class TestConfigVariants:
+    @pytest.mark.parametrize("variant", ["appendix", "pseudocode"])
+    @pytest.mark.parametrize("multiplier", ["i", "one"])
+    def test_all_schedule_variants_terminate(self, net_medium, variant, multiplier):
+        cfg = CountingConfig(alpha_variant=variant, subphase_multiplier=multiplier)
+        res = run_basic_counting(net_medium, config=cfg, seed=3)
+        assert res.fraction_decided() == 1.0

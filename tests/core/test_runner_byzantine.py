@@ -1,0 +1,138 @@
+"""Unit tests for Algorithm 2 under each adversary strategy."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    EarlyStopAdversary,
+    HonestAdversary,
+    InflationAdversary,
+    SilentAdversary,
+    SuppressionAdversary,
+    TopologyLiarAdversary,
+    placement_for_delta,
+)
+from repro.core import CountingConfig, run_basic_counting, run_byzantine_counting
+
+
+@pytest.fixture(scope="module")
+def net():
+    from repro.graphs import build_small_world
+
+    return build_small_world(512, 8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def byz(net):
+    return placement_for_delta(net, 0.5, rng=5)
+
+
+CFG = CountingConfig(max_phase=24)
+
+
+class TestHonestControl:
+    def test_matches_basic_protocol_distribution(self, net, byz):
+        honest = run_byzantine_counting(net, HonestAdversary(), byz, config=CFG, seed=3)
+        basic = run_basic_counting(net, seed=3)
+        # Same decision medians: honest-behaving Byzantine nodes are
+        # indistinguishable from honest nodes.
+        assert honest.decision_quantiles()[1] == basic.decision_quantiles()[1]
+
+    def test_everyone_decides(self, net, byz):
+        res = run_byzantine_counting(net, HonestAdversary(), byz, config=CFG, seed=3)
+        assert res.fraction_decided() == 1.0
+
+
+class TestEarlyStop:
+    def test_pushes_estimates_down(self, net, byz):
+        attacked = run_byzantine_counting(net, EarlyStopAdversary(), byz, config=CFG, seed=3)
+        control = run_byzantine_counting(net, HonestAdversary(), byz, config=CFG, seed=3)
+        assert attacked.decision_quantiles()[1] < control.decision_quantiles()[1]
+
+    def test_bounded_below_by_byz_distance(self, net, byz):
+        from repro.graphs.balls import distances_to_set
+
+        attacked = run_byzantine_counting(net, EarlyStopAdversary(), byz, config=CFG, seed=3)
+        dist = distances_to_set(net.h.indptr, net.h.indices, np.flatnonzero(byz))
+        pool = attacked.honest_uncrashed
+        # A node cannot be forced to stop before the fake record reaches it:
+        # decided phase >= dist to the nearest Byzantine node.
+        assert np.all(attacked.decided_phase[pool] >= dist[pool])
+
+    def test_still_terminates(self, net, byz):
+        res = run_byzantine_counting(net, EarlyStopAdversary(), byz, config=CFG, seed=3)
+        assert res.fraction_decided() == 1.0
+
+
+class TestInflation:
+    def test_rejections_with_verification(self, net, byz):
+        res = run_byzantine_counting(net, InflationAdversary(), byz, config=CFG, seed=3)
+        assert res.injections_rejected > 0
+        assert res.injections_accepted > 0
+
+    def test_estimates_capped(self, net, byz):
+        from repro.graphs.properties import diameter
+
+        res = run_byzantine_counting(net, InflationAdversary(), byz, config=CFG, seed=3)
+        diam = diameter(net.h.indptr, net.h.indices, rng=0)
+        pool = res.honest_uncrashed
+        # Lemma 16/17: estimates cannot exceed ecc + k - 1 (+1 slack).
+        assert res.decided_phase[pool].max() <= diam + net.k
+
+    def test_unverified_inflation_unbounded(self, net, byz):
+        cfg = CountingConfig(max_phase=12, verification=False)
+        res = run_byzantine_counting(net, InflationAdversary(), byz, config=cfg, seed=3)
+        pool = res.honest_uncrashed
+        assert np.all(res.decided_phase[pool] == -1)  # nobody terminates
+        assert res.injections_rejected == 0
+
+
+class TestPassiveStrategies:
+    @pytest.mark.parametrize("adv_cls", [SuppressionAdversary, SilentAdversary])
+    def test_absorbed_by_expander(self, net, byz, adv_cls):
+        attacked = run_byzantine_counting(net, adv_cls(), byz, config=CFG, seed=3)
+        control = run_byzantine_counting(net, HonestAdversary(), byz, config=CFG, seed=3)
+        # Suppression shifts the median by at most one phase.
+        assert abs(
+            attacked.decision_quantiles()[1] - control.decision_quantiles()[1]
+        ) <= 1.0
+        assert attacked.fraction_decided() == 1.0
+
+
+class TestTopologyLiar:
+    def test_crashes_but_core_survives(self, net):
+        # One liar: its crash footprint is a constant-size ball (~|B(b,k)|),
+        # leaving the overwhelming majority of the network intact.
+        few = np.zeros(net.n, dtype=bool)
+        few[10] = True
+        res = run_byzantine_counting(net, TopologyLiarAdversary(), few, config=CFG, seed=3)
+        assert res.crashed.sum() > 0
+        survivors = res.honest_uncrashed
+        assert survivors.sum() > 0.5 * net.n
+        # Survivors still terminate with estimates.
+        assert np.all(res.decided_phase[survivors] >= 1)
+
+    def test_no_crashes_without_verification(self, net):
+        few = np.zeros(net.n, dtype=bool)
+        few[10] = True
+        cfg = CountingConfig(max_phase=12, verification=False)
+        res = run_byzantine_counting(net, TopologyLiarAdversary(), few, config=cfg, seed=3)
+        assert not res.crashed.any()
+
+
+class TestValidation:
+    def test_byz_mask_without_adversary_rejected(self, net, byz):
+        from repro.core.runner import run_counting
+
+        with pytest.raises(ValueError, match="without an adversary"):
+            run_counting(net, CFG, seed=0, adversary=None, byz_mask=byz)
+
+    def test_wrong_mask_shape_rejected(self, net):
+        with pytest.raises(ValueError, match="shape"):
+            run_byzantine_counting(
+                net, HonestAdversary(), np.zeros(3, dtype=bool), config=CFG, seed=0
+            )
+
+    def test_none_adversary_rejected(self, net, byz):
+        with pytest.raises(ValueError, match="requires an adversary"):
+            run_byzantine_counting(net, None, byz, config=CFG, seed=0)

@@ -1,0 +1,107 @@
+"""Edge-case tests for the vectorized runner."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    Adversary,
+    HonestAdversary,
+    Injection,
+    SubphasePlan,
+    TopologyLiarAdversary,
+)
+from repro.core import CountingConfig, run_byzantine_counting
+from repro.core.runner import run_counting
+from repro.graphs import build_small_world
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_small_world(128, 8, seed=23)
+
+
+class MisalignedAdversary(Adversary):
+    """Returns initial colors of the wrong shape (must be rejected)."""
+
+    name = "misaligned"
+
+    def subphase_plan(self, state):
+        return SubphasePlan(initial_colors=np.array([1, 2]), injections=[])
+
+
+class LateInjector(Adversary):
+    """Injects only at the final round of each subphase."""
+
+    name = "late-injector"
+
+    def subphase_plan(self, state):
+        inj = Injection(t=state.rounds, nodes=state.byz_nodes, value=10_000)
+        return SubphasePlan(initial_colors=None, injections=[inj])
+
+
+class TestAdversaryContracts:
+    def test_misaligned_colors_rejected(self, net):
+        byz = np.zeros(net.n, dtype=bool)
+        byz[[3, 7, 11]] = True
+        with pytest.raises(ValueError, match="align"):
+            run_byzantine_counting(
+                net, MisalignedAdversary(), byz, config=CountingConfig(), seed=0
+            )
+
+    def test_late_injections_all_rejected_with_verification(self, net):
+        byz = np.zeros(net.n, dtype=bool)
+        byz[3] = True
+        res = run_byzantine_counting(
+            net, LateInjector(), byz, config=CountingConfig(max_phase=12), seed=0
+        )
+        # Round k-1 = 2; phases 1 and 2 have legal final rounds, later
+        # phases' final-round injections are all rejected.
+        assert res.injections_rejected > 0
+        trace_by_phase = {r.phase: r for r in res.trace}
+        for phase, rec in trace_by_phase.items():
+            if phase > net.k - 1:
+                assert rec.injections_accepted == 0
+
+    def test_single_byzantine_node(self, net):
+        byz = np.zeros(net.n, dtype=bool)
+        byz[0] = True
+        res = run_byzantine_counting(
+            net, HonestAdversary(), byz, config=CountingConfig(max_phase=12), seed=0
+        )
+        assert res.fraction_decided() == 1.0
+
+    def test_crashed_nodes_excluded_from_decisions(self, net):
+        byz = np.zeros(net.n, dtype=bool)
+        byz[5] = True
+        res = run_byzantine_counting(
+            net, TopologyLiarAdversary(), byz, config=CountingConfig(max_phase=12), seed=0
+        )
+        assert res.crashed.any()
+        # Crashed nodes never decide.
+        assert np.all(res.decided_phase[res.crashed] == -1)
+
+    def test_stop_when_all_decided_off_runs_to_max(self, net):
+        cfg = CountingConfig(max_phase=9, stop_when_all_decided=False, verification=False)
+        res = run_counting(net, cfg, seed=0)
+        assert res.trace.last_phase() == 9
+
+    def test_verification_cost_accounted(self, net):
+        byz = np.zeros(net.n, dtype=bool)
+        byz[3] = True
+        base = run_byzantine_counting(
+            net,
+            HonestAdversary(),
+            byz,
+            config=CountingConfig(max_phase=8, verification_round_cost=0),
+            seed=0,
+        )
+        costed = run_byzantine_counting(
+            net,
+            HonestAdversary(),
+            byz,
+            config=CountingConfig(max_phase=8, verification_round_cost=4),
+            seed=0,
+        )
+        assert costed.meter.rounds > base.meter.rounds
+        # Decisions identical — the cost model does not change semantics.
+        assert np.array_equal(costed.decided_phase, base.decided_phase)

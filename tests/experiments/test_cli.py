@@ -1,0 +1,41 @@
+"""Tests for the experiment CLI and shared helpers."""
+
+import pytest
+
+from repro.experiments.common import network, ns_for
+from repro.experiments.run import main
+
+
+class TestCommon:
+    def test_network_cached(self):
+        a = network(64, 6, seed=1)
+        b = network(64, 6, seed=1)
+        assert a is b  # lru_cache shares instances within a process
+
+    def test_network_distinct_keys(self):
+        a = network(64, 6, seed=1)
+        b = network(64, 6, seed=2)
+        assert a is not b
+
+    def test_ns_for(self):
+        assert ns_for("small", small=(1,), full=(1, 2)) == (1,)
+        assert ns_for("full", small=(1,), full=(1, 2)) == (1, 2)
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        rc = main(["--exp", "E05", "--scale", "small", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "E05" in out
+        assert "PASS" in out
+
+    def test_multiple_experiments(self, capsys):
+        rc = main(["--exp", "E02", "--exp", "E09", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E02" in out and "E09" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            main(["--exp", "E99"])

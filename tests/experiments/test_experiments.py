@@ -1,0 +1,64 @@
+"""The experiment suite itself is under test: every registered experiment
+must run at small scale and pass its own shape checks."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    Table,
+    all_experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+EXPECTED_IDS = [f"E{i:02d}" for i in range(1, 15)]
+
+
+class TestRegistry:
+    def test_all_fourteen_registered(self):
+        assert all_experiment_ids() == EXPECTED_IDS
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("E99")
+
+    def test_metadata_present(self):
+        for exp_id in all_experiment_ids():
+            exp = get_experiment(exp_id)
+            assert exp.title
+            assert exp.claim
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            get_experiment("E01").run(scale="huge")
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(title="t", columns=["a", "bb"])
+        t.add(1, 2.5)
+        text = t.render()
+        assert "a" in text and "bb" in text and "2.5" in text
+
+    def test_row_width_checked(self):
+        t = Table(title="t", columns=["a"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)
+
+    def test_float_formatting(self):
+        t = Table(title="t", columns=["x"])
+        t.add(0.333333333)
+        t.add(float("nan"))
+        t.add(123456.0)
+        rendered = t.render()
+        assert "0.333" in rendered
+        assert "nan" in rendered
+
+
+@pytest.mark.parametrize("exp_id", EXPECTED_IDS)
+def test_experiment_small_scale_passes(exp_id):
+    result = run_experiment(exp_id, scale="small", seed=1)
+    assert result.tables, f"{exp_id} produced no tables"
+    assert result.checks, f"{exp_id} defined no shape checks"
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{exp_id} failed shape checks: {failed}"

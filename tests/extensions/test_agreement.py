@@ -1,0 +1,92 @@
+"""Tests for the counting -> agreement pipeline extension."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import placement_for_delta
+from repro.core import run_byzantine_counting, make_adversary, CountingConfig
+from repro.extensions import run_ae_agreement
+from repro.graphs import build_small_world
+from repro.sim.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_small_world(512, 8, seed=29)
+
+
+class TestHonestAgreement:
+    def test_clear_majority_converges(self, net):
+        rng = make_rng(1)
+        inputs = (rng.random(net.n) < 0.7).astype(np.int8)
+        budgets = np.full(net.n, 10, dtype=np.int64)
+        res = run_ae_agreement(net, inputs, budgets, seed=2)
+        assert res.almost_everywhere
+        assert res.validity
+        assert res.agreed_value == 1
+
+    def test_unanimous_stays(self, net):
+        inputs = np.ones(net.n, dtype=np.int8)
+        budgets = np.full(net.n, 5, dtype=np.int64)
+        res = run_ae_agreement(net, inputs, budgets, seed=2)
+        assert res.agreement_fraction == 1.0
+        assert res.agreed_value == 1
+
+    def test_zero_budget_freezes_inputs(self, net):
+        rng = make_rng(3)
+        inputs = (rng.random(net.n) < 0.6).astype(np.int8)
+        budgets = np.zeros(net.n, dtype=np.int64)
+        res = run_ae_agreement(net, inputs, budgets, seed=2)
+        assert np.array_equal(res.final_bits, inputs)
+
+
+class TestByzantineAgreement:
+    def test_minority_pushers_fail_against_clear_majority(self, net):
+        rng = make_rng(4)
+        inputs = (rng.random(net.n) < 0.75).astype(np.int8)
+        byz = placement_for_delta(net, 0.5, rng=5)
+        budgets = np.full(net.n, 12, dtype=np.int64)
+        res = run_ae_agreement(net, inputs, budgets, byz, strategy="minority", seed=2)
+        assert res.almost_everywhere
+        assert res.validity
+
+    @pytest.mark.parametrize("strategy", ["split", "silent"])
+    def test_other_strategies(self, net, strategy):
+        rng = make_rng(6)
+        inputs = (rng.random(net.n) < 0.8).astype(np.int8)
+        byz = placement_for_delta(net, 0.5, rng=5)
+        budgets = np.full(net.n, 12, dtype=np.int64)
+        res = run_ae_agreement(net, inputs, budgets, byz, strategy=strategy, seed=2)
+        assert res.almost_everywhere
+
+    def test_unknown_strategy_rejected(self, net):
+        with pytest.raises(ValueError, match="strategy"):
+            run_ae_agreement(
+                net,
+                np.ones(net.n, dtype=np.int8),
+                np.ones(net.n, dtype=np.int64),
+                np.zeros(net.n, dtype=bool),
+                strategy="chaos",
+            )
+
+    def test_shape_validation(self, net):
+        with pytest.raises(ValueError, match="shape"):
+            run_ae_agreement(net, np.ones(3, dtype=np.int8), np.ones(net.n))
+
+
+class TestPipeline:
+    def test_counting_estimates_feed_agreement(self, net):
+        """The full Section 1.1 story: count under attack, then agree."""
+        byz = placement_for_delta(net, 0.5, rng=7)
+        counting = run_byzantine_counting(
+            net, make_adversary("early-stop"), byz,
+            config=CountingConfig(max_phase=24), seed=8,
+        )
+        # Round budget per node: c * its own estimate (c=3 covers the
+        # constant-factor gap between phase and log n).
+        budgets = np.maximum(counting.decided_phase, 1) * 3
+        rng = make_rng(9)
+        inputs = (rng.random(net.n) < 0.7).astype(np.int8)
+        res = run_ae_agreement(net, inputs, budgets, byz, strategy="minority", seed=10)
+        assert res.almost_everywhere
+        assert res.validity

@@ -1,0 +1,59 @@
+"""Tests for the dynamic-network (churn) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import CountingConfig
+from repro.extensions import track_size_over_epochs
+
+
+class TestTrajectory:
+    def test_tracks_growth(self):
+        report = track_size_over_epochs(
+            [256, 512, 1024], d=8, adversary="honest", churn_rate=0.1, seed=1,
+            config=CountingConfig(max_phase=20),
+        )
+        assert len(report) == 3
+        assert report.tracks_growth()
+        assert report.always_in_band(0.9)
+
+    def test_tracks_shrink(self):
+        report = track_size_over_epochs(
+            [1024, 256], d=8, adversary="honest", churn_rate=0.0, seed=2,
+            config=CountingConfig(max_phase=20),
+        )
+        assert report.records[1].median_phase <= report.records[0].median_phase
+
+    def test_under_attack(self):
+        report = track_size_over_epochs(
+            [512, 1024], d=8, adversary="early-stop", delta=0.5,
+            churn_rate=0.2, seed=3, config=CountingConfig(max_phase=20),
+        )
+        for rec in report.records:
+            assert rec.fraction_decided == 1.0
+            assert rec.byz_count > 0
+        assert report.always_in_band(0.85)
+
+    def test_churn_counts_recorded(self):
+        report = track_size_over_epochs(
+            [500], d=8, adversary="honest", churn_rate=0.25, seed=4,
+            config=CountingConfig(max_phase=20),
+        )
+        assert report.records[0].churned == 125
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="epoch"):
+            track_size_over_epochs([])
+        with pytest.raises(ValueError, match="churn_rate"):
+            track_size_over_epochs([128], churn_rate=1.5)
+
+    def test_epoch_records_fields(self):
+        report = track_size_over_epochs(
+            [256], d=8, adversary="honest", seed=5,
+            config=CountingConfig(max_phase=20),
+        )
+        rec = report.records[0]
+        assert rec.n == 256
+        assert rec.log2_n == pytest.approx(8.0)
+        assert rec.rounds > 0
+        assert np.isfinite(rec.median_phase)

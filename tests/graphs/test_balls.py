@@ -1,0 +1,161 @@
+"""Unit tests for BFS ball/sphere utilities (Definitions 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.balls import (
+    ball,
+    ball_sizes,
+    bfs_distances,
+    connected_components,
+    distances_to_set,
+    eccentricity,
+    gather_neighbors,
+    largest_component_mask,
+    sphere,
+)
+
+
+def path_csr(n):
+    """CSR adjacency of the path 0-1-...-(n-1)."""
+    indptr = [0]
+    indices = []
+    for v in range(n):
+        nbrs = [u for u in (v - 1, v + 1) if 0 <= u < n]
+        indices.extend(nbrs)
+        indptr.append(len(indices))
+    return np.array(indptr, dtype=np.int64), np.array(indices, dtype=np.int64)
+
+
+def cycle_csr(n):
+    indptr = np.arange(n + 1, dtype=np.int64) * 2
+    indices = np.empty(2 * n, dtype=np.int64)
+    for v in range(n):
+        indices[2 * v] = (v - 1) % n
+        indices[2 * v + 1] = (v + 1) % n
+    return indptr, indices
+
+
+class TestGatherNeighbors:
+    def test_empty_input(self):
+        indptr, indices = path_csr(5)
+        out = gather_neighbors(indptr, indices, np.array([], dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_single_node(self):
+        indptr, indices = path_csr(5)
+        out = gather_neighbors(indptr, indices, np.array([2]))
+        assert sorted(out.tolist()) == [1, 3]
+
+    def test_multiple_nodes_concatenated(self):
+        indptr, indices = path_csr(5)
+        out = gather_neighbors(indptr, indices, np.array([0, 4]))
+        assert sorted(out.tolist()) == [1, 3]
+
+    def test_ragged_rows(self):
+        indptr, indices = path_csr(5)
+        out = gather_neighbors(indptr, indices, np.array([0, 2]))
+        assert sorted(out.tolist()) == [1, 1, 3]
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        indptr, indices = path_csr(6)
+        dist = bfs_distances(indptr, indices, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_cycle_distances(self):
+        indptr, indices = cycle_csr(8)
+        dist = bfs_distances(indptr, indices, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_max_depth_truncates(self):
+        indptr, indices = path_csr(6)
+        dist = bfs_distances(indptr, indices, 0, max_depth=2)
+        assert dist.tolist() == [0, 1, 2, -1, -1, -1]
+
+    def test_multi_source(self):
+        indptr, indices = path_csr(7)
+        dist = bfs_distances(indptr, indices, np.array([0, 6]))
+        assert dist.tolist() == [0, 1, 2, 3, 2, 1, 0]
+
+    def test_blocked_nodes_cut_paths(self):
+        indptr, indices = path_csr(5)
+        blocked = np.zeros(5, dtype=bool)
+        blocked[2] = True
+        dist = bfs_distances(indptr, indices, 0, blocked=blocked)
+        assert dist.tolist() == [0, 1, -1, -1, -1]
+
+    def test_blocked_source_ignored(self):
+        indptr, indices = path_csr(3)
+        blocked = np.zeros(3, dtype=bool)
+        blocked[0] = True
+        dist = bfs_distances(indptr, indices, np.array([0, 2]), blocked=blocked)
+        assert dist.tolist() == [-1, 1, 0]
+
+
+class TestBallsAndSpheres:
+    def test_ball_on_h(self, h_small):
+        b1 = ball(h_small.indptr, h_small.indices, 0, 1)
+        assert 0 in b1
+        assert set(h_small.unique_neighbors(0).tolist()) <= set(b1.tolist())
+
+    def test_sphere_disjoint_union(self, h_small):
+        b2 = set(ball(h_small.indptr, h_small.indices, 3, 2).tolist())
+        pieces = [
+            set(sphere(h_small.indptr, h_small.indices, 3, r).tolist())
+            for r in range(3)
+        ]
+        assert pieces[0] == {3}
+        assert b2 == pieces[0] | pieces[1] | pieces[2]
+
+    def test_ball_sizes_monotone(self, h_small):
+        sizes = ball_sizes(h_small.indptr, h_small.indices, 0, 4)
+        assert sizes[0] == 1
+        assert np.all(np.diff(sizes) >= 0)
+
+    def test_ball_growth_bounded_by_observation1(self, h_small):
+        # |B(v, r)| < (d-1)^{r+1} for r >= 2 (Observation 1).
+        sizes = ball_sizes(h_small.indptr, h_small.indices, 0, 3)
+        for r in (2, 3):
+            assert sizes[r] < (h_small.d - 1) ** (r + 1) + h_small.d
+
+
+class TestEccentricityComponents:
+    def test_path_eccentricity(self):
+        indptr, indices = path_csr(5)
+        assert eccentricity(indptr, indices, 0) == 4
+        assert eccentricity(indptr, indices, 2) == 2
+
+    def test_disconnected_raises(self):
+        indptr = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+        indices = np.array([1, 0, 3, 2], dtype=np.int64)  # two disjoint edges
+        with pytest.raises(ValueError, match="not connected"):
+            eccentricity(indptr, indices, 0)
+
+    def test_components_two_islands(self):
+        indptr = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+        indices = np.array([1, 0, 3, 2], dtype=np.int64)
+        labels = connected_components(indptr, indices)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_largest_component_with_blocked(self):
+        indptr, indices = path_csr(7)
+        blocked = np.zeros(7, dtype=bool)
+        blocked[2] = True  # splits into {0,1} and {3,4,5,6}
+        mask = largest_component_mask(indptr, indices, blocked=blocked)
+        assert mask.tolist() == [False, False, False, True, True, True, True]
+
+    def test_distances_to_empty_set(self):
+        indptr, indices = path_csr(4)
+        dist = distances_to_set(indptr, indices, np.array([], dtype=np.int64))
+        assert np.all(dist == -1)
+
+    def test_distances_to_set_matches_min(self):
+        indptr, indices = path_csr(8)
+        targets = np.array([0, 7])
+        dist = distances_to_set(indptr, indices, targets)
+        for v in range(8):
+            assert dist[v] == min(v, 7 - v)

@@ -1,0 +1,88 @@
+"""Unit tests for Definition 7-9 node classification."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    classify_nodes,
+    full_tree_ball_size,
+    is_locally_tree_like,
+    ltl_mask,
+    tree_radius,
+)
+
+
+class TestTreeRadius:
+    def test_paper_formula_floor(self):
+        # log2(1024) / (10 log2 8) = 10/30 -> floors to 0 -> clamped to 1.
+        assert tree_radius(1024, 8) == 1
+
+    def test_grows_eventually(self):
+        assert tree_radius(2**40, 4) >= 2
+
+
+class TestFullTreeBallSize:
+    @pytest.mark.parametrize(
+        "d,r,size",
+        [(8, 0, 1), (8, 1, 9), (8, 2, 65), (8, 3, 457), (4, 2, 17)],
+    )
+    def test_values(self, d, r, size):
+        assert full_tree_ball_size(d, r) == size
+
+
+class TestLocallyTreeLike:
+    def test_mask_matches_pointwise(self, h_small):
+        mask = ltl_mask(h_small, 1)
+        for v in range(0, h_small.n, 7):
+            assert mask[v] == is_locally_tree_like(h_small, v, 1)
+
+    def test_radius_monotone(self, h_small):
+        # LTL at radius 2 implies LTL at radius 1.
+        m1 = ltl_mask(h_small, 1)
+        m2 = ltl_mask(h_small, 2)
+        assert np.all(~m2 | m1)
+
+    def test_some_nodes_ltl_at_radius_1(self, h_small):
+        # Lemma 21's envelope is 1 - O(n^-0.2): extremely slow convergence,
+        # so at n=128 only a modest fraction is LTL (E01 shows the trend).
+        frac = ltl_mask(h_small, 1).mean()
+        assert 0.1 < frac < 1.0
+
+    def test_ltl_node_has_full_ball(self, h_small):
+        mask = ltl_mask(h_small, 1)
+        v = int(np.flatnonzero(mask)[0])
+        assert h_small.unique_neighbors(v).shape[0] == h_small.d
+
+
+class TestClassify:
+    def test_identities(self, net_small, byz_mask_small):
+        sets = classify_nodes(net_small, byz_mask_small, radius=1, safe_radius=1)
+        sizes = sets.sizes()
+        n = net_small.n
+        assert sizes["Byz"] + sizes["Honest"] == n
+        assert sizes["LTL"] + sizes["NLT"] == n
+        assert sizes["Safe"] + sizes["Unsafe"] == n
+        assert sizes["BUS"] + sizes["Byz-safe"] == n
+
+    def test_bad_is_union(self, net_small, byz_mask_small):
+        sets = classify_nodes(net_small, byz_mask_small, radius=1, safe_radius=1)
+        assert np.array_equal(sets.bad, sets.byz | sets.nlt)
+
+    def test_byz_are_unsafe_for_bus(self, net_small, byz_mask_small):
+        sets = classify_nodes(net_small, byz_mask_small, radius=1, safe_radius=1)
+        # Byzantine nodes are at distance 0 from Bad, hence in BUS.
+        assert np.all(sets.bus[byz_mask_small])
+
+    def test_no_byzantine_no_bus_beyond_nlt(self, net_small):
+        byz = np.zeros(net_small.n, dtype=bool)
+        sets = classify_nodes(net_small, byz, radius=1, safe_radius=1)
+        # With no Byzantine nodes, Bad = NLT, so BUS = Unsafe.
+        assert np.array_equal(sets.bus, sets.unsafe)
+
+    def test_wrong_shape_raises(self, net_small):
+        with pytest.raises(ValueError, match="shape"):
+            classify_nodes(net_small, np.zeros(3, dtype=bool), radius=1, safe_radius=1)
+
+    def test_validate_passes(self, net_small, byz_mask_small):
+        sets = classify_nodes(net_small, byz_mask_small, radius=1, safe_radius=1)
+        sets.validate()  # should not raise

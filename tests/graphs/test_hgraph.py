@@ -1,0 +1,112 @@
+"""Unit tests for the H(n, d) random regular multigraph model."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generate_hgraph
+from repro.graphs.hgraph import hamiltonian_cycle_edges
+
+
+class TestGeneration:
+    def test_basic_shape(self, h_small):
+        assert h_small.n == 128
+        assert h_small.d == 8
+        assert h_small.cycles.shape == (4, 128)
+        assert h_small.indices.shape == (128 * 8,)
+
+    def test_every_node_has_degree_d(self, h_small):
+        degs = np.bincount(h_small.indices, minlength=h_small.n)
+        assert np.all(degs == h_small.d)
+
+    def test_indptr_regular(self, h_small):
+        assert np.array_equal(
+            h_small.indptr, np.arange(129, dtype=np.int64) * 8
+        )
+
+    def test_cycles_are_permutations(self, h_small):
+        for c in range(4):
+            assert np.array_equal(
+                np.sort(h_small.cycles[c]), np.arange(128)
+            )
+
+    def test_deterministic_given_seed(self):
+        a = generate_hgraph(64, 6, seed=3)
+        b = generate_hgraph(64, 6, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.cycles, b.cycles)
+
+    def test_different_seeds_differ(self):
+        a = generate_hgraph(64, 6, seed=3)
+        b = generate_hgraph(64, 6, seed=4)
+        assert not np.array_equal(a.cycles, b.cycles)
+
+    def test_connected(self, h_small):
+        # A single Hamiltonian cycle already connects everything.
+        assert h_small.is_connected()
+
+    def test_no_self_loops(self, h_small):
+        for v in range(h_small.n):
+            assert v not in h_small.neighbors(v)
+
+    def test_adjacency_symmetric_with_multiplicity(self, h_small):
+        counts = {}
+        for v in range(h_small.n):
+            for u in h_small.neighbors(v):
+                counts[(v, int(u))] = counts.get((v, int(u)), 0) + 1
+        for (v, u), c in counts.items():
+            assert counts.get((u, v), 0) == c
+
+    def test_num_edges(self, h_small):
+        assert h_small.num_edges == 128 * 8 // 2
+
+    def test_minimum_degree_two(self):
+        g = generate_hgraph(16, 2, seed=0)
+        assert np.all(np.bincount(g.indices, minlength=16) == 2)
+
+
+class TestValidationErrors:
+    def test_rejects_odd_degree(self):
+        with pytest.raises(ValueError, match="even"):
+            generate_hgraph(16, 7, seed=0)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            generate_hgraph(2, 2, seed=0)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            generate_hgraph(16, 0, seed=0)
+
+
+class TestCycleEdges:
+    def test_cycle_edge_count(self):
+        u, v = hamiltonian_cycle_edges(np.array([0, 2, 1, 3]))
+        assert u.shape == (4,)
+        pairs = set(zip(u.tolist(), v.tolist()))
+        assert (3, 0) in pairs  # wraps around
+
+    def test_edge_list_matches_num_edges(self, h_small):
+        u, v = h_small.edge_list()
+        assert u.shape[0] == h_small.num_edges
+
+
+class TestConversions:
+    def test_to_scipy_row_sums(self, h_small):
+        mat = h_small.to_scipy()
+        sums = np.asarray(mat.sum(axis=1)).ravel()
+        assert np.all(sums == h_small.d)
+
+    def test_to_networkx(self, h_small):
+        g = h_small.to_networkx()
+        assert g.number_of_nodes() == h_small.n
+        assert g.number_of_edges() == h_small.num_edges
+        degrees = dict(g.degree())
+        assert all(deg == h_small.d for deg in degrees.values())
+
+    def test_multi_edge_count_nonnegative(self, h_small):
+        assert h_small.multi_edge_count() >= 0
+
+    def test_unique_neighbors_subset(self, h_small):
+        for v in (0, 5, 99):
+            uniq = h_small.unique_neighbors(v)
+            assert set(uniq.tolist()) == set(h_small.neighbors(v).tolist())

@@ -1,0 +1,108 @@
+"""Unit tests for graph property estimators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    average_clustering,
+    cut_expansion,
+    degree_stats,
+    diameter,
+    edge_expansion_sampled,
+    eccentricity_sample,
+    generate_hgraph,
+    network_summary,
+    ramanujan_bound,
+    spectral_report,
+)
+
+
+class TestSpectral:
+    def test_lambda1_equals_d(self, h_small):
+        spec = spectral_report(h_small)
+        assert spec.lambda1 == pytest.approx(h_small.d, abs=1e-8)
+
+    def test_lambda2_below_d(self, h_small):
+        spec = spectral_report(h_small)
+        assert spec.lambda2 < h_small.d
+
+    def test_near_ramanujan_whp(self, h_small):
+        spec = spectral_report(h_small)
+        assert spec.lambda2 <= 1.2 * ramanujan_bound(h_small.d)
+
+    def test_cheeger_consistent(self, h_small):
+        spec = spectral_report(h_small)
+        assert spec.cheeger_lower == pytest.approx(spec.spectral_gap / 2)
+
+    def test_ramanujan_bound_value(self):
+        assert ramanujan_bound(8) == pytest.approx(2 * np.sqrt(7))
+
+
+class TestCutExpansion:
+    def test_single_node_cut(self, h_small):
+        # A single node's boundary is its degree.
+        assert cut_expansion(h_small.indptr, h_small.indices, np.array([0])) == h_small.d
+
+    def test_whole_graph_has_zero_boundary(self, h_small):
+        subset = np.arange(h_small.n)
+        assert cut_expansion(h_small.indptr, h_small.indices, subset) == 0.0
+
+    def test_empty_subset_raises(self, h_small):
+        with pytest.raises(ValueError):
+            cut_expansion(h_small.indptr, h_small.indices, np.array([], dtype=np.int64))
+
+    def test_sampled_expansion_positive(self, h_small):
+        h = edge_expansion_sampled(h_small, rng=1, trials=32)
+        assert 0 < h <= h_small.d
+
+    def test_sampled_expansion_at_most_cheeger_consistent(self, h_small):
+        # The sampled cut value upper-bounds the true expansion which
+        # lower-bounds via Cheeger; sampled >= cheeger_lower necessarily.
+        spec = spectral_report(h_small)
+        h = edge_expansion_sampled(h_small, rng=1, trials=32)
+        assert h >= spec.cheeger_lower * 0.5  # slack: sampling noise
+
+
+class TestClusteringDiameter:
+    def test_clustering_of_h_is_small(self, h_small):
+        c = average_clustering(h_small.indptr, h_small.indices, sample=None)
+        assert c < 0.2
+
+    def test_clustering_bounds(self, net_small):
+        c = average_clustering(net_small.g_indptr, net_small.g_indices, sample=64)
+        assert 0.0 <= c <= 1.0
+
+    def test_diameter_exact_vs_sampled(self, h_small):
+        exact = diameter(h_small.indptr, h_small.indices, exact=True)
+        sampled = diameter(h_small.indptr, h_small.indices, rng=0, sample=16)
+        assert sampled <= exact
+        assert sampled >= exact - 1  # double sweep is near-exact on expanders
+
+    def test_eccentricity_sample_range(self, h_small):
+        eccs = eccentricity_sample(h_small.indptr, h_small.indices, rng=0, sample=8)
+        d = diameter(h_small.indptr, h_small.indices, exact=True)
+        assert np.all(eccs <= d)
+        assert np.all(eccs >= d / 2)  # radius >= diameter / 2
+
+
+class TestDegreeStats:
+    def test_regular(self, h_small):
+        stats = degree_stats(h_small.indptr)
+        assert stats.is_regular
+        assert stats.minimum == stats.maximum == h_small.d
+        assert stats.mean == h_small.d
+
+    def test_irregular(self):
+        indptr = np.array([0, 1, 3, 4], dtype=np.int64)
+        stats = degree_stats(indptr)
+        assert not stats.is_regular
+        assert stats.minimum == 1
+        assert stats.maximum == 2
+
+
+class TestNetworkSummary:
+    def test_summary_keys(self, net_small):
+        summary = network_summary(net_small)
+        for key in ("n", "d", "k", "lambda2", "clustering_G", "diameter_H"):
+            assert key in summary
+        assert summary["clustering_G"] > summary["clustering_H"]

@@ -1,0 +1,58 @@
+"""Unit tests for the Watts-Strogatz comparison model."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generate_watts_strogatz
+from repro.graphs.balls import bfs_distances
+
+
+class TestRingLattice:
+    def test_p_zero_is_ring(self):
+        g = generate_watts_strogatz(32, 4, 0.0, seed=1)
+        assert np.all(g.degrees() == 4)
+        assert sorted(g.neighbors(0).tolist()) == [1, 2, 30, 31]
+
+    def test_p_zero_connected(self):
+        g = generate_watts_strogatz(40, 4, 0.0, seed=1)
+        dist = bfs_distances(g.indptr, g.indices, 0)
+        assert np.all(dist != -1)
+
+
+class TestRewiring:
+    def test_edge_count_preserved(self):
+        g0 = generate_watts_strogatz(64, 6, 0.0, seed=2)
+        g1 = generate_watts_strogatz(64, 6, 0.5, seed=2)
+        assert g0.indices.shape[0] == g1.indices.shape[0]
+
+    def test_rewired_degrees_vary(self):
+        g = generate_watts_strogatz(128, 6, 1.0, seed=2)
+        degs = g.degrees()
+        assert degs.min() < degs.max()  # the paper's point: not regular
+
+    def test_symmetry(self):
+        g = generate_watts_strogatz(48, 4, 0.3, seed=3)
+        pairs = set()
+        for v in range(48):
+            for u in g.neighbors(v):
+                pairs.add((v, int(u)))
+        assert all((u, v) in pairs for (v, u) in pairs)
+
+    def test_deterministic(self):
+        a = generate_watts_strogatz(48, 4, 0.3, seed=3)
+        b = generate_watts_strogatz(48, 4, 0.3, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestValidation:
+    def test_odd_ring_degree_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            generate_watts_strogatz(32, 5, 0.1)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError, match="rewire_p"):
+            generate_watts_strogatz(32, 4, 1.5)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError, match="n > ring_degree"):
+            generate_watts_strogatz(4, 4, 0.1)

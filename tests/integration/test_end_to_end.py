@@ -1,0 +1,85 @@
+"""End-to-end flows through the public API, mirroring the paper's story:
+
+baselines break under a single Byzantine node; Algorithm 2 keeps almost
+every honest node's estimate in a constant-factor band of log n.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CountingConfig,
+    estimate_network_size,
+    practical_band,
+)
+from repro.baselines import run_geometric_max
+from repro.graphs import build_small_world
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_small_world(1024, 8, seed=31)
+
+
+class TestHeadlineStory:
+    def test_baseline_breaks_but_protocol_survives(self, net):
+        # One Byzantine node destroys the baseline...
+        one = np.zeros(net.n, dtype=bool)
+        one[123] = True
+        baseline = run_geometric_max(net, seed=2, byz_mask=one, attack="fake-max")
+        assert baseline.median_estimate() > 2 * baseline.true_log2_n
+
+        # ...while Algorithm 2 under a *much* larger budget holds the band.
+        report = estimate_network_size(
+            net.n, net.d, delta=0.5, adversary="early-stop", seed=2, network=net
+        )
+        assert report.byz_count == 32
+        assert report.fraction_in_band >= 0.85
+        assert report.fraction_decided == 1.0
+
+    def test_all_color_strategies_in_band(self, net):
+        for name in ("honest", "early-stop", "inflation", "suppression", "combo"):
+            report = estimate_network_size(
+                net.n, net.d, delta=0.5, adversary=name, seed=3, network=net
+            )
+            assert report.fraction_decided == 1.0, name
+            assert report.fraction_in_band >= 0.8, name
+
+    def test_estimates_track_network_size(self):
+        medians = []
+        for n in (256, 1024):
+            report = estimate_network_size(n, 8, adversary="honest", seed=4)
+            medians.append(report.median_log2_estimate)
+        assert medians[1] > medians[0]
+
+    def test_band_is_constant_factor(self, net):
+        c1, c2 = practical_band(net.d)
+        report = estimate_network_size(net.n, net.d, adversary="honest", seed=5, network=net)
+        log_n = np.log2(net.n)
+        assert c1 * log_n <= report.median_phase <= c2 * log_n
+
+
+class TestRobustnessKnobs:
+    def test_verification_is_load_bearing(self, net):
+        cfg_off = CountingConfig(max_phase=10, verification=False)
+        report = estimate_network_size(
+            net.n,
+            net.d,
+            delta=0.5,
+            adversary="inflation",
+            seed=6,
+            network=net,
+            config=cfg_off,
+        )
+        assert report.fraction_decided == 0.0  # nobody can terminate
+
+    def test_eps_controls_schedule_cost(self, net):
+        tight = estimate_network_size(
+            net.n, net.d, adversary="honest", seed=7, network=net,
+            config=CountingConfig(eps=0.02),
+        )
+        loose = estimate_network_size(
+            net.n, net.d, adversary="honest", seed=7, network=net,
+            config=CountingConfig(eps=0.4),
+        )
+        assert tight.rounds >= loose.rounds

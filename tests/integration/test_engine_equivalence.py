@@ -1,0 +1,88 @@
+"""Cross-validation: the vectorized and agent engines must agree exactly.
+
+Both engines consume the same randomness in the same order, so for any
+seed, network and adversary they must produce identical per-node decisions
+and crash sets (DESIGN.md §2.1).  This is the strongest correctness check
+in the suite: it ties the rule-level verification semantics of the fast
+path to the message-level machinery of the agent path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import placement_for_delta
+from repro.core import CountingConfig, make_adversary
+from repro.core.agents import run_counting_agents
+from repro.core.runner import run_counting
+from repro.graphs import build_small_world
+
+STRATEGIES = [
+    "honest",
+    "early-stop",
+    "inflation",
+    "suppression",
+    "silent",
+    "adaptive-record",
+    "combo",
+    "topology-liar",
+]
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_small_world(160, 8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def byz(net):
+    return placement_for_delta(net, 0.55, rng=9)
+
+
+CFG = CountingConfig(max_phase=14)
+
+
+class TestAlgorithm1Equivalence:
+    def test_no_adversary(self, net):
+        cfg = CFG.with_(verification=False)
+        a = run_counting(net, cfg, seed=5)
+        b = run_counting_agents(net, cfg, seed=5)
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+
+    def test_multiple_seeds(self, net):
+        cfg = CFG.with_(verification=False)
+        for seed in (1, 2):
+            a = run_counting(net, cfg, seed=seed)
+            b = run_counting_agents(net, cfg, seed=seed)
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+
+
+class TestAlgorithm2Equivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_strategy(self, net, byz, strategy):
+        a = run_counting(
+            net, CFG, seed=5, adversary=make_adversary(strategy), byz_mask=byz
+        )
+        b = run_counting_agents(
+            net, CFG, seed=5, adversary=make_adversary(strategy), byz_mask=byz
+        )
+        assert np.array_equal(a.crashed, b.crashed)
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+
+    def test_verification_off_equivalence(self, net, byz):
+        cfg = CFG.with_(verification=False, max_phase=8)
+        a = run_counting(
+            net, cfg, seed=5, adversary=make_adversary("inflation"), byz_mask=byz
+        )
+        b = run_counting_agents(
+            net, cfg, seed=5, adversary=make_adversary("inflation"), byz_mask=byz
+        )
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+
+
+class TestAgentMessageAccounting:
+    def test_agent_engine_meters_messages(self, net, byz):
+        res = run_counting_agents(
+            net, CFG, seed=5, adversary=make_adversary("early-stop"), byz_mask=byz
+        )
+        assert res.meter.messages > 0
+        assert res.meter.max_message_ids >= net.d  # adjacency claims carry d IDs

@@ -1,0 +1,74 @@
+"""Property-based tests for the analysis formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bounds
+from repro.core.phases import alpha_appendix, alpha_pseudocode, subphase_count
+
+phases = st.integers(min_value=1, max_value=40)
+eps_values = st.floats(min_value=0.01, max_value=0.9)
+degrees = st.sampled_from([6, 8, 10, 12])
+
+
+@settings(max_examples=100, deadline=None)
+@given(i=phases, eps=eps_values, d=degrees)
+def test_alpha_always_positive_integer(i, eps, d):
+    for fn in (alpha_appendix, alpha_pseudocode):
+        a = fn(i, eps, d)
+        assert isinstance(a, int)
+        assert a >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(i=phases, eps=eps_values, d=degrees)
+def test_subphases_at_least_alpha(i, eps, d):
+    assert subphase_count(i, eps, d, "appendix", "i") >= alpha_appendix(i, eps, d)
+
+
+@settings(max_examples=60, deadline=None)
+@given(i=phases, d=degrees)
+def test_threshold_strictly_below_ell(i, d):
+    level = bounds.ell(i, d)
+    thr = bounds.color_threshold(i, d)
+    assert thr < level
+    assert thr >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(16, 1 << 20),
+    delta=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_byzantine_budget_bounds(n, delta):
+    b = bounds.byzantine_budget(n, delta)
+    assert 0 <= b <= n
+    assert b <= n ** (1 - delta) + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delta=st.floats(min_value=0.05, max_value=1.0),
+    d=degrees,
+    gamma=st.floats(min_value=0.1, max_value=4.0),
+)
+def test_a_strictly_below_b(delta, d, gamma):
+    k = bounds.k_of_d(d)
+    assert bounds.a_constant(delta, k, d) < bounds.b_constant(gamma, d)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=st.integers(2, 1 << 24))
+def test_tail_bounds_are_probabilities(m):
+    assert 0 <= bounds.max_color_upper_tail(m) <= 1
+    assert 0 <= bounds.max_color_lower_tail(m) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(i=st.integers(1, 30), eps=eps_values)
+def test_wrong_decision_bound_summable_below_eps(i, eps):
+    """sum_i eps/2^{i+1} < eps (the union-bound step of Lemma 11)."""
+    total = sum(bounds.wrong_decision_bound(j, eps) for j in range(1, i + 1))
+    assert total < eps

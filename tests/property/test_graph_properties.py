@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for graph substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import build_small_world, generate_hgraph
+from repro.graphs.balls import ball_sizes, bfs_distances, gather_neighbors
+
+sizes = st.integers(min_value=8, max_value=96)
+degrees = st.sampled_from([4, 6, 8])
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=sizes, d=degrees, seed=seeds)
+def test_hgraph_always_d_regular(n, d, seed):
+    g = generate_hgraph(n, d, seed=seed)
+    degs = np.bincount(g.indices, minlength=n)
+    assert np.all(degs == d)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=sizes, d=degrees, seed=seeds)
+def test_hgraph_adjacency_symmetric(n, d, seed):
+    g = generate_hgraph(n, d, seed=seed)
+    mat = g.to_scipy()
+    diff = (mat - mat.T)
+    assert abs(diff).sum() == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=sizes, d=degrees, seed=seeds)
+def test_hgraph_connected(n, d, seed):
+    g = generate_hgraph(n, d, seed=seed)
+    assert g.is_connected()
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=sizes, d=degrees, seed=seeds, v=st.integers(0, 7), r=st.integers(0, 4))
+def test_ball_sizes_monotone_and_bounded(n, d, seed, v, r):
+    g = generate_hgraph(n, d, seed=seed)
+    sizes_ = ball_sizes(g.indptr, g.indices, v % n, r)
+    assert sizes_[0] == 1
+    assert np.all(np.diff(sizes_) >= 0)
+    assert sizes_[-1] <= n
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=sizes, d=degrees, seed=seeds, src=st.integers(0, 7))
+def test_bfs_triangle_inequality_one_step(n, d, seed, src):
+    """dist(u) <= dist(v) + 1 for every edge (v, u)."""
+    g = generate_hgraph(n, d, seed=seed)
+    dist = bfs_distances(g.indptr, g.indices, src % n)
+    for v in range(n):
+        for u in g.neighbors(v):
+            assert dist[u] <= dist[v] + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(16, 64), seed=seeds)
+def test_small_world_g_contains_h(n, seed):
+    net = build_small_world(n, 6, seed=seed)
+    for v in range(0, n, 5):
+        h_nbrs = set(net.h_neighbors(v).tolist())
+        g_nbrs = set(net.g_neighbors(v).tolist())
+        assert h_nbrs <= g_nbrs
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(16, 64), seed=seeds)
+def test_small_world_dist_tags_valid(n, seed):
+    net = build_small_world(n, 6, seed=seed)
+    assert np.all(net.g_dist >= 1)
+    assert np.all(net.g_dist <= net.k)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=sizes, d=degrees, seed=seeds)
+def test_gather_neighbors_counts(n, d, seed):
+    g = generate_hgraph(n, d, seed=seed)
+    nodes = np.arange(0, n, 3)
+    out = gather_neighbors(g.indptr, g.indices, nodes)
+    assert out.shape[0] == nodes.shape[0] * d

@@ -1,0 +1,65 @@
+"""Property-based tests for Lemma 3 reconstruction and the crash rule."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.neighborhood import (
+    crash_phase,
+    find_conflicts,
+    reconstruct_h_ball,
+    truthful_claims,
+)
+from repro.graphs import build_small_world
+from repro.graphs.balls import bfs_distances
+
+seeds = st.integers(min_value=0, max_value=200)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=seeds, v=st.integers(0, 63))
+def test_truthful_claims_never_conflict(seed, v):
+    net = build_small_world(64, 6, seed=seed)
+    truth = truthful_claims(net)
+    ports = net.g_neighbors(v)
+    claims = {int(u): truth[int(u)] for u in ports}
+    assert find_conflicts(v, ports, claims, net.k, net.d) == ()
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=seeds, v=st.integers(0, 63))
+def test_reconstruction_matches_bfs(seed, v):
+    net = build_small_world(64, 6, seed=seed)
+    truth = truthful_claims(net)
+    ports = net.g_neighbors(v)
+    claims = {int(u): truth[int(u)] for u in ports}
+    recon = reconstruct_h_ball(v, ports, claims, net.k, net.d)
+    true_d = bfs_distances(net.h.indptr, net.h.indices, v, max_depth=net.k)
+    assert set(recon) == set(np.flatnonzero(true_d >= 0).tolist())
+    for node, dist in recon.items():
+        assert true_d[node] == dist
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=seeds, liar=st.integers(0, 63))
+def test_phantom_lie_always_crashes_someone(seed, liar):
+    """Lemma 15: a phantom-insertion lie never goes unnoticed."""
+    net = build_small_world(64, 6, seed=seed)
+    byz = np.zeros(net.n, dtype=bool)
+    byz[liar] = True
+    real = sorted(int(u) for u in net.h.neighbors(liar))
+    lie = {liar: tuple(real[1:] + [net.n + 7])}
+    crashed = crash_phase(net, byz, lie)
+    assert crashed.any()
+    assert not crashed[liar]
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=seeds, liar=st.integers(0, 63))
+def test_truthful_byzantine_crashes_nobody(seed, liar):
+    net = build_small_world(64, 6, seed=seed)
+    byz = np.zeros(net.n, dtype=bool)
+    byz[liar] = True
+    truth = truthful_claims(net, np.array([liar]))
+    crashed = crash_phase(net, byz, truth)
+    assert not crashed.any()

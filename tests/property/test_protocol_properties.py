@@ -1,0 +1,83 @@
+"""Property-based tests for protocol invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import random_placement
+from repro.core import CountingConfig, make_adversary, run_basic_counting
+from repro.core.runner import run_counting
+from repro.graphs import build_small_world
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, n=st.sampled_from([64, 128, 256]))
+def test_basic_counting_always_terminates_in_band(seed, n):
+    net = build_small_world(n, 8, seed=seed % 100)
+    res = run_basic_counting(net, seed=seed)
+    pool = res.honest_uncrashed
+    decided = res.decided_phase[pool]
+    assert np.all(decided >= 1)
+    # Decisions never exceed ecc + 1 by construction of the criterion.
+    assert decided.max() <= 3 * np.log2(n)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_deterministic_replay(seed):
+    net = build_small_world(96, 8, seed=3)
+    a = run_basic_counting(net, seed=seed)
+    b = run_basic_counting(net, seed=seed)
+    assert np.array_equal(a.decided_phase, b.decided_phase)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=seeds,
+    strategy=st.sampled_from(["early-stop", "inflation", "suppression"]),
+    byz_count=st.integers(1, 8),
+)
+def test_byzantine_runs_decide_everyone(seed, strategy, byz_count):
+    net = build_small_world(128, 8, seed=5)
+    byz = random_placement(net.n, byz_count, rng=seed % 977)
+    cfg = CountingConfig(max_phase=24)
+    res = run_counting(
+        net, cfg, seed=seed, adversary=make_adversary(strategy), byz_mask=byz
+    )
+    pool = res.honest_uncrashed
+    assert np.all(res.decided_phase[pool] >= 1)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds, byz_count=st.integers(1, 6))
+def test_early_stop_never_below_byz_distance(seed, byz_count):
+    """The downward attack is distance-limited (the Lemma 11 mechanism)."""
+    from repro.graphs.balls import distances_to_set
+
+    net = build_small_world(128, 8, seed=7)
+    byz = random_placement(net.n, byz_count, rng=seed % 977)
+    res = run_counting(
+        net,
+        CountingConfig(max_phase=24),
+        seed=seed,
+        adversary=make_adversary("early-stop"),
+        byz_mask=byz,
+    )
+    dist = distances_to_set(net.h.indptr, net.h.indices, np.flatnonzero(byz))
+    pool = res.honest_uncrashed
+    assert np.all(res.decided_phase[pool] >= dist[pool])
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=seeds)
+def test_colors_reproducible_across_engines(seed):
+    """Vectorized and agent paths agree on arbitrary seeds (spot check)."""
+    from repro.core.agents import run_counting_agents
+
+    net = build_small_world(96, 8, seed=9)
+    cfg = CountingConfig(max_phase=10, verification=False)
+    a = run_counting(net, cfg, seed=seed)
+    b = run_counting_agents(net, cfg, seed=seed)
+    assert np.array_equal(a.decided_phase, b.decided_phase)

@@ -1,0 +1,115 @@
+"""Unit tests for the synchronous message-passing engine."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SynchronousEngine
+from repro.sim.messages import ValueMessage
+from repro.sim.node import NodeProgram
+
+
+class EchoProgram(NodeProgram):
+    """Records inbox values; on the first round sends its id to neighbors."""
+
+    def __init__(self, node):
+        self.node = node
+        self.crashed = False
+        self.seen = []
+
+    def on_round(self, ctx):
+        for sender, msg in ctx.inbox:
+            self.seen.append((ctx.round, sender, msg.value))
+        if ctx.round == 1:
+            ctx.broadcast(ValueMessage(float(self.node)))
+
+
+def build_engine(net, cls=EchoProgram, seed=0):
+    return SynchronousEngine(net, {v: cls(v) for v in range(net.n)}, seed=seed)
+
+
+class TestDelivery:
+    def test_messages_arrive_next_round(self, net_small):
+        eng = build_engine(net_small)
+        eng.step()  # round 1: everyone broadcasts
+        assert all(not p.seen for p in eng.programs.values())
+        eng.step()  # round 2: delivery
+        got = eng.programs[0].seen
+        senders = {s for (_, s, _) in got}
+        assert senders == set(net_small.g_neighbors(0).tolist())
+
+    def test_meter_counts_delivered(self, net_small):
+        eng = build_engine(net_small)
+        eng.run(2)
+        total_ports = int(net_small.g_indptr[-1])
+        assert eng.meter.messages == total_ports
+        assert eng.meter.rounds == 2
+
+    def test_send_to_non_neighbor_rejected(self, net_small):
+        class BadProgram(NodeProgram):
+            crashed = False
+
+            def on_round(self, ctx):
+                far = (ctx.node + 57) % 128
+                if far not in set(ctx.neighbors.tolist()) and far != ctx.node:
+                    ctx.send(far, ValueMessage(1.0))
+
+        eng = SynchronousEngine(
+            net_small, {v: BadProgram() for v in range(net_small.n)}, seed=0
+        )
+        with pytest.raises(ValueError, match="non-neighbor"):
+            eng.step()
+
+    def test_send_to_self_rejected(self, net_small):
+        class SelfProgram(NodeProgram):
+            crashed = False
+
+            def on_round(self, ctx):
+                ctx.send(ctx.node, ValueMessage(1.0))
+
+        eng = SynchronousEngine(
+            net_small, {v: SelfProgram() for v in range(net_small.n)}, seed=0
+        )
+        with pytest.raises(ValueError, match="itself"):
+            eng.step()
+
+
+class TestCrashSemantics:
+    def test_crashed_nodes_do_not_run_or_receive(self, net_small):
+        eng = build_engine(net_small)
+        victim = int(net_small.g_neighbors(0)[0])
+        eng.programs[victim].crash()
+        eng.run(2)
+        assert eng.programs[victim].seen == []
+        # And nobody received from the victim.
+        for v in range(net_small.n):
+            assert all(s != victim for (_, s, _) in eng.programs[v].seen)
+
+    def test_crashed_mask(self, net_small):
+        eng = build_engine(net_small)
+        eng.programs[3].crash()
+        mask = eng.crashed_mask()
+        assert mask[3] and mask.sum() == 1
+
+
+class TestControl:
+    def test_stop_when(self, net_small):
+        eng = build_engine(net_small)
+        executed = eng.run(10, stop_when=lambda e: e.round >= 3)
+        assert executed == 3
+
+    def test_flush_pending_drops(self, net_small):
+        eng = build_engine(net_small)
+        eng.step()  # queue broadcasts
+        dropped = eng.flush_pending()
+        assert dropped == int(net_small.g_indptr[-1])
+        eng.step()
+        assert all(not p.seen for p in eng.programs.values())
+
+    def test_program_coverage_validated(self, net_small):
+        with pytest.raises(ValueError, match="cover"):
+            SynchronousEngine(net_small, {0: EchoProgram(0)}, seed=0)
+
+    def test_gather(self, net_small):
+        eng = build_engine(net_small)
+        nodes = eng.gather("node")
+        assert nodes == list(range(net_small.n))

@@ -1,0 +1,81 @@
+"""Unit tests for the vectorized flooding kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.balls import bfs_distances
+from repro.sim.flood import FloodKernel
+
+
+def cycle_kernel(n):
+    indptr = np.arange(n + 1, dtype=np.int64) * 2
+    indices = np.empty(2 * n, dtype=np.int64)
+    for v in range(n):
+        indices[2 * v] = (v - 1) % n
+        indices[2 * v + 1] = (v + 1) % n
+    return FloodKernel(indptr, indices)
+
+
+class TestNeighborMax:
+    def test_cycle_propagation(self):
+        kern = cycle_kernel(6)
+        values = np.array([9, 0, 0, 0, 0, 0], dtype=np.int64)
+        out = kern.neighbor_max(values)
+        assert out.tolist() == [0, 9, 0, 0, 0, 9]
+
+    def test_zero_for_silent_neighbors(self):
+        kern = cycle_kernel(4)
+        out = kern.neighbor_max(np.zeros(4, dtype=np.int64))
+        assert np.all(out == 0)
+
+    def test_out_buffer(self):
+        kern = cycle_kernel(4)
+        values = np.array([1, 2, 3, 4], dtype=np.int64)
+        buf = np.zeros(4, dtype=np.int64)
+        result = kern.neighbor_max(values, out=buf)
+        assert result is buf
+        assert buf.tolist() == [4, 3, 4, 3]
+
+    def test_rejects_isolated_nodes(self):
+        indptr = np.array([0, 0, 1], dtype=np.int64)
+        indices = np.array([1], dtype=np.int64)
+        with pytest.raises(ValueError, match="degree"):
+            FloodKernel(indptr, indices)
+
+
+class TestSpreadSteps:
+    def test_spread_matches_bfs(self, h_small):
+        kern = FloodKernel(h_small.indptr, h_small.indices)
+        seed_values = np.zeros(h_small.n, dtype=np.int64)
+        seed_values[0] = 42
+        dist = bfs_distances(h_small.indptr, h_small.indices, 0)
+        for steps in (1, 2, 3):
+            spread = kern.spread_steps(seed_values, steps)
+            reached = spread == 42
+            assert np.array_equal(reached, (dist <= steps) & (dist >= 0))
+
+    def test_spread_does_not_mutate_input(self):
+        kern = cycle_kernel(5)
+        values = np.array([5, 0, 0, 0, 0], dtype=np.int64)
+        kern.spread_steps(values, 2)
+        assert values.tolist() == [5, 0, 0, 0, 0]
+
+
+class TestSaturation:
+    def test_rounds_to_saturation_equals_eccentricity(self):
+        kern = cycle_kernel(9)
+        values = np.zeros(9, dtype=np.int64)
+        values[0] = 7
+        # On a 9-cycle the farthest node is 4 hops away.
+        assert kern.rounds_to_saturation(values) == 4
+
+    def test_already_saturated(self):
+        kern = cycle_kernel(5)
+        assert kern.rounds_to_saturation(np.full(5, 3, dtype=np.int64)) == 0
+
+    def test_limit_exceeded_raises(self):
+        kern = cycle_kernel(64)
+        values = np.zeros(64, dtype=np.int64)
+        values[0] = 1
+        with pytest.raises(RuntimeError, match="saturate"):
+            kern.rounds_to_saturation(values, limit=3)

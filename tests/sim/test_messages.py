@@ -1,0 +1,58 @@
+"""Unit tests for message payload accounting."""
+
+import pytest
+
+from repro.sim.messages import (
+    AdjacencyClaimMessage,
+    ColorMessage,
+    Message,
+    TokenMessage,
+    ValueMessage,
+    VerifyQueryMessage,
+    VerifyReplyMessage,
+)
+
+
+class TestPayloadAccounting:
+    def test_base_message_zero(self):
+        m = Message()
+        assert m.id_count() == 0
+        assert m.bit_count() == 0
+
+    def test_color_message_bits_scale_with_color(self):
+        small = ColorMessage(color=1, phase=1, subphase=1)
+        large = ColorMessage(color=1 << 16, phase=1, subphase=1)
+        assert large.bit_count() > small.bit_count()
+        assert small.id_count() == 0
+
+    def test_adjacency_claim_ids(self):
+        m = AdjacencyClaimMessage(claimed_h_neighbors=(1, 2, 3, 4))
+        assert m.id_count() == 4
+
+    def test_verify_query_constant_ids(self):
+        m = VerifyQueryMessage(color=9, relay=3, phase=2, subphase=1, round=2)
+        assert m.id_count() == 1
+
+    def test_verify_reply(self):
+        m = VerifyReplyMessage(color=9, relay=3, legitimate=False)
+        assert m.id_count() == 1
+        assert m.bit_count() >= 1
+
+    def test_token_and_value(self):
+        assert TokenMessage(token=5).bit_count() == 64
+        assert ValueMessage(value=1.5, tag="x").bit_count() == 64
+
+    def test_messages_frozen(self):
+        m = ColorMessage(color=1, phase=1, subphase=1)
+        with pytest.raises(AttributeError):
+            m.color = 2
+
+    def test_small_sized_property(self):
+        """Footnote 4: constant IDs + O(log n) bits for protocol messages."""
+        for msg in (
+            ColorMessage(color=40, phase=9, subphase=3),
+            VerifyQueryMessage(color=40, relay=1, phase=9, subphase=3, round=2),
+            VerifyReplyMessage(color=40, relay=1, legitimate=True),
+        ):
+            assert msg.id_count() <= 1
+            assert msg.bit_count() <= 64

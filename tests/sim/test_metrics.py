@@ -1,0 +1,75 @@
+"""Unit tests for message metering and phase traces."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import MessageMeter, PhaseRecord, PhaseTrace, color_bits
+
+
+class TestColorBits:
+    @pytest.mark.parametrize("value,bits", [(1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9)])
+    def test_scalar(self, value, bits):
+        assert color_bits(value) == bits
+
+    def test_vectorized(self):
+        out = color_bits(np.array([1, 4, 1024]))
+        assert out.tolist() == [1, 3, 11]
+
+    def test_clamps_below_one(self):
+        assert color_bits(0) == 1
+
+
+class TestMessageMeter:
+    def test_accumulates(self):
+        m = MessageMeter()
+        m.add_round()
+        m.add_messages(10, ids_each=2, bits_each=5)
+        m.add_messages(5, ids_each=1, bits_each=3)
+        assert m.rounds == 1
+        assert m.messages == 15
+        assert m.id_payload == 25
+        assert m.bit_payload == 65
+        assert m.max_message_ids == 2
+        assert m.max_message_bits == 5
+
+    def test_merge(self):
+        a, b = MessageMeter(), MessageMeter()
+        a.add_round(3)
+        a.add_messages(5, ids_each=1)
+        b.add_round(2)
+        b.add_messages(7, ids_each=4)
+        a.merge(b)
+        assert a.rounds == 5
+        assert a.messages == 12
+        assert a.max_message_ids == 4
+
+    def test_messages_per_round(self):
+        m = MessageMeter()
+        assert m.messages_per_round() == 0.0
+        m.add_round(2)
+        m.add_messages(10)
+        assert m.messages_per_round() == 5.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            MessageMeter().add_messages(-1)
+
+    def test_as_dict_keys(self):
+        d = MessageMeter().as_dict()
+        assert set(d) >= {"rounds", "messages", "messages_per_round"}
+
+
+class TestPhaseTrace:
+    def test_chronology(self):
+        t = PhaseTrace()
+        t.append(PhaseRecord(1, 2, 2, 0, 100))
+        t.append(PhaseRecord(2, 4, 8, 30, 100))
+        assert len(t) == 2
+        assert t.last_phase() == 2
+        assert t.total_flooding_rounds() == 10
+        assert t.decisions_by_phase() == {1: 0, 2: 30}
+
+    def test_empty(self):
+        t = PhaseTrace()
+        assert t.last_phase() == 0
+        assert t.total_flooding_rounds() == 0
