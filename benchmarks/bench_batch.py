@@ -1,0 +1,166 @@
+"""Throughput benchmark: sequential vs batched vs sharded trial sweeps.
+
+The trial-batched engine (:func:`repro.core.batch.run_counting_batch`)
+exists to make repeated-seed sweeps faster without changing any reported
+statistic.  This benchmark quantifies the win three ways over the same
+``B`` seeds of Algorithm 1 on one network:
+
+* **sequential** — ``B`` independent :func:`repro.core.runner.run_counting`
+  calls (the pre-batching code path);
+* **batched** — one :func:`run_counting_batch` call (``(n, B)`` state
+  matrices, stacked flood kernel);
+* **sharded** — the batch split over worker processes via
+  :func:`repro.experiments.common.parallel_map` (pays process spawn +
+  pickling; only wins with multiple cores and large enough work).
+
+Run standalone for a quick table (CI runs this as a smoke test)::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py --n 256 --trials 8
+
+or under pytest-benchmark with the rest of the bench suite.  The reference
+result on the development box: n=1024, B=32 -> batched is ~3.1-3.4x the
+sequential trial throughput (single core; the sharded row needs >1 core to
+be competitive).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import CountingConfig, run_counting_batch
+from repro.core.runner import run_counting
+from repro.experiments.common import parallel_map
+from repro.graphs import build_small_world
+
+DEFAULT_N = 1024
+DEFAULT_TRIALS = 32
+CFG = CountingConfig(verification=False)
+
+
+def _seeds(trials: int) -> list[int]:
+    return [11 * b + 5 for b in range(trials)]
+
+
+def run_sequential(net, seeds, config=CFG):
+    return [run_counting(net, config=config, seed=s) for s in seeds]
+
+
+def run_batched(net, seeds, config=CFG):
+    return list(run_counting_batch(net, seeds, config=config))
+
+
+class _Shard:
+    """Picklable worker: rebuilds nothing, reuses the network via fork or
+    re-pickles it under spawn; each shard runs one batched sub-sweep."""
+
+    def __init__(self, net, config):
+        self.net = net
+        self.config = config
+
+    def __call__(self, shard_seeds):
+        return list(run_counting_batch(self.net, shard_seeds, config=self.config))
+
+
+def run_sharded(net, seeds, config=CFG, jobs: int = 2):
+    shards = [list(chunk) for chunk in np.array_split(seeds, jobs) if len(chunk)]
+    parts = parallel_map(_Shard(net, config), shards, jobs=jobs)
+    return [res for part in parts for res in part]
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def _net():
+    return build_small_world(DEFAULT_N, 8, seed=3)
+
+
+def test_bench_sequential_trials(benchmark):
+    net = _net()
+    seeds = _seeds(DEFAULT_TRIALS)
+    results = benchmark.pedantic(
+        run_sequential, args=(net, seeds), rounds=2, iterations=1
+    )
+    assert len(results) == DEFAULT_TRIALS
+
+
+def test_bench_batched_trials(benchmark):
+    net = _net()
+    seeds = _seeds(DEFAULT_TRIALS)
+    results = benchmark.pedantic(run_batched, args=(net, seeds), rounds=3, iterations=1)
+    assert len(results) == DEFAULT_TRIALS
+
+
+def test_batched_matches_sequential():
+    """Guard: the speed win must not change any reported statistic."""
+    net = build_small_world(256, 8, seed=3)
+    seeds = _seeds(8)
+    seq = run_sequential(net, seeds)
+    bat = run_batched(net, seeds)
+    for a, b in zip(seq, bat):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Standalone smoke / comparison table
+# ----------------------------------------------------------------------
+
+
+def _time_best(fn, *args, repeats: int = 3) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=DEFAULT_N)
+    parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS)
+    parser.add_argument("--jobs", type=int, default=2, help="shard worker count")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless batched/sequential speedup reaches this",
+    )
+    args = parser.parse_args(argv)
+
+    net = build_small_world(args.n, 8, seed=3)
+    seeds = _seeds(args.trials)
+    run_batched(net, seeds[: min(4, len(seeds))])  # warm caches/plans
+
+    t_seq, seq = _time_best(run_sequential, net, seeds, repeats=args.repeats)
+    t_bat, bat = _time_best(run_batched, net, seeds, repeats=args.repeats)
+    t_shd, shd = _time_best(run_sharded, net, seeds, repeats=args.repeats)
+
+    for a, b in zip(seq, bat):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+    for a, c in zip(seq, shd):
+        assert np.array_equal(a.decided_phase, c.decided_phase)
+
+    print(f"n={args.n}, B={args.trials} trials, best of {args.repeats}")
+    header = f"{'mode':<12}{'time':>10}{'trials/s':>12}{'speedup':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, t in (("sequential", t_seq), ("batched", t_bat), (f"sharded x{args.jobs}", t_shd)):
+        print(f"{name:<12}{t * 1e3:>8.1f}ms{args.trials / t:>12.1f}{t_seq / t:>9.2f}x")
+
+    speedup = t_seq / t_bat
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: batched speedup {speedup:.2f}x < required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,7 @@
 """The paper's primary contribution: Byzantine counting (Algorithms 1 & 2)."""
 
 from .basic_counting import run_basic_counting
+from .batch import run_counting_batch
 from .byzantine_counting import run_byzantine_counting
 from .colors import (
     color_pmf,
@@ -36,15 +37,17 @@ from .phases import (
     ell,
     subphase_count,
 )
-from .results import UNDECIDED, CountingResult
+from .results import UNDECIDED, BatchCountingResult, CountingResult
 from .runner import run_counting
 
 __all__ = [
     "run_basic_counting",
     "run_byzantine_counting",
     "run_counting",
+    "run_counting_batch",
     "CountingConfig",
     "CountingResult",
+    "BatchCountingResult",
     "UNDECIDED",
     "sample_colors",
     "color_pmf",

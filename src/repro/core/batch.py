@@ -1,0 +1,318 @@
+"""Trial-batched execution engine for the counting protocol.
+
+Experiment sweeps repeat :func:`repro.core.runner.run_counting` over many
+independent trials (seeds x configs) of the *same* network.  Each trial's
+per-round work is a handful of numpy calls on arrays of length ``n`` — small
+enough that interpreter and dispatch overhead dominate the arithmetic.
+Since trials are fully independent, the whole phase/subphase/round schedule
+vectorizes across them: :func:`run_counting_batch` keeps the protocol state
+as ``(n, B)`` trials-as-columns matrices and executes every flooding round
+for all ``B`` trials with one batched kernel call
+(:meth:`repro.sim.flood.FloodKernel.neighbor_max_stacked`; the ``(B, n)``
+``neighbor_max_batch`` reduceat kernel is its fallback for non-regular
+graphs).
+
+Equivalence contract
+--------------------
+``run_counting_batch(network, seeds, config=cfg)`` is **bit-for-bit** equal
+to ``[run_counting(network, cfg, seed=s) for s in seeds]``: per-trial
+``decided_phase``, ``crashed``, phase traces, and meter totals all match.
+This holds because
+
+* each trial consumes its own named random stream, derived exactly as the
+  sequential engine derives it (``make_rng`` -> ``spawn``), with color
+  draws issued per-trial in the same order and sizes;
+* integer max-flooding is exact, so batching changes no arithmetic;
+* a trial leaves the batch precisely when the sequential run would break
+  out of the phase loop, so round/message accounting stops at the same
+  point.
+
+The equivalence is enforced by the property test in
+``tests/core/test_runner_batch.py``.
+
+Adversarial runs use the scalar :class:`~repro.adversary.base.Adversary`
+hooks (``subphase_plan`` receives one trial's full state), so those trials
+fall back to per-trial sequential execution — still behind the same API, so
+callers need not special-case.  Heterogeneous configs are grouped: trials
+sharing a config batch together.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..adversary.base import Adversary
+from ..sim.flood import FloodKernel
+from ..sim.metrics import MeterBatch, PhaseRecord, PhaseTrace
+from ..sim.rng import make_rng, spawn
+from .colors import sample_colors
+from .config import CountingConfig
+from .phases import color_threshold, subphase_count
+from .results import UNDECIDED, BatchCountingResult, CountingResult
+from .runner import run_counting
+
+__all__ = ["run_counting_batch"]
+
+
+def run_counting_batch(
+    network,
+    seeds: Sequence[int | np.random.Generator | None],
+    config: CountingConfig | Sequence[CountingConfig] | None = None,
+    adversary_factory: Callable[[], Adversary] | None = None,
+    byz_mask: np.ndarray | None = None,
+) -> BatchCountingResult:
+    """Run ``len(seeds)`` independent counting trials, batched.
+
+    Parameters
+    ----------
+    network:
+        The shared :class:`~repro.graphs.smallworld.SmallWorldNetwork`.
+    seeds:
+        One entry per trial; each is anything :func:`repro.sim.rng.make_rng`
+        accepts (int, ``Generator``, or ``None``).
+    config:
+        A single :class:`CountingConfig` applied to every trial, or a
+        sequence of per-trial configs (trials with equal configs are
+        batched together).
+    adversary_factory:
+        Zero-argument callable producing a fresh
+        :class:`~repro.adversary.base.Adversary` per trial (adversary hooks
+        are scalar, so adversarial trials run sequentially).  A plain
+        :class:`Adversary` instance is also accepted and re-bound per trial.
+    byz_mask:
+        Shared Byzantine placement; requires ``adversary_factory``.
+
+    Returns
+    -------
+    BatchCountingResult
+        Per-trial :class:`~repro.core.results.CountingResult` objects, in
+        ``seeds`` order, bit-for-bit equal to sequential ``run_counting``.
+    """
+    seeds = list(seeds)
+    batch = len(seeds)
+    configs = _normalize_configs(config, batch)
+
+    if adversary_factory is not None:
+        return BatchCountingResult(
+            [
+                run_counting(
+                    network,
+                    config=cfg,
+                    seed=seed,
+                    adversary=_make_adversary(adversary_factory),
+                    byz_mask=byz_mask,
+                )
+                for seed, cfg in zip(seeds, configs)
+            ]
+        )
+    if byz_mask is not None and np.asarray(byz_mask, dtype=bool).any():
+        raise ValueError("byz_mask given without an adversary_factory")
+
+    results: list[CountingResult | None] = [None] * batch
+    for cfg, trial_ids in _group_by_config(configs).items():
+        group = _run_batched_group(network, [seeds[i] for i in trial_ids], cfg)
+        for i, res in zip(trial_ids, group):
+            results[i] = res
+    return BatchCountingResult(results)  # type: ignore[arg-type]
+
+
+def _make_adversary(factory) -> Adversary:
+    if isinstance(factory, Adversary):
+        return factory  # re-bound by run_counting at trial start
+    return factory()
+
+
+def _normalize_configs(config, batch: int) -> list[CountingConfig]:
+    if config is None:
+        config = CountingConfig()
+    if isinstance(config, CountingConfig):
+        return [config] * batch
+    configs = list(config)
+    if len(configs) != batch:
+        raise ValueError(
+            f"got {len(configs)} configs for {batch} seeds; provide one "
+            "config per trial or a single shared config"
+        )
+    return configs
+
+
+def _group_by_config(
+    configs: list[CountingConfig],
+) -> dict[CountingConfig, list[int]]:
+    groups: dict[CountingConfig, list[int]] = {}
+    for i, cfg in enumerate(configs):
+        groups.setdefault(cfg, []).append(i)
+    return groups
+
+
+def _run_batched_group(
+    network, seeds: list, config: CountingConfig
+) -> list[CountingResult]:
+    """The batched engine proper: one config, ``B`` seeds, no adversary.
+
+    Mirrors the adversary-free path of :func:`run_counting` statement for
+    statement, with node vectors widened to ``(B, n)`` matrices.  The only
+    per-trial Python work left in the hot loop is the color draw (each
+    trial owns a private RNG stream whose draw order must match the
+    sequential engine's).
+    """
+    n, d = network.n, network.d
+    batch = len(seeds)
+    if batch == 0:
+        return []
+
+    color_rngs = []
+    for seed in seeds:
+        root = make_rng(seed)
+        color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
+        color_rngs.append(color_rng)
+
+    kernel = FloodKernel(network.h.indptr, network.h.indices)
+    decided = np.full((batch, n), UNDECIDED, dtype=np.int64)
+    meters = MeterBatch(batch)
+    traces = [PhaseTrace() for _ in range(batch)]
+    alive = np.ones(batch, dtype=bool)
+
+    for phase in range(1, config.max_phase + 1):
+        undecided_all = decided == UNDECIDED
+        active_before = undecided_all.sum(axis=1)
+        if config.stop_when_all_decided:
+            alive &= active_before > 0
+        if not alive.any():
+            break
+        live = np.flatnonzero(alive)
+        b_live = live.shape[0]
+        n_sub = subphase_count(
+            phase, config.eps, d, config.alpha_variant, config.subphase_multiplier
+        )
+        threshold = color_threshold(phase, d)
+        und = undecided_all[live]
+        counts = active_before[live]
+        all_undecided = counts == n
+        # ``k > threshold`` for integer ``k`` equals ``k > floor(threshold)``,
+        # so the comparison stays in int32 (no float64 promotion).
+        thr_floor = int(np.floor(threshold))
+
+        # One stream read per trial per phase: a single geometric draw of
+        # ``n_sub * count`` values equals ``n_sub`` successive draws of
+        # ``count`` (distribution sampling consumes the bit stream per
+        # variate, independent of call boundaries), so per-trial streams
+        # still match the sequential engine draw for draw.
+        phase_draws = []
+        for row, trial in enumerate(live):
+            count = int(counts[row])
+            if count:
+                draws = sample_colors(color_rngs[trial], n_sub * count)
+                phase_draws.append(draws.reshape(n_sub, count))
+            else:
+                phase_draws.append(None)
+
+        # Trials-as-columns int32 state: each node's live-trial values sit
+        # in one cache line, which is what makes the stacked kernel fast.
+        # Colors are O(log n) whp and the engine never injects, so int32
+        # cannot overflow; results are widened back to int64 at the end.
+        colors_bn = np.zeros((b_live, n), dtype=np.int32)
+        cur_t = np.empty((n, b_live), dtype=np.int32)
+        # ``recv`` is pointwise monotone across a subphase's rounds (cur
+        # only grows, so each neighbor-max dominates the previous one);
+        # hence max_{t < phase} recv_t == recv at round phase-1 and no
+        # running "previous k_t" accumulation is needed — round phase-1's
+        # receive buffer *is* prev_kt.  phase == 1 has no earlier rounds,
+        # so prev stays at its zero initialization.
+        prev_t = np.zeros((n, b_live), dtype=np.int32)
+        recv_t = np.empty((n, b_live), dtype=np.int32)
+        k_last_t = np.empty((n, b_live), dtype=np.int32)
+        flag_continue = np.zeros((n, b_live), dtype=bool)
+        senders = np.zeros(b_live, dtype=np.int64)
+
+        for sub in range(n_sub):
+            # Rows whose mask is partial keep untouched entries at their
+            # initial 0 (the mask is fixed for the whole phase), so only
+            # masked positions ever need writing.
+            for row, trial in enumerate(live):
+                draws = phase_draws[row]
+                if draws is None:
+                    continue
+                if all_undecided[row]:
+                    colors_bn[row] = draws[sub]
+                else:
+                    colors_bn[row, und[row]] = draws[sub]
+            np.copyto(cur_t, colors_bn.T)
+
+            senders.fill(0)
+            saturated = False
+            for t in range(1, phase + 1):
+                # No crashes and no Byzantine suppression on this path, so
+                # every node transmits its running max: sent == cur, and
+                # the copy the sequential engine makes is unnecessary.
+                if config.count_messages:
+                    if saturated:
+                        senders += n
+                    else:
+                        nonzero = np.count_nonzero(cur_t, axis=0)
+                        senders += nonzero
+                        # The nonzero set only grows within a subphase
+                        # (running max), so once every node transmits in
+                        # every trial the count stays pinned at n.
+                        saturated = bool(nonzero.min() == n)
+                if t == phase:
+                    # Last round: only k_t is still needed — recv, prev,
+                    # and the running max are dead after this point.
+                    kernel.neighbor_max_stacked(cur_t, out=k_last_t)
+                elif t == phase - 1:
+                    # By monotonicity this receive equals prev_kt.
+                    kernel.neighbor_max_stacked(cur_t, out=prev_t)
+                    np.maximum(cur_t, prev_t, out=cur_t)
+                else:
+                    kernel.neighbor_max_stacked(cur_t, out=recv_t)
+                    np.maximum(cur_t, recv_t, out=cur_t)
+            if config.count_messages:
+                meters.add_messages(live, senders * d)
+            np.logical_or(
+                flag_continue,
+                (k_last_t > prev_t) & (k_last_t > thr_floor),
+                out=flag_continue,
+            )
+        # Without an adversary the per-round cost is exactly 1, so the
+        # phase's round total factors out of the subphase loop.
+        meters.add_rounds(live, n_sub * phase)
+
+        newly = und & ~flag_continue.T
+        rows = decided[live]
+        rows[newly] = phase
+        decided[live] = rows
+        if config.record_phase_trace:
+            newly_counts = newly.sum(axis=1)
+            for row, trial in enumerate(live):
+                traces[trial].append(
+                    PhaseRecord(
+                        phase=phase,
+                        subphases=n_sub,
+                        flooding_rounds=n_sub * phase,
+                        newly_decided=int(newly_counts[row]),
+                        active_before=int(counts[row]),
+                        injections_accepted=0,
+                        injections_rejected=0,
+                    )
+                )
+        if config.stop_when_all_decided and not (decided == UNDECIDED).any():
+            break
+
+    k = network.k
+    return [
+        CountingResult(
+            n=n,
+            d=d,
+            k=k,
+            decided_phase=decided[b].copy(),
+            crashed=np.zeros(n, dtype=bool),
+            byz=np.zeros(n, dtype=bool),
+            meter=meters.meter(b),
+            trace=traces[b],
+            injections_accepted=0,
+            injections_rejected=0,
+        )
+        for b in range(batch)
+    ]

@@ -25,7 +25,7 @@ def sample_colors(rng: np.random.Generator, size: int) -> np.ndarray:
         raise ValueError("size must be non-negative")
     if size == 0:
         return np.empty(0, dtype=np.int64)
-    return rng.geometric(0.5, size=size).astype(np.int64)
+    return rng.geometric(0.5, size=size).astype(np.int64, copy=False)
 
 
 def color_pmf(r: int | np.ndarray) -> float | np.ndarray:

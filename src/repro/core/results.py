@@ -8,7 +8,7 @@ import numpy as np
 
 from ..sim.metrics import MessageMeter, PhaseTrace
 
-__all__ = ["CountingResult", "UNDECIDED"]
+__all__ = ["BatchCountingResult", "CountingResult", "UNDECIDED"]
 
 #: Sentinel phase value for nodes that never decided within ``max_phase``.
 UNDECIDED = -1
@@ -123,3 +123,51 @@ class CountingResult:
             "injections_accepted": self.injections_accepted,
             "injections_rejected": self.injections_rejected,
         }
+
+
+@dataclass
+class BatchCountingResult:
+    """Per-trial :class:`CountingResult` list from one batched run.
+
+    Sequence-like (``len``, indexing, iteration) so existing per-trial
+    analysis code works unchanged, plus cross-trial aggregates for the
+    experiment tables (every element shares one network, so ``n``/``d``
+    agree across trials).
+    """
+
+    results: list[CountingResult]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    # ------------------------------------------------------------------
+    def decided_matrix(self) -> np.ndarray:
+        """``(B, n)`` matrix of per-node decided phases."""
+        return np.stack([r.decided_phase for r in self.results])
+
+    def rounds(self) -> np.ndarray:
+        """Per-trial executed round counts."""
+        return np.array([r.meter.rounds for r in self.results], dtype=np.int64)
+
+    def messages(self) -> np.ndarray:
+        """Per-trial metered message counts."""
+        return np.array([r.meter.messages for r in self.results], dtype=np.int64)
+
+    def fraction_decided(self) -> np.ndarray:
+        """Per-trial fraction of honest uncrashed nodes that decided."""
+        return np.array([r.fraction_decided() for r in self.results])
+
+    def median_phases(self) -> np.ndarray:
+        """Per-trial median decided phase among honest deciders."""
+        return np.array([r.decision_quantiles()[1] for r in self.results])
+
+    def mean_fraction_in_band(self, c1: float, c2: float, *, of: str = "honest") -> float:
+        return float(
+            np.mean([r.fraction_in_band(c1, c2, of=of) for r in self.results])
+        )

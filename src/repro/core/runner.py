@@ -22,6 +22,19 @@ the agent engine implements literally).
 Following the HPC guide, the inner loop is pure vectorized numpy with
 preallocated buffers and in-place updates; a full run at ``n = 4096`` takes
 a couple of seconds.
+
+Round accounting is unconditional: every flooding round and the O(1)
+pre-phase rounds are charged to the meter regardless of the
+``count_messages`` knob, which gates only the (costlier) message counters.
+``CountingResult.meter.rounds`` is therefore identical with metering on or
+off (see ``tests/core/test_runner_batch.py``).
+
+For sweeps over many independent trials of the *same* network and config,
+:func:`repro.core.batch.run_counting_batch` drives this exact schedule for
+all trials simultaneously on ``(n, B)`` trials-as-columns state matrices
+(via :meth:`~repro.sim.flood.FloodKernel.neighbor_max_stacked`) —
+bit-for-bit equal to ``B`` sequential calls, but with the numpy call and
+memory-traffic overhead amortized across the batch.
 """
 
 from __future__ import annotations
@@ -79,12 +92,14 @@ def run_counting(
         if config.verification:
             claims = adversary.topology_claims()
             crashed = crash_phase(network, byz, claims)
+            # The pre-phase spends its rounds whether or not messages are
+            # being metered: everyone broadcasts its d-entry claim to all
+            # G-neighbors, then one confirmation round (Remark 3: O(1)
+            # rounds).  ``count_messages`` only gates the message counters.
+            meter.add_round(2)
             if config.count_messages:
-                # Everyone broadcasts its d-entry claim to all G-neighbors,
-                # then one confirmation round (Remark 3: O(1) rounds).
                 total_ports = int(network.g_indptr[-1])
                 meter.add_messages(total_ports, ids_each=d, bits_each=0)
-                meter.add_round(2)
 
     kernel = FloodKernel(network.h.indptr, network.h.indices)
     decided = np.full(n, UNDECIDED, dtype=np.int64)

@@ -1,23 +1,121 @@
-"""Shared helpers for experiment modules (network cache, scale presets)."""
+"""Shared helpers for experiment modules.
+
+Three layers of shared machinery:
+
+* **network cache** — experiments in one process share sampled graphs
+  (:func:`network`);
+* **batched trial runners** — repeated-seed sweeps route through the
+  trial-batched engine (:func:`repro.core.batch.run_counting_batch`), which
+  is bit-for-bit equivalent to per-seed sequential runs but several times
+  faster (see ``benchmarks/bench_batch.py``);
+* **process sharding** — :func:`parallel_map` optionally fans a multi-config
+  sweep out over a ``ProcessPoolExecutor`` (each worker re-imports the
+  library, so mapped functions must be module-level picklables).
+"""
 
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Callable, Iterable, Sequence
 
+import numpy as np
 
+from ..adversary.base import Adversary
+from ..core.batch import run_counting_batch
+from ..core.config import CountingConfig
+from ..core.results import BatchCountingResult
 from ..graphs.smallworld import SmallWorldNetwork, build_small_world
 from ..sim.rng import derive_seed
 
-__all__ = ["network", "ns_for", "DEFAULT_D"]
+__all__ = [
+    "network",
+    "ns_for",
+    "basic_counting_trials",
+    "byzantine_counting_trials",
+    "parallel_map",
+    "DEFAULT_D",
+]
 
 DEFAULT_D = 8
 
 
 @lru_cache(maxsize=32)
 def network(n: int, d: int = DEFAULT_D, seed: int = 0, k: int | None = None) -> SmallWorldNetwork:
-    """Cached network sample (experiments in one process share graphs)."""
-    return build_small_world(n, d, seed=derive_seed(seed, "net", n, d, k or 0), k=k)
+    """Cached network sample (experiments in one process share graphs).
+
+    ``k`` is the lattice radius override; ``None`` selects the paper's
+    default ``ceil(d/3)``.  Explicit ``k`` must be ``>= 1`` (validated here
+    rather than deep in ``build_small_world`` so the graph-seed key below
+    cannot alias: ``0`` in the key always means "default k", never an
+    explicit radius).
+    """
+    if k is not None and k < 1:
+        raise ValueError(f"lattice radius k must be >= 1, got {k}")
+    key_k = 0 if k is None else int(k)
+    return build_small_world(n, d, seed=derive_seed(seed, "net", n, d, key_k), k=k)
 
 
 def ns_for(scale: str, *, small: tuple[int, ...], full: tuple[int, ...]) -> tuple[int, ...]:
     return small if scale == "small" else full
+
+
+# ----------------------------------------------------------------------
+# Batched trial sweeps
+# ----------------------------------------------------------------------
+
+
+def basic_counting_trials(
+    net: SmallWorldNetwork,
+    seeds: Sequence[int],
+    config: CountingConfig | None = None,
+) -> BatchCountingResult:
+    """Algorithm 1 over many seeds at once (batched engine).
+
+    Equivalent to ``[run_basic_counting(net, config, seed=s) for s in
+    seeds]``, bit for bit, including meter totals.
+    """
+    config = (config or CountingConfig()).with_(verification=False)
+    return run_counting_batch(net, seeds, config=config)
+
+
+def byzantine_counting_trials(
+    net: SmallWorldNetwork,
+    adversary_factory: Callable[[], Adversary],
+    byz_mask: np.ndarray,
+    seeds: Sequence[int],
+    config: CountingConfig | None = None,
+) -> BatchCountingResult:
+    """Algorithm 2 over many seeds (per-trial fallback under the hood).
+
+    Adversary hooks are scalar, so these trials execute sequentially, but
+    behind the same batch API so sweeps need not special-case.
+    """
+    return run_counting_batch(
+        net,
+        seeds,
+        config=config or CountingConfig(),
+        adversary_factory=adversary_factory,
+        byz_mask=byz_mask,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process sharding
+# ----------------------------------------------------------------------
+
+
+def parallel_map(fn: Callable, items: Iterable, jobs: int | None = None) -> list:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    ``jobs=None`` (or ``<= 1``, or a single item) runs serially in-process;
+    otherwise the items are sharded over a ``ProcessPoolExecutor`` with
+    ``min(jobs, len(items))`` workers.  Results keep input order.  ``fn``
+    and the items must be picklable (module-level function, plain data).
+    """
+    items = list(items)
+    if jobs is None or jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

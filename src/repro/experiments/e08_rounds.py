@@ -16,9 +16,8 @@ import numpy as np
 
 from ..analysis.bounds import round_complexity_bound
 from ..analysis.stats import loglog_slope
-from ..core.basic_counting import run_basic_counting
 from ..core.config import CountingConfig
-from .common import DEFAULT_D, network, ns_for
+from .common import DEFAULT_D, basic_counting_trials, network, ns_for
 from .harness import ExperimentResult, Table, register
 
 
@@ -29,6 +28,7 @@ from .harness import ExperimentResult, Table, register
 )
 def run(scale: str, seed: int) -> ExperimentResult:
     ns = ns_for(scale, small=(256, 512, 1024, 2048), full=(256, 512, 1024, 2048, 4096, 8192))
+    reps = 3 if scale == "small" else 5
     d = DEFAULT_D
     cfg = CountingConfig(max_phase=40)
     result = ExperimentResult(
@@ -37,25 +37,28 @@ def run(scale: str, seed: int) -> ExperimentResult:
         claim="rounds = O(log^3 n); phase ~ log n / log(d-1)",
     )
     table = Table(
-        title="Algorithm 1 schedule measurements",
-        columns=["n", "log2 n", "phase med", "phase*log2(d-1)", "rounds", "paper bound"],
+        title=f"Algorithm 1 schedule measurements ({reps} batched trials per n)",
+        columns=["n", "log2 n", "phase med", "phase*log2(d-1)", "rounds max", "paper bound"],
     )
     log_ns, phases, rounds = [], [], []
     for n in ns:
         net = network(n, d, seed)
-        res = run_basic_counting(net, config=cfg, seed=seed + 3)
-        _, med, _ = res.decision_quantiles()
+        trials = basic_counting_trials(
+            net, [seed + 3 + 101 * r for r in range(reps)], config=cfg
+        )
+        med = float(np.median(trials.median_phases()))
+        worst_rounds = int(trials.rounds().max())
         table.add(
             n,
             float(np.log2(n)),
             med,
             med * float(np.log2(d - 1)),
-            res.meter.rounds,
+            worst_rounds,
             round_complexity_bound(n, cfg.eps, d, verification_cost=0),
         )
         log_ns.append(np.log2(n))
         phases.append(med)
-        rounds.append(res.meter.rounds)
+        rounds.append(worst_rounds)
     result.tables.append(table)
 
     phase_slope, _ = np.polyfit(log_ns, phases, 1)

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.basic_counting import run_basic_counting
 from ..core.config import CountingConfig
-from .common import DEFAULT_D, network
+from .common import DEFAULT_D, basic_counting_trials, network
 from .harness import ExperimentResult, Table, register
 
 
@@ -50,8 +50,12 @@ def run(scale: str, seed: int) -> ExperimentResult:
         cfg = CountingConfig(eps=eps)
         vals = []
         means = []
-        for r in range(reps):
-            res = run_basic_counting(net, config=cfg, seed=seed * 50 + r)
+        # Repeated-seed sweep through the trial-batched engine (identical
+        # per-trial results to sequential runs at the seeds seed*50+r).
+        trials = basic_counting_trials(
+            net, [seed * 50 + r for r in range(reps)], config=cfg
+        )
+        for res in trials:
             decided = res.decided_phase[res.honest_uncrashed]
             vals.append(float(np.mean((decided != -1) & (decided <= cutoff))))
             means.append(float(decided[decided != -1].mean()))

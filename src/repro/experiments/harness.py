@@ -24,6 +24,7 @@ __all__ = [
     "register",
     "get_experiment",
     "run_experiment",
+    "run_experiments",
     "all_experiment_ids",
 ]
 
@@ -147,6 +148,34 @@ def get_experiment(exp_id: str) -> Experiment:
 
 def run_experiment(exp_id: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
     return get_experiment(exp_id).run(scale, seed)
+
+
+def _run_task(task: tuple[str, str, int]) -> ExperimentResult:
+    """Module-level shim so experiment tasks pickle into worker processes."""
+    exp_id, scale, seed = task
+    return run_experiment(exp_id, scale=scale, seed=seed)
+
+
+def run_experiments(
+    exp_ids: list[str] | None = None,
+    scale: str = "small",
+    seed: int = 0,
+    jobs: int | None = None,
+) -> list[ExperimentResult]:
+    """Run several experiments, optionally sharded across processes.
+
+    Experiments are independent (each samples its own networks through the
+    per-process cache), so a multi-experiment sweep is embarrassingly
+    parallel: with ``jobs > 1`` the ids are distributed over a
+    ``ProcessPoolExecutor`` via :func:`repro.experiments.common.parallel_map`.
+    Results come back in ``exp_ids`` order either way.
+    """
+    from .common import parallel_map
+
+    if exp_ids is None:
+        exp_ids = all_experiment_ids()
+    tasks = [(exp_id, scale, seed) for exp_id in exp_ids]
+    return parallel_map(_run_task, tasks, jobs=jobs)
 
 
 def all_experiment_ids() -> list[str]:

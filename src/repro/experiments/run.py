@@ -6,7 +6,7 @@ import argparse
 import sys
 import time
 
-from .harness import all_experiment_ids, run_experiment
+from .harness import all_experiment_ids, run_experiments
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -22,19 +22,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--scale", choices=("small", "full"), default="small")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard experiments over N worker processes (default: in-process)",
+    )
     args = parser.parse_args(argv)
 
     ids = args.exp or all_experiment_ids()
     failures = []
-    for exp_id in ids:
-        start = time.perf_counter()
-        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{exp_id} finished in {elapsed:.1f}s]")
-        print()
-        if not result.passed:
-            failures.append(exp_id)
+    start = time.perf_counter()
+    if args.jobs is None or args.jobs <= 1:
+        # Serial: stream each experiment's tables as it completes (a
+        # full-scale sweep runs for minutes; don't buffer it all).
+        for exp_id in ids:
+            exp_start = time.perf_counter()
+            result = run_experiments([exp_id], scale=args.scale, seed=args.seed)[0]
+            print(result.render())
+            print(f"[{exp_id} finished in {time.perf_counter() - exp_start:.1f}s]")
+            print()
+            if not result.passed:
+                failures.append(exp_id)
+    else:
+        results = run_experiments(
+            ids, scale=args.scale, seed=args.seed, jobs=args.jobs
+        )
+        for result in results:
+            print(result.render())
+            print()
+            if not result.passed:
+                failures.append(result.exp_id)
+        print(
+            f"[{len(ids)} experiments finished in "
+            f"{time.perf_counter() - start:.1f}s across {args.jobs} workers]"
+        )
     if failures:
         print(f"FAILED shape checks: {failures}", file=sys.stderr)
         return 1

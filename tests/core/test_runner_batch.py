@@ -1,0 +1,212 @@
+"""The batched engine must reproduce sequential runs bit for bit.
+
+``run_counting_batch`` over B seeds and B sequential ``run_counting`` calls
+consume identical per-trial random streams (``sim/rng`` named streams /
+``make_rng`` -> ``spawn``), so every per-trial observable — decided phases,
+crash sets, meter totals, phase traces — must match exactly, not just
+statistically.  These tests are the contract that lets experiments route
+their repeated-seed sweeps through the batch path without changing any
+reported number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import placement_for_delta
+from repro.core import (
+    CountingConfig,
+    make_adversary,
+    run_counting,
+    run_counting_batch,
+)
+from repro.sim.rng import derive_seed, stream
+
+
+def assert_trial_equal(a, b):
+    """Bit-for-bit comparison of two CountingResults."""
+    assert np.array_equal(a.decided_phase, b.decided_phase)
+    assert np.array_equal(a.crashed, b.crashed)
+    assert np.array_equal(a.byz, b.byz)
+    assert a.meter.as_dict() == b.meter.as_dict()
+    assert list(a.trace) == list(b.trace)
+    assert a.injections_accepted == b.injections_accepted
+    assert a.injections_rejected == b.injections_rejected
+
+
+class TestSequentialEquivalence:
+    CFG = CountingConfig(verification=False, max_phase=16)
+
+    def test_integer_seeds(self, net_small):
+        seeds = [derive_seed(7, "trial", b) for b in range(6)]
+        seq = [run_counting(net_small, self.CFG, seed=s) for s in seeds]
+        bat = run_counting_batch(net_small, seeds, config=self.CFG)
+        assert len(bat) == len(seq)
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_named_stream_generators(self, net_small):
+        # stream(...) rebuilds the identical generator for the same key, so
+        # the sequential and batched runs consume the same per-trial streams.
+        seq = [
+            run_counting(net_small, self.CFG, seed=stream(3, "batch-trial", b))
+            for b in range(5)
+        ]
+        bat = run_counting_batch(
+            net_small,
+            [stream(3, "batch-trial", b) for b in range(5)],
+            config=self.CFG,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_verification_flag_without_adversary(self, net_small):
+        cfg = CountingConfig(max_phase=16)  # verification on, no adversary
+        seeds = [derive_seed(1, "v", b) for b in range(4)]
+        seq = [run_counting(net_small, cfg, seed=s) for s in seeds]
+        bat = run_counting_batch(net_small, seeds, config=cfg)
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_no_early_stop(self, net_small):
+        cfg = self.CFG.with_(stop_when_all_decided=False, max_phase=7)
+        seeds = [1, 2, 3]
+        seq = [run_counting(net_small, cfg, seed=s) for s in seeds]
+        bat = run_counting_batch(net_small, seeds, config=cfg)
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+            assert a.meter.rounds == b.meter.rounds
+
+    def test_metering_off(self, net_small):
+        cfg = self.CFG.with_(count_messages=False, record_phase_trace=False)
+        seeds = [5, 6]
+        seq = [run_counting(net_small, cfg, seed=s) for s in seeds]
+        bat = run_counting_batch(net_small, seeds, config=cfg)
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_mixed_configs_grouped(self, net_small):
+        cfgs = [
+            self.CFG if b % 2 == 0 else self.CFG.with_(eps=0.25)
+            for b in range(6)
+        ]
+        seeds = [derive_seed(9, "mix", b) for b in range(6)]
+        seq = [run_counting(net_small, c, seed=s) for s, c in zip(seeds, cfgs)]
+        bat = run_counting_batch(net_small, seeds, config=cfgs)
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_empty_batch(self, net_small):
+        assert len(run_counting_batch(net_small, [], config=self.CFG)) == 0
+
+    def test_config_count_mismatch_rejected(self, net_small):
+        with pytest.raises(ValueError, match="configs"):
+            run_counting_batch(net_small, [1, 2], config=[self.CFG])
+
+    def test_byz_mask_without_adversary_rejected(self, net_small, byz_mask_small):
+        with pytest.raises(ValueError, match="adversary"):
+            run_counting_batch(
+                net_small, [1], config=self.CFG, byz_mask=byz_mask_small
+            )
+
+
+class TestAdversaryFallback:
+    def test_factory_matches_sequential(self, net_small):
+        cfg = CountingConfig(max_phase=12)
+        byz = placement_for_delta(net_small, 0.55, rng=4)
+        seeds = [10, 11, 12]
+        seq = [
+            run_counting(
+                net_small,
+                cfg,
+                seed=s,
+                adversary=make_adversary("early-stop"),
+                byz_mask=byz,
+            )
+            for s in seeds
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfg,
+            adversary_factory=lambda: make_adversary("early-stop"),
+            byz_mask=byz,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_adversary_instance_accepted(self, net_small):
+        cfg = CountingConfig(max_phase=10)
+        byz = placement_for_delta(net_small, 0.55, rng=4)
+        bat = run_counting_batch(
+            net_small,
+            [3, 4],
+            config=cfg,
+            adversary_factory=make_adversary("honest"),
+            byz_mask=byz,
+        )
+        assert len(bat) == 2
+        for res in bat:
+            assert res.byz.sum() == byz.sum()
+
+
+class TestRoundAccountingFix:
+    """Round totals must not depend on the count_messages knob.
+
+    The crash-phase used to meter its two rounds only when messages were
+    being counted, skewing any round-complexity table produced with
+    metering disabled.
+    """
+
+    @pytest.mark.parametrize("strategy", ["honest", "early-stop", "topology-liar"])
+    def test_rounds_identical_with_metering_on_and_off(self, net_small, strategy):
+        byz = placement_for_delta(net_small, 0.55, rng=9)
+        base = CountingConfig(max_phase=10)
+        on = run_counting(
+            net_small,
+            base,
+            seed=5,
+            adversary=make_adversary(strategy),
+            byz_mask=byz,
+        )
+        off = run_counting(
+            net_small,
+            base.with_(count_messages=False),
+            seed=5,
+            adversary=make_adversary(strategy),
+            byz_mask=byz,
+        )
+        assert on.meter.rounds == off.meter.rounds
+        assert on.meter.rounds > 0
+        assert off.meter.messages == 0
+
+    def test_batch_rounds_identical_with_metering_on_and_off(self, net_small):
+        cfg = CountingConfig(verification=False, max_phase=12)
+        seeds = [1, 2, 3, 4]
+        on = run_counting_batch(net_small, seeds, config=cfg)
+        off = run_counting_batch(
+            net_small, seeds, config=cfg.with_(count_messages=False)
+        )
+        for a, b in zip(on, off):
+            assert a.meter.rounds == b.meter.rounds
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+
+    def test_crash_phase_charges_two_rounds(self, net_small):
+        byz = placement_for_delta(net_small, 0.55, rng=9)
+        cfg = CountingConfig(max_phase=10)
+        with_pre = run_counting(
+            net_small,
+            cfg,
+            seed=5,
+            adversary=make_adversary("honest"),
+            byz_mask=byz,
+        )
+        without_pre = run_counting(
+            net_small,
+            cfg.with_(verification=False, verification_round_cost=0),
+            seed=5,
+            adversary=make_adversary("honest"),
+            byz_mask=byz,
+        )
+        # Same schedule, but the verified run pays the O(1) pre-phase and
+        # the per-round witness cost on top.
+        assert with_pre.meter.rounds > without_pre.meter.rounds

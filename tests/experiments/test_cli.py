@@ -1,9 +1,21 @@
 """Tests for the experiment CLI and shared helpers."""
 
+import numpy as np
 import pytest
 
-from repro.experiments.common import network, ns_for
+from repro.core import CountingConfig, run_counting
+from repro.experiments.common import (
+    basic_counting_trials,
+    network,
+    ns_for,
+    parallel_map,
+)
+from repro.experiments.harness import run_experiments
 from repro.experiments.run import main
+
+
+def _square(x):  # module-level so ProcessPoolExecutor can pickle it
+    return x * x
 
 
 class TestCommon:
@@ -17,9 +29,67 @@ class TestCommon:
         b = network(64, 6, seed=2)
         assert a is not b
 
+    def test_network_explicit_k_distinct_from_default(self):
+        # k=None and an explicit k must never alias to the same graph seed.
+        a = network(64, 6, seed=1)
+        b = network(64, 6, seed=1, k=1)
+        assert a is not b
+        assert a.k == 2 and b.k == 1
+
+    def test_network_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            network(64, 6, seed=1, k=0)
+
     def test_ns_for(self):
         assert ns_for("small", small=(1,), full=(1, 2)) == (1,)
         assert ns_for("full", small=(1,), full=(1, 2)) == (1, 2)
+
+
+class TestBatchedTrials:
+    def test_basic_trials_match_sequential(self, net_small):
+        cfg = CountingConfig(max_phase=16)
+        seeds = [50 + r for r in range(4)]
+        trials = basic_counting_trials(net_small, seeds, config=cfg)
+        for seed, res in zip(seeds, trials):
+            ref = run_counting(
+                net_small, cfg.with_(verification=False), seed=seed
+            )
+            assert np.array_equal(res.decided_phase, ref.decided_phase)
+            assert res.meter.as_dict() == ref.meter.as_dict()
+
+    def test_aggregates_shapes(self, net_small):
+        trials = basic_counting_trials(net_small, [1, 2, 3])
+        assert trials.decided_matrix().shape == (3, net_small.n)
+        assert trials.rounds().shape == (3,)
+        assert trials.fraction_decided().min() == 1.0
+        assert len(trials.median_phases()) == 3
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [5], jobs=4) == [25]
+
+    def test_process_shard_preserves_order(self):
+        assert parallel_map(_square, list(range(8)), jobs=2) == [
+            x * x for x in range(8)
+        ]
+
+
+class TestRunExperiments:
+    def test_serial_matches_single(self):
+        results = run_experiments(["E12"], scale="small", seed=1)
+        assert len(results) == 1
+        assert results[0].exp_id == "E12"
+        assert results[0].passed
+
+    def test_sharded_runs(self):
+        results = run_experiments(["E10", "E12"], scale="small", seed=1, jobs=2)
+        assert [r.exp_id for r in results] == ["E10", "E12"]
+        assert all(r.passed for r in results)
 
 
 class TestCli:

@@ -43,6 +43,95 @@ class TestNeighborMax:
             FloodKernel(indptr, indices)
 
 
+class TestNeighborMaxBatch:
+    def ragged_kernel(self):
+        # Degrees 1, 3, 2, 2 — exercises the reduceat fallback paths.
+        indptr = np.array([0, 1, 4, 6, 8], dtype=np.int64)
+        indices = np.array([1, 0, 2, 3, 1, 3, 1, 2], dtype=np.int64)
+        return FloodKernel(indptr, indices)
+
+    @pytest.mark.parametrize("batch", [1, 2, 5])
+    def test_matches_per_row_kernel(self, h_small, batch):
+        kern = FloodKernel(h_small.indptr, h_small.indices)
+        values = np.random.default_rng(batch).integers(
+            0, 50, size=(batch, h_small.n)
+        ).astype(np.int64)
+        expected = np.stack([kern.neighbor_max(row) for row in values])
+        assert np.array_equal(kern.neighbor_max_batch(values), expected)
+
+    def test_ragged_degrees(self):
+        kern = self.ragged_kernel()
+        values = np.array([[5, 0, 2, 9], [1, 1, 1, 1]], dtype=np.int64)
+        expected = np.stack([kern.neighbor_max(row) for row in values])
+        assert np.array_equal(kern.neighbor_max_batch(values), expected)
+
+    def test_out_buffer_and_1d_passthrough(self):
+        kern = cycle_kernel(4)
+        values = np.array([[1, 2, 3, 4]], dtype=np.int64)
+        buf = np.zeros((1, 4), dtype=np.int64)
+        assert kern.neighbor_max_batch(values, out=buf) is buf
+        assert buf.tolist() == [[4, 3, 4, 3]]
+        # 1-D input degrades to the scalar kernel.
+        assert kern.neighbor_max_batch(values[0]).tolist() == [4, 3, 4, 3]
+
+    def test_wrong_width_rejected(self):
+        kern = cycle_kernel(4)
+        with pytest.raises(ValueError, match="matrix"):
+            kern.neighbor_max_batch(np.zeros((2, 5), dtype=np.int64))
+
+    def test_plan_cache_reused(self):
+        kern = cycle_kernel(6)
+        values = np.arange(12, dtype=np.int64).reshape(2, 6)
+        first = kern.neighbor_max_batch(values)
+        assert 2 in kern._batch_plans
+        assert np.array_equal(kern.neighbor_max_batch(values), first)
+
+
+class TestNeighborMaxStacked:
+    def test_uniform_degree_fast_path(self, h_small):
+        kern = FloodKernel(h_small.indptr, h_small.indices)
+        assert kern._uniform_degree == 8
+        values = np.random.default_rng(7).integers(
+            0, 50, size=(h_small.n, 3)
+        ).astype(np.int32)
+        expected = np.stack(
+            [kern.neighbor_max(values[:, b].astype(np.int64)) for b in range(3)],
+            axis=1,
+        )
+        assert np.array_equal(kern.neighbor_max_stacked(values), expected)
+
+    def test_out_buffer(self):
+        kern = cycle_kernel(4)  # degree 2 everywhere -> fast path
+        values = np.array([[1], [2], [3], [4]], dtype=np.int64)
+        buf = np.zeros((4, 1), dtype=np.int64)
+        assert kern.neighbor_max_stacked(values, out=buf) is buf
+        assert buf.ravel().tolist() == [4, 3, 4, 3]
+
+    def test_ragged_fallback(self):
+        indptr = np.array([0, 1, 4, 6, 8], dtype=np.int64)
+        indices = np.array([1, 0, 2, 3, 1, 3, 1, 2], dtype=np.int64)
+        kern = FloodKernel(indptr, indices)
+        assert kern._uniform_degree == 0
+        values = np.array([[5, 1], [0, 1], [2, 1], [9, 1]], dtype=np.int64)
+        expected = np.stack(
+            [kern.neighbor_max(values[:, b]) for b in range(2)], axis=1
+        )
+        assert np.array_equal(kern.neighbor_max_stacked(values), expected)
+
+    def test_degree_one_graph(self):
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([1, 0], dtype=np.int64)
+        kern = FloodKernel(indptr, indices)
+        values = np.array([[3, 1], [7, 2]], dtype=np.int64)
+        out = kern.neighbor_max_stacked(values)
+        assert out.tolist() == [[7, 2], [3, 1]]
+
+    def test_wrong_height_rejected(self):
+        kern = cycle_kernel(4)
+        with pytest.raises(ValueError, match="matrix"):
+            kern.neighbor_max_stacked(np.zeros((5, 2), dtype=np.int64))
+
+
 class TestSpreadSteps:
     def test_spread_matches_bfs(self, h_small):
         kern = FloodKernel(h_small.indptr, h_small.indices)

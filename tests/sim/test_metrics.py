@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.sim.metrics import MessageMeter, PhaseRecord, PhaseTrace, color_bits
+from repro.sim.metrics import (
+    MessageMeter,
+    MeterBatch,
+    PhaseRecord,
+    PhaseTrace,
+    color_bits,
+)
 
 
 class TestColorBits:
@@ -57,6 +63,46 @@ class TestMessageMeter:
     def test_as_dict_keys(self):
         d = MessageMeter().as_dict()
         assert set(d) >= {"rounds", "messages", "messages_per_round"}
+
+
+class TestMeterBatch:
+    def test_matches_independent_meters(self):
+        batch = MeterBatch(3)
+        meters = [MessageMeter() for _ in range(3)]
+        trials = np.array([0, 2])
+        batch.add_rounds(trials, 4)
+        for t in trials:
+            meters[t].add_round(4)
+        batch.add_messages(trials, np.array([10, 20]), ids_each=2, bits_each=3)
+        meters[0].add_messages(10, ids_each=2, bits_each=3)
+        meters[2].add_messages(20, ids_each=2, bits_each=3)
+        batch.add_messages(np.array([1]), 7)
+        meters[1].add_messages(7)
+        for t in range(3):
+            assert batch.meter(t).as_dict() == meters[t].as_dict()
+
+    def test_zero_count_does_not_touch_max(self):
+        batch = MeterBatch(2)
+        batch.add_messages(np.array([0, 1]), np.array([0, 5]), ids_each=4)
+        assert batch.meter(0).max_message_ids == 0
+        assert batch.meter(1).max_message_ids == 4
+
+    def test_duplicate_trial_indices_accumulate(self):
+        batch = MeterBatch(2)
+        batch.add_messages(np.array([0, 0, 1]), np.array([1, 2, 5]))
+        batch.add_rounds(np.array([0, 0]), 3)
+        assert batch.meter(0).messages == 3
+        assert batch.meter(1).messages == 5
+        assert batch.meter(0).rounds == 6
+
+    def test_negative_count_rejected(self):
+        batch = MeterBatch(1)
+        with pytest.raises(ValueError, match="negative"):
+            batch.add_messages(np.array([0]), -1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="batch size"):
+            MeterBatch(-1)
 
 
 class TestPhaseTrace:
