@@ -2,35 +2,43 @@
 
 The trial-batched engine (:func:`repro.core.batch.run_counting_batch`)
 exists to make repeated-seed sweeps faster without changing any reported
-statistic.  This benchmark quantifies the win three ways over the same
-``B`` seeds of Algorithm 1 on one network:
+statistic.  This benchmark quantifies the win over the same ``B`` seeds on
+one network, in four workloads:
 
-* **sequential** — ``B`` independent :func:`repro.core.runner.run_counting`
-  calls (the pre-batching code path);
-* **batched** — one :func:`run_counting_batch` call (``(n, B)`` state
-  matrices, stacked flood kernel);
-* **sharded** — the batch split over worker processes via
-  :func:`repro.experiments.common.parallel_map` (pays process spawn +
-  pickling; only wins with multiple cores and large enough work).
+* **honest** — Algorithm 1: ``B`` sequential ``run_counting`` calls vs one
+  ``run_counting_batch`` call vs the batch sharded over worker processes
+  (via :func:`repro.experiments.common.parallel_map` with shared-memory
+  graph attachment — workers no longer unpickle the network per task);
+* **byzantine** — Algorithm 2 under attack: the batched adversary fast
+  path (vectorized ``batch_subphase_plan`` hooks) vs per-trial sequential
+  ``run_counting`` with scalar hooks, for a representative strategy set;
+* **baseline** — the geometric-max estimator, scalar vs trials-as-columns
+  batch.
 
-Run standalone for a quick table (CI runs this as a smoke test)::
+Run standalone for a quick table (CI runs this as a smoke test and uploads
+the JSON trajectory)::
 
     PYTHONPATH=src python benchmarks/bench_batch.py --n 256 --trials 8
+    PYTHONPATH=src python benchmarks/bench_batch.py --json BENCH_batch.json
 
-or under pytest-benchmark with the rest of the bench suite.  The reference
-result on the development box: n=1024, B=32 -> batched is ~3.1-3.4x the
-sequential trial throughput (single core; the sharded row needs >1 core to
-be competitive).
+or under pytest-benchmark with the rest of the bench suite.  Reference
+results on the development box at n=1024, B=32: honest batched ~3x the
+sequential trial throughput; byzantine batched 2-3.5x depending on the
+strategy (early-stop ends runs after a few phases, so fixed costs weigh
+more; inflation floods every phase and batches best).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
 
-from repro.core import CountingConfig, run_counting_batch
+from repro.adversary import placement_for_delta
+from repro.baselines import run_geometric_max, run_geometric_max_batch
+from repro.core import CountingConfig, make_adversary, run_counting_batch
 from repro.core.runner import run_counting
 from repro.experiments.common import parallel_map
 from repro.graphs import build_small_world
@@ -38,6 +46,8 @@ from repro.graphs import build_small_world
 DEFAULT_N = 1024
 DEFAULT_TRIALS = 32
 CFG = CountingConfig(verification=False)
+BYZ_CFG = CountingConfig()
+BYZ_STRATEGIES = ("early-stop", "inflation", "adaptive-record")
 
 
 def _seeds(trials: int) -> list[int]:
@@ -52,22 +62,42 @@ def run_batched(net, seeds, config=CFG):
     return list(run_counting_batch(net, seeds, config=config))
 
 
-class _Shard:
-    """Picklable worker: rebuilds nothing, reuses the network via fork or
-    re-pickles it under spawn; each shard runs one batched sub-sweep."""
-
-    def __init__(self, net, config):
-        self.net = net
-        self.config = config
-
-    def __call__(self, shard_seeds):
-        return list(run_counting_batch(self.net, shard_seeds, config=self.config))
+def _shard_task(net, task):
+    """Module-level worker: one batched sub-sweep on the shared network."""
+    shard_seeds, config = task
+    return list(run_counting_batch(net, list(shard_seeds), config=config))
 
 
 def run_sharded(net, seeds, config=CFG, jobs: int = 2):
-    shards = [list(chunk) for chunk in np.array_split(seeds, jobs) if len(chunk)]
-    parts = parallel_map(_Shard(net, config), shards, jobs=jobs)
+    """Shard the batch over processes; the graph rides in shared memory."""
+    shards = [
+        (list(chunk), config)
+        for chunk in np.array_split(seeds, jobs)
+        if len(chunk)
+    ]
+    parts = parallel_map(_shard_task, shards, jobs=jobs, network=net)
     return [res for part in parts for res in part]
+
+
+def run_byz_sequential(net, seeds, byz, strategy: str, config=BYZ_CFG):
+    return [
+        run_counting(
+            net, config=config, seed=s, adversary=make_adversary(strategy), byz_mask=byz
+        )
+        for s in seeds
+    ]
+
+
+def run_byz_batched(net, seeds, byz, strategy: str, config=BYZ_CFG):
+    return list(
+        run_counting_batch(
+            net,
+            seeds,
+            config=config,
+            adversary_factory=lambda: make_adversary(strategy),
+            byz_mask=byz,
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -95,6 +125,25 @@ def test_bench_batched_trials(benchmark):
     assert len(results) == DEFAULT_TRIALS
 
 
+def test_bench_byzantine_batched_trials(benchmark):
+    net = _net()
+    seeds = _seeds(DEFAULT_TRIALS)
+    byz = placement_for_delta(net, 0.5, rng=3)
+    results = benchmark.pedantic(
+        run_byz_batched, args=(net, seeds, byz, "early-stop"), rounds=3, iterations=1
+    )
+    assert len(results) == DEFAULT_TRIALS
+
+
+def test_bench_baseline_batched_trials(benchmark):
+    net = _net()
+    seeds = _seeds(DEFAULT_TRIALS)
+    results = benchmark.pedantic(
+        run_geometric_max_batch, args=(net, seeds), rounds=3, iterations=1
+    )
+    assert len(results) == DEFAULT_TRIALS
+
+
 def test_batched_matches_sequential():
     """Guard: the speed win must not change any reported statistic."""
     net = build_small_world(256, 8, seed=3)
@@ -106,8 +155,24 @@ def test_batched_matches_sequential():
         assert a.meter.as_dict() == b.meter.as_dict()
 
 
+def test_byzantine_batched_matches_sequential():
+    """Guard: the Byzantine fast path is bit-for-bit too."""
+    net = build_small_world(256, 8, seed=3)
+    seeds = _seeds(6)
+    byz = placement_for_delta(net, 0.5, rng=3)
+    for strategy in BYZ_STRATEGIES:
+        seq = run_byz_sequential(net, seeds, byz, strategy)
+        bat = run_byz_batched(net, seeds, byz, strategy)
+        for a, b in zip(seq, bat):
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+            assert np.array_equal(a.crashed, b.crashed)
+            assert a.meter.as_dict() == b.meter.as_dict()
+            assert a.injections_accepted == b.injections_accepted
+            assert a.injections_rejected == b.injections_rejected
+
+
 # ----------------------------------------------------------------------
-# Standalone smoke / comparison table
+# Standalone smoke / comparison table + JSON trajectory artifact
 # ----------------------------------------------------------------------
 
 
@@ -130,34 +195,135 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup",
         type=float,
         default=None,
-        help="exit nonzero unless batched/sequential speedup reaches this",
+        help="exit nonzero unless batched/sequential speedup reaches this "
+        "(applied to the honest and every byzantine workload)",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the benchmark trajectory (per-workload timings and "
+        "speedups) as a JSON artifact",
     )
     args = parser.parse_args(argv)
 
     net = build_small_world(args.n, 8, seed=3)
     seeds = _seeds(args.trials)
+    byz = placement_for_delta(net, 0.5, rng=3)
     run_batched(net, seeds[: min(4, len(seeds))])  # warm caches/plans
+    run_byz_batched(net, seeds[: min(4, len(seeds))], byz, "early-stop")
 
+    trajectory: list[dict] = []
+    failures: list[str] = []
+
+    def record(workload: str, t_seq: float, t_bat: float, extra=None, gated=True):
+        speedup = t_seq / t_bat
+        trajectory.append(
+            {
+                "workload": workload,
+                "sequential_s": t_seq,
+                "batched_s": t_bat,
+                "speedup": speedup,
+                "trials_per_s_sequential": args.trials / t_seq,
+                "trials_per_s_batched": args.trials / t_bat,
+                **(extra or {}),
+            }
+        )
+        if gated and args.min_speedup is not None and speedup < args.min_speedup:
+            failures.append(
+                f"{workload}: speedup {speedup:.2f}x < required {args.min_speedup}x"
+            )
+        return speedup
+
+    header = f"{'workload':<28}{'seq':>10}{'batched':>10}{'speedup':>10}"
+    print(f"n={args.n}, B={args.trials} trials, best of {args.repeats}")
+    print(header)
+    print("-" * len(header))
+
+    # --- honest (Algorithm 1) -----------------------------------------
     t_seq, seq = _time_best(run_sequential, net, seeds, repeats=args.repeats)
     t_bat, bat = _time_best(run_batched, net, seeds, repeats=args.repeats)
-    t_shd, shd = _time_best(run_sharded, net, seeds, repeats=args.repeats)
-
     for a, b in zip(seq, bat):
         assert np.array_equal(a.decided_phase, b.decided_phase)
         assert a.meter.as_dict() == b.meter.as_dict()
+    sp = record("honest", t_seq, t_bat)
+    print(f"{'honest':<28}{t_seq * 1e3:>8.1f}ms{t_bat * 1e3:>8.1f}ms{sp:>9.2f}x")
+
+    t_shd, shd = _time_best(
+        run_sharded, net, seeds, CFG, args.jobs, repeats=args.repeats
+    )
     for a, c in zip(seq, shd):
         assert np.array_equal(a.decided_phase, c.decided_phase)
+    trajectory.append(
+        {
+            "workload": f"honest-sharded-x{args.jobs}",
+            "mode": "sharded",
+            "sequential_s": t_seq,
+            "sharded_s": t_shd,
+            "speedup": t_seq / t_shd,
+            "trials_per_s_sequential": args.trials / t_seq,
+            "trials_per_s_sharded": args.trials / t_shd,
+            "shared_memory_graph": True,
+        }
+    )
+    print(
+        f"{'honest-sharded-x' + str(args.jobs):<28}{t_seq * 1e3:>8.1f}ms"
+        f"{t_shd * 1e3:>8.1f}ms{t_seq / t_shd:>9.2f}x"
+    )
 
-    print(f"n={args.n}, B={args.trials} trials, best of {args.repeats}")
-    header = f"{'mode':<12}{'time':>10}{'trials/s':>12}{'speedup':>10}"
-    print(header)
-    print("-" * len(header))
-    for name, t in (("sequential", t_seq), ("batched", t_bat), (f"sharded x{args.jobs}", t_shd)):
-        print(f"{name:<12}{t * 1e3:>8.1f}ms{args.trials / t:>12.1f}{t_seq / t:>9.2f}x")
+    # --- byzantine (Algorithm 2, batched adversary fast path) ---------
+    for strategy in BYZ_STRATEGIES:
+        t_seq, seq = _time_best(
+            run_byz_sequential, net, seeds, byz, strategy, repeats=args.repeats
+        )
+        t_bat, bat = _time_best(
+            run_byz_batched, net, seeds, byz, strategy, repeats=args.repeats
+        )
+        for a, b in zip(seq, bat):
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+            assert np.array_equal(a.crashed, b.crashed)
+            assert a.meter.as_dict() == b.meter.as_dict()
+            assert a.injections_accepted == b.injections_accepted
+            assert a.injections_rejected == b.injections_rejected
+        name = f"byzantine-{strategy}"
+        sp = record(name, t_seq, t_bat, {"strategy": strategy, "byz": int(byz.sum())})
+        print(f"{name:<28}{t_seq * 1e3:>8.1f}ms{t_bat * 1e3:>8.1f}ms{sp:>9.2f}x")
 
-    speedup = t_seq / t_bat
-    if args.min_speedup is not None and speedup < args.min_speedup:
-        print(f"FAIL: batched speedup {speedup:.2f}x < required {args.min_speedup}x")
+    # --- baseline estimator (geometric-max) ---------------------------
+    t_seq, seq = _time_best(
+        lambda: [run_geometric_max(net, seed=s) for s in seeds], repeats=args.repeats
+    )
+    t_bat, bat = _time_best(run_geometric_max_batch, net, seeds, repeats=args.repeats)
+    for a, b in zip(seq, bat):
+        assert np.array_equal(a.estimates, b.estimates)
+        assert a.meter.as_dict() == b.meter.as_dict()
+    # Not speedup-gated: the absolute times are single-digit ms, so the
+    # ratio is dominated by fixed per-call costs rather than the kernels.
+    sp = record("baseline-geometric-max", t_seq, t_bat, gated=False)
+    print(
+        f"{'baseline-geometric-max':<28}{t_seq * 1e3:>8.1f}ms"
+        f"{t_bat * 1e3:>8.1f}ms{sp:>9.2f}x"
+    )
+
+    if args.json:
+        artifact = {
+            "benchmark": "bench_batch",
+            "n": args.n,
+            "trials": args.trials,
+            "repeats": args.repeats,
+            "jobs": args.jobs,
+            "equivalence_checked": True,
+            "trajectory": trajectory,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}")
         return 1
     return 0
 

@@ -1,6 +1,17 @@
 """Full-information Byzantine adversaries (Section 2.1 model, §3.4 attacks)."""
 
-from .base import Adversary, HonestAdversary, Injection, SubphasePlan, SubphaseState
+from .base import (
+    Adversary,
+    BatchSubphasePlan,
+    BatchSubphaseState,
+    HonestAdversary,
+    Injection,
+    PerTrialAdversaryBatch,
+    SubphasePlan,
+    SubphaseState,
+    has_native_batch,
+    stack_subphase_plans,
+)
 from .placement import clustered_placement, placement_for_delta, random_placement
 from .strategies import (
     HUGE_COLOR,
@@ -19,6 +30,11 @@ __all__ = [
     "Injection",
     "SubphasePlan",
     "SubphaseState",
+    "BatchSubphasePlan",
+    "BatchSubphaseState",
+    "PerTrialAdversaryBatch",
+    "stack_subphase_plans",
+    "has_native_batch",
     "random_placement",
     "clustered_placement",
     "placement_for_delta",

@@ -18,20 +18,76 @@ What the adversary **cannot** do (also per the model):
   is exactly what the witness-query machinery achieves), or
 * avoid the crash rule: topology lies take effect only through
   :func:`repro.core.neighborhood.crash_phase`.
+
+Batched adversary protocol
+--------------------------
+The trial-batched engine (:func:`repro.core.batch.run_counting_batch`) runs
+``B`` independent trials on ``(n, B)`` trials-as-columns state matrices.  To
+keep Byzantine sweeps on that fast path, adversaries speak a *batched*
+variant of the same protocol:
+
+* :meth:`Adversary.bind_batch` is called once per batched run with one
+  private random stream per trial (the same per-trial ``adv_rng`` streams a
+  sequence of scalar :func:`~repro.core.runner.run_counting` calls would
+  receive, derived ``make_rng(seed) -> spawn``);
+* :meth:`Adversary.batch_topology_claims` returns one
+  :data:`~repro.core.neighborhood.AdjacencyClaims` mapping per trial for
+  the pre-phase (the engine deduplicates identical claim sets before
+  simulating crashes);
+* each subphase, :meth:`Adversary.batch_subphase_plan` receives a
+  :class:`BatchSubphaseState` — the ``B``-column analogue of
+  :class:`SubphaseState`, carrying a ``(n_honest, B)`` honest-color matrix,
+  ``(n, B)`` decision/crash state, and the per-trial rng tuple — and
+  returns a :class:`BatchSubphasePlan` with a ``(byz, B)`` initial-color
+  matrix, per-trial injection schedules, and per-trial relay flags.
+
+The equivalence contract is *bit-for-bit*: column ``j`` of a batch plan
+must be exactly the plan the same adversary would produce for trial ``j``'s
+scalar state (the built-in strategies are all ported natively; see
+``tests/core/test_runner_batch.py``).  Scalar third-party adversaries keep
+working unchanged: the base-class :meth:`Adversary.batch_subphase_plan`
+is a generic per-column fallback that slices the batch state into scalar
+:class:`SubphaseState` views (:meth:`BatchSubphaseState.column`) and calls
+``subphase_plan`` once per trial — still several times faster end-to-end,
+because the flooding rounds stay batched.  Adversaries that keep *mutable
+per-run state* should be passed to the batch engine as a zero-argument
+factory; the engine then wraps them in :class:`PerTrialAdversaryBatch`,
+which maintains one scalar instance per trial exactly as the old
+sequential fallback did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.config import CountingConfig
+    from ..core.neighborhood import AdjacencyClaims
     from ..graphs.smallworld import SmallWorldNetwork
 
-__all__ = ["Injection", "SubphasePlan", "SubphaseState", "Adversary", "HonestAdversary"]
+__all__ = [
+    "Injection",
+    "SubphasePlan",
+    "SubphaseState",
+    "BatchSubphasePlan",
+    "BatchSubphaseState",
+    "Adversary",
+    "HonestAdversary",
+    "PerTrialAdversaryBatch",
+    "stack_subphase_plans",
+    "has_native_batch",
+]
+
+
+#: Node arrays already validated by :class:`Injection`, keyed by object
+#: identity (the values keep the arrays alive, so ids cannot be recycled).
+#: Strategies reuse one ``byz_nodes`` array across thousands of Injection
+#: objects per run; the memo turns repeat validation into a dict hit.
+#: Arrays used in an Injection are treated as immutable from then on.
+_VALIDATED_NODE_ARRAYS: dict[int, np.ndarray] = {}
 
 
 @dataclass(frozen=True)
@@ -42,6 +98,12 @@ class Injection:
     transmitted to neighbors).  ``t = 1`` is indistinguishable from honest
     color generation — coin flips are private — and is always accepted;
     with verification on, rounds ``t > k - 1`` are rejected.
+
+    ``nodes`` is validated eagerly (non-empty 1-D integer array, no
+    duplicates) so a malformed schedule fails here, with a clear message,
+    rather than deep inside the flood kernel's fancy indexing.  Membership
+    in the Byzantine set needs run context and is checked by the engines
+    via :meth:`require_byzantine`.
     """
 
     t: int
@@ -53,6 +115,55 @@ class Injection:
             raise ValueError("injection round must be >= 1")
         if self.value < 1:
             raise ValueError("injected colors must be positive")
+        nodes = self.nodes
+        if _VALIDATED_NODE_ARRAYS.get(id(nodes)) is not nodes:
+            nodes = self._validate_nodes(nodes)
+        object.__setattr__(self, "nodes", nodes)
+
+    @staticmethod
+    def _validate_nodes(nodes_in) -> np.ndarray:
+        nodes = np.asarray(nodes_in)
+        if nodes.ndim != 1 or nodes.size == 0:
+            raise ValueError(
+                f"injection nodes must be a non-empty 1-D array, got shape {nodes.shape}"
+            )
+        if not np.issubdtype(nodes.dtype, np.integer):
+            raise ValueError(
+                f"injection nodes must be integers, got dtype {nodes.dtype}"
+            )
+        if nodes.size > 1:
+            # Strategies pass sorted node arrays (np.flatnonzero output);
+            # for those a monotonicity scan replaces the np.unique sort.
+            diffs = np.diff(nodes)
+            if not ((diffs > 0).all() or (diffs < 0).all()):
+                if np.unique(nodes).size != nodes.size:
+                    raise ValueError("injection nodes contain duplicates")
+        nodes = np.ascontiguousarray(nodes, dtype=np.int64)
+        if len(_VALIDATED_NODE_ARRAYS) >= 256:
+            _VALIDATED_NODE_ARRAYS.clear()
+        _VALIDATED_NODE_ARRAYS[id(nodes)] = nodes
+        return nodes
+
+    def require_byzantine(self, byz_mask: np.ndarray) -> None:
+        """Raise unless every injection target is Byzantine.
+
+        ``byz_mask`` is the boolean placement mask over all nodes (a mask
+        lookup, not a set intersection — this runs once per scheduled
+        injection on the engines' hot path).
+        """
+        nodes = self.nodes
+        out = (nodes < 0) | (nodes >= byz_mask.shape[0])
+        if out.any():
+            raise ValueError(
+                f"injection at round {self.t} targets out-of-range nodes "
+                f"{nodes[out].tolist()}"
+            )
+        ok = byz_mask[nodes]
+        if not ok.all():
+            raise ValueError(
+                f"injection at round {self.t} targets non-Byzantine nodes "
+                f"{nodes[~ok].tolist()}"
+            )
 
 
 @dataclass
@@ -94,6 +205,110 @@ class SubphaseState:
         return int(self.honest_colors.max()) if self.honest_colors.size else 0
 
 
+@dataclass
+class BatchSubphasePlan:
+    """Per-trial Byzantine behavior for one subphase of a batched run.
+
+    Column ``j`` of every field must equal the :class:`SubphasePlan` the
+    adversary would emit for trial ``j`` run sequentially.
+    """
+
+    #: ``(byz, B)`` initial-color matrix, or None when no trial generates.
+    #: A scalar plan's ``initial_colors=None`` is represented as an
+    #: all-zero column (identical engine behavior: Byzantine state starts
+    #: at the 0 sentinel either way).
+    initial_colors: np.ndarray | None = None
+    #: Per-trial injection schedules (``injections[j]`` drives trial ``j``);
+    #: None means no trial injects.
+    injections: list[list[Injection]] | None = None
+    #: Per-trial relay flags (``(B,)`` bool array) or one shared bool.
+    relay: np.ndarray | bool = True
+
+
+@dataclass
+class BatchSubphaseState:
+    """The ``B``-trial analogue of :class:`SubphaseState`.
+
+    All per-node state is trials-as-columns: ``honest_colors`` is
+    ``(n_honest, B)``, ``decided_phase`` and ``crashed`` are ``(n, B)``.
+    ``trials`` holds the batch-local indices of the trials still running
+    (trials leave the batch as they finish), and ``rngs`` their private
+    adversary streams in the same order.
+    """
+
+    phase: int
+    subphase: int
+    rounds: int
+    k: int
+    network: "SmallWorldNetwork"
+    byz_nodes: np.ndarray
+    trials: np.ndarray
+    honest_colors: np.ndarray
+    decided_phase: np.ndarray
+    crashed: np.ndarray
+    rngs: tuple[np.random.Generator, ...]
+
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+    @property
+    def batch(self) -> int:
+        return len(self.rngs)
+
+    def global_max_colors(self) -> np.ndarray:
+        """Per-trial largest honest color drawn this subphase (``(B,)``)."""
+        if self.honest_colors.shape[0] == 0:
+            return np.zeros(self.batch, dtype=np.int64)
+        return self.honest_colors.max(axis=0)
+
+    def column(self, j: int) -> SubphaseState:
+        """Trial ``j``'s scalar view (used by the per-column fallback)."""
+        return SubphaseState(
+            phase=self.phase,
+            subphase=self.subphase,
+            rounds=self.rounds,
+            k=self.k,
+            network=self.network,
+            byz_nodes=self.byz_nodes,
+            honest_colors=self.honest_colors[:, j],
+            decided_phase=self.decided_phase[:, j],
+            crashed=self.crashed[:, j],
+            rng=self.rngs[j],
+        )
+
+
+def stack_subphase_plans(
+    plans: Sequence[SubphasePlan], byz_count: int
+) -> BatchSubphasePlan:
+    """Merge per-trial scalar plans (column ``j`` = ``plans[j]``) into one
+    :class:`BatchSubphasePlan`.
+
+    ``initial_colors=None`` columns become all-zero columns, which the
+    engine treats identically (Byzantine nodes start each subphase at the
+    0 sentinel).  Shapes are validated here so a misaligned scalar plan
+    fails with the same message the sequential engine raises.
+    """
+    batch = len(plans)
+    initial: np.ndarray | None = None
+    for j, plan in enumerate(plans):
+        if plan.initial_colors is None:
+            continue
+        vals = np.asarray(plan.initial_colors, dtype=np.int64)
+        if vals.shape != (byz_count,):
+            raise ValueError("initial_colors must align with byz nodes")
+        if initial is None:
+            initial = np.zeros((byz_count, batch), dtype=np.int64)
+        initial[:, j] = vals
+    injections = [list(plan.injections) for plan in plans]
+    if not any(injections):
+        injections = None
+    relay = np.array([bool(plan.relay) for plan in plans], dtype=bool)
+    return BatchSubphasePlan(
+        initial_colors=initial, injections=injections, relay=relay
+    )
+
+
 class Adversary:
     """Base adversary: behaves exactly like honest nodes (no attack)."""
 
@@ -103,13 +318,14 @@ class Adversary:
         self.network: "SmallWorldNetwork | None" = None
         self.byz_mask: np.ndarray | None = None
         self.rng: np.random.Generator | None = None
+        self.batch_rngs: tuple[np.random.Generator, ...] = ()
 
     # ------------------------------------------------------------------
     def bind(
         self,
         network: "SmallWorldNetwork",
         byz_mask: np.ndarray,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None,
         config: "CountingConfig",
     ) -> None:
         """Called once before the run; override for precomputation."""
@@ -118,7 +334,7 @@ class Adversary:
         self.rng = rng
         self.config = config
 
-    def topology_claims(self) -> dict[int, tuple[int, ...]]:
+    def topology_claims(self) -> "dict[int, tuple[int, ...]]":
         """Claimed H-adjacency per Byzantine node for the pre-phase.
 
         Defaults to truthful claims (topology lies only trigger crashes,
@@ -139,8 +355,120 @@ class Adversary:
             relay=True,
         )
 
+    # ------------------------------------------------------------------
+    # Batched protocol (see module docstring)
+    # ------------------------------------------------------------------
+    def bind_batch(
+        self,
+        network: "SmallWorldNetwork",
+        byz_mask: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        config: "CountingConfig",
+    ) -> None:
+        """Called once before a batched run, with one rng per trial."""
+        self.batch_rngs = tuple(rngs)
+        self.bind(
+            network,
+            byz_mask,
+            self.batch_rngs[0] if self.batch_rngs else None,
+            config,
+        )
+
+    def batch_topology_claims(self) -> "list[AdjacencyClaims]":
+        """Per-trial pre-phase claims (one mapping per bound trial).
+
+        The default replays :meth:`topology_claims` under each trial's rng;
+        deterministic strategies override this to compute the claims once.
+        """
+        batch = len(self.batch_rngs)
+        if type(self).topology_claims is Adversary.topology_claims:
+            # The base implementation (truthful claims) is deterministic
+            # and rng-free: compute once and share across trials.
+            return [self.topology_claims()] * batch
+        claims = []
+        for rng in self.batch_rngs:
+            self.rng = rng
+            claims.append(self.topology_claims())
+        return claims
+
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        """Generic per-column fallback: one ``subphase_plan`` call per trial.
+
+        Exact for any adversary whose scalar hook is a pure function of its
+        state (all built-ins): each column sees its own trial's rng both
+        via ``state.rng`` and via ``self.rng``, which is re-bound per
+        column exactly as sequential runs re-bind it per trial.  Strategies
+        override this with natively vectorized plans; adversaries with
+        *other* mutable per-run state should go through
+        :class:`PerTrialAdversaryBatch` instead.
+        """
+        plans = []
+        for j in range(state.batch):
+            self.rng = state.rngs[j]
+            plans.append(self.subphase_plan(state.column(j)))
+        return stack_subphase_plans(plans, state.byz_nodes.shape[0])
+
 
 class HonestAdversary(Adversary):
     """Alias emphasizing a no-attack control run."""
 
     name = "honest"
+
+
+class PerTrialAdversaryBatch(Adversary):
+    """Generic per-column wrapper: one scalar adversary instance per trial.
+
+    This is the batch-engine equivalent of the old sequential fallback —
+    each trial gets its own instance from ``factory``, bound with that
+    trial's private rng, and every batch hook fans out to the per-trial
+    instances.  It is exact for *any* scalar adversary, including stateful
+    ones, at the cost of one Python-level hook call per trial per subphase
+    (the flooding rounds themselves stay batched).
+    """
+
+    name = "per-trial-batch"
+
+    def __init__(self, factory: Callable[[], Adversary], batch: int):
+        super().__init__()
+        self.instances = [factory() for _ in range(batch)]
+
+    def bind_batch(self, network, byz_mask, rngs, config) -> None:
+        if len(rngs) != len(self.instances):
+            raise ValueError(
+                f"bound {len(rngs)} trials for {len(self.instances)} instances"
+            )
+        self.batch_rngs = tuple(rngs)
+        self.network = network
+        self.byz_mask = np.asarray(byz_mask, dtype=bool)
+        self.config = config
+        for inst, rng in zip(self.instances, rngs):
+            inst.bind(network, byz_mask, rng, config)
+
+    def batch_topology_claims(self) -> "list[AdjacencyClaims]":
+        return [inst.topology_claims() for inst in self.instances]
+
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        plans = [
+            self.instances[int(trial)].subphase_plan(state.column(j))
+            for j, trial in enumerate(state.trials)
+        ]
+        return stack_subphase_plans(plans, state.byz_nodes.shape[0])
+
+
+def has_native_batch(adversary: Adversary) -> bool:
+    """Whether ``adversary`` can drive a whole batch as a single instance.
+
+    True when the class ports :meth:`Adversary.batch_subphase_plan`
+    natively, or when it overrides *neither* scalar hook (the stateless
+    base behavior, for which the generic per-column fallback is exact).
+    Scalar-only subclasses return False and get wrapped in
+    :class:`PerTrialAdversaryBatch` by the batch engine, preserving the
+    one-instance-per-trial semantics of sequential runs.
+    """
+    cls = type(adversary)
+    if cls.batch_subphase_plan is not Adversary.batch_subphase_plan:
+        return True
+    return (
+        cls.subphase_plan is Adversary.subphase_plan
+        and cls.topology_claims is Adversary.topology_claims
+    )

@@ -20,6 +20,14 @@ Each strategy is one bullet of the attack-surface analysis (DESIGN.md §2.4):
 * :class:`AdaptiveRecordAdversary` — full-information stealth variant: the
   injected value is exactly ``(global honest max this subphase) + 1``,
   the minimal value that still wins every comparison.
+
+Every strategy is ported to the batched adversary protocol
+(``batch_subphase_plan`` over :class:`~repro.adversary.base.BatchSubphaseState`,
+see the :mod:`repro.adversary.base` docstring): batch plans are built
+natively as ``(byz, B)`` matrices / per-trial schedules, with column ``j``
+bit-for-bit equal to the scalar plan trial ``j`` would receive, so
+Algorithm 2 sweeps run on the trial-batched engine without a per-trial
+Python fallback.
 """
 
 from __future__ import annotations
@@ -27,7 +35,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.colors import sample_colors
-from .base import Adversary, Injection, SubphasePlan, SubphaseState
+from .base import (
+    Adversary,
+    BatchSubphasePlan,
+    BatchSubphaseState,
+    Injection,
+    SubphasePlan,
+    SubphaseState,
+)
 
 __all__ = [
     "EarlyStopAdversary",
@@ -56,6 +71,12 @@ class EarlyStopAdversary(Adversary):
     def subphase_plan(self, state: SubphaseState) -> SubphasePlan:
         colors = np.full(state.byz_nodes.shape[0], self.value, dtype=np.int64)
         return SubphasePlan(initial_colors=colors, injections=[], relay=True)
+
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        colors = np.full(
+            (state.byz_nodes.shape[0], state.batch), self.value, dtype=np.int64
+        )
+        return BatchSubphasePlan(initial_colors=colors)
 
 
 class InflationAdversary(Adversary):
@@ -92,6 +113,20 @@ class InflationAdversary(Adversary):
         ]
         return SubphasePlan(initial_colors=None, injections=injections, relay=True)
 
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        # The schedule depends only on (phase, subphase), so every trial
+        # shares one injection list (the engine never mutates plans).
+        stamp = (state.phase * 4096 + state.subphase) * 64
+        injections = [
+            Injection(
+                t=t,
+                nodes=state.byz_nodes,
+                value=self.base_value + stamp + t,
+            )
+            for t in range(1, state.rounds + 1)
+        ]
+        return BatchSubphasePlan(injections=[injections] * state.batch)
+
 
 class SuppressionAdversary(Adversary):
     """Byzantine nodes generate nothing and never relay."""
@@ -100,6 +135,9 @@ class SuppressionAdversary(Adversary):
 
     def subphase_plan(self, state: SubphaseState) -> SubphasePlan:
         return SubphasePlan(initial_colors=None, injections=[], relay=False)
+
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        return BatchSubphasePlan(relay=False)
 
 
 class SilentAdversary(Adversary):
@@ -110,8 +148,14 @@ class SilentAdversary(Adversary):
     def topology_claims(self) -> dict[int, tuple[int, ...]]:
         return {}  # silence in the pre-phase is not a contradiction
 
+    def batch_topology_claims(self) -> list[dict[int, tuple[int, ...]]]:
+        return [{} for _ in self.batch_rngs]
+
     def subphase_plan(self, state: SubphaseState) -> SubphasePlan:
         return SubphasePlan(initial_colors=None, injections=[], relay=False)
+
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        return BatchSubphasePlan(relay=False)
 
 
 class TopologyLiarAdversary(Adversary):
@@ -146,8 +190,17 @@ class TopologyLiarAdversary(Adversary):
             claims[int(b)] = tuple(fake)
         return claims
 
+    def batch_topology_claims(self) -> list[dict[int, tuple[int, ...]]]:
+        # Claims depend only on the bound network, so compute them once;
+        # the engine deduplicates identical claim sets anyway.
+        claims = self.topology_claims()
+        return [claims for _ in self.batch_rngs]
+
     def subphase_plan(self, state: SubphaseState) -> SubphasePlan:
         return self.inner.subphase_plan(state)
+
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        return self.inner.batch_subphase_plan(state)
 
 
 class ComboAdversary(Adversary):
@@ -177,6 +230,20 @@ class ComboAdversary(Adversary):
         initial = colors if split else None
         return SubphasePlan(initial_colors=initial, injections=injections, relay=True)
 
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        m, batch = state.byz_nodes.shape[0], state.batch
+        split = int(round(m * self.early_fraction))
+        late = state.byz_nodes[split:]
+        colors = np.zeros((m, batch), dtype=np.int64)
+        colors[:split, :] = self.value
+        injections: list[list[Injection]] | None = None
+        if late.size:
+            t = max(1, min(state.k - 1, state.rounds))
+            inj = Injection(t=t, nodes=late, value=self.value + state.phase)
+            injections = [[inj]] * batch
+        initial = colors if split else None
+        return BatchSubphasePlan(initial_colors=initial, injections=injections)
+
 
 class AdaptiveRecordAdversary(Adversary):
     """Full-information minimal-overshoot inflation.
@@ -197,3 +264,25 @@ class AdaptiveRecordAdversary(Adversary):
         # Also draw plausible base colors so the byz nodes are not silent.
         colors = sample_colors(state.rng, state.byz_nodes.shape[0])
         return SubphasePlan(initial_colors=colors, injections=injections, relay=True)
+
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        m = state.byz_nodes.shape[0]
+        bases = state.global_max_colors()
+        # Honest maxima concentrate near log2 n, so many trials share a
+        # base; those trials share one schedule object (plans are
+        # read-only, and the engine groups shared node arrays anyway).
+        schedules: dict[int, list[Injection]] = {}
+        injections = []
+        colors = np.empty((m, state.batch), dtype=np.int64)
+        for j in range(state.batch):
+            base = int(bases[j])
+            schedule = schedules.get(base)
+            if schedule is None:
+                schedule = [
+                    Injection(t=t, nodes=state.byz_nodes, value=base + t)
+                    for t in range(1, state.rounds + 1)
+                ]
+                schedules[base] = schedule
+            injections.append(schedule)
+            colors[:, j] = sample_colors(state.rngs[j], m)
+        return BatchSubphasePlan(initial_colors=colors, injections=injections)

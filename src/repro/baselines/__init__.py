@@ -1,20 +1,47 @@
-"""Section 1.2 baseline protocols and their Byzantine failure modes."""
+"""Section 1.2 baseline protocols and their Byzantine failure modes.
 
-from .birthday import BirthdayResult, run_birthday
-from .convergecast import ConvergecastResult, run_convergecast
-from .exponential_support import ExponentialSupportResult, run_exponential_support
-from .flooding_diameter import FloodingDiameterResult, run_flooding_diameter
-from .geometric_max import GeometricMaxResult, run_geometric_max
+Every estimator has a trials-as-columns batched variant (``run_*_batch``)
+that is bit-for-bit equal to per-seed (or per-root / per-leader) scalar
+calls while amortizing kernel dispatch across the batch — the E05/E06
+comparison sweeps route through these.
+"""
+
+from .birthday import BirthdayResult, run_birthday, run_birthday_batch
+from .convergecast import (
+    ConvergecastResult,
+    run_convergecast,
+    run_convergecast_batch,
+)
+from .exponential_support import (
+    ExponentialSupportResult,
+    run_exponential_support,
+    run_exponential_support_batch,
+)
+from .flooding_diameter import (
+    FloodingDiameterResult,
+    run_flooding_diameter,
+    run_flooding_diameter_batch,
+)
+from .geometric_max import (
+    GeometricMaxResult,
+    run_geometric_max,
+    run_geometric_max_batch,
+)
 
 __all__ = [
     "GeometricMaxResult",
     "run_geometric_max",
+    "run_geometric_max_batch",
     "ExponentialSupportResult",
     "run_exponential_support",
+    "run_exponential_support_batch",
     "ConvergecastResult",
     "run_convergecast",
+    "run_convergecast_batch",
     "FloodingDiameterResult",
     "run_flooding_diameter",
+    "run_flooding_diameter_batch",
     "BirthdayResult",
     "run_birthday",
+    "run_birthday_batch",
 ]

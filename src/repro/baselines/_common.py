@@ -1,0 +1,26 @@
+"""Shared argument plumbing for the baseline estimators.
+
+Every estimator (scalar and batched) starts with the same prologue:
+reject unknown attack names and normalize the Byzantine mask.  Keeping it
+here means the scalar and batched variants of one estimator cannot drift
+apart in their validation rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_attack", "byz_array"]
+
+
+def check_attack(attack: str | None, attacks: tuple) -> None:
+    """Reject attack names outside the estimator's ``ATTACKS`` tuple."""
+    if attack not in attacks:
+        raise ValueError(f"unknown attack {attack!r}; choose from {attacks}")
+
+
+def byz_array(n: int, byz_mask: np.ndarray | None) -> np.ndarray:
+    """The Byzantine placement as a boolean array (all-honest default)."""
+    if byz_mask is None:
+        return np.zeros(n, dtype=bool)
+    return np.asarray(byz_mask, dtype=bool)

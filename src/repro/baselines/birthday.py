@@ -17,12 +17,14 @@ that touches a Byzantine node is hijacked.  Two hijack modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from ._common import byz_array, check_attack
 from ..sim.rng import make_rng
 
-__all__ = ["BirthdayResult", "run_birthday"]
+__all__ = ["BirthdayResult", "run_birthday", "run_birthday_batch"]
 
 ATTACKS = (None, "unique", "absorb")
 
@@ -57,19 +59,13 @@ def run_birthday(
     length ``T = 4 ceil(log2 n)`` (comfortably past mixing for a
     near-Ramanujan expander).
     """
-    if attack not in ATTACKS:
-        raise ValueError(f"unknown attack {attack!r}; choose from {ATTACKS}")
+    check_attack(attack, ATTACKS)
     n, d = network.n, network.d
     rng = make_rng(seed)
-    byz = (
-        np.zeros(n, dtype=bool)
-        if byz_mask is None
-        else np.asarray(byz_mask, dtype=bool)
-    )
+    byz = byz_array(n, byz_mask)
     if attack is not None and not byz.any():
         raise ValueError(f"attack {attack!r} requires Byzantine nodes")
-    W = walks if walks is not None else int(np.ceil(4 * np.sqrt(n)))
-    T = walk_length if walk_length is not None else 4 * int(np.ceil(np.log2(n)))
+    W, T = _walk_params(n, walks, walk_length)
 
     pos = rng.integers(0, n, size=W)
     touched_byz = byz[pos].copy()
@@ -79,7 +75,25 @@ def run_birthday(
         pos = indices[pos * d + port]
         touched_byz |= byz[pos]
 
-    endpoints = pos.astype(np.int64)
+    return _finish_walk(pos.astype(np.int64), touched_byz, attack, n, W, T)
+
+
+def _walk_params(n: int, walks: int | None, walk_length: int | None) -> tuple[int, int]:
+    """Defaults: ``W = ceil(4 sqrt(n))``, ``T = 4 ceil(log2 n)``."""
+    W = walks if walks is not None else int(np.ceil(4 * np.sqrt(n)))
+    T = walk_length if walk_length is not None else 4 * int(np.ceil(np.log2(n)))
+    return W, T
+
+
+def _finish_walk(
+    endpoints: np.ndarray,
+    touched_byz: np.ndarray,
+    attack: str | None,
+    n: int,
+    W: int,
+    T: int,
+) -> BirthdayResult:
+    """Hijack the endpoints per ``attack``, count collisions, estimate."""
     hijacked = 0
     if attack == "unique":
         hijack = touched_byz
@@ -103,3 +117,47 @@ def run_birthday(
         collisions=collisions,
         hijacked=hijacked,
     )
+
+
+def run_birthday_batch(
+    network,
+    seeds: Sequence[int | np.random.Generator | None],
+    *,
+    walks: int | None = None,
+    walk_length: int | None = None,
+    byz_mask: np.ndarray | None = None,
+    attack: str | None = None,
+) -> list[BirthdayResult]:
+    """Trials-as-rows batched :func:`run_birthday` over ``seeds``.
+
+    All trials' walkers step through the CSR adjacency in one ``(B, W)``
+    gather per round; the per-trial port draws come from each trial's own
+    rng in the scalar call order, so results are bit-for-bit equal to
+    per-seed scalar runs.
+    """
+    check_attack(attack, ATTACKS)
+    n, d = network.n, network.d
+    batch = len(seeds)
+    byz = byz_array(n, byz_mask)
+    if attack is not None and not byz.any():
+        raise ValueError(f"attack {attack!r} requires Byzantine nodes")
+    if batch == 0:
+        return []
+    W, T = _walk_params(n, walks, walk_length)
+
+    rngs = [make_rng(seed) for seed in seeds]
+    pos = np.empty((batch, W), dtype=np.int64)
+    for j, rng in enumerate(rngs):
+        pos[j] = rng.integers(0, n, size=W)
+    touched_byz = byz[pos].copy()
+    indices = network.h.indices
+    port = np.empty((batch, W), dtype=np.int64)
+    for _ in range(T):
+        for j, rng in enumerate(rngs):
+            port[j] = rng.integers(0, d, size=W)
+        pos = indices[pos * d + port]
+        touched_byz |= byz[pos]
+
+    return [
+        _finish_walk(pos[j], touched_byz[j], attack, n, W, T) for j in range(batch)
+    ]

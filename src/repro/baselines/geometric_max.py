@@ -16,15 +16,17 @@ one actually works.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from ._common import byz_array, check_attack
 from ..core.colors import sample_colors
 from ..sim.flood import FloodKernel
 from ..sim.metrics import MessageMeter
 from ..sim.rng import make_rng
 
-__all__ = ["GeometricMaxResult", "run_geometric_max"]
+__all__ = ["GeometricMaxResult", "run_geometric_max", "run_geometric_max_batch"]
 
 ATTACKS = (None, "fake-max", "suppress")
 
@@ -77,15 +79,10 @@ def run_geometric_max(
     rounds:
         Flooding rounds; defaults to saturation (tracked exactly).
     """
-    if attack not in ATTACKS:
-        raise ValueError(f"unknown attack {attack!r}; choose from {ATTACKS}")
+    check_attack(attack, ATTACKS)
     n, d = network.n, network.d
     rng = make_rng(seed)
-    byz = (
-        np.zeros(n, dtype=bool)
-        if byz_mask is None
-        else np.asarray(byz_mask, dtype=bool)
-    )
+    byz = byz_array(n, byz_mask)
     if attack is not None and not byz.any():
         raise ValueError(f"attack {attack!r} requires at least one Byzantine node")
 
@@ -125,3 +122,80 @@ def run_geometric_max(
         byz=byz,
         meter=meter,
     )
+
+
+def run_geometric_max_batch(
+    network,
+    seeds: Sequence[int | np.random.Generator | None],
+    *,
+    byz_mask: np.ndarray | None = None,
+    attack: str | None = None,
+    fake_value: int | None = None,
+    rounds: int | None = None,
+) -> list[GeometricMaxResult]:
+    """Trials-as-columns batched :func:`run_geometric_max` over ``seeds``.
+
+    Bit-for-bit equal to ``[run_geometric_max(network, seed=s, ...) for s
+    in seeds]``: integer max-flooding is exact, each trial consumes its own
+    rng stream in the same order, and per-trial round/message accounting
+    freezes at each trial's own saturation round while the remaining
+    columns keep flooding.
+    """
+    check_attack(attack, ATTACKS)
+    n, d = network.n, network.d
+    batch = len(seeds)
+    byz = byz_array(n, byz_mask)
+    if attack is not None and not byz.any():
+        raise ValueError(f"attack {attack!r} requires at least one Byzantine node")
+    if batch == 0:
+        return []
+
+    true_log2_n = float(np.log2(n))
+    colors = np.empty((n, batch), dtype=np.int64)
+    for j, seed in enumerate(seeds):
+        colors[:, j] = sample_colors(make_rng(seed), n)
+    if attack == "fake-max":
+        value = fake_value if fake_value is not None else int(10 * true_log2_n)
+        colors[byz, :] = value
+    elif attack == "suppress":
+        colors[byz, :] = 0
+
+    kernel = FloodKernel(network.h.indptr, network.h.indices)
+    cur = colors
+    changes = np.zeros((n, batch), dtype=np.int64)
+    executed = np.zeros(batch, dtype=np.int64)
+    messages = np.zeros(batch, dtype=np.int64)
+    active = np.ones(batch, dtype=bool)
+    limit = rounds if rounds is not None else 4 * n  # saturation guard
+    for _ in range(limit):
+        sent = cur.copy()
+        if attack == "suppress":
+            sent[byz, :] = 0
+        recv = kernel.neighbor_max_stacked(sent)
+        nxt = np.maximum(cur, recv)
+        # A saturated column's state is a fixed point, so only accounting
+        # needs the active mask (``changed`` is all-False there anyway).
+        executed[active] += 1
+        senders = np.count_nonzero(sent, axis=0)
+        messages[active] += senders[active] * d
+        changed = nxt > cur
+        changes += changed
+        if rounds is None:
+            active &= changed.any(axis=0)
+            if not active.any():
+                cur = nxt
+                break
+        cur = nxt
+    return [
+        GeometricMaxResult(
+            estimates=cur[:, j].astype(np.float64),
+            true_log2_n=true_log2_n,
+            rounds=int(executed[j]),
+            max_distinct_forwards=int(changes[:, j].max()) + 1,
+            byz=byz,
+            meter=MessageMeter(
+                rounds=int(executed[j]), messages=int(messages[j])
+            ),
+        )
+        for j in range(batch)
+    ]

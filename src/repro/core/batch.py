@@ -30,11 +30,17 @@ This holds because
 The equivalence is enforced by the property test in
 ``tests/core/test_runner_batch.py``.
 
-Adversarial runs use the scalar :class:`~repro.adversary.base.Adversary`
-hooks (``subphase_plan`` receives one trial's full state), so those trials
-fall back to per-trial sequential execution — still behind the same API, so
-callers need not special-case.  Heterogeneous configs are grouped: trials
-sharing a config batch together.
+Adversarial (Algorithm 2) trials batch too: the engine drives the batched
+adversary protocol (:meth:`~repro.adversary.base.Adversary.batch_subphase_plan`
+over ``(byz, B)`` plans — see :mod:`repro.adversary.base`), simulates the
+pre-phase crash rule per trial (deduplicating identical claim sets), gates
+injections per Lemma 16 per trial, and meters witness traffic from ``(n, B)``
+new-record counts.  Built-in strategies are natively vectorized; scalar
+third-party adversaries run through the generic per-column wrapper
+(:class:`~repro.adversary.base.PerTrialAdversaryBatch` when passed as a
+factory), which keeps the flooding rounds batched while calling the scalar
+hook once per trial.  Heterogeneous configs are grouped: trials sharing a
+config batch together.
 """
 
 from __future__ import annotations
@@ -43,15 +49,22 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..adversary.base import Adversary
+from ..adversary.base import (
+    Adversary,
+    BatchSubphaseState,
+    Injection,
+    PerTrialAdversaryBatch,
+    has_native_batch,
+)
+from ..analysis.bounds import ball_size_bound
 from ..sim.flood import FloodKernel
 from ..sim.metrics import MeterBatch, PhaseRecord, PhaseTrace
 from ..sim.rng import make_rng, spawn
 from .colors import sample_colors
 from .config import CountingConfig
+from .neighborhood import crash_phase
 from .phases import color_threshold, subphase_count
 from .results import UNDECIDED, BatchCountingResult, CountingResult
-from .runner import run_counting
 
 __all__ = ["run_counting_batch"]
 
@@ -78,9 +91,15 @@ def run_counting_batch(
         batched together).
     adversary_factory:
         Zero-argument callable producing a fresh
-        :class:`~repro.adversary.base.Adversary` per trial (adversary hooks
-        are scalar, so adversarial trials run sequentially).  A plain
-        :class:`Adversary` instance is also accepted and re-bound per trial.
+        :class:`~repro.adversary.base.Adversary`, or a plain instance.
+        Byzantine trials run on the batched engine: natively-batched
+        adversaries (all built-ins) drive the whole batch as one instance;
+        scalar-only classes passed as a factory are wrapped in
+        :class:`~repro.adversary.base.PerTrialAdversaryBatch` (one instance
+        per trial, exactly like the former sequential fallback).  A plain
+        scalar instance is driven through the generic per-column fallback,
+        which assumes its hooks are stateless — pass a factory for stateful
+        adversaries.
     byz_mask:
         Shared Byzantine placement; requires ``adversary_factory``.
 
@@ -95,22 +114,27 @@ def run_counting_batch(
     configs = _normalize_configs(config, batch)
 
     if adversary_factory is not None:
-        return BatchCountingResult(
-            [
-                run_counting(
-                    network,
-                    config=cfg,
-                    seed=seed,
-                    adversary=_make_adversary(adversary_factory),
-                    byz_mask=byz_mask,
-                )
-                for seed, cfg in zip(seeds, configs)
-            ]
+        n = network.n
+        byz = (
+            np.zeros(n, dtype=bool)
+            if byz_mask is None
+            else np.asarray(byz_mask, dtype=bool).copy()
         )
+        if byz.shape != (n,):
+            raise ValueError("byz_mask must have shape (n,)")
+        results: list[CountingResult | None] = [None] * batch
+        for cfg, trial_ids in _group_by_config(configs).items():
+            adversary = _batch_adversary(adversary_factory, len(trial_ids))
+            group = _run_byzantine_batched_group(
+                network, [seeds[i] for i in trial_ids], cfg, adversary, byz
+            )
+            for i, res in zip(trial_ids, group):
+                results[i] = res
+        return BatchCountingResult(results)  # type: ignore[arg-type]
     if byz_mask is not None and np.asarray(byz_mask, dtype=bool).any():
         raise ValueError("byz_mask given without an adversary_factory")
 
-    results: list[CountingResult | None] = [None] * batch
+    results = [None] * batch
     for cfg, trial_ids in _group_by_config(configs).items():
         group = _run_batched_group(network, [seeds[i] for i in trial_ids], cfg)
         for i, res in zip(trial_ids, group):
@@ -118,10 +142,19 @@ def run_counting_batch(
     return BatchCountingResult(results)  # type: ignore[arg-type]
 
 
-def _make_adversary(factory) -> Adversary:
+def _batch_adversary(factory, batch: int) -> Adversary:
+    """Resolve the adversary that will drive one batched config group."""
     if isinstance(factory, Adversary):
-        return factory  # re-bound by run_counting at trial start
-    return factory()
+        # A shared instance: driven through its (native or generic
+        # per-column) batch hooks, matching sequential re-binding for any
+        # stateless adversary.
+        return factory
+    probe = factory()
+    if has_native_batch(probe):
+        return probe
+    # Scalar-only third-party class: preserve one-instance-per-trial
+    # semantics via the generic per-column wrapper.
+    return PerTrialAdversaryBatch(factory, batch)
 
 
 def _normalize_configs(config, batch: int) -> list[CountingConfig]:
@@ -313,6 +346,360 @@ def _run_batched_group(
             trace=traces[b],
             injections_accepted=0,
             injections_rejected=0,
+        )
+        for b in range(batch)
+    ]
+
+
+def _claims_signature(claims) -> tuple:
+    """Hashable content key for one trial's pre-phase claim mapping."""
+    return tuple(sorted((int(v), tuple(c)) for v, c in claims.items()))
+
+
+def _normalize_batch_plan(plan, byz_count: int, batch: int):
+    """Validate a :class:`BatchSubphasePlan` and expand it to engine form.
+
+    Returns ``(initial, inj_by_round, counts_by_round, groups_by_round,
+    relay)``:
+
+    * ``initial`` — the ``(byz, B)`` int64 matrix or None;
+    * ``inj_by_round[j]`` — round ``t`` -> trial ``j``'s injections (used
+      by the order-sensitive relay-suppression resend path);
+    * ``counts_by_round[t]`` — per-trial injection counts at round ``t``
+      (one vectorized accept/reject charge per round);
+    * ``groups_by_round[t]`` — ``(nodes, cols, vals)`` triples applying
+      every trial's round-``t`` injections as one 2-D masked maximum.
+      Injections sharing a node array across trials collapse into one
+      group; duplicate (trial, nodes) entries are max-combined up front,
+      which is exact because injection application is a running maximum;
+    * ``relay`` — ``(B,)`` bool vector.
+
+    Identical per-trial schedules may share list objects (the engine never
+    mutates them).
+    """
+    initial = None
+    if plan.initial_colors is not None:
+        initial = np.asarray(plan.initial_colors, dtype=np.int64)
+        if initial.shape != (byz_count, batch):
+            raise ValueError(
+                f"initial_colors must have shape ({byz_count}, {batch}), "
+                f"got {initial.shape}"
+            )
+    inj_by_round: list[dict[int, list[Injection]]] = [{} for _ in range(batch)]
+    counts_by_round: dict[int, np.ndarray] = {}
+    raw_groups: dict[tuple[int, int], tuple[np.ndarray, dict[int, int], list]] = {}
+    if plan.injections is not None:
+        if len(plan.injections) != batch:
+            raise ValueError(
+                f"got {len(plan.injections)} injection schedules for "
+                f"{batch} trials"
+            )
+        for j, injs in enumerate(plan.injections):
+            for inj in injs:
+                inj_by_round[j].setdefault(inj.t, []).append(inj)
+                counts = counts_by_round.get(inj.t)
+                if counts is None:
+                    counts = np.zeros(batch, dtype=np.int64)
+                    counts_by_round[inj.t] = counts
+                counts[j] += 1
+                key = (inj.t, id(inj.nodes))
+                group = raw_groups.get(key)
+                if group is None:
+                    raw_groups[key] = (inj.nodes, {j: 0}, [inj.value])
+                else:
+                    _, col_pos, vals = group
+                    pos = col_pos.get(j)
+                    if pos is None:
+                        col_pos[j] = len(vals)
+                        vals.append(inj.value)
+                    else:
+                        vals[pos] = max(vals[pos], inj.value)
+    groups_by_round: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+    for (t, _), (nodes, col_pos, vals) in raw_groups.items():
+        # col_pos preserves insertion order, so its keys align with vals.
+        cols = np.fromiter(col_pos.keys(), dtype=np.int64, count=len(col_pos))
+        groups_by_round.setdefault(t, []).append(
+            (nodes, cols, np.asarray(vals, dtype=np.int64))
+        )
+    relay = plan.relay
+    if isinstance(relay, np.ndarray):
+        relay = np.asarray(relay, dtype=bool)
+        if relay.shape != (batch,):
+            raise ValueError(f"relay must have shape ({batch},), got {relay.shape}")
+    else:
+        relay = np.full(batch, bool(relay))
+    return initial, inj_by_round, counts_by_round, groups_by_round, relay
+
+
+def _run_byzantine_batched_group(
+    network, seeds: list, config: CountingConfig, adversary: Adversary, byz: np.ndarray
+) -> list[CountingResult]:
+    """Batched Algorithm 2: one config, ``B`` seeds, one batch adversary.
+
+    Mirrors the adversarial path of :func:`repro.core.runner.run_counting`
+    statement for statement on ``(n, B)`` trials-as-columns int64 matrices:
+    per-trial pre-phase crash masks (memoized on claim content), the
+    Lemma 16 injection gate, per-trial relay suppression, witness-traffic
+    metering from new-record counts, and per-trial early exit.  Bit-for-bit
+    equal to ``B`` sequential runs (enforced by
+    ``tests/core/test_runner_batch.py``).
+    """
+    n, d, k = network.n, network.d, network.k
+    batch = len(seeds)
+    if batch == 0:
+        return []
+
+    color_rngs, adv_rngs = [], []
+    for seed in seeds:
+        root = make_rng(seed)
+        color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
+        color_rngs.append(color_rng)
+        adv_rngs.append(adv_rng)
+
+    byz_nodes = np.flatnonzero(byz)
+    honest_mask = ~byz
+    meters = MeterBatch(batch)
+    traces = [PhaseTrace() for _ in range(batch)]
+    crashed_bn = np.zeros((batch, n), dtype=bool)
+
+    adversary.bind_batch(network, byz, adv_rngs, config)
+    if config.verification:
+        claims_list = adversary.batch_topology_claims()
+        if len(claims_list) != batch:
+            raise ValueError(
+                f"batch_topology_claims returned {len(claims_list)} claim "
+                f"sets for {batch} trials"
+            )
+        # Built-in strategies lie deterministically, so most batches share
+        # one claim set; simulate each distinct set's crashes only once
+        # (object identity first, claim content as the fallback key).
+        by_id: dict[int, np.ndarray] = {}
+        cache: dict[tuple, np.ndarray] = {}
+        for b, claims in enumerate(claims_list):
+            crashed = by_id.get(id(claims))
+            if crashed is None:
+                key = _claims_signature(claims)
+                crashed = cache.get(key)
+                if crashed is None:
+                    crashed = crash_phase(network, byz, claims)
+                    cache[key] = crashed
+                by_id[id(claims)] = crashed
+            crashed_bn[b] = crashed
+        all_trials = np.arange(batch)
+        meters.add_rounds(all_trials, 2)
+        if config.count_messages:
+            total_ports = int(network.g_indptr[-1])
+            meters.add_messages(all_trials, total_ports, ids_each=d)
+
+    kernel = FloodKernel(network.h.indptr, network.h.indices)
+    decided = np.full((batch, n), UNDECIDED, dtype=np.int64)
+    witness_ball = min(ball_size_bound(d, k, 1), n)
+    witness_cap = min(witness_ball, 64)
+    honest_uncrashed = honest_mask[None, :] & ~crashed_bn
+    alive = np.ones(batch, dtype=bool)
+    inj_acc = np.zeros(batch, dtype=np.int64)
+    inj_rej = np.zeros(batch, dtype=np.int64)
+    round_cost = 1 + (config.verification_round_cost if config.verification else 0)
+
+    for phase in range(1, config.max_phase + 1):
+        undecided_all = honest_uncrashed & (decided == UNDECIDED)
+        active_before = undecided_all.sum(axis=1)
+        if config.stop_when_all_decided:
+            alive &= active_before > 0
+        if not alive.any():
+            break
+        live = np.flatnonzero(alive)
+        b_live = live.shape[0]
+        n_sub = subphase_count(
+            phase, config.eps, d, config.alpha_variant, config.subphase_multiplier
+        )
+        threshold = color_threshold(phase, d)
+        und = undecided_all[live]
+        counts = active_before[live]
+
+        # One stream read per trial per phase (see _run_batched_group): the
+        # undecided set is fixed across a phase's subphases, so a single
+        # geometric draw of ``n_sub * count`` values replays the sequential
+        # engine's per-subphase draws exactly.
+        phase_draws = []
+        for row, trial in enumerate(live):
+            count = int(counts[row])
+            if count:
+                draws = sample_colors(color_rngs[trial], n_sub * count)
+                phase_draws.append(draws.reshape(n_sub, count))
+            else:
+                phase_draws.append(None)
+
+        # Trials-as-columns int64 state (matching the sequential engine's
+        # dtype — adversaries may inject arbitrarily large colors).
+        crashed_nb = np.ascontiguousarray(crashed_bn[live].T)
+        any_crash = bool(crashed_nb.any())
+        decided_nb = np.ascontiguousarray(decided[live].T)
+        colors = np.zeros((n, b_live), dtype=np.int64)
+        cur = np.empty((n, b_live), dtype=np.int64)
+        sent = np.empty((n, b_live), dtype=np.int64)
+        prev_kt = np.empty((n, b_live), dtype=np.int64)
+        recv = np.empty((n, b_live), dtype=np.int64)
+        k_last = np.empty((n, b_live), dtype=np.int64)
+        flag_continue = np.zeros((n, b_live), dtype=bool)
+        phase_inj_acc = np.zeros(b_live, dtype=np.int64)
+        phase_inj_rej = np.zeros(b_live, dtype=np.int64)
+        msg_senders = np.zeros(b_live, dtype=np.int64)
+        msg_records = np.zeros(b_live, dtype=np.int64)
+        live_rngs = tuple(adv_rngs[t] for t in live)
+
+        for sub in range(1, n_sub + 1):
+            # --- draw colors (undecided honest nodes only) ---------------
+            colors.fill(0)
+            for row, trial in enumerate(live):
+                draws = phase_draws[row]
+                if draws is not None:
+                    colors[und[row], row] = draws[sub - 1]
+
+            initial = None
+            inj_by_round: list[dict[int, list[Injection]]] = [{}] * b_live
+            counts_by_round: dict[int, np.ndarray] = {}
+            groups_by_round: dict[int, list] = {}
+            relay = None
+            if byz_nodes.size:
+                state = BatchSubphaseState(
+                    phase=phase,
+                    subphase=sub,
+                    rounds=phase,
+                    k=k,
+                    network=network,
+                    byz_nodes=byz_nodes,
+                    trials=live,
+                    honest_colors=colors[honest_mask],
+                    decided_phase=decided_nb,
+                    crashed=crashed_nb,
+                    rngs=live_rngs,
+                )
+                plan = adversary.batch_subphase_plan(state)
+                (
+                    initial,
+                    inj_by_round,
+                    counts_by_round,
+                    groups_by_round,
+                    relay,
+                ) = _normalize_batch_plan(plan, byz_nodes.shape[0], b_live)
+                # Schedules reuse node arrays across injections and trials;
+                # check each distinct array against the Byzantine set once.
+                checked: set[int] = set()
+                for j in range(b_live):
+                    for injs in inj_by_round[j].values():
+                        for inj in injs:
+                            if id(inj.nodes) not in checked:
+                                checked.add(id(inj.nodes))
+                                inj.require_byzantine(byz)
+
+            np.copyto(cur, colors)
+            if initial is not None:
+                cur[byz_nodes, :] = initial
+            suppress_cols = (
+                np.flatnonzero(~relay) if relay is not None else np.empty(0, np.int64)
+            )
+
+            prev_kt.fill(0)
+            for t in range(1, phase + 1):
+                # --- adversary injections (Lemma 16 gate) ----------------
+                accept = not (config.verification and t > k - 1)
+                inj_counts = counts_by_round.get(t)
+                if inj_counts is not None:
+                    if accept:
+                        phase_inj_acc += inj_counts
+                        # One masked 2-D maximum applies a whole round's
+                        # injections for every trial (the per-trial loop
+                        # is only revisited for relay-suppression below).
+                        for nodes, cols, vals in groups_by_round[t]:
+                            ix = np.ix_(nodes, cols)
+                            cur[ix] = np.maximum(cur[ix], vals[None, :])
+                    else:
+                        phase_inj_rej += inj_counts
+
+                # --- transmit --------------------------------------------
+                np.copyto(sent, cur)
+                if any_crash:
+                    sent[crashed_nb] = 0
+                if suppress_cols.size:
+                    sent[np.ix_(byz_nodes, suppress_cols)] = 0
+                    if accept:
+                        for j in suppress_cols:
+                            for inj in inj_by_round[j].get(t, ()):
+                                sent[inj.nodes, j] = inj.value
+
+                # --- receive ---------------------------------------------
+                kernel.neighbor_max_stacked(sent, out=recv)
+                if any_crash:
+                    recv[crashed_nb] = 0
+
+                # --- accounting (before the running-max update eats the
+                # new-record evidence) ------------------------------------
+                if config.count_messages:
+                    msg_senders += np.count_nonzero(sent, axis=0)
+                    if config.verification:
+                        msg_records += np.count_nonzero(recv > cur, axis=0)
+
+                if t == phase:
+                    np.copyto(k_last, recv)
+                else:
+                    np.maximum(prev_kt, recv, out=prev_kt)
+                np.maximum(cur, recv, out=cur)
+                if any_crash:
+                    cur[crashed_nb] = 0
+
+            np.logical_or(
+                flag_continue,
+                (k_last > prev_kt) & (k_last > threshold),
+                out=flag_continue,
+            )
+
+        # Per-round message/round charges are additive, so the phase total
+        # factors out of the round loop (witness messages cost 2 queries
+        # of 1 ID each per new record, capped at 64 witnesses).
+        if config.count_messages:
+            meters.add_messages(live, msg_senders * d)
+            if config.verification:
+                meters.add_messages(live, 2 * msg_records * witness_cap, ids_each=1)
+        meters.add_rounds(live, n_sub * phase * round_cost)
+        inj_acc[live] += phase_inj_acc
+        inj_rej[live] += phase_inj_rej
+
+        newly = und & ~flag_continue.T
+        rows = decided[live]
+        rows[newly] = phase
+        decided[live] = rows
+        if config.record_phase_trace:
+            newly_counts = newly.sum(axis=1)
+            for row, trial in enumerate(live):
+                traces[trial].append(
+                    PhaseRecord(
+                        phase=phase,
+                        subphases=n_sub,
+                        flooding_rounds=n_sub * phase,
+                        newly_decided=int(newly_counts[row]),
+                        active_before=int(counts[row]),
+                        injections_accepted=int(phase_inj_acc[row]),
+                        injections_rejected=int(phase_inj_rej[row]),
+                    )
+                )
+        if config.stop_when_all_decided and not (
+            honest_uncrashed & (decided == UNDECIDED)
+        ).any():
+            break
+
+    return [
+        CountingResult(
+            n=n,
+            d=d,
+            k=k,
+            decided_phase=decided[b].copy(),
+            crashed=crashed_bn[b].copy(),
+            byz=byz.copy(),
+            meter=meters.meter(b),
+            trace=traces[b],
+            injections_accepted=int(inj_acc[b]),
+            injections_rejected=int(inj_rej[b]),
         )
         for b in range(batch)
     ]

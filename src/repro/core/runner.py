@@ -160,7 +160,15 @@ def run_counting(
                 cur[byz_nodes] = vals
             injections_by_round: dict[int, list] = {}
             if plan is not None:
+                checked_nodes: set[int] = set()
                 for inj in plan.injections:
+                    # Malformed node arrays were rejected by Injection
+                    # itself; membership in the Byzantine set needs run
+                    # context and is enforced here, before any kernel math
+                    # (once per distinct node array — schedules reuse one).
+                    if id(inj.nodes) not in checked_nodes:
+                        checked_nodes.add(id(inj.nodes))
+                        inj.require_byzantine(byz)
                     injections_by_round.setdefault(inj.t, []).append(inj)
 
             prev_kt.fill(0)

@@ -10,7 +10,10 @@ Three layers of shared machinery:
   faster (see ``benchmarks/bench_batch.py``);
 * **process sharding** — :func:`parallel_map` optionally fans a multi-config
   sweep out over a ``ProcessPoolExecutor`` (each worker re-imports the
-  library, so mapped functions must be module-level picklables).
+  library, so mapped functions must be module-level picklables).  Sweeps
+  over one network pass it via ``network=``: the graph is placed in shared
+  memory once (:class:`repro.graphs.shared.SharedNetwork`) and workers
+  attach zero-copy instead of unpickling a full CSR copy per task.
 """
 
 from __future__ import annotations
@@ -85,10 +88,14 @@ def byzantine_counting_trials(
     seeds: Sequence[int],
     config: CountingConfig | None = None,
 ) -> BatchCountingResult:
-    """Algorithm 2 over many seeds (per-trial fallback under the hood).
+    """Algorithm 2 over many seeds at once (batched engine).
 
-    Adversary hooks are scalar, so these trials execute sequentially, but
-    behind the same batch API so sweeps need not special-case.
+    Byzantine trials run on the trial-batched fast path: built-in
+    strategies drive the whole batch through the vectorized adversary
+    hooks (:meth:`repro.adversary.base.Adversary.batch_subphase_plan`);
+    scalar third-party adversaries are wrapped per trial.  Equivalent to
+    per-seed sequential ``run_byzantine_counting`` calls, bit for bit,
+    including crash sets, meters, and injection counters.
     """
     return run_counting_batch(
         net,
@@ -104,16 +111,57 @@ def byzantine_counting_trials(
 # ----------------------------------------------------------------------
 
 
-def parallel_map(fn: Callable, items: Iterable, jobs: int | None = None) -> list:
+class _SharedNetworkCall:
+    """Picklable shim calling ``fn(shared.net, item)`` inside a worker.
+
+    The handle re-attaches the shared segment at most once per worker
+    process (module-level cache in :mod:`repro.graphs.shared`), so every
+    task after the first reuses the already-reconstructed network.
+    """
+
+    def __init__(self, fn: Callable, shared):
+        self.fn = fn
+        self.shared = shared
+
+    def __call__(self, item):
+        return self.fn(self.shared.net, item)
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    jobs: int | None = None,
+    *,
+    network: SmallWorldNetwork | None = None,
+) -> list:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     ``jobs=None`` (or ``<= 1``, or a single item) runs serially in-process;
     otherwise the items are sharded over a ``ProcessPoolExecutor`` with
     ``min(jobs, len(items))`` workers.  Results keep input order.  ``fn``
     and the items must be picklable (module-level function, plain data).
+
+    When ``network`` is given, ``fn`` is called as ``fn(network, item)``
+    and the graph is shared with workers through one POSIX shared-memory
+    segment (:class:`repro.graphs.shared.SharedNetwork`) instead of being
+    re-pickled into every task — workers attach zero-copy, once per
+    process.  The segment lives for the duration of the map and is
+    unlinked before returning.
     """
     items = list(items)
-    if jobs is None or jobs <= 1 or len(items) <= 1:
+    serial = jobs is None or jobs <= 1 or len(items) <= 1
+    if network is not None:
+        if serial:
+            return [fn(network, item) for item in items]
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..graphs.shared import SharedNetwork
+
+        with SharedNetwork.create(network) as shared:
+            call = _SharedNetworkCall(fn, shared)
+            with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+                return list(pool.map(call, items))
+    if serial:
         return [fn(item) for item in items]
     from concurrent.futures import ProcessPoolExecutor
 

@@ -44,6 +44,7 @@ from .properties import (
     ramanujan_bound,
     spectral_report,
 )
+from .shared import SharedNetwork
 from .smallworld import SmallWorldNetwork, build_small_world, lattice_parameter
 from .wattsstrogatz import WattsStrogatzGraph, generate_watts_strogatz
 
@@ -51,6 +52,7 @@ __all__ = [
     "HGraph",
     "generate_hgraph",
     "SmallWorldNetwork",
+    "SharedNetwork",
     "build_small_world",
     "lattice_parameter",
     "NodeSets",

@@ -1,0 +1,239 @@
+"""Zero-copy cross-process sharing of sampled networks.
+
+Sharded sweeps (``parallel_map(..., jobs=N)``) used to re-pickle the whole
+:class:`~repro.graphs.smallworld.SmallWorldNetwork` into every worker task
+— at ``n = 65536, d = 8`` that is tens of megabytes of CSR arrays per task.
+:class:`SharedNetwork` instead places all six immutable adjacency arrays
+(``H`` CSR + cycles, ``G`` CSR + distance tags) into one
+``multiprocessing.shared_memory`` segment; the handle pickles as a few
+hundred bytes of metadata, and each worker process attaches the segment
+once and reconstructs the network around read-only array views — no copy,
+no repeated deserialization.
+
+Usage (the ``network=`` parameter of
+:func:`repro.experiments.common.parallel_map` does this internally)::
+
+    with SharedNetwork.create(net) as shared:
+        results = pool.map(worker, [(shared, item) for item in items])
+        # inside worker: shared.net  -> attached SmallWorldNetwork
+
+The creating process owns the segment and unlinks it on ``close()`` /
+context exit; attached workers hold it alive until they drop their
+references (POSIX shm semantics).  On Python < 3.13 attaching registers
+the segment with the worker's ``resource_tracker``, which would unlink it
+when the *worker* exits — :func:`_untrack` undoes that registration so the
+owner stays in charge of the lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hgraph import HGraph
+from .smallworld import SmallWorldNetwork
+
+__all__ = ["SharedNetwork"]
+
+#: The array attributes that define a network, in serialization order.
+_FIELDS = (
+    ("h_indptr", lambda net: net.h.indptr),
+    ("h_indices", lambda net: net.h.indices),
+    ("h_cycles", lambda net: net.h.cycles),
+    ("g_indptr", lambda net: net.g_indptr),
+    ("g_indices", lambda net: net.g_indices),
+    ("g_dist", lambda net: net.g_dist),
+)
+
+#: Per-process cache of attached segments: shm name -> (shm, network).
+#: Workers receive one handle pickle per task; caching by segment name
+#: makes the attach + reconstruct cost once-per-process, not per-task.
+_ATTACHED: dict[str, tuple] = {}
+
+#: SharedMemory objects whose buffers back numpy views that may still be
+#: referenced after ``close()``.  Unmapping those buffers (SharedMemory
+#: .close(), including from __del__) would turn any later array access
+#: into a segfault, so closed-but-viewed segments are kept mapped here
+#: for the rest of the process (the *segment* is still unlinked; the OS
+#: frees the memory when the last mapping dies with the process).
+_KEEPALIVE: list = []
+
+
+def _attach_untracked(name: str):
+    """Attach to segment ``name`` without resource-tracker registration.
+
+    Python < 3.13 has no ``track=False``: a plain attach registers the
+    segment with the resource tracker (shared with the owner under fork),
+    and the resulting unregister/unlink at worker exit would tear the
+    owner's segment down or double-remove the tracker entry.  Suppressing
+    the registration during attach keeps the owner solely in charge of the
+    segment's lifetime.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+
+    def register(rname, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Layout of one array inside the shared segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+class SharedNetwork:
+    """Picklable handle to a :class:`SmallWorldNetwork` in shared memory.
+
+    Create with :meth:`create` in the owning process; pass the handle to
+    worker tasks and read :attr:`net` there.  The handle is also usable in
+    the owner (``net`` returns a view-backed reconstruction, or use the
+    original network directly).
+    """
+
+    def __init__(self, shm_name: str, specs: tuple[_ArraySpec, ...], n: int, d: int, k: int):
+        self._shm_name = shm_name
+        self._specs = specs
+        self._n = n
+        self._d = d
+        self._k = k
+        self._owned_shm = None  # set only in the creating process
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, net: SmallWorldNetwork) -> "SharedNetwork":
+        """Copy ``net``'s arrays into a fresh shared-memory segment."""
+        from multiprocessing import shared_memory
+
+        arrays = [(name, np.ascontiguousarray(get(net))) for name, get in _FIELDS]
+        specs = []
+        offset = 0
+        for name, arr in arrays:
+            # 8-byte alignment keeps int64 views legal at every offset.
+            offset = (offset + 7) & ~7
+            specs.append(
+                _ArraySpec(name=name, dtype=arr.dtype.str, shape=arr.shape, offset=offset)
+            )
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for spec, (_, arr) in zip(specs, arrays):
+            dst = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+            )
+            dst[...] = arr
+        handle = cls(shm.name, tuple(specs), net.n, net.d, net.k)
+        handle._owned_shm = shm
+        return handle
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name."""
+        return self._shm_name
+
+    @property
+    def net(self) -> SmallWorldNetwork:
+        """The network, backed by the shared segment (attached lazily)."""
+        cached = _ATTACHED.get(self._shm_name)
+        if cached is not None:
+            return cached[1]
+        if self._owned_shm is not None:
+            shm = self._owned_shm
+        else:
+            shm = _attach_untracked(self._shm_name)
+        net = self._reconstruct(shm)
+        _ATTACHED[self._shm_name] = (shm, net)
+        return net
+
+    def _reconstruct(self, shm) -> SmallWorldNetwork:
+        views = {}
+        for spec in self._specs:
+            arr = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+            )
+            arr.flags.writeable = False  # shared state must stay immutable
+            views[spec.name] = arr
+        h = HGraph(
+            n=self._n,
+            d=self._d,
+            cycles=views["h_cycles"],
+            indptr=views["h_indptr"],
+            indices=views["h_indices"],
+        )
+        return SmallWorldNetwork(
+            h=h,
+            k=self._k,
+            g_indptr=views["g_indptr"],
+            g_indices=views["g_indices"],
+            g_dist=views["g_dist"],
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Owner: unlink the segment.  Worker handles: drop the attachment.
+
+        If :attr:`net` was ever read from this process, the reconstructed
+        arrays may still be referenced by the caller; their backing buffer
+        then stays mapped for the rest of the process (see ``_KEEPALIVE``)
+        so stale reads raise nothing worse than stale data — never a
+        segfault.  The segment itself is unlinked regardless: no new
+        process can attach, and the memory is freed once the last holder
+        exits.
+        """
+        cached = _ATTACHED.pop(self._shm_name, None)
+        if cached is not None:
+            # Views were handed out: keep the mapping alive, never munmap.
+            _KEEPALIVE.append(cached[0])
+        if self._owned_shm is not None:
+            shm = self._owned_shm
+            self._owned_shm = None
+            if cached is None or cached[0] is not shm:
+                shm.close()
+            shm.unlink()
+        elif cached is None:
+            pass  # nothing attached in this process; nothing to release
+
+    def __enter__(self) -> "SharedNetwork":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The owning SharedMemory object never crosses process boundaries;
+        # workers re-attach by name.
+        return {
+            "shm_name": self._shm_name,
+            "specs": self._specs,
+            "n": self._n,
+            "d": self._d,
+            "k": self._k,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._shm_name = state["shm_name"]
+        self._specs = state["specs"]
+        self._n = state["n"]
+        self._d = state["d"]
+        self._k = state["k"]
+        self._owned_shm = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedNetwork(name={self._shm_name!r}, n={self._n}, d={self._d}, "
+            f"k={self._k}, owner={self._owned_shm is not None})"
+        )

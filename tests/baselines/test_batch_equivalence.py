@@ -1,0 +1,121 @@
+"""Batched baseline estimators must match their scalar counterparts bit
+for bit — per seed for the stochastic estimators, per root/leader for the
+deterministic ones, attacks included."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    run_birthday,
+    run_birthday_batch,
+    run_convergecast,
+    run_convergecast_batch,
+    run_exponential_support,
+    run_exponential_support_batch,
+    run_flooding_diameter,
+    run_flooding_diameter_batch,
+    run_geometric_max,
+    run_geometric_max_batch,
+)
+
+SEEDS = [5, 6, 7]
+ROOTS = [0, 1, 3]
+
+
+@pytest.fixture(scope="module")
+def one_byz(net_small):
+    mask = np.zeros(net_small.n, dtype=bool)
+    mask[net_small.n // 2] = True
+    return mask
+
+
+@pytest.fixture(scope="module")
+def few_byz(net_small):
+    mask = np.zeros(net_small.n, dtype=bool)
+    mask[2::8] = True
+    return mask
+
+
+class TestGeometricMaxBatch:
+    @pytest.mark.parametrize("attack", [None, "fake-max", "suppress"])
+    def test_matches_scalar(self, net_small, one_byz, attack):
+        kw = {} if attack is None else {"byz_mask": one_byz, "attack": attack}
+        seq = [run_geometric_max(net_small, seed=s, **kw) for s in SEEDS]
+        bat = run_geometric_max_batch(net_small, SEEDS, **kw)
+        for a, b in zip(seq, bat):
+            assert np.array_equal(a.estimates, b.estimates)
+            assert a.rounds == b.rounds
+            assert a.max_distinct_forwards == b.max_distinct_forwards
+            assert a.meter.as_dict() == b.meter.as_dict()
+
+    def test_fixed_rounds(self, net_small):
+        seq = [run_geometric_max(net_small, seed=s, rounds=3) for s in SEEDS]
+        bat = run_geometric_max_batch(net_small, SEEDS, rounds=3)
+        for a, b in zip(seq, bat):
+            assert np.array_equal(a.estimates, b.estimates)
+            assert a.rounds == b.rounds == 3
+            assert a.meter.as_dict() == b.meter.as_dict()
+
+    def test_empty_batch(self, net_small):
+        assert run_geometric_max_batch(net_small, []) == []
+
+    def test_unknown_attack_rejected(self, net_small, one_byz):
+        with pytest.raises(ValueError, match="unknown attack"):
+            run_geometric_max_batch(net_small, SEEDS, byz_mask=one_byz, attack="nope")
+
+
+class TestExponentialSupportBatch:
+    @pytest.mark.parametrize("attack", [None, "tiny", "suppress"])
+    def test_matches_scalar(self, net_small, one_byz, attack):
+        kw = {} if attack is None else {"byz_mask": one_byz, "attack": attack}
+        seq = [
+            run_exponential_support(net_small, seed=s, repetitions=4, **kw)
+            for s in SEEDS
+        ]
+        bat = run_exponential_support_batch(net_small, SEEDS, repetitions=4, **kw)
+        for a, b in zip(seq, bat):
+            assert np.array_equal(a.estimates, b.estimates)
+            assert a.rounds == b.rounds
+
+
+class TestBirthdayBatch:
+    @pytest.mark.parametrize("attack", [None, "unique", "absorb"])
+    def test_matches_scalar(self, net_small, few_byz, attack):
+        kw = {} if attack is None else {"byz_mask": few_byz, "attack": attack}
+        seq = [run_birthday(net_small, seed=s, **kw) for s in SEEDS]
+        bat = run_birthday_batch(net_small, SEEDS, **kw)
+        assert seq == bat
+
+
+class TestConvergecastBatch:
+    @pytest.mark.parametrize("attack", [None, "inflate", "zero"])
+    def test_matches_scalar(self, net_small, one_byz, attack):
+        kw = {} if attack is None else {"byz_mask": one_byz, "attack": attack}
+        seq = [run_convergecast(net_small, r, **kw) for r in ROOTS]
+        bat = run_convergecast_batch(net_small, ROOTS, **kw)
+        for a, b in zip(seq, bat):
+            assert a.count_at_root == b.count_at_root
+            assert a.depth == b.depth and a.rounds == b.rounds
+
+    def test_honest_exact(self, net_small):
+        for res in run_convergecast_batch(net_small, ROOTS):
+            assert res.exact
+
+
+class TestFloodingDiameterBatch:
+    @pytest.mark.parametrize("attack", [None, "pre-flood"])
+    def test_matches_scalar(self, net_small, few_byz, attack):
+        kw = {} if attack is None else {"byz_mask": few_byz, "attack": attack}
+        seq = [run_flooding_diameter(net_small, L, **kw) for L in ROOTS]
+        bat = run_flooding_diameter_batch(net_small, ROOTS, **kw)
+        for a, b in zip(seq, bat):
+            assert np.array_equal(a.arrival, b.arrival)
+            assert np.array_equal(a.estimates, b.estimates)
+            assert a.rounds == b.rounds
+
+    def test_byzantine_leader_rejected(self, net_small, few_byz):
+        bad_leader = int(np.flatnonzero(few_byz)[0])
+        with pytest.raises(ValueError, match="honest"):
+            run_flooding_diameter_batch(
+                net_small, [0, bad_leader], byz_mask=few_byz, attack="pre-flood"
+            )

@@ -13,7 +13,9 @@ import numpy as np
 import pytest
 
 from repro.adversary import placement_for_delta
+from repro.adversary.base import Adversary, SubphasePlan
 from repro.core import (
+    ADVERSARIES,
     CountingConfig,
     make_adversary,
     run_counting,
@@ -109,17 +111,39 @@ class TestSequentialEquivalence:
             )
 
 
-class TestAdversaryFallback:
-    def test_factory_matches_sequential(self, net_small):
+class _StatefulScalarAdversary(Adversary):
+    """Scalar-only third-party adversary with per-run mutable state.
+
+    Alternates between suppressing and relaying per subphase via an
+    internal counter — exactly the kind of adversary that needs
+    one-instance-per-trial semantics (the PerTrialAdversaryBatch wrapper).
+    """
+
+    name = "stateful-scalar"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def subphase_plan(self, state):
+        self.calls += 1
+        return SubphasePlan(initial_colors=None, injections=[], relay=self.calls % 2 == 0)
+
+
+class TestByzantineBatchedEquivalence:
+    """The Byzantine fast path must be bit-for-bit too, per strategy."""
+
+    @pytest.mark.parametrize("strategy", sorted(ADVERSARIES))
+    def test_strategy_matches_sequential(self, net_small, strategy):
         cfg = CountingConfig(max_phase=12)
         byz = placement_for_delta(net_small, 0.55, rng=4)
-        seeds = [10, 11, 12]
+        seeds = [10, 11, 12, 13]
         seq = [
             run_counting(
                 net_small,
                 cfg,
                 seed=s,
-                adversary=make_adversary("early-stop"),
+                adversary=make_adversary(strategy),
                 byz_mask=byz,
             )
             for s in seeds
@@ -128,7 +152,95 @@ class TestAdversaryFallback:
             net_small,
             seeds,
             config=cfg,
-            adversary_factory=lambda: make_adversary("early-stop"),
+            adversary_factory=lambda: make_adversary(strategy),
+            byz_mask=byz,
+        )
+        assert len(bat) == len(seq)
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    @pytest.mark.parametrize("strategy", ["inflation", "adaptive-record"])
+    def test_verification_off_matches_sequential(self, net_small, strategy):
+        # Without Lemma 16's gate, inflation never terminates: every trial
+        # runs all phases, so cap the phases to keep the test quick.
+        cfg = CountingConfig(max_phase=5, verification=False)
+        byz = placement_for_delta(net_small, 0.55, rng=4)
+        seeds = [3, 4]
+        seq = [
+            run_counting(
+                net_small, cfg, seed=s, adversary=make_adversary(strategy), byz_mask=byz
+            )
+            for s in seeds
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfg,
+            adversary_factory=lambda: make_adversary(strategy),
+            byz_mask=byz,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_metering_off_matches_sequential(self, net_small):
+        cfg = CountingConfig(max_phase=10, count_messages=False, record_phase_trace=False)
+        byz = placement_for_delta(net_small, 0.55, rng=4)
+        seeds = [5, 6]
+        seq = [
+            run_counting(
+                net_small, cfg, seed=s, adversary=make_adversary("combo"), byz_mask=byz
+            )
+            for s in seeds
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfg,
+            adversary_factory=lambda: make_adversary("combo"),
+            byz_mask=byz,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_mixed_configs_grouped(self, net_small):
+        cfg = CountingConfig(max_phase=10)
+        byz = placement_for_delta(net_small, 0.55, rng=4)
+        cfgs = [cfg if b % 2 == 0 else cfg.with_(eps=0.25) for b in range(4)]
+        seeds = [derive_seed(2, "byzmix", b) for b in range(4)]
+        seq = [
+            run_counting(
+                net_small, c, seed=s, adversary=make_adversary("inflation"), byz_mask=byz
+            )
+            for s, c in zip(seeds, cfgs)
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfgs,
+            adversary_factory=lambda: make_adversary("inflation"),
+            byz_mask=byz,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_stateful_scalar_adversary_wrapped_per_trial(self, net_small):
+        # A scalar-only class goes through PerTrialAdversaryBatch: one
+        # instance per trial, so its mutable state evolves exactly as in
+        # sequential runs.
+        cfg = CountingConfig(max_phase=10)
+        byz = placement_for_delta(net_small, 0.55, rng=4)
+        seeds = [7, 8, 9]
+        seq = [
+            run_counting(
+                net_small, cfg, seed=s, adversary=_StatefulScalarAdversary(), byz_mask=byz
+            )
+            for s in seeds
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfg,
+            adversary_factory=_StatefulScalarAdversary,
             byz_mask=byz,
         )
         for a, b in zip(seq, bat):
@@ -147,6 +259,60 @@ class TestAdversaryFallback:
         assert len(bat) == 2
         for res in bat:
             assert res.byz.sum() == byz.sum()
+
+    def test_scalar_instance_reading_self_rng_matches_sequential(self, net_small):
+        # Scalar adversaries may read self.rng (bind() sets it to the same
+        # stream as state.rng); the per-column fallback must re-bind it per
+        # trial just like sequential runs re-bind it per run.
+        class SelfRngScalarAdversary(Adversary):
+            name = "self-rng-scalar"
+
+            def subphase_plan(self, state):
+                from repro.core.colors import sample_colors
+
+                vals = sample_colors(self.rng, state.byz_nodes.shape[0])
+                return SubphasePlan(initial_colors=vals)
+
+        cfg = CountingConfig(max_phase=10)
+        byz = placement_for_delta(net_small, 0.55, rng=4)
+        seeds = [21, 22, 23]
+        seq = [
+            run_counting(
+                net_small, cfg, seed=s, adversary=SelfRngScalarAdversary(), byz_mask=byz
+            )
+            for s in seeds
+        ]
+        # Driven as a plain shared instance (generic per-column fallback).
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfg,
+            adversary_factory=SelfRngScalarAdversary(),
+            byz_mask=byz,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_empty_byz_mask_with_adversary(self, net_small):
+        # Verification costs still apply (pre-phase rounds) even with an
+        # empty Byzantine set; both paths must agree.
+        cfg = CountingConfig(max_phase=10)
+        empty = np.zeros(net_small.n, dtype=bool)
+        seq = [
+            run_counting(
+                net_small, cfg, seed=s, adversary=make_adversary("honest"), byz_mask=empty
+            )
+            for s in (1, 2)
+        ]
+        bat = run_counting_batch(
+            net_small,
+            [1, 2],
+            config=cfg,
+            adversary_factory=lambda: make_adversary("honest"),
+            byz_mask=empty,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
 
 
 class TestRoundAccountingFix:

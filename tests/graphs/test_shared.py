@@ -1,0 +1,103 @@
+"""Shared-memory network sharing: fidelity, immutability, lifecycle, and
+the parallel_map integration."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core import CountingConfig, run_counting
+from repro.experiments.common import parallel_map
+from repro.graphs import SharedNetwork
+from repro.graphs.shared import _ATTACHED
+
+CFG = CountingConfig(verification=False, max_phase=10)
+
+
+def _run_sum(network, seed):
+    return int(run_counting(network, CFG, seed=seed).decided_phase.sum())
+
+
+class TestSharedNetwork:
+    def test_roundtrip_arrays_equal(self, net_small):
+        with SharedNetwork.create(net_small) as shared:
+            net2 = shared.net
+            assert np.array_equal(net2.h.indptr, net_small.h.indptr)
+            assert np.array_equal(net2.h.indices, net_small.h.indices)
+            assert np.array_equal(net2.h.cycles, net_small.h.cycles)
+            assert np.array_equal(net2.g_indptr, net_small.g_indptr)
+            assert np.array_equal(net2.g_indices, net_small.g_indices)
+            assert np.array_equal(net2.g_dist, net_small.g_dist)
+            assert (net2.n, net2.d, net2.k) == (
+                net_small.n,
+                net_small.d,
+                net_small.k,
+            )
+            net2.validate()
+
+    def test_views_read_only(self, net_small):
+        with SharedNetwork.create(net_small) as shared:
+            with pytest.raises(ValueError):
+                shared.net.h.indices[0] = 0
+
+    def test_protocol_run_identical(self, net_small):
+        with SharedNetwork.create(net_small) as shared:
+            a = run_counting(net_small, CFG, seed=5)
+            b = run_counting(shared.net, CFG, seed=5)
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+            assert a.meter.as_dict() == b.meter.as_dict()
+
+    def test_handle_pickles_without_segment(self, net_small):
+        import pickle
+
+        with SharedNetwork.create(net_small) as shared:
+            blob = pickle.dumps(shared)
+            assert len(blob) < 4096  # metadata only, no arrays
+            clone = pickle.loads(blob)
+            assert clone.name == shared.name
+            # Attaching in the same process reuses POSIX shm by name.
+            assert np.array_equal(clone.net.h.indices, net_small.h.indices)
+            clone.close()
+
+    def test_close_unlinks_and_clears_cache(self, net_small):
+        shared = SharedNetwork.create(net_small)
+        name = shared.name
+        shared.net  # populate the attachment cache
+        assert name in _ATTACHED
+        shared.close()
+        assert name not in _ATTACHED
+        assert not glob.glob(f"/dev/shm/{name.lstrip('/')}")
+
+    def test_views_survive_close(self, net_small):
+        # Arrays handed out before close() must stay readable (the mapping
+        # is kept alive even though the segment is unlinked) — a stale read
+        # must never segfault the interpreter.
+        shared = SharedNetwork.create(net_small)
+        net2 = shared.net
+        shared.close()
+        assert int(net2.h.indptr[0]) == 0
+        assert np.array_equal(net2.h.indices, net_small.h.indices)
+
+    def test_close_without_views_releases_everything(self, net_small):
+        shared = SharedNetwork.create(net_small)
+        name = shared.name
+        shared.close()  # .net never read: full close + unlink
+        assert name not in _ATTACHED
+        assert not glob.glob(f"/dev/shm/{name.lstrip('/')}")
+
+
+class TestParallelMapSharedNetwork:
+    def test_serial_network_calls(self, net_small):
+        out = parallel_map(_run_sum, [1, 2], network=net_small)
+        assert out == [_run_sum(net_small, 1), _run_sum(net_small, 2)]
+
+    def test_sharded_matches_serial(self, net_small):
+        serial = parallel_map(_run_sum, [1, 2, 3, 4], network=net_small)
+        sharded = parallel_map(_run_sum, [1, 2, 3, 4], jobs=2, network=net_small)
+        assert serial == sharded
+
+    def test_segment_cleaned_up_after_map(self, net_small):
+        before = set(glob.glob("/dev/shm/psm_*"))
+        parallel_map(_run_sum, [1, 2], jobs=2, network=net_small)
+        after = set(glob.glob("/dev/shm/psm_*"))
+        assert after <= before
