@@ -12,6 +12,10 @@ one network, in four workloads:
 * **byzantine** — Algorithm 2 under attack: the batched adversary fast
   path (vectorized ``batch_subphase_plan`` hooks) vs per-trial sequential
   ``run_counting`` with scalar hooks, for a representative strategy set;
+* **sweep** — an E07-shaped (strategies x placements x seeds) grid through
+  the fused sweep engine (:func:`repro.core.sweep.run_sweep`, per-trial
+  Byzantine masks as batch columns) vs the nested scalar loops the
+  experiments used to run;
 * **baseline** — the geometric-max estimator, scalar vs trials-as-columns
   batch.
 
@@ -38,7 +42,7 @@ import numpy as np
 
 from repro.adversary import placement_for_delta
 from repro.baselines import run_geometric_max, run_geometric_max_batch
-from repro.core import CountingConfig, make_adversary, run_counting_batch
+from repro.core import CountingConfig, make_adversary, run_counting_batch, run_sweep
 from repro.core.runner import run_counting
 from repro.experiments.common import parallel_map
 from repro.graphs import build_small_world
@@ -48,6 +52,8 @@ DEFAULT_TRIALS = 32
 CFG = CountingConfig(verification=False)
 BYZ_CFG = CountingConfig()
 BYZ_STRATEGIES = ("early-stop", "inflation", "adaptive-record")
+SWEEP_STRATEGIES = BYZ_STRATEGIES
+SWEEP_PLACEMENTS = 4
 
 
 def _seeds(trials: int) -> list[int]:
@@ -100,6 +106,47 @@ def run_byz_batched(net, seeds, byz, strategy: str, config=BYZ_CFG):
     )
 
 
+def _sweep_placements(net, count: int = SWEEP_PLACEMENTS):
+    """E07-shaped placement axis: the paper's budget at distinct draws."""
+    return [placement_for_delta(net, 0.5, rng=100 + i) for i in range(count)]
+
+
+def run_sweep_sequential(
+    net, seeds, placements, strategies=SWEEP_STRATEGIES, config=BYZ_CFG
+):
+    """The nested scalar loops the experiments ran before the fused sweep.
+
+    Cell order (strategy, placement, seed) matches ``run_sweep``'s flat
+    grid order, so results compare index for index.
+    """
+    out = []
+    for strategy in strategies:
+        for byz in placements:
+            for s in seeds:
+                out.append(
+                    run_counting(
+                        net,
+                        config=config,
+                        seed=s,
+                        adversary=make_adversary(strategy),
+                        byz_mask=byz,
+                    )
+                )
+    return out
+
+
+def run_sweep_fused(
+    net, seeds, placements, strategies=SWEEP_STRATEGIES, config=BYZ_CFG
+):
+    return run_sweep(
+        net,
+        seeds=seeds,
+        configs=config,
+        placements=placements,
+        strategies=list(strategies),
+    ).results
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -135,6 +182,16 @@ def test_bench_byzantine_batched_trials(benchmark):
     assert len(results) == DEFAULT_TRIALS
 
 
+def test_bench_sweep_fused_trials(benchmark):
+    net = _net()
+    seeds = _seeds(max(1, DEFAULT_TRIALS // SWEEP_PLACEMENTS))
+    placements = _sweep_placements(net)
+    results = benchmark.pedantic(
+        run_sweep_fused, args=(net, seeds, placements), rounds=2, iterations=1
+    )
+    assert len(results) == len(SWEEP_STRATEGIES) * len(placements) * len(seeds)
+
+
 def test_bench_baseline_batched_trials(benchmark):
     net = _net()
     seeds = _seeds(DEFAULT_TRIALS)
@@ -153,6 +210,23 @@ def test_batched_matches_sequential():
     for a, b in zip(seq, bat):
         assert np.array_equal(a.decided_phase, b.decided_phase)
         assert a.meter.as_dict() == b.meter.as_dict()
+
+
+def test_sweep_matches_sequential():
+    """Guard: the fused (strategy, placement, seed) grid is bit-for-bit."""
+    net = build_small_world(256, 8, seed=3)
+    seeds = _seeds(2)
+    placements = _sweep_placements(net, count=3)
+    seq = run_sweep_sequential(net, seeds, placements)
+    fus = run_sweep_fused(net, seeds, placements)
+    assert len(seq) == len(fus)
+    for a, b in zip(seq, fus):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert np.array_equal(a.crashed, b.crashed)
+        assert np.array_equal(a.byz, b.byz)
+        assert a.meter.as_dict() == b.meter.as_dict()
+        assert a.injections_accepted == b.injections_accepted
+        assert a.injections_rejected == b.injections_rejected
 
 
 def test_byzantine_batched_matches_sequential():
@@ -217,7 +291,9 @@ def main(argv: list[str] | None = None) -> int:
     trajectory: list[dict] = []
     failures: list[str] = []
 
-    def record(workload: str, t_seq: float, t_bat: float, extra=None, gated=True):
+    def record(workload: str, t_seq: float, t_bat: float, extra=None, gated=True,
+               trials: int | None = None):
+        trials = args.trials if trials is None else trials
         speedup = t_seq / t_bat
         trajectory.append(
             {
@@ -225,8 +301,8 @@ def main(argv: list[str] | None = None) -> int:
                 "sequential_s": t_seq,
                 "batched_s": t_bat,
                 "speedup": speedup,
-                "trials_per_s_sequential": args.trials / t_seq,
-                "trials_per_s_batched": args.trials / t_bat,
+                "trials_per_s_sequential": trials / t_seq,
+                "trials_per_s_batched": trials / t_bat,
                 **(extra or {}),
             }
         )
@@ -289,6 +365,36 @@ def main(argv: list[str] | None = None) -> int:
         name = f"byzantine-{strategy}"
         sp = record(name, t_seq, t_bat, {"strategy": strategy, "byz": int(byz.sum())})
         print(f"{name:<28}{t_seq * 1e3:>8.1f}ms{t_bat * 1e3:>8.1f}ms{sp:>9.2f}x")
+
+    # --- fused sweep (strategies x placements x seeds, per-trial masks) --
+    sweep_seeds = _seeds(max(1, args.trials // SWEEP_PLACEMENTS))
+    sweep_placements = _sweep_placements(net)
+    cells = len(SWEEP_STRATEGIES) * len(sweep_placements) * len(sweep_seeds)
+    t_seq, seq = _time_best(
+        run_sweep_sequential, net, sweep_seeds, sweep_placements, repeats=args.repeats
+    )
+    t_bat, bat = _time_best(
+        run_sweep_fused, net, sweep_seeds, sweep_placements, repeats=args.repeats
+    )
+    for a, b in zip(seq, bat):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert np.array_equal(a.crashed, b.crashed)
+        assert a.meter.as_dict() == b.meter.as_dict()
+        assert a.injections_accepted == b.injections_accepted
+        assert a.injections_rejected == b.injections_rejected
+    sp = record(
+        "sweep",
+        t_seq,
+        t_bat,
+        {
+            "strategies": list(SWEEP_STRATEGIES),
+            "placements": len(sweep_placements),
+            "seeds": len(sweep_seeds),
+            "cells": cells,
+        },
+        trials=cells,
+    )
+    print(f"{'sweep':<28}{t_seq * 1e3:>8.1f}ms{t_bat * 1e3:>8.1f}ms{sp:>9.2f}x")
 
     # --- baseline estimator (geometric-max) ---------------------------
     t_seq, seq = _time_best(

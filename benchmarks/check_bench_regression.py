@@ -1,0 +1,118 @@
+"""Regression gate for the batched-engine benchmark trajectory.
+
+Compares a freshly generated ``BENCH_batch.json`` against the committed
+trajectory and fails when any workload's batched-vs-sequential *speedup*
+drops by more than ``--threshold`` (default 30%), or when a committed
+workload disappeared from the fresh run.  Speedup is the dimensionless
+per-workload throughput ratio, so it transfers across machines far better
+than absolute trials/s — but it is still noisy on shared CI runners, so
+the CI invocation passes ``--soft`` (regressions become warnings, exit 0)
+while local runs gate hard::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py --json fresh.json
+    python benchmarks/check_bench_regression.py fresh.json
+
+The comparison only makes sense at matching scale: a fresh artifact whose
+``(n, trials)`` metadata disagrees with the baseline's is reported as a
+warning and skipped rather than failed (speedups are scale-dependent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_batch.json")
+DEFAULT_THRESHOLD = 0.30
+
+
+def _emit(kind: str, message: str) -> None:
+    """Print plainly, plus a GitHub annotation when running in Actions."""
+    print(f"{kind.upper()}: {message}")
+    if os.environ.get("GITHUB_ACTIONS"):
+        print(f"::{kind}::{message}")
+
+
+def compare(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, warnings) between two trajectory artifacts."""
+    regressions: list[str] = []
+    warnings: list[str] = []
+    for key in ("n", "trials"):
+        if fresh.get(key) != baseline.get(key):
+            warnings.append(
+                f"scale mismatch: fresh {key}={fresh.get(key)} vs baseline "
+                f"{key}={baseline.get(key)}; speedups are scale-dependent, "
+                "skipping the per-workload comparison"
+            )
+            return regressions, warnings
+    fresh_by_name = {e["workload"]: e for e in fresh.get("trajectory", [])}
+    for entry in baseline.get("trajectory", []):
+        name = entry["workload"]
+        base_speedup = entry.get("speedup")
+        if base_speedup is None:
+            continue
+        fresh_entry = fresh_by_name.get(name)
+        if fresh_entry is None:
+            regressions.append(f"workload {name!r} missing from fresh trajectory")
+            continue
+        got = fresh_entry.get("speedup")
+        floor = base_speedup * (1.0 - threshold)
+        if got is None or got < floor:
+            regressions.append(
+                f"{name}: speedup {got if got is None else f'{got:.2f}'}x fell "
+                f"below {floor:.2f}x (baseline {base_speedup:.2f}x minus "
+                f"{threshold:.0%} tolerance)"
+            )
+    return regressions, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly generated trajectory JSON")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="committed trajectory to compare against (default: repo BENCH_batch.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional speedup drop per workload (default 0.30)",
+    )
+    parser.add_argument(
+        "--soft",
+        action="store_true",
+        help="report regressions as warnings and exit 0 (noisy shared runners)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    regressions, warnings = compare(fresh, baseline, args.threshold)
+    for line in warnings:
+        _emit("warning", line)
+    if not regressions:
+        if warnings:
+            print("bench regression gate: SKIPPED (scale mismatch, nothing compared)")
+        else:
+            checked = len(baseline.get("trajectory", []))
+            print(
+                f"bench regression gate: OK ({checked} workloads within "
+                f"{args.threshold:.0%} of the committed speedups)"
+            )
+        return 0
+    for line in regressions:
+        _emit("warning" if args.soft else "error", line)
+    return 0 if args.soft else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,34 +6,44 @@ Sweeps n over powers of two and prints, per size: the median decided phase
 (the protocol's log n estimate — linear in log n), total protocol rounds
 (polylog; the paper's schedule accounting gives the Theta(log^3 n) upper
 bound), and per-node per-round message load (constant).
+
+Each size runs several seeds through the fused sweep engine
+(:func:`repro.run_sweep`): the whole seed axis executes as one
+trials-as-columns batch — bit-for-bit equal to per-seed scalar runs, at a
+multiple of the trial throughput (see ``benchmarks/bench_batch.py``) — and
+the reported numbers are medians over the seed batch rather than a single
+draw.
 """
 
 import numpy as np
 
-from repro import run_basic_counting
+from repro import CountingConfig, run_sweep
 from repro.analysis.bounds import round_complexity_bound
 from repro.analysis.stats import loglog_slope
 from repro.graphs import build_small_world
 
 D, SEED = 8, 3
 SIZES = (256, 512, 1024, 2048, 4096)
+TRIAL_SEEDS = (3, 4, 5, 6)
 
 
 def main() -> None:
     print(f"{'n':>6} {'log2 n':>7} {'phase med':>10} {'rounds':>8} "
           f"{'paper bound':>12} {'msgs/round/node':>16}")
     log_ns, phases, rounds = [], [], []
+    cfg = CountingConfig(verification=False)  # Algorithm 1
     for n in SIZES:
         net = build_small_world(n, D, seed=SEED)
-        res = run_basic_counting(net, seed=SEED)
-        _, med, _ = res.decision_quantiles()
+        batch = run_sweep(net, seeds=TRIAL_SEEDS, configs=cfg).seed_batch()
+        med = float(np.median(batch.median_phases()))
+        total_rounds = int(np.median(batch.rounds()))
         bound = round_complexity_bound(n, 0.1, D, verification_cost=0)
-        load = res.meter.messages / res.meter.rounds / n
-        print(f"{n:>6} {np.log2(n):>7.1f} {med:>10.0f} {res.meter.rounds:>8} "
+        load = float(batch.messages().sum() / batch.rounds().sum() / n)
+        print(f"{n:>6} {np.log2(n):>7.1f} {med:>10.0f} {total_rounds:>8} "
               f"{bound:>12} {load:>16.1f}")
         log_ns.append(np.log2(n))
         phases.append(med)
-        rounds.append(res.meter.rounds)
+        rounds.append(total_rounds)
 
     slope, _ = np.polyfit(log_ns, phases, 1)
     exp, _ = loglog_slope(np.array(log_ns), np.array(rounds))

@@ -22,6 +22,8 @@ from .core import (
     practical_band,
     run_basic_counting,
     run_byzantine_counting,
+    run_sweep,
+    SweepResult,
 )
 from .graphs import SmallWorldNetwork, build_small_world, generate_hgraph
 
@@ -37,6 +39,8 @@ __all__ = [
     "CountingResult",
     "run_basic_counting",
     "run_byzantine_counting",
+    "run_sweep",
+    "SweepResult",
     "build_small_world",
     "generate_hgraph",
     "SmallWorldNetwork",

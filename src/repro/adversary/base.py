@@ -231,9 +231,11 @@ class BatchSubphaseState:
 
     All per-node state is trials-as-columns: ``honest_colors`` is
     ``(n_honest, B)``, ``decided_phase`` and ``crashed`` are ``(n, B)``.
-    ``trials`` holds the batch-local indices of the trials still running
-    (trials leave the batch as they finish), and ``rngs`` their private
-    adversary streams in the same order.
+    ``trials`` holds the indices — into the trial list this adversary was
+    bound with (one placement sub-group of the batch; see
+    :mod:`repro.core.batch`) — of the trials still running (trials leave
+    the batch as they finish), and ``rngs`` their private adversary
+    streams in the same order.
     """
 
     phase: int

@@ -39,12 +39,16 @@ from .phases import (
 )
 from .results import UNDECIDED, BatchCountingResult, CountingResult
 from .runner import run_counting
+from .sweep import SweepCell, SweepResult, run_sweep
 
 __all__ = [
     "run_basic_counting",
     "run_byzantine_counting",
     "run_counting",
     "run_counting_batch",
+    "run_sweep",
+    "SweepResult",
+    "SweepCell",
     "CountingConfig",
     "CountingResult",
     "BatchCountingResult",

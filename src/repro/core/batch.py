@@ -1,13 +1,13 @@
 """Trial-batched execution engine for the counting protocol.
 
 Experiment sweeps repeat :func:`repro.core.runner.run_counting` over many
-independent trials (seeds x configs) of the *same* network.  Each trial's
-per-round work is a handful of numpy calls on arrays of length ``n`` — small
-enough that interpreter and dispatch overhead dominate the arithmetic.
-Since trials are fully independent, the whole phase/subphase/round schedule
-vectorizes across them: :func:`run_counting_batch` keeps the protocol state
-as ``(n, B)`` trials-as-columns matrices and executes every flooding round
-for all ``B`` trials with one batched kernel call
+independent trials (seeds x configs x placements) of the *same* network.
+Each trial's per-round work is a handful of numpy calls on arrays of length
+``n`` — small enough that interpreter and dispatch overhead dominate the
+arithmetic.  Since trials are fully independent, the whole phase/subphase/
+round schedule vectorizes across them: :func:`run_counting_batch` keeps the
+protocol state as ``(n, B)`` trials-as-columns matrices and executes every
+flooding round for all ``B`` trials with one batched kernel call
 (:meth:`repro.sim.flood.FloodKernel.neighbor_max_stacked`; the ``(B, n)``
 ``neighbor_max_batch`` reduceat kernel is its fallback for non-regular
 graphs).
@@ -27,8 +27,8 @@ This holds because
   out of the phase loop, so round/message accounting stops at the same
   point.
 
-The equivalence is enforced by the property test in
-``tests/core/test_runner_batch.py``.
+The equivalence is enforced by the property tests in
+``tests/core/test_runner_batch.py`` and ``tests/core/test_sweep.py``.
 
 Adversarial (Algorithm 2) trials batch too: the engine drives the batched
 adversary protocol (:meth:`~repro.adversary.base.Adversary.batch_subphase_plan`
@@ -41,6 +41,34 @@ third-party adversaries run through the generic per-column wrapper
 factory), which keeps the flooding rounds batched while calling the scalar
 hook once per trial.  Heterogeneous configs are grouped: trials sharing a
 config batch together.
+
+Per-trial placements
+--------------------
+``byz_mask`` may be one shared ``(n,)`` mask or a per-trial ``(B, n)``
+stack (equivalently a length-``B`` list of ``(n,)`` masks), so sweeps that
+vary the adversary's *location* — the governing variable of the
+placement-sensitivity experiments — batch too.  Trials are sub-grouped by
+distinct placement: each sub-group gets its own adversary (built by the
+factory and bound to that placement, exactly as sequential runs bind one
+adversary per trial) which plans only its own columns, while the flooding
+rounds stay fused across the whole batch — crash masks, the Lemma 16 gate,
+relay suppression, and witness metering are applied per column.  The crash
+rule is memoized on (placement, claim content), so repeated seeds of one
+placement simulate their crashes once.  A mask stack whose length disagrees
+with ``seeds`` is rejected eagerly; a shared adversary *instance* cannot
+drive multiple placements (its binding is per placement) and is likewise
+rejected — pass a factory.
+
+Dtype policy
+------------
+Honest runs keep color state in int32 (colors are ``O(log n)`` whp and
+nothing injects).  Adversarial runs *start* in int32 too and widen to int64
+lazily, at the first subphase whose bound plan (initial colors or scheduled
+injections) exceeds ``INT32_MAX`` — adversaries are the only source of
+unbounded values, and every built-in strategy stays far below the boundary,
+so Byzantine sweeps normally run the narrow, cache-friendlier state end to
+end.  Widening is exact: it happens before the plan is applied, and integer
+max-flooding produces identical values in either dtype.
 """
 
 from __future__ import annotations
@@ -68,13 +96,21 @@ from .results import UNDECIDED, BatchCountingResult, CountingResult
 
 __all__ = ["run_counting_batch"]
 
+#: Boundaries of the narrow adversarial state: plans whose values fit
+#: [INT32_MIN, INT32_MAX] run the subphase in int32; the first plan outside
+#: widens the run to int64.  (Injection values are validated positive, but
+#: initial colors are taken as-is — a negative value must stay negative and
+#: inert under max-flooding, exactly as the sequential int64 engine keeps it.)
+_INT32_MAX = int(np.iinfo(np.int32).max)
+_INT32_MIN = int(np.iinfo(np.int32).min)
+
 
 def run_counting_batch(
     network,
     seeds: Sequence[int | np.random.Generator | None],
     config: CountingConfig | Sequence[CountingConfig] | None = None,
     adversary_factory: Callable[[], Adversary] | None = None,
-    byz_mask: np.ndarray | None = None,
+    byz_mask: np.ndarray | Sequence[np.ndarray] | None = None,
 ) -> BatchCountingResult:
     """Run ``len(seeds)`` independent counting trials, batched.
 
@@ -93,15 +129,18 @@ def run_counting_batch(
         Zero-argument callable producing a fresh
         :class:`~repro.adversary.base.Adversary`, or a plain instance.
         Byzantine trials run on the batched engine: natively-batched
-        adversaries (all built-ins) drive the whole batch as one instance;
-        scalar-only classes passed as a factory are wrapped in
-        :class:`~repro.adversary.base.PerTrialAdversaryBatch` (one instance
-        per trial, exactly like the former sequential fallback).  A plain
-        scalar instance is driven through the generic per-column fallback,
-        which assumes its hooks are stateless — pass a factory for stateful
-        adversaries.
+        adversaries (all built-ins) drive a whole placement sub-group as
+        one instance; scalar-only classes passed as a factory are wrapped
+        in :class:`~repro.adversary.base.PerTrialAdversaryBatch` (one
+        instance per trial, exactly like the former sequential fallback).
+        A plain scalar instance is driven through the generic per-column
+        fallback, which assumes its hooks are stateless — pass a factory
+        for stateful adversaries, and always for multi-placement batches.
     byz_mask:
-        Shared Byzantine placement; requires ``adversary_factory``.
+        Byzantine placement(s); requires ``adversary_factory``.  Either a
+        single ``(n,)`` mask shared by every trial, or a per-trial
+        ``(B, n)`` stack / length-``B`` list of masks (trials sharing a
+        placement are sub-grouped; see the module docstring).
 
     Returns
     -------
@@ -112,26 +151,24 @@ def run_counting_batch(
     seeds = list(seeds)
     batch = len(seeds)
     configs = _normalize_configs(config, batch)
+    byz_bn = _normalize_byz_masks(byz_mask, batch, network.n)
 
     if adversary_factory is not None:
-        n = network.n
-        byz = (
-            np.zeros(n, dtype=bool)
-            if byz_mask is None
-            else np.asarray(byz_mask, dtype=bool).copy()
-        )
-        if byz.shape != (n,):
-            raise ValueError("byz_mask must have shape (n,)")
+        if byz_bn is None:
+            byz_bn = np.zeros((batch, network.n), dtype=bool)
         results: list[CountingResult | None] = [None] * batch
         for cfg, trial_ids in _group_by_config(configs).items():
-            adversary = _batch_adversary(adversary_factory, len(trial_ids))
             group = _run_byzantine_batched_group(
-                network, [seeds[i] for i in trial_ids], cfg, adversary, byz
+                network,
+                [seeds[i] for i in trial_ids],
+                cfg,
+                adversary_factory,
+                byz_bn[trial_ids],
             )
             for i, res in zip(trial_ids, group):
                 results[i] = res
         return BatchCountingResult(results)  # type: ignore[arg-type]
-    if byz_mask is not None and np.asarray(byz_mask, dtype=bool).any():
+    if byz_bn is not None and byz_bn.any():
         raise ValueError("byz_mask given without an adversary_factory")
 
     results = [None] * batch
@@ -142,8 +179,54 @@ def run_counting_batch(
     return BatchCountingResult(results)  # type: ignore[arg-type]
 
 
+def _normalize_byz_masks(byz_mask, batch: int, n: int) -> np.ndarray | None:
+    """Normalize ``byz_mask`` to a per-trial ``(batch, n)`` stack (or None).
+
+    A single ``(n,)`` mask is broadcast to every trial; a ``(batch, n)``
+    stack or a length-``batch`` sequence of masks is taken per trial.  A
+    stack whose length disagrees with ``seeds`` is rejected here with a
+    count-mismatch error rather than silently sharing one mask.
+    """
+    if byz_mask is None:
+        return None
+    if isinstance(byz_mask, (list, tuple)):
+        masks = [np.asarray(m, dtype=bool) for m in byz_mask]
+        if len(masks) != batch:
+            raise ValueError(
+                f"got {len(masks)} placement masks for {batch} seeds; provide "
+                "one (n,) mask per trial or a single shared (n,) mask"
+            )
+        for m in masks:
+            if m.shape != (n,):
+                raise ValueError(
+                    f"each placement mask must have shape ({n},), got {m.shape}"
+                )
+        return np.array(masks, dtype=bool).reshape(batch, n)
+    arr = np.asarray(byz_mask, dtype=bool)
+    if arr.ndim == 1:
+        if arr.shape != (n,):
+            raise ValueError(f"byz_mask must have shape ({n},), got {arr.shape}")
+        out = np.empty((batch, n), dtype=bool)
+        out[:] = arr
+        return out
+    if arr.ndim == 2:
+        if arr.shape[0] != batch:
+            raise ValueError(
+                f"got {arr.shape[0]} placement masks for {batch} seeds; provide "
+                "one (n,) mask per trial or a single shared (n,) mask"
+            )
+        if arr.shape[1] != n:
+            raise ValueError(
+                f"each placement mask must have shape ({n},), got ({arr.shape[1]},)"
+            )
+        return arr.copy()
+    raise ValueError(
+        f"byz_mask must be (n,) or (batch, n), got shape {arr.shape}"
+    )
+
+
 def _batch_adversary(factory, batch: int) -> Adversary:
-    """Resolve the adversary that will drive one batched config group."""
+    """Resolve the adversary that will drive one placement sub-group."""
     if isinstance(factory, Adversary):
         # A shared instance: driven through its (native or generic
         # per-column) batch hooks, matching sequential re-binding for any
@@ -431,18 +514,92 @@ def _normalize_batch_plan(plan, byz_count: int, batch: int):
     return initial, inj_by_round, counts_by_round, groups_by_round, relay
 
 
+class _PlacementGroup:
+    """One distinct Byzantine placement inside a batched config group.
+
+    The flooding state stays fused across placements; only adversary
+    planning, crash simulation, and the per-column mask applications run
+    per group.  ``alive_local``/``sel``/``full`` are refreshed each phase:
+    ``alive_local`` holds the group-local indices of the group's trials
+    still running (what the adversary protocol calls ``trials``), ``sel``
+    their columns in the live trials-as-columns state, and ``full`` whether
+    the group currently covers the whole live batch (the common
+    single-placement case, which then skips all column slicing).
+    """
+
+    __slots__ = (
+        "trials",
+        "byz",
+        "byz_nodes",
+        "honest_nodes",
+        "adversary",
+        "alive_local",
+        "sel",
+        "full",
+        "dec_cols",
+        "crash_cols",
+        "rng_cols",
+    )
+
+    def __init__(self, trials: np.ndarray, byz: np.ndarray, adversary: Adversary):
+        self.trials = trials
+        self.byz = byz
+        self.byz_nodes = np.flatnonzero(byz)
+        self.honest_nodes = np.flatnonzero(~byz)
+        self.adversary = adversary
+        self.alive_local = trials
+        self.sel: np.ndarray | None = None
+        self.full = True
+        # Phase-constant column views (decided/crashed/rngs restricted to
+        # the group's live columns), refreshed once per phase — only the
+        # colors slice changes per subphase.
+        self.dec_cols: np.ndarray | None = None
+        self.crash_cols: np.ndarray | None = None
+        self.rng_cols: tuple = ()
+
+
+def _placement_groups(adversary_factory, byz_bn: np.ndarray) -> list["_PlacementGroup"]:
+    """Sub-group trial columns by distinct placement, one adversary each."""
+    group_map: dict[bytes, list[int]] = {}
+    for j in range(byz_bn.shape[0]):
+        group_map.setdefault(byz_bn[j].tobytes(), []).append(j)
+    if len(group_map) > 1 and isinstance(adversary_factory, Adversary):
+        raise ValueError(
+            "a shared adversary instance cannot drive trials with different "
+            "Byzantine placements (binding is per placement); pass a "
+            "zero-argument adversary factory instead"
+        )
+    groups = []
+    for idxs in group_map.values():
+        trials = np.asarray(idxs, dtype=np.int64)
+        byz = np.ascontiguousarray(byz_bn[idxs[0]])
+        groups.append(
+            _PlacementGroup(trials, byz, _batch_adversary(adversary_factory, len(idxs)))
+        )
+    return groups
+
+
 def _run_byzantine_batched_group(
-    network, seeds: list, config: CountingConfig, adversary: Adversary, byz: np.ndarray
+    network,
+    seeds: list,
+    config: CountingConfig,
+    adversary_factory,
+    byz_bn: np.ndarray,
 ) -> list[CountingResult]:
-    """Batched Algorithm 2: one config, ``B`` seeds, one batch adversary.
+    """Batched Algorithm 2: one config, ``B`` seeds, per-trial placements.
 
     Mirrors the adversarial path of :func:`repro.core.runner.run_counting`
-    statement for statement on ``(n, B)`` trials-as-columns int64 matrices:
-    per-trial pre-phase crash masks (memoized on claim content), the
-    Lemma 16 injection gate, per-trial relay suppression, witness-traffic
-    metering from new-record counts, and per-trial early exit.  Bit-for-bit
-    equal to ``B`` sequential runs (enforced by
-    ``tests/core/test_runner_batch.py``).
+    statement for statement on ``(n, B)`` trials-as-columns matrices:
+    per-trial pre-phase crash masks (memoized on placement + claim
+    content), the Lemma 16 injection gate, per-trial relay suppression,
+    witness-traffic metering from new-record counts, and per-trial early
+    exit.  Trials are sub-grouped by distinct placement
+    (:class:`_PlacementGroup`); each sub-group's adversary plans its own
+    columns while the flooding rounds execute fused over the whole batch.
+    Color state starts in int32 and widens to int64 at the first plan
+    whose values exceed ``INT32_MAX`` (see the module docstring's dtype
+    policy).  Bit-for-bit equal to ``B`` sequential runs (enforced by
+    ``tests/core/test_runner_batch.py`` / ``tests/core/test_sweep.py``).
     """
     n, d, k = network.n, network.d, network.k
     batch = len(seeds)
@@ -456,35 +613,41 @@ def _run_byzantine_batched_group(
         color_rngs.append(color_rng)
         adv_rngs.append(adv_rng)
 
-    byz_nodes = np.flatnonzero(byz)
-    honest_mask = ~byz
+    groups = _placement_groups(adversary_factory, byz_bn)
     meters = MeterBatch(batch)
     traces = [PhaseTrace() for _ in range(batch)]
     crashed_bn = np.zeros((batch, n), dtype=bool)
 
-    adversary.bind_batch(network, byz, adv_rngs, config)
+    for g in groups:
+        g.adversary.bind_batch(
+            network, g.byz, [adv_rngs[int(t)] for t in g.trials], config
+        )
     if config.verification:
-        claims_list = adversary.batch_topology_claims()
-        if len(claims_list) != batch:
-            raise ValueError(
-                f"batch_topology_claims returned {len(claims_list)} claim "
-                f"sets for {batch} trials"
-            )
-        # Built-in strategies lie deterministically, so most batches share
-        # one claim set; simulate each distinct set's crashes only once
-        # (object identity first, claim content as the fallback key).
-        by_id: dict[int, np.ndarray] = {}
-        cache: dict[tuple, np.ndarray] = {}
-        for b, claims in enumerate(claims_list):
-            crashed = by_id.get(id(claims))
-            if crashed is None:
-                key = _claims_signature(claims)
-                crashed = cache.get(key)
+        for g in groups:
+            claims_list = g.adversary.batch_topology_claims()
+            if len(claims_list) != g.trials.shape[0]:
+                raise ValueError(
+                    f"batch_topology_claims returned {len(claims_list)} claim "
+                    f"sets for {g.trials.shape[0]} trials"
+                )
+            # Built-in strategies lie deterministically, so most batches
+            # share one claim set; simulate each distinct set's crashes
+            # only once (object identity first, claim content as the
+            # fallback key).  The caches are per group, which keys the
+            # memo on (placement, claims) — crash results depend on both.
+            by_id: dict[int, np.ndarray] = {}
+            cache: dict[tuple, np.ndarray] = {}
+            for local, trial in enumerate(g.trials):
+                claims = claims_list[local]
+                crashed = by_id.get(id(claims))
                 if crashed is None:
-                    crashed = crash_phase(network, byz, claims)
-                    cache[key] = crashed
-                by_id[id(claims)] = crashed
-            crashed_bn[b] = crashed
+                    key = _claims_signature(claims)
+                    crashed = cache.get(key)
+                    if crashed is None:
+                        crashed = crash_phase(network, g.byz, claims)
+                        cache[key] = crashed
+                    by_id[id(claims)] = crashed
+                crashed_bn[trial] = crashed
         all_trials = np.arange(batch)
         meters.add_rounds(all_trials, 2)
         if config.count_messages:
@@ -495,11 +658,13 @@ def _run_byzantine_batched_group(
     decided = np.full((batch, n), UNDECIDED, dtype=np.int64)
     witness_ball = min(ball_size_bound(d, k, 1), n)
     witness_cap = min(witness_ball, 64)
-    honest_uncrashed = honest_mask[None, :] & ~crashed_bn
+    honest_uncrashed = ~byz_bn & ~crashed_bn
     alive = np.ones(batch, dtype=bool)
     inj_acc = np.zeros(batch, dtype=np.int64)
     inj_rej = np.zeros(batch, dtype=np.int64)
     round_cost = 1 + (config.verification_round_cost if config.verification else 0)
+    # Narrow adversarial state until a plan proves it needs int64.
+    state_dtype: type = np.int32
 
     for phase in range(1, config.max_phase + 1):
         undecided_all = honest_uncrashed & (decided == UNDECIDED)
@@ -517,6 +682,15 @@ def _run_byzantine_batched_group(
         und = undecided_all[live]
         counts = active_before[live]
 
+        live_pos = np.full(batch, -1, dtype=np.int64)
+        live_pos[live] = np.arange(b_live)
+        for g in groups:
+            pos = live_pos[g.trials]
+            keep = pos >= 0
+            g.alive_local = np.flatnonzero(keep)
+            g.sel = pos[keep]
+            g.full = g.sel.shape[0] == b_live
+
         # One stream read per trial per phase (see _run_batched_group): the
         # undecided set is fixed across a phase's subphases, so a single
         # geometric draw of ``n_sub * count`` values replays the sequential
@@ -530,23 +704,28 @@ def _run_byzantine_batched_group(
             else:
                 phase_draws.append(None)
 
-        # Trials-as-columns int64 state (matching the sequential engine's
-        # dtype — adversaries may inject arbitrarily large colors).
         crashed_nb = np.ascontiguousarray(crashed_bn[live].T)
         any_crash = bool(crashed_nb.any())
         decided_nb = np.ascontiguousarray(decided[live].T)
-        colors = np.zeros((n, b_live), dtype=np.int64)
-        cur = np.empty((n, b_live), dtype=np.int64)
-        sent = np.empty((n, b_live), dtype=np.int64)
-        prev_kt = np.empty((n, b_live), dtype=np.int64)
-        recv = np.empty((n, b_live), dtype=np.int64)
-        k_last = np.empty((n, b_live), dtype=np.int64)
+        colors = np.zeros((n, b_live), dtype=state_dtype)
+        cur = np.empty((n, b_live), dtype=state_dtype)
+        sent = np.empty((n, b_live), dtype=state_dtype)
+        prev_kt = np.empty((n, b_live), dtype=state_dtype)
+        recv = np.empty((n, b_live), dtype=state_dtype)
+        k_last = np.empty((n, b_live), dtype=state_dtype)
         flag_continue = np.zeros((n, b_live), dtype=bool)
         phase_inj_acc = np.zeros(b_live, dtype=np.int64)
         phase_inj_rej = np.zeros(b_live, dtype=np.int64)
         msg_senders = np.zeros(b_live, dtype=np.int64)
         msg_records = np.zeros(b_live, dtype=np.int64)
         live_rngs = tuple(adv_rngs[t] for t in live)
+        for g in groups:
+            if g.full:
+                g.dec_cols, g.crash_cols, g.rng_cols = decided_nb, crashed_nb, live_rngs
+            else:
+                g.dec_cols = decided_nb[:, g.sel]
+                g.crash_cols = crashed_nb[:, g.sel]
+                g.rng_cols = tuple(live_rngs[int(c)] for c in g.sel)
 
         for sub in range(1, n_sub + 1):
             # --- draw colors (undecided honest nodes only) ---------------
@@ -556,49 +735,96 @@ def _run_byzantine_batched_group(
                 if draws is not None:
                     colors[und[row], row] = draws[sub - 1]
 
-            initial = None
-            inj_by_round: list[dict[int, list[Injection]]] = [{}] * b_live
+            # --- per-placement adversary plans, merged to batch form -----
+            initial_apps: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
             counts_by_round: dict[int, np.ndarray] = {}
             groups_by_round: dict[int, list] = {}
-            relay = None
-            if byz_nodes.size:
+            suppress_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+            suppressed_inj: dict[int, dict[int, list[Injection]]] = {}
+            plan_max = 0
+            plan_min = 0
+            for g in groups:
+                if g.byz_nodes.size == 0 or g.sel.shape[0] == 0:
+                    continue
+                sel = g.sel
+                g_colors = (
+                    colors[g.honest_nodes]
+                    if g.full
+                    else colors[np.ix_(g.honest_nodes, sel)]
+                )
                 state = BatchSubphaseState(
                     phase=phase,
                     subphase=sub,
                     rounds=phase,
                     k=k,
                     network=network,
-                    byz_nodes=byz_nodes,
-                    trials=live,
-                    honest_colors=colors[honest_mask],
-                    decided_phase=decided_nb,
-                    crashed=crashed_nb,
-                    rngs=live_rngs,
+                    byz_nodes=g.byz_nodes,
+                    trials=g.alive_local,
+                    honest_colors=g_colors,
+                    decided_phase=g.dec_cols,
+                    crashed=g.crash_cols,
+                    rngs=g.rng_cols,
                 )
-                plan = adversary.batch_subphase_plan(state)
+                plan = g.adversary.batch_subphase_plan(state)
                 (
-                    initial,
-                    inj_by_round,
-                    counts_by_round,
-                    groups_by_round,
-                    relay,
-                ) = _normalize_batch_plan(plan, byz_nodes.shape[0], b_live)
+                    initial_g,
+                    inj_rounds_g,
+                    counts_g,
+                    groups_g,
+                    relay_g,
+                ) = _normalize_batch_plan(plan, g.byz_nodes.shape[0], sel.shape[0])
                 # Schedules reuse node arrays across injections and trials;
-                # check each distinct array against the Byzantine set once.
+                # check each distinct array against the group's Byzantine
+                # set once (per group: membership depends on the placement).
                 checked: set[int] = set()
-                for j in range(b_live):
-                    for injs in inj_by_round[j].values():
+                for by_round in inj_rounds_g:
+                    for injs in by_round.values():
                         for inj in injs:
                             if id(inj.nodes) not in checked:
                                 checked.add(id(inj.nodes))
-                                inj.require_byzantine(byz)
+                                inj.require_byzantine(g.byz)
+                if initial_g is not None:
+                    initial_apps.append((g.byz_nodes, sel, initial_g))
+                    if initial_g.size:
+                        plan_max = max(plan_max, int(initial_g.max()))
+                        plan_min = min(plan_min, int(initial_g.min()))
+                for t, cnts in counts_g.items():
+                    acc = counts_by_round.get(t)
+                    if acc is None:
+                        acc = np.zeros(b_live, dtype=np.int64)
+                        counts_by_round[t] = acc
+                    acc[sel] += cnts
+                for t, lst in groups_g.items():
+                    merged = groups_by_round.setdefault(t, [])
+                    for nodes, cols, vals in lst:
+                        merged.append((nodes, sel[cols], vals))
+                        if vals.size:
+                            plan_max = max(plan_max, int(vals.max()))
+                off_local = np.flatnonzero(~relay_g)
+                if off_local.size:
+                    suppress_pairs.append((g.byz_nodes, sel[off_local]))
+                    for j_local in off_local:
+                        by_round = inj_rounds_g[int(j_local)]
+                        if by_round:
+                            suppressed_inj[int(sel[int(j_local)])] = by_round
+
+            if (
+                plan_max > _INT32_MAX or plan_min < _INT32_MIN
+            ) and state_dtype == np.int32:
+                # Widen lazily, for the rest of the run: the only live
+                # color state here is ``colors`` (``cur``/``prev_kt`` are
+                # rebuilt below), so one astype converts it exactly.
+                state_dtype = np.int64
+                colors = colors.astype(np.int64)
+                cur = np.empty((n, b_live), dtype=np.int64)
+                sent = np.empty_like(cur)
+                prev_kt = np.empty_like(cur)
+                recv = np.empty_like(cur)
+                k_last = np.empty_like(cur)
 
             np.copyto(cur, colors)
-            if initial is not None:
-                cur[byz_nodes, :] = initial
-            suppress_cols = (
-                np.flatnonzero(~relay) if relay is not None else np.empty(0, np.int64)
-            )
+            for nodes_g, sel_g, initial_g in initial_apps:
+                cur[np.ix_(nodes_g, sel_g)] = initial_g
 
             prev_kt.fill(0)
             for t in range(1, phase + 1):
@@ -621,12 +847,12 @@ def _run_byzantine_batched_group(
                 np.copyto(sent, cur)
                 if any_crash:
                     sent[crashed_nb] = 0
-                if suppress_cols.size:
-                    sent[np.ix_(byz_nodes, suppress_cols)] = 0
-                    if accept:
-                        for j in suppress_cols:
-                            for inj in inj_by_round[j].get(t, ()):
-                                sent[inj.nodes, j] = inj.value
+                for nodes_g, cols_g in suppress_pairs:
+                    sent[np.ix_(nodes_g, cols_g)] = 0
+                if accept and suppressed_inj:
+                    for col, by_round in suppressed_inj.items():
+                        for inj in by_round.get(t, ()):
+                            sent[inj.nodes, col] = inj.value
 
                 # --- receive ---------------------------------------------
                 kernel.neighbor_max_stacked(sent, out=recv)
@@ -695,7 +921,7 @@ def _run_byzantine_batched_group(
             k=k,
             decided_phase=decided[b].copy(),
             crashed=crashed_bn[b].copy(),
-            byz=byz.copy(),
+            byz=byz_bn[b].copy(),
             meter=meters.meter(b),
             trace=traces[b],
             injections_accepted=int(inj_acc[b]),

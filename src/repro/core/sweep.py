@@ -1,0 +1,340 @@
+"""Fused sweep engine over (seed, config, placement, strategy) grids.
+
+The paper's headline experiments sweep over *placements and strategies*,
+not just seeds: Theorem 1 accuracy (E07) contrasts adversary strategies at
+several Byzantine budgets, the Core-resilience study (E11) varies liar
+placements, and the ablation grids (E14) vary budget, placement shape, and
+the error parameter.  Each cell of such a grid is one independent
+:func:`repro.core.runner.run_counting` trial, so the whole grid flattens
+into trials-as-columns batches for the batched engine
+(:func:`repro.core.batch.run_counting_batch`) — which batches across
+seeds, configs (grouped), and per-trial Byzantine placements.  The only
+axis that cannot share a batch is the *strategy* (one adversary factory
+drives one batch), so :func:`run_sweep` fuses each strategy's
+``placements x configs x seeds`` block into a single engine call.
+
+Equivalence contract
+--------------------
+Every cell is **bit-for-bit** equal to the scalar run it replaces::
+
+    run_byzantine_counting(network, make_adversary(strategy), placement,
+                           config=config, seed=seed)
+
+(or plain Algorithm 1 ``run_counting(network, config, seed=seed)`` for
+``strategies=None`` honest grids) — enforced by
+``tests/core/test_sweep.py``.  Results come back in grid order
+(strategy-major: strategy, placement, config, seed) wrapped in a
+:class:`SweepResult` for shaped access.
+
+Sharding
+--------
+``jobs=N`` fans the grid out over worker processes through
+:func:`repro.experiments.common.parallel_map` with the network placed in
+one shared-memory segment (workers attach zero-copy).  Shard boundaries
+are picked automatically from the grid size and ``jobs``: chunks are large
+enough to keep the batched engine efficient (``MIN_SHARD_CELLS`` trials)
+but small enough to fill the pool, and never straddle a strategy boundary
+(override with ``shard_cells``).  For ``jobs > 1`` every strategy spec
+must be picklable — a name from :data:`~repro.core.estimator.ADVERSARIES`,
+a module-level factory, or a plain adversary instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..adversary.base import Adversary
+from .batch import run_counting_batch
+from .config import CountingConfig
+from .results import BatchCountingResult, CountingResult
+
+__all__ = ["run_sweep", "SweepResult", "SweepCell", "MIN_SHARD_CELLS"]
+
+#: Smallest shard the auto-splitter will produce: below this the batched
+#: engine's per-call fixed costs dominate and sharding stops paying.
+MIN_SHARD_CELLS = 4
+
+
+def _strategy_factory(spec):
+    """Resolve a strategy spec to what ``run_counting_batch`` expects.
+
+    A spec is ``None`` (honest Algorithm 1), a registered adversary name,
+    an :class:`Adversary` instance, or a zero-argument factory.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        from .estimator import make_adversary
+
+        return lambda name=spec: make_adversary(name)
+    return spec  # Adversary instance or zero-argument factory
+
+
+def _run_shard(network, task):
+    """Module-level worker: one fused (strategy, cells-chunk) batch.
+
+    ``task`` is ``(spec, seeds, configs, masks)`` with ``masks`` a
+    ``(B, n)`` stack or None; runs on the (possibly shared-memory
+    attached) network inside a worker process.
+    """
+    spec, seeds, configs, masks = task
+    factory = _strategy_factory(spec)
+    if factory is None:
+        return list(run_counting_batch(network, seeds, config=configs))
+    return list(
+        run_counting_batch(
+            network,
+            seeds,
+            config=configs,
+            adversary_factory=factory,
+            byz_mask=masks,
+        )
+    )
+
+
+def _auto_shard_cells(total_cells: int, jobs: int | None) -> int:
+    """Cells per shard: fill ``jobs`` workers without starving the batch.
+
+    Serial sweeps get one shard per strategy (maximal batching).  Sharded
+    sweeps aim for ``jobs`` roughly equal chunks over the whole grid, but
+    never below :data:`MIN_SHARD_CELLS` — tiny batches spend more on
+    per-call fixed costs than they save in parallelism.
+    """
+    if not jobs or jobs <= 1:
+        return total_cells
+    return max(MIN_SHARD_CELLS, math.ceil(total_cells / jobs))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: its axis coordinates, axis values, and result."""
+
+    strategy_index: int
+    placement_index: int
+    config_index: int
+    seed_index: int
+    strategy: object
+    placement: np.ndarray | None
+    config: CountingConfig
+    seed: object
+    result: CountingResult
+
+
+@dataclass
+class SweepResult:
+    """Grid-shaped view over one :func:`run_sweep` call's results.
+
+    ``results`` is flat in strategy-major grid order (strategy, placement,
+    config, seed); :meth:`cell` and :meth:`seed_batch` index it by axis
+    coordinates, :meth:`cells` iterates it with coordinates attached.
+    """
+
+    seeds: list
+    configs: list[CountingConfig]
+    placements: list
+    strategies: list
+    results: list[CountingResult]
+
+    @property
+    def shape(self) -> tuple[int, int, int, int]:
+        """``(strategies, placements, configs, seeds)`` axis lengths."""
+        return (
+            len(self.strategies),
+            len(self.placements),
+            len(self.configs),
+            len(self.seeds),
+        )
+
+    def _flat(self, strategy: int, placement: int, config: int, seed: int) -> int:
+        n_s, n_p, n_c, n_b = self.shape
+        # range(...)[i] applies python index semantics (negatives, bounds).
+        s = range(n_s)[strategy]
+        p = range(n_p)[placement]
+        c = range(n_c)[config]
+        b = range(n_b)[seed]
+        return ((s * n_p + p) * n_c + c) * n_b + b
+
+    def cell(
+        self, *, strategy: int = 0, placement: int = 0, config: int = 0, seed: int = 0
+    ) -> CountingResult:
+        """The single result at the given axis coordinates."""
+        return self.results[self._flat(strategy, placement, config, seed)]
+
+    def seed_batch(
+        self, *, strategy: int = 0, placement: int = 0, config: int = 0
+    ) -> BatchCountingResult:
+        """All seeds of one (strategy, placement, config) cell as a batch.
+
+        The returned :class:`BatchCountingResult` carries the seeds in
+        axis order, so its cross-trial aggregates (``rounds()``,
+        ``median_phases()``, ...) summarize the repeated-seed dimension.
+        """
+        base = self._flat(strategy, placement, config, 0)
+        return BatchCountingResult(self.results[base : base + len(self.seeds)])
+
+    def cells(self) -> Iterator[SweepCell]:
+        """Iterate every cell in flat grid order, coordinates attached."""
+        i = 0
+        for s, strat in enumerate(self.strategies):
+            for p, mask in enumerate(self.placements):
+                for c, cfg in enumerate(self.configs):
+                    for b, seed in enumerate(self.seeds):
+                        yield SweepCell(
+                            strategy_index=s,
+                            placement_index=p,
+                            config_index=c,
+                            seed_index=b,
+                            strategy=strat,
+                            placement=mask,
+                            config=cfg,
+                            seed=seed,
+                            result=self.results[i],
+                        )
+                        i += 1
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[SweepCell]:
+        return self.cells()
+
+
+def _normalize_axis(value, default, single_types) -> list:
+    if value is None:
+        return [default]
+    if isinstance(value, single_types):
+        return [value]
+    return list(value)
+
+
+def run_sweep(
+    network,
+    *,
+    seeds: Sequence,
+    configs: CountingConfig | Sequence[CountingConfig] | None = None,
+    placements=None,
+    strategies=None,
+    jobs: int | None = None,
+    shard_cells: int | None = None,
+) -> SweepResult:
+    """Run the full (strategy x placement x config x seed) grid, fused.
+
+    Parameters
+    ----------
+    network:
+        The shared :class:`~repro.graphs.smallworld.SmallWorldNetwork`
+        every cell runs on (grids over several networks are separate
+        sweeps — the batched kernels are per-adjacency).
+    seeds:
+        Seed axis; anything :func:`repro.sim.rng.make_rng` accepts.
+    configs:
+        Config axis; a single :class:`CountingConfig` (the default config
+        when None) or a sequence.
+    placements:
+        Placement axis; a single ``(n,)`` Byzantine mask, a sequence of
+        masks, or None (no Byzantine nodes).  ``None`` entries inside a
+        sequence mean an empty placement.
+    strategies:
+        Strategy axis; a single spec or a sequence of specs, each one
+        ``None`` (honest Algorithm 1 — only valid with empty placements),
+        a name from :data:`~repro.core.estimator.ADVERSARIES`, an
+        :class:`~repro.adversary.base.Adversary` instance (single
+        placement only), or a zero-argument factory.
+    jobs:
+        Worker processes; ``None``/``<= 1`` runs fused in-process, else
+        the grid is sharded through
+        :func:`repro.experiments.common.parallel_map` with the network in
+        shared memory.
+    shard_cells:
+        Override the automatic shard size (cells per engine call when
+        sharding; see :func:`_auto_shard_cells`).
+
+    Returns
+    -------
+    SweepResult
+        Grid-shaped results, each cell bit-for-bit equal to its scalar
+        sequential run (see the module docstring).
+    """
+    n = network.n
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("run_sweep needs at least one seed")
+    config_axis = _normalize_axis(configs, CountingConfig(), CountingConfig)
+    if strategies is None:
+        strategy_axis: list = [None]
+    elif isinstance(strategies, (str, Adversary)) or callable(strategies):
+        strategy_axis = [strategies]
+    else:
+        strategy_axis = list(strategies)
+
+    if placements is None:
+        placement_axis = [None]
+    elif isinstance(placements, np.ndarray) and placements.ndim == 1:
+        placement_axis = [placements]
+    else:
+        placement_axis = list(placements)
+    norm_placements: list[np.ndarray | None] = []
+    for mask in placement_axis:
+        if mask is None:
+            norm_placements.append(None)
+            continue
+        arr = np.asarray(mask, dtype=bool)
+        if arr.shape != (n,):
+            raise ValueError(
+                f"placements must be ({n},) masks, got shape {arr.shape}"
+            )
+        norm_placements.append(arr)
+
+    any_byz = any(m is not None and m.any() for m in norm_placements)
+    if any_byz and any(spec is None for spec in strategy_axis):
+        raise ValueError(
+            "a None strategy (honest Algorithm 1) cannot run non-empty "
+            "placements; give those cells an adversary strategy"
+        )
+
+    empty_mask = np.zeros(n, dtype=bool)
+    cells_per_strategy = len(norm_placements) * len(config_axis) * len(seeds)
+    total_cells = cells_per_strategy * len(strategy_axis)
+    per_shard = shard_cells if shard_cells is not None else _auto_shard_cells(
+        total_cells, jobs
+    )
+    if per_shard < 1:
+        raise ValueError(f"shard_cells must be >= 1, got {per_shard}")
+
+    # One strategy block's (placement, config, seed) axes in grid order;
+    # identical for every strategy, so built once and shard-sliced below.
+    trial_seeds: list = []
+    trial_configs: list[CountingConfig] = []
+    trial_masks: list[np.ndarray] = []
+    for mask in norm_placements:
+        for cfg in config_axis:
+            for seed in seeds:
+                trial_seeds.append(seed)
+                trial_configs.append(cfg)
+                trial_masks.append(mask if mask is not None else empty_mask)
+
+    tasks = []
+    for spec in strategy_axis:
+        for lo in range(0, cells_per_strategy, per_shard):
+            hi = min(lo + per_shard, cells_per_strategy)
+            masks = None
+            if spec is not None:
+                masks = np.array(trial_masks[lo:hi], dtype=bool).reshape(hi - lo, n)
+            tasks.append((spec, trial_seeds[lo:hi], trial_configs[lo:hi], masks))
+
+    from ..experiments.common import parallel_map
+
+    shard_results = parallel_map(_run_shard, tasks, jobs=jobs, network=network)
+    results = [res for shard in shard_results for res in shard]
+    assert len(results) == total_cells
+    return SweepResult(
+        seeds=seeds,
+        configs=config_axis,
+        placements=norm_placements,
+        strategies=strategy_axis,
+        results=results,
+    )

@@ -84,7 +84,7 @@ def basic_counting_trials(
 def byzantine_counting_trials(
     net: SmallWorldNetwork,
     adversary_factory: Callable[[], Adversary],
-    byz_mask: np.ndarray,
+    byz_mask: np.ndarray | Sequence[np.ndarray],
     seeds: Sequence[int],
     config: CountingConfig | None = None,
 ) -> BatchCountingResult:
@@ -96,6 +96,14 @@ def byzantine_counting_trials(
     scalar third-party adversaries are wrapped per trial.  Equivalent to
     per-seed sequential ``run_byzantine_counting`` calls, bit for bit,
     including crash sets, meters, and injection counters.
+
+    ``byz_mask`` is either one shared ``(n,)`` placement or a per-trial
+    ``(B, n)`` stack / length-``B`` list of masks — trials sharing a
+    placement are sub-grouped by the engine, so varying-placement sweeps
+    stay batched.  A mask list whose length disagrees with ``seeds`` is
+    rejected with a count-mismatch error (it is never silently shared).
+    For full (seed, config, placement, strategy) grids use
+    :func:`repro.core.sweep.run_sweep`.
     """
     return run_counting_batch(
         net,

@@ -8,15 +8,20 @@ baseline failures.  Theorem 1 predicts the in-band fraction stays
 ``>= 1 - eps - o(1)`` for color-level attacks; the topology-liar is
 reported via its crash footprint (it trades estimates for crashes, bounded
 by Lemma 14 — experiment E11).
+
+The whole strategies x budgets grid per network runs as one fused sweep
+(:func:`repro.core.sweep.run_sweep`): each strategy's placements batch as
+trial columns with per-trial Byzantine masks, bit-for-bit equal to the
+scalar per-cell runs this experiment used to loop over.
 """
 
 from __future__ import annotations
 
 
 from ..adversary.placement import placement_for_delta
-from ..core.byzantine_counting import run_byzantine_counting
 from ..core.config import CountingConfig
-from ..core.estimator import make_adversary, practical_band
+from ..core.estimator import practical_band
+from ..core.sweep import run_sweep
 from .common import DEFAULT_D, network, ns_for
 from .harness import ExperimentResult, Table, register
 
@@ -50,8 +55,16 @@ def run(scale: str, seed: int) -> ExperimentResult:
     worst_in_band = 1.0
     for n in ns:
         net = network(n, d, seed)
-        for delta in deltas:
-            byz = placement_for_delta(net, delta, rng=seed + 7)
+        placements = [placement_for_delta(net, delta, rng=seed + 7) for delta in deltas]
+        sweep = run_sweep(
+            net,
+            seeds=[seed + 13],
+            configs=cfg,
+            placements=placements,
+            strategies=list(COLOR_STRATEGIES),
+        )
+        for p_idx, delta in enumerate(deltas):
+            byz = placements[p_idx]
             table = Table(
                 title=(
                     f"n={n}, delta={delta}, B(n)={int(byz.sum())}, eps={eps}, "
@@ -66,10 +79,8 @@ def run(scale: str, seed: int) -> ExperimentResult:
                     "inj acc/rej",
                 ],
             )
-            for name in COLOR_STRATEGIES:
-                res = run_byzantine_counting(
-                    net, make_adversary(name), byz, config=cfg, seed=seed + 13
-                )
+            for s_idx, name in enumerate(COLOR_STRATEGIES):
+                res = sweep.cell(strategy=s_idx, placement=p_idx)
                 frac = res.fraction_in_band(*band)
                 _, med, _ = res.decision_quantiles()
                 table.add(

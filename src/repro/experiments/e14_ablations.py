@@ -12,6 +12,11 @@ Three sweeps:
 * **eps (error parameter)**: smaller eps buys more subphase repetitions
   (cost, rounds) for fewer premature decisions (accuracy) — the knob's
   advertised trade-off (footnote 3).
+
+Each sweep runs fused (:func:`repro.core.sweep.run_sweep`): the delta and
+placement ablations batch their placements as per-trial Byzantine mask
+columns, the eps ablation batches its configs — all bit-for-bit equal to
+the scalar per-cell runs this experiment used to loop over.
 """
 
 from __future__ import annotations
@@ -19,10 +24,9 @@ from __future__ import annotations
 
 from ..adversary.placement import clustered_placement, placement_for_delta
 from ..analysis.bounds import byzantine_budget
-from ..core.basic_counting import run_basic_counting
-from ..core.byzantine_counting import run_byzantine_counting
 from ..core.config import CountingConfig
-from ..core.estimator import make_adversary, practical_band
+from ..core.estimator import practical_band
+from ..core.sweep import run_sweep
 from .common import DEFAULT_D, network
 from .harness import ExperimentResult, Table, register
 
@@ -44,18 +48,25 @@ def run(scale: str, seed: int) -> ExperimentResult:
         claim="see module docstring",
     )
 
-    # --- delta sweep under early-stop ---------------------------------
+    # --- delta sweep under early-stop (placements as batch columns) ----
     deltas = (0.4, 0.55, 0.7) if scale == "small" else (0.4, 0.5, 0.6, 0.8)
     t1 = Table(
         title=f"delta sweep (early-stop adversary, n={n})",
         columns=["delta", "B(n)", "in-band frac", "phase med"],
     )
+    delta_placements = [
+        placement_for_delta(net, delta, rng=seed + 2) for delta in deltas
+    ]
+    delta_sweep = run_sweep(
+        net,
+        seeds=[seed + 4],
+        configs=cfg,
+        placements=delta_placements,
+        strategies="early-stop",
+    )
     fracs = []
-    for delta in deltas:
-        byz = placement_for_delta(net, delta, rng=seed + 2)
-        res = run_byzantine_counting(
-            net, make_adversary("early-stop"), byz, config=cfg, seed=seed + 4
-        )
+    for p_idx, delta in enumerate(deltas):
+        res = delta_sweep.cell(placement=p_idx)
         frac = res.fraction_in_band(*band)
         _, med, _ = res.decision_quantiles()
         t1.add(delta, byzantine_budget(n, delta), frac, med)
@@ -63,22 +74,27 @@ def run(scale: str, seed: int) -> ExperimentResult:
     result.tables.append(t1)
     result.checks["fewer_byz_more_accuracy"] = fracs[-1] >= fracs[0] - 0.02
 
-    # --- placement ablation -------------------------------------------
+    # --- placement ablation (random vs clustered, one fused batch) -----
     delta = 0.5
     budget = byzantine_budget(n, delta)
     t2 = Table(
         title=f"placement ablation (early-stop, delta={delta}, B(n)={budget})",
         columns=["placement", "in-band frac", "phase q10", "phase med"],
     )
+    ablation_placements = {
+        "random": placement_for_delta(net, delta, rng=seed + 6),
+        "clustered": clustered_placement(net, budget, rng=seed + 6),
+    }
+    placement_sweep = run_sweep(
+        net,
+        seeds=[seed + 8],
+        configs=cfg,
+        placements=list(ablation_placements.values()),
+        strategies="early-stop",
+    )
     stats = {}
-    for label in ("random", "clustered"):
-        if label == "random":
-            byz = placement_for_delta(net, delta, rng=seed + 6)
-        else:
-            byz = clustered_placement(net, budget, rng=seed + 6)
-        res = run_byzantine_counting(
-            net, make_adversary("early-stop"), byz, config=cfg, seed=seed + 8
-        )
+    for p_idx, label in enumerate(ablation_placements):
+        res = placement_sweep.cell(placement=p_idx)
         q10, med, _ = res.decision_quantiles()
         frac = res.fraction_in_band(*band)
         t2.add(label, frac, q10, med)
@@ -90,15 +106,21 @@ def run(scale: str, seed: int) -> ExperimentResult:
         stats["clustered"][1] >= stats["random"][1] - 0.01
     )
 
-    # --- eps sweep ------------------------------------------------------
+    # --- eps sweep (configs as the batch axis) -------------------------
     eps_values = (0.05, 0.2) if scale == "small" else (0.02, 0.05, 0.1, 0.2)
     t3 = Table(
         title=f"eps trade-off (Algorithm 1, n={n})",
         columns=["eps", "rounds", "phase med", "phase q10"],
     )
+    # verification=False mirrors run_basic_counting's Algorithm 1 setup.
+    eps_sweep = run_sweep(
+        net,
+        seeds=[seed + 10],
+        configs=[cfg.with_(eps=eps, verification=False) for eps in eps_values],
+    )
     rounds_by_eps = []
-    for eps in eps_values:
-        res = run_basic_counting(net, config=cfg.with_(eps=eps), seed=seed + 10)
+    for c_idx, eps in enumerate(eps_values):
+        res = eps_sweep.cell(config=c_idx)
         q10, med, _ = res.decision_quantiles()
         t3.add(eps, res.meter.rounds, med, q10)
         rounds_by_eps.append(res.meter.rounds)

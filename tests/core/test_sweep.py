@@ -1,0 +1,498 @@
+"""Per-trial placements and the fused sweep must be bit-for-bit.
+
+The fused sweep engine exists so the placement-varying experiments
+(E07/E11/E14) can leave the scalar ``run_byzantine_counting`` loop without
+changing any reported number.  These tests pin that contract cell by cell:
+a batch with per-trial ``(B, n)`` Byzantine masks — and a full
+``run_sweep`` grid over (strategy, placement, config, seed) — must equal
+the scalar sequential runs exactly, including crash sets, meters, traces,
+and injection counters.  The int32/int64 dtype boundary of the adversarial
+state is exercised from both sides (plans at ``INT32_MAX`` stay narrow,
+plans beyond it widen mid-run), since the demotion must never change a
+value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import placement_for_delta
+from repro.adversary.base import Adversary, Injection, SubphasePlan
+from repro.adversary.placement import clustered_placement, random_placement
+from repro.adversary.strategies import EarlyStopAdversary
+from repro.core import (
+    ADVERSARIES,
+    CountingConfig,
+    make_adversary,
+    run_counting,
+    run_counting_batch,
+    run_sweep,
+)
+from repro.experiments.common import byzantine_counting_trials
+
+INT32_MAX = int(np.iinfo(np.int32).max)
+
+
+def assert_trial_equal(a, b):
+    assert np.array_equal(a.decided_phase, b.decided_phase)
+    assert np.array_equal(a.crashed, b.crashed)
+    assert np.array_equal(a.byz, b.byz)
+    assert a.meter.as_dict() == b.meter.as_dict()
+    assert list(a.trace) == list(b.trace)
+    assert a.injections_accepted == b.injections_accepted
+    assert a.injections_rejected == b.injections_rejected
+
+
+def _mixed_placements(net, seed=4):
+    return [
+        placement_for_delta(net, 0.5, rng=seed),
+        placement_for_delta(net, 0.55, rng=seed + 1),
+        clustered_placement(net, 4, rng=seed + 2),
+    ]
+
+
+class TestPerTrialMasks:
+    """(B, n) mask stacks must match per-trial scalar runs per strategy."""
+
+    CFG = CountingConfig(max_phase=12)
+
+    @pytest.mark.parametrize("strategy", sorted(ADVERSARIES))
+    def test_strategy_matches_sequential(self, net_small, strategy):
+        base = _mixed_placements(net_small)
+        masks = [base[0], base[1], base[2], base[0], base[2]]
+        seeds = [20, 21, 22, 23, 24]
+        seq = [
+            run_counting(
+                net_small,
+                self.CFG,
+                seed=s,
+                adversary=make_adversary(strategy),
+                byz_mask=m,
+            )
+            for s, m in zip(seeds, masks)
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=self.CFG,
+            adversary_factory=lambda: make_adversary(strategy),
+            byz_mask=masks,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_stack_array_matches_list(self, net_small):
+        masks = _mixed_placements(net_small)
+        seeds = [1, 2, 3]
+        from_list = run_counting_batch(
+            net_small,
+            seeds,
+            config=self.CFG,
+            adversary_factory=lambda: make_adversary("early-stop"),
+            byz_mask=masks,
+        )
+        from_stack = run_counting_batch(
+            net_small,
+            seeds,
+            config=self.CFG,
+            adversary_factory=lambda: make_adversary("early-stop"),
+            byz_mask=np.array(masks),
+        )
+        for a, b in zip(from_list, from_stack):
+            assert_trial_equal(a, b)
+
+    def test_mixed_configs_and_masks(self, net_small):
+        masks = _mixed_placements(net_small)
+        cfgs = [self.CFG, self.CFG.with_(eps=0.25), self.CFG]
+        seeds = [5, 6, 7]
+        seq = [
+            run_counting(
+                net_small, c, seed=s, adversary=make_adversary("inflation"), byz_mask=m
+            )
+            for s, c, m in zip(seeds, cfgs, masks)
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfgs,
+            adversary_factory=lambda: make_adversary("inflation"),
+            byz_mask=masks,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_empty_and_nonempty_masks_mix(self, net_small):
+        empty = np.zeros(net_small.n, dtype=bool)
+        masks = [empty, placement_for_delta(net_small, 0.5, rng=9)]
+        seeds = [8, 9]
+        seq = [
+            run_counting(
+                net_small, self.CFG, seed=s, adversary=make_adversary("honest"), byz_mask=m
+            )
+            for s, m in zip(seeds, masks)
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=self.CFG,
+            adversary_factory=lambda: make_adversary("honest"),
+            byz_mask=masks,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_wrong_length_mask_list_rejected(self, net_small):
+        masks = _mixed_placements(net_small)[:2]
+        with pytest.raises(ValueError, match="2 placement masks for 3 seeds"):
+            run_counting_batch(
+                net_small,
+                [1, 2, 3],
+                config=self.CFG,
+                adversary_factory=lambda: make_adversary("honest"),
+                byz_mask=masks,
+            )
+
+    def test_wrong_length_stack_rejected_via_trials_helper(self, net_small):
+        masks = np.array(_mixed_placements(net_small))  # (3, n)
+        with pytest.raises(ValueError, match="3 placement masks for 4 seeds"):
+            byzantine_counting_trials(
+                net_small,
+                lambda: make_adversary("early-stop"),
+                masks,
+                [1, 2, 3, 4],
+            )
+
+    def test_trials_helper_accepts_mask_stack(self, net_small):
+        masks = _mixed_placements(net_small)
+        seeds = [11, 12, 13]
+        batch = byzantine_counting_trials(
+            net_small,
+            lambda: make_adversary("early-stop"),
+            np.array(masks),
+            seeds,
+        )
+        seq = [
+            run_counting(
+                net_small,
+                CountingConfig(),
+                seed=s,
+                adversary=make_adversary("early-stop"),
+                byz_mask=m,
+            )
+            for s, m in zip(seeds, masks)
+        ]
+        for a, b in zip(seq, batch):
+            assert_trial_equal(a, b)
+
+    def test_bad_mask_shape_rejected(self, net_small):
+        with pytest.raises(ValueError, match="shape"):
+            run_counting_batch(
+                net_small,
+                [1],
+                config=self.CFG,
+                adversary_factory=lambda: make_adversary("honest"),
+                byz_mask=np.zeros(net_small.n - 1, dtype=bool),
+            )
+
+    def test_shared_instance_multi_placement_rejected(self, net_small):
+        masks = _mixed_placements(net_small)
+        with pytest.raises(ValueError, match="factory"):
+            run_counting_batch(
+                net_small,
+                [1, 2, 3],
+                config=self.CFG,
+                adversary_factory=make_adversary("early-stop"),
+                byz_mask=masks,
+            )
+
+    def test_shared_instance_single_placement_still_works(self, net_small):
+        mask = placement_for_delta(net_small, 0.5, rng=4)
+        bat = run_counting_batch(
+            net_small,
+            [1, 2],
+            config=self.CFG,
+            adversary_factory=make_adversary("early-stop"),
+            byz_mask=[mask, mask],
+        )
+        assert len(bat) == 2
+
+
+class _NegativeInitialAdversary(Adversary):
+    """Emits an initial color below ``INT32_MIN``.
+
+    Out of the color contract (colors are positive), but the sequential
+    int64 engine keeps such a value negative and inert under max-flooding —
+    the narrow state must widen rather than wrap it into a huge positive
+    color.
+    """
+
+    name = "negative-initial"
+
+    def subphase_plan(self, state):
+        colors = np.full(state.byz_nodes.shape[0], -(2**31 + 10), dtype=np.int64)
+        return SubphasePlan(initial_colors=colors, injections=[], relay=True)
+
+
+class _StraddlingAdversary(Adversary):
+    """Injection values cross ``INT32_MAX`` as phases progress.
+
+    Phase 1 injects exactly ``INT32_MAX`` (the widest value the narrow
+    state can hold), later phases exceed it — so one run exercises the
+    int32 fast path, the lazy widening, and the int64 tail.
+    """
+
+    name = "straddle-int32"
+
+    def subphase_plan(self, state):
+        value = INT32_MAX - 1 + state.phase
+        injections = [Injection(t=1, nodes=state.byz_nodes, value=value)]
+        return SubphasePlan(initial_colors=None, injections=injections, relay=True)
+
+
+class TestDtypeBoundary:
+    """int32 demotion must never change a value, on either side of the line."""
+
+    CFG = CountingConfig(max_phase=10)
+
+    @pytest.mark.parametrize(
+        "value",
+        [INT32_MAX, INT32_MAX + 1, 2**31 + 12345],
+        ids=["at-boundary-int32", "just-over-widens", "far-over-widens"],
+    )
+    def test_early_stop_value_matches_sequential(self, net_small, value):
+        byz = placement_for_delta(net_small, 0.5, rng=4)
+        seeds = [30, 31, 32]
+        seq = [
+            run_counting(
+                net_small,
+                self.CFG,
+                seed=s,
+                adversary=EarlyStopAdversary(value=value),
+                byz_mask=byz,
+            )
+            for s in seeds
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=self.CFG,
+            adversary_factory=lambda: EarlyStopAdversary(value=value),
+            byz_mask=byz,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_straddling_plan_widens_mid_run(self, net_small):
+        byz = placement_for_delta(net_small, 0.5, rng=4)
+        # stop_when_all_decided=False forces the run through every phase,
+        # so the batch provably crosses the boundary mid-run.
+        cfg = CountingConfig(max_phase=5, stop_when_all_decided=False)
+        seeds = [40, 41]
+        seq = [
+            run_counting(
+                net_small, cfg, seed=s, adversary=_StraddlingAdversary(), byz_mask=byz
+            )
+            for s in seeds
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfg,
+            adversary_factory=_StraddlingAdversary,
+            byz_mask=byz,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_negative_initial_below_int32_min_widens(self, net_small):
+        byz = placement_for_delta(net_small, 0.5, rng=4)
+        seeds = [45, 46]
+        seq = [
+            run_counting(
+                net_small,
+                self.CFG,
+                seed=s,
+                adversary=_NegativeInitialAdversary(),
+                byz_mask=byz,
+            )
+            for s in seeds
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=self.CFG,
+            adversary_factory=_NegativeInitialAdversary,
+            byz_mask=byz,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+    def test_straddling_with_mixed_placements(self, net_small):
+        masks = _mixed_placements(net_small)
+        cfg = CountingConfig(max_phase=4, stop_when_all_decided=False)
+        seeds = [50, 51, 52]
+        seq = [
+            run_counting(
+                net_small, cfg, seed=s, adversary=_StraddlingAdversary(), byz_mask=m
+            )
+            for s, m in zip(seeds, masks)
+        ]
+        bat = run_counting_batch(
+            net_small,
+            seeds,
+            config=cfg,
+            adversary_factory=_StraddlingAdversary,
+            byz_mask=masks,
+        )
+        for a, b in zip(seq, bat):
+            assert_trial_equal(a, b)
+
+
+class TestRunSweep:
+    """The fused grid API: bit-for-bit per cell, shaped access, sharding."""
+
+    CFG = CountingConfig(max_phase=12)
+
+    def test_grid_matches_scalar_loops(self, net_small):
+        placements = _mixed_placements(net_small)[:2]
+        configs = [self.CFG, self.CFG.with_(eps=0.25)]
+        strategies = ["early-stop", "adaptive-record"]
+        seeds = [60, 61]
+        sweep = run_sweep(
+            net_small,
+            seeds=seeds,
+            configs=configs,
+            placements=placements,
+            strategies=strategies,
+        )
+        assert sweep.shape == (2, 2, 2, 2)
+        assert len(sweep) == 16
+        for cell in sweep:
+            ref = run_counting(
+                net_small,
+                cell.config,
+                seed=cell.seed,
+                adversary=make_adversary(cell.strategy),
+                byz_mask=cell.placement,
+            )
+            assert_trial_equal(ref, cell.result)
+
+    def test_honest_grid_matches_algorithm1(self, net_small):
+        cfgs = [
+            CountingConfig(verification=False, max_phase=12, eps=eps)
+            for eps in (0.1, 0.25)
+        ]
+        sweep = run_sweep(net_small, seeds=[1, 2], configs=cfgs)
+        assert sweep.shape == (1, 1, 2, 2)
+        for cell in sweep:
+            ref = run_counting(net_small, cell.config, seed=cell.seed)
+            assert_trial_equal(ref, cell.result)
+
+    def test_cell_indexing_matches_cells_iteration(self, net_small):
+        placements = _mixed_placements(net_small)[:2]
+        sweep = run_sweep(
+            net_small,
+            seeds=[3, 4],
+            configs=self.CFG,
+            placements=placements,
+            strategies="suppression",
+        )
+        for cell in sweep:
+            picked = sweep.cell(
+                strategy=cell.strategy_index,
+                placement=cell.placement_index,
+                config=cell.config_index,
+                seed=cell.seed_index,
+            )
+            assert picked is cell.result
+
+    def test_seed_batch_aggregates(self, net_small):
+        placements = _mixed_placements(net_small)[:2]
+        seeds = [7, 8, 9]
+        sweep = run_sweep(
+            net_small,
+            seeds=seeds,
+            configs=self.CFG,
+            placements=placements,
+            strategies="early-stop",
+        )
+        batch = sweep.seed_batch(placement=1)
+        assert len(batch) == len(seeds)
+        for b, seed in enumerate(seeds):
+            assert batch[b] is sweep.cell(placement=1, seed=b)
+
+    def test_sharded_equals_serial(self, net_small):
+        placements = _mixed_placements(net_small)[:2]
+        strategies = ["early-stop", "inflation"]
+        seeds = [10, 11]
+        serial = run_sweep(
+            net_small,
+            seeds=seeds,
+            configs=self.CFG,
+            placements=placements,
+            strategies=strategies,
+        )
+        sharded = run_sweep(
+            net_small,
+            seeds=seeds,
+            configs=self.CFG,
+            placements=placements,
+            strategies=strategies,
+            jobs=2,
+            shard_cells=2,
+        )
+        for a, b in zip(serial.results, sharded.results):
+            assert_trial_equal(a, b)
+
+    def test_factory_strategy_spec(self, net_small):
+        mask = placement_for_delta(net_small, 0.5, rng=4)
+        sweep = run_sweep(
+            net_small,
+            seeds=[12],
+            configs=self.CFG,
+            placements=mask,
+            strategies=lambda: make_adversary("combo"),
+        )
+        ref = run_counting(
+            net_small, self.CFG, seed=12, adversary=make_adversary("combo"), byz_mask=mask
+        )
+        assert_trial_equal(ref, sweep.cell())
+
+    def test_empty_seeds_rejected(self, net_small):
+        with pytest.raises(ValueError, match="seed"):
+            run_sweep(net_small, seeds=[])
+
+    def test_none_strategy_with_byz_placement_rejected(self, net_small):
+        mask = placement_for_delta(net_small, 0.5, rng=4)
+        with pytest.raises(ValueError, match="strategy"):
+            run_sweep(net_small, seeds=[1], placements=mask)
+
+    def test_bad_placement_shape_rejected(self, net_small):
+        with pytest.raises(ValueError, match="placements"):
+            run_sweep(
+                net_small,
+                seeds=[1],
+                placements=[np.zeros(net_small.n + 1, dtype=bool)],
+                strategies="honest",
+            )
+
+    def test_liar_counts_sweep_matches_crash_phase(self, net_small):
+        # E11's routing: the engine's pre-phase crash mask must equal a
+        # direct crash_phase call under the same claims.
+        from repro.core import crash_phase
+        from repro.adversary.strategies import TopologyLiarAdversary
+
+        placements = [
+            random_placement(net_small.n, liars, rng=31 + liars) for liars in (1, 2)
+        ]
+        sweep = run_sweep(
+            net_small,
+            seeds=[0],
+            configs=CountingConfig(max_phase=12),
+            placements=placements,
+            strategies="topology-liar",
+        )
+        for p_idx, byz in enumerate(placements):
+            adv = TopologyLiarAdversary()
+            adv.bind(net_small, byz, None, CountingConfig())
+            expected = crash_phase(net_small, byz, adv.topology_claims())
+            assert np.array_equal(sweep.cell(placement=p_idx).crashed, expected)
