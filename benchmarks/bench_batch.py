@@ -16,6 +16,13 @@ one network, in four workloads:
   the fused sweep engine (:func:`repro.core.sweep.run_sweep`, per-trial
   Byzantine masks as batch columns) vs the nested scalar loops the
   experiments used to run;
+* **multi_net** — an E08-shaped size sweep at n in {256, 512, 1024}: the
+  padded multi-network batch (:func:`repro.core.batch.run_counting_multinet`,
+  all sizes as columns of one trials-as-columns state) vs the per-size
+  loop of scalar trials; a secondary ungated entry compares against the
+  per-size *batched* loop (same kernel work, so that ratio hovers near
+  1x — the padded path's wins are the fused grid API and cross-size
+  sharding, not raw per-round arithmetic);
 * **baseline** — the geometric-max estimator, scalar vs trials-as-columns
   batch.
 
@@ -42,7 +49,13 @@ import numpy as np
 
 from repro.adversary import placement_for_delta
 from repro.baselines import run_geometric_max, run_geometric_max_batch
-from repro.core import CountingConfig, make_adversary, run_counting_batch, run_sweep
+from repro.core import (
+    CountingConfig,
+    make_adversary,
+    run_counting_batch,
+    run_counting_multinet,
+    run_sweep,
+)
 from repro.core.runner import run_counting
 from repro.experiments.common import parallel_map
 from repro.graphs import build_small_world
@@ -54,6 +67,7 @@ BYZ_CFG = CountingConfig()
 BYZ_STRATEGIES = ("early-stop", "inflation", "adaptive-record")
 SWEEP_STRATEGIES = BYZ_STRATEGIES
 SWEEP_PLACEMENTS = 4
+MULTI_NS = (256, 512, 1024)
 
 
 def _seeds(trials: int) -> list[int]:
@@ -147,6 +161,30 @@ def run_sweep_fused(
     ).results
 
 
+def _multi_nets(ns=MULTI_NS):
+    return [build_small_world(n, 8, seed=3) for n in ns]
+
+
+def run_multinet_sequential(nets, seeds, config=CFG):
+    """The per-size loop the scaling experiments ran: scalar trials per n."""
+    return [run_counting(net, config=config, seed=s) for net in nets for s in seeds]
+
+
+def run_multinet_batched_loop(nets, seeds, config=CFG):
+    """Per-size loop over the single-network batched engine (PR 1's path)."""
+    out = []
+    for net in nets:
+        out.extend(run_counting_batch(net, seeds, config=config))
+    return out
+
+
+def run_multinet_fused(nets, seeds, config=CFG):
+    """All sizes as columns of ONE padded trials-as-columns batch."""
+    trial_nets = [net for net in nets for _ in seeds]
+    trial_seeds = [s for _ in nets for s in seeds]
+    return list(run_counting_multinet(trial_nets, trial_seeds, config=config))
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -192,6 +230,15 @@ def test_bench_sweep_fused_trials(benchmark):
     assert len(results) == len(SWEEP_STRATEGIES) * len(placements) * len(seeds)
 
 
+def test_bench_multinet_fused_trials(benchmark):
+    nets = _multi_nets()
+    seeds = _seeds(max(2, DEFAULT_TRIALS // len(MULTI_NS)))
+    results = benchmark.pedantic(
+        run_multinet_fused, args=(nets, seeds), rounds=2, iterations=1
+    )
+    assert len(results) == len(nets) * len(seeds)
+
+
 def test_bench_baseline_batched_trials(benchmark):
     net = _net()
     seeds = _seeds(DEFAULT_TRIALS)
@@ -227,6 +274,20 @@ def test_sweep_matches_sequential():
         assert a.meter.as_dict() == b.meter.as_dict()
         assert a.injections_accepted == b.injections_accepted
         assert a.injections_rejected == b.injections_rejected
+
+
+def test_multinet_matches_per_size_runs():
+    """Guard: the padded multi-network batch changes no reported statistic."""
+    nets = [build_small_world(n, 8, seed=3) for n in (128, 256, 512)]
+    seeds = _seeds(4)
+    fused = run_multinet_fused(nets, seeds)
+    seq = run_multinet_sequential(nets, seeds)
+    loop = run_multinet_batched_loop(nets, seeds)
+    for a, b, c in zip(seq, fused, loop):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert np.array_equal(a.decided_phase, c.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+        assert a.meter.as_dict() == c.meter.as_dict()
 
 
 def test_byzantine_batched_matches_sequential():
@@ -395,6 +456,51 @@ def main(argv: list[str] | None = None) -> int:
         trials=cells,
     )
     print(f"{'sweep':<28}{t_seq * 1e3:>8.1f}ms{t_bat * 1e3:>8.1f}ms{sp:>9.2f}x")
+
+    # --- multi-network fused sweep (padded size axis) -----------------
+    multi_nets = _multi_nets()
+    multi_seeds = _seeds(args.trials)
+    multi_cells = len(multi_nets) * len(multi_seeds)
+    run_multinet_fused(multi_nets, multi_seeds[: min(4, len(multi_seeds))])  # warm
+    t_seq, seq = _time_best(
+        run_multinet_sequential, multi_nets, multi_seeds, repeats=args.repeats
+    )
+    t_loop, loop = _time_best(
+        run_multinet_batched_loop, multi_nets, multi_seeds, repeats=args.repeats
+    )
+    t_bat, bat = _time_best(
+        run_multinet_fused, multi_nets, multi_seeds, repeats=args.repeats
+    )
+    for a, b, c in zip(seq, bat, loop):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert np.array_equal(a.decided_phase, c.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+        assert a.meter.as_dict() == c.meter.as_dict()
+    sp = record(
+        "multi_net",
+        t_seq,
+        t_bat,
+        {"ns": list(MULTI_NS), "seeds_per_n": len(multi_seeds), "cells": multi_cells},
+        trials=multi_cells,
+    )
+    print(f"{'multi_net':<28}{t_seq * 1e3:>8.1f}ms{t_bat * 1e3:>8.1f}ms{sp:>9.2f}x")
+    # Secondary, ungated: fused vs the per-size *batched* loop.  The
+    # kernel work is identical, so this ratio sits near 1x — recorded to
+    # keep the padding overhead visible in the trajectory.
+    trajectory.append(
+        {
+            "workload": "multi_net-vs-batched-loop",
+            "mode": "informational",
+            "batched_loop_s": t_loop,
+            "fused_s": t_bat,
+            "speedup": t_loop / t_bat,
+            "ns": list(MULTI_NS),
+        }
+    )
+    print(
+        f"{'multi_net-vs-batched-loop':<28}{t_loop * 1e3:>8.1f}ms"
+        f"{t_bat * 1e3:>8.1f}ms{t_loop / t_bat:>9.2f}x"
+    )
 
     # --- baseline estimator (geometric-max) ---------------------------
     t_seq, seq = _time_best(

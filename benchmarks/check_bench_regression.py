@@ -3,7 +3,12 @@
 Compares a freshly generated ``BENCH_batch.json`` against the committed
 trajectory and fails when any workload's batched-vs-sequential *speedup*
 drops by more than ``--threshold`` (default 30%), or when a committed
-workload disappeared from the fresh run.  Speedup is the dimensionless
+workload disappeared from the fresh run.  Workload mismatches in the
+*other* direction — a fresh entry with no committed counterpart, which
+happens on every branch that adds a benchmark before its trajectory is
+committed — are reported as warnings, never errors; malformed entries
+(missing ``workload``) are skipped with a warning on either side rather
+than raising.  Speedup is the dimensionless
 per-workload throughput ratio, so it transfers across machines far better
 than absolute trials/s — but it is still noisy on shared CI runners, so
 the CI invocation passes ``--soft`` (regressions become warnings, exit 0)
@@ -49,9 +54,26 @@ def compare(
                 "skipping the per-workload comparison"
             )
             return regressions, warnings
-    fresh_by_name = {e["workload"]: e for e in fresh.get("trajectory", [])}
+    fresh_by_name = {}
+    for e in fresh.get("trajectory", []):
+        name = e.get("workload")
+        if name is None:
+            warnings.append(f"fresh trajectory entry without a workload name: {e!r}")
+            continue
+        fresh_by_name[name] = e
+    baseline_names = set()
     for entry in baseline.get("trajectory", []):
-        name = entry["workload"]
+        name = entry.get("workload")
+        if name is None:
+            warnings.append(
+                f"baseline trajectory entry without a workload name: {entry!r}"
+            )
+            continue
+        baseline_names.add(name)
+        if entry.get("mode") == "informational":
+            # Recorded for trajectory visibility only (e.g. near-parity
+            # comparisons whose ratio is machine noise) — never gated.
+            continue
         base_speedup = entry.get("speedup")
         if base_speedup is None:
             continue
@@ -66,6 +88,14 @@ def compare(
                 f"{name}: speedup {got if got is None else f'{got:.2f}'}x fell "
                 f"below {floor:.2f}x (baseline {base_speedup:.2f}x minus "
                 f"{threshold:.0%} tolerance)"
+            )
+    for name in fresh_by_name:
+        # The reverse direction: a fresh workload the baseline has never
+        # seen is informational (it becomes gated once committed).
+        if name not in baseline_names:
+            warnings.append(
+                f"workload {name!r} present in fresh trajectory but not in the "
+                "committed baseline; commit an updated BENCH_batch.json to gate it"
             )
     return regressions, warnings
 
@@ -100,7 +130,7 @@ def main(argv: list[str] | None = None) -> int:
     for line in warnings:
         _emit("warning", line)
     if not regressions:
-        if warnings:
+        if any(w.startswith("scale mismatch") for w in warnings):
             print("bench regression gate: SKIPPED (scale mismatch, nothing compared)")
         else:
             checked = len(baseline.get("trajectory", []))

@@ -22,7 +22,9 @@ from .core import (
     practical_band,
     run_basic_counting,
     run_byzantine_counting,
+    run_multi_sweep,
     run_sweep,
+    MultiSweepResult,
     SweepResult,
 )
 from .graphs import SmallWorldNetwork, build_small_world, generate_hgraph
@@ -40,7 +42,9 @@ __all__ = [
     "run_basic_counting",
     "run_byzantine_counting",
     "run_sweep",
+    "run_multi_sweep",
     "SweepResult",
+    "MultiSweepResult",
     "build_small_world",
     "generate_hgraph",
     "SmallWorldNetwork",

@@ -26,12 +26,14 @@ from .geometric_max import (
     GeometricMaxResult,
     run_geometric_max,
     run_geometric_max_batch,
+    run_geometric_max_multinet,
 )
 
 __all__ = [
     "GeometricMaxResult",
     "run_geometric_max",
     "run_geometric_max_batch",
+    "run_geometric_max_multinet",
     "ExponentialSupportResult",
     "run_exponential_support",
     "run_exponential_support_batch",

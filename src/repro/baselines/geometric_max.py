@@ -22,11 +22,16 @@ import numpy as np
 
 from ._common import byz_array, check_attack
 from ..core.colors import sample_colors
-from ..sim.flood import FloodKernel
+from ..sim.flood import FloodKernel, MultiFloodKernel
 from ..sim.metrics import MessageMeter
 from ..sim.rng import make_rng
 
-__all__ = ["GeometricMaxResult", "run_geometric_max", "run_geometric_max_batch"]
+__all__ = [
+    "GeometricMaxResult",
+    "run_geometric_max",
+    "run_geometric_max_batch",
+    "run_geometric_max_multinet",
+]
 
 ATTACKS = (None, "fake-max", "suppress")
 
@@ -198,4 +203,116 @@ def run_geometric_max_batch(
             ),
         )
         for j in range(batch)
+    ]
+
+
+def run_geometric_max_multinet(
+    networks,
+    seeds: Sequence[int | np.random.Generator | None],
+    *,
+    byz_masks: Sequence[np.ndarray | None] | None = None,
+    attack: str | None = None,
+    fake_value: int | None = None,
+    rounds: int | None = None,
+) -> list[list[GeometricMaxResult]]:
+    """The (network x seed) grid of the baseline as one padded batch.
+
+    The network-axis extension of :func:`run_geometric_max_batch`: every
+    (network, seed) cell becomes one column of a single padded
+    ``(n_pad, B)`` trials-as-columns matrix — networks of different sizes
+    included — and floods through the masked
+    :class:`~repro.sim.flood.MultiFloodKernel` (padding rows stay zero and
+    never win a max).  Per-column round/message accounting freezes at each
+    column's own saturation round (or its own ``4 n`` guard / shared
+    ``rounds`` override), so ``result[g][j]`` is bit-for-bit equal to
+    ``run_geometric_max(networks[g], seed=seeds[j], ...)``.
+
+    ``byz_masks`` gives one ``(n_g,)`` placement per network (or None);
+    required (somewhere non-empty) when ``attack`` is set.
+    """
+    check_attack(attack, ATTACKS)
+    networks = list(networks)
+    seeds = list(seeds)
+    n_nets, reps = len(networks), len(seeds)
+    batch = n_nets * reps
+    if byz_masks is None:
+        byz_masks = [None] * n_nets
+    byz_list = [byz_array(net.n, m) for net, m in zip(networks, byz_masks)]
+    if attack is not None and not any(m.any() for m in byz_list):
+        raise ValueError(f"attack {attack!r} requires at least one Byzantine node")
+    if batch == 0:
+        return [[] for _ in networks]
+
+    mkernel = MultiFloodKernel(networks)
+    n_pad = mkernel.n_pad
+    d = networks[0].d
+    col_net = np.repeat(np.arange(n_nets, dtype=np.int64), reps)
+    plan = mkernel.column_plan(col_net)
+    n_act = np.asarray([networks[g].n for g in col_net], dtype=np.int64)
+    true_log2 = np.asarray([np.log2(net.n) for net in networks])
+
+    colors = np.zeros((n_pad, batch), dtype=np.int64)
+    for g, net in enumerate(networks):
+        for j, seed in enumerate(seeds):
+            colors[: net.n, g * reps + j] = sample_colors(make_rng(seed), net.n)
+    suppress_rows = None
+    if attack == "fake-max":
+        for g, net in enumerate(networks):
+            value = fake_value if fake_value is not None else int(10 * true_log2[g])
+            colors[: net.n][byz_list[g], g * reps : (g + 1) * reps] = value
+    elif attack == "suppress":
+        suppress_rows = np.zeros((n_pad, batch), dtype=bool)
+        for g, net in enumerate(networks):
+            cols = slice(g * reps, (g + 1) * reps)
+            colors[: net.n][byz_list[g], cols] = 0
+            suppress_rows[: net.n, cols] = byz_list[g][:, None]
+
+    cur = colors
+    changes = np.zeros((n_pad, batch), dtype=np.int64)
+    executed = np.zeros(batch, dtype=np.int64)
+    messages = np.zeros(batch, dtype=np.int64)
+    active = np.ones(batch, dtype=bool)
+    # Per-column saturation guard: each column honors its *own* network's
+    # ``4 n`` limit (flooding saturates within the diameter, far earlier).
+    if rounds is not None:
+        limit_vec = np.full(batch, int(rounds), dtype=np.int64)
+    else:
+        limit_vec = 4 * n_act
+    for r in range(1, int(limit_vec.max()) + 1):
+        active &= r <= limit_vec
+        if not active.any():
+            break
+        sent = cur.copy()
+        if suppress_rows is not None:
+            sent[suppress_rows] = 0
+        recv = mkernel.neighbor_max_stacked(sent, plan)
+        nxt = np.maximum(cur, recv)
+        executed[active] += 1
+        # Padding rows are identically 0, so full-column counts equal
+        # live-prefix counts.
+        senders = np.count_nonzero(sent, axis=0)
+        messages[active] += senders[active] * d
+        changed = (nxt > cur) & active[None, :]
+        changes += changed
+        if rounds is None:
+            active &= changed.any(axis=0)
+        # Frozen columns keep their state (their loop already ended).
+        cur = np.where(active[None, :], nxt, cur)
+    return [
+        [
+            GeometricMaxResult(
+                estimates=cur[: networks[g].n, g * reps + j].astype(np.float64),
+                true_log2_n=float(true_log2[g]),
+                rounds=int(executed[g * reps + j]),
+                max_distinct_forwards=int(changes[: networks[g].n, g * reps + j].max())
+                + 1,
+                byz=byz_list[g],
+                meter=MessageMeter(
+                    rounds=int(executed[g * reps + j]),
+                    messages=int(messages[g * reps + j]),
+                ),
+            )
+            for j in range(reps)
+        ]
+        for g in range(n_nets)
     ]

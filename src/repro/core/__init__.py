@@ -1,7 +1,7 @@
 """The paper's primary contribution: Byzantine counting (Algorithms 1 & 2)."""
 
 from .basic_counting import run_basic_counting
-from .batch import run_counting_batch
+from .batch import run_counting_batch, run_counting_multinet
 from .byzantine_counting import run_byzantine_counting
 from .colors import (
     color_pmf,
@@ -39,15 +39,24 @@ from .phases import (
 )
 from .results import UNDECIDED, BatchCountingResult, CountingResult
 from .runner import run_counting
-from .sweep import SweepCell, SweepResult, run_sweep
+from .sweep import (
+    MultiSweepResult,
+    SweepCell,
+    SweepResult,
+    run_multi_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "run_basic_counting",
     "run_byzantine_counting",
     "run_counting",
     "run_counting_batch",
+    "run_counting_multinet",
     "run_sweep",
+    "run_multi_sweep",
     "SweepResult",
+    "MultiSweepResult",
     "SweepCell",
     "CountingConfig",
     "CountingResult",

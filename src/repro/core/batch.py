@@ -69,6 +69,26 @@ unbounded values, and every built-in strategy stays far below the boundary,
 so Byzantine sweeps normally run the narrow, cache-friendlier state end to
 end.  Widening is exact: it happens before the plan is applied, and integer
 max-flooding produces identical values in either dtype.
+
+Network-axis batching
+---------------------
+:func:`run_counting_multinet` extends the batch across the *network* axis:
+each trial carries its own network, and trials on different graphs — even
+of different sizes — fuse into one padded trials-as-columns batch.  State
+is padded to the largest ``n`` with a per-trial active-length vector; the
+flooding rounds dispatch through
+:class:`~repro.sim.flood.MultiFloodKernel`, whose masked reduction keeps
+padding rows identically zero (they can never win a max), and decided
+bookkeeping, crash masks, and witness metering apply only over each
+column's live prefix.  The phase/subphase/round *schedule* depends only on
+``(phase, eps, d)``, so one fused loop drives every size — which is why a
+multi-network batch requires a homogeneous degree ``d`` (validated
+eagerly).  Byzantine trials sub-group by (network, placement): each group's
+adversary binds to its own graph and plans its own columns, while the
+flooding stays fused.  Bit-for-bit equal to per-network
+:func:`run_counting_batch` calls per trial, enforced by
+``tests/integration/test_engine_equivalence.py`` and the hypothesis ragged
+-padding properties in ``tests/property/test_padding_properties.py``.
 """
 
 from __future__ import annotations
@@ -85,7 +105,7 @@ from ..adversary.base import (
     has_native_batch,
 )
 from ..analysis.bounds import ball_size_bound
-from ..sim.flood import FloodKernel
+from ..sim.flood import FloodKernel, MultiFloodKernel
 from ..sim.metrics import MeterBatch, PhaseRecord, PhaseTrace
 from ..sim.rng import make_rng, spawn
 from .colors import sample_colors
@@ -94,7 +114,7 @@ from .neighborhood import crash_phase
 from .phases import color_threshold, subphase_count
 from .results import UNDECIDED, BatchCountingResult, CountingResult
 
-__all__ = ["run_counting_batch"]
+__all__ = ["run_counting_batch", "run_counting_multinet"]
 
 #: Boundaries of the narrow adversarial state: plans whose values fit
 #: [INT32_MIN, INT32_MAX] run the subphase in int32; the first plan outside
@@ -929,3 +949,731 @@ def _run_byzantine_batched_group(
         )
         for b in range(batch)
     ]
+
+
+# ----------------------------------------------------------------------
+# Network-axis batching (padded multi-network trials-as-columns)
+# ----------------------------------------------------------------------
+
+
+def run_counting_multinet(
+    networks: Sequence,
+    seeds: Sequence[int | np.random.Generator | None],
+    config: CountingConfig | Sequence[CountingConfig] | None = None,
+    adversary_factory: Callable[[], Adversary] | None = None,
+    byz_mask: Sequence[np.ndarray | None] | None = None,
+) -> BatchCountingResult:
+    """Run independent counting trials on *per-trial networks*, batched.
+
+    The network-axis extension of :func:`run_counting_batch`: trial ``i``
+    runs on ``networks[i]``, and trials on different graphs — including
+    graphs of different sizes — fuse into one padded trials-as-columns
+    batch (see the module docstring's network-axis section).  Every trial
+    is bit-for-bit equal to the per-network ``run_counting_batch`` /
+    sequential ``run_counting`` call it replaces.
+
+    Parameters
+    ----------
+    networks:
+        One network per trial (``len(networks) == len(seeds)``); repeats
+        of the same object share one kernel.  All networks must have the
+        same degree ``d`` — the phase schedule is ``d``-dependent, so
+        heterogeneous degrees cannot share a fused round loop.
+    seeds, config, adversary_factory:
+        As in :func:`run_counting_batch`.
+    byz_mask:
+        ``None`` (no Byzantine nodes) or a length-``B`` sequence with one
+        entry per trial: an ``(n_i,)`` mask over *that trial's* network,
+        or ``None`` for an empty placement.  A shared ``(n,)`` mask is
+        meaningless across sizes and therefore not accepted here.
+    """
+    networks = list(networks)
+    seeds = list(seeds)
+    batch = len(seeds)
+    if len(networks) != batch:
+        raise ValueError(
+            f"got {len(networks)} networks for {batch} seeds; provide one "
+            "network per trial"
+        )
+    if batch == 0:
+        return BatchCountingResult([])
+
+    nets: list = []
+    net_pos: dict[int, int] = {}
+    net_of = np.empty(batch, dtype=np.int64)
+    for i, net in enumerate(networks):
+        pos = net_pos.get(id(net))
+        if pos is None:
+            pos = len(nets)
+            net_pos[id(net)] = pos
+            nets.append(net)
+        net_of[i] = pos
+    degrees = {int(net.d) for net in nets}
+    if len(degrees) > 1:
+        raise ValueError(
+            "all networks in one multi-network batch must share the degree d "
+            f"(the phase schedule is d-dependent); got d in {sorted(degrees)}"
+        )
+    sizes = [int(net.n) for net in nets]
+
+    masks = _normalize_multinet_masks(byz_mask, batch, net_of, sizes)
+    if adversary_factory is None and masks is not None:
+        if any(m.any() for m in masks):
+            raise ValueError("byz_mask given without an adversary_factory")
+        masks = None
+
+    if len(nets) == 1:
+        # One distinct graph: the single-network engine is this exact
+        # computation without padding.
+        return run_counting_batch(
+            nets[0],
+            seeds,
+            config=config,
+            adversary_factory=adversary_factory,
+            byz_mask=masks,
+        )
+
+    configs = _normalize_configs(config, batch)
+    results: list[CountingResult | None] = [None] * batch
+    for cfg, trial_ids in _group_by_config(configs).items():
+        if adversary_factory is not None:
+            group_masks = (
+                [np.zeros(sizes[int(net_of[i])], dtype=bool) for i in trial_ids]
+                if masks is None
+                else [masks[i] for i in trial_ids]
+            )
+            # Network-major, placement-second ordering keeps each
+            # (network, placement) sub-group's columns contiguous.
+            order = sorted(
+                range(len(trial_ids)),
+                key=lambda j: (int(net_of[trial_ids[j]]), group_masks[j].tobytes()),
+            )
+            ids = [trial_ids[j] for j in order]
+            group = _run_multinet_byzantine_group(
+                nets,
+                net_of[ids],
+                [seeds[i] for i in ids],
+                cfg,
+                adversary_factory,
+                [group_masks[j] for j in order],
+            )
+        else:
+            order = sorted(
+                range(len(trial_ids)), key=lambda j: int(net_of[trial_ids[j]])
+            )
+            ids = [trial_ids[j] for j in order]
+            group = _run_multinet_group(
+                nets, net_of[ids], [seeds[i] for i in ids], cfg
+            )
+        for i, res in zip(ids, group):
+            results[i] = res
+    return BatchCountingResult(results)  # type: ignore[arg-type]
+
+
+def _normalize_multinet_masks(
+    byz_mask, batch: int, net_of: np.ndarray, sizes: list[int]
+) -> list[np.ndarray] | None:
+    """Normalize per-trial multi-network masks (each over its own ``n_i``)."""
+    if byz_mask is None:
+        return None
+    if isinstance(byz_mask, np.ndarray) and byz_mask.ndim == 1:
+        raise ValueError(
+            "a single shared mask cannot span a multi-network batch; provide "
+            "one (n_i,) mask (or None) per trial"
+        )
+    masks_in = list(byz_mask)
+    if len(masks_in) != batch:
+        raise ValueError(
+            f"got {len(masks_in)} placement masks for {batch} seeds; provide "
+            "one (n_i,) mask (or None) per trial"
+        )
+    masks = []
+    for i, m in enumerate(masks_in):
+        n_i = sizes[int(net_of[i])]
+        if m is None:
+            masks.append(np.zeros(n_i, dtype=bool))
+            continue
+        arr = np.asarray(m, dtype=bool)
+        if arr.shape != (n_i,):
+            raise ValueError(
+                f"trial {i}'s placement mask must have shape ({n_i},) to match "
+                f"its network, got {arr.shape}"
+            )
+        masks.append(arr)
+    return masks
+
+
+def _active_rows(net_of: np.ndarray, sizes: list[int], n_pad: int) -> tuple:
+    """Per-trial active lengths and the ``(B, n_pad)`` live-prefix mask."""
+    n_act = np.asarray([sizes[int(g)] for g in net_of], dtype=np.int64)
+    act_bn = np.arange(n_pad)[None, :] < n_act[:, None]
+    return n_act, act_bn
+
+
+def _run_multinet_group(
+    nets: list, net_of: np.ndarray, seeds: list, config: CountingConfig
+) -> list[CountingResult]:
+    """Padded multi-network Algorithm 1: one config, ``B`` (network, seed)
+    trials as columns.
+
+    Mirrors :func:`_run_batched_group` with state padded to the largest
+    ``n``: a per-trial active-length vector restricts decided counting,
+    color draws, and saturation/message accounting to each column's live
+    prefix, and the flooding rounds dispatch through
+    :class:`~repro.sim.flood.MultiFloodKernel`, which zeroes padding rows
+    so they never win a max.  Bit-for-bit equal to per-network batched
+    (hence sequential) runs.
+    """
+    d = nets[0].d
+    batch = len(seeds)
+    sizes = [int(net.n) for net in nets]
+    n_pad = max(sizes)
+    n_act, act_bn = _active_rows(net_of, sizes, n_pad)
+
+    color_rngs = []
+    for seed in seeds:
+        root = make_rng(seed)
+        color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
+        color_rngs.append(color_rng)
+
+    mkernel = MultiFloodKernel(nets)
+    decided = np.full((batch, n_pad), UNDECIDED, dtype=np.int64)
+    meters = MeterBatch(batch)
+    traces = [PhaseTrace() for _ in range(batch)]
+    alive = np.ones(batch, dtype=bool)
+
+    for phase in range(1, config.max_phase + 1):
+        undecided_all = act_bn & (decided == UNDECIDED)
+        active_before = undecided_all.sum(axis=1)
+        if config.stop_when_all_decided:
+            alive &= active_before > 0
+        if not alive.any():
+            break
+        live = np.flatnonzero(alive)
+        b_live = live.shape[0]
+        n_sub = subphase_count(
+            phase, config.eps, d, config.alpha_variant, config.subphase_multiplier
+        )
+        threshold = color_threshold(phase, d)
+        und = undecided_all[live]
+        counts = active_before[live]
+        n_act_live = n_act[live]
+        all_undecided = counts == n_act_live
+        thr_floor = int(np.floor(threshold))
+        plan = mkernel.column_plan(net_of[live])
+
+        phase_draws = []
+        for row, trial in enumerate(live):
+            count = int(counts[row])
+            if count:
+                draws = sample_colors(color_rngs[trial], n_sub * count)
+                phase_draws.append(draws.reshape(n_sub, count))
+            else:
+                phase_draws.append(None)
+
+        colors_bn = np.zeros((b_live, n_pad), dtype=np.int32)
+        cur_t = np.empty((n_pad, b_live), dtype=np.int32)
+        prev_t = np.zeros((n_pad, b_live), dtype=np.int32)
+        recv_t = np.empty((n_pad, b_live), dtype=np.int32)
+        k_last_t = np.empty((n_pad, b_live), dtype=np.int32)
+        flag_continue = np.zeros((n_pad, b_live), dtype=bool)
+        senders = np.zeros(b_live, dtype=np.int64)
+
+        for sub in range(n_sub):
+            for row, trial in enumerate(live):
+                draws = phase_draws[row]
+                if draws is None:
+                    continue
+                if all_undecided[row]:
+                    # The whole live prefix draws; padding stays 0.
+                    colors_bn[row, : int(n_act_live[row])] = draws[sub]
+                else:
+                    colors_bn[row, und[row]] = draws[sub]
+            np.copyto(cur_t, colors_bn.T)
+
+            senders.fill(0)
+            saturated = False
+            for t in range(1, phase + 1):
+                if config.count_messages:
+                    if saturated:
+                        senders += n_act_live
+                    else:
+                        # Padding rows are identically 0, so a full-column
+                        # nonzero count equals the live-prefix count.
+                        nonzero = np.count_nonzero(cur_t, axis=0)
+                        senders += nonzero
+                        saturated = bool((nonzero == n_act_live).all())
+                if t == phase:
+                    mkernel.neighbor_max_stacked(cur_t, plan, out=k_last_t)
+                elif t == phase - 1:
+                    mkernel.neighbor_max_stacked(cur_t, plan, out=prev_t)
+                    np.maximum(cur_t, prev_t, out=cur_t)
+                else:
+                    mkernel.neighbor_max_stacked(cur_t, plan, out=recv_t)
+                    np.maximum(cur_t, recv_t, out=cur_t)
+            if config.count_messages:
+                meters.add_messages(live, senders * d)
+            np.logical_or(
+                flag_continue,
+                (k_last_t > prev_t) & (k_last_t > thr_floor),
+                out=flag_continue,
+            )
+        meters.add_rounds(live, n_sub * phase)
+
+        newly = und & ~flag_continue.T
+        rows = decided[live]
+        rows[newly] = phase
+        decided[live] = rows
+        if config.record_phase_trace:
+            newly_counts = newly.sum(axis=1)
+            for row, trial in enumerate(live):
+                traces[trial].append(
+                    PhaseRecord(
+                        phase=phase,
+                        subphases=n_sub,
+                        flooding_rounds=n_sub * phase,
+                        newly_decided=int(newly_counts[row]),
+                        active_before=int(counts[row]),
+                        injections_accepted=0,
+                        injections_rejected=0,
+                    )
+                )
+        if config.stop_when_all_decided and not (
+            act_bn & (decided == UNDECIDED)
+        ).any():
+            break
+
+    out = []
+    for b in range(batch):
+        net = nets[int(net_of[b])]
+        n_b = int(n_act[b])
+        out.append(
+            CountingResult(
+                n=n_b,
+                d=d,
+                k=net.k,
+                decided_phase=decided[b, :n_b].copy(),
+                crashed=np.zeros(n_b, dtype=bool),
+                byz=np.zeros(n_b, dtype=bool),
+                meter=meters.meter(b),
+                trace=traces[b],
+                injections_accepted=0,
+                injections_rejected=0,
+            )
+        )
+    return out
+
+
+class _NetPlacementGroup(_PlacementGroup):
+    """A :class:`_PlacementGroup` bound to its own network in a
+    multi-network batch (carries the graph and its ``(n, k)``)."""
+
+    __slots__ = ("network", "n", "k")
+
+    def __init__(self, trials, byz, adversary, network):
+        super().__init__(trials, byz, adversary)
+        self.network = network
+        self.n = int(network.n)
+        self.k = int(network.k)
+
+
+def _multinet_placement_groups(
+    adversary_factory, nets: list, net_of: np.ndarray, masks: list[np.ndarray]
+) -> list[_NetPlacementGroup]:
+    """Sub-group trials by (network, placement), one bound adversary each."""
+    group_map: dict[tuple[int, bytes], list[int]] = {}
+    for j in range(len(masks)):
+        group_map.setdefault(
+            (int(net_of[j]), masks[j].tobytes()), []
+        ).append(j)
+    if len(group_map) > 1 and isinstance(adversary_factory, Adversary):
+        raise ValueError(
+            "a shared adversary instance cannot drive trials with different "
+            "networks or Byzantine placements (binding is per placement); "
+            "pass a zero-argument adversary factory instead"
+        )
+    groups = []
+    for (g, _), idxs in group_map.items():
+        trials = np.asarray(idxs, dtype=np.int64)
+        byz = np.ascontiguousarray(masks[idxs[0]])
+        groups.append(
+            _NetPlacementGroup(
+                trials, byz, _batch_adversary(adversary_factory, len(idxs)), nets[g]
+            )
+        )
+    return groups
+
+
+def _col_block(mat: np.ndarray, sel: np.ndarray, n_rows: int) -> np.ndarray:
+    """``mat[:n_rows, sel]`` — a view when ``sel`` is one contiguous run."""
+    if sel.shape[0] and int(sel[-1]) - int(sel[0]) + 1 == sel.shape[0]:
+        return mat[:n_rows, int(sel[0]) : int(sel[-1]) + 1]
+    return mat[:n_rows][:, sel]
+
+
+def _run_multinet_byzantine_group(
+    nets: list,
+    net_of: np.ndarray,
+    seeds: list,
+    config: CountingConfig,
+    adversary_factory,
+    masks: list[np.ndarray],
+) -> list[CountingResult]:
+    """Padded multi-network Algorithm 2: one config, per-trial networks and
+    placements.
+
+    Mirrors :func:`_run_byzantine_batched_group` on a padded
+    ``(n_pad, B)`` state: trials sub-group by (network, placement) — each
+    group's adversary binds to its own graph, simulates its own pre-phase
+    crashes, and plans only its own columns — while the flooding rounds
+    stay fused through the masked multi-network kernel.  Per-trial
+    ``(n_i, k_i)`` drive the Lemma 16 gate and the witness-traffic cap, so
+    crash masks, the injection gate, and witness metering all apply over
+    each column's live prefix only.  Bit-for-bit equal to per-network
+    batched (hence sequential) runs.
+    """
+    d = nets[0].d
+    batch = len(seeds)
+    sizes = [int(net.n) for net in nets]
+    n_pad = max(sizes)
+    n_act, act_bn = _active_rows(net_of, sizes, n_pad)
+    k_vec = np.asarray([nets[int(g)].k for g in net_of], dtype=np.int64)
+    witness_cap = np.asarray(
+        [
+            min(ball_size_bound(d, nets[int(g)].k, 1), sizes[int(g)], 64)
+            for g in net_of
+        ],
+        dtype=np.int64,
+    )
+
+    color_rngs, adv_rngs = [], []
+    for seed in seeds:
+        root = make_rng(seed)
+        color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
+        color_rngs.append(color_rng)
+        adv_rngs.append(adv_rng)
+
+    groups = _multinet_placement_groups(adversary_factory, nets, net_of, masks)
+    meters = MeterBatch(batch)
+    traces = [PhaseTrace() for _ in range(batch)]
+    byz_bn = np.zeros((batch, n_pad), dtype=bool)
+    crashed_bn = np.zeros((batch, n_pad), dtype=bool)
+    for j, mask in enumerate(masks):
+        byz_bn[j, : mask.shape[0]] = mask
+
+    for g in groups:
+        g.adversary.bind_batch(
+            g.network, g.byz, [adv_rngs[int(t)] for t in g.trials], config
+        )
+    if config.verification:
+        for g in groups:
+            claims_list = g.adversary.batch_topology_claims()
+            if len(claims_list) != g.trials.shape[0]:
+                raise ValueError(
+                    f"batch_topology_claims returned {len(claims_list)} claim "
+                    f"sets for {g.trials.shape[0]} trials"
+                )
+            by_id: dict[int, np.ndarray] = {}
+            cache: dict[tuple, np.ndarray] = {}
+            for local, trial in enumerate(g.trials):
+                claims = claims_list[local]
+                crashed = by_id.get(id(claims))
+                if crashed is None:
+                    key = _claims_signature(claims)
+                    crashed = cache.get(key)
+                    if crashed is None:
+                        crashed = crash_phase(g.network, g.byz, claims)
+                        cache[key] = crashed
+                    by_id[id(claims)] = crashed
+                crashed_bn[trial, : g.n] = crashed
+        all_trials = np.arange(batch)
+        meters.add_rounds(all_trials, 2)
+        if config.count_messages:
+            # Pre-phase claim broadcasts cost each trial its own network's
+            # port total (d-entry claims on every G edge).
+            ports = np.asarray(
+                [int(nets[int(g_)].g_indptr[-1]) for g_ in net_of], dtype=np.int64
+            )
+            meters.add_messages(all_trials, ports, ids_each=d)
+
+    mkernel = MultiFloodKernel(nets)
+    decided = np.full((batch, n_pad), UNDECIDED, dtype=np.int64)
+    honest_uncrashed = act_bn & ~byz_bn & ~crashed_bn
+    alive = np.ones(batch, dtype=bool)
+    inj_acc = np.zeros(batch, dtype=np.int64)
+    inj_rej = np.zeros(batch, dtype=np.int64)
+    round_cost = 1 + (config.verification_round_cost if config.verification else 0)
+    state_dtype: type = np.int32
+
+    for phase in range(1, config.max_phase + 1):
+        undecided_all = honest_uncrashed & (decided == UNDECIDED)
+        active_before = undecided_all.sum(axis=1)
+        if config.stop_when_all_decided:
+            alive &= active_before > 0
+        if not alive.any():
+            break
+        live = np.flatnonzero(alive)
+        b_live = live.shape[0]
+        n_sub = subphase_count(
+            phase, config.eps, d, config.alpha_variant, config.subphase_multiplier
+        )
+        threshold = color_threshold(phase, d)
+        und = undecided_all[live]
+        counts = active_before[live]
+        k_live = k_vec[live]
+        plan = mkernel.column_plan(net_of[live])
+
+        live_pos = np.full(batch, -1, dtype=np.int64)
+        live_pos[live] = np.arange(b_live)
+        for g in groups:
+            pos = live_pos[g.trials]
+            keep = pos >= 0
+            g.alive_local = np.flatnonzero(keep)
+            g.sel = pos[keep]
+            g.full = g.sel.shape[0] == b_live
+
+        phase_draws = []
+        for row, trial in enumerate(live):
+            count = int(counts[row])
+            if count:
+                draws = sample_colors(color_rngs[trial], n_sub * count)
+                phase_draws.append(draws.reshape(n_sub, count))
+            else:
+                phase_draws.append(None)
+
+        crashed_nb = np.ascontiguousarray(crashed_bn[live].T)
+        any_crash = bool(crashed_nb.any())
+        decided_nb = np.ascontiguousarray(decided[live].T)
+        colors = np.zeros((n_pad, b_live), dtype=state_dtype)
+        cur = np.empty((n_pad, b_live), dtype=state_dtype)
+        sent = np.empty((n_pad, b_live), dtype=state_dtype)
+        prev_kt = np.empty((n_pad, b_live), dtype=state_dtype)
+        recv = np.empty((n_pad, b_live), dtype=state_dtype)
+        k_last = np.empty((n_pad, b_live), dtype=state_dtype)
+        flag_continue = np.zeros((n_pad, b_live), dtype=bool)
+        phase_inj_acc = np.zeros(b_live, dtype=np.int64)
+        phase_inj_rej = np.zeros(b_live, dtype=np.int64)
+        msg_senders = np.zeros(b_live, dtype=np.int64)
+        msg_records = np.zeros(b_live, dtype=np.int64)
+        live_rngs = tuple(adv_rngs[t] for t in live)
+        for g in groups:
+            if g.full and g.n == n_pad:
+                g.dec_cols, g.crash_cols, g.rng_cols = decided_nb, crashed_nb, live_rngs
+            else:
+                g.dec_cols = _col_block(decided_nb, g.sel, g.n)
+                g.crash_cols = _col_block(crashed_nb, g.sel, g.n)
+                g.rng_cols = (
+                    live_rngs
+                    if g.full
+                    else tuple(live_rngs[int(c)] for c in g.sel)
+                )
+
+        for sub in range(1, n_sub + 1):
+            # --- draw colors (undecided honest nodes only) ---------------
+            colors.fill(0)
+            for row, trial in enumerate(live):
+                draws = phase_draws[row]
+                if draws is not None:
+                    colors[und[row], row] = draws[sub - 1]
+
+            # --- per-group adversary plans, merged to batch form ---------
+            initial_apps: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+            counts_by_round: dict[int, np.ndarray] = {}
+            groups_by_round: dict[int, list] = {}
+            suppress_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+            suppressed_inj: dict[int, dict[int, list[Injection]]] = {}
+            plan_max = 0
+            plan_min = 0
+            for g in groups:
+                if g.byz_nodes.size == 0 or g.sel.shape[0] == 0:
+                    continue
+                sel = g.sel
+                g_colors = _col_block(colors, sel, g.n)[g.honest_nodes]
+                state = BatchSubphaseState(
+                    phase=phase,
+                    subphase=sub,
+                    rounds=phase,
+                    k=g.k,
+                    network=g.network,
+                    byz_nodes=g.byz_nodes,
+                    trials=g.alive_local,
+                    honest_colors=g_colors,
+                    decided_phase=g.dec_cols,
+                    crashed=g.crash_cols,
+                    rngs=g.rng_cols,
+                )
+                plan_g = g.adversary.batch_subphase_plan(state)
+                (
+                    initial_g,
+                    inj_rounds_g,
+                    counts_g,
+                    groups_g,
+                    relay_g,
+                ) = _normalize_batch_plan(plan_g, g.byz_nodes.shape[0], sel.shape[0])
+                checked: set[int] = set()
+                for by_round in inj_rounds_g:
+                    for injs in by_round.values():
+                        for inj in injs:
+                            if id(inj.nodes) not in checked:
+                                checked.add(id(inj.nodes))
+                                inj.require_byzantine(g.byz)
+                if initial_g is not None:
+                    initial_apps.append((g.byz_nodes, sel, initial_g))
+                    if initial_g.size:
+                        plan_max = max(plan_max, int(initial_g.max()))
+                        plan_min = min(plan_min, int(initial_g.min()))
+                for t, cnts in counts_g.items():
+                    acc = counts_by_round.get(t)
+                    if acc is None:
+                        acc = np.zeros(b_live, dtype=np.int64)
+                        counts_by_round[t] = acc
+                    acc[sel] += cnts
+                for t, lst in groups_g.items():
+                    merged = groups_by_round.setdefault(t, [])
+                    for nodes, cols, vals in lst:
+                        merged.append((nodes, sel[cols], vals))
+                        if vals.size:
+                            plan_max = max(plan_max, int(vals.max()))
+                off_local = np.flatnonzero(~relay_g)
+                if off_local.size:
+                    suppress_pairs.append((g.byz_nodes, sel[off_local]))
+                    for j_local in off_local:
+                        by_round = inj_rounds_g[int(j_local)]
+                        if by_round:
+                            suppressed_inj[int(sel[int(j_local)])] = by_round
+
+            if (
+                plan_max > _INT32_MAX or plan_min < _INT32_MIN
+            ) and state_dtype == np.int32:
+                state_dtype = np.int64
+                colors = colors.astype(np.int64)
+                cur = np.empty((n_pad, b_live), dtype=np.int64)
+                sent = np.empty_like(cur)
+                prev_kt = np.empty_like(cur)
+                recv = np.empty_like(cur)
+                k_last = np.empty_like(cur)
+
+            np.copyto(cur, colors)
+            for nodes_g, sel_g, initial_g in initial_apps:
+                cur[np.ix_(nodes_g, sel_g)] = initial_g
+
+            prev_kt.fill(0)
+            for t in range(1, phase + 1):
+                # --- adversary injections (Lemma 16 gate, per-trial k) ---
+                if not config.verification:
+                    acc_cols = None  # accept everywhere
+                else:
+                    acc_cols = t <= k_live - 1
+                acc_all = acc_cols is None or bool(acc_cols.all())
+                acc_none = acc_cols is not None and not acc_cols.any()
+                inj_counts = counts_by_round.get(t)
+                if inj_counts is not None:
+                    if acc_all:
+                        phase_inj_acc += inj_counts
+                        for nodes, cols, vals in groups_by_round[t]:
+                            ix = np.ix_(nodes, cols)
+                            cur[ix] = np.maximum(cur[ix], vals[None, :])
+                    elif acc_none:
+                        phase_inj_rej += inj_counts
+                    else:
+                        phase_inj_acc += np.where(acc_cols, inj_counts, 0)
+                        phase_inj_rej += np.where(acc_cols, 0, inj_counts)
+                        for nodes, cols, vals in groups_by_round[t]:
+                            m = acc_cols[cols]
+                            if not m.any():
+                                continue
+                            if not m.all():
+                                cols, vals = cols[m], vals[m]
+                            ix = np.ix_(nodes, cols)
+                            cur[ix] = np.maximum(cur[ix], vals[None, :])
+
+                # --- transmit --------------------------------------------
+                np.copyto(sent, cur)
+                if any_crash:
+                    sent[crashed_nb] = 0
+                for nodes_g, cols_g in suppress_pairs:
+                    sent[np.ix_(nodes_g, cols_g)] = 0
+                if suppressed_inj and not acc_none:
+                    for col, by_round in suppressed_inj.items():
+                        if acc_all or acc_cols[col]:
+                            for inj in by_round.get(t, ()):
+                                sent[inj.nodes, col] = inj.value
+
+                # --- receive ---------------------------------------------
+                mkernel.neighbor_max_stacked(sent, plan, out=recv)
+                if any_crash:
+                    recv[crashed_nb] = 0
+
+                # --- accounting (before the running-max update eats the
+                # new-record evidence) ------------------------------------
+                if config.count_messages:
+                    msg_senders += np.count_nonzero(sent, axis=0)
+                    if config.verification:
+                        msg_records += np.count_nonzero(recv > cur, axis=0)
+
+                if t == phase:
+                    np.copyto(k_last, recv)
+                else:
+                    np.maximum(prev_kt, recv, out=prev_kt)
+                np.maximum(cur, recv, out=cur)
+                if any_crash:
+                    cur[crashed_nb] = 0
+
+            np.logical_or(
+                flag_continue,
+                (k_last > prev_kt) & (k_last > threshold),
+                out=flag_continue,
+            )
+
+        if config.count_messages:
+            meters.add_messages(live, msg_senders * d)
+            if config.verification:
+                meters.add_messages(
+                    live, 2 * msg_records * witness_cap[live], ids_each=1
+                )
+        meters.add_rounds(live, n_sub * phase * round_cost)
+        inj_acc[live] += phase_inj_acc
+        inj_rej[live] += phase_inj_rej
+
+        newly = und & ~flag_continue.T
+        rows = decided[live]
+        rows[newly] = phase
+        decided[live] = rows
+        if config.record_phase_trace:
+            newly_counts = newly.sum(axis=1)
+            for row, trial in enumerate(live):
+                traces[trial].append(
+                    PhaseRecord(
+                        phase=phase,
+                        subphases=n_sub,
+                        flooding_rounds=n_sub * phase,
+                        newly_decided=int(newly_counts[row]),
+                        active_before=int(counts[row]),
+                        injections_accepted=int(phase_inj_acc[row]),
+                        injections_rejected=int(phase_inj_rej[row]),
+                    )
+                )
+        if config.stop_when_all_decided and not (
+            honest_uncrashed & (decided == UNDECIDED)
+        ).any():
+            break
+
+    out = []
+    for b in range(batch):
+        net = nets[int(net_of[b])]
+        n_b = int(n_act[b])
+        out.append(
+            CountingResult(
+                n=n_b,
+                d=d,
+                k=net.k,
+                decided_phase=decided[b, :n_b].copy(),
+                crashed=crashed_bn[b, :n_b].copy(),
+                byz=byz_bn[b, :n_b].copy(),
+                meter=meters.meter(b),
+                trace=traces[b],
+                injections_accepted=int(inj_acc[b]),
+                injections_rejected=int(inj_rej[b]),
+            )
+        )
+    return out

@@ -1,4 +1,4 @@
-"""Fused sweep engine over (seed, config, placement, strategy) grids.
+"""Fused sweep engine over (network, seed, config, placement, strategy) grids.
 
 The paper's headline experiments sweep over *placements and strategies*,
 not just seeds: Theorem 1 accuracy (E07) contrasts adversary strategies at
@@ -13,6 +13,21 @@ axis that cannot share a batch is the *strategy* (one adversary factory
 drives one batch), so :func:`run_sweep` fuses each strategy's
 ``placements x configs x seeds`` block into a single engine call.
 
+Network axis
+------------
+The paper's claims are *scaling* statements, so the sweeps that matter
+most iterate over network sizes.  :func:`run_multi_sweep` (equivalently,
+passing a list of networks to :func:`run_sweep`) extends the fusion across
+the network axis: cells on different graphs — including graphs of
+different sizes — join the same trials-as-columns batch through
+:func:`repro.core.batch.run_counting_multinet`.  State is padded to the
+largest ``n`` with a per-trial active-length vector; the flooding rounds
+dispatch through the masked :class:`~repro.sim.flood.MultiFloodKernel`
+(padding rows never win a max; same-(n, d) re-samples share one stacked
+kernel plan); decided counting, crash masks, and witness metering apply
+over each column's live prefix only.  All networks in one multi-sweep must
+share the degree ``d`` — the phase schedule is ``d``-dependent.
+
 Equivalence contract
 --------------------
 Every cell is **bit-for-bit** equal to the scalar run it replaces::
@@ -21,42 +36,80 @@ Every cell is **bit-for-bit** equal to the scalar run it replaces::
                            config=config, seed=seed)
 
 (or plain Algorithm 1 ``run_counting(network, config, seed=seed)`` for
-``strategies=None`` honest grids) — enforced by
-``tests/core/test_sweep.py``.  Results come back in grid order
-(strategy-major: strategy, placement, config, seed) wrapped in a
-:class:`SweepResult` for shaped access.
+``strategies=None`` honest grids) — enforced per cell by
+``tests/core/test_sweep.py``, cross-engine (message-level agents vs
+vectorized runner vs batch vs padded multi-network) by
+``tests/integration/test_engine_equivalence.py``, and on random ragged
+size mixes by the hypothesis properties in
+``tests/property/test_padding_properties.py``.  Results come back in grid
+order (network-major, then strategy, placement, config, seed) wrapped in a
+:class:`SweepResult` / :class:`MultiSweepResult` for shaped access.
 
 Sharding
 --------
 ``jobs=N`` fans the grid out over worker processes through
-:func:`repro.experiments.common.parallel_map` with the network placed in
-one shared-memory segment (workers attach zero-copy).  Shard boundaries
-are picked automatically from the grid size and ``jobs``: chunks are large
-enough to keep the batched engine efficient (``MIN_SHARD_CELLS`` trials)
-but small enough to fill the pool, and never straddle a strategy boundary
-(override with ``shard_cells``).  For ``jobs > 1`` every strategy spec
-must be picklable — a name from :data:`~repro.core.estimator.ADVERSARIES`,
-a module-level factory, or a plain adversary instance.
+:func:`repro.experiments.common.parallel_map` with every network placed in
+one shared-memory segment (workers attach zero-copy; multi-network sweeps
+pin all graphs in a single segment).  Shard boundaries are **cost
+weighted**: each cell's expected cost is modeled as ``n x
+round_complexity_bound(n, eps, d) x strategy factor`` (early-stop attacks
+end runs after a few phases, inflation floods every phase — see
+:data:`STRATEGY_COST_FACTORS`), and boundaries are placed so shards carry
+roughly equal *cost* rather than equal cell counts, which balances the
+pool when sizes or strategies are skewed.  Chunks never drop below
+:data:`MIN_SHARD_CELLS` cells, never straddle a strategy boundary, and can
+be forced back to fixed-size slicing with ``shard_cells``.  For
+``jobs > 1`` every strategy spec must be picklable — a name from
+:data:`~repro.core.estimator.ADVERSARIES`, a module-level factory, or a
+plain adversary instance.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..adversary.base import Adversary
-from .batch import run_counting_batch
+from .batch import run_counting_batch, run_counting_multinet
 from .config import CountingConfig
 from .results import BatchCountingResult, CountingResult
 
-__all__ = ["run_sweep", "SweepResult", "SweepCell", "MIN_SHARD_CELLS"]
+__all__ = [
+    "run_sweep",
+    "run_multi_sweep",
+    "SweepResult",
+    "MultiSweepResult",
+    "SweepCell",
+    "MIN_SHARD_CELLS",
+    "STRATEGY_COST_FACTORS",
+]
 
 #: Smallest shard the auto-splitter will produce: below this the batched
 #: engine's per-call fixed costs dominate and sharding stops paying.
 MIN_SHARD_CELLS = 4
+
+#: Relative expected-cost factors per adversary strategy, used by the
+#: cost-weighted shard splitter.  Normalized to inflation = 1.0 (it floods
+#: every phase and batches best); early-stop ends runs after a few phases,
+#: so its cells finish in roughly a third of the time.  Unknown strategies
+#: default to 1.0 — the factors only steer load balancing, never results.
+STRATEGY_COST_FACTORS: dict[str, float] = {
+    "early-stop": 0.35,
+    "silent": 0.45,
+    "suppression": 0.55,
+    "topology-liar": 0.7,
+    "combo": 0.85,
+    "adaptive-record": 0.9,
+    "inflation": 1.0,
+    "honest": 0.8,
+    "honest-behavior": 0.8,
+}
+
+#: Cost factor for ``strategies=None`` honest Algorithm 1 cells (no
+#: verification rounds, no witness traffic).
+_HONEST_COST_FACTOR = 0.5
 
 
 def _strategy_factory(spec):
@@ -72,6 +125,118 @@ def _strategy_factory(spec):
 
         return lambda name=spec: make_adversary(name)
     return spec  # Adversary instance or zero-argument factory
+
+
+def _strategy_cost_factor(spec) -> float:
+    """Relative expected cost of one cell under ``spec`` (load balancing)."""
+    if spec is None:
+        return _HONEST_COST_FACTOR
+    name = spec if isinstance(spec, str) else getattr(spec, "name", None)
+    if not isinstance(name, str):
+        return 1.0
+    return STRATEGY_COST_FACTORS.get(name, 1.0)
+
+
+def _cell_cost(n: int, d: int, config: CountingConfig, cache: dict) -> float:
+    """Expected cost of one (network, config) cell: ``n x rounds bound``.
+
+    The strategy factor multiplies on top (it is constant per strategy
+    block).  Cached per (n, config): the paper-exact schedule bound loops
+    over phases.
+    """
+    key = (n, config)
+    cost = cache.get(key)
+    if cost is None:
+        from ..analysis.bounds import round_complexity_bound
+
+        vc = config.verification_round_cost if config.verification else 0
+        cost = float(n) * round_complexity_bound(
+            n, config.eps, d, verification_cost=vc
+        )
+        cache[key] = cost
+    return cost
+
+
+def _shard_bounds(
+    costs: list[float], target_cost: float | None, shard_cells: int | None
+) -> list[tuple[int, int]]:
+    """Shard boundaries over one strategy block's cells, in grid order.
+
+    ``shard_cells`` forces fixed-size slicing; otherwise boundaries are
+    placed greedily so each shard accumulates ~``target_cost`` of modeled
+    cell cost (``None`` = serial: one maximal shard).  Shards never drop
+    below :data:`MIN_SHARD_CELLS` cells, including the tail.
+    """
+    m = len(costs)
+    if shard_cells is not None:
+        if shard_cells < 1:
+            raise ValueError(f"shard_cells must be >= 1, got {shard_cells}")
+        return [(lo, min(lo + shard_cells, m)) for lo in range(0, m, shard_cells)]
+    if target_cost is None or m <= MIN_SHARD_CELLS:
+        return [(0, m)]
+    bounds = []
+    lo = 0
+    acc = 0.0
+    for i in range(m):
+        acc += costs[i]
+        if (
+            acc >= target_cost
+            and i + 1 - lo >= MIN_SHARD_CELLS
+            and m - (i + 1) >= MIN_SHARD_CELLS
+        ):
+            bounds.append((lo, i + 1))
+            lo = i + 1
+            acc = 0.0
+    bounds.append((lo, m))
+    return bounds
+
+
+def _validate_seeds(seeds) -> list:
+    """Materialize and validate the sweep's seed axis, eagerly and typed.
+
+    Catches the grid-assembly traps before any batch is built: a bare
+    ``numpy.random.Generator`` where a *sequence* of per-trial seeds is
+    required, a one-shot iterator/generator (the seed axis is replayed
+    once per strategy block, so it must be re-iterable), an empty axis,
+    and duplicate entries (a duplicated seed silently duplicates every
+    grid cell that uses it — and a duplicated ``Generator`` object would
+    share one stream across trials, breaking per-trial reproducibility).
+    """
+    if isinstance(seeds, np.random.Generator):
+        raise TypeError(
+            "seeds must be a sequence of per-trial seeds, got a single "
+            "numpy Generator; wrap it in a list ([rng]) for a one-trial sweep"
+        )
+    if isinstance(seeds, (str, bytes)):
+        raise TypeError(f"seeds must be a sequence of seeds, got {type(seeds).__name__}")
+    if iter(seeds) is seeds:
+        raise TypeError(
+            "seeds must be a materialized sequence (list/tuple/array); a "
+            "one-shot generator or iterator cannot be replayed across the "
+            "sweep's strategy blocks"
+        )
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("run_sweep needs at least one seed")
+    seen: set = set()
+    for s in seeds:
+        if s is None:
+            # ``None`` means a fresh-entropy rng per trial (make_rng), so
+            # repeated Nones are distinct trials, never duplicates.
+            continue
+        try:
+            key = ("v", s)
+            hash(s)
+        except TypeError:
+            key = ("id", id(s))
+        if key in seen:
+            raise ValueError(
+                f"duplicate seed {s!r} in the sweep's seed axis; every grid "
+                "cell must be a distinct trial (repeat seeds by running the "
+                "sweep again, not by duplicating the axis)"
+            )
+        seen.add(key)
+    return seeds
 
 
 def _run_shard(network, task):
@@ -96,17 +261,27 @@ def _run_shard(network, task):
     )
 
 
-def _auto_shard_cells(total_cells: int, jobs: int | None) -> int:
-    """Cells per shard: fill ``jobs`` workers without starving the batch.
+def _run_multi_shard(networks, task):
+    """Module-level worker: one fused multi-network (strategy, chunk) batch.
 
-    Serial sweeps get one shard per strategy (maximal batching).  Sharded
-    sweeps aim for ``jobs`` roughly equal chunks over the whole grid, but
-    never below :data:`MIN_SHARD_CELLS` — tiny batches spend more on
-    per-call fixed costs than they save in parallelism.
+    ``networks`` is the shared tuple of sweep networks (attached from one
+    shared-memory segment inside workers); ``task`` carries per-trial
+    indices into it plus per-trial masks over each trial's own network.
     """
-    if not jobs or jobs <= 1:
-        return total_cells
-    return max(MIN_SHARD_CELLS, math.ceil(total_cells / jobs))
+    spec, seeds, configs, net_ids, masks = task
+    factory = _strategy_factory(spec)
+    trial_nets = [networks[i] for i in net_ids]
+    if factory is None:
+        return list(run_counting_multinet(trial_nets, seeds, config=configs))
+    return list(
+        run_counting_multinet(
+            trial_nets,
+            seeds,
+            config=configs,
+            adversary_factory=factory,
+            byz_mask=masks,
+        )
+    )
 
 
 @dataclass(frozen=True)
@@ -203,12 +378,118 @@ class SweepResult:
         return self.cells()
 
 
+@dataclass
+class MultiSweepResult:
+    """Grid-shaped view over one :func:`run_multi_sweep` call's results.
+
+    ``results`` is flat in network-major grid order (network, strategy,
+    placement, config, seed); :meth:`sweep` slices one network's block as
+    a plain :class:`SweepResult` (its cells are contiguous).
+    """
+
+    networks: list
+    seeds: list
+    configs: list[CountingConfig]
+    placements: list[list]
+    strategies: list
+    results: list[CountingResult]
+
+    @property
+    def shape(self) -> tuple[int, int, int, int, int]:
+        """``(networks, strategies, placements, configs, seeds)`` lengths."""
+        return (
+            len(self.networks),
+            len(self.strategies),
+            len(self.placements[0]) if self.placements else 0,
+            len(self.configs),
+            len(self.seeds),
+        )
+
+    def _block(self, network: int) -> tuple[int, int]:
+        n_g, n_s, n_p, n_c, n_b = self.shape
+        g = range(n_g)[network]
+        size = n_s * n_p * n_c * n_b
+        return g * size, (g + 1) * size
+
+    def sweep(self, network: int = 0) -> SweepResult:
+        """One network's (strategy, placement, config, seed) block."""
+        lo, hi = self._block(network)
+        g = range(len(self.networks))[network]
+        return SweepResult(
+            seeds=self.seeds,
+            configs=self.configs,
+            placements=self.placements[g],
+            strategies=self.strategies,
+            results=self.results[lo:hi],
+        )
+
+    def cell(
+        self,
+        *,
+        network: int = 0,
+        strategy: int = 0,
+        placement: int = 0,
+        config: int = 0,
+        seed: int = 0,
+    ) -> CountingResult:
+        """The single result at the given axis coordinates."""
+        return self.sweep(network).cell(
+            strategy=strategy, placement=placement, config=config, seed=seed
+        )
+
+    def seed_batch(
+        self,
+        *,
+        network: int = 0,
+        strategy: int = 0,
+        placement: int = 0,
+        config: int = 0,
+    ) -> BatchCountingResult:
+        """All seeds of one (network, strategy, placement, config) cell."""
+        return self.sweep(network).seed_batch(
+            strategy=strategy, placement=placement, config=config
+        )
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
 def _normalize_axis(value, default, single_types) -> list:
     if value is None:
         return [default]
     if isinstance(value, single_types):
         return [value]
     return list(value)
+
+
+def _normalize_strategy_axis(strategies) -> list:
+    if strategies is None:
+        return [None]
+    if isinstance(strategies, (str, Adversary)) or callable(strategies):
+        return [strategies]
+    return list(strategies)
+
+
+def _normalize_placement_axis(placements, n: int) -> list:
+    """One network's placement axis as a list of ``(n,)`` masks / Nones."""
+    if placements is None:
+        axis = [None]
+    elif isinstance(placements, np.ndarray) and placements.ndim == 1:
+        axis = [placements]
+    else:
+        axis = list(placements)
+    norm: list[np.ndarray | None] = []
+    for mask in axis:
+        if mask is None:
+            norm.append(None)
+            continue
+        arr = np.asarray(mask, dtype=bool)
+        if arr.shape != (n,):
+            raise ValueError(
+                f"placements must be ({n},) masks, got shape {arr.shape}"
+            )
+        norm.append(arr)
+    return norm
 
 
 def run_sweep(
@@ -227,10 +508,15 @@ def run_sweep(
     ----------
     network:
         The shared :class:`~repro.graphs.smallworld.SmallWorldNetwork`
-        every cell runs on (grids over several networks are separate
-        sweeps — the batched kernels are per-adjacency).
+        every cell runs on.  A *list or tuple of networks* adds the
+        network axis and delegates to :func:`run_multi_sweep` (placements
+        then follow that function's per-network conventions, and a
+        :class:`MultiSweepResult` is returned).
     seeds:
-        Seed axis; anything :func:`repro.sim.rng.make_rng` accepts.
+        Seed axis; a materialized sequence whose entries are anything
+        :func:`repro.sim.rng.make_rng` accepts.  Empty axes, duplicate
+        entries, one-shot iterators, and a bare ``numpy`` ``Generator``
+        are rejected eagerly with typed errors.
     configs:
         Config axis; a single :class:`CountingConfig` (the default config
         when None) or a sequence.
@@ -250,8 +536,8 @@ def run_sweep(
         :func:`repro.experiments.common.parallel_map` with the network in
         shared memory.
     shard_cells:
-        Override the automatic shard size (cells per engine call when
-        sharding; see :func:`_auto_shard_cells`).
+        Override the cost-weighted shard splitter with fixed-size chunks
+        (cells per engine call when sharding).
 
     Returns
     -------
@@ -259,35 +545,21 @@ def run_sweep(
         Grid-shaped results, each cell bit-for-bit equal to its scalar
         sequential run (see the module docstring).
     """
+    if isinstance(network, (list, tuple)):
+        return run_multi_sweep(
+            network,
+            seeds=seeds,
+            configs=configs,
+            placements=placements,
+            strategies=strategies,
+            jobs=jobs,
+            shard_cells=shard_cells,
+        )
     n = network.n
-    seeds = list(seeds)
-    if not seeds:
-        raise ValueError("run_sweep needs at least one seed")
+    seeds = _validate_seeds(seeds)
     config_axis = _normalize_axis(configs, CountingConfig(), CountingConfig)
-    if strategies is None:
-        strategy_axis: list = [None]
-    elif isinstance(strategies, (str, Adversary)) or callable(strategies):
-        strategy_axis = [strategies]
-    else:
-        strategy_axis = list(strategies)
-
-    if placements is None:
-        placement_axis = [None]
-    elif isinstance(placements, np.ndarray) and placements.ndim == 1:
-        placement_axis = [placements]
-    else:
-        placement_axis = list(placements)
-    norm_placements: list[np.ndarray | None] = []
-    for mask in placement_axis:
-        if mask is None:
-            norm_placements.append(None)
-            continue
-        arr = np.asarray(mask, dtype=bool)
-        if arr.shape != (n,):
-            raise ValueError(
-                f"placements must be ({n},) masks, got shape {arr.shape}"
-            )
-        norm_placements.append(arr)
+    strategy_axis = _normalize_strategy_axis(strategies)
+    norm_placements = _normalize_placement_axis(placements, n)
 
     any_byz = any(m is not None and m.any() for m in norm_placements)
     if any_byz and any(spec is None for spec in strategy_axis):
@@ -298,12 +570,6 @@ def run_sweep(
 
     empty_mask = np.zeros(n, dtype=bool)
     cells_per_strategy = len(norm_placements) * len(config_axis) * len(seeds)
-    total_cells = cells_per_strategy * len(strategy_axis)
-    per_shard = shard_cells if shard_cells is not None else _auto_shard_cells(
-        total_cells, jobs
-    )
-    if per_shard < 1:
-        raise ValueError(f"shard_cells must be >= 1, got {per_shard}")
 
     # One strategy block's (placement, config, seed) axes in grid order;
     # identical for every strategy, so built once and shard-sliced below.
@@ -317,10 +583,20 @@ def run_sweep(
                 trial_configs.append(cfg)
                 trial_masks.append(mask if mask is not None else empty_mask)
 
+    cost_cache: dict = {}
+    base_costs = [_cell_cost(n, network.d, cfg, cost_cache) for cfg in trial_configs]
+    target_cost: float | None = None
+    if jobs and jobs > 1:
+        total_cost = sum(
+            sum(base_costs) * _strategy_cost_factor(spec) for spec in strategy_axis
+        )
+        target_cost = total_cost / jobs
+
     tasks = []
     for spec in strategy_axis:
-        for lo in range(0, cells_per_strategy, per_shard):
-            hi = min(lo + per_shard, cells_per_strategy)
+        factor = _strategy_cost_factor(spec)
+        block_target = None if target_cost is None else target_cost / factor
+        for lo, hi in _shard_bounds(base_costs, block_target, shard_cells):
             masks = None
             if spec is not None:
                 masks = np.array(trial_masks[lo:hi], dtype=bool).reshape(hi - lo, n)
@@ -330,11 +606,173 @@ def run_sweep(
 
     shard_results = parallel_map(_run_shard, tasks, jobs=jobs, network=network)
     results = [res for shard in shard_results for res in shard]
-    assert len(results) == total_cells
+    assert len(results) == cells_per_strategy * len(strategy_axis)
     return SweepResult(
         seeds=seeds,
         configs=config_axis,
         placements=norm_placements,
         strategies=strategy_axis,
         results=results,
+    )
+
+
+def run_multi_sweep(
+    networks: Sequence,
+    *,
+    seeds: Sequence,
+    configs: CountingConfig | Sequence[CountingConfig] | None = None,
+    placements=None,
+    strategies=None,
+    jobs: int | None = None,
+    shard_cells: int | None = None,
+) -> MultiSweepResult:
+    """Run a (network x strategy x placement x config x seed) grid, fused
+    across the network axis.
+
+    Cells on *different networks* — including different sizes — fuse into
+    the same padded trials-as-columns batches
+    (:func:`repro.core.batch.run_counting_multinet`); all networks must
+    share the degree ``d``.  Every cell is bit-for-bit equal to the
+    per-network :func:`run_sweep` call it replaces (same network, config,
+    strategy, placement, seed).
+
+    Parameters
+    ----------
+    networks:
+        The network axis (a non-empty sequence; repeats of one sampled
+        graph are allowed and share kernels).
+    seeds, configs, strategies, jobs, shard_cells:
+        As in :func:`run_sweep` (seeds/configs/strategies are shared grid
+        axes).
+    placements:
+        Per-network placement axes, because a ``(n,)`` mask only fits one
+        network: ``None`` (no Byzantine nodes anywhere), a *callable*
+        ``net -> placement axis`` evaluated per network (e.g. ``lambda
+        net: placement_for_delta(net, 0.5, rng=7)``), or a sequence with
+        one placement-axis spec per network.  The resulting axis length
+        must agree across networks (it is a grid axis).
+
+    Returns
+    -------
+    MultiSweepResult
+        Results in network-major grid order; ``.sweep(g)`` gives network
+        ``g``'s block as a plain :class:`SweepResult`.
+    """
+    networks = list(networks)
+    if not networks:
+        raise ValueError("run_multi_sweep needs at least one network")
+    degrees = {int(net.d) for net in networks}
+    if len(degrees) > 1:
+        raise ValueError(
+            "all networks in one multi-sweep must share the degree d (the "
+            f"phase schedule is d-dependent); got d in {sorted(degrees)}"
+        )
+    d = networks[0].d
+    seeds = _validate_seeds(seeds)
+    config_axis = _normalize_axis(configs, CountingConfig(), CountingConfig)
+    strategy_axis = _normalize_strategy_axis(strategies)
+
+    if placements is None:
+        per_net_placements: list[list] = [[None] for _ in networks]
+    elif callable(placements) and not isinstance(placements, np.ndarray):
+        per_net_placements = [
+            _normalize_placement_axis(placements(net), net.n) for net in networks
+        ]
+    else:
+        specs = list(placements)
+        if len(specs) != len(networks):
+            raise ValueError(
+                f"placements must give one placement axis per network "
+                f"({len(networks)}), got {len(specs)} entries; use a callable "
+                "net -> axis to derive them"
+            )
+        per_net_placements = [
+            _normalize_placement_axis(spec, net.n)
+            for spec, net in zip(specs, networks)
+        ]
+    lengths = {len(axis) for axis in per_net_placements}
+    if len(lengths) > 1:
+        raise ValueError(
+            "the placement axis must have the same length for every network "
+            f"(it is a grid axis); got lengths {sorted(lengths)}"
+        )
+    n_p = lengths.pop()
+
+    any_byz = any(
+        m is not None and m.any() for axis in per_net_placements for m in axis
+    )
+    if any_byz and any(spec is None for spec in strategy_axis):
+        raise ValueError(
+            "a None strategy (honest Algorithm 1) cannot run non-empty "
+            "placements; give those cells an adversary strategy"
+        )
+
+    n_g, n_s, n_c, n_b = len(networks), len(strategy_axis), len(config_axis), len(seeds)
+    block = n_s * n_p * n_c * n_b  # cells per network (network-major layout)
+
+    # Per-strategy cell lists spanning all networks, in network-major
+    # (network, placement, config, seed) order — the batch the engine fuses.
+    cost_cache: dict = {}
+    per_strategy: list[list[tuple]] = [[] for _ in strategy_axis]
+    per_strategy_costs: list[list[float]] = [[] for _ in strategy_axis]
+    for s, spec in enumerate(strategy_axis):
+        for g, net in enumerate(networks):
+            for p in range(n_p):
+                mask = per_net_placements[g][p]
+                for c, cfg in enumerate(config_axis):
+                    cost = _cell_cost(int(net.n), d, cfg, cost_cache)
+                    for b, seed in enumerate(seeds):
+                        flat = g * block + (((s * n_p) + p) * n_c + c) * n_b + b
+                        per_strategy[s].append((flat, seed, cfg, g, mask))
+                        per_strategy_costs[s].append(cost)
+
+    target_cost: float | None = None
+    if jobs and jobs > 1:
+        total_cost = sum(
+            sum(per_strategy_costs[s]) * _strategy_cost_factor(spec)
+            for s, spec in enumerate(strategy_axis)
+        )
+        target_cost = total_cost / jobs
+
+    tasks = []
+    task_flats = []
+    for s, spec in enumerate(strategy_axis):
+        factor = _strategy_cost_factor(spec)
+        block_target = None if target_cost is None else target_cost / factor
+        for lo, hi in _shard_bounds(per_strategy_costs[s], block_target, shard_cells):
+            cells = per_strategy[s][lo:hi]
+            task_flats.append([cell[0] for cell in cells])
+            masks = None
+            if spec is not None:
+                masks = [
+                    cell[4]
+                    if cell[4] is not None
+                    else np.zeros(int(networks[cell[3]].n), dtype=bool)
+                    for cell in cells
+                ]
+            tasks.append(
+                (
+                    spec,
+                    [cell[1] for cell in cells],
+                    [cell[2] for cell in cells],
+                    [cell[3] for cell in cells],
+                    masks,
+                )
+            )
+
+    from ..experiments.common import parallel_map
+
+    shard_results = parallel_map(_run_multi_shard, tasks, jobs=jobs, network=networks)
+    results: list[CountingResult | None] = [None] * (n_g * block)
+    for flats, shard in zip(task_flats, shard_results):
+        for flat, res in zip(flats, shard):
+            results[flat] = res
+    assert all(res is not None for res in results)
+    return MultiSweepResult(
+        networks=networks,
+        seeds=seeds,
+        configs=config_axis,
+        placements=per_net_placements,
+        strategies=strategy_axis,
+        results=results,  # type: ignore[arg-type]
     )

@@ -120,19 +120,23 @@ def byzantine_counting_trials(
 
 
 class _SharedNetworkCall:
-    """Picklable shim calling ``fn(shared.net, item)`` inside a worker.
+    """Picklable shim calling ``fn(shared-payload, item)`` inside a worker.
 
-    The handle re-attaches the shared segment at most once per worker
-    process (module-level cache in :mod:`repro.graphs.shared`), so every
-    task after the first reuses the already-reconstructed network.
+    The payload is the attached network (:class:`SharedNetwork` handles)
+    or the attached tuple of networks (:class:`SharedNetworkPack`).  The
+    handle re-attaches the shared segment at most once per worker process
+    (module-level cache in :mod:`repro.graphs.shared`), so every task
+    after the first reuses the already-reconstructed graphs.
     """
 
-    def __init__(self, fn: Callable, shared):
+    def __init__(self, fn: Callable, shared, multi: bool):
         self.fn = fn
         self.shared = shared
+        self.multi = multi
 
     def __call__(self, item):
-        return self.fn(self.shared.net, item)
+        payload = self.shared.nets if self.multi else self.shared.net
+        return self.fn(payload, item)
 
 
 def parallel_map(
@@ -140,7 +144,7 @@ def parallel_map(
     items: Iterable,
     jobs: int | None = None,
     *,
-    network: SmallWorldNetwork | None = None,
+    network: SmallWorldNetwork | Sequence[SmallWorldNetwork] | None = None,
 ) -> list:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -153,20 +157,30 @@ def parallel_map(
     and the graph is shared with workers through one POSIX shared-memory
     segment (:class:`repro.graphs.shared.SharedNetwork`) instead of being
     re-pickled into every task — workers attach zero-copy, once per
-    process.  The segment lives for the duration of the map and is
-    unlinked before returning.
+    process.  A *list or tuple of networks* pins the whole set in a single
+    segment (:class:`repro.graphs.shared.SharedNetworkPack`) and calls
+    ``fn(networks_tuple, item)`` — this is how multi-network sweeps ship
+    their entire network axis to workers in one handle.  The segment lives
+    for the duration of the map and is unlinked before returning.
     """
     items = list(items)
     serial = jobs is None or jobs <= 1 or len(items) <= 1
     if network is not None:
+        multi = isinstance(network, (list, tuple))
         if serial:
-            return [fn(network, item) for item in items]
+            payload = tuple(network) if multi else network
+            return [fn(payload, item) for item in items]
         from concurrent.futures import ProcessPoolExecutor
 
-        from ..graphs.shared import SharedNetwork
+        from ..graphs.shared import SharedNetwork, SharedNetworkPack
 
-        with SharedNetwork.create(network) as shared:
-            call = _SharedNetworkCall(fn, shared)
+        shared = (
+            SharedNetworkPack.create(list(network))
+            if multi
+            else SharedNetwork.create(network)
+        )
+        with shared:
+            call = _SharedNetworkCall(fn, shared, multi)
             with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
                 return list(pool.map(call, items))
     if serial:

@@ -8,6 +8,11 @@ Two measurements:
 * the executed round count grows polylogarithmically, below the paper's
   exact schedule accounting (:func:`repro.analysis.bounds.round_complexity_bound`),
   with a fitted exponent ``p`` in ``rounds ~ (log n)^p`` of at most ~3.
+
+The whole size axis runs as **one padded multi-network batch**
+(:func:`repro.core.sweep.run_multi_sweep`): every (n, seed) cell is a
+column of the same trials-as-columns state, bit-for-bit equal to the
+per-``n`` ``basic_counting_trials`` loop this experiment used to run.
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ import numpy as np
 from ..analysis.bounds import round_complexity_bound
 from ..analysis.stats import loglog_slope
 from ..core.config import CountingConfig
-from .common import DEFAULT_D, basic_counting_trials, network, ns_for
+from ..core.sweep import run_multi_sweep
+from .common import DEFAULT_D, network, ns_for
 from .harness import ExperimentResult, Table, register
 
 
@@ -41,11 +47,16 @@ def run(scale: str, seed: int) -> ExperimentResult:
         columns=["n", "log2 n", "phase med", "phase*log2(d-1)", "rounds max", "paper bound"],
     )
     log_ns, phases, rounds = [], [], []
-    for n in ns:
-        net = network(n, d, seed)
-        trials = basic_counting_trials(
-            net, [seed + 3 + 101 * r for r in range(reps)], config=cfg
-        )
+    # One fused sweep over the whole (n, seed) grid: sizes pad into a
+    # single trials-as-columns batch (same per-trial seeds as before).
+    nets = [network(n, d, seed) for n in ns]
+    sweep = run_multi_sweep(
+        nets,
+        seeds=[seed + 3 + 101 * r for r in range(reps)],
+        configs=cfg.with_(verification=False),
+    )
+    for g, n in enumerate(ns):
+        trials = sweep.seed_batch(network=g)
         med = float(np.median(trials.median_phases()))
         worst_rounds = int(trials.rounds().max())
         table.add(

@@ -6,9 +6,12 @@ constant verification overhead), the largest ID payload of any message
 (constant), and the bit-length of the largest color in flight
 (``<= log2(4 log2 n)`` bits whp, by Lemma 12).
 
-Both protocols run as repeated-seed batches through the trial-batched
-engines (``basic_counting_trials`` / ``byzantine_counting_trials``); the
-Byzantine rows exercise the batched adversary fast path.
+Both protocols run their whole (n, seed) grids as **padded multi-network
+sweeps** (:func:`repro.core.sweep.run_multi_sweep`): every size is a set
+of columns in one trials-as-columns batch, with per-network Byzantine
+placements riding as per-trial mask columns on the Algorithm 2 rows —
+bit-for-bit equal to the per-``n`` batched loops this experiment used to
+run, and exercising the batched adversary fast path across sizes.
 """
 
 from __future__ import annotations
@@ -17,17 +20,11 @@ import numpy as np
 
 from ..adversary.placement import placement_for_delta
 from ..core.config import CountingConfig
-from ..core.estimator import make_adversary
+from ..core.sweep import run_multi_sweep
 from ..sim.metrics import color_bits
 from ..core.colors import sample_colors
 from ..sim.rng import make_rng
-from .common import (
-    DEFAULT_D,
-    basic_counting_trials,
-    byzantine_counting_trials,
-    network,
-    ns_for,
-)
+from .common import DEFAULT_D, network, ns_for
 from .harness import ExperimentResult, Table, register
 
 
@@ -57,9 +54,19 @@ def run(scale: str, seed: int) -> ExperimentResult:
     loads = []
     max_ids = []
     seeds = [seed * 10 + r for r in range(reps)]
-    for n in ns:
-        net = network(n, d, seed)
-        batch1 = basic_counting_trials(net, seeds, config=cfg)
+    nets = [network(n, d, seed) for n in ns]
+    # Algorithm 1 across every size as one padded honest batch; Algorithm 2
+    # likewise, with each network's own delta-budget placement.
+    sweep1 = run_multi_sweep(nets, seeds=seeds, configs=cfg.with_(verification=False))
+    sweep2 = run_multi_sweep(
+        nets,
+        seeds=seeds,
+        configs=cfg,
+        placements=lambda net: placement_for_delta(net, 0.5, rng=seed),
+        strategies="early-stop",
+    )
+    for g, n in enumerate(ns):
+        batch1 = sweep1.seed_batch(network=g)
         load1 = float(
             np.mean([r.meter.messages / r.meter.rounds / n for r in batch1])
         )
@@ -67,10 +74,7 @@ def run(scale: str, seed: int) -> ExperimentResult:
         max_color = int(sample_colors(make_rng(seed), 4 * n).max())
         bound_bits = int(np.ceil(np.log2(max(2, 4 * np.log2(n)))))
         table.add(n, "Alg1", load1, ids1, f"{color_bits(max_color)} ({bound_bits}+)")
-        byz = placement_for_delta(net, 0.5, rng=seed)
-        batch2 = byzantine_counting_trials(
-            net, lambda: make_adversary("early-stop"), byz, seeds, config=cfg
-        )
+        batch2 = sweep2.seed_batch(network=g)
         load2 = float(
             np.mean([r.meter.messages / r.meter.rounds / n for r in batch2])
         )

@@ -7,18 +7,33 @@ real child ``u``; ``u``'s direct ``L`` edge to ``v`` lets it testify, and
 via claim manipulation and measure the detection rate over victims and
 seeds (Lemma 15: it is 1).  A control group with truthful claims checks
 the reconstruction never false-positives.
+
+A second, protocol-level section mounts the same move (the
+``topology-liar`` strategy suppresses a real child for a phantom) inside
+full Algorithm 2 runs **across network sizes**, routed through the padded
+multi-network sweep (:func:`repro.core.sweep.run_multi_sweep`): at every
+size the engine's pre-phase crash mask must equal a direct
+:func:`~repro.core.neighborhood.crash_phase` computation under the liar's
+claims, the crash footprint must stay inside the constant ``k``-ball
+bound, and the surviving honest nodes must still complete the counting.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..adversary.placement import random_placement
+from ..adversary.strategies import TopologyLiarAdversary
+from ..core.config import CountingConfig
 from ..core.neighborhood import (
+    crash_phase,
     find_conflicts,
     reconstruct_h_ball,
     truthful_claims,
 )
+from ..core.sweep import run_multi_sweep
 from ..graphs.balls import bfs_distances
+from ..graphs.classification import full_tree_ball_size
 from .common import DEFAULT_D, network
 from .harness import ExperimentResult, Table, register
 
@@ -100,5 +115,56 @@ def run(scale: str, seed: int) -> ExperimentResult:
     result.checks["reconstruction_faithful"] = all(
         true_d[node] == dist for node, dist in recon.items()
     )
+
+    # ------------------------------------------------------------------
+    # Protocol-level cross-size detection: the same fabricated chain,
+    # mounted by the topology-liar strategy inside full Algorithm 2 runs,
+    # over the size axis as one padded multi-network sweep.
+    # ------------------------------------------------------------------
+    proto_ns = (256, 512) if scale == "small" else (512, 1024, 2048)
+    liar_axis = 2  # placements per network (distinct liar draws)
+    proto_nets = [network(pn, d, seed) for pn in proto_ns]
+    placements_for = lambda net: [
+        random_placement(net.n, 1, rng=seed * 17 + net.n + i)
+        for i in range(liar_axis)
+    ]
+    sweep = run_multi_sweep(
+        proto_nets,
+        seeds=[seed],
+        configs=CountingConfig(max_phase=24),
+        placements=placements_for,
+        strategies="topology-liar",
+    )
+    proto_table = Table(
+        title=f"Algorithm 2 under the chain lie, fused across n={list(proto_ns)}",
+        columns=["n", "liar", "crashed", "ball bound", "crash == Lemma 3", "survivors decided"],
+    )
+    crashes_match = True
+    footprint_bounded = True
+    survivors_decide = True
+    for g, net in enumerate(proto_nets):
+        ball_bound = full_tree_ball_size(d, net.k)
+        for p, byz in enumerate(placements_for(net)):
+            res = sweep.cell(network=g, placement=p)
+            adv = TopologyLiarAdversary()
+            adv.bind(net, byz, None, CountingConfig())
+            expected = crash_phase(net, byz, adv.topology_claims())
+            match = bool(np.array_equal(res.crashed, expected))
+            decided = bool(res.fraction_decided() == 1.0)
+            crashes_match &= match
+            footprint_bounded &= int(res.crashed.sum()) <= ball_bound
+            survivors_decide &= decided
+            proto_table.add(
+                net.n,
+                int(np.flatnonzero(byz)[0]),
+                int(res.crashed.sum()),
+                ball_bound,
+                match,
+                decided,
+            )
+    result.tables.append(proto_table)
+    result.checks["protocol_crashes_match_lemma3"] = crashes_match
+    result.checks["protocol_footprint_bounded"] = footprint_bounded
+    result.checks["protocol_survivors_decide"] = survivors_decide
     result.notes = f"{total_detected}/{total_victims} detections, {total_fp} false positives"
     return result

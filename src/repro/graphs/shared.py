@@ -17,6 +17,13 @@ Usage (the ``network=`` parameter of
         results = pool.map(worker, [(shared, item) for item in items])
         # inside worker: shared.net  -> attached SmallWorldNetwork
 
+Multi-network sweeps (:func:`repro.core.sweep.run_multi_sweep`) pin
+*several* graphs at once: :class:`SharedNetworkPack` lays every network's
+CSR arrays out in one segment, so a single ``parallel_map`` call ships the
+whole network axis as one handle — workers attach the segment once and
+reconstruct the full tuple of networks (``pack.nets``), instead of
+unpickling one graph per (task, network) pair.
+
 The creating process owns the segment and unlinks it on ``close()`` /
 context exit; attached workers hold it alive until they drop their
 references (POSIX shm semantics).  On Python < 3.13 attaching registers
@@ -34,7 +41,7 @@ import numpy as np
 from .hgraph import HGraph
 from .smallworld import SmallWorldNetwork
 
-__all__ = ["SharedNetwork"]
+__all__ = ["SharedNetwork", "SharedNetworkPack"]
 
 #: The array attributes that define a network, in serialization order.
 _FIELDS = (
@@ -93,6 +100,51 @@ class _ArraySpec:
     dtype: str
     shape: tuple[int, ...]
     offset: int
+
+
+def _reconstruct_network(shm, specs, n: int, d: int, k: int) -> SmallWorldNetwork:
+    """Rebuild one network around read-only views into ``shm``."""
+    views = {}
+    for spec in specs:
+        arr = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+        )
+        arr.flags.writeable = False  # shared state must stay immutable
+        views[spec.name] = arr
+    h = HGraph(
+        n=n,
+        d=d,
+        cycles=views["h_cycles"],
+        indptr=views["h_indptr"],
+        indices=views["h_indices"],
+    )
+    return SmallWorldNetwork(
+        h=h,
+        k=k,
+        g_indptr=views["g_indptr"],
+        g_indices=views["g_indices"],
+        g_dist=views["g_dist"],
+    )
+
+
+def _release_segment(shm_name: str, owned_shm) -> None:
+    """Shared ``close()`` semantics for both handle classes.
+
+    If the segment was ever attached/reconstructed in this process, the
+    handed-out numpy views may outlive the handle; their backing buffer
+    then stays mapped for the rest of the process (see ``_KEEPALIVE``) so
+    stale reads raise nothing worse than stale data — never a segfault.
+    The owner additionally unlinks the segment: no new process can attach,
+    and the memory is freed once the last holder exits.
+    """
+    cached = _ATTACHED.pop(shm_name, None)
+    if cached is not None:
+        # Views were handed out: keep the mapping alive, never munmap.
+        _KEEPALIVE.append(cached[0])
+    if owned_shm is not None:
+        if cached is None or cached[0] is not owned_shm:
+            owned_shm.close()
+        owned_shm.unlink()
 
 
 class SharedNetwork:
@@ -154,57 +206,19 @@ class SharedNetwork:
             shm = self._owned_shm
         else:
             shm = _attach_untracked(self._shm_name)
-        net = self._reconstruct(shm)
+        net = _reconstruct_network(shm, self._specs, self._n, self._d, self._k)
         _ATTACHED[self._shm_name] = (shm, net)
         return net
-
-    def _reconstruct(self, shm) -> SmallWorldNetwork:
-        views = {}
-        for spec in self._specs:
-            arr = np.ndarray(
-                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
-            )
-            arr.flags.writeable = False  # shared state must stay immutable
-            views[spec.name] = arr
-        h = HGraph(
-            n=self._n,
-            d=self._d,
-            cycles=views["h_cycles"],
-            indptr=views["h_indptr"],
-            indices=views["h_indices"],
-        )
-        return SmallWorldNetwork(
-            h=h,
-            k=self._k,
-            g_indptr=views["g_indptr"],
-            g_indices=views["g_indices"],
-            g_dist=views["g_dist"],
-        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Owner: unlink the segment.  Worker handles: drop the attachment.
 
-        If :attr:`net` was ever read from this process, the reconstructed
-        arrays may still be referenced by the caller; their backing buffer
-        then stays mapped for the rest of the process (see ``_KEEPALIVE``)
-        so stale reads raise nothing worse than stale data — never a
-        segfault.  The segment itself is unlinked regardless: no new
-        process can attach, and the memory is freed once the last holder
-        exits.
+        See :func:`_release_segment` for the keepalive semantics.
         """
-        cached = _ATTACHED.pop(self._shm_name, None)
-        if cached is not None:
-            # Views were handed out: keep the mapping alive, never munmap.
-            _KEEPALIVE.append(cached[0])
-        if self._owned_shm is not None:
-            shm = self._owned_shm
-            self._owned_shm = None
-            if cached is None or cached[0] is not shm:
-                shm.close()
-            shm.unlink()
-        elif cached is None:
-            pass  # nothing attached in this process; nothing to release
+        shm = self._owned_shm
+        self._owned_shm = None
+        _release_segment(self._shm_name, shm)
 
     def __enter__(self) -> "SharedNetwork":
         return self
@@ -236,4 +250,111 @@ class SharedNetwork:
         return (
             f"SharedNetwork(name={self._shm_name!r}, n={self._n}, d={self._d}, "
             f"k={self._k}, owner={self._owned_shm is not None})"
+        )
+
+
+class SharedNetworkPack:
+    """Picklable handle to *several* networks in one shared-memory segment.
+
+    The multi-network analogue of :class:`SharedNetwork`: every graph's
+    six adjacency arrays are laid out back to back in a single segment, so
+    a sharded multi-network sweep ships its entire network axis as one
+    few-hundred-byte handle and each worker attaches / reconstructs the
+    whole tuple exactly once per process.  Create with :meth:`create` in
+    the owning process; read :attr:`nets` anywhere.
+    """
+
+    def __init__(self, shm_name: str, per_net: tuple):
+        self._shm_name = shm_name
+        # per_net: one (specs, n, d, k) tuple per network, in input order.
+        self._per_net = per_net
+        self._owned_shm = None  # set only in the creating process
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, nets) -> "SharedNetworkPack":
+        """Copy every network's arrays into one fresh shared segment."""
+        from multiprocessing import shared_memory
+
+        per_net = []
+        writes = []
+        offset = 0
+        for net in nets:
+            specs = []
+            for name, get in _FIELDS:
+                arr = np.ascontiguousarray(get(net))
+                # 8-byte alignment keeps int64 views legal at every offset.
+                offset = (offset + 7) & ~7
+                spec = _ArraySpec(
+                    name=name, dtype=arr.dtype.str, shape=arr.shape, offset=offset
+                )
+                specs.append(spec)
+                writes.append((spec, arr))
+                offset += arr.nbytes
+            per_net.append((tuple(specs), net.n, net.d, net.k))
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for spec, arr in writes:
+            dst = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+            )
+            dst[...] = arr
+        handle = cls(shm.name, tuple(per_net))
+        handle._owned_shm = shm
+        return handle
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name."""
+        return self._shm_name
+
+    @property
+    def nets(self) -> tuple:
+        """The networks, backed by the shared segment (attached lazily)."""
+        cached = _ATTACHED.get(self._shm_name)
+        if cached is not None:
+            return cached[1]
+        if self._owned_shm is not None:
+            shm = self._owned_shm
+        else:
+            shm = _attach_untracked(self._shm_name)
+        nets = tuple(
+            _reconstruct_network(shm, specs, n, d, k)
+            for specs, n, d, k in self._per_net
+        )
+        _ATTACHED[self._shm_name] = (shm, nets)
+        return nets
+
+    def __len__(self) -> int:
+        return len(self._per_net)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Owner: unlink the segment.  Worker handles: drop the attachment."""
+        shm = self._owned_shm
+        self._owned_shm = None
+        _release_segment(self._shm_name, shm)
+
+    def __enter__(self) -> "SharedNetworkPack":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The owning SharedMemory object never crosses process boundaries;
+        # workers re-attach by name.
+        return {"shm_name": self._shm_name, "per_net": self._per_net}
+
+    def __setstate__(self, state) -> None:
+        self._shm_name = state["shm_name"]
+        self._per_net = state["per_net"]
+        self._owned_shm = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [n for _, n, _, _ in self._per_net]
+        return (
+            f"SharedNetworkPack(name={self._shm_name!r}, sizes={sizes}, "
+            f"owner={self._owned_shm is not None})"
         )

@@ -18,13 +18,24 @@ batching amortizes it across trials (see ``benchmarks/bench_batch.py``).
 Colors are positive integers; ``0`` is the sentinel for "nothing sent"
 (crashed node, suppressed message), so a plain integer max implements
 "ignore missing".
+
+Batches may also span *different networks*: :class:`MultiFloodKernel` runs
+``neighbor_max_stacked`` over a padded ``(n_pad, B)`` trials-as-columns
+matrix in which every column belongs to one of several adjacencies (sizes
+may differ — smaller networks occupy the live prefix of their columns, the
+rest is padding).  The kernel masks the reduction to each column's live
+prefix and zeroes the padding rows of the output, so a padding row can
+never win a max or leak into a live column; networks of identical
+``(n, d)`` shape that sit in adjacent column runs share one stacked gather
+plan (per-column neighbor-index matrices), so re-sampled graphs of one
+size amortize the kernel dispatch the way trials of one graph do.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["FloodKernel"]
+__all__ = ["FloodKernel", "MultiFloodKernel"]
 
 
 class FloodKernel:
@@ -174,3 +185,175 @@ class FloodKernel:
                 return step - 1
             cur = nxt
         raise RuntimeError(f"flooding did not saturate within {limit} rounds")
+
+
+#: Column runs narrower than this are candidates for merging into one
+#: stacked gather with adjacent same-(n, d) runs: a handful of columns per
+#: graph cannot amortize a kernel call, so re-samples pool their columns.
+#: Wider runs keep the (faster) per-network row-gather path.
+_MERGE_MAX_RUN = 16
+
+
+class _ColumnSegment:
+    """One contiguous column span of a :class:`MultiFloodKernel` plan."""
+
+    __slots__ = ("lo", "hi", "n", "kernel", "idx")
+
+    def __init__(self, lo: int, hi: int, n: int, kernel=None, idx=None):
+        self.lo = lo
+        self.hi = hi
+        self.n = n
+        self.kernel = kernel  # single-network run: dispatch to this kernel
+        self.idx = idx  # merged shape group: per-slot (n, width) gathers
+
+
+class _ColumnPlan:
+    """Frozen per-phase dispatch plan for one live-column assignment."""
+
+    __slots__ = ("batch", "segments")
+
+    def __init__(self, batch: int, segments: list[_ColumnSegment]):
+        self.batch = batch
+        self.segments = segments
+
+
+class MultiFloodKernel:
+    """Per-round neighbor-max for a padded multi-network column batch.
+
+    Parameters
+    ----------
+    networks:
+        The distinct networks whose trials share one padded
+        ``(n_pad, B)`` trials-as-columns state matrix (``n_pad`` is the
+        largest ``n``).  Column-to-network assignment is provided per
+        phase via :meth:`column_plan` (live columns change as trials
+        finish).
+
+    The padding contract: rows at or beyond a column's network size are
+    *padding* — the kernel never reads a padding row of a live prefix's
+    neighborhood (each network's adjacency only references its own
+    ``0..n-1``) and always writes ``0`` into the padding rows of the
+    output, so iterated flooding keeps padding identically zero and a
+    padding value can never win a max (enforced by
+    ``tests/property/test_padding_properties.py``).
+    """
+
+    def __init__(self, networks):
+        self.kernels = [
+            FloodKernel(net.h.indptr, net.h.indices) for net in networks
+        ]
+        self.sizes = tuple(int(net.n) for net in networks)
+        self.degrees = tuple(int(net.d) for net in networks)
+        self.n_pad = max(self.sizes) if self.sizes else 0
+        self._plan_cache: dict[bytes, _ColumnPlan] = {}
+
+    # ------------------------------------------------------------------
+    def column_plan(self, col_net: np.ndarray) -> _ColumnPlan:
+        """Build (and cache) the dispatch plan for one column assignment.
+
+        ``col_net`` maps each live column to its network index; columns of
+        one network should sit in contiguous runs (the batch engines sort
+        trials network-major), but scattered assignments only cost extra
+        segments, never correctness.
+        """
+        col_net = np.ascontiguousarray(col_net, dtype=np.int64)
+        key = col_net.tobytes()
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            return plan
+        runs: list[tuple[int, int, int]] = []  # (net, lo, hi)
+        batch = col_net.shape[0]
+        lo = 0
+        for b in range(1, batch + 1):
+            if b == batch or col_net[b] != col_net[lo]:
+                runs.append((int(col_net[lo]), lo, b))
+                lo = b
+        segments: list[_ColumnSegment] = []
+        group: list[tuple[int, int, int]] = []
+        for run in runs + [(-1, -1, -1)]:  # sentinel flushes the last group
+            if group and not self._mergeable(group[-1], run):
+                segments.append(self._segment(group))
+                group = []
+            group.append(run)
+        if len(self._plan_cache) >= 16:
+            self._plan_cache.clear()
+        plan = _ColumnPlan(batch, segments)
+        self._plan_cache[key] = plan
+        return plan
+
+    def _mergeable(self, a: tuple[int, int, int], b: tuple[int, int, int]) -> bool:
+        """Adjacent runs merge when both are narrow re-samples of one shape."""
+        if b[0] < 0:  # sentinel
+            return False
+        ka, kb = self.kernels[a[0]], self.kernels[b[0]]
+        return (
+            a[0] != b[0]
+            and self.sizes[a[0]] == self.sizes[b[0]]
+            and ka._uniform_degree > 1
+            and ka._uniform_degree == kb._uniform_degree
+            and (a[2] - a[1]) <= _MERGE_MAX_RUN
+            and (b[2] - b[1]) <= _MERGE_MAX_RUN
+        )
+
+    def _segment(self, group: list[tuple[int, int, int]]) -> _ColumnSegment:
+        lo, hi = group[0][1], group[-1][2]
+        n = self.sizes[group[0][0]]
+        if len(group) == 1:
+            return _ColumnSegment(lo, hi, n, kernel=self.kernels[group[0][0]])
+        # One shape group of re-sampled graphs: stack each kernel's
+        # per-slot neighbor columns into (n, width) index matrices so a
+        # single fancy gather serves every graph in the group.
+        degree = self.kernels[group[0][0]]._uniform_degree
+        idx = []
+        for j in range(degree):
+            parts = [
+                np.broadcast_to(
+                    self.kernels[g]._cols()[j][:, None], (n, g_hi - g_lo)
+                )
+                for g, g_lo, g_hi in group
+            ]
+            idx.append(np.ascontiguousarray(np.concatenate(parts, axis=1)))
+        return _ColumnSegment(lo, hi, n, idx=idx)
+
+    # ------------------------------------------------------------------
+    def neighbor_max_stacked(
+        self, values: np.ndarray, plan: _ColumnPlan, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Masked batched neighbor-max over the padded ``(n_pad, B)`` state.
+
+        Column ``b``'s live prefix receives its own network's neighbor
+        maxima; its padding rows are written to ``0`` (never read by any
+        live reduction), so padding cannot leak into live columns.
+        """
+        if values.ndim != 2 or values.shape[0] != self.n_pad:
+            raise ValueError(
+                f"expected an ({self.n_pad}, B) matrix, got shape {values.shape}"
+            )
+        if values.shape[1] != plan.batch:
+            raise ValueError(
+                f"plan covers {plan.batch} columns, state has {values.shape[1]}"
+            )
+        if out is None:
+            out = np.empty_like(values)
+        for seg in plan.segments:
+            sub = values[: seg.n, seg.lo : seg.hi]
+            dst = out[: seg.n, seg.lo : seg.hi]
+            # Column-sliced views are row-strided; the row-gather kernels
+            # lose ~2x on them, and one small memcpy through a contiguous
+            # scratch buys that back (measured: scratch ~= contiguous).
+            contiguous = sub.flags["C_CONTIGUOUS"]
+            src = sub if contiguous else np.ascontiguousarray(sub)
+            if seg.kernel is not None:
+                if contiguous:
+                    seg.kernel.neighbor_max_stacked(src, out=dst)
+                else:
+                    np.copyto(dst, seg.kernel.neighbor_max_stacked(src))
+            else:
+                ccols = np.arange(seg.hi - seg.lo)[None, :]
+                res = np.maximum(src[seg.idx[0], ccols], src[seg.idx[1], ccols])
+                for j in range(2, len(seg.idx)):
+                    np.maximum(res, src[seg.idx[j], ccols], out=res)
+                np.copyto(dst, res)
+            if seg.n < self.n_pad:
+                out[seg.n :, seg.lo : seg.hi] = 0
+        return out

@@ -25,8 +25,10 @@ from repro.core import (
     make_adversary,
     run_counting,
     run_counting_batch,
+    run_multi_sweep,
     run_sweep,
 )
+from repro.core.sweep import MIN_SHARD_CELLS, _shard_bounds
 from repro.experiments.common import byzantine_counting_trials
 
 INT32_MAX = int(np.iinfo(np.int32).max)
@@ -461,6 +463,48 @@ class TestRunSweep:
         with pytest.raises(ValueError, match="seed"):
             run_sweep(net_small, seeds=[])
 
+    def test_duplicate_seeds_rejected(self, net_small):
+        with pytest.raises(ValueError, match="duplicate seed"):
+            run_sweep(net_small, seeds=[1, 2, 1])
+
+    def test_duplicate_generator_objects_rejected(self, net_small):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="duplicate seed"):
+            run_sweep(net_small, seeds=[rng, rng])
+
+    def test_repeated_none_seeds_accepted(self, net_small):
+        # None draws fresh entropy per trial, so repeats are distinct trials.
+        cfg = CountingConfig(verification=False, max_phase=10)
+        sweep = run_sweep(net_small, seeds=[None, None], configs=cfg)
+        assert sweep.shape == (1, 1, 1, 2)
+
+    def test_distinct_generator_objects_accepted(self, net_small):
+        cfg = CountingConfig(verification=False, max_phase=10)
+        sweep = run_sweep(
+            net_small,
+            seeds=[np.random.default_rng(3), np.random.default_rng(4)],
+            configs=cfg,
+        )
+        ref = run_counting(net_small, cfg, seed=np.random.default_rng(3))
+        assert np.array_equal(ref.decided_phase, sweep.cell(seed=0).decided_phase)
+
+    def test_one_shot_generator_rejected(self, net_small):
+        with pytest.raises(TypeError, match="materialized sequence"):
+            run_sweep(net_small, seeds=(s for s in [1, 2, 3]))
+
+    def test_bare_numpy_generator_rejected(self, net_small):
+        with pytest.raises(TypeError, match="single\\s+numpy Generator"):
+            run_sweep(net_small, seeds=np.random.default_rng(0))
+
+    def test_string_seeds_rejected(self, net_small):
+        with pytest.raises(TypeError, match="sequence"):
+            run_sweep(net_small, seeds="123")
+
+    def test_array_seeds_accepted(self, net_small):
+        cfg = CountingConfig(verification=False, max_phase=10)
+        sweep = run_sweep(net_small, seeds=np.array([4, 5]), configs=cfg)
+        assert sweep.shape == (1, 1, 1, 2)
+
     def test_none_strategy_with_byz_placement_rejected(self, net_small):
         mask = placement_for_delta(net_small, 0.5, rng=4)
         with pytest.raises(ValueError, match="strategy"):
@@ -474,6 +518,22 @@ class TestRunSweep:
                 placements=[np.zeros(net_small.n + 1, dtype=bool)],
                 strategies="honest",
             )
+
+    def test_shard_cells_one_still_valid(self, net_small):
+        mask = placement_for_delta(net_small, 0.5, rng=4)
+        sweep = run_sweep(
+            net_small,
+            seeds=[1, 2],
+            configs=self.CFG,
+            placements=mask,
+            strategies="early-stop",
+            shard_cells=1,
+        )
+        assert len(sweep) == 2
+
+    def test_zero_shard_cells_rejected(self, net_small):
+        with pytest.raises(ValueError, match="shard_cells"):
+            run_sweep(net_small, seeds=[1], shard_cells=0)
 
     def test_liar_counts_sweep_matches_crash_phase(self, net_small):
         # E11's routing: the engine's pre-phase crash mask must equal a
@@ -496,3 +556,141 @@ class TestRunSweep:
             adv.bind(net_small, byz, None, CountingConfig())
             expected = crash_phase(net_small, byz, adv.topology_claims())
             assert np.array_equal(sweep.cell(placement=p_idx).crashed, expected)
+
+
+class TestCostWeightedShards:
+    """The cost-weighted splitter: valid partitions, balanced by cost."""
+
+    def test_serial_is_one_shard(self):
+        assert _shard_bounds([1.0] * 10, None, None) == [(0, 10)]
+
+    def test_fixed_size_override(self):
+        assert _shard_bounds([1.0] * 5, None, 2) == [(0, 2), (2, 4), (4, 5)]
+
+    def test_partition_is_exact_and_ordered(self):
+        costs = [3.0, 1.0, 1.0, 1.0, 8.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        bounds = _shard_bounds(costs, target_cost=5.0, shard_cells=None)
+        assert bounds[0][0] == 0 and bounds[-1][1] == len(costs)
+        for (l1, h1), (l2, h2) in zip(bounds, bounds[1:]):
+            assert h1 == l2
+        for lo, hi in bounds:
+            assert hi - lo >= min(MIN_SHARD_CELLS, len(costs))
+
+    def test_skewed_costs_move_boundaries(self):
+        # A cheap prefix and an expensive suffix: the boundary must land
+        # deeper into the cheap cells than a count-based split would.
+        costs = [1.0] * 12 + [10.0] * 12
+        bounds = _shard_bounds(costs, target_cost=sum(costs) / 2, shard_cells=None)
+        assert len(bounds) >= 2
+        first = bounds[0]
+        assert first[1] > 12  # swallowed the whole cheap prefix and more
+
+
+class TestRunMultiSweep:
+    """The network axis: bit-for-bit per cell vs per-network run_sweep."""
+
+    CFG = CountingConfig(max_phase=10)
+
+    def _nets(self):
+        from repro.graphs import build_small_world
+
+        return [build_small_world(n, 8, seed=50 + n) for n in (96, 128)]
+
+    def test_cells_match_per_network_sweeps(self):
+        nets = self._nets()
+        place = lambda net: [placement_for_delta(net, 0.5, rng=3)]
+        multi = run_multi_sweep(
+            nets,
+            seeds=[70, 71],
+            configs=self.CFG,
+            placements=place,
+            strategies=["early-stop", "inflation"],
+        )
+        assert multi.shape == (2, 2, 1, 1, 2)
+        for g, net in enumerate(nets):
+            single = run_sweep(
+                net,
+                seeds=[70, 71],
+                configs=self.CFG,
+                placements=place(net),
+                strategies=["early-stop", "inflation"],
+            )
+            got = multi.sweep(g)
+            assert single.shape == got.shape
+            for a, b in zip(single.results, got.results):
+                assert_trial_equal(a, b)
+
+    def test_run_sweep_accepts_network_list(self):
+        nets = self._nets()
+        cfg = CountingConfig(verification=False, max_phase=10)
+        multi = run_sweep(nets, seeds=[1, 2], configs=cfg)
+        for g, net in enumerate(nets):
+            for b, s in enumerate([1, 2]):
+                ref = run_counting(net, cfg, seed=s)
+                assert_trial_equal(ref, multi.cell(network=g, seed=b))
+
+    def test_sharded_equals_serial(self):
+        nets = self._nets()
+        place = lambda net: [placement_for_delta(net, 0.5, rng=3)]
+        kwargs = dict(
+            seeds=[80, 81],
+            configs=self.CFG,
+            placements=place,
+            strategies=["early-stop", "inflation"],
+        )
+        serial = run_multi_sweep(nets, **kwargs)
+        sharded = run_multi_sweep(nets, **kwargs, jobs=2, shard_cells=3)
+        for a, b in zip(serial.results, sharded.results):
+            assert_trial_equal(a, b)
+
+    def test_seed_batch_is_contiguous_block(self):
+        nets = self._nets()
+        cfg = CountingConfig(verification=False, max_phase=10)
+        multi = run_multi_sweep(nets, seeds=[5, 6, 7], configs=cfg)
+        batch = multi.seed_batch(network=1)
+        assert len(batch) == 3
+        for b in range(3):
+            assert batch[b] is multi.cell(network=1, seed=b)
+
+    def test_empty_network_axis_rejected(self):
+        with pytest.raises(ValueError, match="network"):
+            run_multi_sweep([], seeds=[1])
+
+    def test_mixed_degree_rejected(self):
+        from repro.graphs import build_small_world
+
+        nets = [build_small_world(96, 8, seed=1), build_small_world(96, 6, seed=2)]
+        with pytest.raises(ValueError, match="degree d"):
+            run_multi_sweep(nets, seeds=[1])
+
+    def test_placement_axis_length_mismatch_rejected(self):
+        nets = self._nets()
+        specs = [[placement_for_delta(nets[0], 0.5, rng=3)], None]
+        with pytest.raises(ValueError, match="placement axis"):
+            run_multi_sweep(
+                nets,
+                seeds=[1],
+                placements=[specs[0], [None, None]],
+                strategies="early-stop",
+            )
+
+    def test_per_network_placement_count_mismatch_rejected(self):
+        nets = self._nets()
+        with pytest.raises(ValueError, match="one placement axis per network"):
+            run_multi_sweep(
+                nets,
+                seeds=[1],
+                placements=[[None]],
+                strategies="early-stop",
+            )
+
+    def test_wrong_size_mask_rejected(self):
+        nets = self._nets()
+        bad = np.zeros(nets[0].n + 1, dtype=bool)
+        with pytest.raises(ValueError, match="placements"):
+            run_multi_sweep(
+                nets,
+                seeds=[1],
+                placements=lambda net: [bad],
+                strategies="early-stop",
+            )

@@ -1,10 +1,28 @@
-"""Cross-validation: the vectorized and agent engines must agree exactly.
+"""Cross-engine equivalence: all four engines must agree on the same cells.
 
-Both engines consume the same randomness in the same order, so for any
-seed, network and adversary they must produce identical per-node decisions
-and crash sets (DESIGN.md §2.1).  This is the strongest correctness check
-in the suite: it ties the rule-level verification semantics of the fast
-path to the message-level machinery of the agent path.
+The library executes the counting protocol through four independent
+implementations:
+
+* ``agents`` — the message-level path: :func:`repro.core.agents
+  .run_counting_agents` drives real :class:`~repro.sim.node.NodeProgram`
+  objects over the :class:`~repro.sim.engine.SynchronousEngine`;
+* ``runner`` — the vectorized reference engine
+  (:func:`repro.core.runner.run_counting`);
+* ``batch`` — the trials-as-columns batched engine
+  (:func:`repro.core.batch.run_counting_batch`);
+* ``multinet`` — the padded multi-network batch
+  (:func:`repro.core.batch.run_counting_multinet`), exercised here with a
+  decoy network of a *different size* sharing the batch, so the cell under
+  test runs in a padded column.
+
+All four consume the same randomness in the same order, so for any
+(network, config, strategy, seed) cell they must produce identical
+per-node decisions and crash sets (DESIGN.md §2.1); the three vectorized
+engines must additionally match bit-for-bit on meters, traces, and
+injection counters.  One parametrized grid pins every cell across every
+engine through one shared helper — this is the strongest correctness
+check in the suite, and the harness CI runs in its own job step so
+padding regressions fail loudly.
 """
 
 import numpy as np
@@ -13,6 +31,7 @@ import pytest
 from repro.adversary import placement_for_delta
 from repro.core import CountingConfig, make_adversary
 from repro.core.agents import run_counting_agents
+from repro.core.batch import run_counting_batch, run_counting_multinet
 from repro.core.runner import run_counting
 from repro.graphs import build_small_world
 
@@ -27,6 +46,24 @@ STRATEGIES = [
     "topology-liar",
 ]
 
+CFG = CountingConfig(max_phase=14)
+
+#: The fixture grid: every (config, strategy) cell runs on every engine.
+#: ``strategy=None`` is plain Algorithm 1 (no adversary object at all).
+CELLS = (
+    [("alg1", CFG.with_(verification=False), None, 5)]
+    + [("alg1-seed2", CFG.with_(verification=False), None, 2)]
+    + [(f"alg2-{s}", CFG, s, 5) for s in STRATEGIES]
+    + [("alg2-no-verification", CFG.with_(verification=False, max_phase=8), "inflation", 5)]
+)
+CELL_IDS = [c[0] for c in CELLS]
+
+#: Engines beyond the ``runner`` reference.  ``full`` marks engines whose
+#: results must match bit-for-bit (meters, traces, injection counters);
+#: the message-level agents path meters messages differently by design,
+#: so it is pinned on decisions and crash sets.
+ENGINES = [("agents", False), ("batch", True), ("multinet", True)]
+
 
 @pytest.fixture(scope="module")
 def net():
@@ -34,49 +71,110 @@ def net():
 
 
 @pytest.fixture(scope="module")
+def decoy():
+    """A smaller same-degree network that pads the multinet batch."""
+    return build_small_world(96, 8, seed=33)
+
+
+@pytest.fixture(scope="module")
 def byz(net):
     return placement_for_delta(net, 0.55, rng=9)
 
 
-CFG = CountingConfig(max_phase=14)
+@pytest.fixture(scope="module")
+def reference(net, byz):
+    """Memoized ``runner`` results, one per grid cell."""
+    cache = {}
+
+    def get(name, cfg, strategy, seed):
+        if name not in cache:
+            cache[name] = run_cell("runner", net, decoy_net=None, byz=byz,
+                                   cfg=cfg, strategy=strategy, seed=seed)
+        return cache[name]
+
+    return get
 
 
-class TestAlgorithm1Equivalence:
-    def test_no_adversary(self, net):
-        cfg = CFG.with_(verification=False)
-        a = run_counting(net, cfg, seed=5)
-        b = run_counting_agents(net, cfg, seed=5)
-        assert np.array_equal(a.decided_phase, b.decided_phase)
+def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed):
+    """Execute one (network, config, strategy, seed) cell on one engine.
 
-    def test_multiple_seeds(self, net):
-        cfg = CFG.with_(verification=False)
-        for seed in (1, 2):
-            a = run_counting(net, cfg, seed=seed)
-            b = run_counting_agents(net, cfg, seed=seed)
-            assert np.array_equal(a.decided_phase, b.decided_phase)
-
-
-class TestAlgorithm2Equivalence:
-    @pytest.mark.parametrize("strategy", STRATEGIES)
-    def test_strategy(self, net, byz, strategy):
-        a = run_counting(
-            net, CFG, seed=5, adversary=make_adversary(strategy), byz_mask=byz
+    This is the single shared entry point every equivalence test goes
+    through; adding an engine or a cell extends the grid, not the tests.
+    """
+    mask = byz if strategy is not None else None
+    if engine == "runner":
+        adversary = make_adversary(strategy) if strategy is not None else None
+        return run_counting(net, cfg, seed=seed, adversary=adversary, byz_mask=mask)
+    if engine == "agents":
+        adversary = make_adversary(strategy) if strategy is not None else None
+        return run_counting_agents(
+            net, cfg, seed=seed, adversary=adversary, byz_mask=mask
         )
-        b = run_counting_agents(
-            net, CFG, seed=5, adversary=make_adversary(strategy), byz_mask=byz
+    if engine == "batch":
+        factory = (
+            (lambda: make_adversary(strategy)) if strategy is not None else None
         )
-        assert np.array_equal(a.crashed, b.crashed)
-        assert np.array_equal(a.decided_phase, b.decided_phase)
+        return run_counting_batch(
+            net, [seed], config=cfg, adversary_factory=factory, byz_mask=mask
+        )[0]
+    if engine == "multinet":
+        # The cell under test shares a padded batch with a decoy trial on
+        # a smaller network, so its column carries real padding rows.
+        factory = (
+            (lambda: make_adversary(strategy)) if strategy is not None else None
+        )
+        masks = [None, mask] if factory is not None else None
+        out = run_counting_multinet(
+            [decoy_net, net],
+            [seed + 1000, seed],
+            config=cfg,
+            adversary_factory=factory,
+            byz_mask=masks,
+        )
+        return out[1]
+    raise ValueError(f"unknown engine {engine!r}")
 
-    def test_verification_off_equivalence(self, net, byz):
-        cfg = CFG.with_(verification=False, max_phase=8)
-        a = run_counting(
-            net, cfg, seed=5, adversary=make_adversary("inflation"), byz_mask=byz
+
+def assert_cell_equal(ref, got, *, full: bool):
+    """The shared equivalence assertion (decisions always; state if full)."""
+    assert np.array_equal(ref.decided_phase, got.decided_phase)
+    assert np.array_equal(ref.crashed, got.crashed)
+    if full:
+        assert np.array_equal(ref.byz, got.byz)
+        assert ref.meter.as_dict() == got.meter.as_dict()
+        assert list(ref.trace) == list(got.trace)
+        assert ref.injections_accepted == got.injections_accepted
+        assert ref.injections_rejected == got.injections_rejected
+
+
+class TestEngineGrid:
+    """Every grid cell, on every engine, against the runner reference."""
+
+    @pytest.mark.parametrize("engine,full", ENGINES, ids=[e for e, _ in ENGINES])
+    @pytest.mark.parametrize("cell", CELLS, ids=CELL_IDS)
+    def test_cell(self, net, decoy, byz, reference, cell, engine, full):
+        name, cfg, strategy, seed = cell
+        ref = reference(name, cfg, strategy, seed)
+        got = run_cell(
+            engine, net, decoy_net=decoy, byz=byz, cfg=cfg, strategy=strategy, seed=seed
         )
-        b = run_counting_agents(
-            net, cfg, seed=5, adversary=make_adversary("inflation"), byz_mask=byz
+        assert_cell_equal(ref, got, full=full)
+
+
+class TestMultinetPaddingColumn:
+    """The padded column's decoy neighbour must itself stay exact."""
+
+    def test_decoy_trial_matches_its_own_network(self, net, decoy, byz):
+        out = run_counting_multinet(
+            [decoy, net],
+            [7, 5],
+            config=CFG,
+            adversary_factory=lambda: make_adversary("early-stop"),
+            byz_mask=[None, byz],
         )
-        assert np.array_equal(a.decided_phase, b.decided_phase)
+        ref = run_counting(decoy, CFG, seed=7, adversary=make_adversary("early-stop"),
+                           byz_mask=np.zeros(decoy.n, dtype=bool))
+        assert_cell_equal(ref, out[0], full=True)
 
 
 class TestAgentMessageAccounting:
