@@ -23,6 +23,15 @@ one network, in four workloads:
   per-size *batched* loop (same kernel work, so that ratio hovers near
   1x — the padded path's wins are the fused grid API and cross-size
   sharding, not raw per-round arithmetic);
+* **union_stack** — the same size sweep through the zero-padding
+  block-diagonal union stack
+  (:func:`repro.core.batch.run_counting_unionstack`, all sizes as row
+  blocks of one (sum n, B) state).  Gated against the per-size *batched*
+  loop — the stronger reference the padded layout only tied: one
+  row-gather per round over the concatenated CSR drops the padded
+  elementwise waste and the per-segment scratch copies, so this entry
+  must stay above 1x.  A secondary ungated entry tracks union vs the
+  padded fused path;
 * **baseline** — the geometric-max estimator, scalar vs trials-as-columns
   batch.
 
@@ -54,6 +63,7 @@ from repro.core import (
     make_adversary,
     run_counting_batch,
     run_counting_multinet,
+    run_counting_unionstack,
     run_sweep,
 )
 from repro.core.runner import run_counting
@@ -185,6 +195,15 @@ def run_multinet_fused(nets, seeds, config=CFG):
     return list(run_counting_multinet(trial_nets, trial_seeds, config=config))
 
 
+def run_multinet_union(nets, seeds, config=CFG):
+    """All sizes as row blocks of ONE zero-padding union-stack batch.
+
+    Results come back network-major ((network, seed) grid order), matching
+    ``run_multinet_batched_loop`` / ``run_multinet_fused`` index for index.
+    """
+    return list(run_counting_unionstack(nets, seeds, config=config))
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -239,6 +258,15 @@ def test_bench_multinet_fused_trials(benchmark):
     assert len(results) == len(nets) * len(seeds)
 
 
+def test_bench_unionstack_trials(benchmark):
+    nets = _multi_nets()
+    seeds = _seeds(max(2, DEFAULT_TRIALS // len(MULTI_NS)))
+    results = benchmark.pedantic(
+        run_multinet_union, args=(nets, seeds), rounds=2, iterations=1
+    )
+    assert len(results) == len(nets) * len(seeds)
+
+
 def test_bench_baseline_batched_trials(benchmark):
     net = _net()
     seeds = _seeds(DEFAULT_TRIALS)
@@ -288,6 +316,17 @@ def test_multinet_matches_per_size_runs():
         assert np.array_equal(a.decided_phase, c.decided_phase)
         assert a.meter.as_dict() == b.meter.as_dict()
         assert a.meter.as_dict() == c.meter.as_dict()
+
+
+def test_unionstack_matches_per_size_runs():
+    """Guard: the union-stack speed win changes no reported statistic."""
+    nets = [build_small_world(n, 8, seed=3) for n in (128, 256, 512)]
+    seeds = _seeds(4)
+    union = run_multinet_union(nets, seeds)
+    loop = run_multinet_batched_loop(nets, seeds)
+    for a, b in zip(loop, union):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
 
 
 def test_byzantine_batched_matches_sequential():
@@ -500,6 +539,45 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"{'multi_net-vs-batched-loop':<28}{t_loop * 1e3:>8.1f}ms"
         f"{t_bat * 1e3:>8.1f}ms{t_loop / t_bat:>9.2f}x"
+    )
+
+    # --- union-stack (zero-padding block-diagonal size sweep) ---------
+    t_pad = t_bat  # the padded fused timing from the multi_net section
+    run_multinet_union(multi_nets, multi_seeds[: min(4, len(multi_seeds))])  # warm
+    t_uni, uni = _time_best(
+        run_multinet_union, multi_nets, multi_seeds, repeats=args.repeats
+    )
+    for a, b in zip(loop, uni):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+    # Gated against the per-size *batched* loop: the union layout's whole
+    # point is to beat the reference the padded path only tied.
+    sp = record(
+        "union_stack",
+        t_loop,
+        t_uni,
+        {
+            "reference": "per-size batched loop",
+            "ns": list(MULTI_NS),
+            "seeds_per_n": len(multi_seeds),
+            "cells": multi_cells,
+        },
+        trials=multi_cells,
+    )
+    print(f"{'union_stack':<28}{t_loop * 1e3:>8.1f}ms{t_uni * 1e3:>8.1f}ms{sp:>9.2f}x")
+    trajectory.append(
+        {
+            "workload": "union_stack-vs-padded",
+            "mode": "informational",
+            "padded_s": t_pad,
+            "union_s": t_uni,
+            "speedup": t_pad / t_uni,
+            "ns": list(MULTI_NS),
+        }
+    )
+    print(
+        f"{'union_stack-vs-padded':<28}{t_pad * 1e3:>8.1f}ms"
+        f"{t_uni * 1e3:>8.1f}ms{t_pad / t_uni:>9.2f}x"
     )
 
     # --- baseline estimator (geometric-max) ---------------------------

@@ -1,7 +1,7 @@
 """The paper's primary contribution: Byzantine counting (Algorithms 1 & 2)."""
 
 from .basic_counting import run_basic_counting
-from .batch import run_counting_batch, run_counting_multinet
+from .batch import run_counting_batch, run_counting_multinet, run_counting_unionstack
 from .byzantine_counting import run_byzantine_counting
 from .colors import (
     color_pmf,
@@ -53,6 +53,7 @@ __all__ = [
     "run_counting",
     "run_counting_batch",
     "run_counting_multinet",
+    "run_counting_unionstack",
     "run_sweep",
     "run_multi_sweep",
     "SweepResult",

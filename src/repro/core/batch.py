@@ -89,6 +89,26 @@ flooding stays fused.  Bit-for-bit equal to per-network
 :func:`run_counting_batch` calls per trial, enforced by
 ``tests/integration/test_engine_equivalence.py`` and the hypothesis ragged
 -padding properties in ``tests/property/test_padding_properties.py``.
+
+Union-stack batching
+--------------------
+For *rectangular* (network x seed) grids — every network runs the same
+seed axis — :func:`run_counting_unionstack` replaces padding with the
+block-diagonal **union stack**: the networks are concatenated on the *row*
+axis (total rows ``N = sum(n_g)``; one column = one seed replicated across
+all sizes), so every flooding round is a single
+:class:`~repro.sim.flood.UnionFloodKernel` row-gather over the
+concatenated CSR — zero padding rows, no per-segment scratch copies, no
+masked zeroing.  Per-network row segments (the kernel's ``offsets``) drive
+decided counting, saturation/message accounting, crash masks, the
+per-block Lemma 16 gate (each block's own ``k_g``), and witness metering
+via segment-wise reductions; per-trial liveness is a ``(G, C)`` matrix, so
+a finished (network, seed) cell stops drawing colors and accruing meter
+charges exactly when its per-network batch would have dropped the column.
+Byzantine trials sub-group by (network block, placement).  Bit-for-bit
+equal to the padded and per-network engines per cell, enforced by the
+5-engine grid in ``tests/integration/test_engine_equivalence.py`` and the
+hypothesis properties in ``tests/property/test_unionstack_properties.py``.
 """
 
 from __future__ import annotations
@@ -105,7 +125,7 @@ from ..adversary.base import (
     has_native_batch,
 )
 from ..analysis.bounds import ball_size_bound
-from ..sim.flood import FloodKernel, MultiFloodKernel
+from ..sim.flood import FloodKernel, MultiFloodKernel, UnionFloodKernel
 from ..sim.metrics import MeterBatch, PhaseRecord, PhaseTrace
 from ..sim.rng import make_rng, spawn
 from .colors import sample_colors
@@ -114,7 +134,7 @@ from .neighborhood import crash_phase
 from .phases import color_threshold, subphase_count
 from .results import UNDECIDED, BatchCountingResult, CountingResult
 
-__all__ = ["run_counting_batch", "run_counting_multinet"]
+__all__ = ["run_counting_batch", "run_counting_multinet", "run_counting_unionstack"]
 
 #: Boundaries of the narrow adversarial state: plans whose values fit
 #: [INT32_MIN, INT32_MAX] run the subphase in int32; the first plan outside
@@ -1676,4 +1696,822 @@ def _run_multinet_byzantine_group(
                 injections_rejected=int(inj_rej[b]),
             )
         )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Union-stack batching (block-diagonal rectangular network x seed grids)
+# ----------------------------------------------------------------------
+
+
+def run_counting_unionstack(
+    networks: Sequence,
+    seeds: Sequence[int | None],
+    config: CountingConfig | Sequence[CountingConfig] | None = None,
+    adversary_factory: Callable[[], Adversary] | None = None,
+    byz_mask: Sequence | None = None,
+) -> BatchCountingResult:
+    """Run a rectangular (network x seed) grid as one union-stack batch.
+
+    Every network is a row *block* of one block-diagonal state matrix and
+    every seed is a *column* shared by all blocks, so the grid's
+    ``G x C`` trials execute with zero padding (see the module docstring's
+    union-stack section).  Each trial is bit-for-bit equal to the
+    per-network :func:`run_counting_batch` / padded
+    :func:`run_counting_multinet` run it replaces.
+
+    Parameters
+    ----------
+    networks:
+        The row blocks, one per network (``G`` entries; re-samples of one
+        shape are distinct blocks).  All must share the degree ``d`` —
+        the phase schedule is ``d``-dependent — validated eagerly.
+    seeds:
+        The column axis (``C`` entries).  Each seed is replicated across
+        every network's block (trial ``(g, j)`` derives its streams from
+        ``make_rng(seeds[j])``), so entries must be ints or ``None`` — a
+        ``numpy`` ``Generator`` object cannot be replicated and is
+        rejected eagerly with a :class:`TypeError`.
+    config:
+        A single :class:`CountingConfig` for the whole grid or one per
+        *column* (columns sharing a config batch together).
+    adversary_factory:
+        As in :func:`run_counting_batch`.
+    byz_mask:
+        ``None`` or a length-``G`` sequence, one entry per network:
+        ``None`` (empty placements), a single ``(n_g,)`` mask shared by
+        every column, a ``(C, n_g)`` stack, or a length-``C`` sequence of
+        per-column masks / Nones.
+
+    Returns
+    -------
+    BatchCountingResult
+        ``G * C`` per-trial results in network-major order: trial
+        ``(g, j)`` is element ``g * C + j`` — the order of the equivalent
+        ``run_counting_multinet([net_g for g .. for j ..], ...)`` call.
+    """
+    nets = list(networks)
+    if not nets:
+        raise ValueError("run_counting_unionstack needs at least one network")
+    degrees = {int(net.d) for net in nets}
+    if len(degrees) > 1:
+        raise ValueError(
+            "all networks in one union-stack batch must share the degree d "
+            f"(the phase schedule is d-dependent); got d in {sorted(degrees)}"
+        )
+    seeds = list(seeds)
+    for s in seeds:
+        if isinstance(s, np.random.Generator):
+            raise TypeError(
+                "union-stack seeds must be ints (or None): each seed column "
+                "is replicated across every network's row block, and a shared "
+                "Generator object would interleave one stream across those "
+                "trials; use run_counting_multinet for per-trial Generators"
+            )
+    cols = len(seeds)
+    n_g = len(nets)
+    if cols == 0:
+        return BatchCountingResult([])
+
+    masks = _normalize_union_masks(byz_mask, nets, cols)
+    if adversary_factory is None and masks is not None:
+        if any(m.any() for row in masks for m in row):
+            raise ValueError("byz_mask given without an adversary_factory")
+        masks = None
+
+    ukernel = _resolve_union_kernel(networks, nets)
+
+    configs = _normalize_configs(config, cols)
+    results: list[CountingResult | None] = [None] * (n_g * cols)
+    for cfg, col_ids in _group_by_config(configs).items():
+        col_seeds = [seeds[j] for j in col_ids]
+        if adversary_factory is not None:
+            group_masks = (
+                [
+                    [np.zeros(int(net.n), dtype=bool) for _ in col_ids]
+                    for net in nets
+                ]
+                if masks is None
+                else [[masks[g][j] for j in col_ids] for g in range(n_g)]
+            )
+            group = _run_union_byzantine_group(
+                nets, ukernel, col_seeds, cfg, adversary_factory, group_masks
+            )
+        else:
+            group = _run_union_group(nets, ukernel, col_seeds, cfg)
+        n_cols = len(col_ids)
+        for g in range(n_g):
+            for local, j in enumerate(col_ids):
+                results[g * cols + j] = group[g * n_cols + local]
+    return BatchCountingResult(results)  # type: ignore[arg-type]
+
+
+def _normalize_union_masks(
+    byz_mask, nets: list, cols: int
+) -> list[list[np.ndarray]] | None:
+    """Normalize union masks to per-(network, column) ``(n_g,)`` arrays.
+
+    Entry ``g`` of ``byz_mask`` covers network ``g``'s whole block: a
+    single ``(n_g,)`` ndarray is shared by every column; a ``(C, n_g)``
+    ndarray or any non-ndarray sequence is taken per column.
+    """
+    if byz_mask is None:
+        return None
+    if isinstance(byz_mask, np.ndarray) and byz_mask.ndim == 1:
+        raise ValueError(
+            "a single shared mask cannot span a union-stack batch; provide "
+            "one entry per network (an (n_g,) mask, a (C, n_g) stack, a "
+            "per-column mask list, or None)"
+        )
+    entries = list(byz_mask)
+    if len(entries) != len(nets):
+        raise ValueError(
+            f"got {len(entries)} placement entries for {len(nets)} networks; "
+            "provide one entry per network"
+        )
+    out: list[list[np.ndarray]] = []
+    for g, (net, entry) in enumerate(zip(nets, entries)):
+        n_net = int(net.n)
+        if entry is None:
+            out.append([np.zeros(n_net, dtype=bool)] * cols)
+            continue
+        if isinstance(entry, np.ndarray):
+            arr = np.asarray(entry, dtype=bool)
+            if arr.ndim == 1:
+                if arr.shape != (n_net,):
+                    raise ValueError(
+                        f"network {g}'s placement mask must have shape "
+                        f"({n_net},), got {arr.shape}"
+                    )
+                out.append([arr] * cols)
+                continue
+            if arr.ndim == 2:
+                if arr.shape != (cols, n_net):
+                    raise ValueError(
+                        f"network {g}'s placement stack must have shape "
+                        f"({cols}, {n_net}), got {arr.shape}"
+                    )
+                out.append([np.ascontiguousarray(arr[j]) for j in range(cols)])
+                continue
+            raise ValueError(
+                f"network {g}'s placement entry must be 1-D or 2-D, got "
+                f"shape {arr.shape}"
+            )
+        per_col = list(entry)
+        if len(per_col) != cols:
+            raise ValueError(
+                f"network {g}: got {len(per_col)} per-column masks for "
+                f"{cols} seed columns"
+            )
+        row = []
+        for m in per_col:
+            if m is None:
+                row.append(np.zeros(n_net, dtype=bool))
+                continue
+            arr = np.asarray(m, dtype=bool)
+            if arr.shape != (n_net,):
+                raise ValueError(
+                    f"network {g}'s placement masks must have shape "
+                    f"({n_net},), got {arr.shape}"
+                )
+            row.append(arr)
+        out.append(row)
+    return out
+
+
+def _resolve_union_kernel(networks_input, nets: list) -> UnionFloodKernel:
+    """Build (or adopt) the block-diagonal union kernel for this batch.
+
+    A pre-concatenated CSR attached to the input container (the
+    ``union_csr`` attribute of :class:`repro.graphs.shared.NetworkTuple`,
+    shipped through shared memory by ``SharedNetworkPack``) is adopted
+    when its block sizes match, so sharded workers skip re-stacking.
+    """
+    shipped = getattr(networks_input, "union_csr", None)
+    if shipped is not None:
+        sizes, indptr, indices = shipped
+        if tuple(int(s) for s in sizes) == tuple(int(net.n) for net in nets):
+            return UnionFloodKernel(sizes, indptr, indices)
+    return UnionFloodKernel.from_networks(nets)
+
+
+def _run_union_group(
+    nets: list, ukernel: UnionFloodKernel, seeds: list, config: CountingConfig
+) -> list[CountingResult]:
+    """Union-stack Algorithm 1: one config, G network blocks x C columns.
+
+    Mirrors :func:`_run_batched_group` with the node axis widened to the
+    union's ``N = sum(n_g)`` rows: every flooding round is one plain
+    row-gather over the concatenated CSR, and decided counting,
+    saturation/message accounting, and per-trial liveness read the
+    per-network row segments.  Bit-for-bit equal to per-network batched
+    (hence sequential) runs; trial ``(g, j)`` is result ``g * C + j``.
+    """
+    d = nets[0].d
+    blocks = len(nets)
+    cols = len(seeds)
+    rows_n = ukernel.n
+    offsets = ukernel.offsets
+    n_act = np.asarray(ukernel.sizes, dtype=np.int64)  # (G,)
+
+    color_rngs = []
+    for g in range(blocks):
+        row_rngs = []
+        for seed in seeds:
+            root = make_rng(seed)
+            color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
+            row_rngs.append(color_rng)
+        color_rngs.append(row_rngs)
+
+    decided = np.full((cols, rows_n), UNDECIDED, dtype=np.int64)
+    meters = MeterBatch(blocks * cols)
+    traces = [PhaseTrace() for _ in range(blocks * cols)]
+    alive = np.ones((blocks, cols), dtype=bool)
+
+    for phase in range(1, config.max_phase + 1):
+        undecided_all = decided == UNDECIDED
+        active = np.empty((blocks, cols), dtype=np.int64)
+        for g in range(blocks):
+            active[g] = np.count_nonzero(
+                undecided_all[:, offsets[g] : offsets[g + 1]], axis=1
+            )
+        if config.stop_when_all_decided:
+            alive &= active > 0
+        if not alive.any():
+            break
+        live = np.flatnonzero(alive.any(axis=0))
+        b_live = live.shape[0]
+        n_sub = subphase_count(
+            phase, config.eps, d, config.alpha_variant, config.subphase_multiplier
+        )
+        threshold = color_threshold(phase, d)
+        und = undecided_all[live]
+        counts = active[:, live]
+        alive_live = alive[:, live]
+        all_undecided = counts == n_act[:, None]
+        thr_floor = int(np.floor(threshold))
+        # Flat (network-major) meter/trace ids of this phase's live trials.
+        trial_ids = np.arange(blocks)[:, None] * cols + live[None, :]
+        live_ids = trial_ids[alive_live]
+
+        # One stream read per live trial per phase (see _run_batched_group);
+        # a trial that left its per-network batch draws nothing.
+        phase_draws: list[list] = [[None] * b_live for _ in range(blocks)]
+        for g in range(blocks):
+            for row, col in enumerate(live):
+                if not alive_live[g, row]:
+                    continue
+                count = int(counts[g, row])
+                if count:
+                    draws = sample_colors(color_rngs[g][int(col)], n_sub * count)
+                    phase_draws[g][row] = draws.reshape(n_sub, count)
+
+        colors_cn = np.zeros((b_live, rows_n), dtype=np.int32)
+        cur_t = np.empty((rows_n, b_live), dtype=np.int32)
+        prev_t = np.zeros((rows_n, b_live), dtype=np.int32)
+        recv_t = np.empty((rows_n, b_live), dtype=np.int32)
+        k_last_t = np.empty((rows_n, b_live), dtype=np.int32)
+        flag_continue = np.zeros((rows_n, b_live), dtype=bool)
+        senders = np.zeros((blocks, b_live), dtype=np.int64)
+        seg_nz = np.empty((blocks, b_live), dtype=np.int64)
+
+        for sub in range(n_sub):
+            for g in range(blocks):
+                lo, hi = int(offsets[g]), int(offsets[g + 1])
+                for row in range(b_live):
+                    draws = phase_draws[g][row]
+                    if draws is None:
+                        continue
+                    if all_undecided[g, row]:
+                        colors_cn[row, lo:hi] = draws[sub]
+                    else:
+                        seg = colors_cn[row, lo:hi]
+                        seg[und[row, lo:hi]] = draws[sub]
+            np.copyto(cur_t, colors_cn.T)
+
+            senders.fill(0)
+            saturated = False
+            for t in range(1, phase + 1):
+                if config.count_messages:
+                    if saturated:
+                        senders += n_act[:, None]
+                    else:
+                        nz = ukernel.segment_count_nonzero(cur_t, out=seg_nz)
+                        senders += nz
+                        # Saturation is per trial (the nonzero set only
+                        # grows within a subphase); the shared flag trips
+                        # once every live trial's block transmits in full
+                        # — dead trials hold zero colors all phase.
+                        saturated = bool(
+                            ((nz == n_act[:, None]) | ~alive_live).all()
+                        )
+                if t == phase:
+                    ukernel.neighbor_max_stacked(cur_t, out=k_last_t)
+                elif t == phase - 1:
+                    ukernel.neighbor_max_stacked(cur_t, out=prev_t)
+                    np.maximum(cur_t, prev_t, out=cur_t)
+                else:
+                    ukernel.neighbor_max_stacked(cur_t, out=recv_t)
+                    np.maximum(cur_t, recv_t, out=cur_t)
+            if config.count_messages:
+                meters.add_messages(live_ids, senders[alive_live] * d)
+            np.logical_or(
+                flag_continue,
+                (k_last_t > prev_t) & (k_last_t > thr_floor),
+                out=flag_continue,
+            )
+        meters.add_rounds(live_ids, n_sub * phase)
+
+        newly = und & ~flag_continue.T
+        dec_rows = decided[live]
+        dec_rows[newly] = phase
+        decided[live] = dec_rows
+        if config.record_phase_trace:
+            for g in range(blocks):
+                lo, hi = int(offsets[g]), int(offsets[g + 1])
+                newly_counts = np.count_nonzero(newly[:, lo:hi], axis=1)
+                for row, col in enumerate(live):
+                    if not alive_live[g, row]:
+                        continue
+                    traces[g * cols + int(col)].append(
+                        PhaseRecord(
+                            phase=phase,
+                            subphases=n_sub,
+                            flooding_rounds=n_sub * phase,
+                            newly_decided=int(newly_counts[row]),
+                            active_before=int(counts[g, row]),
+                            injections_accepted=0,
+                            injections_rejected=0,
+                        )
+                    )
+        if config.stop_when_all_decided and not (decided == UNDECIDED).any():
+            break
+
+    out = []
+    for g, net in enumerate(nets):
+        lo, hi = int(offsets[g]), int(offsets[g + 1])
+        n_net = hi - lo
+        for j in range(cols):
+            out.append(
+                CountingResult(
+                    n=n_net,
+                    d=d,
+                    k=net.k,
+                    decided_phase=decided[j, lo:hi].copy(),
+                    crashed=np.zeros(n_net, dtype=bool),
+                    byz=np.zeros(n_net, dtype=bool),
+                    meter=meters.meter(g * cols + j),
+                    trace=traces[g * cols + j],
+                    injections_accepted=0,
+                    injections_rejected=0,
+                )
+            )
+    return out
+
+
+class _UnionPlacementGroup:
+    """One (network block, placement) sub-group of a union-stack batch.
+
+    ``cols`` are the group's seed-column ids; ``lo``/``hi`` its row
+    segment in the union stack.  ``byz_nodes`` are block-local node ids
+    (what the adversary protocol speaks); ``byz_rows`` the same nodes as
+    union-global rows (what the fused state indexes).  ``alive_local`` /
+    ``sel`` are refreshed each phase exactly like
+    :class:`_PlacementGroup`'s.
+    """
+
+    __slots__ = (
+        "g",
+        "network",
+        "lo",
+        "hi",
+        "n",
+        "k",
+        "cols",
+        "byz",
+        "byz_nodes",
+        "byz_rows",
+        "honest_nodes",
+        "adversary",
+        "alive_local",
+        "sel",
+        "dec_cols",
+        "crash_cols",
+        "rng_cols",
+    )
+
+    def __init__(self, g, network, lo, hi, cols, byz, adversary):
+        self.g = g
+        self.network = network
+        self.lo = lo
+        self.hi = hi
+        self.n = hi - lo
+        self.k = int(network.k)
+        self.cols = cols
+        self.byz = byz
+        self.byz_nodes = np.flatnonzero(byz)
+        self.byz_rows = self.byz_nodes + lo
+        self.honest_nodes = np.flatnonzero(~byz)
+        self.adversary = adversary
+        self.alive_local: np.ndarray | None = None
+        self.sel: np.ndarray | None = None
+        self.dec_cols: np.ndarray | None = None
+        self.crash_cols: np.ndarray | None = None
+        self.rng_cols: tuple = ()
+
+
+def _union_placement_groups(
+    adversary_factory, nets: list, offsets: np.ndarray, masks: list[list[np.ndarray]]
+) -> list[_UnionPlacementGroup]:
+    """Sub-group (block, column) trials by (network, placement)."""
+    cols = len(masks[0])
+    group_map: dict[tuple[int, bytes], list[int]] = {}
+    for g in range(len(nets)):
+        for j in range(cols):
+            group_map.setdefault((g, masks[g][j].tobytes()), []).append(j)
+    if len(group_map) > 1 and isinstance(adversary_factory, Adversary):
+        raise ValueError(
+            "a shared adversary instance cannot drive trials with different "
+            "networks or Byzantine placements (binding is per placement); "
+            "pass a zero-argument adversary factory instead"
+        )
+    groups = []
+    for (g, _), idxs in group_map.items():
+        col_ids = np.asarray(idxs, dtype=np.int64)
+        byz = np.ascontiguousarray(masks[g][idxs[0]])
+        groups.append(
+            _UnionPlacementGroup(
+                g,
+                nets[g],
+                int(offsets[g]),
+                int(offsets[g + 1]),
+                col_ids,
+                byz,
+                _batch_adversary(adversary_factory, len(idxs)),
+            )
+        )
+    return groups
+
+
+def _run_union_byzantine_group(
+    nets: list,
+    ukernel: UnionFloodKernel,
+    seeds: list,
+    config: CountingConfig,
+    adversary_factory,
+    masks: list[list[np.ndarray]],
+) -> list[CountingResult]:
+    """Union-stack Algorithm 2: one config, per-(network, column) placements.
+
+    Mirrors :func:`_run_byzantine_batched_group` on the block-diagonal
+    ``(N, C)`` state: trials sub-group by (network block, placement) —
+    each group's adversary binds to its own graph, simulates its own
+    pre-phase crashes, and plans only its own columns — while the
+    flooding rounds run as single row-gathers over the union CSR.  The
+    Lemma 16 gate and the witness cap are per *block* (each block's own
+    ``(n_g, k_g)``), applied to the block's row segment only; crash
+    masks apply as one ``(N, C)`` mask and witness metering reduces
+    segment-wise.  Bit-for-bit equal to per-network batched (hence
+    sequential) runs; trial ``(g, j)`` is result ``g * C + j``.
+    """
+    d = nets[0].d
+    blocks = len(nets)
+    cols = len(seeds)
+    rows_n = ukernel.n
+    offsets = ukernel.offsets
+    n_act = np.asarray(ukernel.sizes, dtype=np.int64)
+    witness_cap = np.asarray(
+        [min(ball_size_bound(d, int(net.k), 1), int(net.n), 64) for net in nets],
+        dtype=np.int64,
+    )
+
+    color_rngs, adv_rngs = [], []
+    for g in range(blocks):
+        crow, arow = [], []
+        for seed in seeds:
+            root = make_rng(seed)
+            color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
+            crow.append(color_rng)
+            arow.append(adv_rng)
+        color_rngs.append(crow)
+        adv_rngs.append(arow)
+
+    groups = _union_placement_groups(adversary_factory, nets, offsets, masks)
+    meters = MeterBatch(blocks * cols)
+    traces = [PhaseTrace() for _ in range(blocks * cols)]
+    byz_cn = np.zeros((cols, rows_n), dtype=bool)
+    crashed_cn = np.zeros((cols, rows_n), dtype=bool)
+    for g in range(blocks):
+        lo, hi = int(offsets[g]), int(offsets[g + 1])
+        for j in range(cols):
+            byz_cn[j, lo:hi] = masks[g][j]
+
+    for grp in groups:
+        grp.adversary.bind_batch(
+            grp.network, grp.byz, [adv_rngs[grp.g][int(j)] for j in grp.cols], config
+        )
+    if config.verification:
+        for grp in groups:
+            claims_list = grp.adversary.batch_topology_claims()
+            if len(claims_list) != grp.cols.shape[0]:
+                raise ValueError(
+                    f"batch_topology_claims returned {len(claims_list)} claim "
+                    f"sets for {grp.cols.shape[0]} trials"
+                )
+            by_id: dict[int, np.ndarray] = {}
+            cache: dict[tuple, np.ndarray] = {}
+            for local, j in enumerate(grp.cols):
+                claims = claims_list[local]
+                crashed = by_id.get(id(claims))
+                if crashed is None:
+                    key = _claims_signature(claims)
+                    crashed = cache.get(key)
+                    if crashed is None:
+                        crashed = crash_phase(grp.network, grp.byz, claims)
+                        cache[key] = crashed
+                    by_id[id(claims)] = crashed
+                crashed_cn[int(j), grp.lo : grp.hi] = crashed
+        all_ids = np.arange(blocks * cols)
+        meters.add_rounds(all_ids, 2)
+        if config.count_messages:
+            # Pre-phase claim broadcasts cost each trial its own network's
+            # port total (d-entry claims on every G edge).
+            ports = np.repeat(
+                np.asarray([int(net.g_indptr[-1]) for net in nets], dtype=np.int64),
+                cols,
+            )
+            meters.add_messages(all_ids, ports, ids_each=d)
+
+    decided = np.full((cols, rows_n), UNDECIDED, dtype=np.int64)
+    honest_uncrashed = ~byz_cn & ~crashed_cn
+    alive = np.ones((blocks, cols), dtype=bool)
+    inj_acc = np.zeros((blocks, cols), dtype=np.int64)
+    inj_rej = np.zeros((blocks, cols), dtype=np.int64)
+    round_cost = 1 + (config.verification_round_cost if config.verification else 0)
+    state_dtype: type = np.int32
+
+    for phase in range(1, config.max_phase + 1):
+        undecided_all = honest_uncrashed & (decided == UNDECIDED)
+        active = np.empty((blocks, cols), dtype=np.int64)
+        for g in range(blocks):
+            active[g] = np.count_nonzero(
+                undecided_all[:, offsets[g] : offsets[g + 1]], axis=1
+            )
+        if config.stop_when_all_decided:
+            alive &= active > 0
+        if not alive.any():
+            break
+        live = np.flatnonzero(alive.any(axis=0))
+        b_live = live.shape[0]
+        n_sub = subphase_count(
+            phase, config.eps, d, config.alpha_variant, config.subphase_multiplier
+        )
+        threshold = color_threshold(phase, d)
+        und = undecided_all[live]
+        counts = active[:, live]
+        alive_live = alive[:, live]
+        trial_ids = np.arange(blocks)[:, None] * cols + live[None, :]
+        live_ids = trial_ids[alive_live]
+
+        live_pos = np.full(cols, -1, dtype=np.int64)
+        live_pos[live] = np.arange(b_live)
+        for grp in groups:
+            keep = alive[grp.g, grp.cols]
+            grp.alive_local = np.flatnonzero(keep)
+            kept = grp.cols[keep]
+            grp.sel = live_pos[kept]
+            grp.rng_cols = tuple(adv_rngs[grp.g][int(j)] for j in kept)
+
+        phase_draws: list[list] = [[None] * b_live for _ in range(blocks)]
+        for g in range(blocks):
+            for row, col in enumerate(live):
+                if not alive_live[g, row]:
+                    continue
+                count = int(counts[g, row])
+                if count:
+                    draws = sample_colors(color_rngs[g][int(col)], n_sub * count)
+                    phase_draws[g][row] = draws.reshape(n_sub, count)
+
+        crashed_nc = np.ascontiguousarray(crashed_cn[live].T)
+        any_crash = bool(crashed_nc.any())
+        decided_nc = np.ascontiguousarray(decided[live].T)
+        colors = np.zeros((rows_n, b_live), dtype=state_dtype)
+        cur = np.empty((rows_n, b_live), dtype=state_dtype)
+        sent = np.empty((rows_n, b_live), dtype=state_dtype)
+        prev_kt = np.empty((rows_n, b_live), dtype=state_dtype)
+        recv = np.empty((rows_n, b_live), dtype=state_dtype)
+        k_last = np.empty((rows_n, b_live), dtype=state_dtype)
+        flag_continue = np.zeros((rows_n, b_live), dtype=bool)
+        phase_inj_acc = np.zeros((blocks, b_live), dtype=np.int64)
+        phase_inj_rej = np.zeros((blocks, b_live), dtype=np.int64)
+        msg_senders = np.zeros((blocks, b_live), dtype=np.int64)
+        msg_records = np.zeros((blocks, b_live), dtype=np.int64)
+        seg_nz = np.empty((blocks, b_live), dtype=np.int64)
+        seg_rec = np.empty((blocks, b_live), dtype=np.int64)
+        for grp in groups:
+            grp.dec_cols = _col_block(decided_nc[grp.lo : grp.hi], grp.sel, grp.n)
+            grp.crash_cols = _col_block(crashed_nc[grp.lo : grp.hi], grp.sel, grp.n)
+
+        for sub in range(1, n_sub + 1):
+            # --- draw colors (undecided honest nodes only) ---------------
+            colors.fill(0)
+            for g in range(blocks):
+                lo, hi = int(offsets[g]), int(offsets[g + 1])
+                for row in range(b_live):
+                    draws = phase_draws[g][row]
+                    if draws is None:
+                        continue
+                    colors[lo:hi, row][und[row, lo:hi]] = draws[sub - 1]
+
+            # --- per-(block, placement) adversary plans ------------------
+            group_plans: list[tuple] = []
+            suppress_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+            suppressed_resend: list[tuple] = []
+            plan_max = 0
+            plan_min = 0
+            for grp in groups:
+                if grp.byz_nodes.size == 0 or grp.sel.shape[0] == 0:
+                    continue
+                sel = grp.sel
+                g_colors = _col_block(colors[grp.lo : grp.hi], sel, grp.n)[
+                    grp.honest_nodes
+                ]
+                state = BatchSubphaseState(
+                    phase=phase,
+                    subphase=sub,
+                    rounds=phase,
+                    k=grp.k,
+                    network=grp.network,
+                    byz_nodes=grp.byz_nodes,
+                    trials=grp.alive_local,
+                    honest_colors=g_colors,
+                    decided_phase=grp.dec_cols,
+                    crashed=grp.crash_cols,
+                    rngs=grp.rng_cols,
+                )
+                plan = grp.adversary.batch_subphase_plan(state)
+                (
+                    initial_g,
+                    inj_rounds_g,
+                    counts_g,
+                    groups_g,
+                    relay_g,
+                ) = _normalize_batch_plan(plan, grp.byz_nodes.shape[0], sel.shape[0])
+                checked: set[int] = set()
+                for by_round in inj_rounds_g:
+                    for injs in by_round.values():
+                        for inj in injs:
+                            if id(inj.nodes) not in checked:
+                                checked.add(id(inj.nodes))
+                                inj.require_byzantine(grp.byz)
+                if initial_g is not None and initial_g.size:
+                    plan_max = max(plan_max, int(initial_g.max()))
+                    plan_min = min(plan_min, int(initial_g.min()))
+                for lst in groups_g.values():
+                    for _nodes, _cols, vals in lst:
+                        if vals.size:
+                            plan_max = max(plan_max, int(vals.max()))
+                off_local = np.flatnonzero(~relay_g)
+                if off_local.size:
+                    suppress_pairs.append((grp.byz_rows, sel[off_local]))
+                    for j_local in off_local:
+                        by_round = inj_rounds_g[int(j_local)]
+                        if by_round:
+                            # One entry per (group, column): a union column
+                            # can carry suppressed byz nodes in several
+                            # blocks at once, each with its own gate k.
+                            suppressed_resend.append(
+                                (grp, int(sel[int(j_local)]), by_round)
+                            )
+                group_plans.append((grp, initial_g, counts_g, groups_g))
+
+            if (
+                plan_max > _INT32_MAX or plan_min < _INT32_MIN
+            ) and state_dtype == np.int32:
+                state_dtype = np.int64
+                colors = colors.astype(np.int64)
+                cur = np.empty((rows_n, b_live), dtype=np.int64)
+                sent = np.empty_like(cur)
+                prev_kt = np.empty_like(cur)
+                recv = np.empty_like(cur)
+                k_last = np.empty_like(cur)
+
+            np.copyto(cur, colors)
+            for grp, initial_g, _counts, _groups in group_plans:
+                if initial_g is not None:
+                    cur[np.ix_(grp.byz_rows, grp.sel)] = initial_g
+
+            prev_kt.fill(0)
+            for t in range(1, phase + 1):
+                # --- adversary injections (per-block Lemma 16 gate) ------
+                for grp, _initial, counts_g, groups_g in group_plans:
+                    cnts = counts_g.get(t)
+                    if cnts is None:
+                        continue
+                    if not (config.verification and t > grp.k - 1):
+                        phase_inj_acc[grp.g, grp.sel] += cnts
+                        for nodes, inj_cols, vals in groups_g[t]:
+                            ix = np.ix_(nodes + grp.lo, grp.sel[inj_cols])
+                            cur[ix] = np.maximum(cur[ix], vals[None, :])
+                    else:
+                        phase_inj_rej[grp.g, grp.sel] += cnts
+
+                # --- transmit --------------------------------------------
+                np.copyto(sent, cur)
+                if any_crash:
+                    sent[crashed_nc] = 0
+                for rows_b, cols_b in suppress_pairs:
+                    sent[np.ix_(rows_b, cols_b)] = 0
+                for grp, col, by_round in suppressed_resend:
+                    if config.verification and t > grp.k - 1:
+                        continue
+                    for inj in by_round.get(t, ()):
+                        sent[inj.nodes + grp.lo, col] = inj.value
+
+                # --- receive ---------------------------------------------
+                ukernel.neighbor_max_stacked(sent, out=recv)
+                if any_crash:
+                    recv[crashed_nc] = 0
+
+                # --- accounting (before the running-max update eats the
+                # new-record evidence) ------------------------------------
+                if config.count_messages:
+                    msg_senders += ukernel.segment_count_nonzero(sent, out=seg_nz)
+                    if config.verification:
+                        msg_records += ukernel.segment_count_nonzero(
+                            recv > cur, out=seg_rec
+                        )
+
+                if t == phase:
+                    np.copyto(k_last, recv)
+                else:
+                    np.maximum(prev_kt, recv, out=prev_kt)
+                np.maximum(cur, recv, out=cur)
+                if any_crash:
+                    cur[crashed_nc] = 0
+
+            np.logical_or(
+                flag_continue,
+                (k_last > prev_kt) & (k_last > threshold),
+                out=flag_continue,
+            )
+
+        if config.count_messages:
+            meters.add_messages(live_ids, (msg_senders * d)[alive_live])
+            if config.verification:
+                meters.add_messages(
+                    live_ids,
+                    (2 * msg_records * witness_cap[:, None])[alive_live],
+                    ids_each=1,
+                )
+        meters.add_rounds(live_ids, n_sub * phase * round_cost)
+        inj_acc[:, live] += phase_inj_acc
+        inj_rej[:, live] += phase_inj_rej
+
+        newly = und & ~flag_continue.T
+        dec_rows = decided[live]
+        dec_rows[newly] = phase
+        decided[live] = dec_rows
+        if config.record_phase_trace:
+            for g in range(blocks):
+                lo, hi = int(offsets[g]), int(offsets[g + 1])
+                newly_counts = np.count_nonzero(newly[:, lo:hi], axis=1)
+                for row, col in enumerate(live):
+                    if not alive_live[g, row]:
+                        continue
+                    traces[g * cols + int(col)].append(
+                        PhaseRecord(
+                            phase=phase,
+                            subphases=n_sub,
+                            flooding_rounds=n_sub * phase,
+                            newly_decided=int(newly_counts[row]),
+                            active_before=int(counts[g, row]),
+                            injections_accepted=int(phase_inj_acc[g, row]),
+                            injections_rejected=int(phase_inj_rej[g, row]),
+                        )
+                    )
+        if config.stop_when_all_decided and not (
+            honest_uncrashed & (decided == UNDECIDED)
+        ).any():
+            break
+
+    out = []
+    for g, net in enumerate(nets):
+        lo, hi = int(offsets[g]), int(offsets[g + 1])
+        n_net = hi - lo
+        for j in range(cols):
+            out.append(
+                CountingResult(
+                    n=n_net,
+                    d=d,
+                    k=net.k,
+                    decided_phase=decided[j, lo:hi].copy(),
+                    crashed=crashed_cn[j, lo:hi].copy(),
+                    byz=byz_cn[j, lo:hi].copy(),
+                    meter=meters.meter(g * cols + j),
+                    trace=traces[g * cols + j],
+                    injections_accepted=int(inj_acc[g, j]),
+                    injections_rejected=int(inj_rej[g, j]),
+                )
+            )
     return out

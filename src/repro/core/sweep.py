@@ -18,15 +18,30 @@ Network axis
 The paper's claims are *scaling* statements, so the sweeps that matter
 most iterate over network sizes.  :func:`run_multi_sweep` (equivalently,
 passing a list of networks to :func:`run_sweep`) extends the fusion across
-the network axis: cells on different graphs — including graphs of
-different sizes — join the same trials-as-columns batch through
-:func:`repro.core.batch.run_counting_multinet`.  State is padded to the
-largest ``n`` with a per-trial active-length vector; the flooding rounds
-dispatch through the masked :class:`~repro.sim.flood.MultiFloodKernel`
-(padding rows never win a max; same-(n, d) re-samples share one stacked
-kernel plan); decided counting, crash masks, and witness metering apply
-over each column's live prefix only.  All networks in one multi-sweep must
-share the degree ``d`` — the phase schedule is ``d``-dependent.
+the network axis through one of two layouts, chosen by the ``layout``
+selector:
+
+* ``"union"`` — the zero-padding **union stack**
+  (:func:`repro.core.batch.run_counting_unionstack`): networks stack
+  block-diagonally on the *row* axis (one column = one (placement,
+  config, seed) cell, replicated across every network), so each flooding
+  round is a single row-gather over the concatenated CSR with no padding
+  rows, no scratch copies, and no masked zeroing — the layout that beats
+  the per-size batched loop outright (``union_stack`` workload in
+  ``benchmarks/bench_batch.py``).  Requires a *rectangular* grid: one
+  shared seed axis of int/None seeds.
+* ``"padded"`` — the padded trials-as-columns batch
+  (:func:`repro.core.batch.run_counting_multinet`): state padded to the
+  largest ``n`` with per-trial active-length masking and the masked
+  :class:`~repro.sim.flood.MultiFloodKernel`.  Handles *ragged* grids —
+  per-network seed axes of different lengths (pass ``seeds`` as one axis
+  per network) and ``Generator`` seed objects.
+* ``"auto"`` (default) — union for rectangular grids, padded otherwise.
+
+All networks in one multi-sweep must share the degree ``d`` — the phase
+schedule is ``d``-dependent.  Union-incompatible inputs under an explicit
+``layout="union"`` fail eagerly with typed errors (ragged seed axes:
+``ValueError``; Generator seeds: ``TypeError``).
 
 Equivalence contract
 --------------------
@@ -50,15 +65,19 @@ Sharding
 ``jobs=N`` fans the grid out over worker processes through
 :func:`repro.experiments.common.parallel_map` with every network placed in
 one shared-memory segment (workers attach zero-copy; multi-network sweeps
-pin all graphs in a single segment).  Shard boundaries are **cost
-weighted**: each cell's expected cost is modeled as ``n x
-round_complexity_bound(n, eps, d) x strategy factor`` (early-stop attacks
-end runs after a few phases, inflation floods every phase — see
-:data:`STRATEGY_COST_FACTORS`), and boundaries are placed so shards carry
-roughly equal *cost* rather than equal cell counts, which balances the
-pool when sizes or strategies are skewed.  Chunks never drop below
-:data:`MIN_SHARD_CELLS` cells, never straddle a strategy boundary, and can
-be forced back to fixed-size slicing with ``shard_cells``.  For
+pin all graphs in a single segment, and union-layout sweeps additionally
+ship the pre-stacked union CSR through it so workers skip re-stacking).
+Shard boundaries are **cost weighted**: each cell's expected cost is
+modeled as ``n x round_complexity_bound(n, eps, d) x strategy factor``
+(early-stop attacks end runs after a few phases, inflation floods every
+phase — see :data:`STRATEGY_COST_FACTORS`), and boundaries are placed so
+shards carry roughly equal *cost* rather than equal cell counts, which
+balances the pool when sizes or strategies are skewed.  Union-layout
+shards cut on *column* boundaries of the union stack (a column spans every
+network, so its cost is the per-column sum over the network axis); padded
+shards cut on cell boundaries as before.  Chunks never drop below
+:data:`MIN_SHARD_CELLS` cells/columns, never straddle a strategy boundary,
+and can be forced back to fixed-size slicing with ``shard_cells``.  For
 ``jobs > 1`` every strategy spec must be picklable — a name from
 :data:`~repro.core.estimator.ADVERSARIES`, a module-level factory, or a
 plain adversary instance.
@@ -72,7 +91,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..adversary.base import Adversary
-from .batch import run_counting_batch, run_counting_multinet
+from .batch import run_counting_batch, run_counting_multinet, run_counting_unionstack
 from .config import CountingConfig
 from .results import BatchCountingResult, CountingResult
 
@@ -82,9 +101,15 @@ __all__ = [
     "SweepResult",
     "MultiSweepResult",
     "SweepCell",
+    "LAYOUTS",
     "MIN_SHARD_CELLS",
     "STRATEGY_COST_FACTORS",
 ]
+
+#: Valid ``layout`` selector values for the network axis (see the module
+#: docstring): ``auto`` picks ``union`` for rectangular grids and falls
+#: back to ``padded`` for ragged seed axes or Generator seeds.
+LAYOUTS = ("auto", "union", "padded")
 
 #: Smallest shard the auto-splitter will produce: below this the batched
 #: engine's per-call fixed costs dominate and sharding stops paying.
@@ -239,6 +264,30 @@ def _validate_seeds(seeds) -> list:
     return seeds
 
 
+def _split_seed_axes(seeds, networks) -> tuple[list | None, list[list] | None]:
+    """Split ``seeds`` into a shared axis or per-network (ragged) axes.
+
+    A list/tuple whose every element is itself a sequence is read as
+    per-network seed axes (one per network, lengths may differ — the
+    ragged form only the padded layout can run); anything else is the
+    shared rectangular axis.  Exactly one element of the returned pair is
+    non-None, each validated by :func:`_validate_seeds`.
+    """
+    if (
+        isinstance(seeds, (list, tuple))
+        and seeds
+        and all(isinstance(ax, (list, tuple, np.ndarray)) for ax in seeds)
+    ):
+        axes = [_validate_seeds(ax) for ax in seeds]
+        if len(axes) != len(networks):
+            raise ValueError(
+                f"per-network seed axes must give one axis per network "
+                f"({len(networks)}), got {len(axes)}"
+            )
+        return None, axes
+    return _validate_seeds(seeds), None
+
+
 def _run_shard(network, task):
     """Module-level worker: one fused (strategy, cells-chunk) batch.
 
@@ -278,6 +327,30 @@ def _run_multi_shard(networks, task):
             trial_nets,
             seeds,
             config=configs,
+            adversary_factory=factory,
+            byz_mask=masks,
+        )
+    )
+
+
+def _run_union_shard(networks, task):
+    """Module-level worker: one fused union-stack (strategy, columns) batch.
+
+    ``networks`` is the shared :class:`~repro.graphs.shared.NetworkTuple`
+    (attached from one shared-memory segment inside workers, pre-stacked
+    union CSR included, so the engine adopts it without re-stacking);
+    ``task`` carries the shard's seed columns, per-column configs, and
+    per-network per-column masks.
+    """
+    spec, col_seeds, col_configs, masks = task
+    factory = _strategy_factory(spec)
+    if factory is None:
+        return list(run_counting_unionstack(networks, col_seeds, config=col_configs))
+    return list(
+        run_counting_unionstack(
+            networks,
+            col_seeds,
+            config=col_configs,
             adversary_factory=factory,
             byz_mask=masks,
         )
@@ -384,19 +457,37 @@ class MultiSweepResult:
 
     ``results`` is flat in network-major grid order (network, strategy,
     placement, config, seed); :meth:`sweep` slices one network's block as
-    a plain :class:`SweepResult` (its cells are contiguous).
+    a plain :class:`SweepResult` (its cells are contiguous).  ``layout``
+    records which engine layout actually ran (``"union"`` or
+    ``"padded"`` — ``"auto"`` is resolved before running).  For ragged
+    per-network seed axes ``seeds`` is ``None`` and ``seed_axes`` holds
+    one axis per network (blocks then differ in size; :attr:`shape` is
+    undefined, use ``sweep(g).shape``).
     """
 
     networks: list
-    seeds: list
+    seeds: list | None
     configs: list[CountingConfig]
     placements: list[list]
     strategies: list
     results: list[CountingResult]
+    layout: str = "padded"
+    seed_axes: list | None = None
+
+    def seed_axis(self, network: int = 0) -> list:
+        """Network ``network``'s seed axis (the shared one if rectangular)."""
+        if self.seed_axes is None:
+            return self.seeds
+        return self.seed_axes[range(len(self.networks))[network]]
 
     @property
     def shape(self) -> tuple[int, int, int, int, int]:
         """``(networks, strategies, placements, configs, seeds)`` lengths."""
+        if self.seeds is None:
+            raise ValueError(
+                "this multi-sweep ran ragged per-network seed axes, so the "
+                "grid has no single shape; use sweep(g).shape per network"
+            )
         return (
             len(self.networks),
             len(self.strategies),
@@ -406,17 +497,21 @@ class MultiSweepResult:
         )
 
     def _block(self, network: int) -> tuple[int, int]:
-        n_g, n_s, n_p, n_c, n_b = self.shape
-        g = range(n_g)[network]
-        size = n_s * n_p * n_c * n_b
-        return g * size, (g + 1) * size
+        g = range(len(self.networks))[network]
+        n_s = len(self.strategies)
+        n_p = len(self.placements[0]) if self.placements else 0
+        n_c = len(self.configs)
+        lo = 0
+        for h in range(g):
+            lo += n_s * n_p * n_c * len(self.seed_axis(h))
+        return lo, lo + n_s * n_p * n_c * len(self.seed_axis(g))
 
     def sweep(self, network: int = 0) -> SweepResult:
         """One network's (strategy, placement, config, seed) block."""
         lo, hi = self._block(network)
         g = range(len(self.networks))[network]
         return SweepResult(
-            seeds=self.seeds,
+            seeds=self.seed_axis(g),
             configs=self.configs,
             placements=self.placements[g],
             strategies=self.strategies,
@@ -501,6 +596,7 @@ def run_sweep(
     strategies=None,
     jobs: int | None = None,
     shard_cells: int | None = None,
+    layout: str = "auto",
 ) -> SweepResult:
     """Run the full (strategy x placement x config x seed) grid, fused.
 
@@ -536,8 +632,16 @@ def run_sweep(
         :func:`repro.experiments.common.parallel_map` with the network in
         shared memory.
     shard_cells:
-        Override the cost-weighted shard splitter with fixed-size chunks
-        (cells per engine call when sharding).
+        Override the cost-weighted shard splitter with fixed-size chunks.
+        The unit is one shard *item*: a grid cell on single-network and
+        padded multi-network sweeps, but a union-stack **column** — i.e.
+        ``len(networks)`` cells — when the union layout runs (union
+        shards can only cut on column boundaries).
+    layout:
+        Network-axis layout selector (``"auto"``/``"union"``/``"padded"``,
+        see :func:`run_multi_sweep`); only meaningful when ``network`` is
+        a list — a single-network sweep has no layout choice and rejects
+        explicit non-auto values.
 
     Returns
     -------
@@ -554,6 +658,13 @@ def run_sweep(
             strategies=strategies,
             jobs=jobs,
             shard_cells=shard_cells,
+            layout=layout,
+        )
+    if layout != "auto":
+        raise ValueError(
+            "layout selects the network-axis engine; a single-network sweep "
+            "has no layout choice (pass a list of networks to use "
+            f"layout={layout!r})"
         )
     n = network.n
     seeds = _validate_seeds(seeds)
@@ -625,25 +736,35 @@ def run_multi_sweep(
     strategies=None,
     jobs: int | None = None,
     shard_cells: int | None = None,
+    layout: str = "auto",
 ) -> MultiSweepResult:
     """Run a (network x strategy x placement x config x seed) grid, fused
     across the network axis.
 
     Cells on *different networks* — including different sizes — fuse into
-    the same padded trials-as-columns batches
-    (:func:`repro.core.batch.run_counting_multinet`); all networks must
-    share the degree ``d``.  Every cell is bit-for-bit equal to the
-    per-network :func:`run_sweep` call it replaces (same network, config,
-    strategy, placement, seed).
+    one batch through the layout selected by ``layout``: the zero-padding
+    union stack (:func:`repro.core.batch.run_counting_unionstack`) for
+    rectangular grids, or the padded trials-as-columns batch
+    (:func:`repro.core.batch.run_counting_multinet`) for ragged ones; all
+    networks must share the degree ``d``.  Every cell is bit-for-bit equal
+    to the per-network :func:`run_sweep` call it replaces (same network,
+    config, strategy, placement, seed) under either layout.
 
     Parameters
     ----------
     networks:
         The network axis (a non-empty sequence; repeats of one sampled
         graph are allowed and share kernels).
-    seeds, configs, strategies, jobs, shard_cells:
-        As in :func:`run_sweep` (seeds/configs/strategies are shared grid
-        axes).
+    seeds:
+        Either one shared seed axis (the rectangular grid: every network
+        runs every seed), or per-network axes — a sequence of sequences,
+        one per network, lengths free to differ (the ragged grid; padded
+        layout only).
+    configs, strategies, jobs, shard_cells:
+        As in :func:`run_sweep` (configs/strategies are shared grid
+        axes).  Note ``shard_cells`` counts union-stack *columns* — each
+        ``len(networks)`` cells — when the union layout runs; padded
+        sweeps keep the per-cell unit.
     placements:
         Per-network placement axes, because a ``(n,)`` mask only fits one
         network: ``None`` (no Byzantine nodes anywhere), a *callable*
@@ -651,13 +772,23 @@ def run_multi_sweep(
         net: placement_for_delta(net, 0.5, rng=7)``), or a sequence with
         one placement-axis spec per network.  The resulting axis length
         must agree across networks (it is a grid axis).
+    layout:
+        ``"auto"`` (default) picks ``"union"`` for rectangular grids of
+        int/None seeds and falls back to ``"padded"`` otherwise.
+        Explicit ``"union"``/``"padded"`` force the engine; union-
+        incompatible inputs under ``layout="union"`` raise eagerly
+        (ragged seed axes: :class:`ValueError`; Generator seeds:
+        :class:`TypeError`).
 
     Returns
     -------
     MultiSweepResult
         Results in network-major grid order; ``.sweep(g)`` gives network
-        ``g``'s block as a plain :class:`SweepResult`.
+        ``g``'s block as a plain :class:`SweepResult`, and ``.layout``
+        records which engine ran.
     """
+    if layout not in LAYOUTS:
+        raise ValueError(f"layout must be one of {LAYOUTS}, got {layout!r}")
     networks = list(networks)
     if not networks:
         raise ValueError("run_multi_sweep needs at least one network")
@@ -668,7 +799,27 @@ def run_multi_sweep(
             f"phase schedule is d-dependent); got d in {sorted(degrees)}"
         )
     d = networks[0].d
-    seeds = _validate_seeds(seeds)
+    shared_seeds, seed_axes = _split_seed_axes(seeds, networks)
+    if layout == "union":
+        if seed_axes is not None:
+            raise ValueError(
+                "layout='union' needs one shared seed axis (a union column "
+                "is one seed replicated across every network); per-network "
+                "(ragged) seed axes only run on layout='padded'"
+            )
+        if any(isinstance(s, np.random.Generator) for s in shared_seeds):
+            raise TypeError(
+                "layout='union' cannot replicate numpy Generator seeds "
+                "across the network axis; pass int seeds, or use "
+                "layout='padded'"
+            )
+        use_union = True
+    elif layout == "padded":
+        use_union = False
+    else:
+        use_union = shared_seeds is not None and not any(
+            isinstance(s, np.random.Generator) for s in shared_seeds
+        )
     config_axis = _normalize_axis(configs, CountingConfig(), CountingConfig)
     strategy_axis = _normalize_strategy_axis(strategies)
 
@@ -707,26 +858,107 @@ def run_multi_sweep(
             "placements; give those cells an adversary strategy"
         )
 
-    n_g, n_s, n_c, n_b = len(networks), len(strategy_axis), len(config_axis), len(seeds)
-    block = n_s * n_p * n_c * n_b  # cells per network (network-major layout)
+    from ..experiments.common import parallel_map
+
+    n_g, n_s, n_c = len(networks), len(strategy_axis), len(config_axis)
+    cost_cache: dict = {}
+
+    if use_union:
+        # ---- union-stack layout (rectangular grids only) ---------------
+        # Columns of the union stack are the (placement, config, seed)
+        # triples in intra-network flat order; every column spans the
+        # whole network axis, so shard boundaries cut on column
+        # boundaries and a column's modeled cost sums over the networks.
+        n_b = len(shared_seeds)
+        block = n_s * n_p * n_c * n_b  # cells per network (network-major)
+        col_specs: list[tuple[int, int, int]] = []
+        col_costs: list[float] = []
+        for p in range(n_p):
+            for c, cfg in enumerate(config_axis):
+                col_cost = sum(
+                    _cell_cost(int(net.n), d, cfg, cost_cache) for net in networks
+                )
+                for b in range(n_b):
+                    col_specs.append((p, c, b))
+                    col_costs.append(col_cost)
+
+        target_cost: float | None = None
+        if jobs and jobs > 1:
+            total_cost = sum(col_costs) * sum(
+                _strategy_cost_factor(spec) for spec in strategy_axis
+            )
+            target_cost = total_cost / jobs
+
+        tasks = []
+        task_cols: list[list[int]] = []
+        for s, spec in enumerate(strategy_axis):
+            factor = _strategy_cost_factor(spec)
+            block_target = None if target_cost is None else target_cost / factor
+            for lo, hi in _shard_bounds(col_costs, block_target, shard_cells):
+                chunk = col_specs[lo:hi]
+                masks = None
+                if spec is not None:
+                    masks = [
+                        [per_net_placements[g][p] for p, _c, _b in chunk]
+                        for g in range(n_g)
+                    ]
+                tasks.append(
+                    (
+                        spec,
+                        [shared_seeds[b] for _p, _c, b in chunk],
+                        [config_axis[c] for _p, c, _b in chunk],
+                        masks,
+                    )
+                )
+                task_cols.append(
+                    [((s * n_p + p) * n_c + c) * n_b + b for p, c, b in chunk]
+                )
+
+        shard_results = parallel_map(
+            _run_union_shard, tasks, jobs=jobs, network=networks, union_csr=True
+        )
+        results: list[CountingResult | None] = [None] * (n_g * block)
+        for offs, shard in zip(task_cols, shard_results):
+            n_cols = len(offs)
+            for g in range(n_g):
+                for j, off in enumerate(offs):
+                    results[g * block + off] = shard[g * n_cols + j]
+        assert all(res is not None for res in results)
+        return MultiSweepResult(
+            networks=networks,
+            seeds=shared_seeds,
+            configs=config_axis,
+            placements=per_net_placements,
+            strategies=strategy_axis,
+            results=results,  # type: ignore[arg-type]
+            layout="union",
+        )
+
+    # ---- padded layout (handles ragged per-network seed axes) ----------
+    axes = seed_axes if seed_axes is not None else [shared_seeds] * n_g
+    net_off = [0]
+    for ax in axes:
+        net_off.append(net_off[-1] + n_s * n_p * n_c * len(ax))
+    total_cells = net_off[-1]
 
     # Per-strategy cell lists spanning all networks, in network-major
     # (network, placement, config, seed) order — the batch the engine fuses.
-    cost_cache: dict = {}
     per_strategy: list[list[tuple]] = [[] for _ in strategy_axis]
     per_strategy_costs: list[list[float]] = [[] for _ in strategy_axis]
     for s, spec in enumerate(strategy_axis):
         for g, net in enumerate(networks):
+            axis_g = axes[g]
+            nb_g = len(axis_g)
             for p in range(n_p):
                 mask = per_net_placements[g][p]
                 for c, cfg in enumerate(config_axis):
                     cost = _cell_cost(int(net.n), d, cfg, cost_cache)
-                    for b, seed in enumerate(seeds):
-                        flat = g * block + (((s * n_p) + p) * n_c + c) * n_b + b
+                    for b, seed in enumerate(axis_g):
+                        flat = net_off[g] + (((s * n_p) + p) * n_c + c) * nb_g + b
                         per_strategy[s].append((flat, seed, cfg, g, mask))
                         per_strategy_costs[s].append(cost)
 
-    target_cost: float | None = None
+    target_cost = None
     if jobs and jobs > 1:
         total_cost = sum(
             sum(per_strategy_costs[s]) * _strategy_cost_factor(spec)
@@ -760,19 +992,19 @@ def run_multi_sweep(
                 )
             )
 
-    from ..experiments.common import parallel_map
-
     shard_results = parallel_map(_run_multi_shard, tasks, jobs=jobs, network=networks)
-    results: list[CountingResult | None] = [None] * (n_g * block)
+    results = [None] * total_cells
     for flats, shard in zip(task_flats, shard_results):
         for flat, res in zip(flats, shard):
             results[flat] = res
     assert all(res is not None for res in results)
     return MultiSweepResult(
         networks=networks,
-        seeds=seeds,
+        seeds=shared_seeds,
         configs=config_axis,
         placements=per_net_placements,
         strategies=strategy_axis,
         results=results,  # type: ignore[arg-type]
+        layout="padded",
+        seed_axes=seed_axes,
     )

@@ -145,6 +145,7 @@ def parallel_map(
     jobs: int | None = None,
     *,
     network: SmallWorldNetwork | Sequence[SmallWorldNetwork] | None = None,
+    union_csr: bool = False,
 ) -> list:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -160,22 +161,32 @@ def parallel_map(
     process.  A *list or tuple of networks* pins the whole set in a single
     segment (:class:`repro.graphs.shared.SharedNetworkPack`) and calls
     ``fn(networks_tuple, item)`` — this is how multi-network sweeps ship
-    their entire network axis to workers in one handle.  The segment lives
-    for the duration of the map and is unlinked before returning.
+    their entire network axis to workers in one handle.  With
+    ``union_csr=True`` (multi-network only) the payload is a
+    :class:`repro.graphs.shared.NetworkTuple` carrying the pre-stacked
+    block-diagonal union CSR — stacked once here, shipped through the same
+    segment — so union-stack engine calls in workers skip re-stacking.
+    The segment lives for the duration of the map and is unlinked before
+    returning.
     """
     items = list(items)
     serial = jobs is None or jobs <= 1 or len(items) <= 1
     if network is not None:
         multi = isinstance(network, (list, tuple))
         if serial:
-            payload = tuple(network) if multi else network
+            if multi:
+                from ..graphs.shared import NetworkTuple
+
+                payload = NetworkTuple.build(network, union=union_csr)
+            else:
+                payload = network
             return [fn(payload, item) for item in items]
         from concurrent.futures import ProcessPoolExecutor
 
         from ..graphs.shared import SharedNetwork, SharedNetworkPack
 
         shared = (
-            SharedNetworkPack.create(list(network))
+            SharedNetworkPack.create(list(network), union=union_csr)
             if multi
             else SharedNetwork.create(network)
         )

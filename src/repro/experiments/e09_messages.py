@@ -6,10 +6,11 @@ constant verification overhead), the largest ID payload of any message
 (constant), and the bit-length of the largest color in flight
 (``<= log2(4 log2 n)`` bits whp, by Lemma 12).
 
-Both protocols run their whole (n, seed) grids as **padded multi-network
-sweeps** (:func:`repro.core.sweep.run_multi_sweep`): every size is a set
-of columns in one trials-as-columns batch, with per-network Byzantine
-placements riding as per-trial mask columns on the Algorithm 2 rows —
+Both protocols run their whole (n, seed) grids as **fused multi-network
+sweeps** (:func:`repro.core.sweep.run_multi_sweep`): the grids are
+rectangular, so the layout selector picks the zero-padding union stack —
+every size a row block of one block-diagonal state, with per-network
+Byzantine placements gating per block on the Algorithm 2 runs —
 bit-for-bit equal to the per-``n`` batched loops this experiment used to
 run, and exercising the batched adversary fast path across sizes.
 """
@@ -55,8 +56,8 @@ def run(scale: str, seed: int) -> ExperimentResult:
     max_ids = []
     seeds = [seed * 10 + r for r in range(reps)]
     nets = [network(n, d, seed) for n in ns]
-    # Algorithm 1 across every size as one padded honest batch; Algorithm 2
-    # likewise, with each network's own delta-budget placement.
+    # Algorithm 1 across every size as one union-stack honest batch;
+    # Algorithm 2 likewise, with each network's own delta-budget placement.
     sweep1 = run_multi_sweep(nets, seeds=seeds, configs=cfg.with_(verification=False))
     sweep2 = run_multi_sweep(
         nets,

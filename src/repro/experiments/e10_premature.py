@@ -7,9 +7,10 @@ early-phase wrong decisions below eps, and that tightening eps tightens
 the premature fraction.  We count decisions at phases
 ``i <= premature_cutoff`` (half the honest median, the lab stand-in for
 ``a log n``) across eps values — and, new with the network-axis batching,
-across sizes: the whole (n x eps x seed) grid runs as **one padded
+across sizes: the whole (n x eps x seed) grid runs as **one fused
 multi-network sweep** (:func:`repro.core.sweep.run_multi_sweep`, eps as
-the config axis), bit-for-bit equal to the per-``(n, eps)`` batched loops.
+the config axis; the rectangular grid auto-selects the union-stack
+layout), bit-for-bit equal to the per-``(n, eps)`` batched loops.
 The Lemma 11 shape checks gate on the primary (largest) size, as before;
 the smaller sizes chart how the bound tightens with ``n``.
 """

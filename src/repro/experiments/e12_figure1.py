@@ -10,8 +10,9 @@ the reconstruction never false-positives.
 
 A second, protocol-level section mounts the same move (the
 ``topology-liar`` strategy suppresses a real child for a phantom) inside
-full Algorithm 2 runs **across network sizes**, routed through the padded
-multi-network sweep (:func:`repro.core.sweep.run_multi_sweep`): at every
+full Algorithm 2 runs **across network sizes**, routed through the fused
+multi-network sweep (:func:`repro.core.sweep.run_multi_sweep`; the
+rectangular grid auto-selects the union-stack layout): at every
 size the engine's pre-phase crash mask must equal a direct
 :func:`~repro.core.neighborhood.crash_phase` computation under the liar's
 claims, the crash footprint must stay inside the constant ``k``-ball
@@ -119,7 +120,7 @@ def run(scale: str, seed: int) -> ExperimentResult:
     # ------------------------------------------------------------------
     # Protocol-level cross-size detection: the same fabricated chain,
     # mounted by the topology-liar strategy inside full Algorithm 2 runs,
-    # over the size axis as one padded multi-network sweep.
+    # over the size axis as one fused (union-stack) multi-network sweep.
     # ------------------------------------------------------------------
     proto_ns = (256, 512) if scale == "small" else (512, 1024, 2048)
     liar_axis = 2  # placements per network (distinct liar draws)

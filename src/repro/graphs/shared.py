@@ -24,6 +24,16 @@ whole network axis as one handle — workers attach the segment once and
 reconstruct the full tuple of networks (``pack.nets``), instead of
 unpickling one graph per (task, network) pair.
 
+Union-stack sweeps additionally need the *block-diagonal concatenation*
+of the networks' H adjacencies (:func:`repro.sim.flood.stack_union_csr`).
+``SharedNetworkPack.create(nets, union=True)`` stacks it once in the
+owner and lays the two concatenated arrays into the same segment;
+``pack.nets`` then returns a :class:`NetworkTuple` whose ``union_csr``
+attribute exposes zero-copy views, so every worker (and every task) of a
+sharded union sweep skips re-stacking entirely —
+:func:`repro.core.batch.run_counting_unionstack` adopts the attached CSR
+directly.
+
 The creating process owns the segment and unlinks it on ``close()`` /
 context exit; attached workers hold it alive until they drop their
 references (POSIX shm semantics).  On Python < 3.13 attaching registers
@@ -41,7 +51,31 @@ import numpy as np
 from .hgraph import HGraph
 from .smallworld import SmallWorldNetwork
 
-__all__ = ["SharedNetwork", "SharedNetworkPack"]
+__all__ = ["NetworkTuple", "SharedNetwork", "SharedNetworkPack"]
+
+
+class NetworkTuple(tuple):
+    """A tuple of networks with an optional pre-stacked union CSR attached.
+
+    ``union_csr`` is ``(sizes, indptr, indices)`` — the block-diagonal
+    concatenation of the member graphs' H adjacencies, as produced by
+    :func:`repro.sim.flood.stack_union_csr` — or ``None`` when no union
+    layout was requested.  :func:`repro.core.batch.run_counting_unionstack`
+    adopts an attached CSR instead of re-stacking, which is how sharded
+    union-stack sweeps amortize the concatenation across workers.
+    """
+
+    union_csr: tuple | None = None
+
+    @classmethod
+    def build(cls, networks, union: bool = False) -> "NetworkTuple":
+        """Wrap ``networks``; with ``union=True`` stack the union CSR once."""
+        out = cls(networks)
+        if union:
+            from ..sim.flood import stack_union_csr
+
+            out.union_csr = stack_union_csr(out)
+        return out
 
 #: The array attributes that define a network, in serialization order.
 _FIELDS = (
@@ -264,16 +298,25 @@ class SharedNetworkPack:
     the owning process; read :attr:`nets` anywhere.
     """
 
-    def __init__(self, shm_name: str, per_net: tuple):
+    def __init__(self, shm_name: str, per_net: tuple, union_specs: tuple | None = None):
         self._shm_name = shm_name
         # per_net: one (specs, n, d, k) tuple per network, in input order.
         self._per_net = per_net
+        # union_specs: (indptr_spec, indices_spec) of the pre-concatenated
+        # block-diagonal union CSR, or None when not shipped.
+        self._union_specs = union_specs
         self._owned_shm = None  # set only in the creating process
 
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, nets) -> "SharedNetworkPack":
-        """Copy every network's arrays into one fresh shared segment."""
+    def create(cls, nets, union: bool = False) -> "SharedNetworkPack":
+        """Copy every network's arrays into one fresh shared segment.
+
+        With ``union=True`` the block-diagonal union CSR
+        (:func:`repro.sim.flood.stack_union_csr`) is stacked once here and
+        laid into the same segment, so workers read it zero-copy instead
+        of re-concatenating per process.
+        """
         from multiprocessing import shared_memory
 
         per_net = []
@@ -292,13 +335,29 @@ class SharedNetworkPack:
                 writes.append((spec, arr))
                 offset += arr.nbytes
             per_net.append((tuple(specs), net.n, net.d, net.k))
+        union_specs = None
+        if union:
+            from ..sim.flood import stack_union_csr
+
+            _sizes, u_indptr, u_indices = stack_union_csr(nets)
+            pair = []
+            for name, arr in (("u_indptr", u_indptr), ("u_indices", u_indices)):
+                arr = np.ascontiguousarray(arr)
+                offset = (offset + 7) & ~7
+                spec = _ArraySpec(
+                    name=name, dtype=arr.dtype.str, shape=arr.shape, offset=offset
+                )
+                pair.append(spec)
+                writes.append((spec, arr))
+                offset += arr.nbytes
+            union_specs = tuple(pair)
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
         for spec, arr in writes:
             dst = np.ndarray(
                 spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
             )
             dst[...] = arr
-        handle = cls(shm.name, tuple(per_net))
+        handle = cls(shm.name, tuple(per_net), union_specs)
         handle._owned_shm = shm
         return handle
 
@@ -309,8 +368,13 @@ class SharedNetworkPack:
         return self._shm_name
 
     @property
-    def nets(self) -> tuple:
-        """The networks, backed by the shared segment (attached lazily)."""
+    def nets(self) -> "NetworkTuple":
+        """The networks, backed by the shared segment (attached lazily).
+
+        When the pack was created with ``union=True`` the returned
+        :class:`NetworkTuple` carries ``union_csr`` views into the same
+        segment, so the union kernel builds without re-stacking.
+        """
         cached = _ATTACHED.get(self._shm_name)
         if cached is not None:
             return cached[1]
@@ -318,10 +382,23 @@ class SharedNetworkPack:
             shm = self._owned_shm
         else:
             shm = _attach_untracked(self._shm_name)
-        nets = tuple(
+        nets = NetworkTuple(
             _reconstruct_network(shm, specs, n, d, k)
             for specs, n, d, k in self._per_net
         )
+        if self._union_specs is not None:
+            views = []
+            for spec in self._union_specs:
+                arr = np.ndarray(
+                    spec.shape,
+                    dtype=np.dtype(spec.dtype),
+                    buffer=shm.buf,
+                    offset=spec.offset,
+                )
+                arr.flags.writeable = False  # shared state must stay immutable
+                views.append(arr)
+            sizes = tuple(n for _, n, _, _ in self._per_net)
+            nets.union_csr = (sizes, views[0], views[1])
         _ATTACHED[self._shm_name] = (shm, nets)
         return nets
 
@@ -345,11 +422,16 @@ class SharedNetworkPack:
     def __getstate__(self):
         # The owning SharedMemory object never crosses process boundaries;
         # workers re-attach by name.
-        return {"shm_name": self._shm_name, "per_net": self._per_net}
+        return {
+            "shm_name": self._shm_name,
+            "per_net": self._per_net,
+            "union_specs": self._union_specs,
+        }
 
     def __setstate__(self, state) -> None:
         self._shm_name = state["shm_name"]
         self._per_net = state["per_net"]
+        self._union_specs = state.get("union_specs")
         self._owned_shm = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -29,13 +29,25 @@ never win a max or leak into a live column; networks of identical
 ``(n, d)`` shape that sit in adjacent column runs share one stacked gather
 plan (per-column neighbor-index matrices), so re-sampled graphs of one
 size amortize the kernel dispatch the way trials of one graph do.
+
+For *rectangular* (network x seed) grids there is a stronger layout than
+padding: :class:`UnionFloodKernel` stacks the networks block-diagonally on
+the **row** axis (total rows = sum of the sizes; one column = one seed
+shared by every network), so one plain :meth:`FloodKernel
+.neighbor_max_stacked` call over the concatenated CSR floods *all* the
+networks at once with zero padding rows, no per-segment scratch copies,
+and no masked zeroing — the union of d-regular blocks is itself d-regular,
+so the fast per-neighbor-slot row-gather path applies to the whole stack.
+Blocks share no edges, so values can never cross a block boundary; the
+per-network row segments (``offsets``) drive the engines' segment-wise
+bookkeeping (decided counting, saturation, witness metering).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["FloodKernel", "MultiFloodKernel"]
+__all__ = ["FloodKernel", "MultiFloodKernel", "UnionFloodKernel", "stack_union_csr"]
 
 
 class FloodKernel:
@@ -185,6 +197,95 @@ class FloodKernel:
                 return step - 1
             cur = nxt
         raise RuntimeError(f"flooding did not saturate within {limit} rounds")
+
+
+def stack_union_csr(networks) -> tuple[tuple[int, ...], np.ndarray, np.ndarray]:
+    """Concatenate several H adjacencies into one block-diagonal CSR.
+
+    Returns ``(sizes, indptr, indices)``: block ``g`` owns the row segment
+    ``[sum(sizes[:g]), sum(sizes[:g+1]))`` and its neighbor indices are
+    shifted into that segment, so the union references no row outside the
+    owning block — flooding the union is exactly per-block flooding.
+    """
+    networks = list(networks)
+    if not networks:
+        raise ValueError("stack_union_csr needs at least one network")
+    sizes = tuple(int(net.n) for net in networks)
+    indptr_parts = [np.zeros(1, dtype=np.int64)]
+    indices_parts = []
+    row_off = 0
+    nnz_off = 0
+    for net in networks:
+        indptr = np.asarray(net.h.indptr, dtype=np.int64)
+        indices = np.asarray(net.h.indices, dtype=np.int64)
+        indptr_parts.append(indptr[1:] + nnz_off)
+        indices_parts.append(indices + row_off)
+        row_off += int(net.n)
+        nnz_off += int(indices.shape[0])
+    return sizes, np.concatenate(indptr_parts), np.concatenate(indices_parts)
+
+
+class UnionFloodKernel(FloodKernel):
+    """Block-diagonal union of several adjacencies as one flat CSR kernel.
+
+    The zero-padding layout for rectangular (network x seed) batches: the
+    member networks' H graphs are concatenated block-diagonally, so every
+    round over an ``(N, B)`` trials-as-columns state (``N`` = total rows)
+    is one ordinary :meth:`FloodKernel.neighbor_max_stacked` call — when
+    every block is d-regular the union is d-regular too and the per-slot
+    row-gather fast path covers the whole stack.  ``offsets[g]`` is block
+    ``g``'s first row; :meth:`segment_count_nonzero` and
+    :meth:`segment_sum` reduce an ``(N, B)`` matrix to per-(block, column)
+    values for the engines' decided/saturation/witness bookkeeping.
+
+    Blocks share no edges by construction, so no value can cross a block
+    boundary (enforced by ``tests/property/test_unionstack_properties.py``).
+    """
+
+    def __init__(self, sizes, indptr: np.ndarray, indices: np.ndarray):
+        super().__init__(indptr, indices)
+        self.sizes = tuple(int(s) for s in sizes)
+        if not self.sizes:
+            raise ValueError("UnionFloodKernel needs at least one block")
+        if sum(self.sizes) != self.n:
+            raise ValueError(
+                f"block sizes sum to {sum(self.sizes)} but the union CSR has "
+                f"{self.n} rows"
+            )
+        self.offsets = np.concatenate(
+            [[0], np.cumsum(np.asarray(self.sizes, dtype=np.int64))]
+        ).astype(np.int64)
+
+    @classmethod
+    def from_networks(cls, networks) -> "UnionFloodKernel":
+        """Build the union kernel by stacking the networks' H CSRs."""
+        sizes, indptr, indices = stack_union_csr(networks)
+        return cls(sizes, indptr, indices)
+
+    @property
+    def blocks(self) -> int:
+        return len(self.sizes)
+
+    def segment_count_nonzero(
+        self, values: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-(block, column) nonzero counts of an ``(N, B)`` matrix."""
+        if out is None:
+            out = np.empty((len(self.sizes), values.shape[1]), dtype=np.int64)
+        for g in range(len(self.sizes)):
+            out[g] = np.count_nonzero(
+                values[self.offsets[g] : self.offsets[g + 1]], axis=0
+            )
+        return out
+
+    def segment_sum(self, values: np.ndarray) -> np.ndarray:
+        """Per-(block, column) sums of an ``(N, B)`` numeric matrix.
+
+        One segmented ``reduceat`` over the row axis; the block offsets
+        are the segment boundaries, so the result's row ``g`` aggregates
+        exactly block ``g``'s rows.
+        """
+        return np.add.reduceat(values, self.offsets[:-1], axis=0)
 
 
 #: Column runs narrower than this are candidates for merging into one

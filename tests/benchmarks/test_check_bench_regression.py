@@ -63,6 +63,34 @@ class TestWorkloadSetDrift:
         assert any("retired" in r for r in regressions)
         assert any("brand-new" in w for w in warnings)
 
+    def test_union_stack_first_appearance_is_warning_not_keyerror(self):
+        # The union_stack workload lands in a branch before BENCH_batch.json
+        # is regenerated: its first appearance (the gated entry plus its
+        # informational vs-padded partner) must compare as
+        # fresh-but-uncommitted — warnings, never a KeyError, and the
+        # committed workloads still gate normally.
+        baseline = artifact(entry("honest", 3.0), entry("multi_net", 3.5))
+        fresh = artifact(
+            entry("honest", 3.0),
+            entry("multi_net", 3.5),
+            entry("union_stack", 1.2),
+            {
+                "workload": "union_stack-vs-padded",
+                "mode": "informational",
+                "speedup": 1.3,
+            },
+        )
+        regressions, warnings = cbr.compare(fresh, baseline)
+        assert regressions == []
+        assert any(
+            "union_stack" in w and "commit an updated BENCH_batch.json" in w
+            for w in warnings
+        )
+        # The informational partner warns too, but without gating advice.
+        assert any(
+            "union_stack-vs-padded" in w and "never gated" in w for w in warnings
+        )
+
     def test_malformed_entries_do_not_raise(self):
         baseline = artifact(entry("honest", 3.0), {"speedup": 2.0})
         fresh = artifact({"oops": True}, entry("honest", 3.0))

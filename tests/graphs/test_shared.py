@@ -101,3 +101,66 @@ class TestParallelMapSharedNetwork:
         parallel_map(_run_sum, [1, 2], jobs=2, network=net_small)
         after = set(glob.glob("/dev/shm/psm_*"))
         assert after <= before
+
+
+def _union_probe(networks, item):
+    """Worker probe: does the shared payload carry the union CSR views?"""
+    sizes, indptr, indices = networks.union_csr
+    return (tuple(sizes), int(indptr[-1]), int(indices.shape[0]), item)
+
+
+class TestSharedNetworkPackUnion:
+    """The pack optionally ships the pre-concatenated union CSR."""
+
+    def _nets(self):
+        from repro.graphs import build_small_world
+
+        return [build_small_world(n, 4, seed=n) for n in (24, 32)]
+
+    def test_pack_ships_union_csr_views(self):
+        from repro.graphs.shared import NetworkTuple, SharedNetworkPack
+        from repro.sim.flood import stack_union_csr
+
+        nets = self._nets()
+        ref_sizes, ref_indptr, ref_indices = stack_union_csr(nets)
+        with SharedNetworkPack.create(nets, union=True) as pack:
+            attached = pack.nets
+            assert isinstance(attached, NetworkTuple)
+            sizes, indptr, indices = attached.union_csr
+            assert tuple(sizes) == ref_sizes
+            assert np.array_equal(indptr, ref_indptr)
+            assert np.array_equal(indices, ref_indices)
+            assert not indptr.flags.writeable
+            assert not indices.flags.writeable
+
+    def test_pack_without_union_has_no_csr(self):
+        from repro.graphs.shared import SharedNetworkPack
+
+        with SharedNetworkPack.create(self._nets()) as pack:
+            assert pack.nets.union_csr is None
+
+    def test_engine_adopts_shipped_csr(self):
+        from repro.core.batch import run_counting_batch, run_counting_unionstack
+        from repro.graphs.shared import SharedNetworkPack
+
+        nets = self._nets()
+        with SharedNetworkPack.create(nets, union=True) as pack:
+            out = run_counting_unionstack(pack.nets, [3, 4], config=CFG)
+        for g, net in enumerate(nets):
+            for j, s in enumerate([3, 4]):
+                ref = run_counting_batch(net, [s], config=CFG)[0]
+                got = out[g * 2 + j]
+                assert np.array_equal(ref.decided_phase, got.decided_phase)
+                assert ref.meter.as_dict() == got.meter.as_dict()
+
+    def test_parallel_map_union_payload_reaches_workers(self):
+        from repro.sim.flood import stack_union_csr
+
+        nets = self._nets()
+        sizes, indptr, indices = stack_union_csr(nets)
+        expected = (tuple(sizes), int(indptr[-1]), int(indices.shape[0]))
+        serial = parallel_map(_union_probe, [1, 2], network=nets, union_csr=True)
+        sharded = parallel_map(
+            _union_probe, [1, 2], jobs=2, network=nets, union_csr=True
+        )
+        assert serial == sharded == [expected + (1,), expected + (2,)]

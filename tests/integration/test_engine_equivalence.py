@@ -1,6 +1,6 @@
-"""Cross-engine equivalence: all four engines must agree on the same cells.
+"""Cross-engine equivalence: all five engines must agree on the same cells.
 
-The library executes the counting protocol through four independent
+The library executes the counting protocol through five independent
 implementations:
 
 * ``agents`` — the message-level path: :func:`repro.core.agents
@@ -13,16 +13,20 @@ implementations:
 * ``multinet`` — the padded multi-network batch
   (:func:`repro.core.batch.run_counting_multinet`), exercised here with a
   decoy network of a *different size* sharing the batch, so the cell under
-  test runs in a padded column.
+  test runs in a padded column;
+* ``union`` — the zero-padding union-stack batch
+  (:func:`repro.core.batch.run_counting_unionstack`), exercised with the
+  same decoy as a second block-diagonal row block and an extra decoy seed
+  column, so the cell under test runs as one segment of a shared column.
 
-All four consume the same randomness in the same order, so for any
+All five consume the same randomness in the same order, so for any
 (network, config, strategy, seed) cell they must produce identical
-per-node decisions and crash sets (DESIGN.md §2.1); the three vectorized
+per-node decisions and crash sets (DESIGN.md §2.1); the four vectorized
 engines must additionally match bit-for-bit on meters, traces, and
 injection counters.  One parametrized grid pins every cell across every
 engine through one shared helper — this is the strongest correctness
 check in the suite, and the harness CI runs in its own job step so
-padding regressions fail loudly.
+padding and union-segment regressions fail loudly.
 """
 
 import numpy as np
@@ -31,7 +35,11 @@ import pytest
 from repro.adversary import placement_for_delta
 from repro.core import CountingConfig, make_adversary
 from repro.core.agents import run_counting_agents
-from repro.core.batch import run_counting_batch, run_counting_multinet
+from repro.core.batch import (
+    run_counting_batch,
+    run_counting_multinet,
+    run_counting_unionstack,
+)
 from repro.core.runner import run_counting
 from repro.graphs import build_small_world
 
@@ -62,7 +70,7 @@ CELL_IDS = [c[0] for c in CELLS]
 #: results must match bit-for-bit (meters, traces, injection counters);
 #: the message-level agents path meters messages differently by design,
 #: so it is pinned on decisions and crash sets.
-ENGINES = [("agents", False), ("batch", True), ("multinet", True)]
+ENGINES = [("agents", False), ("batch", True), ("multinet", True), ("union", True)]
 
 
 @pytest.fixture(scope="module")
@@ -132,6 +140,23 @@ def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed):
             byz_mask=masks,
         )
         return out[1]
+    if engine == "union":
+        # The cell under test is one row segment of a block-diagonal
+        # union stack: the decoy network is a second block and a decoy
+        # seed a second column, so the cell's column is genuinely shared
+        # across blocks.  Results are network-major: (block 1, column 1).
+        factory = (
+            (lambda: make_adversary(strategy)) if strategy is not None else None
+        )
+        masks = [None, mask] if factory is not None else None
+        out = run_counting_unionstack(
+            [decoy_net, net],
+            [seed + 1000, seed],
+            config=cfg,
+            adversary_factory=factory,
+            byz_mask=masks,
+        )
+        return out[1 * 2 + 1]
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -175,6 +200,34 @@ class TestMultinetPaddingColumn:
         ref = run_counting(decoy, CFG, seed=7, adversary=make_adversary("early-stop"),
                            byz_mask=np.zeros(decoy.n, dtype=bool))
         assert_cell_equal(ref, out[0], full=True)
+
+
+class TestUnionStackNeighbours:
+    """Every other cell of the 2x2 union grid must itself stay exact."""
+
+    def test_all_grid_cells_match_per_network_runs(self, net, decoy, byz):
+        seeds = [7, 5]
+        out = run_counting_unionstack(
+            [decoy, net],
+            seeds,
+            config=CFG,
+            adversary_factory=lambda: make_adversary("early-stop"),
+            byz_mask=[None, byz],
+        )
+        for g, (network, mask) in enumerate([(decoy, None), (net, byz)]):
+            for j, seed in enumerate(seeds):
+                ref = run_counting(
+                    network,
+                    CFG,
+                    seed=seed,
+                    adversary=make_adversary("early-stop"),
+                    byz_mask=(
+                        mask
+                        if mask is not None
+                        else np.zeros(network.n, dtype=bool)
+                    ),
+                )
+                assert_cell_equal(ref, out[g * 2 + j], full=True)
 
 
 class TestAgentMessageAccounting:

@@ -52,22 +52,42 @@ def test_byzantine_runs_decide_everyone(seed, strategy, byz_count):
 
 @settings(max_examples=8, deadline=None)
 @given(seed=seeds, byz_count=st.integers(1, 6))
-def test_early_stop_never_below_byz_distance(seed, byz_count):
-    """The downward attack is distance-limited (the Lemma 11 mechanism)."""
+def test_early_stop_first_deviation_respects_byz_distance(seed, byz_count):
+    """The downward attack is distance-limited (the Lemma 11 mechanism).
+
+    Byzantine influence travels one H hop per flooding round, so the
+    *first* node whose decision deviates from the honest-behavior baseline
+    (same placement, same seed, byz nodes following the protocol — which
+    keeps the honest color pool and hence every draw aligned until the
+    deviation) must sit within ``first_phase`` hops of the Byzantine set.
+    Nothing stronger holds per node: once any near node's decision flips,
+    the undecided pool shifts and later draws differ everywhere, so a far
+    node may legitimately decide below its own distance downstream of the
+    first deviation (that unsound per-node claim used to flake here).
+    """
     from repro.graphs.balls import distances_to_set
 
     net = build_small_world(128, 8, seed=7)
     byz = random_placement(net.n, byz_count, rng=seed % 977)
-    res = run_counting(
-        net,
-        CountingConfig(max_phase=24),
-        seed=seed,
-        adversary=make_adversary("early-stop"),
-        byz_mask=byz,
+    cfg = CountingConfig(max_phase=24)
+    attacked = run_counting(
+        net, cfg, seed=seed, adversary=make_adversary("early-stop"), byz_mask=byz
     )
+    baseline = run_counting(
+        net, cfg, seed=seed, adversary=make_adversary("honest"), byz_mask=byz
+    )
+    assert np.array_equal(attacked.crashed, baseline.crashed)
+    pool = attacked.honest_uncrashed & baseline.honest_uncrashed
+    da = np.where(attacked.decided_phase == -1, cfg.max_phase + 1, attacked.decided_phase)
+    db = np.where(baseline.decided_phase == -1, cfg.max_phase + 1, baseline.decided_phase)
+    deviated = pool & (da != db)
+    if not deviated.any():
+        return
+    first = np.minimum(da, db)
+    first_phase = first[deviated].min()
     dist = distances_to_set(net.h.indptr, net.h.indices, np.flatnonzero(byz))
-    pool = res.honest_uncrashed
-    assert np.all(res.decided_phase[pool] >= dist[pool])
+    earliest = deviated & (first == first_phase)
+    assert np.all(dist[earliest] <= first_phase)
 
 
 @settings(max_examples=6, deadline=None)
