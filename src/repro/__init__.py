@@ -17,6 +17,8 @@ from .core import (
     CountingConfig,
     CountingResult,
     EstimateReport,
+    MultiSweepResult,
+    SweepResult,
     estimate_network_size,
     make_adversary,
     practical_band,
@@ -24,8 +26,6 @@ from .core import (
     run_byzantine_counting,
     run_multi_sweep,
     run_sweep,
-    MultiSweepResult,
-    SweepResult,
 )
 from .graphs import SmallWorldNetwork, build_small_world, generate_hgraph
 

@@ -59,13 +59,15 @@ sequential fallback did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from .._types import BoolArray, Int64Array, IntArray
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.config import CountingConfig
-    from ..core.neighborhood import AdjacencyClaims
+    from ..core.neighborhood import ByzantineClaims
     from ..graphs.smallworld import SmallWorldNetwork
 
 __all__ = [
@@ -87,7 +89,7 @@ __all__ = [
 #: Strategies reuse one ``byz_nodes`` array across thousands of Injection
 #: objects per run; the memo turns repeat validation into a dict hit.
 #: Arrays used in an Injection are treated as immutable from then on.
-_VALIDATED_NODE_ARRAYS: dict[int, np.ndarray] = {}
+_VALIDATED_NODE_ARRAYS: dict[int, Int64Array] = {}
 
 
 @dataclass(frozen=True)
@@ -107,7 +109,7 @@ class Injection:
     """
 
     t: int
-    nodes: np.ndarray
+    nodes: Int64Array
     value: int
 
     def __post_init__(self) -> None:
@@ -121,7 +123,7 @@ class Injection:
         object.__setattr__(self, "nodes", nodes)
 
     @staticmethod
-    def _validate_nodes(nodes_in) -> np.ndarray:
+    def _validate_nodes(nodes_in: Any) -> Int64Array:
         nodes = np.asarray(nodes_in)
         if nodes.ndim != 1 or nodes.size == 0:
             raise ValueError(
@@ -144,7 +146,7 @@ class Injection:
         _VALIDATED_NODE_ARRAYS[id(nodes)] = nodes
         return nodes
 
-    def require_byzantine(self, byz_mask: np.ndarray) -> None:
+    def require_byzantine(self, byz_mask: BoolArray) -> None:
         """Raise unless every injection target is Byzantine.
 
         ``byz_mask`` is the boolean placement mask over all nodes (a mask
@@ -173,7 +175,7 @@ class SubphasePlan:
     #: Colors the Byzantine nodes "generate" at subphase start (length =
     #: number of Byzantine nodes, aligned with ``state.byz_nodes``).  None
     #: means generate nothing (send 0 until an injection or relayed max).
-    initial_colors: np.ndarray | None = None
+    initial_colors: IntArray | None = None
     #: Mid-subphase injections (each checked against Lemma 16).
     injections: list[Injection] = field(default_factory=list)
     #: Whether Byzantine nodes relay the running maximum like honest nodes.
@@ -190,10 +192,10 @@ class SubphaseState:
     rounds: int
     k: int
     network: "SmallWorldNetwork"
-    byz_nodes: np.ndarray
-    honest_colors: np.ndarray
-    decided_phase: np.ndarray
-    crashed: np.ndarray
+    byz_nodes: IntArray
+    honest_colors: IntArray
+    decided_phase: IntArray
+    crashed: BoolArray
     rng: np.random.Generator
 
     @property
@@ -217,12 +219,12 @@ class BatchSubphasePlan:
     #: A scalar plan's ``initial_colors=None`` is represented as an
     #: all-zero column (identical engine behavior: Byzantine state starts
     #: at the 0 sentinel either way).
-    initial_colors: np.ndarray | None = None
+    initial_colors: IntArray | None = None
     #: Per-trial injection schedules (``injections[j]`` drives trial ``j``);
     #: None means no trial injects.
     injections: list[list[Injection]] | None = None
     #: Per-trial relay flags (``(B,)`` bool array) or one shared bool.
-    relay: np.ndarray | bool = True
+    relay: BoolArray | bool = True
 
 
 @dataclass
@@ -243,11 +245,11 @@ class BatchSubphaseState:
     rounds: int
     k: int
     network: "SmallWorldNetwork"
-    byz_nodes: np.ndarray
-    trials: np.ndarray
-    honest_colors: np.ndarray
-    decided_phase: np.ndarray
-    crashed: np.ndarray
+    byz_nodes: IntArray
+    trials: IntArray
+    honest_colors: IntArray
+    decided_phase: IntArray
+    crashed: BoolArray
     rngs: tuple[np.random.Generator, ...]
 
     @property
@@ -258,7 +260,7 @@ class BatchSubphaseState:
     def batch(self) -> int:
         return len(self.rngs)
 
-    def global_max_colors(self) -> np.ndarray:
+    def global_max_colors(self) -> IntArray:
         """Per-trial largest honest color drawn this subphase (``(B,)``)."""
         if self.honest_colors.shape[0] == 0:
             return np.zeros(self.batch, dtype=np.int64)
@@ -292,7 +294,7 @@ def stack_subphase_plans(
     fails with the same message the sequential engine raises.
     """
     batch = len(plans)
-    initial: np.ndarray | None = None
+    initial: Int64Array | None = None
     for j, plan in enumerate(plans):
         if plan.initial_colors is None:
             continue
@@ -302,7 +304,7 @@ def stack_subphase_plans(
         if initial is None:
             initial = np.zeros((byz_count, batch), dtype=np.int64)
         initial[:, j] = vals
-    injections = [list(plan.injections) for plan in plans]
+    injections: list[list[Injection]] | None = [list(plan.injections) for plan in plans]
     if not any(injections):
         injections = None
     relay = np.array([bool(plan.relay) for plan in plans], dtype=bool)
@@ -318,7 +320,7 @@ class Adversary:
 
     def __init__(self) -> None:
         self.network: "SmallWorldNetwork | None" = None
-        self.byz_mask: np.ndarray | None = None
+        self.byz_mask: BoolArray | None = None
         self.rng: np.random.Generator | None = None
         self.batch_rngs: tuple[np.random.Generator, ...] = ()
 
@@ -326,7 +328,7 @@ class Adversary:
     def bind(
         self,
         network: "SmallWorldNetwork",
-        byz_mask: np.ndarray,
+        byz_mask: BoolArray,
         rng: np.random.Generator | None,
         config: "CountingConfig",
     ) -> None:
@@ -336,7 +338,7 @@ class Adversary:
         self.rng = rng
         self.config = config
 
-    def topology_claims(self) -> "dict[int, tuple[int, ...]]":
+    def topology_claims(self) -> "ByzantineClaims":
         """Claimed H-adjacency per Byzantine node for the pre-phase.
 
         Defaults to truthful claims (topology lies only trigger crashes,
@@ -345,7 +347,9 @@ class Adversary:
         assert self.network is not None and self.byz_mask is not None
         from ..core.neighborhood import truthful_claims
 
-        return truthful_claims(self.network, np.flatnonzero(self.byz_mask))
+        claims: "ByzantineClaims" = {}
+        claims.update(truthful_claims(self.network, np.flatnonzero(self.byz_mask)))
+        return claims
 
     def subphase_plan(self, state: SubphaseState) -> SubphasePlan:
         """Default: draw honest-looking colors and relay faithfully."""
@@ -363,7 +367,7 @@ class Adversary:
     def bind_batch(
         self,
         network: "SmallWorldNetwork",
-        byz_mask: np.ndarray,
+        byz_mask: BoolArray,
         rngs: Sequence[np.random.Generator],
         config: "CountingConfig",
     ) -> None:
@@ -376,7 +380,7 @@ class Adversary:
             config,
         )
 
-    def batch_topology_claims(self) -> "list[AdjacencyClaims]":
+    def batch_topology_claims(self) -> "list[ByzantineClaims]":
         """Per-trial pre-phase claims (one mapping per bound trial).
 
         The default replays :meth:`topology_claims` under each trial's rng;
@@ -387,7 +391,7 @@ class Adversary:
             # The base implementation (truthful claims) is deterministic
             # and rng-free: compute once and share across trials.
             return [self.topology_claims()] * batch
-        claims = []
+        claims: "list[ByzantineClaims]" = []
         for rng in self.batch_rngs:
             self.rng = rng
             claims.append(self.topology_claims())
@@ -404,7 +408,7 @@ class Adversary:
         *other* mutable per-run state should go through
         :class:`PerTrialAdversaryBatch` instead.
         """
-        plans = []
+        plans: list[SubphasePlan] = []
         for j in range(state.batch):
             self.rng = state.rngs[j]
             plans.append(self.subphase_plan(state.column(j)))
@@ -430,11 +434,17 @@ class PerTrialAdversaryBatch(Adversary):
 
     name = "per-trial-batch"
 
-    def __init__(self, factory: Callable[[], Adversary], batch: int):
+    def __init__(self, factory: Callable[[], Adversary], batch: int) -> None:
         super().__init__()
         self.instances = [factory() for _ in range(batch)]
 
-    def bind_batch(self, network, byz_mask, rngs, config) -> None:
+    def bind_batch(
+        self,
+        network: "SmallWorldNetwork",
+        byz_mask: BoolArray,
+        rngs: Sequence[np.random.Generator],
+        config: "CountingConfig",
+    ) -> None:
         if len(rngs) != len(self.instances):
             raise ValueError(
                 f"bound {len(rngs)} trials for {len(self.instances)} instances"
@@ -446,7 +456,7 @@ class PerTrialAdversaryBatch(Adversary):
         for inst, rng in zip(self.instances, rngs):
             inst.bind(network, byz_mask, rng, config)
 
-    def batch_topology_claims(self) -> "list[AdjacencyClaims]":
+    def batch_topology_claims(self) -> "list[ByzantineClaims]":
         return [inst.topology_claims() for inst in self.instances]
 
     def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._types import BoolArray, SeedLike
 from ..analysis.bounds import byzantine_budget
 from ..graphs.balls import bfs_distances
 from ..graphs.smallworld import SmallWorldNetwork
@@ -18,9 +19,7 @@ from ..sim.rng import make_rng
 __all__ = ["random_placement", "clustered_placement", "placement_for_delta"]
 
 
-def random_placement(
-    n: int, count: int, rng: int | np.random.Generator | None = 0
-) -> np.ndarray:
+def random_placement(n: int, count: int, rng: SeedLike = 0) -> BoolArray:
     """Uniformly random Byzantine mask with exactly ``count`` nodes."""
     if not 0 <= count <= n:
         raise ValueError(f"count must be in [0, n], got {count}")
@@ -34,8 +33,8 @@ def random_placement(
 def clustered_placement(
     net: SmallWorldNetwork,
     count: int,
-    rng: int | np.random.Generator | None = 0,
-) -> np.ndarray:
+    rng: SeedLike = 0,
+) -> BoolArray:
     """Byzantine nodes form a BFS blob in ``H`` around a random center.
 
     This is (close to) the worst case for the random-distribution
@@ -59,10 +58,10 @@ def clustered_placement(
 def placement_for_delta(
     net: SmallWorldNetwork,
     delta: float,
-    rng: int | np.random.Generator | None = 0,
+    rng: SeedLike = 0,
     *,
     clustered: bool = False,
-) -> np.ndarray:
+) -> BoolArray:
     """Place the paper's budget ``B(n) = n^{1-delta}`` Byzantine nodes."""
     count = byzantine_budget(net.n, delta)
     if clustered:

@@ -32,8 +32,11 @@ Python fallback.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from .._types import BoolArray
 from ..core.colors import sample_colors
 from .base import (
     Adversary,
@@ -43,6 +46,11 @@ from .base import (
     SubphasePlan,
     SubphaseState,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.config import CountingConfig
+    from ..core.neighborhood import ByzantineClaims
+    from ..graphs.smallworld import SmallWorldNetwork
 
 __all__ = [
     "EarlyStopAdversary",
@@ -64,7 +72,7 @@ class EarlyStopAdversary(Adversary):
 
     name = "early-stop"
 
-    def __init__(self, value: int = HUGE_COLOR):
+    def __init__(self, value: int = HUGE_COLOR) -> None:
         super().__init__()
         self.value = value
 
@@ -95,7 +103,7 @@ class InflationAdversary(Adversary):
 
     name = "inflation"
 
-    def __init__(self, base_value: int = HUGE_COLOR):
+    def __init__(self, base_value: int = HUGE_COLOR) -> None:
         super().__init__()
         self.base_value = base_value
 
@@ -145,10 +153,10 @@ class SilentAdversary(Adversary):
 
     name = "silent"
 
-    def topology_claims(self) -> dict[int, tuple[int, ...]]:
+    def topology_claims(self) -> ByzantineClaims:
         return {}  # silence in the pre-phase is not a contradiction
 
-    def batch_topology_claims(self) -> list[dict[int, tuple[int, ...]]]:
+    def batch_topology_claims(self) -> list[ByzantineClaims]:
         return [{} for _ in self.batch_rngs]
 
     def subphase_plan(self, state: SubphaseState) -> SubphasePlan:
@@ -169,19 +177,27 @@ class TopologyLiarAdversary(Adversary):
 
     name = "topology-liar"
 
-    def __init__(self, inner: Adversary | None = None, phantom_base: int | None = None):
+    def __init__(
+        self, inner: Adversary | None = None, phantom_base: int | None = None
+    ) -> None:
         super().__init__()
         self.inner = inner or Adversary()
         self.phantom_base = phantom_base
 
-    def bind(self, network, byz_mask, rng, config) -> None:
+    def bind(
+        self,
+        network: SmallWorldNetwork,
+        byz_mask: BoolArray,
+        rng: np.random.Generator | None,
+        config: CountingConfig,
+    ) -> None:
         super().bind(network, byz_mask, rng, config)
         self.inner.bind(network, byz_mask, rng, config)
 
-    def topology_claims(self) -> dict[int, tuple[int, ...]]:
+    def topology_claims(self) -> ByzantineClaims:
         assert self.network is not None and self.byz_mask is not None
         base = self.phantom_base if self.phantom_base is not None else self.network.n
-        claims: dict[int, tuple[int, ...]] = {}
+        claims: ByzantineClaims = {}
         for idx, b in enumerate(np.flatnonzero(self.byz_mask)):
             # Claims carry multiplicity (d entries); swap the first real
             # entry for a phantom ID, keeping the degree at exactly d.
@@ -190,7 +206,7 @@ class TopologyLiarAdversary(Adversary):
             claims[int(b)] = tuple(fake)
         return claims
 
-    def batch_topology_claims(self) -> list[dict[int, tuple[int, ...]]]:
+    def batch_topology_claims(self) -> list[ByzantineClaims]:
         # Claims depend only on the bound network, so compute them once;
         # the engine deduplicates identical claim sets anyway.
         claims = self.topology_claims()
@@ -208,7 +224,7 @@ class ComboAdversary(Adversary):
 
     name = "combo"
 
-    def __init__(self, early_fraction: float = 0.5, value: int = HUGE_COLOR):
+    def __init__(self, early_fraction: float = 0.5, value: int = HUGE_COLOR) -> None:
         super().__init__()
         if not 0.0 <= early_fraction <= 1.0:
             raise ValueError("early_fraction must be in [0, 1]")
@@ -221,7 +237,7 @@ class ComboAdversary(Adversary):
         early, late = state.byz_nodes[:split], state.byz_nodes[split:]
         colors = np.zeros(m, dtype=np.int64)
         colors[:split] = self.value
-        injections = []
+        injections: list[Injection] = []
         if late.size:
             t = max(1, min(state.k - 1, state.rounds))
             injections.append(
@@ -272,7 +288,7 @@ class AdaptiveRecordAdversary(Adversary):
         # base; those trials share one schedule object (plans are
         # read-only, and the engine groups shared node arrays anyway).
         schedules: dict[int, list[Injection]] = {}
-        injections = []
+        injections: list[list[Injection]] = []
         colors = np.empty((m, state.batch), dtype=np.int64)
         for j in range(state.batch):
             base = int(bases[j])

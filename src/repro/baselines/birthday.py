@@ -21,8 +21,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ._common import byz_array, check_attack
 from ..sim.rng import make_rng
+from ._common import byz_array, check_attack
 
 __all__ = ["BirthdayResult", "run_birthday", "run_birthday_batch"]
 

@@ -14,8 +14,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ._common import byz_array, check_attack
 from ..graphs.balls import bfs_distances
+from ._common import byz_array, check_attack
 
 __all__ = ["ConvergecastResult", "run_convergecast", "run_convergecast_batch"]
 

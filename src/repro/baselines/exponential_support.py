@@ -20,9 +20,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ._common import byz_array, check_attack
 from ..sim.flood import FloodKernel
 from ..sim.rng import make_rng
+from ._common import byz_array, check_attack
 
 __all__ = [
     "ExponentialSupportResult",

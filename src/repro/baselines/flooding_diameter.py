@@ -14,9 +14,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ._common import byz_array, check_attack
 from ..graphs.balls import bfs_distances
 from ..sim.flood import FloodKernel
+from ._common import byz_array, check_attack
 
 __all__ = [
     "FloodingDiameterResult",

@@ -20,11 +20,11 @@ from typing import Sequence
 
 import numpy as np
 
-from ._common import byz_array, check_attack
 from ..core.colors import sample_colors
 from ..sim.flood import FloodKernel, MultiFloodKernel
 from ..sim.metrics import MessageMeter
 from ..sim.rng import make_rng
+from ._common import byz_array, check_attack
 
 __all__ = [
     "GeometricMaxResult",

@@ -28,7 +28,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._types import BoolArray, Int64Array, SeedLike
 from ..adversary.base import Adversary, SubphasePlan, SubphaseState
+from ..graphs.smallworld import SmallWorldNetwork
 from ..sim.engine import SynchronousEngine
 from ..sim.messages import AdjacencyClaimMessage, ColorMessage
 from ..sim.node import NodeProgram, RoundContext
@@ -48,7 +50,7 @@ class _Ledger:
 
     legitimate: set[int] = field(default_factory=set)
 
-    def reset(self, values: np.ndarray) -> None:
+    def reset(self, values: Int64Array) -> None:
         self.legitimate = set(int(v) for v in values if v > 0)
 
     def admit(self, value: int) -> None:
@@ -61,7 +63,7 @@ class _Ledger:
 class CountingAgent(NodeProgram):
     """Honest node: floods the running max, records per-round maxima."""
 
-    def __init__(self, node: int, ledger: _Ledger, verification: bool):
+    def __init__(self, node: int, ledger: _Ledger, verification: bool) -> None:
         self.node = node
         self.ledger = ledger
         self.verification = verification
@@ -96,7 +98,7 @@ class CountingAgent(NodeProgram):
             return
         if self.mode == "flood":
             best = 0
-            for sender, msg in ctx.inbox:
+            for _sender, msg in ctx.inbox:
                 if not isinstance(msg, ColorMessage):
                     continue
                 value = msg.color
@@ -117,7 +119,7 @@ class CountingAgent(NodeProgram):
 class ByzantineCountingAgent(NodeProgram):
     """Byzantine node driven by the adversary's :class:`SubphasePlan`."""
 
-    def __init__(self, node: int):
+    def __init__(self, node: int) -> None:
         self.node = node
         self.crashed = False  # Byzantine nodes never crash
         self.h_ports: list[int] = []
@@ -140,7 +142,7 @@ class ByzantineCountingAgent(NodeProgram):
         if self.mode == "listen":
             return
         if self.mode == "flood":
-            for sender, msg in ctx.inbox:
+            for _sender, msg in ctx.inbox:
                 if isinstance(msg, ColorMessage):
                     self.cur = max(self.cur, msg.color)
             t = self.current_t
@@ -155,11 +157,11 @@ class ByzantineCountingAgent(NodeProgram):
 
 
 def run_counting_agents(
-    network,
+    network: SmallWorldNetwork,
     config: CountingConfig | None = None,
-    seed: int | np.random.Generator | None = 0,
+    seed: SeedLike = 0,
     adversary: Adversary | None = None,
-    byz_mask: np.ndarray | None = None,
+    byz_mask: BoolArray | None = None,
 ) -> CountingResult:
     """Message-level run; mirrors :func:`repro.core.runner.run_counting`."""
     config = config or CountingConfig()
@@ -174,12 +176,16 @@ def run_counting_agents(
     byz_nodes = np.flatnonzero(byz)
     ledger = _Ledger()
 
-    programs: dict[int, NodeProgram] = {}
+    honest_agents: dict[int, CountingAgent] = {}
+    byz_agents: dict[int, ByzantineCountingAgent] = {}
+    programs: dict[int, CountingAgent | ByzantineCountingAgent] = {}
     for v in range(n):
         if byz[v]:
-            programs[v] = ByzantineCountingAgent(v)
+            byz_agents[v] = programs[v] = ByzantineCountingAgent(v)
         else:
-            programs[v] = CountingAgent(v, ledger, config.verification and adversary is not None)
+            honest_agents[v] = programs[v] = CountingAgent(
+                v, ledger, config.verification and adversary is not None
+            )
     engine = SynchronousEngine(network, programs, seed=root)
 
     # ------------------------------------------------------------------
@@ -191,7 +197,7 @@ def run_counting_agents(
         byz_claims = dict(adversary.topology_claims()) if config.verification else {}
     for v in range(n):
         prog = programs[v]
-        if byz[v]:
+        if isinstance(prog, ByzantineCountingAgent):
             prog.claim = byz_claims.get(v) if config.verification else truthful[v]
         else:
             prog.claim = truthful[v]
@@ -203,13 +209,10 @@ def run_counting_agents(
         for prog in programs.values():
             prog.mode = "listen"
         engine.step()
-        for v in range(n):
-            if byz[v]:
-                continue
-            agent = programs[v]
+        for v, honest_agent in honest_agents.items():
             ports = network.g_neighbors(v)
-            if find_conflicts(v, ports, dict(agent.received_claims), k, d):
-                agent.crash()
+            if find_conflicts(v, ports, dict(honest_agent.received_claims), k, d):
+                honest_agent.crash()
     crashed = engine.crashed_mask() & ~byz
 
     # All surviving nodes learn their true H-ports (Lemma 3 guarantees the
@@ -258,12 +261,12 @@ def run_counting_agents(
             if plan is not None and plan.initial_colors is not None:
                 initial = np.asarray(plan.initial_colors, dtype=np.int64)
             for idx, b in enumerate(byz_nodes):
-                agent = programs[int(b)]
-                agent.mode = "flood"
-                agent.phase, agent.subphase = phase, sub
-                agent.cur = int(initial[idx])
-                agent.relay = plan.relay if plan is not None else True
-                agent.sends_at = {}
+                byz_agent = byz_agents[int(b)]
+                byz_agent.mode = "flood"
+                byz_agent.phase, byz_agent.subphase = phase, sub
+                byz_agent.cur = int(initial[idx])
+                byz_agent.relay = plan.relay if plan is not None else True
+                byz_agent.sends_at = {}
             ledger.reset(np.concatenate([colors, initial]))
             if plan is not None:
                 for inj in plan.injections:
@@ -271,32 +274,30 @@ def run_counting_agents(
                     if legal:
                         ledger.admit(inj.value)
                     for b in inj.nodes:
-                        agent = programs[int(b)]
+                        byz_agent = byz_agents[int(b)]
                         if legal:
-                            agent.sends_at[inj.t] = max(
-                                agent.sends_at.get(inj.t, 0), inj.value
+                            byz_agent.sends_at[inj.t] = max(
+                                byz_agent.sends_at.get(inj.t, 0), inj.value
                             )
 
-            per_round_k: list[np.ndarray] = []
+            per_round_k: list[Int64Array] = []
             engine.flush_pending()  # subphase boundary: experiments are independent
-            for v in range(n):
-                if not byz[v]:
-                    agent = programs[v]
-                    agent.mode = "flood"
-                    agent.begin_subphase(int(colors[v]), phase, sub)
+            for v, honest_agent in honest_agents.items():
+                honest_agent.mode = "flood"
+                honest_agent.begin_subphase(int(colors[v]), phase, sub)
 
             # Protocol round t: all nodes transmit, receipts land next
             # engine step.  We run i+1 engine steps so that i receive
             # rounds complete, and harvest k_t after each receive.
             for t in range(0, phase + 1):
                 for b in byz_nodes:
-                    programs[int(b)].current_t = t + 1
+                    byz_agents[int(b)].current_t = t + 1
                 engine.step()
                 if t >= 1:
                     kt = np.zeros(n, dtype=np.int64)
-                    for v in range(n):
-                        if not byz[v] and not programs[v].crashed:
-                            kt[v] = programs[v].k_last
+                    for v, honest_agent in honest_agents.items():
+                        if not honest_agent.crashed:
+                            kt[v] = honest_agent.k_last
                     per_round_k.append(kt)
 
             k_stack = np.stack(per_round_k)  # (phase, n)

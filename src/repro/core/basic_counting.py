@@ -9,8 +9,8 @@ sphere-size threshold.
 
 from __future__ import annotations
 
-import numpy as np
-
+from .._types import SeedLike
+from ..graphs.smallworld import SmallWorldNetwork
 from .config import CountingConfig
 from .results import CountingResult
 from .runner import run_counting
@@ -19,9 +19,9 @@ __all__ = ["run_basic_counting"]
 
 
 def run_basic_counting(
-    network,
+    network: SmallWorldNetwork,
     config: CountingConfig | None = None,
-    seed: int | np.random.Generator | None = 0,
+    seed: SeedLike = 0,
 ) -> CountingResult:
     """Run Algorithm 1 (no Byzantine nodes, no verification machinery)."""
     config = (config or CountingConfig()).with_(verification=False)

@@ -113,12 +113,14 @@ hypothesis properties in ``tests/property/test_unionstack_properties.py``.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from .._types import AnyArray, BoolArray, Int64Array, IntArray, SeedLike
 from ..adversary.base import (
     Adversary,
+    BatchSubphasePlan,
     BatchSubphaseState,
     Injection,
     PerTrialAdversaryBatch,
@@ -134,6 +136,13 @@ from .neighborhood import crash_phase
 from .phases import color_threshold, subphase_count
 from .results import UNDECIDED, BatchCountingResult, CountingResult
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graphs.smallworld import SmallWorldNetwork
+
+#: An ``adversary_factory`` argument: a zero-argument factory or a plain
+#: (stateless, single-placement) instance.
+AdversarySpec = "Adversary | Callable[[], Adversary]"
+
 __all__ = ["run_counting_batch", "run_counting_multinet", "run_counting_unionstack"]
 
 #: Boundaries of the narrow adversarial state: plans whose values fit
@@ -146,11 +155,11 @@ _INT32_MIN = int(np.iinfo(np.int32).min)
 
 
 def run_counting_batch(
-    network,
-    seeds: Sequence[int | np.random.Generator | None],
+    network: SmallWorldNetwork,
+    seeds: Sequence[SeedLike],
     config: CountingConfig | Sequence[CountingConfig] | None = None,
-    adversary_factory: Callable[[], Adversary] | None = None,
-    byz_mask: np.ndarray | Sequence[np.ndarray] | None = None,
+    adversary_factory: Callable[[], Adversary] | Adversary | None = None,
+    byz_mask: AnyArray | Sequence[AnyArray | None] | None = None,
 ) -> BatchCountingResult:
     """Run ``len(seeds)`` independent counting trials, batched.
 
@@ -219,7 +228,7 @@ def run_counting_batch(
     return BatchCountingResult(results)  # type: ignore[arg-type]
 
 
-def _normalize_byz_masks(byz_mask, batch: int, n: int) -> np.ndarray | None:
+def _normalize_byz_masks(byz_mask: Any, batch: int, n: int) -> BoolArray | None:
     """Normalize ``byz_mask`` to a per-trial ``(batch, n)`` stack (or None).
 
     A single ``(n,)`` mask is broadcast to every trial; a ``(batch, n)``
@@ -265,7 +274,7 @@ def _normalize_byz_masks(byz_mask, batch: int, n: int) -> np.ndarray | None:
     )
 
 
-def _batch_adversary(factory, batch: int) -> Adversary:
+def _batch_adversary(factory: AdversarySpec, batch: int) -> Adversary:
     """Resolve the adversary that will drive one placement sub-group."""
     if isinstance(factory, Adversary):
         # A shared instance: driven through its (native or generic
@@ -280,7 +289,9 @@ def _batch_adversary(factory, batch: int) -> Adversary:
     return PerTrialAdversaryBatch(factory, batch)
 
 
-def _normalize_configs(config, batch: int) -> list[CountingConfig]:
+def _normalize_configs(
+    config: CountingConfig | Sequence[CountingConfig] | None, batch: int
+) -> list[CountingConfig]:
     if config is None:
         config = CountingConfig()
     if isinstance(config, CountingConfig):
@@ -304,7 +315,7 @@ def _group_by_config(
 
 
 def _run_batched_group(
-    network, seeds: list, config: CountingConfig
+    network: SmallWorldNetwork, seeds: list[SeedLike], config: CountingConfig
 ) -> list[CountingResult]:
     """The batched engine proper: one config, ``B`` seeds, no adversary.
 
@@ -319,7 +330,7 @@ def _run_batched_group(
     if batch == 0:
         return []
 
-    color_rngs = []
+    color_rngs: list[np.random.Generator] = []
     for seed in seeds:
         root = make_rng(seed)
         color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
@@ -356,7 +367,7 @@ def _run_batched_group(
         # ``count`` (distribution sampling consumes the bit stream per
         # variate, independent of call boundaries), so per-trial streams
         # still match the sequential engine draw for draw.
-        phase_draws = []
+        phase_draws: list[Int64Array | None] = []
         for row, trial in enumerate(live):
             count = int(counts[row])
             if count:
@@ -387,7 +398,7 @@ def _run_batched_group(
             # Rows whose mask is partial keep untouched entries at their
             # initial 0 (the mask is fixed for the whole phase), so only
             # masked positions ever need writing.
-            for row, trial in enumerate(live):
+            for row, _trial in enumerate(live):
                 draws = phase_draws[row]
                 if draws is None:
                     continue
@@ -474,12 +485,20 @@ def _run_batched_group(
     ]
 
 
-def _claims_signature(claims) -> tuple:
+def _claims_signature(claims: Any) -> tuple[Any, ...]:
     """Hashable content key for one trial's pre-phase claim mapping."""
     return tuple(sorted((int(v), tuple(c)) for v, c in claims.items()))
 
 
-def _normalize_batch_plan(plan, byz_count: int, batch: int):
+def _normalize_batch_plan(
+    plan: BatchSubphasePlan, byz_count: int, batch: int
+) -> tuple[
+    Int64Array | None,
+    list[dict[int, list[Injection]]],
+    dict[int, Int64Array],
+    dict[int, list[tuple[IntArray, IntArray, Int64Array]]],
+    BoolArray,
+]:
     """Validate a :class:`BatchSubphasePlan` and expand it to engine form.
 
     Returns ``(initial, inj_by_round, counts_by_round, groups_by_round,
@@ -500,7 +519,7 @@ def _normalize_batch_plan(plan, byz_count: int, batch: int):
     Identical per-trial schedules may share list objects (the engine never
     mutates them).
     """
-    initial = None
+    initial: Int64Array | None = None
     if plan.initial_colors is not None:
         initial = np.asarray(plan.initial_colors, dtype=np.int64)
         if initial.shape != (byz_count, batch):
@@ -509,8 +528,8 @@ def _normalize_batch_plan(plan, byz_count: int, batch: int):
                 f"got {initial.shape}"
             )
     inj_by_round: list[dict[int, list[Injection]]] = [{} for _ in range(batch)]
-    counts_by_round: dict[int, np.ndarray] = {}
-    raw_groups: dict[tuple[int, int], tuple[np.ndarray, dict[int, int], list]] = {}
+    counts_by_round: dict[int, Int64Array] = {}
+    raw_groups: dict[tuple[int, int], tuple[IntArray, dict[int, int], list[int]]] = {}
     if plan.injections is not None:
         if len(plan.injections) != batch:
             raise ValueError(
@@ -537,7 +556,7 @@ def _normalize_batch_plan(plan, byz_count: int, batch: int):
                         vals.append(inj.value)
                     else:
                         vals[pos] = max(vals[pos], inj.value)
-    groups_by_round: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+    groups_by_round: dict[int, list[tuple[IntArray, IntArray, Int64Array]]] = {}
     for (t, _), (nodes, col_pos, vals) in raw_groups.items():
         # col_pos preserves insertion order, so its keys align with vals.
         cols = np.fromiter(col_pos.keys(), dtype=np.int64, count=len(col_pos))
@@ -581,24 +600,28 @@ class _PlacementGroup:
         "rng_cols",
     )
 
-    def __init__(self, trials: np.ndarray, byz: np.ndarray, adversary: Adversary):
+    def __init__(self, trials: Int64Array, byz: BoolArray, adversary: Adversary) -> None:
         self.trials = trials
         self.byz = byz
         self.byz_nodes = np.flatnonzero(byz)
         self.honest_nodes = np.flatnonzero(~byz)
         self.adversary = adversary
-        self.alive_local = trials
-        self.sel: np.ndarray | None = None
+        self.alive_local: IntArray = trials
+        # Phase-refreshed slots (columns assigned before every use, so the
+        # None sentinels never escape the engine loop).
+        self.sel: Any = None
         self.full = True
         # Phase-constant column views (decided/crashed/rngs restricted to
         # the group's live columns), refreshed once per phase — only the
         # colors slice changes per subphase.
-        self.dec_cols: np.ndarray | None = None
-        self.crash_cols: np.ndarray | None = None
-        self.rng_cols: tuple = ()
+        self.dec_cols: Any = None
+        self.crash_cols: Any = None
+        self.rng_cols: tuple[np.random.Generator, ...] = ()
 
 
-def _placement_groups(adversary_factory, byz_bn: np.ndarray) -> list["_PlacementGroup"]:
+def _placement_groups(
+    adversary_factory: AdversarySpec, byz_bn: BoolArray
+) -> list["_PlacementGroup"]:
     """Sub-group trial columns by distinct placement, one adversary each."""
     group_map: dict[bytes, list[int]] = {}
     for j in range(byz_bn.shape[0]):
@@ -609,7 +632,7 @@ def _placement_groups(adversary_factory, byz_bn: np.ndarray) -> list["_Placement
             "Byzantine placements (binding is per placement); pass a "
             "zero-argument adversary factory instead"
         )
-    groups = []
+    groups: list[_PlacementGroup] = []
     for idxs in group_map.values():
         trials = np.asarray(idxs, dtype=np.int64)
         byz = np.ascontiguousarray(byz_bn[idxs[0]])
@@ -620,11 +643,11 @@ def _placement_groups(adversary_factory, byz_bn: np.ndarray) -> list["_Placement
 
 
 def _run_byzantine_batched_group(
-    network,
-    seeds: list,
+    network: SmallWorldNetwork,
+    seeds: list[SeedLike],
     config: CountingConfig,
-    adversary_factory,
-    byz_bn: np.ndarray,
+    adversary_factory: AdversarySpec,
+    byz_bn: BoolArray,
 ) -> list[CountingResult]:
     """Batched Algorithm 2: one config, ``B`` seeds, per-trial placements.
 
@@ -646,7 +669,8 @@ def _run_byzantine_batched_group(
     if batch == 0:
         return []
 
-    color_rngs, adv_rngs = [], []
+    color_rngs: list[np.random.Generator] = []
+    adv_rngs: list[np.random.Generator] = []
     for seed in seeds:
         root = make_rng(seed)
         color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
@@ -675,8 +699,8 @@ def _run_byzantine_batched_group(
             # only once (object identity first, claim content as the
             # fallback key).  The caches are per group, which keys the
             # memo on (placement, claims) — crash results depend on both.
-            by_id: dict[int, np.ndarray] = {}
-            cache: dict[tuple, np.ndarray] = {}
+            by_id: dict[int, BoolArray] = {}
+            cache: dict[tuple[Any, ...], BoolArray] = {}
             for local, trial in enumerate(g.trials):
                 claims = claims_list[local]
                 crashed = by_id.get(id(claims))
@@ -704,7 +728,7 @@ def _run_byzantine_batched_group(
     inj_rej = np.zeros(batch, dtype=np.int64)
     round_cost = 1 + (config.verification_round_cost if config.verification else 0)
     # Narrow adversarial state until a plan proves it needs int64.
-    state_dtype: type = np.int32
+    state_dtype: type[np.signedinteger[Any]] = np.int32
 
     for phase in range(1, config.max_phase + 1):
         undecided_all = honest_uncrashed & (decided == UNDECIDED)
@@ -735,7 +759,7 @@ def _run_byzantine_batched_group(
         # undecided set is fixed across a phase's subphases, so a single
         # geometric draw of ``n_sub * count`` values replays the sequential
         # engine's per-subphase draws exactly.
-        phase_draws = []
+        phase_draws: list[Int64Array | None] = []
         for row, trial in enumerate(live):
             count = int(counts[row])
             if count:
@@ -770,16 +794,16 @@ def _run_byzantine_batched_group(
         for sub in range(1, n_sub + 1):
             # --- draw colors (undecided honest nodes only) ---------------
             colors.fill(0)
-            for row, trial in enumerate(live):
+            for row, _trial in enumerate(live):
                 draws = phase_draws[row]
                 if draws is not None:
                     colors[und[row], row] = draws[sub - 1]
 
             # --- per-placement adversary plans, merged to batch form -----
-            initial_apps: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-            counts_by_round: dict[int, np.ndarray] = {}
-            groups_by_round: dict[int, list] = {}
-            suppress_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+            initial_apps: list[tuple[IntArray, IntArray, Int64Array]] = []
+            counts_by_round: dict[int, Int64Array] = {}
+            groups_by_round: dict[int, list[tuple[IntArray, IntArray, Int64Array]]] = {}
+            suppress_pairs: list[tuple[IntArray, IntArray]] = []
             suppressed_inj: dict[int, dict[int, list[Injection]]] = {}
             plan_max = 0
             plan_min = 0
@@ -977,11 +1001,11 @@ def _run_byzantine_batched_group(
 
 
 def run_counting_multinet(
-    networks: Sequence,
-    seeds: Sequence[int | np.random.Generator | None],
+    networks: Sequence[SmallWorldNetwork],
+    seeds: Sequence[SeedLike],
     config: CountingConfig | Sequence[CountingConfig] | None = None,
-    adversary_factory: Callable[[], Adversary] | None = None,
-    byz_mask: Sequence[np.ndarray | None] | None = None,
+    adversary_factory: Callable[[], Adversary] | Adversary | None = None,
+    byz_mask: Sequence[AnyArray | None] | None = None,
 ) -> BatchCountingResult:
     """Run independent counting trials on *per-trial networks*, batched.
 
@@ -1018,7 +1042,7 @@ def run_counting_multinet(
     if batch == 0:
         return BatchCountingResult([])
 
-    nets: list = []
+    nets: list[SmallWorldNetwork] = []
     net_pos: dict[int, int] = {}
     net_of = np.empty(batch, dtype=np.int64)
     for i, net in enumerate(networks):
@@ -1091,8 +1115,8 @@ def run_counting_multinet(
 
 
 def _normalize_multinet_masks(
-    byz_mask, batch: int, net_of: np.ndarray, sizes: list[int]
-) -> list[np.ndarray] | None:
+    byz_mask: Any, batch: int, net_of: Int64Array, sizes: list[int]
+) -> list[BoolArray] | None:
     """Normalize per-trial multi-network masks (each over its own ``n_i``)."""
     if byz_mask is None:
         return None
@@ -1107,7 +1131,7 @@ def _normalize_multinet_masks(
             f"got {len(masks_in)} placement masks for {batch} seeds; provide "
             "one (n_i,) mask (or None) per trial"
         )
-    masks = []
+    masks: list[BoolArray] = []
     for i, m in enumerate(masks_in):
         n_i = sizes[int(net_of[i])]
         if m is None:
@@ -1123,7 +1147,9 @@ def _normalize_multinet_masks(
     return masks
 
 
-def _active_rows(net_of: np.ndarray, sizes: list[int], n_pad: int) -> tuple:
+def _active_rows(
+    net_of: Int64Array, sizes: list[int], n_pad: int
+) -> tuple[Int64Array, BoolArray]:
     """Per-trial active lengths and the ``(B, n_pad)`` live-prefix mask."""
     n_act = np.asarray([sizes[int(g)] for g in net_of], dtype=np.int64)
     act_bn = np.arange(n_pad)[None, :] < n_act[:, None]
@@ -1131,7 +1157,10 @@ def _active_rows(net_of: np.ndarray, sizes: list[int], n_pad: int) -> tuple:
 
 
 def _run_multinet_group(
-    nets: list, net_of: np.ndarray, seeds: list, config: CountingConfig
+    nets: list[SmallWorldNetwork],
+    net_of: Int64Array,
+    seeds: list[SeedLike],
+    config: CountingConfig,
 ) -> list[CountingResult]:
     """Padded multi-network Algorithm 1: one config, ``B`` (network, seed)
     trials as columns.
@@ -1150,7 +1179,7 @@ def _run_multinet_group(
     n_pad = max(sizes)
     n_act, act_bn = _active_rows(net_of, sizes, n_pad)
 
-    color_rngs = []
+    color_rngs: list[np.random.Generator] = []
     for seed in seeds:
         root = make_rng(seed)
         color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
@@ -1182,7 +1211,7 @@ def _run_multinet_group(
         thr_floor = int(np.floor(threshold))
         plan = mkernel.column_plan(net_of[live])
 
-        phase_draws = []
+        phase_draws: list[Int64Array | None] = []
         for row, trial in enumerate(live):
             count = int(counts[row])
             if count:
@@ -1200,7 +1229,7 @@ def _run_multinet_group(
         senders = np.zeros(b_live, dtype=np.int64)
 
         for sub in range(n_sub):
-            for row, trial in enumerate(live):
+            for row, _trial in enumerate(live):
                 draws = phase_draws[row]
                 if draws is None:
                     continue
@@ -1263,7 +1292,7 @@ def _run_multinet_group(
         ).any():
             break
 
-    out = []
+    out: list[CountingResult] = []
     for b in range(batch):
         net = nets[int(net_of[b])]
         n_b = int(n_act[b])
@@ -1290,7 +1319,13 @@ class _NetPlacementGroup(_PlacementGroup):
 
     __slots__ = ("network", "n", "k")
 
-    def __init__(self, trials, byz, adversary, network):
+    def __init__(
+        self,
+        trials: Int64Array,
+        byz: BoolArray,
+        adversary: Adversary,
+        network: SmallWorldNetwork,
+    ) -> None:
         super().__init__(trials, byz, adversary)
         self.network = network
         self.n = int(network.n)
@@ -1298,7 +1333,10 @@ class _NetPlacementGroup(_PlacementGroup):
 
 
 def _multinet_placement_groups(
-    adversary_factory, nets: list, net_of: np.ndarray, masks: list[np.ndarray]
+    adversary_factory: AdversarySpec,
+    nets: list[SmallWorldNetwork],
+    net_of: Int64Array,
+    masks: list[BoolArray],
 ) -> list[_NetPlacementGroup]:
     """Sub-group trials by (network, placement), one bound adversary each."""
     group_map: dict[tuple[int, bytes], list[int]] = {}
@@ -1312,7 +1350,7 @@ def _multinet_placement_groups(
             "networks or Byzantine placements (binding is per placement); "
             "pass a zero-argument adversary factory instead"
         )
-    groups = []
+    groups: list[_NetPlacementGroup] = []
     for (g, _), idxs in group_map.items():
         trials = np.asarray(idxs, dtype=np.int64)
         byz = np.ascontiguousarray(masks[idxs[0]])
@@ -1324,7 +1362,7 @@ def _multinet_placement_groups(
     return groups
 
 
-def _col_block(mat: np.ndarray, sel: np.ndarray, n_rows: int) -> np.ndarray:
+def _col_block(mat: AnyArray, sel: IntArray, n_rows: int) -> AnyArray:
     """``mat[:n_rows, sel]`` — a view when ``sel`` is one contiguous run."""
     if sel.shape[0] and int(sel[-1]) - int(sel[0]) + 1 == sel.shape[0]:
         return mat[:n_rows, int(sel[0]) : int(sel[-1]) + 1]
@@ -1332,12 +1370,12 @@ def _col_block(mat: np.ndarray, sel: np.ndarray, n_rows: int) -> np.ndarray:
 
 
 def _run_multinet_byzantine_group(
-    nets: list,
-    net_of: np.ndarray,
-    seeds: list,
+    nets: list[SmallWorldNetwork],
+    net_of: Int64Array,
+    seeds: list[SeedLike],
     config: CountingConfig,
-    adversary_factory,
-    masks: list[np.ndarray],
+    adversary_factory: AdversarySpec,
+    masks: list[BoolArray],
 ) -> list[CountingResult]:
     """Padded multi-network Algorithm 2: one config, per-trial networks and
     placements.
@@ -1366,7 +1404,8 @@ def _run_multinet_byzantine_group(
         dtype=np.int64,
     )
 
-    color_rngs, adv_rngs = [], []
+    color_rngs: list[np.random.Generator] = []
+    adv_rngs: list[np.random.Generator] = []
     for seed in seeds:
         root = make_rng(seed)
         color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
@@ -1393,8 +1432,8 @@ def _run_multinet_byzantine_group(
                     f"batch_topology_claims returned {len(claims_list)} claim "
                     f"sets for {g.trials.shape[0]} trials"
                 )
-            by_id: dict[int, np.ndarray] = {}
-            cache: dict[tuple, np.ndarray] = {}
+            by_id: dict[int, BoolArray] = {}
+            cache: dict[tuple[Any, ...], BoolArray] = {}
             for local, trial in enumerate(g.trials):
                 claims = claims_list[local]
                 crashed = by_id.get(id(claims))
@@ -1423,7 +1462,7 @@ def _run_multinet_byzantine_group(
     inj_acc = np.zeros(batch, dtype=np.int64)
     inj_rej = np.zeros(batch, dtype=np.int64)
     round_cost = 1 + (config.verification_round_cost if config.verification else 0)
-    state_dtype: type = np.int32
+    state_dtype: type[np.signedinteger[Any]] = np.int32
 
     for phase in range(1, config.max_phase + 1):
         undecided_all = honest_uncrashed & (decided == UNDECIDED)
@@ -1452,7 +1491,7 @@ def _run_multinet_byzantine_group(
             g.sel = pos[keep]
             g.full = g.sel.shape[0] == b_live
 
-        phase_draws = []
+        phase_draws: list[Int64Array | None] = []
         for row, trial in enumerate(live):
             count = int(counts[row])
             if count:
@@ -1491,16 +1530,16 @@ def _run_multinet_byzantine_group(
         for sub in range(1, n_sub + 1):
             # --- draw colors (undecided honest nodes only) ---------------
             colors.fill(0)
-            for row, trial in enumerate(live):
+            for row, _trial in enumerate(live):
                 draws = phase_draws[row]
                 if draws is not None:
                     colors[und[row], row] = draws[sub - 1]
 
             # --- per-group adversary plans, merged to batch form ---------
-            initial_apps: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-            counts_by_round: dict[int, np.ndarray] = {}
-            groups_by_round: dict[int, list] = {}
-            suppress_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+            initial_apps: list[tuple[IntArray, IntArray, Int64Array]] = []
+            counts_by_round: dict[int, Int64Array] = {}
+            groups_by_round: dict[int, list[tuple[IntArray, IntArray, Int64Array]]] = {}
+            suppress_pairs: list[tuple[IntArray, IntArray]] = []
             suppressed_inj: dict[int, dict[int, list[Injection]]] = {}
             plan_max = 0
             plan_min = 0
@@ -1580,9 +1619,8 @@ def _run_multinet_byzantine_group(
             prev_kt.fill(0)
             for t in range(1, phase + 1):
                 # --- adversary injections (Lemma 16 gate, per-trial k) ---
-                if not config.verification:
-                    acc_cols = None  # accept everywhere
-                else:
+                acc_cols: BoolArray | None = None  # None: accept everywhere
+                if config.verification:
                     acc_cols = t <= k_live - 1
                 acc_all = acc_cols is None or bool(acc_cols.all())
                 acc_none = acc_cols is not None and not acc_cols.any()
@@ -1596,6 +1634,7 @@ def _run_multinet_byzantine_group(
                     elif acc_none:
                         phase_inj_rej += inj_counts
                     else:
+                        assert acc_cols is not None
                         phase_inj_acc += np.where(acc_cols, inj_counts, 0)
                         phase_inj_rej += np.where(acc_cols, 0, inj_counts)
                         for nodes, cols, vals in groups_by_round[t]:
@@ -1615,7 +1654,7 @@ def _run_multinet_byzantine_group(
                     sent[np.ix_(nodes_g, cols_g)] = 0
                 if suppressed_inj and not acc_none:
                     for col, by_round in suppressed_inj.items():
-                        if acc_all or acc_cols[col]:
+                        if acc_all or (acc_cols is not None and acc_cols[col]):
                             for inj in by_round.get(t, ()):
                                 sent[inj.nodes, col] = inj.value
 
@@ -1678,7 +1717,7 @@ def _run_multinet_byzantine_group(
         ).any():
             break
 
-    out = []
+    out: list[CountingResult] = []
     for b in range(batch):
         net = nets[int(net_of[b])]
         n_b = int(n_act[b])
@@ -1705,11 +1744,11 @@ def _run_multinet_byzantine_group(
 
 
 def run_counting_unionstack(
-    networks: Sequence,
+    networks: Sequence[SmallWorldNetwork],
     seeds: Sequence[int | None],
     config: CountingConfig | Sequence[CountingConfig] | None = None,
-    adversary_factory: Callable[[], Adversary] | None = None,
-    byz_mask: Sequence | None = None,
+    adversary_factory: Callable[[], Adversary] | Adversary | None = None,
+    byz_mask: Any = None,
 ) -> BatchCountingResult:
     """Run a rectangular (network x seed) grid as one union-stack batch.
 
@@ -1807,8 +1846,8 @@ def run_counting_unionstack(
 
 
 def _normalize_union_masks(
-    byz_mask, nets: list, cols: int
-) -> list[list[np.ndarray]] | None:
+    byz_mask: Any, nets: list[SmallWorldNetwork], cols: int
+) -> list[list[BoolArray]] | None:
     """Normalize union masks to per-(network, column) ``(n_g,)`` arrays.
 
     Entry ``g`` of ``byz_mask`` covers network ``g``'s whole block: a
@@ -1829,7 +1868,7 @@ def _normalize_union_masks(
             f"got {len(entries)} placement entries for {len(nets)} networks; "
             "provide one entry per network"
         )
-    out: list[list[np.ndarray]] = []
+    out: list[list[BoolArray]] = []
     for g, (net, entry) in enumerate(zip(nets, entries)):
         n_net = int(net.n)
         if entry is None:
@@ -1863,7 +1902,7 @@ def _normalize_union_masks(
                 f"network {g}: got {len(per_col)} per-column masks for "
                 f"{cols} seed columns"
             )
-        row = []
+        row: list[BoolArray] = []
         for m in per_col:
             if m is None:
                 row.append(np.zeros(n_net, dtype=bool))
@@ -1879,7 +1918,9 @@ def _normalize_union_masks(
     return out
 
 
-def _resolve_union_kernel(networks_input, nets: list) -> UnionFloodKernel:
+def _resolve_union_kernel(
+    networks_input: Any, nets: list[SmallWorldNetwork]
+) -> UnionFloodKernel:
     """Build (or adopt) the block-diagonal union kernel for this batch.
 
     A pre-concatenated CSR attached to the input container (the
@@ -1896,7 +1937,10 @@ def _resolve_union_kernel(networks_input, nets: list) -> UnionFloodKernel:
 
 
 def _run_union_group(
-    nets: list, ukernel: UnionFloodKernel, seeds: list, config: CountingConfig
+    nets: list[SmallWorldNetwork],
+    ukernel: UnionFloodKernel,
+    seeds: list[SeedLike],
+    config: CountingConfig,
 ) -> list[CountingResult]:
     """Union-stack Algorithm 1: one config, G network blocks x C columns.
 
@@ -1914,9 +1958,9 @@ def _run_union_group(
     offsets = ukernel.offsets
     n_act = np.asarray(ukernel.sizes, dtype=np.int64)  # (G,)
 
-    color_rngs = []
-    for g in range(blocks):
-        row_rngs = []
+    color_rngs: list[list[np.random.Generator]] = []
+    for _g in range(blocks):
+        row_rngs: list[np.random.Generator] = []
         for seed in seeds:
             root = make_rng(seed)
             color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
@@ -1956,7 +2000,9 @@ def _run_union_group(
 
         # One stream read per live trial per phase (see _run_batched_group);
         # a trial that left its per-network batch draws nothing.
-        phase_draws: list[list] = [[None] * b_live for _ in range(blocks)]
+        phase_draws: list[list[Int64Array | None]] = [
+            [None] * b_live for _ in range(blocks)
+        ]
         for g in range(blocks):
             for row, col in enumerate(live):
                 if not alive_live[g, row]:
@@ -2047,7 +2093,7 @@ def _run_union_group(
         if config.stop_when_all_decided and not (decided == UNDECIDED).any():
             break
 
-    out = []
+    out: list[CountingResult] = []
     for g, net in enumerate(nets):
         lo, hi = int(offsets[g]), int(offsets[g + 1])
         n_net = hi - lo
@@ -2100,7 +2146,16 @@ class _UnionPlacementGroup:
         "rng_cols",
     )
 
-    def __init__(self, g, network, lo, hi, cols, byz, adversary):
+    def __init__(
+        self,
+        g: int,
+        network: SmallWorldNetwork,
+        lo: int,
+        hi: int,
+        cols: Int64Array,
+        byz: BoolArray,
+        adversary: Adversary,
+    ) -> None:
         self.g = g
         self.network = network
         self.lo = lo
@@ -2113,15 +2168,19 @@ class _UnionPlacementGroup:
         self.byz_rows = self.byz_nodes + lo
         self.honest_nodes = np.flatnonzero(~byz)
         self.adversary = adversary
-        self.alive_local: np.ndarray | None = None
-        self.sel: np.ndarray | None = None
-        self.dec_cols: np.ndarray | None = None
-        self.crash_cols: np.ndarray | None = None
-        self.rng_cols: tuple = ()
+        # Phase-refreshed slots (assigned before every use each phase).
+        self.alive_local: Any = None
+        self.sel: Any = None
+        self.dec_cols: Any = None
+        self.crash_cols: Any = None
+        self.rng_cols: tuple[np.random.Generator, ...] = ()
 
 
 def _union_placement_groups(
-    adversary_factory, nets: list, offsets: np.ndarray, masks: list[list[np.ndarray]]
+    adversary_factory: AdversarySpec,
+    nets: list[SmallWorldNetwork],
+    offsets: Int64Array,
+    masks: list[list[BoolArray]],
 ) -> list[_UnionPlacementGroup]:
     """Sub-group (block, column) trials by (network, placement)."""
     cols = len(masks[0])
@@ -2135,7 +2194,7 @@ def _union_placement_groups(
             "networks or Byzantine placements (binding is per placement); "
             "pass a zero-argument adversary factory instead"
         )
-    groups = []
+    groups: list[_UnionPlacementGroup] = []
     for (g, _), idxs in group_map.items():
         col_ids = np.asarray(idxs, dtype=np.int64)
         byz = np.ascontiguousarray(masks[g][idxs[0]])
@@ -2154,12 +2213,12 @@ def _union_placement_groups(
 
 
 def _run_union_byzantine_group(
-    nets: list,
+    nets: list[SmallWorldNetwork],
     ukernel: UnionFloodKernel,
-    seeds: list,
+    seeds: list[SeedLike],
     config: CountingConfig,
-    adversary_factory,
-    masks: list[list[np.ndarray]],
+    adversary_factory: AdversarySpec,
+    masks: list[list[BoolArray]],
 ) -> list[CountingResult]:
     """Union-stack Algorithm 2: one config, per-(network, column) placements.
 
@@ -2185,9 +2244,11 @@ def _run_union_byzantine_group(
         dtype=np.int64,
     )
 
-    color_rngs, adv_rngs = [], []
-    for g in range(blocks):
-        crow, arow = [], []
+    color_rngs: list[list[np.random.Generator]] = []
+    adv_rngs: list[list[np.random.Generator]] = []
+    for _g in range(blocks):
+        crow: list[np.random.Generator] = []
+        arow: list[np.random.Generator] = []
         for seed in seeds:
             root = make_rng(seed)
             color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
@@ -2218,8 +2279,8 @@ def _run_union_byzantine_group(
                     f"batch_topology_claims returned {len(claims_list)} claim "
                     f"sets for {grp.cols.shape[0]} trials"
                 )
-            by_id: dict[int, np.ndarray] = {}
-            cache: dict[tuple, np.ndarray] = {}
+            by_id: dict[int, BoolArray] = {}
+            cache: dict[tuple[Any, ...], BoolArray] = {}
             for local, j in enumerate(grp.cols):
                 claims = claims_list[local]
                 crashed = by_id.get(id(claims))
@@ -2248,7 +2309,7 @@ def _run_union_byzantine_group(
     inj_acc = np.zeros((blocks, cols), dtype=np.int64)
     inj_rej = np.zeros((blocks, cols), dtype=np.int64)
     round_cost = 1 + (config.verification_round_cost if config.verification else 0)
-    state_dtype: type = np.int32
+    state_dtype: type[np.signedinteger[Any]] = np.int32
 
     for phase in range(1, config.max_phase + 1):
         undecided_all = honest_uncrashed & (decided == UNDECIDED)
@@ -2282,7 +2343,9 @@ def _run_union_byzantine_group(
             grp.sel = live_pos[kept]
             grp.rng_cols = tuple(adv_rngs[grp.g][int(j)] for j in kept)
 
-        phase_draws: list[list] = [[None] * b_live for _ in range(blocks)]
+        phase_draws: list[list[Int64Array | None]] = [
+            [None] * b_live for _ in range(blocks)
+        ]
         for g in range(blocks):
             for row, col in enumerate(live):
                 if not alive_live[g, row]:
@@ -2324,9 +2387,9 @@ def _run_union_byzantine_group(
                     colors[lo:hi, row][und[row, lo:hi]] = draws[sub - 1]
 
             # --- per-(block, placement) adversary plans ------------------
-            group_plans: list[tuple] = []
-            suppress_pairs: list[tuple[np.ndarray, np.ndarray]] = []
-            suppressed_resend: list[tuple] = []
+            group_plans: list[tuple[Any, ...]] = []
+            suppress_pairs: list[tuple[IntArray, IntArray]] = []
+            suppressed_resend: list[tuple[Any, ...]] = []
             plan_max = 0
             plan_min = 0
             for grp in groups:
@@ -2495,7 +2558,7 @@ def _run_union_byzantine_group(
         ).any():
             break
 
-    out = []
+    out: list[CountingResult] = []
     for g, net in enumerate(nets):
         lo, hi = int(offsets[g]), int(offsets[g + 1])
         n_net = hi - lo

@@ -15,9 +15,9 @@ estimate of ``log n`` within ``Theta(log^3 n)`` rounds.
 
 from __future__ import annotations
 
-import numpy as np
-
+from .._types import BoolArray, SeedLike
 from ..adversary.base import Adversary
+from ..graphs.smallworld import SmallWorldNetwork
 from .config import CountingConfig
 from .results import CountingResult
 from .runner import run_counting
@@ -26,11 +26,11 @@ __all__ = ["run_byzantine_counting"]
 
 
 def run_byzantine_counting(
-    network,
+    network: SmallWorldNetwork,
     adversary: Adversary,
-    byz_mask: np.ndarray,
+    byz_mask: BoolArray,
     config: CountingConfig | None = None,
-    seed: int | np.random.Generator | None = 0,
+    seed: SeedLike = 0,
 ) -> CountingResult:
     """Run Algorithm 2 against ``adversary`` controlling ``byz_mask`` nodes."""
     if adversary is None:

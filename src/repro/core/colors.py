@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._types import AnyArray, FloatArray, Int64Array
+
 __all__ = [
     "sample_colors",
     "color_pmf",
@@ -19,7 +21,7 @@ __all__ = [
 ]
 
 
-def sample_colors(rng: np.random.Generator, size: int) -> np.ndarray:
+def sample_colors(rng: np.random.Generator, size: int) -> Int64Array:
     """Draw ``size`` geometric(1/2) colors (support {1, 2, ...})."""
     if size < 0:
         raise ValueError("size must be non-negative")
@@ -28,21 +30,21 @@ def sample_colors(rng: np.random.Generator, size: int) -> np.ndarray:
     return rng.geometric(0.5, size=size).astype(np.int64, copy=False)
 
 
-def color_pmf(r: int | np.ndarray) -> float | np.ndarray:
+def color_pmf(r: int | AnyArray) -> float | FloatArray:
     """Observation 4.1: ``Pr[c = r] = 2^{-r}``."""
     r = np.asarray(r, dtype=np.float64)
     out = np.where(r >= 1, 0.5**r, 0.0)
     return float(out) if out.ndim == 0 else out
 
 
-def color_sf(r: int | np.ndarray) -> float | np.ndarray:
+def color_sf(r: int | AnyArray) -> float | FloatArray:
     """Observation 4.5: ``Pr[c > r] = 2^{-r}`` (survival function)."""
     r = np.asarray(r, dtype=np.float64)
     out = np.where(r >= 0, 0.5**r, 1.0)
     return float(out) if out.ndim == 0 else out
 
 
-def max_color_cdf(r: int | np.ndarray, m: int) -> float | np.ndarray:
+def max_color_cdf(r: int | AnyArray, m: int) -> float | FloatArray:
     """Observation 5.3: ``Pr[max over m nodes <= r] = (1 - 2^{-r})^m``."""
     if m < 1:
         raise ValueError("need at least one node")

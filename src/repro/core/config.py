@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 __all__ = ["CountingConfig"]
 
@@ -67,6 +68,6 @@ class CountingConfig:
         if self.verification_round_cost < 0:
             raise ValueError("verification_round_cost must be >= 0")
 
-    def with_(self, **kwargs) -> "CountingConfig":
+    def with_(self, **kwargs: Any) -> "CountingConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)

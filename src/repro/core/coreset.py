@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._types import BoolArray, SeedLike
 from ..graphs.balls import largest_component_mask
 from ..graphs.hgraph import HGraph
 from ..sim.rng import make_rng
@@ -23,9 +24,9 @@ __all__ = ["CoreReport", "compute_core"]
 class CoreReport:
     """The Core mask plus the Lemma 14 quantities."""
 
-    core: np.ndarray
-    crashed: np.ndarray
-    byz: np.ndarray
+    core: BoolArray
+    crashed: BoolArray
+    byz: BoolArray
     size: int
     n: int
     expansion_lower_estimate: float
@@ -37,10 +38,10 @@ class CoreReport:
 
 def compute_core(
     h: HGraph,
-    byz_mask: np.ndarray,
-    crashed: np.ndarray,
+    byz_mask: BoolArray,
+    crashed: BoolArray,
     *,
-    rng: int | np.random.Generator | None = 0,
+    rng: SeedLike = 0,
     expansion_trials: int = 32,
 ) -> CoreReport:
     """Compute Core and estimate its edge expansion by sampled cuts."""
@@ -65,7 +66,7 @@ def compute_core(
 
 
 def _core_expansion_estimate(
-    h: HGraph, core: np.ndarray, rng: np.random.Generator, trials: int
+    h: HGraph, core: BoolArray, rng: np.random.Generator, trials: int
 ) -> float:
     """Minimum sampled cut expansion of the subgraph induced on Core.
 

@@ -19,21 +19,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._types import BoolArray
 from ..adversary import base as adversary_base
 from ..adversary import strategies
 from ..adversary.placement import placement_for_delta
 from ..analysis.bounds import delta_min
 from ..graphs.smallworld import SmallWorldNetwork, build_small_world
 from ..sim.rng import derive_seed
-from .byzantine_counting import run_byzantine_counting
 from .basic_counting import run_basic_counting
+from .byzantine_counting import run_byzantine_counting
 from .config import CountingConfig
 from .results import CountingResult
 
 __all__ = ["EstimateReport", "estimate_network_size", "make_adversary", "ADVERSARIES"]
 
 #: Registry of named adversary strategies for the string API.
-ADVERSARIES: dict[str, type] = {
+ADVERSARIES: dict[str, type[adversary_base.Adversary]] = {
     "honest": adversary_base.HonestAdversary,
     "early-stop": strategies.EarlyStopAdversary,
     "inflation": strategies.InflationAdversary,
@@ -104,7 +105,7 @@ def estimate_network_size(
     *,
     delta: float | None = None,
     adversary: str | adversary_base.Adversary = "honest",
-    byz_mask: np.ndarray | None = None,
+    byz_mask: BoolArray | None = None,
     config: CountingConfig | None = None,
     seed: int = 0,
     network: SmallWorldNetwork | None = None,

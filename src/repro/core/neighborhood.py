@@ -28,14 +28,15 @@ honest-node reconstruction used by the agent engine and the E12 tests.
 
 from __future__ import annotations
 
-
 import numpy as np
 
+from .._types import BoolArray, IntArray
 from ..graphs.smallworld import SmallWorldNetwork
 
 __all__ = [
     "ConflictError",
     "AdjacencyClaims",
+    "ByzantineClaims",
     "truthful_claims",
     "reconstruct_h_ball",
     "find_conflicts",
@@ -47,7 +48,7 @@ __all__ = [
 class ConflictError(Exception):
     """Raised by reconstruction when claims are contradictory."""
 
-    def __init__(self, message: str, witnesses: tuple[int, ...] = ()):
+    def __init__(self, message: str, witnesses: tuple[int, ...] = ()) -> None:
         super().__init__(message)
         self.witnesses = witnesses
 
@@ -55,8 +56,11 @@ class ConflictError(Exception):
 #: Mapping node id -> claimed H-neighbor tuple (sorted).
 AdjacencyClaims = dict[int, tuple[int, ...]]
 
+#: Byzantine claim map: ``None`` models a silent node (no claim broadcast).
+ByzantineClaims = dict[int, tuple[int, ...] | None]
 
-def truthful_claims(net: SmallWorldNetwork, nodes: np.ndarray | None = None) -> AdjacencyClaims:
+
+def truthful_claims(net: SmallWorldNetwork, nodes: IntArray | None = None) -> AdjacencyClaims:
     """The honest claims: each node's true H-adjacency *with multiplicity*.
 
     ``H`` is a multigraph, so an honest claim always has exactly ``d``
@@ -75,7 +79,7 @@ def _claim_set(claims: AdjacencyClaims, u: int) -> set[int] | None:
 
 def reconstruct_h_ball(
     v: int,
-    ports: np.ndarray,
+    ports: IntArray,
     claims: AdjacencyClaims,
     k: int,
     d: int,
@@ -154,7 +158,7 @@ def reconstruct_h_ball(
 
 
 def find_conflicts(
-    v: int, ports: np.ndarray, claims: AdjacencyClaims, k: int, d: int
+    v: int, ports: IntArray, claims: AdjacencyClaims, k: int, d: int
 ) -> tuple[int, ...]:
     """Witness tuple if ``v`` would crash, else empty tuple."""
     try:
@@ -166,9 +170,9 @@ def find_conflicts(
 
 def crash_phase(
     net: SmallWorldNetwork,
-    byz_mask: np.ndarray,
-    byz_claims: AdjacencyClaims,
-) -> np.ndarray:
+    byz_mask: BoolArray,
+    byz_claims: ByzantineClaims,
+) -> BoolArray:
     """Simulate Algorithm 2 lines 1-2: which honest nodes crash.
 
     ``byz_claims`` maps each Byzantine node to its claimed H-adjacency

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._types import BoolArray, IntArray
 from ..analysis.bounds import color_threshold, ell
 
 __all__ = [
@@ -97,8 +98,8 @@ def subphase_count(
 
 
 def continue_criterion(
-    k_last: np.ndarray, k_prev_max: np.ndarray, i: int, d: int
-) -> np.ndarray:
+    k_last: IntArray, k_prev_max: IntArray, i: int, d: int
+) -> BoolArray:
     """Algorithm 2 line 18, vectorized over nodes.
 
     ``k_last`` is the highest color received in round ``i`` of a subphase,

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._types import BoolArray, FloatArray, Int64Array, IntArray
 from ..sim.metrics import MessageMeter, PhaseTrace
 
 __all__ = ["BatchCountingResult", "CountingResult", "UNDECIDED"]
@@ -29,9 +31,9 @@ class CountingResult:
     n: int
     d: int
     k: int
-    decided_phase: np.ndarray
-    crashed: np.ndarray
-    byz: np.ndarray
+    decided_phase: IntArray
+    crashed: BoolArray
+    byz: BoolArray
     meter: MessageMeter = field(default_factory=MessageMeter)
     trace: PhaseTrace = field(default_factory=PhaseTrace)
     injections_accepted: int = 0
@@ -39,26 +41,26 @@ class CountingResult:
 
     # ------------------------------------------------------------------
     @property
-    def honest(self) -> np.ndarray:
+    def honest(self) -> BoolArray:
         return ~self.byz
 
     @property
-    def honest_uncrashed(self) -> np.ndarray:
+    def honest_uncrashed(self) -> BoolArray:
         return self.honest & ~self.crashed
 
     @property
-    def estimates(self) -> np.ndarray:
+    def estimates(self) -> IntArray:
         """Per-node estimate of ``log n`` (= decided phase; -1 undecided)."""
         return self.decided_phase
 
-    def size_estimates(self) -> np.ndarray:
+    def size_estimates(self) -> FloatArray:
         """Calibrated size estimates ``(d-1)^phase`` (0 for undecided)."""
         est = np.zeros(self.n, dtype=np.float64)
         mask = self.decided_phase > 0
         est[mask] = (self.d - 1.0) ** self.decided_phase[mask]
         return est
 
-    def log_size_estimates(self) -> np.ndarray:
+    def log_size_estimates(self) -> FloatArray:
         """Calibrated ``log2`` size estimates ``phase * log2(d-1)``."""
         est = np.full(self.n, np.nan)
         mask = self.decided_phase > 0
@@ -73,7 +75,7 @@ class CountingResult:
             return 0.0
         return float(np.mean(self.decided_phase[pool] != UNDECIDED))
 
-    def in_band(self, c1: float, c2: float, *, of: str = "honest") -> np.ndarray:
+    def in_band(self, c1: float, c2: float, *, of: str = "honest") -> BoolArray:
         """Mask of nodes with ``c1 * log2 n <= phase <= c2 * log2 n``.
 
         ``of`` selects the accounting population: ``"honest"`` counts all
@@ -140,30 +142,30 @@ class BatchCountingResult:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int) -> CountingResult:
         return self.results[index]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[CountingResult]:
         return iter(self.results)
 
     # ------------------------------------------------------------------
-    def decided_matrix(self) -> np.ndarray:
+    def decided_matrix(self) -> IntArray:
         """``(B, n)`` matrix of per-node decided phases."""
         return np.stack([r.decided_phase for r in self.results])
 
-    def rounds(self) -> np.ndarray:
+    def rounds(self) -> Int64Array:
         """Per-trial executed round counts."""
         return np.array([r.meter.rounds for r in self.results], dtype=np.int64)
 
-    def messages(self) -> np.ndarray:
+    def messages(self) -> Int64Array:
         """Per-trial metered message counts."""
         return np.array([r.meter.messages for r in self.results], dtype=np.int64)
 
-    def fraction_decided(self) -> np.ndarray:
+    def fraction_decided(self) -> FloatArray:
         """Per-trial fraction of honest uncrashed nodes that decided."""
         return np.array([r.fraction_decided() for r in self.results])
 
-    def median_phases(self) -> np.ndarray:
+    def median_phases(self) -> FloatArray:
         """Per-trial median decided phase among honest deciders."""
         return np.array([r.decision_quantiles()[1] for r in self.results])
 

@@ -41,8 +41,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..adversary.base import Adversary, SubphasePlan, SubphaseState
+from .._types import BoolArray, Int64Array, SeedLike
+from ..adversary.base import Adversary, Injection, SubphasePlan, SubphaseState
 from ..analysis.bounds import ball_size_bound
+from ..graphs.smallworld import SmallWorldNetwork
 from ..sim.flood import FloodKernel
 from ..sim.metrics import MessageMeter, PhaseRecord, PhaseTrace
 from ..sim.rng import make_rng, spawn
@@ -56,11 +58,11 @@ __all__ = ["run_counting"]
 
 
 def run_counting(
-    network,
+    network: SmallWorldNetwork,
     config: CountingConfig | None = None,
-    seed: int | np.random.Generator | None = 0,
+    seed: SeedLike = 0,
     adversary: Adversary | None = None,
-    byz_mask: np.ndarray | None = None,
+    byz_mask: BoolArray | None = None,
 ) -> CountingResult:
     """Run the counting protocol; returns a :class:`CountingResult`.
 
@@ -158,7 +160,7 @@ def run_counting(
                 if vals.shape != (byz_nodes.shape[0],):
                     raise ValueError("initial_colors must align with byz nodes")
                 cur[byz_nodes] = vals
-            injections_by_round: dict[int, list] = {}
+            injections_by_round: dict[int, list[Injection]] = {}
             if plan is not None:
                 checked_nodes: set[int] = set()
                 for inj in plan.injections:
@@ -172,7 +174,7 @@ def run_counting(
                     injections_by_round.setdefault(inj.t, []).append(inj)
 
             prev_kt.fill(0)
-            k_last = None
+            k_last: Int64Array | None = None
             for t in range(1, phase + 1):
                 # --- adversary injections (Lemma 16 gate) --------------------
                 for inj in injections_by_round.get(t, ()):  # rarely > 1

@@ -85,15 +85,24 @@ plain adversary instance.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from .._types import BoolArray, SeedLike
 from ..adversary.base import Adversary
 from .batch import run_counting_batch, run_counting_multinet, run_counting_unionstack
 from .config import CountingConfig
 from .results import BatchCountingResult, CountingResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graphs.smallworld import SmallWorldNetwork
+
+#: A strategy-axis entry: ``None`` (honest Algorithm 1), a registered
+#: adversary name, an :class:`Adversary` instance, or a factory.
+StrategySpec = "str | Adversary | Callable[[], Adversary] | None"
 
 __all__ = [
     "run_sweep",
@@ -137,7 +146,7 @@ STRATEGY_COST_FACTORS: dict[str, float] = {
 _HONEST_COST_FACTOR = 0.5
 
 
-def _strategy_factory(spec):
+def _strategy_factory(spec: StrategySpec) -> Adversary | Callable[[], Adversary] | None:
     """Resolve a strategy spec to what ``run_counting_batch`` expects.
 
     A spec is ``None`` (honest Algorithm 1), a registered adversary name,
@@ -152,7 +161,7 @@ def _strategy_factory(spec):
     return spec  # Adversary instance or zero-argument factory
 
 
-def _strategy_cost_factor(spec) -> float:
+def _strategy_cost_factor(spec: StrategySpec) -> float:
     """Relative expected cost of one cell under ``spec`` (load balancing)."""
     if spec is None:
         return _HONEST_COST_FACTOR
@@ -162,7 +171,9 @@ def _strategy_cost_factor(spec) -> float:
     return STRATEGY_COST_FACTORS.get(name, 1.0)
 
 
-def _cell_cost(n: int, d: int, config: CountingConfig, cache: dict) -> float:
+def _cell_cost(
+    n: int, d: int, config: CountingConfig, cache: dict[tuple[int, CountingConfig], float]
+) -> float:
     """Expected cost of one (network, config) cell: ``n x rounds bound``.
 
     The strategy factor multiplies on top (it is constant per strategy
@@ -199,7 +210,7 @@ def _shard_bounds(
         return [(lo, min(lo + shard_cells, m)) for lo in range(0, m, shard_cells)]
     if target_cost is None or m <= MIN_SHARD_CELLS:
         return [(0, m)]
-    bounds = []
+    bounds: list[tuple[int, int]] = []
     lo = 0
     acc = 0.0
     for i in range(m):
@@ -216,7 +227,7 @@ def _shard_bounds(
     return bounds
 
 
-def _validate_seeds(seeds) -> list:
+def _validate_seeds(seeds: Any) -> list[SeedLike]:
     """Materialize and validate the sweep's seed axis, eagerly and typed.
 
     Catches the grid-assembly traps before any batch is built: a bare
@@ -243,7 +254,7 @@ def _validate_seeds(seeds) -> list:
     seeds = list(seeds)
     if not seeds:
         raise ValueError("run_sweep needs at least one seed")
-    seen: set = set()
+    seen: set[tuple[str, object]] = set()
     for s in seeds:
         if s is None:
             # ``None`` means a fresh-entropy rng per trial (make_rng), so
@@ -264,7 +275,9 @@ def _validate_seeds(seeds) -> list:
     return seeds
 
 
-def _split_seed_axes(seeds, networks) -> tuple[list | None, list[list] | None]:
+def _split_seed_axes(
+    seeds: Any, networks: Sequence[SmallWorldNetwork]
+) -> tuple[list[SeedLike] | None, list[list[SeedLike]] | None]:
     """Split ``seeds`` into a shared axis or per-network (ragged) axes.
 
     A list/tuple whose every element is itself a sequence is read as
@@ -288,7 +301,7 @@ def _split_seed_axes(seeds, networks) -> tuple[list | None, list[list] | None]:
     return _validate_seeds(seeds), None
 
 
-def _run_shard(network, task):
+def _run_shard(network: SmallWorldNetwork, task: tuple[Any, ...]) -> list[CountingResult]:
     """Module-level worker: one fused (strategy, cells-chunk) batch.
 
     ``task`` is ``(spec, seeds, configs, masks)`` with ``masks`` a
@@ -310,7 +323,9 @@ def _run_shard(network, task):
     )
 
 
-def _run_multi_shard(networks, task):
+def _run_multi_shard(
+    networks: Sequence[SmallWorldNetwork], task: tuple[Any, ...]
+) -> list[CountingResult]:
     """Module-level worker: one fused multi-network (strategy, chunk) batch.
 
     ``networks`` is the shared tuple of sweep networks (attached from one
@@ -333,7 +348,9 @@ def _run_multi_shard(networks, task):
     )
 
 
-def _run_union_shard(networks, task):
+def _run_union_shard(
+    networks: Sequence[SmallWorldNetwork], task: tuple[Any, ...]
+) -> list[CountingResult]:
     """Module-level worker: one fused union-stack (strategy, columns) batch.
 
     ``networks`` is the shared :class:`~repro.graphs.shared.NetworkTuple`
@@ -365,10 +382,10 @@ class SweepCell:
     placement_index: int
     config_index: int
     seed_index: int
-    strategy: object
-    placement: np.ndarray | None
+    strategy: StrategySpec
+    placement: BoolArray | None
     config: CountingConfig
-    seed: object
+    seed: SeedLike
     result: CountingResult
 
 
@@ -381,10 +398,10 @@ class SweepResult:
     coordinates, :meth:`cells` iterates it with coordinates attached.
     """
 
-    seeds: list
+    seeds: list[SeedLike]
     configs: list[CountingConfig]
-    placements: list
-    strategies: list
+    placements: list[BoolArray | None]
+    strategies: list[StrategySpec]
     results: list[CountingResult]
 
     @property
@@ -465,18 +482,19 @@ class MultiSweepResult:
     undefined, use ``sweep(g).shape``).
     """
 
-    networks: list
-    seeds: list | None
+    networks: list[SmallWorldNetwork]
+    seeds: list[SeedLike] | None
     configs: list[CountingConfig]
-    placements: list[list]
-    strategies: list
+    placements: list[list[BoolArray | None]]
+    strategies: list[StrategySpec]
     results: list[CountingResult]
     layout: str = "padded"
-    seed_axes: list | None = None
+    seed_axes: list[list[SeedLike]] | None = None
 
-    def seed_axis(self, network: int = 0) -> list:
+    def seed_axis(self, network: int = 0) -> list[SeedLike]:
         """Network ``network``'s seed axis (the shared one if rectangular)."""
         if self.seed_axes is None:
+            assert self.seeds is not None
             return self.seeds
         return self.seed_axes[range(len(self.networks))[network]]
 
@@ -549,7 +567,9 @@ class MultiSweepResult:
         return len(self.results)
 
 
-def _normalize_axis(value, default, single_types) -> list:
+def _normalize_axis(
+    value: Any, default: CountingConfig, single_types: type[CountingConfig]
+) -> list[CountingConfig]:
     if value is None:
         return [default]
     if isinstance(value, single_types):
@@ -557,7 +577,7 @@ def _normalize_axis(value, default, single_types) -> list:
     return list(value)
 
 
-def _normalize_strategy_axis(strategies) -> list:
+def _normalize_strategy_axis(strategies: Any) -> list[StrategySpec]:
     if strategies is None:
         return [None]
     if isinstance(strategies, (str, Adversary)) or callable(strategies):
@@ -565,7 +585,7 @@ def _normalize_strategy_axis(strategies) -> list:
     return list(strategies)
 
 
-def _normalize_placement_axis(placements, n: int) -> list:
+def _normalize_placement_axis(placements: Any, n: int) -> list[BoolArray | None]:
     """One network's placement axis as a list of ``(n,)`` masks / Nones."""
     if placements is None:
         axis = [None]
@@ -573,7 +593,7 @@ def _normalize_placement_axis(placements, n: int) -> list:
         axis = [placements]
     else:
         axis = list(placements)
-    norm: list[np.ndarray | None] = []
+    norm: list[BoolArray | None] = []
     for mask in axis:
         if mask is None:
             norm.append(None)
@@ -588,12 +608,12 @@ def _normalize_placement_axis(placements, n: int) -> list:
 
 
 def run_sweep(
-    network,
+    network: Any,
     *,
-    seeds: Sequence,
+    seeds: Sequence[SeedLike],
     configs: CountingConfig | Sequence[CountingConfig] | None = None,
-    placements=None,
-    strategies=None,
+    placements: Any = None,
+    strategies: Any = None,
     jobs: int | None = None,
     shard_cells: int | None = None,
     layout: str = "auto",
@@ -684,9 +704,9 @@ def run_sweep(
 
     # One strategy block's (placement, config, seed) axes in grid order;
     # identical for every strategy, so built once and shard-sliced below.
-    trial_seeds: list = []
+    trial_seeds: list[SeedLike] = []
     trial_configs: list[CountingConfig] = []
-    trial_masks: list[np.ndarray] = []
+    trial_masks: list[BoolArray] = []
     for mask in norm_placements:
         for cfg in config_axis:
             for seed in seeds:
@@ -694,7 +714,7 @@ def run_sweep(
                 trial_configs.append(cfg)
                 trial_masks.append(mask if mask is not None else empty_mask)
 
-    cost_cache: dict = {}
+    cost_cache: dict[tuple[int, CountingConfig], float] = {}
     base_costs = [_cell_cost(n, network.d, cfg, cost_cache) for cfg in trial_configs]
     target_cost: float | None = None
     if jobs and jobs > 1:
@@ -703,12 +723,12 @@ def run_sweep(
         )
         target_cost = total_cost / jobs
 
-    tasks = []
+    tasks: list[tuple[Any, ...]] = []
     for spec in strategy_axis:
         factor = _strategy_cost_factor(spec)
         block_target = None if target_cost is None else target_cost / factor
         for lo, hi in _shard_bounds(base_costs, block_target, shard_cells):
-            masks = None
+            masks: BoolArray | None = None
             if spec is not None:
                 masks = np.array(trial_masks[lo:hi], dtype=bool).reshape(hi - lo, n)
             tasks.append((spec, trial_seeds[lo:hi], trial_configs[lo:hi], masks))
@@ -728,12 +748,12 @@ def run_sweep(
 
 
 def run_multi_sweep(
-    networks: Sequence,
+    networks: Sequence[SmallWorldNetwork],
     *,
-    seeds: Sequence,
+    seeds: Any,
     configs: CountingConfig | Sequence[CountingConfig] | None = None,
-    placements=None,
-    strategies=None,
+    placements: Any = None,
+    strategies: Any = None,
     jobs: int | None = None,
     shard_cells: int | None = None,
     layout: str = "auto",
@@ -824,7 +844,7 @@ def run_multi_sweep(
     strategy_axis = _normalize_strategy_axis(strategies)
 
     if placements is None:
-        per_net_placements: list[list] = [[None] for _ in networks]
+        per_net_placements: list[list[BoolArray | None]] = [[None] for _ in networks]
     elif callable(placements) and not isinstance(placements, np.ndarray):
         per_net_placements = [
             _normalize_placement_axis(placements(net), net.n) for net in networks
@@ -861,7 +881,7 @@ def run_multi_sweep(
     from ..experiments.common import parallel_map
 
     n_g, n_s, n_c = len(networks), len(strategy_axis), len(config_axis)
-    cost_cache: dict = {}
+    cost_cache: dict[tuple[int, CountingConfig], float] = {}
 
     if use_union:
         # ---- union-stack layout (rectangular grids only) ---------------
@@ -869,6 +889,7 @@ def run_multi_sweep(
         # triples in intra-network flat order; every column spans the
         # whole network axis, so shard boundaries cut on column
         # boundaries and a column's modeled cost sums over the networks.
+        assert shared_seeds is not None
         n_b = len(shared_seeds)
         block = n_s * n_p * n_c * n_b  # cells per network (network-major)
         col_specs: list[tuple[int, int, int]] = []
@@ -889,14 +910,14 @@ def run_multi_sweep(
             )
             target_cost = total_cost / jobs
 
-        tasks = []
+        tasks: list[tuple[Any, ...]] = []
         task_cols: list[list[int]] = []
         for s, spec in enumerate(strategy_axis):
             factor = _strategy_cost_factor(spec)
             block_target = None if target_cost is None else target_cost / factor
             for lo, hi in _shard_bounds(col_costs, block_target, shard_cells):
                 chunk = col_specs[lo:hi]
-                masks = None
+                masks: list[list[BoolArray | None]] | None = None
                 if spec is not None:
                     masks = [
                         [per_net_placements[g][p] for p, _c, _b in chunk]
@@ -935,7 +956,11 @@ def run_multi_sweep(
         )
 
     # ---- padded layout (handles ragged per-network seed axes) ----------
-    axes = seed_axes if seed_axes is not None else [shared_seeds] * n_g
+    if seed_axes is not None:
+        axes = seed_axes
+    else:
+        assert shared_seeds is not None
+        axes = [shared_seeds] * n_g
     net_off = [0]
     for ax in axes:
         net_off.append(net_off[-1] + n_s * n_p * n_c * len(ax))
@@ -943,9 +968,11 @@ def run_multi_sweep(
 
     # Per-strategy cell lists spanning all networks, in network-major
     # (network, placement, config, seed) order — the batch the engine fuses.
-    per_strategy: list[list[tuple]] = [[] for _ in strategy_axis]
+    per_strategy: list[list[tuple[int, SeedLike, CountingConfig, int, BoolArray | None]]] = [
+        [] for _ in strategy_axis
+    ]
     per_strategy_costs: list[list[float]] = [[] for _ in strategy_axis]
-    for s, spec in enumerate(strategy_axis):
+    for s, _spec in enumerate(strategy_axis):
         for g, net in enumerate(networks):
             axis_g = axes[g]
             nb_g = len(axis_g)
@@ -966,33 +993,35 @@ def run_multi_sweep(
         )
         target_cost = total_cost / jobs
 
-    tasks = []
-    task_flats = []
+    padded_tasks: list[tuple[Any, ...]] = []
+    task_flats: list[list[int]] = []
     for s, spec in enumerate(strategy_axis):
         factor = _strategy_cost_factor(spec)
         block_target = None if target_cost is None else target_cost / factor
         for lo, hi in _shard_bounds(per_strategy_costs[s], block_target, shard_cells):
             cells = per_strategy[s][lo:hi]
             task_flats.append([cell[0] for cell in cells])
-            masks = None
+            cell_masks: list[BoolArray] | None = None
             if spec is not None:
-                masks = [
+                cell_masks = [
                     cell[4]
                     if cell[4] is not None
                     else np.zeros(int(networks[cell[3]].n), dtype=bool)
                     for cell in cells
                 ]
-            tasks.append(
+            padded_tasks.append(
                 (
                     spec,
                     [cell[1] for cell in cells],
                     [cell[2] for cell in cells],
                     [cell[3] for cell in cells],
-                    masks,
+                    cell_masks,
                 )
             )
 
-    shard_results = parallel_map(_run_multi_shard, tasks, jobs=jobs, network=networks)
+    shard_results = parallel_map(
+        _run_multi_shard, padded_tasks, jobs=jobs, network=networks
+    )
     results = [None] * total_cells
     for flats, shard in zip(task_flats, shard_results):
         for flat, res in zip(flats, shard):

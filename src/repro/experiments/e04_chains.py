@@ -63,7 +63,7 @@ def run(scale: str, seed: int) -> ExperimentResult:
     for n in ns:
         net = network(n, d, seed)
         budget = byzantine_budget(n, delta)
-        for placement, label in ((random_placement, "random"), (None, "clustered")):
+        for _placement, label in ((random_placement, "random"), (None, "clustered")):
             hits = 0
             for t in range(trials):
                 if label == "random":

@@ -17,7 +17,6 @@ scalar per-cell runs this experiment used to loop over.
 
 from __future__ import annotations
 
-
 from ..adversary.placement import placement_for_delta
 from ..core.config import CountingConfig
 from ..core.estimator import practical_band

@@ -20,10 +20,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..adversary.placement import placement_for_delta
+from ..core.colors import sample_colors
 from ..core.config import CountingConfig
 from ..core.sweep import run_multi_sweep
 from ..sim.metrics import color_bits
-from ..core.colors import sample_colors
 from ..sim.rng import make_rng
 from .common import DEFAULT_D, network, ns_for
 from .harness import ExperimentResult, Table, register

@@ -17,7 +17,6 @@ estimates ``log n`` accurately.
 
 from __future__ import annotations
 
-
 from ..adversary.placement import random_placement
 from ..core.config import CountingConfig
 from ..core.coreset import compute_core

@@ -35,6 +35,7 @@ from ..core.neighborhood import (
 from ..core.sweep import run_multi_sweep
 from ..graphs.balls import bfs_distances
 from ..graphs.classification import full_tree_ball_size
+from ..sim.rng import make_rng
 from .common import DEFAULT_D, network
 from .harness import ExperimentResult, Table, register
 
@@ -74,7 +75,7 @@ def run(scale: str, seed: int) -> ExperimentResult:
         title=f"n={n}, {trials} liar placements",
         columns=["liar", "victims tested", "detected", "false positives (control)"],
     )
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     total_victims = total_detected = total_fp = 0
     for _ in range(trials):
         liar = int(rng.integers(n))

@@ -21,7 +21,6 @@ the scalar per-cell runs this experiment used to loop over.
 
 from __future__ import annotations
 
-
 from ..adversary.placement import clustered_placement, placement_for_delta
 from ..analysis.bounds import byzantine_budget
 from ..core.config import CountingConfig

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..graphs.balls import gather_neighbors
 from ..sim.rng import make_rng
 
 __all__ = ["AgreementResult", "run_ae_agreement"]

@@ -38,8 +38,8 @@ from .properties import (
     cut_expansion,
     degree_stats,
     diameter,
-    edge_expansion_sampled,
     eccentricity_sample,
+    edge_expansion_sampled,
     network_summary,
     ramanujan_bound,
     spectral_report,

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._types import BoolArray, Int64Array, IntArray
+
 __all__ = [
     "gather_neighbors",
     "bfs_distances",
@@ -30,8 +32,8 @@ UNREACHED = -1
 
 
 def gather_neighbors(
-    indptr: np.ndarray, indices: np.ndarray, nodes: np.ndarray
-) -> np.ndarray:
+    indptr: IntArray, indices: IntArray, nodes: IntArray
+) -> IntArray:
     """Concatenate the adjacency lists of ``nodes`` (with multiplicity)."""
     nodes = np.asarray(nodes)
     if nodes.size == 0:
@@ -53,13 +55,13 @@ def gather_neighbors(
 
 
 def bfs_distances(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    sources: int | np.ndarray,
+    indptr: IntArray,
+    indices: IntArray,
+    sources: int | IntArray,
     max_depth: int | None = None,
     *,
-    blocked: np.ndarray | None = None,
-) -> np.ndarray:
+    blocked: BoolArray | None = None,
+) -> IntArray:
     """Multi-source BFS distances; unreachable nodes get ``UNREACHED``.
 
     ``blocked`` is an optional boolean mask of nodes that neither relay nor
@@ -87,25 +89,19 @@ def bfs_distances(
     return dist
 
 
-def ball(
-    indptr: np.ndarray, indices: np.ndarray, v: int, r: int
-) -> np.ndarray:
+def ball(indptr: IntArray, indices: IntArray, v: int, r: int) -> IntArray:
     """``B(v, r)``: sorted array of nodes within distance ``r`` of ``v``."""
     dist = bfs_distances(indptr, indices, v, max_depth=r)
     return np.flatnonzero(dist != UNREACHED)
 
 
-def sphere(
-    indptr: np.ndarray, indices: np.ndarray, v: int, r: int
-) -> np.ndarray:
+def sphere(indptr: IntArray, indices: IntArray, v: int, r: int) -> IntArray:
     """``Bd(v, r)``: sorted array of nodes at distance exactly ``r``."""
     dist = bfs_distances(indptr, indices, v, max_depth=r)
     return np.flatnonzero(dist == r)
 
 
-def ball_sizes(
-    indptr: np.ndarray, indices: np.ndarray, v: int, r: int
-) -> np.ndarray:
+def ball_sizes(indptr: IntArray, indices: IntArray, v: int, r: int) -> IntArray:
     """Sizes ``|B(v, 0)|, |B(v, 1)|, ..., |B(v, r)|`` as an array."""
     dist = bfs_distances(indptr, indices, v, max_depth=r)
     reached = dist[dist != UNREACHED]
@@ -113,7 +109,7 @@ def ball_sizes(
     return np.cumsum(counts[: r + 1])
 
 
-def eccentricity(indptr: np.ndarray, indices: np.ndarray, v: int) -> int:
+def eccentricity(indptr: IntArray, indices: IntArray, v: int) -> int:
     """Eccentricity of ``v``; raises if the graph is disconnected from v."""
     dist = bfs_distances(indptr, indices, v)
     if np.any(dist == UNREACHED):
@@ -122,8 +118,8 @@ def eccentricity(indptr: np.ndarray, indices: np.ndarray, v: int) -> int:
 
 
 def distances_to_set(
-    indptr: np.ndarray, indices: np.ndarray, targets: np.ndarray
-) -> np.ndarray:
+    indptr: IntArray, indices: IntArray, targets: IntArray
+) -> IntArray:
     """``dist(v, V')`` for every v (Definition 3), via multi-source BFS."""
     targets = np.asarray(targets)
     n = indptr.shape[0] - 1
@@ -133,11 +129,11 @@ def distances_to_set(
 
 
 def connected_components(
-    indptr: np.ndarray,
-    indices: np.ndarray,
+    indptr: IntArray,
+    indices: IntArray,
     *,
-    blocked: np.ndarray | None = None,
-) -> np.ndarray:
+    blocked: BoolArray | None = None,
+) -> Int64Array:
     """Component label per node (-1 for blocked nodes)."""
     n = indptr.shape[0] - 1
     labels = np.full(n, -1, dtype=np.int64)
@@ -152,11 +148,11 @@ def connected_components(
 
 
 def largest_component_mask(
-    indptr: np.ndarray,
-    indices: np.ndarray,
+    indptr: IntArray,
+    indices: IntArray,
     *,
-    blocked: np.ndarray | None = None,
-) -> np.ndarray:
+    blocked: BoolArray | None = None,
+) -> BoolArray:
     """Boolean mask of the largest connected component among unblocked nodes."""
     labels = connected_components(indptr, indices, blocked=blocked)
     if labels.max() < 0:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._types import BoolArray
 from .balls import bfs_distances, distances_to_set
 from .hgraph import HGraph
 from .smallworld import SmallWorldNetwork
@@ -76,7 +77,7 @@ def is_locally_tree_like(h: HGraph, v: int, r: int) -> bool:
     return half_edges // 2 == ball_size - 1
 
 
-def ltl_mask(h: HGraph, r: int | None = None) -> np.ndarray:
+def ltl_mask(h: HGraph, r: int | None = None) -> BoolArray:
     """Boolean mask of locally-tree-like nodes at radius ``r``."""
     if r is None:
         r = tree_radius(h.n, h.d)
@@ -91,15 +92,15 @@ class NodeSets:
     is explicit that Definition 9 deviates from its usual ``H`` convention).
     """
 
-    byz: np.ndarray
-    honest: np.ndarray
-    ltl: np.ndarray
-    nlt: np.ndarray
-    safe: np.ndarray
-    unsafe: np.ndarray
-    bad: np.ndarray
-    byz_safe: np.ndarray
-    bus: np.ndarray
+    byz: BoolArray
+    honest: BoolArray
+    ltl: BoolArray
+    nlt: BoolArray
+    safe: BoolArray
+    unsafe: BoolArray
+    bad: BoolArray
+    byz_safe: BoolArray
+    bus: BoolArray
     radius: int
     safe_radius: int
 
@@ -135,7 +136,7 @@ class NodeSets:
 
 def classify_nodes(
     net: SmallWorldNetwork,
-    byz_mask: np.ndarray,
+    byz_mask: BoolArray,
     *,
     radius: int | None = None,
     safe_radius: int | None = None,

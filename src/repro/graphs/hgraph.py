@@ -15,16 +15,18 @@ since the graph is exactly regular.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+from .._types import Int64Array, IntArray, SeedLike
 from ..sim.rng import make_rng
 from .balls import bfs_distances
 
 __all__ = ["HGraph", "generate_hgraph", "hamiltonian_cycle_edges"]
 
 
-def hamiltonian_cycle_edges(perm: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def hamiltonian_cycle_edges(perm: IntArray) -> tuple[IntArray, IntArray]:
     """Edge endpoints ``(u, v)`` of the cycle visiting ``perm`` in order."""
     u = np.asarray(perm)
     v = np.roll(u, -1)
@@ -50,18 +52,18 @@ class HGraph:
 
     n: int
     d: int
-    cycles: np.ndarray
-    indptr: np.ndarray = field(repr=False)
-    indices: np.ndarray = field(repr=False)
+    cycles: Int64Array
+    indptr: Int64Array = field(repr=False)
+    indices: Int64Array = field(repr=False)
 
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
-    def neighbors(self, v: int) -> np.ndarray:
+    def neighbors(self, v: int) -> Int64Array:
         """The ``d`` neighbors of ``v`` (with multiplicity), as a view."""
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
 
-    def unique_neighbors(self, v: int) -> np.ndarray:
+    def unique_neighbors(self, v: int) -> Int64Array:
         """Distinct neighbors of ``v`` (multi-edges collapsed)."""
         return np.unique(self.neighbors(v))
 
@@ -74,9 +76,10 @@ class HGraph:
         """Number of edges counted with multiplicity (= n * d / 2)."""
         return self.n * self.d // 2
 
-    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+    def edge_list(self) -> tuple[Int64Array, Int64Array]:
         """All edges (u, v) with multiplicity, one direction per edge."""
-        us, vs = [], []
+        us: list[Int64Array] = []
+        vs: list[Int64Array] = []
         for c in range(self.cycles.shape[0]):
             u, v = hamiltonian_cycle_edges(self.cycles[c])
             us.append(u)
@@ -98,7 +101,7 @@ class HGraph:
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
-    def to_scipy(self):
+    def to_scipy(self) -> Any:
         """Adjacency as a ``scipy.sparse.csr_array`` with multiplicity counts."""
         from scipy.sparse import csr_array
 
@@ -109,7 +112,7 @@ class HGraph:
         mat.sum_duplicates()
         return mat
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Return the graph as a :class:`networkx.MultiGraph`."""
         import networkx as nx
 
@@ -140,9 +143,7 @@ class HGraph:
                 raise ValueError(f"cycle {c} is not a permutation of the vertices")
 
 
-def generate_hgraph(
-    n: int, d: int, seed: int | np.random.Generator | None = 0
-) -> HGraph:
+def generate_hgraph(n: int, d: int, seed: SeedLike = 0) -> HGraph:
     """Sample an ``H(n, d)`` graph: the union of ``d/2`` random Hamiltonian cycles.
 
     Parameters

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._types import Int64Array, IntArray, SeedLike
 from ..sim.rng import make_rng
 from .balls import bfs_distances, gather_neighbors
 from .hgraph import HGraph
@@ -83,9 +84,7 @@ def spectral_report(h: HGraph) -> SpectralReport:
     )
 
 
-def cut_expansion(
-    indptr: np.ndarray, indices: np.ndarray, subset: np.ndarray
-) -> float:
+def cut_expansion(indptr: IntArray, indices: IntArray, subset: IntArray) -> float:
     """``|edges(S, V \\ S)| / |S|`` for a vertex subset ``S`` (with multiplicity)."""
     subset = np.asarray(subset)
     if subset.size == 0:
@@ -100,7 +99,7 @@ def cut_expansion(
 
 def edge_expansion_sampled(
     h: HGraph,
-    rng: int | np.random.Generator | None = 0,
+    rng: SeedLike = 0,
     trials: int = 64,
 ) -> float:
     """Upper bound on the edge expansion ``h(H)`` from sampled cuts.
@@ -129,9 +128,9 @@ def edge_expansion_sampled(
 
 
 def average_clustering(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    rng: int | np.random.Generator | None = 0,
+    indptr: IntArray,
+    indices: IntArray,
+    rng: SeedLike = 0,
     sample: int | None = 200,
 ) -> float:
     """Mean local clustering coefficient over a node sample.
@@ -144,7 +143,7 @@ def average_clustering(
         nodes = np.arange(n)
     else:
         nodes = make_rng(rng).choice(n, size=sample, replace=False)
-    neighbor_sets = {}
+    neighbor_sets: dict[int, set[int]] = {}
 
     def nset(v: int) -> set[int]:
         got = neighbor_sets.get(v)
@@ -166,11 +165,11 @@ def average_clustering(
 
 
 def eccentricity_sample(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    rng: int | np.random.Generator | None = 0,
+    indptr: IntArray,
+    indices: IntArray,
+    rng: SeedLike = 0,
     sample: int = 32,
-) -> np.ndarray:
+) -> Int64Array:
     """Eccentricities of a random node sample (connected graphs only)."""
     n = indptr.shape[0] - 1
     nodes = make_rng(rng).choice(n, size=min(sample, n), replace=False)
@@ -184,11 +183,11 @@ def eccentricity_sample(
 
 
 def diameter(
-    indptr: np.ndarray,
-    indices: np.ndarray,
+    indptr: IntArray,
+    indices: IntArray,
     *,
     exact: bool = False,
-    rng: int | np.random.Generator | None = 0,
+    rng: SeedLike = 0,
     sample: int = 32,
 ) -> int:
     """Diameter (exact via all-pairs BFS, or a sampled lower bound).
@@ -229,7 +228,7 @@ class DegreeStats:
         return self.minimum == self.maximum
 
 
-def degree_stats(indptr: np.ndarray) -> DegreeStats:
+def degree_stats(indptr: IntArray) -> DegreeStats:
     degs = np.diff(indptr)
     return DegreeStats(
         minimum=int(degs.min()), maximum=int(degs.max()), mean=float(degs.mean())

@@ -44,17 +44,24 @@ owner stays in charge of the lifetime.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from .._types import AnyArray, Int64Array
 from .hgraph import HGraph
 from .smallworld import SmallWorldNetwork
 
-__all__ = ["NetworkTuple", "SharedNetwork", "SharedNetworkPack"]
+__all__ = ["NetworkTuple", "SharedNetwork", "SharedNetworkPack", "UnionCSR"]
+
+#: ``(sizes, indptr, indices)`` of a block-diagonal union CSR
+#: (:func:`repro.sim.flood.stack_union_csr`).
+UnionCSR = tuple[tuple[int, ...], Int64Array, Int64Array]
 
 
-class NetworkTuple(tuple):
+class NetworkTuple(tuple[SmallWorldNetwork, ...]):
     """A tuple of networks with an optional pre-stacked union CSR attached.
 
     ``union_csr`` is ``(sizes, indptr, indices)`` — the block-diagonal
@@ -65,10 +72,12 @@ class NetworkTuple(tuple):
     union-stack sweeps amortize the concatenation across workers.
     """
 
-    union_csr: tuple | None = None
+    union_csr: UnionCSR | None = None
 
     @classmethod
-    def build(cls, networks, union: bool = False) -> "NetworkTuple":
+    def build(
+        cls, networks: Iterable[SmallWorldNetwork], union: bool = False
+    ) -> "NetworkTuple":
         """Wrap ``networks``; with ``union=True`` stack the union CSR once."""
         out = cls(networks)
         if union:
@@ -78,7 +87,7 @@ class NetworkTuple(tuple):
         return out
 
 #: The array attributes that define a network, in serialization order.
-_FIELDS = (
+_FIELDS: tuple[tuple[str, Callable[[SmallWorldNetwork], AnyArray]], ...] = (
     ("h_indptr", lambda net: net.h.indptr),
     ("h_indices", lambda net: net.h.indices),
     ("h_cycles", lambda net: net.h.cycles),
@@ -90,7 +99,7 @@ _FIELDS = (
 #: Per-process cache of attached segments: shm name -> (shm, network).
 #: Workers receive one handle pickle per task; caching by segment name
 #: makes the attach + reconstruct cost once-per-process, not per-task.
-_ATTACHED: dict[str, tuple] = {}
+_ATTACHED: dict[str, tuple[Any, Any]] = {}
 
 #: SharedMemory objects whose buffers back numpy views that may still be
 #: referenced after ``close()``.  Unmapping those buffers (SharedMemory
@@ -98,10 +107,10 @@ _ATTACHED: dict[str, tuple] = {}
 #: into a segfault, so closed-but-viewed segments are kept mapped here
 #: for the rest of the process (the *segment* is still unlinked; the OS
 #: frees the memory when the last mapping dies with the process).
-_KEEPALIVE: list = []
+_KEEPALIVE: list[Any] = []
 
 
-def _attach_untracked(name: str):
+def _attach_untracked(name: str) -> Any:
     """Attach to segment ``name`` without resource-tracker registration.
 
     Python < 3.13 has no ``track=False``: a plain attach registers the
@@ -115,7 +124,7 @@ def _attach_untracked(name: str):
 
     original = resource_tracker.register
 
-    def register(rname, rtype):  # pragma: no cover - trivial shim
+    def register(rname: str, rtype: str) -> None:  # pragma: no cover - trivial shim
         if rtype != "shared_memory":
             original(rname, rtype)
 
@@ -136,9 +145,11 @@ class _ArraySpec:
     offset: int
 
 
-def _reconstruct_network(shm, specs, n: int, d: int, k: int) -> SmallWorldNetwork:
+def _reconstruct_network(
+    shm: Any, specs: tuple[_ArraySpec, ...], n: int, d: int, k: int
+) -> SmallWorldNetwork:
     """Rebuild one network around read-only views into ``shm``."""
-    views = {}
+    views: dict[str, AnyArray] = {}
     for spec in specs:
         arr = np.ndarray(
             spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
@@ -161,7 +172,7 @@ def _reconstruct_network(shm, specs, n: int, d: int, k: int) -> SmallWorldNetwor
     )
 
 
-def _release_segment(shm_name: str, owned_shm) -> None:
+def _release_segment(shm_name: str, owned_shm: Any) -> None:
     """Shared ``close()`` semantics for both handle classes.
 
     If the segment was ever attached/reconstructed in this process, the
@@ -190,13 +201,15 @@ class SharedNetwork:
     original network directly).
     """
 
-    def __init__(self, shm_name: str, specs: tuple[_ArraySpec, ...], n: int, d: int, k: int):
+    def __init__(
+        self, shm_name: str, specs: tuple[_ArraySpec, ...], n: int, d: int, k: int
+    ) -> None:
         self._shm_name = shm_name
         self._specs = specs
         self._n = n
         self._d = d
         self._k = k
-        self._owned_shm = None  # set only in the creating process
+        self._owned_shm: Any = None  # set only in the creating process
 
     # ------------------------------------------------------------------
     @classmethod
@@ -205,7 +218,7 @@ class SharedNetwork:
         from multiprocessing import shared_memory
 
         arrays = [(name, np.ascontiguousarray(get(net))) for name, get in _FIELDS]
-        specs = []
+        specs: list[_ArraySpec] = []
         offset = 0
         for name, arr in arrays:
             # 8-byte alignment keeps int64 views legal at every offset.
@@ -257,11 +270,11 @@ class SharedNetwork:
     def __enter__(self) -> "SharedNetwork":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         # The owning SharedMemory object never crosses process boundaries;
         # workers re-attach by name.
         return {
@@ -272,7 +285,7 @@ class SharedNetwork:
             "k": self._k,
         }
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: dict[str, Any]) -> None:
         self._shm_name = state["shm_name"]
         self._specs = state["specs"]
         self._n = state["n"]
@@ -298,18 +311,25 @@ class SharedNetworkPack:
     the owning process; read :attr:`nets` anywhere.
     """
 
-    def __init__(self, shm_name: str, per_net: tuple, union_specs: tuple | None = None):
+    def __init__(
+        self,
+        shm_name: str,
+        per_net: tuple[tuple[tuple[_ArraySpec, ...], int, int, int], ...],
+        union_specs: tuple[_ArraySpec, ...] | None = None,
+    ) -> None:
         self._shm_name = shm_name
         # per_net: one (specs, n, d, k) tuple per network, in input order.
         self._per_net = per_net
         # union_specs: (indptr_spec, indices_spec) of the pre-concatenated
         # block-diagonal union CSR, or None when not shipped.
         self._union_specs = union_specs
-        self._owned_shm = None  # set only in the creating process
+        self._owned_shm: Any = None  # set only in the creating process
 
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, nets, union: bool = False) -> "SharedNetworkPack":
+    def create(
+        cls, nets: Sequence[SmallWorldNetwork], union: bool = False
+    ) -> "SharedNetworkPack":
         """Copy every network's arrays into one fresh shared segment.
 
         With ``union=True`` the block-diagonal union CSR
@@ -319,8 +339,8 @@ class SharedNetworkPack:
         """
         from multiprocessing import shared_memory
 
-        per_net = []
-        writes = []
+        per_net: list[tuple[tuple[_ArraySpec, ...], int, int, int]] = []
+        writes: list[tuple[_ArraySpec, AnyArray]] = []
         offset = 0
         for net in nets:
             specs = []
@@ -335,12 +355,12 @@ class SharedNetworkPack:
                 writes.append((spec, arr))
                 offset += arr.nbytes
             per_net.append((tuple(specs), net.n, net.d, net.k))
-        union_specs = None
+        union_specs: tuple[_ArraySpec, ...] | None = None
         if union:
             from ..sim.flood import stack_union_csr
 
             _sizes, u_indptr, u_indices = stack_union_csr(nets)
-            pair = []
+            pair: list[_ArraySpec] = []
             for name, arr in (("u_indptr", u_indptr), ("u_indices", u_indices)):
                 arr = np.ascontiguousarray(arr)
                 offset = (offset + 7) & ~7
@@ -387,7 +407,7 @@ class SharedNetworkPack:
             for specs, n, d, k in self._per_net
         )
         if self._union_specs is not None:
-            views = []
+            views: list[AnyArray] = []
             for spec in self._union_specs:
                 arr = np.ndarray(
                     spec.shape,
@@ -415,11 +435,11 @@ class SharedNetworkPack:
     def __enter__(self) -> "SharedNetworkPack":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         # The owning SharedMemory object never crosses process boundaries;
         # workers re-attach by name.
         return {
@@ -428,7 +448,7 @@ class SharedNetworkPack:
             "union_specs": self._union_specs,
         }
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: dict[str, Any]) -> None:
         self._shm_name = state["shm_name"]
         self._per_net = state["per_net"]
         self._union_specs = state.get("union_specs")

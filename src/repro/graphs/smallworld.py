@@ -20,9 +20,11 @@ this class exposes both views:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+from .._types import Int64Array, Int8Array, IntArray, SeedLike
 from .balls import bfs_distances, gather_neighbors
 from .hgraph import HGraph, generate_hgraph
 
@@ -40,9 +42,9 @@ class SmallWorldNetwork:
 
     h: HGraph
     k: int
-    g_indptr: np.ndarray = field(repr=False)
-    g_indices: np.ndarray = field(repr=False)
-    g_dist: np.ndarray = field(repr=False)
+    g_indptr: Int64Array = field(repr=False)
+    g_indices: Int64Array = field(repr=False)
+    g_dist: Int8Array = field(repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -53,15 +55,15 @@ class SmallWorldNetwork:
     def d(self) -> int:
         return self.h.d
 
-    def g_neighbors(self, v: int) -> np.ndarray:
+    def g_neighbors(self, v: int) -> Int64Array:
         """Distinct ``G``-neighbors of ``v`` (sorted)."""
         return self.g_indices[self.g_indptr[v] : self.g_indptr[v + 1]]
 
-    def g_neighbor_dists(self, v: int) -> np.ndarray:
+    def g_neighbor_dists(self, v: int) -> Int8Array:
         """``dist_H(v, u)`` for each entry of :meth:`g_neighbors`."""
         return self.g_dist[self.g_indptr[v] : self.g_indptr[v + 1]]
 
-    def h_neighbors(self, v: int) -> np.ndarray:
+    def h_neighbors(self, v: int) -> Int64Array:
         """Distinct ``H``-neighbors of ``v``."""
         return self.h.unique_neighbors(v)
 
@@ -76,18 +78,18 @@ class SmallWorldNetwork:
     def is_h_edge(self, u: int, v: int) -> bool:
         return bool(np.any(self.h.neighbors(u) == v))
 
-    def h_ball(self, v: int, r: int) -> np.ndarray:
+    def h_ball(self, v: int, r: int) -> IntArray:
         dist = bfs_distances(self.h.indptr, self.h.indices, v, max_depth=r)
         return np.flatnonzero(dist != -1)
 
-    def g_ball(self, v: int, r: int) -> np.ndarray:
+    def g_ball(self, v: int, r: int) -> IntArray:
         dist = bfs_distances(self.g_indptr, self.g_indices, v, max_depth=r)
         return np.flatnonzero(dist != -1)
 
     def max_g_degree(self) -> int:
         return int(np.max(np.diff(self.g_indptr)))
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """The simple graph ``G`` as a :class:`networkx.Graph`."""
         import networkx as nx
 
@@ -124,7 +126,7 @@ class SmallWorldNetwork:
 def build_small_world(
     n: int,
     d: int,
-    seed: int | np.random.Generator | None = 0,
+    seed: SeedLike = 0,
     *,
     h: HGraph | None = None,
     k: int | None = None,
@@ -144,8 +146,8 @@ def build_small_world(
     # BFS from every node to depth k collects B_H(v, k) \ {v}; those are
     # exactly v's G-neighbors.  Balls are tiny (< (d-1)^(k+1)), so we gather
     # per node but keep the per-node work vectorized.
-    nbr_chunks: list[np.ndarray] = []
-    dist_chunks: list[np.ndarray] = []
+    nbr_chunks: list[Int64Array] = []
+    dist_chunks: list[Int8Array] = []
     counts = np.empty(h.n, dtype=np.int64)
     for v in range(h.n):
         dist = _local_ball_distances(h, v, k)

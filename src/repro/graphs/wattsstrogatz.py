@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._types import Int64Array, SeedLike
 from ..sim.rng import make_rng
 
 __all__ = ["WattsStrogatzGraph", "generate_watts_strogatz"]
@@ -25,13 +26,13 @@ class WattsStrogatzGraph:
     n: int
     ring_degree: int
     rewire_p: float
-    indptr: np.ndarray = field(repr=False)
-    indices: np.ndarray = field(repr=False)
+    indptr: Int64Array = field(repr=False)
+    indices: Int64Array = field(repr=False)
 
-    def neighbors(self, v: int) -> np.ndarray:
+    def neighbors(self, v: int) -> Int64Array:
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
 
-    def degrees(self) -> np.ndarray:
+    def degrees(self) -> Int64Array:
         return np.diff(self.indptr)
 
     def max_degree(self) -> int:
@@ -42,7 +43,7 @@ def generate_watts_strogatz(
     n: int,
     ring_degree: int,
     rewire_p: float,
-    seed: int | np.random.Generator | None = 0,
+    seed: SeedLike = 0,
 ) -> WattsStrogatzGraph:
     """Ring lattice with ``ring_degree`` nearest neighbors, each edge rewired
     with probability ``rewire_p`` (one endpoint kept, as in the original

@@ -12,10 +12,11 @@ comparable communication costs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 import numpy as np
 
+from .._types import BoolArray, SeedLike
 from .messages import Message
 from .metrics import MessageMeter
 from .node import NodeProgram, RoundContext
@@ -34,8 +35,8 @@ class SynchronousEngine:
         self,
         network: "SmallWorldNetwork",
         programs: Mapping[int, NodeProgram],
-        seed: int | np.random.Generator | None = 0,
-    ):
+        seed: SeedLike = 0,
+    ) -> None:
         if set(programs.keys()) != set(range(network.n)):
             raise ValueError("programs must cover every node 0..n-1 exactly")
         self.network = network
@@ -105,11 +106,11 @@ class SynchronousEngine:
         return dropped
 
     # ------------------------------------------------------------------
-    def crashed_mask(self) -> np.ndarray:
+    def crashed_mask(self) -> BoolArray:
         return np.array(
             [self.programs[v].crashed for v in range(self.network.n)], dtype=bool
         )
 
-    def gather(self, attr: str, default=None) -> list:
+    def gather(self, attr: str, default: Any = None) -> list[Any]:
         """Collect ``getattr(program, attr)`` from every node program."""
         return [getattr(self.programs[v], attr, default) for v in range(self.network.n)]

@@ -45,7 +45,16 @@ bookkeeping (decided counting, saturation, witness metering).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+from .._types import AnyArray, Int64Array, IntArray
+
+if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Iterable
+
+    from ..graphs.smallworld import SmallWorldNetwork
 
 __all__ = ["FloodKernel", "MultiFloodKernel", "UnionFloodKernel", "stack_union_csr"]
 
@@ -61,7 +70,7 @@ class FloodKernel:
         per-round kernel can use ``reduceat`` unguarded.
     """
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+    def __init__(self, indptr: IntArray, indices: IntArray) -> None:
         degrees = np.diff(indptr)
         if degrees.size and degrees.min() <= 0:
             raise ValueError("FloodKernel requires minimum degree >= 1")
@@ -72,15 +81,15 @@ class FloodKernel:
         # Tiled gather/reduce offsets for the batched kernel, built lazily
         # and cached for the last batch size seen (phases shrink the active
         # trial set, so a handful of sizes recur within one run).
-        self._batch_plans: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._batch_plans: dict[int, tuple[Int64Array, Int64Array]] = {}
         # Regular graphs (H is a d-regular multigraph) admit a much faster
         # batched kernel: per-neighbor-slot row gathers, no reduceat.
         self._uniform_degree = (
             int(degrees[0]) if degrees.size and degrees.min() == degrees.max() else 0
         )
-        self._neighbor_cols: np.ndarray | None = None
+        self._neighbor_cols: Int64Array | None = None
 
-    def neighbor_max(self, sent: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def neighbor_max(self, sent: AnyArray, out: AnyArray | None = None) -> AnyArray:
         """``out[v] = max(sent[u] for u in N(v))`` (0 if all neighbors silent)."""
         gathered = sent[self.indices]
         result = np.maximum.reduceat(gathered, self._starts)
@@ -89,7 +98,7 @@ class FloodKernel:
             return out
         return result
 
-    def _batch_plan(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
+    def _batch_plan(self, batch: int) -> tuple[Int64Array, Int64Array]:
         plan = self._batch_plans.get(batch)
         if plan is None:
             nnz = self.indices.shape[0]
@@ -103,8 +112,8 @@ class FloodKernel:
         return plan
 
     def neighbor_max_batch(
-        self, sent: np.ndarray, out: np.ndarray | None = None
-    ) -> np.ndarray:
+        self, sent: AnyArray, out: AnyArray | None = None
+    ) -> AnyArray:
         """Row-wise :meth:`neighbor_max` over a ``(B, n)`` value matrix.
 
         Equivalent to ``np.stack([self.neighbor_max(row) for row in sent])``
@@ -130,8 +139,8 @@ class FloodKernel:
         return result
 
     def neighbor_max_stacked(
-        self, values: np.ndarray, out: np.ndarray | None = None
-    ) -> np.ndarray:
+        self, values: AnyArray, out: AnyArray | None = None
+    ) -> AnyArray:
         """Batched neighbor-max over an ``(n, B)`` trials-as-columns matrix.
 
         This is the batched engine's hot kernel.  The transposed layout
@@ -166,7 +175,7 @@ class FloodKernel:
             np.maximum(result, values[cols[j]], out=result)
         return result
 
-    def _cols(self) -> np.ndarray:
+    def _cols(self) -> Int64Array:
         """``(degree, n)`` array; row ``j`` holds every node's j-th neighbor."""
         if self._neighbor_cols is None:
             self._neighbor_cols = np.ascontiguousarray(
@@ -174,7 +183,7 @@ class FloodKernel:
             )
         return self._neighbor_cols
 
-    def spread_steps(self, seed_values: np.ndarray, steps: int) -> np.ndarray:
+    def spread_steps(self, seed_values: AnyArray, steps: int) -> Int64Array:
         """Run ``steps`` rounds of running-max flooding from ``seed_values``.
 
         Every node forwards its running maximum each round; returns the
@@ -187,7 +196,7 @@ class FloodKernel:
             np.maximum(cur, recv, out=cur)
         return cur
 
-    def rounds_to_saturation(self, seed_values: np.ndarray, limit: int = 10_000) -> int:
+    def rounds_to_saturation(self, seed_values: AnyArray, limit: int = 10_000) -> int:
         """Number of rounds until running-max flooding reaches a fixed point."""
         cur = np.array(seed_values, dtype=np.int64, copy=True)
         for step in range(1, limit + 1):
@@ -199,7 +208,9 @@ class FloodKernel:
         raise RuntimeError(f"flooding did not saturate within {limit} rounds")
 
 
-def stack_union_csr(networks) -> tuple[tuple[int, ...], np.ndarray, np.ndarray]:
+def stack_union_csr(
+    networks: Iterable[SmallWorldNetwork],
+) -> tuple[tuple[int, ...], Int64Array, Int64Array]:
     """Concatenate several H adjacencies into one block-diagonal CSR.
 
     Returns ``(sizes, indptr, indices)``: block ``g`` owns the row segment
@@ -212,7 +223,7 @@ def stack_union_csr(networks) -> tuple[tuple[int, ...], np.ndarray, np.ndarray]:
         raise ValueError("stack_union_csr needs at least one network")
     sizes = tuple(int(net.n) for net in networks)
     indptr_parts = [np.zeros(1, dtype=np.int64)]
-    indices_parts = []
+    indices_parts: list[Int64Array] = []
     row_off = 0
     nnz_off = 0
     for net in networks:
@@ -242,7 +253,9 @@ class UnionFloodKernel(FloodKernel):
     boundary (enforced by ``tests/property/test_unionstack_properties.py``).
     """
 
-    def __init__(self, sizes, indptr: np.ndarray, indices: np.ndarray):
+    def __init__(
+        self, sizes: Iterable[int], indptr: IntArray, indices: IntArray
+    ) -> None:
         super().__init__(indptr, indices)
         self.sizes = tuple(int(s) for s in sizes)
         if not self.sizes:
@@ -257,7 +270,7 @@ class UnionFloodKernel(FloodKernel):
         ).astype(np.int64)
 
     @classmethod
-    def from_networks(cls, networks) -> "UnionFloodKernel":
+    def from_networks(cls, networks: Iterable[SmallWorldNetwork]) -> "UnionFloodKernel":
         """Build the union kernel by stacking the networks' H CSRs."""
         sizes, indptr, indices = stack_union_csr(networks)
         return cls(sizes, indptr, indices)
@@ -267,8 +280,8 @@ class UnionFloodKernel(FloodKernel):
         return len(self.sizes)
 
     def segment_count_nonzero(
-        self, values: np.ndarray, out: np.ndarray | None = None
-    ) -> np.ndarray:
+        self, values: AnyArray, out: Int64Array | None = None
+    ) -> Int64Array:
         """Per-(block, column) nonzero counts of an ``(N, B)`` matrix."""
         if out is None:
             out = np.empty((len(self.sizes), values.shape[1]), dtype=np.int64)
@@ -278,7 +291,7 @@ class UnionFloodKernel(FloodKernel):
             )
         return out
 
-    def segment_sum(self, values: np.ndarray) -> np.ndarray:
+    def segment_sum(self, values: AnyArray) -> AnyArray:
         """Per-(block, column) sums of an ``(N, B)`` numeric matrix.
 
         One segmented ``reduceat`` over the row axis; the block offsets
@@ -300,7 +313,14 @@ class _ColumnSegment:
 
     __slots__ = ("lo", "hi", "n", "kernel", "idx")
 
-    def __init__(self, lo: int, hi: int, n: int, kernel=None, idx=None):
+    def __init__(
+        self,
+        lo: int,
+        hi: int,
+        n: int,
+        kernel: FloodKernel | None = None,
+        idx: list[Int64Array] | None = None,
+    ) -> None:
         self.lo = lo
         self.hi = hi
         self.n = n
@@ -313,7 +333,7 @@ class _ColumnPlan:
 
     __slots__ = ("batch", "segments")
 
-    def __init__(self, batch: int, segments: list[_ColumnSegment]):
+    def __init__(self, batch: int, segments: list[_ColumnSegment]) -> None:
         self.batch = batch
         self.segments = segments
 
@@ -339,7 +359,8 @@ class MultiFloodKernel:
     ``tests/property/test_padding_properties.py``).
     """
 
-    def __init__(self, networks):
+    def __init__(self, networks: Iterable[SmallWorldNetwork]) -> None:
+        networks = list(networks)
         self.kernels = [
             FloodKernel(net.h.indptr, net.h.indices) for net in networks
         ]
@@ -349,7 +370,7 @@ class MultiFloodKernel:
         self._plan_cache: dict[bytes, _ColumnPlan] = {}
 
     # ------------------------------------------------------------------
-    def column_plan(self, col_net: np.ndarray) -> _ColumnPlan:
+    def column_plan(self, col_net: IntArray) -> _ColumnPlan:
         """Build (and cache) the dispatch plan for one column assignment.
 
         ``col_net`` maps each live column to its network index; columns of
@@ -405,7 +426,7 @@ class MultiFloodKernel:
         # per-slot neighbor columns into (n, width) index matrices so a
         # single fancy gather serves every graph in the group.
         degree = self.kernels[group[0][0]]._uniform_degree
-        idx = []
+        idx: list[Int64Array] = []
         for j in range(degree):
             parts = [
                 np.broadcast_to(
@@ -418,8 +439,8 @@ class MultiFloodKernel:
 
     # ------------------------------------------------------------------
     def neighbor_max_stacked(
-        self, values: np.ndarray, plan: _ColumnPlan, out: np.ndarray | None = None
-    ) -> np.ndarray:
+        self, values: AnyArray, plan: _ColumnPlan, out: AnyArray | None = None
+    ) -> AnyArray:
         """Masked batched neighbor-max over the padded ``(n_pad, B)`` state.
 
         Column ``b``'s live prefix receives its own network's neighbor

@@ -9,14 +9,17 @@ timeline for the experiment tables.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._types import AnyArray, Int64Array, IntArray
+
 __all__ = ["MessageMeter", "MeterBatch", "PhaseRecord", "PhaseTrace", "color_bits"]
 
 
-def color_bits(value: int | np.ndarray) -> int | np.ndarray:
+def color_bits(value: int | AnyArray) -> int | Int64Array:
     """Bits needed to encode a geometric color (unary-free binary encoding)."""
     v = np.maximum(np.asarray(value), 1)
     bits = np.floor(np.log2(v)).astype(np.int64) + 1
@@ -83,7 +86,7 @@ class MeterBatch:
     fed the same increments.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         if size < 0:
             raise ValueError(f"batch size must be >= 0, got {size}")
         self.size = size
@@ -94,7 +97,7 @@ class MeterBatch:
         self.max_message_ids = np.zeros(size, dtype=np.int64)
         self.max_message_bits = np.zeros(size, dtype=np.int64)
 
-    def add_rounds(self, trials: np.ndarray, count: int = 1) -> None:
+    def add_rounds(self, trials: IntArray, count: int = 1) -> None:
         """Charge ``count`` rounds to every trial index in ``trials``.
 
         Uses unbuffered accumulation, so duplicate trial indices each
@@ -104,8 +107,8 @@ class MeterBatch:
 
     def add_messages(
         self,
-        trials: np.ndarray,
-        counts: np.ndarray | int,
+        trials: IntArray,
+        counts: IntArray | int,
         ids_each: int = 0,
         bits_each: int = 0,
     ) -> None:
@@ -166,7 +169,7 @@ class PhaseTrace:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PhaseRecord]:
         return iter(self.records)
 
     def last_phase(self) -> int:

@@ -10,6 +10,8 @@ from .messages import Message
 if TYPE_CHECKING:  # pragma: no cover
     import numpy as np
 
+    from .._types import AnyArray
+
 __all__ = ["Inbox", "RoundContext", "NodeProgram"]
 
 
@@ -28,7 +30,7 @@ class RoundContext:
 
     node: int
     round: int
-    neighbors: "np.ndarray"
+    neighbors: "AnyArray"
     inbox: Inbox
     rng: "np.random.Generator"
     _outbox: list[tuple[int, Message]] = field(default_factory=list)

@@ -9,7 +9,6 @@ discipline from parallel RNG practice).
 
 from __future__ import annotations
 
-
 import numpy as np
 
 __all__ = ["make_rng", "spawn", "stream", "derive_seed"]

@@ -8,7 +8,6 @@ per-trial fallback wrapper.
 import numpy as np
 import pytest
 
-from repro.adversary import placement_for_delta
 from repro.adversary.base import (
     Adversary,
     BatchSubphaseState,

@@ -9,8 +9,8 @@ from repro.adversary import (
     ComboAdversary,
     EarlyStopAdversary,
     HonestAdversary,
-    Injection,
     InflationAdversary,
+    Injection,
     SilentAdversary,
     SubphaseState,
     SuppressionAdversary,
@@ -112,7 +112,7 @@ class TestTopologyClaims:
     def test_liar_inserts_phantom(self, net_small, byz_mask_small):
         adv = bind(TopologyLiarAdversary(), net_small, byz_mask_small)
         claims = adv.topology_claims()
-        for b, claim in claims.items():
+        for _b, claim in claims.items():
             assert len(claim) == net_small.d
             assert max(claim) >= net_small.n  # the phantom ID
 

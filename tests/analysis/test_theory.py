@@ -1,6 +1,5 @@
 """Unit tests for bundled paper predictions."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.theory import lemma2_bounds, paper_predictions

@@ -14,7 +14,6 @@ with a warning on either side.
 import importlib.util
 import pathlib
 
-import pytest
 
 _SPEC = importlib.util.spec_from_file_location(
     "check_bench_regression",

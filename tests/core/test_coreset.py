@@ -1,7 +1,6 @@
 """Unit tests for Core computation (Lemma 14)."""
 
 import numpy as np
-import pytest
 
 from repro.core.coreset import compute_core
 

@@ -419,7 +419,7 @@ class TestRunSweep:
         )
         batch = sweep.seed_batch(placement=1)
         assert len(batch) == len(seeds)
-        for b, seed in enumerate(seeds):
+        for b, _seed in enumerate(seeds):
             assert batch[b] is sweep.cell(placement=1, seed=b)
 
     def test_sharded_equals_serial(self, net_small):
@@ -571,7 +571,7 @@ class TestCostWeightedShards:
         costs = [3.0, 1.0, 1.0, 1.0, 8.0, 1.0, 1.0, 1.0, 1.0, 1.0]
         bounds = _shard_bounds(costs, target_cost=5.0, shard_cells=None)
         assert bounds[0][0] == 0 and bounds[-1][1] == len(costs)
-        for (l1, h1), (l2, h2) in zip(bounds, bounds[1:]):
+        for (_l1, h1), (l2, _h2) in zip(bounds, bounds[1:]):
             assert h1 == l2
         for lo, hi in bounds:
             assert hi - lo >= min(MIN_SHARD_CELLS, len(costs))

@@ -4,7 +4,6 @@ must run at small scale and pass its own shape checks."""
 import pytest
 
 from repro.experiments import (
-    REGISTRY,
     Table,
     all_experiment_ids,
     get_experiment,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.adversary import placement_for_delta
-from repro.core import run_byzantine_counting, make_adversary, CountingConfig
+from repro.core import CountingConfig, make_adversary, run_byzantine_counting
 from repro.extensions import run_ae_agreement
 from repro.graphs import build_small_world
 from repro.sim.rng import make_rng

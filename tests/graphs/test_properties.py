@@ -8,9 +8,8 @@ from repro.graphs import (
     cut_expansion,
     degree_stats,
     diameter,
-    edge_expansion_sampled,
     eccentricity_sample,
-    generate_hgraph,
+    edge_expansion_sampled,
     network_summary,
     ramanujan_bound,
     spectral_report,

@@ -1,7 +1,5 @@
 """Property-based tests for the analysis formulas."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

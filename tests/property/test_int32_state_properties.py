@@ -1,0 +1,139 @@
+"""Property tests: batched color state never widens past int32.
+
+The batched engines keep per-subphase color state in int32 — colors are
+``O(log n)`` whp, and every built-in strategy injects values bounded by
+``HUGE_COLOR = 2**20 < 2**31`` — widening lazily to int64 only when an
+adversary plan leaves the int32 range.  These tests pin the invariant
+end-to-end by spying on every flood-kernel max-reduction (the only place
+color state crosses the wire): honest and built-in-strategy runs must
+never hand a kernel an array wider than 4 bytes, and a control adversary
+with an out-of-range value must (proving the spy can see widening).
+"""
+
+import contextlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    Adversary,
+    BatchSubphasePlan,
+    SubphasePlan,
+    random_placement,
+)
+from repro.adversary.strategies import HUGE_COLOR
+from repro.core import ADVERSARIES, make_adversary, run_counting_batch
+from repro.core.batch import run_counting_multinet, run_counting_unionstack
+from repro.graphs import build_small_world
+from repro.sim.flood import FloodKernel, MultiFloodKernel, UnionFloodKernel
+
+_INT32_MAX = int(np.iinfo(np.int32).max)
+_KERNEL_METHODS = ("neighbor_max", "neighbor_max_batch", "neighbor_max_stacked")
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@contextlib.contextmanager
+def _spy_kernel_dtypes():
+    """Record the itemsize of every state array handed to a flood kernel."""
+    seen: set[int] = set()
+    patched = []
+
+    def _wrap(cls, name):
+        orig = cls.__dict__[name]
+
+        def wrapper(self, values, *args, **kwargs):
+            seen.add(np.asarray(values).dtype.itemsize)
+            return orig(self, values, *args, **kwargs)
+
+        patched.append((cls, name, orig))
+        setattr(cls, name, wrapper)
+
+    for cls in (FloodKernel, MultiFloodKernel, UnionFloodKernel):
+        for name in _KERNEL_METHODS:
+            if name in cls.__dict__:
+                _wrap(cls, name)
+    try:
+        yield seen
+    finally:
+        for cls, name, orig in patched:
+            setattr(cls, name, orig)
+
+
+def test_builtin_injection_values_fit_int32():
+    assert HUGE_COLOR <= _INT32_MAX
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=seeds, n=st.sampled_from([64, 128]))
+def test_honest_batch_state_stays_int32(seed, n):
+    net = build_small_world(n, 8, seed=seed % 50)
+    with _spy_kernel_dtypes() as seen:
+        run_counting_batch(net, seeds=[seed, seed + 1])
+    assert seen and max(seen) <= 4
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, strategy=st.sampled_from(sorted(ADVERSARIES)))
+def test_builtin_strategies_state_stays_int32(seed, strategy):
+    net = build_small_world(96, 8, seed=7)
+    byz = random_placement(96, 4, rng=seed)
+    with _spy_kernel_dtypes() as seen:
+        run_counting_batch(
+            net,
+            seeds=[seed, seed + 1],
+            adversary_factory=make_adversary(strategy),
+            byz_mask=byz,
+        )
+    # A topology-liar crash ball can engulf a small network entirely, ending
+    # the run with no flood rounds at all — the bound is what matters.
+    assert max(seen, default=0) <= 4
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=seeds, strategy=st.sampled_from(["early-stop", "combo", "silent"]))
+def test_multinet_and_union_state_stays_int32(seed, strategy):
+    nets = [build_small_world(64, 8, seed=1), build_small_world(96, 8, seed=2)]
+    masks = [random_placement(net.n, 3, rng=seed) for net in nets]
+    with _spy_kernel_dtypes() as seen:
+        run_counting_multinet(
+            nets,
+            seeds=[seed, seed + 1],
+            adversary_factory=ADVERSARIES[strategy],
+            byz_mask=masks,
+        )
+    assert max(seen, default=0) <= 4
+    with _spy_kernel_dtypes() as seen:
+        run_counting_unionstack(
+            nets,
+            seeds=[seed, seed + 1],
+            adversary_factory=ADVERSARIES[strategy],
+            byz_mask=masks,
+        )
+    assert max(seen, default=0) <= 4
+
+
+class _OverflowAdversary(Adversary):
+    """Early-stop clone whose planted color exceeds the int32 range."""
+
+    def subphase_plan(self, state):
+        colors = np.full(state.byz_nodes.shape[0], _INT32_MAX + 1, dtype=np.int64)
+        return SubphasePlan(initial_colors=colors, injections=[], relay=True)
+
+    def batch_subphase_plan(self, state):
+        colors = np.full(
+            (state.byz_nodes.shape[0], state.batch), _INT32_MAX + 1, dtype=np.int64
+        )
+        return BatchSubphasePlan(initial_colors=colors)
+
+
+def test_out_of_range_plan_widens_to_int64():
+    """Control: the spy does observe widening when a plan leaves int32."""
+    net = build_small_world(64, 8, seed=3)
+    byz = random_placement(64, 2, rng=0)
+    with _spy_kernel_dtypes() as seen:
+        run_counting_batch(
+            net, seeds=[5], adversary_factory=_OverflowAdversary, byz_mask=byz
+        )
+    assert 8 in seen

@@ -1,6 +1,5 @@
 """Unit tests for the synchronous message-passing engine."""
 
-import numpy as np
 import pytest
 
 from repro.sim.engine import SynchronousEngine

@@ -1,0 +1,8 @@
+"""Make the in-repo ``tools/`` packages importable for the lint tests."""
+
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

@@ -1,0 +1,145 @@
+"""CLI and baseline tests: formats, exit codes, grandfathering."""
+
+import io
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from reprolint.baseline import load_baseline, split_findings, write_baseline
+from reprolint.cli import main
+from reprolint.engine import Finding, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+VIOLATING = textwrap.dedent(
+    """
+    def _run(n, b_live):
+        cur = np.empty((n, b_live), dtype=np.int64)
+        rng = np.random.default_rng(0)
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def _run(n, b_live, state_dtype):
+        cur = np.empty((n, b_live), dtype=state_dtype)
+    """
+)
+
+
+def write_fixture(tmp_path, source, name="batch.py"):
+    target = tmp_path / "repro" / "core" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+def run_cli(*argv):
+    stream = io.StringIO()
+    status = main(list(argv), stream=stream)
+    return status, stream.getvalue()
+
+
+class TestCli:
+    def test_exit_one_and_text_format(self, tmp_path):
+        target = write_fixture(tmp_path, VIOLATING)
+        status, out = run_cli(str(target))
+        assert status == 1
+        assert f"{target}:3:" in out.replace("\\", "/")
+        assert "R002" in out and "R005" in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        target = write_fixture(tmp_path, CLEAN)
+        status, out = run_cli(str(target))
+        assert status == 0
+        assert "0 finding(s)" in out
+
+    def test_github_format(self, tmp_path):
+        target = write_fixture(tmp_path, VIOLATING)
+        status, out = run_cli(str(target), "--format", "github")
+        assert status == 1
+        assert "::error file=" in out
+        assert "title=reprolint R002" in out
+
+    def test_json_format(self, tmp_path):
+        target = write_fixture(tmp_path, VIOLATING)
+        status, out = run_cli(str(target), "--format", "json")
+        assert status == 1
+        payload = json.loads(out[: out.rindex("]") + 1])
+        codes = {entry["code"] for entry in payload}
+        assert codes == {"R002", "R005"}
+        assert all({"path", "line", "col", "message"} <= set(e) for e in payload)
+
+    def test_select_subset(self, tmp_path):
+        target = write_fixture(tmp_path, VIOLATING)
+        status, out = run_cli(str(target), "--select", "R005")
+        assert status == 1
+        assert "R005" in out and "R002" not in out
+
+    def test_directory_walk(self, tmp_path):
+        write_fixture(tmp_path, VIOLATING, name="batch.py")
+        write_fixture(tmp_path, CLEAN, name="clean_batch.py")
+        findings = lint_paths([tmp_path])
+        assert {f.code for f in findings} == {"R002", "R005"}
+
+    def test_list_rules(self):
+        status, out = run_cli("--list-rules")
+        assert status == 0
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert code in out
+
+
+class TestBaseline:
+    def test_update_then_pass(self, tmp_path):
+        target = write_fixture(tmp_path, VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        status, _ = run_cli(str(target), "--baseline", str(baseline), "--update-baseline")
+        assert status == 0
+        # Grandfathered findings no longer fail the gate...
+        status, out = run_cli(str(target), "--baseline", str(baseline))
+        assert status == 0
+        assert "2 baselined" in out
+        # ...but a fresh violation still does.
+        target.write_text(VIOLATING + "    bad = np.random.rand(4)\n", encoding="utf-8")
+        status, out = run_cli(str(target), "--baseline", str(baseline))
+        assert status == 1
+        assert "np.random.rand" in out
+
+    def test_line_drift_invalidates_entry(self, tmp_path):
+        target = write_fixture(tmp_path, VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        run_cli(str(target), "--baseline", str(baseline), "--update-baseline")
+        target.write_text("\n" + VIOLATING, encoding="utf-8")
+        status, _ = run_cli(str(target), "--baseline", str(baseline))
+        assert status == 1
+
+    def test_split_findings_roundtrip(self, tmp_path):
+        findings = [
+            Finding("a.py", 3, 1, "R002", "x"),
+            Finding("a.py", 9, 1, "R005", "y"),
+        ]
+        baseline = tmp_path / "b.json"
+        write_baseline(baseline, findings[:1])
+        fresh, old = split_findings(findings, load_baseline(baseline))
+        assert [f.code for f in fresh] == ["R005"]
+        assert [f.code for f in old] == ["R002"]
+
+    def test_shipped_baseline_is_loadable(self):
+        shipped = REPO_ROOT / "tools" / "reprolint" / "baseline.json"
+        assert load_baseline(shipped) == set()
+
+
+def test_module_invocation_on_src_is_clean():
+    """The CI gate itself: ``python -m reprolint src/`` exits 0."""
+    result = subprocess.run(
+        [sys.executable, "-m", "reprolint", "src/", "--format", "github"],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "tools")},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "::error" not in result.stdout

@@ -1,0 +1,63 @@
+"""Grandfathered-finding baseline.
+
+A baseline is a JSON file listing findings that predate a rule and are
+accepted until someone pays down the debt.  A finding matches a baseline
+entry on exact ``(path, code, line)`` — line drift invalidates the entry
+on purpose, so edits near a grandfathered violation force a fresh look.
+Regenerate with ``python -m reprolint ... --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .engine import Finding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "split_findings", "write_baseline"]
+
+#: Where the CLI looks when ``--baseline`` is not given (cwd-relative,
+#: i.e. the repo root in CI and normal invocations).
+DEFAULT_BASELINE = Path("tools/reprolint/baseline.json")
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, int]]:
+    """Load the ``(path, code, line)`` keys grandfathered by ``path``."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline version {data.get('version')!r}")
+    return {
+        (entry["path"], entry["code"], int(entry["line"]))
+        for entry in data.get("findings", [])
+    }
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write every finding in ``findings`` as the new grandfather set."""
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {
+                "path": f.path,
+                "code": f.code,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in sorted(findings)
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_findings(
+    findings: list[Finding], baseline: set[tuple[str, str, int]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (fresh, grandfathered) against ``baseline``."""
+    fresh: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        key = (finding.path, finding.code, finding.line)
+        (old if key in baseline else fresh).append(finding)
+    return fresh, old

@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m reprolint src/ --format github``.
+
+Exit status is 0 when every finding is suppressed or grandfathered and
+1 otherwise, so the command doubles as the CI gate.  ``--format github``
+emits workflow annotation commands; ``--format json`` is for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import DEFAULT_BASELINE, load_baseline, split_findings, write_baseline
+from .engine import Finding, lint_paths
+from .rules import ALL_RULES, RULES_BY_CODE
+
+
+def _render(findings: list[Finding], fmt: str, stream) -> None:
+    if fmt == "json":
+        payload = [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+                "autofixable": f.autofixable,
+            }
+            for f in findings
+        ]
+        print(json.dumps(payload, indent=2), file=stream)
+        return
+    for f in findings:
+        if fmt == "github":
+            print(
+                f"::error file={f.path},line={f.line},col={f.col},"
+                f"title=reprolint {f.code}::{f.message}",
+                file=stream,
+            )
+        else:
+            print(f.render(), file=stream)
+
+
+def _list_rules(stream) -> None:
+    for rule in ALL_RULES:
+        fixable = "autofixable" if rule.autofixable else "manual fix"
+        print(f"{rule.code}  {rule.name:28s} [{fixable}]  {rule.summary}", file=stream)
+
+
+def main(argv: list[str] | None = None, stream=None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Engine-invariant static analysis for the repro library.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "github", "json"),
+        default="text",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline JSON (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(stream)
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m reprolint src/)")
+
+    rules = ALL_RULES
+    if args.select:
+        codes = [code.strip() for code in args.select.split(",") if code.strip()]
+        unknown = [code for code in codes if code not in RULES_BY_CODE]
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(unknown)}")
+        rules = tuple(RULES_BY_CODE[code] for code in codes)
+
+    findings = lint_paths(args.paths, rules)
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"reprolint: wrote {len(findings)} finding(s) to {baseline_path}",
+            file=stream,
+        )
+        return 0
+
+    grandfathered: list[Finding] = []
+    if baseline_path.is_file():
+        findings, grandfathered = split_findings(
+            findings, load_baseline(baseline_path)
+        )
+
+    _render(findings, args.format, stream)
+    tail = f", {len(grandfathered)} baselined" if grandfathered else ""
+    print(
+        f"reprolint: {len(findings)} finding(s) in "
+        f"{len(rules)} rule(s){tail}",
+        file=stream,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Analyzer core: module contexts, disable comments, and the lint drivers.
+
+A :class:`ModuleContext` wraps one parsed module with everything rules
+need — the AST annotated with parent links, the source lines, and the
+parsed ``# reprolint: disable=...`` comments.  The ``lint_*`` functions
+run a rule set over sources or files and return :class:`Finding` lists
+with suppressed findings already removed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "ancestors",
+    "idents_in",
+    "lint_path",
+    "lint_paths",
+    "lint_source",
+]
+
+_PARENT = "_reprolint_parent"
+
+#: ``# reprolint: disable=R001,R002`` or ``# reprolint: disable=all``
+_DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    autofixable: bool = False
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class ModuleContext:
+    """One module's source, parsed tree, and suppression table."""
+
+    def __init__(self, source: str, path: str):
+        self.source = source
+        self.path = str(path).replace("\\", "/")
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.path)
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                setattr(child, _PARENT, node)
+        self.disabled = self._parse_disables()
+
+    # ------------------------------------------------------------------
+    def _parse_disables(self) -> dict[int, set[str] | None]:
+        """Line -> suppressed codes (``None`` means every code)."""
+        table: dict[int, set[str] | None] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _DISABLE_RE.search(text)
+            if match is None:
+                continue
+            spec = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            codes: set[str] | None = None if "all" in spec else spec
+            table[lineno] = codes
+            # A comment-only disable line covers the statement below it.
+            if text.strip().startswith("#"):
+                table.setdefault(lineno + 1, codes)
+        return table
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.disabled.get(finding.line, ...)
+        if codes is ...:
+            return False
+        return codes is None or finding.code in codes
+
+    def matches(self, *suffixes: str) -> bool:
+        """Whether this module's path ends with any of ``suffixes``."""
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by the rules.
+# ----------------------------------------------------------------------
+def idents_in(node: ast.AST) -> set[str]:
+    """Every ``Name`` id and ``Attribute`` attr in the subtree."""
+    found: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            found.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            found.add(sub.attr)
+    return found
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """The parent chain of ``node``, innermost first."""
+    current = getattr(node, _PARENT, None)
+    while current is not None:
+        yield current
+        current = getattr(current, _PARENT, None)
+
+
+# ----------------------------------------------------------------------
+# Drivers.
+# ----------------------------------------------------------------------
+def _default_rules() -> Sequence:
+    from .rules import ALL_RULES
+
+    return ALL_RULES
+
+
+def lint_source(
+    source: str, path: str = "<string>", rules: Sequence | None = None
+) -> list[Finding]:
+    """Lint one source string; ``path`` scopes the path-sensitive rules."""
+    ctx = ModuleContext(source, path)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else _default_rules():
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_path(path: str | Path, rules: Sequence | None = None) -> list[Finding]:
+    """Lint one file."""
+    target = Path(path)
+    return lint_source(target.read_text(encoding="utf-8"), str(target), rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for entry in paths:
+        target = Path(entry)
+        if target.is_dir():
+            yield from sorted(target.rglob("*.py"))
+        elif target.suffix == ".py":
+            yield target
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (dirs walked recursively)."""
+    active = list(rules) if rules is not None else list(_default_rules())
+    findings: list[Finding] = []
+    for target in iter_python_files(paths):
+        findings.extend(lint_path(target, active))
+    return findings
