@@ -3,6 +3,16 @@
 These are the pieces whose throughput determines how large an ``n`` the
 experiment suite can reach: graph sampling, the vectorized flooding round,
 and full protocol runs (Algorithm 1 and Algorithm 2).
+
+The backend x layout grid at the bottom times one batched flooding round
+(``neighbor_max_stacked``, the engine hot path) for every registered
+kernel backend that is available on this machine (numpy always; numba
+when importable) against both CSR layouts the backends must cover:
+
+* **regular** — a uniform-degree H-graph, the per-slot row-gather path;
+* **ragged** — a block-diagonal union of two different-degree networks,
+  the general ``reduceat`` / CSR-walk path the union stack uses when
+  degrees differ.
 """
 
 import numpy as np
@@ -16,10 +26,15 @@ from repro.core import (
     run_byzantine_counting,
 )
 from repro.graphs import build_small_world, generate_hgraph
-from repro.sim.flood import FloodKernel
+from repro.sim.backends import available_backends
+from repro.sim.flood import FloodKernel, UnionFloodKernel
 
 N = 1024
 D = 8
+
+#: backend x layout grid scales (ISSUE: reference microbenchmark sizes).
+GRID_NS = (1024, 4096)
+GRID_B = 32
 
 
 @pytest.fixture(scope="module")
@@ -77,3 +92,35 @@ def test_bench_algorithm2_inflation(benchmark, net):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.injections_rejected > 0
+
+
+# ----------------------------------------------------------------------
+# Backend x layout grid: one stacked flooding round per combination.
+# ----------------------------------------------------------------------
+
+
+def _grid_kernel(layout: str, n: int, backend: str) -> FloodKernel:
+    if layout == "regular":
+        reg = build_small_world(n, D, seed=3)
+        return FloodKernel(reg.h.indptr, reg.h.indices, backend=backend)
+    # Ragged: two half-size blocks at different degrees, so no uniform
+    # degree exists and the general reduceat / CSR-walk path runs.
+    nets = [
+        build_small_world(n // 2, D, seed=3),
+        build_small_world(n // 2, 6, seed=4),
+    ]
+    return UnionFloodKernel.from_networks(nets, backend=backend)
+
+
+@pytest.mark.parametrize("n", GRID_NS)
+@pytest.mark.parametrize("layout", ["regular", "ragged"])
+@pytest.mark.parametrize("backend", available_backends())
+def test_bench_stacked_round_grid(benchmark, backend, layout, n):
+    kernel = _grid_kernel(layout, n, backend)
+    rng = np.random.default_rng(0)
+    values = rng.integers(1, 30, size=(kernel.n, GRID_B), dtype=np.int32)
+    out = np.empty_like(values)
+    kernel.neighbor_max_stacked(values, out=out)  # warm (JIT-compiles numba)
+
+    result = benchmark(kernel.neighbor_max_stacked, values, out=out)
+    assert result.shape == (kernel.n, GRID_B)

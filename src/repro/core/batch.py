@@ -160,6 +160,7 @@ def run_counting_batch(
     config: CountingConfig | Sequence[CountingConfig] | None = None,
     adversary_factory: Callable[[], Adversary] | Adversary | None = None,
     byz_mask: AnyArray | Sequence[AnyArray | None] | None = None,
+    backend: str | None = None,
 ) -> BatchCountingResult:
     """Run ``len(seeds)`` independent counting trials, batched.
 
@@ -190,6 +191,12 @@ def run_counting_batch(
         single ``(n,)`` mask shared by every trial, or a per-trial
         ``(B, n)`` stack / length-``B`` list of masks (trials sharing a
         placement are sub-grouped; see the module docstring).
+    backend:
+        Flood-kernel compute backend (``"numpy"``, ``"numba"``,
+        ``"auto"``) or ``None`` for the default resolution (the
+        ``REPRO_KERNEL_BACKEND`` env override, then auto).  Backends are
+        bit-for-bit interchangeable — this is a speed knob, never a
+        semantics knob (see :mod:`repro.sim.backends`).
 
     Returns
     -------
@@ -213,6 +220,7 @@ def run_counting_batch(
                 cfg,
                 adversary_factory,
                 byz_bn[trial_ids],
+                backend=backend,
             )
             for i, res in zip(trial_ids, group):
                 results[i] = res
@@ -222,7 +230,9 @@ def run_counting_batch(
 
     results = [None] * batch
     for cfg, trial_ids in _group_by_config(configs).items():
-        group = _run_batched_group(network, [seeds[i] for i in trial_ids], cfg)
+        group = _run_batched_group(
+            network, [seeds[i] for i in trial_ids], cfg, backend=backend
+        )
         for i, res in zip(trial_ids, group):
             results[i] = res
     return BatchCountingResult(results)  # type: ignore[arg-type]
@@ -315,7 +325,10 @@ def _group_by_config(
 
 
 def _run_batched_group(
-    network: SmallWorldNetwork, seeds: list[SeedLike], config: CountingConfig
+    network: SmallWorldNetwork,
+    seeds: list[SeedLike],
+    config: CountingConfig,
+    backend: str | None = None,
 ) -> list[CountingResult]:
     """The batched engine proper: one config, ``B`` seeds, no adversary.
 
@@ -336,7 +349,7 @@ def _run_batched_group(
         color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
         color_rngs.append(color_rng)
 
-    kernel = FloodKernel(network.h.indptr, network.h.indices)
+    kernel = FloodKernel(network.h.indptr, network.h.indices, backend=backend)
     decided = np.full((batch, n), UNDECIDED, dtype=np.int64)
     meters = MeterBatch(batch)
     traces = [PhaseTrace() for _ in range(batch)]
@@ -648,6 +661,7 @@ def _run_byzantine_batched_group(
     config: CountingConfig,
     adversary_factory: AdversarySpec,
     byz_bn: BoolArray,
+    backend: str | None = None,
 ) -> list[CountingResult]:
     """Batched Algorithm 2: one config, ``B`` seeds, per-trial placements.
 
@@ -718,7 +732,7 @@ def _run_byzantine_batched_group(
             total_ports = int(network.g_indptr[-1])
             meters.add_messages(all_trials, total_ports, ids_each=d)
 
-    kernel = FloodKernel(network.h.indptr, network.h.indices)
+    kernel = FloodKernel(network.h.indptr, network.h.indices, backend=backend)
     decided = np.full((batch, n), UNDECIDED, dtype=np.int64)
     witness_ball = min(ball_size_bound(d, k, 1), n)
     witness_cap = min(witness_ball, 64)
@@ -1006,6 +1020,7 @@ def run_counting_multinet(
     config: CountingConfig | Sequence[CountingConfig] | None = None,
     adversary_factory: Callable[[], Adversary] | Adversary | None = None,
     byz_mask: Sequence[AnyArray | None] | None = None,
+    backend: str | None = None,
 ) -> BatchCountingResult:
     """Run independent counting trials on *per-trial networks*, batched.
 
@@ -1030,7 +1045,14 @@ def run_counting_multinet(
         entry per trial: an ``(n_i,)`` mask over *that trial's* network,
         or ``None`` for an empty placement.  A shared ``(n,)`` mask is
         meaningless across sizes and therefore not accepted here.
+    backend:
+        As in :func:`run_counting_batch`.  ``None`` additionally adopts a
+        ``kernel_backend`` attribute shipped on the ``networks`` container
+        (:class:`repro.graphs.shared.NetworkTuple`), so sharded workers
+        inherit the sweep-level choice.
     """
+    if backend is None:
+        backend = getattr(networks, "kernel_backend", None)
     networks = list(networks)
     seeds = list(seeds)
     batch = len(seeds)
@@ -1075,6 +1097,7 @@ def run_counting_multinet(
             config=config,
             adversary_factory=adversary_factory,
             byz_mask=masks,
+            backend=backend,
         )
 
     configs = _normalize_configs(config, batch)
@@ -1100,6 +1123,7 @@ def run_counting_multinet(
                 cfg,
                 adversary_factory,
                 [group_masks[j] for j in order],
+                backend=backend,
             )
         else:
             order = sorted(
@@ -1107,7 +1131,7 @@ def run_counting_multinet(
             )
             ids = [trial_ids[j] for j in order]
             group = _run_multinet_group(
-                nets, net_of[ids], [seeds[i] for i in ids], cfg
+                nets, net_of[ids], [seeds[i] for i in ids], cfg, backend=backend
             )
         for i, res in zip(ids, group):
             results[i] = res
@@ -1161,6 +1185,7 @@ def _run_multinet_group(
     net_of: Int64Array,
     seeds: list[SeedLike],
     config: CountingConfig,
+    backend: str | None = None,
 ) -> list[CountingResult]:
     """Padded multi-network Algorithm 1: one config, ``B`` (network, seed)
     trials as columns.
@@ -1185,7 +1210,7 @@ def _run_multinet_group(
         color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
         color_rngs.append(color_rng)
 
-    mkernel = MultiFloodKernel(nets)
+    mkernel = MultiFloodKernel(nets, backend=backend)
     decided = np.full((batch, n_pad), UNDECIDED, dtype=np.int64)
     meters = MeterBatch(batch)
     traces = [PhaseTrace() for _ in range(batch)]
@@ -1376,6 +1401,7 @@ def _run_multinet_byzantine_group(
     config: CountingConfig,
     adversary_factory: AdversarySpec,
     masks: list[BoolArray],
+    backend: str | None = None,
 ) -> list[CountingResult]:
     """Padded multi-network Algorithm 2: one config, per-trial networks and
     placements.
@@ -1455,7 +1481,7 @@ def _run_multinet_byzantine_group(
             )
             meters.add_messages(all_trials, ports, ids_each=d)
 
-    mkernel = MultiFloodKernel(nets)
+    mkernel = MultiFloodKernel(nets, backend=backend)
     decided = np.full((batch, n_pad), UNDECIDED, dtype=np.int64)
     honest_uncrashed = act_bn & ~byz_bn & ~crashed_bn
     alive = np.ones(batch, dtype=bool)
@@ -1749,6 +1775,7 @@ def run_counting_unionstack(
     config: CountingConfig | Sequence[CountingConfig] | None = None,
     adversary_factory: Callable[[], Adversary] | Adversary | None = None,
     byz_mask: Any = None,
+    backend: str | None = None,
 ) -> BatchCountingResult:
     """Run a rectangular (network x seed) grid as one union-stack batch.
 
@@ -1781,6 +1808,9 @@ def run_counting_unionstack(
         ``None`` (empty placements), a single ``(n_g,)`` mask shared by
         every column, a ``(C, n_g)`` stack, or a length-``C`` sequence of
         per-column masks / Nones.
+    backend:
+        As in :func:`run_counting_multinet` (``None`` adopts the
+        container's ``kernel_backend`` attribute when present).
 
     Returns
     -------
@@ -1818,7 +1848,7 @@ def run_counting_unionstack(
             raise ValueError("byz_mask given without an adversary_factory")
         masks = None
 
-    ukernel = _resolve_union_kernel(networks, nets)
+    ukernel = _resolve_union_kernel(networks, nets, backend=backend)
 
     configs = _normalize_configs(config, cols)
     results: list[CountingResult | None] = [None] * (n_g * cols)
@@ -1919,7 +1949,7 @@ def _normalize_union_masks(
 
 
 def _resolve_union_kernel(
-    networks_input: Any, nets: list[SmallWorldNetwork]
+    networks_input: Any, nets: list[SmallWorldNetwork], backend: str | None = None
 ) -> UnionFloodKernel:
     """Build (or adopt) the block-diagonal union kernel for this batch.
 
@@ -1927,13 +1957,18 @@ def _resolve_union_kernel(
     ``union_csr`` attribute of :class:`repro.graphs.shared.NetworkTuple`,
     shipped through shared memory by ``SharedNetworkPack``) is adopted
     when its block sizes match, so sharded workers skip re-stacking.
+    A ``kernel_backend`` attribute on the same container supplies the
+    backend when no explicit one is given, so the sweep-level choice
+    survives worker-side reconstruction.
     """
+    if backend is None:
+        backend = getattr(networks_input, "kernel_backend", None)
     shipped = getattr(networks_input, "union_csr", None)
     if shipped is not None:
         sizes, indptr, indices = shipped
         if tuple(int(s) for s in sizes) == tuple(int(net.n) for net in nets):
-            return UnionFloodKernel(sizes, indptr, indices)
-    return UnionFloodKernel.from_networks(nets)
+            return UnionFloodKernel(sizes, indptr, indices, backend=backend)
+    return UnionFloodKernel.from_networks(nets, backend=backend)
 
 
 def _run_union_group(

@@ -304,14 +304,19 @@ def _split_seed_axes(
 def _run_shard(network: SmallWorldNetwork, task: tuple[Any, ...]) -> list[CountingResult]:
     """Module-level worker: one fused (strategy, cells-chunk) batch.
 
-    ``task`` is ``(spec, seeds, configs, masks)`` with ``masks`` a
-    ``(B, n)`` stack or None; runs on the (possibly shared-memory
-    attached) network inside a worker process.
+    ``task`` is ``(spec, seeds, configs, masks, backend)`` with ``masks``
+    a ``(B, n)`` stack or None; runs on the (possibly shared-memory
+    attached) network inside a worker process.  The kernel backend rides
+    in the task tuple because a bare ``SmallWorldNetwork`` has no
+    container to carry it (multi-network shards ship it on the
+    :class:`~repro.graphs.shared.NetworkTuple` instead).
     """
-    spec, seeds, configs, masks = task
+    spec, seeds, configs, masks, backend = task
     factory = _strategy_factory(spec)
     if factory is None:
-        return list(run_counting_batch(network, seeds, config=configs))
+        return list(
+            run_counting_batch(network, seeds, config=configs, backend=backend)
+        )
     return list(
         run_counting_batch(
             network,
@@ -319,6 +324,7 @@ def _run_shard(network: SmallWorldNetwork, task: tuple[Any, ...]) -> list[Counti
             config=configs,
             adversary_factory=factory,
             byz_mask=masks,
+            backend=backend,
         )
     )
 
@@ -334,9 +340,14 @@ def _run_multi_shard(
     """
     spec, seeds, configs, net_ids, masks = task
     factory = _strategy_factory(spec)
+    # Indexing into the shared tuple yields a plain list, which would drop
+    # the container-level backend attribute — forward it explicitly.
+    backend = getattr(networks, "kernel_backend", None)
     trial_nets = [networks[i] for i in net_ids]
     if factory is None:
-        return list(run_counting_multinet(trial_nets, seeds, config=configs))
+        return list(
+            run_counting_multinet(trial_nets, seeds, config=configs, backend=backend)
+        )
     return list(
         run_counting_multinet(
             trial_nets,
@@ -344,6 +355,7 @@ def _run_multi_shard(
             config=configs,
             adversary_factory=factory,
             byz_mask=masks,
+            backend=backend,
         )
     )
 
@@ -617,6 +629,7 @@ def run_sweep(
     jobs: int | None = None,
     shard_cells: int | None = None,
     layout: str = "auto",
+    backend: str | None = None,
 ) -> SweepResult:
     """Run the full (strategy x placement x config x seed) grid, fused.
 
@@ -662,6 +675,14 @@ def run_sweep(
         see :func:`run_multi_sweep`); only meaningful when ``network`` is
         a list — a single-network sweep has no layout choice and rejects
         explicit non-auto values.
+    backend:
+        Flood-kernel compute backend (``"numpy"``, ``"numba"``,
+        ``"auto"``) or ``None`` for the default resolution — the
+        ``REPRO_KERNEL_BACKEND`` env override, then auto.  Applied to
+        every cell and shipped to sharded workers (on the task for
+        single-network sweeps, on the shared network container for
+        multi-network ones); bit-for-bit neutral (see
+        :mod:`repro.sim.backends`).
 
     Returns
     -------
@@ -679,6 +700,7 @@ def run_sweep(
             jobs=jobs,
             shard_cells=shard_cells,
             layout=layout,
+            backend=backend,
         )
     if layout != "auto":
         raise ValueError(
@@ -731,7 +753,9 @@ def run_sweep(
             masks: BoolArray | None = None
             if spec is not None:
                 masks = np.array(trial_masks[lo:hi], dtype=bool).reshape(hi - lo, n)
-            tasks.append((spec, trial_seeds[lo:hi], trial_configs[lo:hi], masks))
+            tasks.append(
+                (spec, trial_seeds[lo:hi], trial_configs[lo:hi], masks, backend)
+            )
 
     from ..experiments.common import parallel_map
 
@@ -757,6 +781,7 @@ def run_multi_sweep(
     jobs: int | None = None,
     shard_cells: int | None = None,
     layout: str = "auto",
+    backend: str | None = None,
 ) -> MultiSweepResult:
     """Run a (network x strategy x placement x config x seed) grid, fused
     across the network axis.
@@ -799,6 +824,10 @@ def run_multi_sweep(
         incompatible inputs under ``layout="union"`` raise eagerly
         (ragged seed axes: :class:`ValueError`; Generator seeds:
         :class:`TypeError`).
+    backend:
+        As in :func:`run_sweep`; rides on the shared network container
+        (``NetworkTuple.kernel_backend``), so it survives shared-memory
+        reconstruction inside sharded workers.
 
     Returns
     -------
@@ -936,7 +965,12 @@ def run_multi_sweep(
                 )
 
         shard_results = parallel_map(
-            _run_union_shard, tasks, jobs=jobs, network=networks, union_csr=True
+            _run_union_shard,
+            tasks,
+            jobs=jobs,
+            network=networks,
+            union_csr=True,
+            kernel_backend=backend,
         )
         results: list[CountingResult | None] = [None] * (n_g * block)
         for offs, shard in zip(task_cols, shard_results):
@@ -1020,7 +1054,11 @@ def run_multi_sweep(
             )
 
     shard_results = parallel_map(
-        _run_multi_shard, padded_tasks, jobs=jobs, network=networks
+        _run_multi_shard,
+        padded_tasks,
+        jobs=jobs,
+        network=networks,
+        kernel_backend=backend,
     )
     results = [None] * total_cells
     for flats, shard in zip(task_flats, shard_results):

@@ -146,6 +146,7 @@ def parallel_map(
     *,
     network: SmallWorldNetwork | Sequence[SmallWorldNetwork] | None = None,
     union_csr: bool = False,
+    kernel_backend: str | None = None,
 ) -> list:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -168,6 +169,12 @@ def parallel_map(
     segment — so union-stack engine calls in workers skip re-stacking.
     The segment lives for the duration of the map and is unlinked before
     returning.
+
+    ``kernel_backend`` (multi-network only) names the flood-kernel compute
+    backend and travels on the payload container
+    (``NetworkTuple.kernel_backend``) — through the shared segment's
+    handle for process sharding — so engine calls inside workers adopt the
+    sweep-level backend choice (see :mod:`repro.sim.backends`).
     """
     items = list(items)
     serial = jobs is None or jobs <= 1 or len(items) <= 1
@@ -177,7 +184,9 @@ def parallel_map(
             if multi:
                 from ..graphs.shared import NetworkTuple
 
-                payload = NetworkTuple.build(network, union=union_csr)
+                payload = NetworkTuple.build(
+                    network, union=union_csr, backend=kernel_backend
+                )
             else:
                 payload = network
             return [fn(payload, item) for item in items]
@@ -186,7 +195,9 @@ def parallel_map(
         from ..graphs.shared import SharedNetwork, SharedNetworkPack
 
         shared = (
-            SharedNetworkPack.create(list(network), union=union_csr)
+            SharedNetworkPack.create(
+                list(network), union=union_csr, backend=kernel_backend
+            )
             if multi
             else SharedNetwork.create(network)
         )

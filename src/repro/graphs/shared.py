@@ -70,13 +70,23 @@ class NetworkTuple(tuple[SmallWorldNetwork, ...]):
     layout was requested.  :func:`repro.core.batch.run_counting_unionstack`
     adopts an attached CSR instead of re-stacking, which is how sharded
     union-stack sweeps amortize the concatenation across workers.
+
+    ``kernel_backend`` optionally names the flood-kernel compute backend
+    the engines should use for these networks (see
+    :mod:`repro.sim.backends`); the multi-network entry points adopt it
+    when no explicit ``backend=`` is given, which is how a sweep-level
+    backend choice survives the trip into sharded workers.
     """
 
     union_csr: UnionCSR | None = None
+    kernel_backend: str | None = None
 
     @classmethod
     def build(
-        cls, networks: Iterable[SmallWorldNetwork], union: bool = False
+        cls,
+        networks: Iterable[SmallWorldNetwork],
+        union: bool = False,
+        backend: str | None = None,
     ) -> "NetworkTuple":
         """Wrap ``networks``; with ``union=True`` stack the union CSR once."""
         out = cls(networks)
@@ -84,6 +94,8 @@ class NetworkTuple(tuple[SmallWorldNetwork, ...]):
             from ..sim.flood import stack_union_csr
 
             out.union_csr = stack_union_csr(out)
+        if backend is not None:
+            out.kernel_backend = backend
         return out
 
 #: The array attributes that define a network, in serialization order.
@@ -316,6 +328,7 @@ class SharedNetworkPack:
         shm_name: str,
         per_net: tuple[tuple[tuple[_ArraySpec, ...], int, int, int], ...],
         union_specs: tuple[_ArraySpec, ...] | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         self._shm_name = shm_name
         # per_net: one (specs, n, d, k) tuple per network, in input order.
@@ -323,12 +336,18 @@ class SharedNetworkPack:
         # union_specs: (indptr_spec, indices_spec) of the pre-concatenated
         # block-diagonal union CSR, or None when not shipped.
         self._union_specs = union_specs
+        # kernel_backend: sweep-level flood-kernel backend choice, restored
+        # onto the reconstructed NetworkTuple in every worker.
+        self._kernel_backend = kernel_backend
         self._owned_shm: Any = None  # set only in the creating process
 
     # ------------------------------------------------------------------
     @classmethod
     def create(
-        cls, nets: Sequence[SmallWorldNetwork], union: bool = False
+        cls,
+        nets: Sequence[SmallWorldNetwork],
+        union: bool = False,
+        backend: str | None = None,
     ) -> "SharedNetworkPack":
         """Copy every network's arrays into one fresh shared segment.
 
@@ -377,7 +396,7 @@ class SharedNetworkPack:
                 spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
             )
             dst[...] = arr
-        handle = cls(shm.name, tuple(per_net), union_specs)
+        handle = cls(shm.name, tuple(per_net), union_specs, kernel_backend=backend)
         handle._owned_shm = shm
         return handle
 
@@ -419,6 +438,8 @@ class SharedNetworkPack:
                 views.append(arr)
             sizes = tuple(n for _, n, _, _ in self._per_net)
             nets.union_csr = (sizes, views[0], views[1])
+        if self._kernel_backend is not None:
+            nets.kernel_backend = self._kernel_backend
         _ATTACHED[self._shm_name] = (shm, nets)
         return nets
 
@@ -446,12 +467,14 @@ class SharedNetworkPack:
             "shm_name": self._shm_name,
             "per_net": self._per_net,
             "union_specs": self._union_specs,
+            "kernel_backend": self._kernel_backend,
         }
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self._shm_name = state["shm_name"]
         self._per_net = state["per_net"]
         self._union_specs = state.get("union_specs")
+        self._kernel_backend = state.get("kernel_backend")
         self._owned_shm = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,5 +1,14 @@
 """Simulation substrate: engines, messages, metering, RNG streams."""
 
+from .backends import (
+    BackendUnavailableError,
+    KernelBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from .engine import SynchronousEngine
 from .flood import FloodKernel
 from .messages import (
@@ -18,6 +27,13 @@ from .rng import derive_seed, make_rng, spawn, stream
 __all__ = [
     "SynchronousEngine",
     "FloodKernel",
+    "KernelBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "Message",
     "ColorMessage",
     "AdjacencyClaimMessage",

@@ -1,0 +1,84 @@
+"""Kernel-backend protocol for the flood kernels.
+
+A backend supplies the *compute* behind
+:class:`repro.sim.flood.FloodKernel`'s per-round reductions.  The kernel
+object keeps the layout state — CSR arrays, uniform-degree metadata,
+cached tiled gather plans — and validates shapes; each public method then
+dispatches to its backend, which receives the kernel instance plus the
+value arrays.  Two implementations ship:
+
+* ``numpy`` (:mod:`.numpy_backend`) — the default: fancy-index gathers
+  plus segmented ``reduceat`` reductions (general CSR) and per-neighbor-
+  slot row gathers (uniform degree).  Always available.
+* ``numba`` (:mod:`.numba_backend`) — optional: a single fused gather+max
+  loop compiled with ``@njit(parallel=True, cache=True)``, threading over
+  rows *inside* one kernel call, with no ``(n, B)``-plane temporaries.
+  Guarded import; unsupported dtypes fall back to numpy per call.
+
+Backends are **bit-for-bit interchangeable**: integer max-flooding is
+exact and order-independent, so every backend must return identical
+arrays for identical inputs.  The contract is enforced by the 5-engine
+equivalence grid (``tests/integration/test_engine_equivalence.py``) and
+the int32-state hypothesis property, which CI runs under every available
+backend.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..._types import AnyArray
+    from ..flood import FloodKernel
+
+__all__ = ["BackendUnavailableError", "KernelBackend"]
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend cannot run in this environment.
+
+    Raised by :func:`repro.sim.backends.get_backend` when a backend is
+    requested *by exact name* through the low-level API and its
+    availability probe fails (e.g. ``numba`` without numba installed).
+    The high-level :func:`repro.sim.backends.resolve_backend` never
+    raises this — it falls back to numpy with a one-time warning.
+    """
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Compute provider behind :class:`repro.sim.flood.FloodKernel`.
+
+    Implementations are stateless apart from memoization/warning caches,
+    so one instance per backend name is shared by every kernel (see
+    :func:`repro.sim.backends.get_backend`).  ``kernel`` gives access to
+    the CSR layout (``indptr``/``indices``), the row count ``n``, the
+    uniform-degree fast-path metadata, and the cached gather plans.
+    """
+
+    #: Registry name of the backend ("numpy", "numba", ...).
+    name: str
+
+    def neighbor_max(
+        self, kernel: FloodKernel, sent: AnyArray, out: AnyArray | None = None
+    ) -> AnyArray:
+        """``out[v] = max(sent[u] for u in N(v))`` over a 1-D value array."""
+        ...
+
+    def neighbor_max_batch(
+        self, kernel: FloodKernel, sent: AnyArray, out: AnyArray | None = None
+    ) -> AnyArray:
+        """Row-wise neighbor-max over a ``(B, n)`` value matrix."""
+        ...
+
+    def neighbor_max_stacked(
+        self, kernel: FloodKernel, values: AnyArray, out: AnyArray | None = None
+    ) -> AnyArray:
+        """Neighbor-max over an ``(n, B)`` trials-as-columns matrix.
+
+        Must handle both the uniform-degree layout and the general CSR
+        layout; ``out`` (when given) never aliases ``values`` at engine
+        call sites, but implementations must stay correct under aliasing
+        (compute into a fresh buffer, then copy).
+        """
+        ...

@@ -1,0 +1,74 @@
+"""Default numpy kernel backend: gather + segmented/slot-wise reductions.
+
+This is the original :class:`repro.sim.flood.FloodKernel` compute,
+extracted verbatim behind the :class:`~.base.KernelBackend` protocol.
+Shape validation stays in the kernel wrappers; these methods receive
+already-validated arrays plus the kernel instance for its CSR layout and
+cached gather plans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..._types import AnyArray
+    from ..flood import FloodKernel
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend:
+    """Fancy-index gathers + ``reduceat`` / per-slot ``np.maximum`` passes."""
+
+    name = "numpy"
+
+    def neighbor_max(
+        self, kernel: FloodKernel, sent: AnyArray, out: AnyArray | None = None
+    ) -> AnyArray:
+        gathered = sent[kernel.indices]
+        result = np.maximum.reduceat(gathered, kernel._starts)
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result
+
+    def neighbor_max_batch(
+        self, kernel: FloodKernel, sent: AnyArray, out: AnyArray | None = None
+    ) -> AnyArray:
+        batch = sent.shape[0]
+        gather_idx, starts = kernel._batch_plan(batch)
+        gathered = np.ascontiguousarray(sent).reshape(-1)[gather_idx]
+        result = np.maximum.reduceat(gathered, starts).reshape(batch, kernel.n)
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result
+
+    def neighbor_max_stacked(
+        self, kernel: FloodKernel, values: AnyArray, out: AnyArray | None = None
+    ) -> AnyArray:
+        if not kernel._uniform_degree:
+            # General CSR: transpose into the (B, n) tiled-reduceat layout
+            # and back out.  The transposes copy, so `result` never aliases
+            # `values` and the copyto below is always safe.
+            result = self.neighbor_max_batch(
+                kernel, np.ascontiguousarray(values.T)
+            ).T
+            if out is not None:
+                np.copyto(out, result)
+                return out
+            return np.ascontiguousarray(result)
+        cols = kernel._cols()
+        if kernel._uniform_degree == 1:
+            result = values[cols[0]]
+            if out is not None:
+                np.copyto(out, result)
+                return out
+            return result
+        result = np.maximum(values[cols[0]], values[cols[1]], out=out)
+        for j in range(2, kernel._uniform_degree):
+            np.maximum(result, values[cols[j]], out=result)
+        return result

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from .._types import AnyArray, Int64Array, IntArray
+from .backends import KernelBackend, resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover
     from collections.abc import Iterable
@@ -68,9 +69,20 @@ class FloodKernel:
         CSR adjacency.  Every node must have degree >= 1 (true for both
         ``H`` and ``G``); this is validated once at construction so the
         per-round kernel can use ``reduceat`` unguarded.
+    backend:
+        Compute backend: a registered name (``"numpy"``, ``"numba"``),
+        ``"auto"``, a :class:`~repro.sim.backends.KernelBackend`
+        instance, or ``None`` (env override / auto — see
+        :func:`repro.sim.backends.resolve_backend`).  Backends are
+        bit-for-bit interchangeable; this selects speed, not semantics.
     """
 
-    def __init__(self, indptr: IntArray, indices: IntArray) -> None:
+    def __init__(
+        self,
+        indptr: IntArray,
+        indices: IntArray,
+        backend: str | KernelBackend | None = None,
+    ) -> None:
         degrees = np.diff(indptr)
         if degrees.size and degrees.min() <= 0:
             raise ValueError("FloodKernel requires minimum degree >= 1")
@@ -88,15 +100,16 @@ class FloodKernel:
             int(degrees[0]) if degrees.size and degrees.min() == degrees.max() else 0
         )
         self._neighbor_cols: Int64Array | None = None
+        self._backend = resolve_backend(backend)
+
+    @property
+    def backend(self) -> str:
+        """Name of the compute backend this kernel dispatches to."""
+        return self._backend.name
 
     def neighbor_max(self, sent: AnyArray, out: AnyArray | None = None) -> AnyArray:
         """``out[v] = max(sent[u] for u in N(v))`` (0 if all neighbors silent)."""
-        gathered = sent[self.indices]
-        result = np.maximum.reduceat(gathered, self._starts)
-        if out is not None:
-            np.copyto(out, result)
-            return out
-        return result
+        return self._backend.neighbor_max(self, sent, out)
 
     def _batch_plan(self, batch: int) -> tuple[Int64Array, Int64Array]:
         plan = self._batch_plans.get(batch)
@@ -107,7 +120,10 @@ class FloodKernel:
             starts = (self._starts[None, :] + shifts * nnz).reshape(-1)
             plan = (gather_idx, starts)
             if len(self._batch_plans) >= 8:
-                self._batch_plans.clear()
+                # Evict only the oldest entry (insertion order): clearing
+                # the whole dict would make a 9th recurring batch size
+                # thrash every cached plan.
+                self._batch_plans.pop(next(iter(self._batch_plans)))
             self._batch_plans[batch] = plan
         return plan
 
@@ -129,14 +145,7 @@ class FloodKernel:
             raise ValueError(
                 f"expected a (B, {self.n}) matrix, got shape {sent.shape}"
             )
-        batch = sent.shape[0]
-        gather_idx, starts = self._batch_plan(batch)
-        gathered = np.ascontiguousarray(sent).reshape(-1)[gather_idx]
-        result = np.maximum.reduceat(gathered, starts).reshape(batch, self.n)
-        if out is not None:
-            np.copyto(out, result)
-            return out
-        return result
+        return self._backend.neighbor_max_batch(self, sent, out)
 
     def neighbor_max_stacked(
         self, values: AnyArray, out: AnyArray | None = None
@@ -157,23 +166,7 @@ class FloodKernel:
             raise ValueError(
                 f"expected an ({self.n}, B) matrix, got shape {values.shape}"
             )
-        if not self._uniform_degree:
-            result = self.neighbor_max_batch(np.ascontiguousarray(values.T)).T
-            if out is not None:
-                np.copyto(out, result)
-                return out
-            return np.ascontiguousarray(result)
-        cols = self._cols()
-        if self._uniform_degree == 1:
-            result = values[cols[0]]
-            if out is not None:
-                np.copyto(out, result)
-                return out
-            return result
-        result = np.maximum(values[cols[0]], values[cols[1]], out=out)
-        for j in range(2, self._uniform_degree):
-            np.maximum(result, values[cols[j]], out=result)
-        return result
+        return self._backend.neighbor_max_stacked(self, values, out)
 
     def _cols(self) -> Int64Array:
         """``(degree, n)`` array; row ``j`` holds every node's j-th neighbor."""
@@ -254,9 +247,13 @@ class UnionFloodKernel(FloodKernel):
     """
 
     def __init__(
-        self, sizes: Iterable[int], indptr: IntArray, indices: IntArray
+        self,
+        sizes: Iterable[int],
+        indptr: IntArray,
+        indices: IntArray,
+        backend: str | KernelBackend | None = None,
     ) -> None:
-        super().__init__(indptr, indices)
+        super().__init__(indptr, indices, backend=backend)
         self.sizes = tuple(int(s) for s in sizes)
         if not self.sizes:
             raise ValueError("UnionFloodKernel needs at least one block")
@@ -270,10 +267,14 @@ class UnionFloodKernel(FloodKernel):
         ).astype(np.int64)
 
     @classmethod
-    def from_networks(cls, networks: Iterable[SmallWorldNetwork]) -> "UnionFloodKernel":
+    def from_networks(
+        cls,
+        networks: Iterable[SmallWorldNetwork],
+        backend: str | KernelBackend | None = None,
+    ) -> "UnionFloodKernel":
         """Build the union kernel by stacking the networks' H CSRs."""
         sizes, indptr, indices = stack_union_csr(networks)
-        return cls(sizes, indptr, indices)
+        return cls(sizes, indptr, indices, backend=backend)
 
     @property
     def blocks(self) -> int:
@@ -359,15 +360,29 @@ class MultiFloodKernel:
     ``tests/property/test_padding_properties.py``).
     """
 
-    def __init__(self, networks: Iterable[SmallWorldNetwork]) -> None:
+    def __init__(
+        self,
+        networks: Iterable[SmallWorldNetwork],
+        backend: str | KernelBackend | None = None,
+    ) -> None:
         networks = list(networks)
+        # Resolve once so every member kernel shares one backend instance
+        # (and the env lookup happens once, not per network).
+        resolved = resolve_backend(backend)
         self.kernels = [
-            FloodKernel(net.h.indptr, net.h.indices) for net in networks
+            FloodKernel(net.h.indptr, net.h.indices, backend=resolved)
+            for net in networks
         ]
         self.sizes = tuple(int(net.n) for net in networks)
         self.degrees = tuple(int(net.d) for net in networks)
         self.n_pad = max(self.sizes) if self.sizes else 0
+        self._backend = resolved
         self._plan_cache: dict[bytes, _ColumnPlan] = {}
+
+    @property
+    def backend(self) -> str:
+        """Name of the compute backend shared by the member kernels."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     def column_plan(self, col_net: IntArray) -> _ColumnPlan:
@@ -398,7 +413,10 @@ class MultiFloodKernel:
                 group = []
             group.append(run)
         if len(self._plan_cache) >= 16:
-            self._plan_cache.clear()
+            # Evict only the oldest assignment, mirroring
+            # FloodKernel._batch_plan: recurring live-column sets must not
+            # flush each other out wholesale.
+            self._plan_cache.pop(next(iter(self._plan_cache)))
         plan = _ColumnPlan(batch, segments)
         self._plan_cache[key] = plan
         return plan

@@ -90,6 +90,34 @@ class TestWorkloadSetDrift:
             "union_stack-vs-padded" in w and "never gated" in w for w in warnings
         )
 
+    def test_optional_backend_workload_missing_is_warning(self):
+        # A committed numba workload on a numpy-only runner: bench_batch
+        # never recorded it (the backend is gated on importability), so
+        # its absence is informational — the numba CI leg gates it.
+        baseline = artifact(
+            entry("honest", 3.0),
+            {"workload": "honest-numba", "speedup": 2.0, "requires": "numba"},
+            {"workload": "union_stack-numba", "speedup": 1.8, "requires": "numba"},
+        )
+        fresh = artifact(entry("honest", 3.0))
+        regressions, warnings = cbr.compare(fresh, baseline)
+        assert regressions == []
+        assert sum(
+            "requires numba" in w and "not gating" in w for w in warnings
+        ) == 2
+
+    def test_optional_backend_workload_present_still_gates(self):
+        # Same committed entry on the numba leg: present-but-slow must
+        # still regress — ``requires`` only excuses absence.
+        baseline = artifact(
+            {"workload": "honest-numba", "speedup": 2.0, "requires": "numba"}
+        )
+        fresh = artifact(
+            {"workload": "honest-numba", "speedup": 0.5, "requires": "numba"}
+        )
+        regressions, _ = cbr.compare(fresh, baseline)
+        assert len(regressions) == 1
+
     def test_malformed_entries_do_not_raise(self):
         baseline = artifact(entry("honest", 3.0), {"speedup": 2.0})
         fresh = artifact({"oops": True}, entry("honest", 3.0))

@@ -42,6 +42,7 @@ from repro.core.batch import (
 )
 from repro.core.runner import run_counting
 from repro.graphs import build_small_world
+from repro.sim.backends import available_backends
 
 STRATEGIES = [
     "honest",
@@ -103,11 +104,14 @@ def reference(net, byz):
     return get
 
 
-def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed):
+def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed, backend=None):
     """Execute one (network, config, strategy, seed) cell on one engine.
 
     This is the single shared entry point every equivalence test goes
     through; adding an engine or a cell extends the grid, not the tests.
+    ``backend`` selects the flood-kernel compute backend on the batched
+    engines (batch/multinet/union); the runner and agents paths have no
+    kernel backend axis.
     """
     mask = byz if strategy is not None else None
     if engine == "runner":
@@ -123,7 +127,8 @@ def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed):
             (lambda: make_adversary(strategy)) if strategy is not None else None
         )
         return run_counting_batch(
-            net, [seed], config=cfg, adversary_factory=factory, byz_mask=mask
+            net, [seed], config=cfg, adversary_factory=factory, byz_mask=mask,
+            backend=backend,
         )[0]
     if engine == "multinet":
         # The cell under test shares a padded batch with a decoy trial on
@@ -138,6 +143,7 @@ def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed):
             config=cfg,
             adversary_factory=factory,
             byz_mask=masks,
+            backend=backend,
         )
         return out[1]
     if engine == "union":
@@ -155,6 +161,7 @@ def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed):
             config=cfg,
             adversary_factory=factory,
             byz_mask=masks,
+            backend=backend,
         )
         return out[1 * 2 + 1]
     raise ValueError(f"unknown engine {engine!r}")
@@ -173,15 +180,26 @@ def assert_cell_equal(ref, got, *, full: bool):
 
 
 class TestEngineGrid:
-    """Every grid cell, on every engine, against the runner reference."""
+    """Every grid cell, on every engine, against the runner reference.
 
+    The ``backend`` axis reruns the batched engines under every kernel
+    backend available on this machine (numpy always; numba when
+    installed), pinning each backend bit-for-bit against the scalar
+    runner.  The agents engine has no kernel backend, so only its
+    default-backend cells run.
+    """
+
+    @pytest.mark.parametrize("backend", available_backends())
     @pytest.mark.parametrize("engine,full", ENGINES, ids=[e for e, _ in ENGINES])
     @pytest.mark.parametrize("cell", CELLS, ids=CELL_IDS)
-    def test_cell(self, net, decoy, byz, reference, cell, engine, full):
+    def test_cell(self, net, decoy, byz, reference, cell, engine, full, backend):
+        if engine == "agents" and backend != "numpy":
+            pytest.skip("the agents engine has no kernel backend axis")
         name, cfg, strategy, seed = cell
         ref = reference(name, cfg, strategy, seed)
         got = run_cell(
-            engine, net, decoy_net=decoy, byz=byz, cfg=cfg, strategy=strategy, seed=seed
+            engine, net, decoy_net=decoy, byz=byz, cfg=cfg, strategy=strategy,
+            seed=seed, backend=backend,
         )
         assert_cell_equal(ref, got, full=full)
 

@@ -1,0 +1,360 @@
+"""Kernel backend registry, selection, and numba-kernel equivalence.
+
+The backends package has two jobs: (1) a registry/resolution layer that
+turns ``backend="numpy"|"numba"|"auto"`` / the ``REPRO_KERNEL_BACKEND``
+env var into a :class:`KernelBackend` instance with graceful numpy
+fallback, and (2) the backends themselves, which must be bit-for-bit
+interchangeable on the flooding kernels.
+
+The numba kernels are written as pure-Python functions that numba
+jit-wraps only when it is importable, so everything below runs — and the
+kernel *logic* is fully exercised — on numba-less machines too: the
+selection tests monkeypatch ``numba_backend.NUMBA_AVAILABLE`` and the
+kernels execute as plain Python.  On a machine with numba installed the
+same tests cover the compiled path.
+"""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.batch import run_counting_batch, run_counting_unionstack
+from repro.core.sweep import run_sweep
+from repro.graphs.shared import NetworkTuple, SharedNetworkPack
+from repro.graphs.smallworld import build_small_world
+from repro.sim.backends import (
+    ENV_VAR,
+    BackendUnavailableError,
+    KernelBackend,
+    _reset_selection_state,
+    available_backends,
+    backend_available,
+    backend_names,
+    get_backend,
+    numba_backend,
+    resolve_backend,
+)
+from repro.sim.backends.numba_backend import NumbaBackend
+from repro.sim.backends.numpy_backend import NumpyBackend
+from repro.sim.flood import FloodKernel, MultiFloodKernel, UnionFloodKernel
+
+
+@pytest.fixture(autouse=True)
+def clean_selection(monkeypatch):
+    """Each test starts with no env override and cold singleton/warning state."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    _reset_selection_state()
+    yield
+    _reset_selection_state()
+
+
+@pytest.fixture
+def fake_numba(monkeypatch):
+    """Pretend numba imported: the pure-Python kernels run un-jitted."""
+    monkeypatch.setattr(numba_backend, "NUMBA_AVAILABLE", True)
+    _reset_selection_state()
+    yield
+    _reset_selection_state()
+
+
+def ragged_kernel(**kw):
+    # Degrees 1, 3, 2, 2 — no uniform degree, so the general CSR layout
+    # (reduceat on numpy, the indptr walk on numba) is exercised.
+    indptr = np.array([0, 1, 4, 6, 8], dtype=np.int64)
+    indices = np.array([1, 0, 2, 3, 1, 3, 1, 2], dtype=np.int64)
+    return FloodKernel(indptr, indices, **kw)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_backend_names(self):
+        assert list(backend_names()) == ["numpy", "numba"]
+
+    def test_numpy_always_available(self):
+        assert backend_available("numpy")
+        assert "numpy" in available_backends()
+
+    def test_available_backends_tracks_numba(self):
+        expected = ["numpy", "numba"] if numba_backend.NUMBA_AVAILABLE else ["numpy"]
+        assert list(available_backends()) == expected
+
+    def test_get_backend_returns_singleton(self):
+        first = get_backend("numpy")
+        assert isinstance(first, NumpyBackend)
+        assert get_backend("numpy") is first
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("cuda")
+
+    def test_get_backend_unavailable_raises(self):
+        if numba_backend.NUMBA_AVAILABLE:
+            pytest.skip("numba installed: the unavailable path cannot trigger")
+        with pytest.raises(BackendUnavailableError):
+            get_backend("numba")
+
+    def test_get_backend_numba_when_faked(self, fake_numba):
+        backend = get_backend("numba")
+        assert isinstance(backend, NumbaBackend)
+        assert backend.name == "numba"
+
+    def test_backends_satisfy_protocol(self, fake_numba):
+        assert isinstance(get_backend("numpy"), KernelBackend)
+        assert isinstance(get_backend("numba"), KernelBackend)
+
+
+# ----------------------------------------------------------------------
+# Resolution precedence: explicit arg > env var > auto
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_auto_numpy(self):
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("auto").name == "numpy"
+
+    def test_auto_prefers_numba_when_available(self, fake_numba):
+        assert resolve_backend("auto").name == "numba"
+        assert resolve_backend(None).name == "numba"
+
+    def test_instance_passthrough(self):
+        instance = NumpyBackend()
+        assert resolve_backend(instance) is instance
+
+    def test_explicit_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+
+    def test_explicit_unavailable_warns_once_and_falls_back(self):
+        if numba_backend.NUMBA_AVAILABLE:
+            pytest.skip("numba installed: the unavailable path cannot trigger")
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy"):
+            assert resolve_backend("numba").name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second request: silent
+            assert resolve_backend("numba").name == "numpy"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_env_override_numba(self, fake_numba, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numba")
+        assert resolve_backend(None).name == "numba"
+
+    def test_explicit_arg_beats_env(self, fake_numba, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numba")
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_empty_env_treated_as_unset(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_unknown_env_value_warns_once_then_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "cuda")
+        with pytest.warns(RuntimeWarning, match="cuda"):
+            assert resolve_backend(None).name in available_backends()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolve_backend(None)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level equivalence: numba (pure-Python mode) vs numpy
+# ----------------------------------------------------------------------
+class TestNumbaKernelEquivalence:
+    @pytest.fixture()
+    def nb(self, fake_numba):
+        return get_backend("numba")
+
+    def regular_kernel(self, **kw):
+        return FloodKernel(*self._regular_csr(), **kw)
+
+    @staticmethod
+    def _regular_csr():
+        net = build_small_world(64, 8, seed=5)
+        return net.h.indptr, net.h.indices
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_neighbor_max_matches_numpy(self, nb, dtype):
+        kern = self.regular_kernel()
+        values = np.random.default_rng(0).integers(0, 99, size=kern.n).astype(dtype)
+        assert np.array_equal(
+            nb.neighbor_max(kern, values), NumpyBackend().neighbor_max(kern, values)
+        )
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    @pytest.mark.parametrize("make", ["regular", "ragged"])
+    def test_neighbor_max_stacked_matches_numpy(self, nb, make, dtype):
+        kern = self.regular_kernel() if make == "regular" else ragged_kernel()
+        values = np.random.default_rng(1).integers(
+            0, 99, size=(kern.n, 7)
+        ).astype(dtype)
+        expected = NumpyBackend().neighbor_max_stacked(kern, values)
+        got = nb.neighbor_max_stacked(kern, values)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    def test_stacked_out_buffer(self, nb):
+        kern = self.regular_kernel()
+        values = np.random.default_rng(2).integers(
+            0, 99, size=(kern.n, 3), dtype=np.int32
+        )
+        out = np.empty_like(values)
+        result = nb.neighbor_max_stacked(kern, values, out=out)
+        assert result is out
+        assert np.array_equal(out, NumpyBackend().neighbor_max_stacked(kern, values))
+
+    def test_stacked_aliasing_out_is_input(self, nb):
+        # out aliasing the input would corrupt the gather mid-kernel; the
+        # backend must detect the overlap and stage through a fresh buffer.
+        kern = self.regular_kernel()
+        values = np.random.default_rng(3).integers(
+            0, 99, size=(kern.n, 3), dtype=np.int32
+        )
+        expected = NumpyBackend().neighbor_max_stacked(kern, values)
+        result = nb.neighbor_max_stacked(kern, values, out=values)
+        assert result is values
+        assert np.array_equal(result, expected)
+
+    def test_stacked_noncontiguous_out(self, nb):
+        kern = self.regular_kernel()
+        values = np.random.default_rng(4).integers(
+            0, 99, size=(kern.n, 2), dtype=np.int32
+        )
+        wide = np.zeros((kern.n, 4), dtype=np.int32)
+        out = wide[:, ::2]  # non-contiguous view
+        result = nb.neighbor_max_stacked(kern, values, out=out)
+        assert result is out
+        assert np.array_equal(out, NumpyBackend().neighbor_max_stacked(kern, values))
+
+    def test_unsupported_dtype_warns_once_and_delegates(self, nb):
+        kern = self.regular_kernel()
+        values = np.random.default_rng(5).random((kern.n, 2))
+        with pytest.warns(RuntimeWarning, match="dtype"):
+            got = nb.neighbor_max_stacked(kern, values)
+        assert np.array_equal(got, NumpyBackend().neighbor_max_stacked(kern, values))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # same dtype again: silent
+            nb.neighbor_max_stacked(kern, values)
+
+    def test_batch_delegates_to_numpy(self, nb):
+        kern = self.regular_kernel()
+        values = np.random.default_rng(6).integers(
+            0, 99, size=(3, kern.n)
+        ).astype(np.int64)
+        assert np.array_equal(
+            nb.neighbor_max_batch(kern, values),
+            NumpyBackend().neighbor_max_batch(kern, values),
+        )
+
+    def test_constructor_requires_numba(self):
+        if numba_backend.NUMBA_AVAILABLE:
+            pytest.skip("numba installed: the unavailable path cannot trigger")
+        with pytest.raises(BackendUnavailableError):
+            NumbaBackend()
+
+
+# ----------------------------------------------------------------------
+# Kernel objects carry the backend as a first-class axis
+# ----------------------------------------------------------------------
+class TestKernelBackendAxis:
+    def test_flood_kernel_backend_property(self):
+        assert ragged_kernel().backend == "numpy"
+        assert ragged_kernel(backend="numpy").backend == "numpy"
+
+    def test_flood_kernel_backend_numba(self, fake_numba):
+        kern = ragged_kernel(backend="numba")
+        assert kern.backend == "numba"
+        values = np.array([[5, 1], [0, 1], [2, 1], [9, 1]], dtype=np.int64)
+        ref = ragged_kernel(backend="numpy")
+        assert np.array_equal(
+            kern.neighbor_max_stacked(values), ref.neighbor_max_stacked(values)
+        )
+
+    def test_union_kernel_passes_backend_through(self, fake_numba):
+        nets = [build_small_world(48, 8, seed=1), build_small_world(64, 8, seed=2)]
+        union = UnionFloodKernel.from_networks(nets, backend="numba")
+        assert union.backend == "numba"
+        ref = UnionFloodKernel.from_networks(nets, backend="numpy")
+        values = np.random.default_rng(7).integers(
+            0, 99, size=(union.n, 4), dtype=np.int32
+        )
+        assert np.array_equal(
+            union.neighbor_max_stacked(values), ref.neighbor_max_stacked(values)
+        )
+
+    def test_multi_kernel_resolves_once_for_members(self, fake_numba):
+        nets = [build_small_world(48, 8, seed=1), build_small_world(64, 8, seed=2)]
+        mkern = MultiFloodKernel(nets, backend="numba")
+        assert mkern.backend == "numba"
+        assert all(k.backend == "numba" for k in mkern.kernels)
+
+    def test_env_var_steers_kernel_construction(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert ragged_kernel().backend == "numpy"
+
+
+# ----------------------------------------------------------------------
+# Engine and sweep entry points accept the backend kwarg
+# ----------------------------------------------------------------------
+class TestEngineBackendKwarg:
+    def test_run_counting_batch_backend_is_bit_for_bit(self, net_small):
+        seeds = [3, 4, 5]
+        ref = run_counting_batch(net_small, seeds)
+        got = run_counting_batch(net_small, seeds, backend="numpy")
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+            assert a.meter.as_dict() == b.meter.as_dict()
+
+    def test_run_counting_batch_fake_numba(self, fake_numba, net_small):
+        seeds = [3, 4]
+        ref = run_counting_batch(net_small, seeds, backend="numpy")
+        got = run_counting_batch(net_small, seeds, backend="numba")
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+            assert a.meter.as_dict() == b.meter.as_dict()
+
+    def test_run_counting_unionstack_backend(self, fake_numba):
+        nets = [build_small_world(64, 8, seed=1), build_small_world(96, 8, seed=2)]
+        seeds = [3, 4]
+        ref = run_counting_unionstack(nets, seeds, backend="numpy")
+        got = run_counting_unionstack(nets, seeds, backend="numba")
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+            assert a.meter.as_dict() == b.meter.as_dict()
+
+    def test_run_sweep_backend(self, net_small):
+        ref = run_sweep(net_small, seeds=[1, 2]).results
+        got = run_sweep(net_small, seeds=[1, 2], backend="numpy").results
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+            assert a.meter.as_dict() == b.meter.as_dict()
+
+
+# ----------------------------------------------------------------------
+# The backend choice survives payload containers and shared memory
+# ----------------------------------------------------------------------
+class TestBackendOnPayloads:
+    def test_network_tuple_carries_backend(self):
+        nets = [build_small_world(48, 8, seed=1)]
+        bundle = NetworkTuple.build(nets, backend="numpy")
+        assert bundle.kernel_backend == "numpy"
+        assert NetworkTuple.build(nets).kernel_backend is None
+
+    def test_shared_pack_pickle_roundtrip_keeps_backend(self):
+        nets = [build_small_world(48, 8, seed=1), build_small_world(64, 8, seed=2)]
+        with SharedNetworkPack.create(nets, backend="numpy") as pack:
+            clone = pickle.loads(pickle.dumps(pack))
+            assert clone.nets.kernel_backend == "numpy"
+
+    def test_union_engine_adopts_container_backend(self, fake_numba):
+        nets = [build_small_world(64, 8, seed=1), build_small_world(96, 8, seed=2)]
+        bundle = NetworkTuple.build(nets, union=True, backend="numba")
+        ref = run_counting_unionstack(nets, [3, 4], backend="numpy")
+        got = run_counting_unionstack(bundle, [3, 4])
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.decided_phase, b.decided_phase)
+            assert a.meter.as_dict() == b.meter.as_dict()

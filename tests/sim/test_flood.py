@@ -86,6 +86,28 @@ class TestNeighborMaxBatch:
         assert 2 in kern._batch_plans
         assert np.array_equal(kern.neighbor_max_batch(values), first)
 
+    def test_plan_cache_evicts_only_the_oldest(self):
+        # The cap must behave as FIFO eviction, not a full clear: a 9th
+        # batch size drops size 1 and ONLY size 1, so the other recurring
+        # sizes keep their cached plans.
+        kern = cycle_kernel(6)
+        for batch in range(1, 9):
+            kern._batch_plan(batch)
+        assert sorted(kern._batch_plans) == list(range(1, 9))
+        kept = {b: kern._batch_plans[b] for b in range(2, 9)}
+        kern._batch_plan(9)
+        assert sorted(kern._batch_plans) == list(range(2, 10))
+        for batch, plan in kept.items():
+            assert kern._batch_plans[batch] is plan  # untouched, not rebuilt
+
+    def test_plan_cache_eviction_keeps_results_exact(self):
+        kern = cycle_kernel(6)
+        values = np.arange(12, dtype=np.int64).reshape(2, 6)
+        expected = kern.neighbor_max_batch(values)
+        for batch in range(1, 10):  # churn past the cap
+            kern._batch_plan(batch)
+        assert np.array_equal(kern.neighbor_max_batch(values), expected)
+
 
 class TestNeighborMaxStacked:
     def test_uniform_degree_fast_path(self, h_small):
@@ -130,6 +152,28 @@ class TestNeighborMaxStacked:
         kern = cycle_kernel(4)
         with pytest.raises(ValueError, match="matrix"):
             kern.neighbor_max_stacked(np.zeros((5, 2), dtype=np.int64))
+
+
+class TestMultiPlanCacheEviction:
+    def test_column_plan_cache_evicts_only_the_oldest(self):
+        from repro.graphs.smallworld import build_small_world
+        from repro.sim.flood import MultiFloodKernel
+
+        nets = [build_small_world(64, 8, seed=1), build_small_world(96, 8, seed=2)]
+        mkern = MultiFloodKernel(nets)
+        plans = {}
+        for batch in range(1, 17):  # 16 distinct live-column assignments
+            col_net = np.zeros(batch, dtype=np.int64)
+            plans[batch] = mkern.column_plan(col_net)
+        assert len(mkern._plan_cache) == 16
+        mkern.column_plan(np.zeros(17, dtype=np.int64))  # 17th: evict oldest
+        assert len(mkern._plan_cache) == 16
+        oldest_key = np.zeros(1, dtype=np.int64).tobytes()
+        assert oldest_key not in mkern._plan_cache
+        # Every survivor is the cached object, not a rebuild.
+        for batch in range(2, 17):
+            key = np.zeros(batch, dtype=np.int64).tobytes()
+            assert mkern._plan_cache[key] is plans[batch]
 
 
 class TestSpreadSteps:

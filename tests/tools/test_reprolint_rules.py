@@ -551,12 +551,98 @@ class TestSuppression:
         assert [f.line for f in findings] == [3]
 
 
+# ----------------------------------------------------------------------
+# Path-scoped rule exemptions (PATH_RULE_EXEMPTIONS).
+# ----------------------------------------------------------------------
+class TestPathScopedExemptions:
+    # A compiled-kernel shape: a scalar loop over node rows plus a fresh
+    # per-call buffer — both R001 and R003 violations anywhere else in
+    # the hot path, both the *point* of a backend module.
+    KERNEL_SNIPPET = """
+        import numpy as np
+
+        def _stacked_csr(values, indptr, indices, out):
+            n = out.shape[0]
+            for v in range(n):
+                out[v] = values[indices[indptr[v]]]
+
+        def neighbor_max_stacked(kernel, values, out=None):
+            buf = np.empty(values.shape, dtype=values.dtype)
+            return buf
+        """
+    BACKEND = "src/repro/sim/backends/numba_backend.py"
+
+    def test_rules_fire_on_backend_modules_without_the_exemption(self):
+        # The rules themselves treat every backend function as kernel
+        # scope — checked directly so the exemption is proven to be
+        # load-bearing, not suppressing nothing.
+        from reprolint.engine import ModuleContext
+
+        ctx = ModuleContext(textwrap.dedent(self.KERNEL_SNIPPET), self.BACKEND)
+        assert [f.code for f in RULES_BY_CODE["R001"].check(ctx)] == ["R001"]
+        assert [f.code for f in RULES_BY_CODE["R003"].check(ctx)] == ["R003"]
+
+    def test_exemption_suppresses_for_backend_paths(self):
+        assert lint_source(textwrap.dedent(self.KERNEL_SNIPPET), self.BACKEND) == []
+
+    def test_other_hot_path_modules_keep_both_rules(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def _run(rounds, batch, cur):
+                for t in range(rounds):
+                    recv = np.empty_like(cur)
+                    for b in range(batch):
+                        recv[b] = cur[b]
+            """,
+            BATCH,
+            "R001",
+        ) + lint(
+            """
+            import numpy as np
+
+            def _run(rounds, cur):
+                for t in range(rounds):
+                    recv = np.empty_like(cur)
+            """,
+            BATCH,
+            "R003",
+        )
+        assert sorted({f.code for f in findings}) == ["R001", "R003"]
+
+    def test_exemption_does_not_cover_other_codes(self):
+        # Only R001/R003 are path-exempted; the rng discipline still
+        # applies to backend modules.
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                def neighbor_max(kernel, sent):
+                    rng = np.random.default_rng(0)
+                    return rng
+                """
+            ),
+            self.BACKEND,
+        )
+        assert [f.code for f in findings] == ["R005"]
+
+    def test_exempt_codes_for_matches_by_fragment(self):
+        from reprolint.rules import exempt_codes_for
+
+        assert exempt_codes_for(self.BACKEND) == {"R001", "R003"}
+        assert exempt_codes_for("src/repro/core/batch.py") == frozenset()
+
+
 @pytest.mark.parametrize(
     "module",
     [
         "src/repro/core/batch.py",
         "src/repro/core/sweep.py",
         "src/repro/sim/flood.py",
+        "src/repro/sim/backends/numpy_backend.py",
+        "src/repro/sim/backends/numba_backend.py",
         "src/repro/adversary/base.py",
         "src/repro/adversary/strategies.py",
         "src/repro/sim/rng.py",

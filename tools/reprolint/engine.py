@@ -120,10 +120,20 @@ def _default_rules() -> Sequence:
 def lint_source(
     source: str, path: str = "<string>", rules: Sequence | None = None
 ) -> list[Finding]:
-    """Lint one source string; ``path`` scopes the path-sensitive rules."""
+    """Lint one source string; ``path`` scopes the path-sensitive rules.
+
+    Path-scoped exemptions (``rules.PATH_RULE_EXEMPTIONS``) are applied
+    here, after the rules run: an exempted code is dropped for every line
+    of a matching module, the config-file analogue of an inline disable.
+    """
+    from .rules import exempt_codes_for
+
     ctx = ModuleContext(source, path)
+    exempt = exempt_codes_for(ctx.path)
     findings: list[Finding] = []
     for rule in rules if rules is not None else _default_rules():
+        if rule.code in exempt:
+            continue
         for finding in rule.check(ctx):
             if not ctx.is_suppressed(finding):
                 findings.append(finding)

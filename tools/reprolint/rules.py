@@ -24,7 +24,50 @@ __all__ = ["ALL_RULES", "Rule", "RULES_BY_CODE"]
 # Scoping: which invariant applies to which engine modules.
 # ----------------------------------------------------------------------
 #: Modules whose flooding rounds are the library's hot path (R001, R003).
-HOT_PATH_MODULES = ("repro/core/batch.py", "repro/sim/flood.py")
+#: The kernel-backend modules are part of the contract (their bodies ARE
+#: the hot path), but see PATH_RULE_EXEMPTIONS below.
+HOT_PATH_MODULES = (
+    "repro/core/batch.py",
+    "repro/sim/flood.py",
+    "repro/sim/backends/numpy_backend.py",
+    "repro/sim/backends/numba_backend.py",
+)
+
+#: Path-scoped rule exemptions: path fragment -> rule codes suppressed for
+#: every module whose normalized path contains the fragment.  The compiled
+#: kernel backends intentionally write scalar loops (numba compiles them;
+#: the pure-Python twins exist so the logic is testable without numba) and
+#: allocate per call (the njit kernels fill caller buffers; the fallback
+#: shims allocate like numpy always did), so R001/R003 — written for
+#: *interpreted* engine code — do not apply there.  Scoped here rather
+#: than via inline disables so the exemption is one audited policy line,
+#: not a scatter of per-line pragmas (see CONTRIBUTING.md).
+PATH_RULE_EXEMPTIONS: dict[str, tuple[str, ...]] = {
+    "repro/sim/backends/": ("R001", "R003"),
+}
+
+#: Modules that are nothing *but* per-round kernel code: every function
+#: there runs once per flooding round, so R001/R003 treat all of their
+#: function bodies as kernel scope (no ``neighbor_max*`` name or lexical
+#: round loop required).  Today that is exactly the set the path-scoped
+#: exemption above suppresses — the contract stays visible and any new
+#: non-compiled module under the fragment would need its own entry.
+KERNEL_MODULE_FRAGMENTS = ("repro/sim/backends/",)
+
+
+def _is_kernel_module(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in KERNEL_MODULE_FRAGMENTS)
+
+
+def exempt_codes_for(path: str) -> frozenset[str]:
+    """Rule codes suppressed for ``path`` by the path-scoped config."""
+    normalized = path.replace("\\", "/")
+    codes: set[str] = set()
+    for fragment, fragment_codes in PATH_RULE_EXEMPTIONS.items():
+        if fragment in normalized:
+            codes.update(fragment_codes)
+    return frozenset(codes)
 
 #: The module owning the int32-with-lazy-widening color state (R002).
 DTYPE_MODULES = ("repro/core/batch.py",)
@@ -213,6 +256,7 @@ class ScalarLoopRule(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.matches(*HOT_PATH_MODULES):
             return
+        kernel_module = _is_kernel_module(ctx.path)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.While):
                 if _in_round_loop(node):
@@ -234,7 +278,9 @@ class ScalarLoopRule(Rule):
                 where = "inside a flooding round loop"
             else:
                 func = _enclosing_function(node)
-                if func is not None and func.name.startswith("neighbor_max"):
+                if func is not None and (
+                    func.name.startswith("neighbor_max") or kernel_module
+                ):
                     where = f"in kernel method {func.name}()"
             if where is not None:
                 yield self.finding(
@@ -317,13 +363,17 @@ class AllocDisciplineRule(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.matches(*HOT_PATH_MODULES):
             return
+        kernel_module = _is_kernel_module(ctx.path)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             path = _np_attr_path(node.func)
             if path is None or len(path) != 2 or path[1] not in ALLOC_FUNCS:
                 continue
-            if _in_round_loop(node) and not _in_widening_context(node):
+            in_kernel_body = kernel_module and _enclosing_function(node) is not None
+            if (_in_round_loop(node) or in_kernel_body) and not _in_widening_context(
+                node
+            ):
                 yield self.finding(
                     ctx,
                     node,
