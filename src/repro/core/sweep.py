@@ -98,6 +98,9 @@ from .config import CountingConfig
 from .results import BatchCountingResult, CountingResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    import os
+
+    from ..exec import ExecutionReport, RetryPolicy
     from ..graphs.smallworld import SmallWorldNetwork
 
 #: A strategy-axis entry: ``None`` (honest Algorithm 1), a registered
@@ -630,6 +633,9 @@ def run_sweep(
     shard_cells: int | None = None,
     layout: str = "auto",
     backend: str | None = None,
+    policy: RetryPolicy | None = None,
+    report: ExecutionReport | None = None,
+    checkpoint: str | os.PathLike[str] | None = None,
 ) -> SweepResult:
     """Run the full (strategy x placement x config x seed) grid, fused.
 
@@ -683,6 +689,19 @@ def run_sweep(
         single-network sweeps, on the shared network container for
         multi-network ones); bit-for-bit neutral (see
         :mod:`repro.sim.backends`).
+    policy:
+        :class:`repro.exec.RetryPolicy` for the sharded dispatch —
+        per-shard timeout, retry budget, backoff, degradation threshold.
+        ``None`` uses the defaults (bounded retries, no timeout).
+    report:
+        :class:`repro.exec.ExecutionReport` to accumulate per-shard
+        fault accounting (attempts, retries, timeouts, crashes,
+        degradations) for this sweep's map.
+    checkpoint:
+        Path to an on-disk journal: every completed shard's results are
+        spilled durably, and a re-run of the *identical* sweep (same
+        grid, same ``jobs``/``shard_cells`` — the shard plan is keyed)
+        resumes from the journal instead of recomputing finished shards.
 
     Returns
     -------
@@ -701,6 +720,9 @@ def run_sweep(
             shard_cells=shard_cells,
             layout=layout,
             backend=backend,
+            policy=policy,
+            report=report,
+            checkpoint=checkpoint,
         )
     if layout != "auto":
         raise ValueError(
@@ -759,7 +781,15 @@ def run_sweep(
 
     from ..experiments.common import parallel_map
 
-    shard_results = parallel_map(_run_shard, tasks, jobs=jobs, network=network)
+    shard_results = parallel_map(
+        _run_shard,
+        tasks,
+        jobs=jobs,
+        network=network,
+        policy=policy,
+        report=report,
+        checkpoint=checkpoint,
+    )
     results = [res for shard in shard_results for res in shard]
     assert len(results) == cells_per_strategy * len(strategy_axis)
     return SweepResult(
@@ -782,6 +812,9 @@ def run_multi_sweep(
     shard_cells: int | None = None,
     layout: str = "auto",
     backend: str | None = None,
+    policy: RetryPolicy | None = None,
+    report: ExecutionReport | None = None,
+    checkpoint: str | os.PathLike[str] | None = None,
 ) -> MultiSweepResult:
     """Run a (network x strategy x placement x config x seed) grid, fused
     across the network axis.
@@ -828,6 +861,10 @@ def run_multi_sweep(
         As in :func:`run_sweep`; rides on the shared network container
         (``NetworkTuple.kernel_backend``), so it survives shared-memory
         reconstruction inside sharded workers.
+    policy, report, checkpoint:
+        Resilient-dispatch knobs, as in :func:`run_sweep` — retry/timeout
+        policy, per-shard fault accounting, and the checkpoint/resume
+        journal path.
 
     Returns
     -------
@@ -971,6 +1008,9 @@ def run_multi_sweep(
             network=networks,
             union_csr=True,
             kernel_backend=backend,
+            policy=policy,
+            report=report,
+            checkpoint=checkpoint,
         )
         results: list[CountingResult | None] = [None] * (n_g * block)
         for offs, shard in zip(task_cols, shard_results):
@@ -1059,6 +1099,9 @@ def run_multi_sweep(
         jobs=jobs,
         network=networks,
         kernel_backend=backend,
+        policy=policy,
+        report=report,
+        checkpoint=checkpoint,
     )
     results = [None] * total_cells
     for flats, shard in zip(task_flats, shard_results):

@@ -1,0 +1,58 @@
+"""Fault-tolerant execution layer for sharded sweeps.
+
+The batching stack (PRs 1-5) made one grid *fast*; this package makes it
+*finish*.  ``repro.experiments.common.parallel_map`` routes its worker
+pool through :class:`~repro.exec.resilience.ShardExecutor`, which turns
+the previous all-or-nothing ``pool.map`` into per-shard future dispatch
+with:
+
+* bounded **retries** with exponential backoff + deterministic jitter
+  (:class:`~repro.exec.resilience.RetryPolicy`),
+* per-shard **timeouts** for hung workers (the pool is rebuilt; a hung
+  process cannot be stopped individually),
+* ``BrokenProcessPool`` **pool rebuilds** after worker crashes (workers
+  re-attach the shared-memory network lazily, so a rebuilt pool resumes
+  zero-copy), and
+* graceful **degradation** to in-process serial execution — with a
+  one-time :class:`RuntimeWarning` — when the pool fails repeatedly.
+
+Every attempt is accounted in an
+:class:`~repro.exec.resilience.ExecutionReport`; retried shards are
+bit-for-bit identical to a fault-free run because shard functions are
+deterministic pure functions of their task tuples.
+
+:mod:`repro.exec.checkpoint` adds crash-safe **checkpoint/resume**: an
+atomic on-disk journal keyed by the deterministic shard plan, so a
+killed sweep resumes without recomputing finished shards.
+
+:mod:`repro.exec.chaos` is the layer's own deterministic fault injector:
+wrapped worker functions crash (``os._exit``), hang past the timeout, or
+raise on a seeded schedule, which is how ``tests/resilience/`` proves the
+guarantees above.
+"""
+
+from .checkpoint import CheckpointJournal, plan_key
+from .chaos import ChaosSchedule, InjectedFault
+from .resilience import (
+    ExecutionReport,
+    RetryPolicy,
+    ShardExecutor,
+    ShardFailedError,
+    ShardRecord,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "ChaosSchedule",
+    "CheckpointJournal",
+    "ExecutionReport",
+    "InjectedFault",
+    "RetryPolicy",
+    "ShardExecutor",
+    "ShardFailedError",
+    "ShardRecord",
+    "ShardTimeoutError",
+    "WorkerCrashError",
+    "plan_key",
+]

@@ -1,0 +1,174 @@
+"""Crash-safe sweep checkpointing: an append-only shard-result journal.
+
+A resilient map can spill each completed shard's result to disk so a
+killed sweep resumes without recomputing finished shards.  The journal
+is a single append-only file:
+
+* an 8-byte magic header (``REPROCKP``, versioned),
+* then framed records, each ``<u32 length> <u32 crc32> <payload>``
+  where the payload is a pickled ``(index, result)`` tuple — except the
+  **first** record, whose payload is the sweep's *plan key*.
+
+The plan key (:func:`plan_key`) is a SHA-256 digest of the shard
+function's label and every task item's pickle, so a journal can only be
+resumed by the *identical* shard plan — a changed grid, seed set, or
+backend silently starting a fresh journal (with a ``RuntimeWarning``)
+instead of serving stale results.
+
+Crash safety comes from the framing, not from atomic rename: every
+append is a single ``write`` + ``fsync``, and :meth:`CheckpointJournal.load`
+stops at the first truncated or CRC-corrupt record, discarding only the
+torn tail.  Records after a kill are therefore either fully present or
+fully ignored, and completed shards are never recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import warnings
+import zlib
+from collections.abc import Iterable
+from types import TracebackType
+from typing import Any, BinaryIO
+
+__all__ = ["CheckpointJournal", "plan_key"]
+
+_MAGIC = b"REPROCK1"
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+def plan_key(label: str, items: Iterable[Any]) -> str:
+    """Deterministic identity of a shard plan: fn label + every task.
+
+    Two sweeps share a plan key iff they would dispatch byte-identical
+    task tuples to the same shard function, which is exactly when their
+    journals are interchangeable.
+    """
+    digest = hashlib.sha256()
+    digest.update(label.encode())
+    for item in items:
+        payload = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+        digest.update(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        digest.update(payload)
+    return digest.hexdigest()
+
+
+class CheckpointJournal:
+    """Append-only on-disk journal of completed shard results.
+
+    ``CheckpointJournal(path, key)`` opens (or creates) the journal at
+    ``path`` for the shard plan identified by ``key``.  An existing
+    journal with a *different* key is discarded with a
+    ``RuntimeWarning`` and restarted fresh; a matching journal's intact
+    records become :meth:`completed`.  Use as a context manager or call
+    :meth:`close` — the file handle appends with ``fsync`` per record,
+    so a kill at any instant loses at most the record being written.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], key: str) -> None:
+        self.path = os.fspath(path)
+        self.key = key
+        self._completed: dict[int, Any] = {}
+        self._fh: BinaryIO | None = None
+        existing = self._load()
+        if existing is None:
+            self._start_fresh()
+        else:
+            self._fh = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    def _load(self) -> bool | None:
+        """Read intact records; ``None`` means start a fresh journal."""
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return None
+        if len(raw) < len(_MAGIC) or not raw.startswith(_MAGIC):
+            warnings.warn(
+                f"checkpoint journal {self.path!r} is not a journal file; "
+                "starting fresh",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        offset = len(_MAGIC)
+        records: list[Any] = []
+        while offset + _FRAME.size <= len(raw):
+            length, crc = _FRAME.unpack_from(raw, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(raw):
+                break  # torn tail: the kill landed mid-append
+            payload = raw[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # corrupt tail
+            records.append(pickle.loads(payload))
+            offset = end
+        if not records:
+            return None
+        journal_key = records[0]
+        if journal_key != self.key:
+            warnings.warn(
+                f"checkpoint journal {self.path!r} belongs to a different "
+                "shard plan; discarding it and starting fresh",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        for record in records[1:]:
+            index, result = record
+            self._completed[int(index)] = result
+        if offset != len(raw):
+            # Truncate the torn tail so future appends start clean.
+            with open(self.path, "r+b") as fh:
+                fh.truncate(offset)
+        return True
+
+    def _start_fresh(self) -> None:
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(_MAGIC)
+            self._append_payload(fh, pickle.dumps(self.key, protocol=pickle.HIGHEST_PROTOCOL))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab")
+
+    @staticmethod
+    def _append_payload(fh: Any, payload: bytes) -> None:
+        fh.write(_FRAME.pack(len(payload), zlib.crc32(payload)) + payload)
+
+    # ------------------------------------------------------------------
+    def completed(self) -> dict[int, Any]:
+        """Shard results restored from disk (and recorded this run)."""
+        return dict(self._completed)
+
+    def record(self, index: int, result: Any) -> None:
+        """Durably append one completed shard result."""
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        payload = pickle.dumps((index, result), protocol=pickle.HIGHEST_PROTOCOL)
+        self._append_payload(self._fh, payload)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._completed[int(index)] = result
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> CheckpointJournal:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

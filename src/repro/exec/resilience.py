@@ -1,0 +1,624 @@
+"""Resilient shard execution: retries, timeouts, pool rebuilds, degradation.
+
+:class:`ShardExecutor` replaces the bare ``pool.map`` inside
+:func:`repro.experiments.common.parallel_map`.  Shards are dispatched as
+individual futures so each one has its own fault story:
+
+* a shard whose worker **raises** is retried up to
+  :attr:`RetryPolicy.max_retries` times with exponential backoff and
+  deterministic jitter; when the budget is exhausted the *original*
+  exception propagates (callers keep their typed errors);
+* a shard whose worker **hangs** past :attr:`RetryPolicy.timeout` is
+  timed out.  A single hung process cannot be stopped through the
+  ``concurrent.futures`` API, so the whole pool is torn down
+  (terminate + join) and rebuilt; innocent shards that were queued or
+  running are re-dispatched without being charged an attempt;
+* a shard whose worker **crashes** (``os._exit``, OOM-kill, segfault)
+  surfaces as ``BrokenProcessPool``.  The pool is rebuilt and the shards
+  that were actually executing are charged a crash attempt — rebuilt
+  workers re-attach the shared-memory network lazily
+  (:mod:`repro.graphs.shared` caches per process), so recovery stays
+  zero-copy;
+* when rebuilds exceed :attr:`RetryPolicy.max_pool_rebuilds` the
+  executor **degrades** to in-process serial execution with a one-time
+  :class:`RuntimeWarning` — a flaky pool never takes the sweep down.
+
+Results keep input order, and because shard functions are deterministic
+pure functions of their task tuples, a failed-then-retried shard is
+bit-for-bit identical to a fault-free run (pinned by
+``tests/resilience/``).  Every attempt, retry, timeout, crash, and
+degradation is accounted per shard in an :class:`ExecutionReport`.
+
+Backoff jitter draws from the salted stream discipline
+(:func:`repro.sim.rng.stream`), so delays are deterministic per
+``(policy seed, shard, attempt)`` — reproducible scheduling, no
+thundering-herd resubmits.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from collections import deque
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..sim.rng import stream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .checkpoint import CheckpointJournal
+
+__all__ = [
+    "ExecutionReport",
+    "RetryPolicy",
+    "ShardExecutor",
+    "ShardFailedError",
+    "ShardRecord",
+    "ShardTimeoutError",
+    "WorkerCrashError",
+]
+
+#: Seconds between future polls; bounds timeout-detection latency.
+_POLL_INTERVAL = 0.02
+
+
+class ShardFailedError(RuntimeError):
+    """A shard exhausted its retry budget on timeouts/crashes.
+
+    Raised only for faults that have no exception of their own (hangs and
+    worker deaths); a shard that exhausts its budget *raising* re-raises
+    the worker's original exception instead, so callers keep typed errors.
+    """
+
+    def __init__(self, index: int, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"shard {index} failed after {attempts} attempt(s): {reason}"
+        )
+        self.index = index
+        self.attempts = attempts
+
+
+class ShardTimeoutError(RuntimeError):
+    """A shard's worker ran past the per-shard timeout."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard's worker process died mid-execution (BrokenProcessPool)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for one resilient map: retries, timeout, backoff, degradation.
+
+    ``max_retries`` bounds *faulted* attempts per shard (a shard may run
+    ``max_retries + 1`` times); ``timeout`` is per-shard wall-clock
+    seconds measured from when the worker is first observed running
+    (queue wait does not count), ``None`` disables timeouts.  Backoff
+    before retry ``a`` sleeps ``min(backoff_max, backoff_base *
+    backoff_factor**(a-1))`` scaled by a deterministic jitter in
+    ``[1, 1 + jitter]`` drawn from ``stream(seed, "backoff", shard, a)``.
+    After ``max_pool_rebuilds`` pool teardowns the map degrades to
+    in-process serial execution (one-time :class:`RuntimeWarning`).
+    """
+
+    max_retries: int = 2
+    timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    max_pool_rebuilds: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout is not None and not self.timeout > 0:
+            raise ValueError(f"timeout must be > 0 seconds or None, got {self.timeout}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {self.backoff_max}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    def backoff_delay(self, index: int, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` (1-based) of a shard."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        base = min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+        if base <= 0.0:
+            return 0.0
+        if self.jitter <= 0.0:
+            return base
+        u = float(stream(self.seed, "backoff", index, attempt).random())
+        return base * (1.0 + self.jitter * u)
+
+
+@dataclass
+class ShardRecord:
+    """Per-shard fault accounting for one resilient map."""
+
+    index: int
+    attempts: int = 0  # times the shard actually consumed a dispatch
+    retries: int = 0  # faulted attempts that were re-dispatched
+    timeouts: int = 0
+    crashes: int = 0
+    errors: int = 0  # exceptions raised by the shard function
+    degraded: bool = False  # ran in-process after the pool gave up
+    resumed: bool = False  # restored from a checkpoint journal
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregated fault accounting across one or more resilient maps.
+
+    One report can be threaded through several ``parallel_map`` calls
+    (``run_experiments`` runs one map per sweep); each map appends its
+    own block of :class:`ShardRecord` s.  :meth:`shard` indexes the most
+    recent map's block, the ``total_*`` properties sum everything.
+    """
+
+    shards: list[ShardRecord] = field(default_factory=list)
+    pool_rebuilds: int = 0
+    crash_rebuilds: int = 0
+    timeout_rebuilds: int = 0
+    degraded: bool = False
+    resumed_shards: int = 0
+    maps: int = 0
+    _last_offset: int = field(default=0, repr=False)
+
+    def start_map(self, n: int) -> int:
+        """Open a block of ``n`` fresh records; returns its offset."""
+        offset = len(self.shards)
+        self.shards.extend(ShardRecord(index=i) for i in range(n))
+        self._last_offset = offset
+        self.maps += 1
+        return offset
+
+    def shard(self, index: int) -> ShardRecord:
+        """Record ``index`` of the most recently started map."""
+        return self.shards[self._last_offset + index]
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(rec.attempts for rec in self.shards)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(rec.retries for rec in self.shards)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(rec.timeouts for rec in self.shards)
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(rec.crashes for rec in self.shards)
+
+    @property
+    def total_errors(self) -> int:
+        return sum(rec.errors for rec in self.shards)
+
+    @property
+    def total_faults(self) -> int:
+        """Every observed fault event: timeouts + crashes + raised errors."""
+        return self.total_timeouts + self.total_crashes + self.total_errors
+
+    def summary(self) -> str:
+        """One line for CLI output."""
+        return (
+            f"{len(self.shards)} shard(s): {self.total_attempts} attempts, "
+            f"{self.total_retries} retries ({self.total_timeouts} timeouts, "
+            f"{self.total_crashes} crashes, {self.total_errors} errors), "
+            f"{self.pool_rebuilds} pool rebuild(s), "
+            f"{self.resumed_shards} resumed from checkpoint"
+            + (", DEGRADED to serial" if self.degraded else "")
+        )
+
+
+# One-time warning guard for parallel -> serial degradation (satellite
+# contract of parallel_map); tests reset it via _reset_degrade_warning.
+_DEGRADE_WARNED = False
+
+
+def _warn_degraded(reason: str) -> None:
+    global _DEGRADE_WARNED
+    if _DEGRADE_WARNED:
+        return
+    _DEGRADE_WARNED = True
+    warnings.warn(
+        "resilience degraded a parallel map to in-process serial execution "
+        f"({reason}); results are unaffected but the sweep loses parallelism",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_degrade_warning() -> None:
+    global _DEGRADE_WARNED
+    _DEGRADE_WARNED = False
+
+
+def _stop_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when a worker is hung or already dead.
+
+    ``shutdown(wait=True)`` would block forever on a hung worker, so the
+    teardown is forced: cancel queued futures, terminate the worker
+    processes, and join them with a bounded grace period (escalating to
+    ``kill``).  ``_processes`` is an internal attribute, but it is the
+    only handle the stdlib exposes to the worker processes — accessed
+    defensively so a stdlib change degrades to a plain shutdown.
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown is best-effort
+        pass
+    procs_map = getattr(pool, "_processes", None)
+    procs = list(procs_map.values()) if procs_map else []
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+    deadline = time.monotonic() + 5.0
+    for proc in procs:
+        try:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - terminate was ignored
+                proc.kill()
+                proc.join(1.0)
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+class ShardExecutor:
+    """Per-shard future dispatch with retries, timeouts, and rebuilds.
+
+    ``run(fn, items, jobs=N)`` maps ``fn`` over ``items`` across worker
+    processes under :class:`RetryPolicy` semantics (see the module
+    docstring); ``jobs <= 1`` runs the same accounting in-process.  Pass
+    a :class:`~repro.exec.checkpoint.CheckpointJournal` to spill each
+    completed shard's result to disk and to skip shards already
+    journaled by a previous (killed) run.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        report: ExecutionReport | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.report = report if report is not None else ExecutionReport()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        jobs: int | None = None,
+        journal: CheckpointJournal | None = None,
+    ) -> list[Any]:
+        item_list = list(items)
+        n = len(item_list)
+        report = self.report
+        report.start_map(n)
+        results: list[Any] = [None] * n
+        have = [False] * n
+        if journal is not None:
+            for idx, res in journal.completed().items():
+                if 0 <= idx < n and not have[idx]:
+                    results[idx] = res
+                    have[idx] = True
+                    report.shard(idx).resumed = True
+                    report.resumed_shards += 1
+        remaining = [i for i in range(n) if not have[i]]
+        if not remaining:
+            return results
+        if jobs is None or jobs <= 1 or len(remaining) <= 1:
+            attempts = [0] * n
+            self._run_serial(
+                fn, item_list, remaining, results, have, journal, attempts, degraded=False
+            )
+            return results
+        self._run_parallel(fn, item_list, remaining, results, have, journal, jobs)
+        return results
+
+    # ------------------------------------------------------------------
+    def _fault(
+        self,
+        index: int,
+        attempts: list[int],
+        ready_at: list[float],
+        pending: deque[int],
+        cause: BaseException | None,
+        reason: str,
+    ) -> None:
+        """Book one faulted attempt; requeue with backoff or give up."""
+        attempts[index] += 1
+        if attempts[index] > self.policy.max_retries:
+            if isinstance(cause, (ShardTimeoutError, WorkerCrashError)) or cause is None:
+                raise ShardFailedError(index, attempts[index], reason) from cause
+            raise cause  # the worker's own exception keeps its type
+        self.report.shard(index).retries += 1
+        ready_at[index] = time.monotonic() + self.policy.backoff_delay(
+            index, attempts[index]
+        )
+        pending.append(index)
+
+    def _run_parallel(
+        self,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        remaining: list[int],
+        results: list[Any],
+        have: list[bool],
+        journal: CheckpointJournal | None,
+        jobs: int,
+    ) -> None:
+        policy = self.policy
+        report = self.report
+        n = len(items)
+        max_workers = min(jobs, len(remaining))
+        attempts = [0] * n  # faulted attempts (the retry budget)
+        ready_at = [0.0] * n  # backoff gate per shard
+        pending: deque[int] = deque(remaining)
+        inflight: dict[Future[Any], int] = {}
+        started: dict[Future[Any], float] = {}
+        running_seen: set[Future[Any]] = set()
+        rebuilds = 0
+        pool: ProcessPoolExecutor | None = None
+
+        def requeue_innocent(index: int) -> None:
+            # A pool teardown took this shard down through no fault of its
+            # own: re-dispatch without charging the attempt.
+            report.shard(index).attempts -= 1
+            pending.appendleft(index)
+
+        def rebuild(kind: str) -> bool:
+            """Tear the pool down; True means degrade to serial now."""
+            nonlocal pool, rebuilds
+            if pool is not None:
+                _stop_pool(pool)
+                pool = None
+            inflight.clear()
+            started.clear()
+            running_seen.clear()
+            rebuilds += 1
+            report.pool_rebuilds += 1
+            if kind == "crash":
+                report.crash_rebuilds += 1
+            else:
+                report.timeout_rebuilds += 1
+            return rebuilds > policy.max_pool_rebuilds
+
+        def handle_break() -> bool:
+            """Classify every in-flight shard after a pool break, rebuild.
+
+            Shards observed RUNNING when the pool died are charged a
+            crash attempt; shards still queued requeue for free.  True
+            means the rebuild budget is spent: degrade to serial.
+            """
+            for fut, i in list(inflight.items()):
+                if fut in running_seen:
+                    report.shard(i).crashes += 1
+                    self._fault(
+                        i,
+                        attempts,
+                        ready_at,
+                        pending,
+                        WorkerCrashError(f"worker died while running shard {i}"),
+                        "worker process crashed repeatedly",
+                    )
+                else:
+                    requeue_innocent(i)
+            return rebuild("crash")
+
+        try:
+            while pending or inflight:
+                now = time.monotonic()
+                if pool is None:
+                    try:
+                        pool = ProcessPoolExecutor(max_workers=max_workers)
+                    except Exception:
+                        report.degraded = True
+                        _warn_degraded("worker pool could not be (re)built")
+                        break
+                # Dispatch every shard whose backoff window has passed.
+                held: list[int] = []
+                submit_broke = False
+                while pending:
+                    i = pending.popleft()
+                    if ready_at[i] > now:
+                        held.append(i)
+                        continue
+                    report.shard(i).attempts += 1
+                    try:
+                        fut = pool.submit(fn, items[i])
+                    except BrokenProcessPool:
+                        report.shard(i).attempts -= 1
+                        held.append(i)
+                        submit_broke = True
+                        break
+                    inflight[fut] = i
+                    started[fut] = now
+                pending.extend(held)
+                if submit_broke:
+                    if handle_break():
+                        report.degraded = True
+                        _warn_degraded("worker pool kept breaking")
+                        break
+                    continue
+                if not inflight:
+                    # Everything is backing off: sleep to the next window.
+                    nxt = min(ready_at[i] for i in pending)
+                    time.sleep(max(0.0, min(nxt - time.monotonic(), 0.1)))
+                    continue
+
+                done, _ = wait(
+                    list(inflight), timeout=_POLL_INTERVAL, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                # The per-shard timeout clock starts when the worker is
+                # first observed RUNNING, so queue wait never counts.
+                for fut in inflight:
+                    if fut not in running_seen and fut.running():
+                        running_seen.add(fut)
+                        started[fut] = now
+
+                broken = False
+                for fut in done:
+                    i = inflight.pop(fut)
+                    was_running = fut in running_seen
+                    running_seen.discard(fut)
+                    started.pop(fut, None)
+                    try:
+                        res = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        if was_running:
+                            report.shard(i).crashes += 1
+                            self._fault(
+                                i,
+                                attempts,
+                                ready_at,
+                                pending,
+                                WorkerCrashError(
+                                    f"worker died while running shard {i}"
+                                ),
+                                "worker process crashed repeatedly",
+                            )
+                        else:
+                            requeue_innocent(i)
+                    except (KeyboardInterrupt, SystemExit):
+                        # Cancellation is not a shard fault: abort the
+                        # whole map (the outer handler stops the pool,
+                        # callers unlink their shm segments).
+                        raise
+                    except BaseException as exc:
+                        report.shard(i).errors += 1
+                        self._fault(
+                            i, attempts, ready_at, pending, exc, "worker raised"
+                        )
+                    else:
+                        results[i] = res
+                        have[i] = True
+                        if journal is not None:
+                            journal.record(i, res)
+                if broken:
+                    # Every other in-flight future is poisoned too.
+                    for fut, i in list(inflight.items()):
+                        if fut in running_seen:
+                            report.shard(i).crashes += 1
+                            self._fault(
+                                i,
+                                attempts,
+                                ready_at,
+                                pending,
+                                WorkerCrashError(
+                                    f"worker died while running shard {i}"
+                                ),
+                                "worker process crashed repeatedly",
+                            )
+                        else:
+                            requeue_innocent(i)
+                    if rebuild("crash"):
+                        report.degraded = True
+                        _warn_degraded("worker pool kept breaking")
+                        break
+                    continue
+
+                if policy.timeout is not None and inflight:
+                    now = time.monotonic()
+                    hung = [
+                        (fut, i)
+                        for fut, i in inflight.items()
+                        if fut in running_seen and now - started[fut] > policy.timeout
+                    ]
+                    if hung:
+                        hung_futs = {fut for fut, _ in hung}
+                        for fut, i in hung:
+                            report.shard(i).timeouts += 1
+                            self._fault(
+                                i,
+                                attempts,
+                                ready_at,
+                                pending,
+                                ShardTimeoutError(
+                                    f"shard {i} exceeded the {policy.timeout}s "
+                                    "per-shard timeout"
+                                ),
+                                "worker hung repeatedly",
+                            )
+                        # A hung worker cannot be stopped on its own: the
+                        # pool dies with it, and bystanders requeue free.
+                        for fut, i in list(inflight.items()):
+                            if fut not in hung_futs:
+                                requeue_innocent(i)
+                        if rebuild("timeout"):
+                            report.degraded = True
+                            _warn_degraded("workers kept hanging past the timeout")
+                            break
+        except BaseException:
+            if pool is not None:
+                _stop_pool(pool)
+            raise
+        if report.degraded:
+            leftovers = sorted(i for i in range(n) if not have[i])
+            self._run_serial(
+                fn, items, leftovers, results, have, journal, attempts, degraded=True
+            )
+            return
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        indices: list[int],
+        results: list[Any],
+        have: list[bool],
+        journal: CheckpointJournal | None,
+        attempts: list[int],
+        degraded: bool,
+    ) -> None:
+        """In-process execution with the same retry/report accounting.
+
+        Serves both the explicit serial path (``jobs <= 1`` with a
+        policy/report/checkpoint attached) and post-degradation cleanup.
+        Timeouts are not enforceable in-process and are not simulated.
+        """
+        report = self.report
+        for i in indices:
+            rec = report.shard(i)
+            rec.degraded = degraded
+            while True:
+                rec.attempts += 1
+                try:
+                    res = fn(items[i])
+                except Exception as exc:
+                    rec.errors += 1
+                    attempts[i] += 1
+                    if attempts[i] > self.policy.max_retries:
+                        raise
+                    rec.retries += 1
+                    delay = self.policy.backoff_delay(i, attempts[i])
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                results[i] = res
+                have[i] = True
+                if journal is not None:
+                    journal.record(i, res)
+                break

@@ -19,9 +19,14 @@ Three layers of shared machinery:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    import os
+
+    from ..exec import ExecutionReport, RetryPolicy
 
 from ..adversary.base import Adversary
 from ..core.batch import run_counting_batch
@@ -126,7 +131,10 @@ class _SharedNetworkCall:
     or the attached tuple of networks (:class:`SharedNetworkPack`).  The
     handle re-attaches the shared segment at most once per worker process
     (module-level cache in :mod:`repro.graphs.shared`), so every task
-    after the first reuses the already-reconstructed graphs.
+    after the first reuses the already-reconstructed graphs.  Because
+    attachment is lazy and per-process, a rebuilt worker pool (crash or
+    timeout recovery in :class:`repro.exec.ShardExecutor`) re-attaches
+    transparently — recovery stays zero-copy.
     """
 
     def __init__(self, fn: Callable, shared, multi: bool):
@@ -139,6 +147,55 @@ class _SharedNetworkCall:
         return self.fn(payload, item)
 
 
+class _PayloadCall:
+    """In-process shim calling ``fn(payload, item)`` (serial resilient path)."""
+
+    def __init__(self, fn: Callable, payload):
+        self.fn = fn
+        self.payload = payload
+
+    def __call__(self, item):
+        return self.fn(self.payload, item)
+
+
+def _fn_label(fn: Callable) -> str:
+    """Stable label for a mapped function (checkpoint plan identity)."""
+    target = fn
+    while hasattr(target, "fn"):  # unwrap chaos/shared/payload shims
+        target = target.fn
+    module = getattr(target, "__module__", "?")
+    qualname = getattr(target, "__qualname__", type(target).__name__)
+    return f"{module}.{qualname}"
+
+
+def _resilient_map(
+    call: Callable,
+    items: list,
+    jobs: int | None,
+    policy,
+    report,
+    checkpoint,
+) -> list:
+    """Route one map through :class:`repro.exec.ShardExecutor`.
+
+    Wraps ``call`` with the active chaos controller (if any), opens the
+    checkpoint journal keyed by the deterministic shard plan, and runs
+    the executor.  Used for every parallel map and for serial maps that
+    request resilience features.
+    """
+    from ..exec import CheckpointJournal, ShardExecutor, chaos, plan_key
+
+    controller = chaos.current()
+    if controller is not None:
+        call = chaos.wrap(call, controller, items)
+    executor = ShardExecutor(policy=policy, report=report)
+    if checkpoint is None:
+        return executor.run(call, items, jobs=jobs)
+    key = plan_key(_fn_label(call), items)
+    with CheckpointJournal(checkpoint, key) as journal:
+        return executor.run(call, items, jobs=jobs, journal=journal)
+
+
 def parallel_map(
     fn: Callable,
     items: Iterable,
@@ -147,13 +204,31 @@ def parallel_map(
     network: SmallWorldNetwork | Sequence[SmallWorldNetwork] | None = None,
     union_csr: bool = False,
     kernel_backend: str | None = None,
+    policy: RetryPolicy | None = None,
+    report: ExecutionReport | None = None,
+    checkpoint: str | os.PathLike[str] | None = None,
 ) -> list:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
-    ``jobs=None`` (or ``<= 1``, or a single item) runs serially in-process;
-    otherwise the items are sharded over a ``ProcessPoolExecutor`` with
-    ``min(jobs, len(items))`` workers.  Results keep input order.  ``fn``
-    and the items must be picklable (module-level function, plain data).
+    ``jobs=None`` (or ``0``/``1``, or a single item) runs serially
+    in-process; negative ``jobs`` raises :class:`ValueError`.  Otherwise
+    the items are sharded over a worker pool with ``min(jobs,
+    len(items))`` processes.  Results keep input order.  ``fn`` and the
+    items must be picklable (module-level function, plain data).
+
+    The parallel path dispatches shards through
+    :class:`repro.exec.ShardExecutor`: per-shard futures with bounded
+    retries, optional per-shard timeouts, ``BrokenProcessPool`` pool
+    rebuilds, and graceful degradation to in-process serial execution
+    (one-time :class:`RuntimeWarning`) when the pool fails repeatedly —
+    see :mod:`repro.exec`.  ``policy`` (:class:`repro.exec.RetryPolicy`)
+    tunes the fault handling, ``report``
+    (:class:`repro.exec.ExecutionReport`) accumulates per-shard fault
+    accounting, and ``checkpoint`` (a path) spills each completed
+    shard's result to an on-disk journal keyed by the deterministic
+    shard plan so a killed map resumes without recomputing finished
+    shards.  Serial maps stay a plain loop unless one of those three is
+    passed.
 
     When ``network`` is given, ``fn`` is called as ``fn(network, item)``
     and the graph is shared with workers through one POSIX shared-memory
@@ -176,8 +251,11 @@ def parallel_map(
     handle for process sharding — so engine calls inside workers adopt the
     sweep-level backend choice (see :mod:`repro.sim.backends`).
     """
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be None or >= 0, got {jobs}")
     items = list(items)
     serial = jobs is None or jobs <= 1 or len(items) <= 1
+    resilient = policy is not None or report is not None or checkpoint is not None
     if network is not None:
         multi = isinstance(network, (list, tuple))
         if serial:
@@ -189,9 +267,11 @@ def parallel_map(
                 )
             else:
                 payload = network
+            if resilient:
+                return _resilient_map(
+                    _PayloadCall(fn, payload), items, None, policy, report, checkpoint
+                )
             return [fn(payload, item) for item in items]
-        from concurrent.futures import ProcessPoolExecutor
-
         from ..graphs.shared import SharedNetwork, SharedNetworkPack
 
         shared = (
@@ -203,11 +283,9 @@ def parallel_map(
         )
         with shared:
             call = _SharedNetworkCall(fn, shared, multi)
-            with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-                return list(pool.map(call, items))
+            return _resilient_map(call, items, jobs, policy, report, checkpoint)
     if serial:
+        if resilient:
+            return _resilient_map(fn, items, None, policy, report, checkpoint)
         return [fn(item) for item in items]
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+    return _resilient_map(fn, items, jobs, policy, report, checkpoint)

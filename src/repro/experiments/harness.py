@@ -14,7 +14,12 @@ Scales: ``"small"`` finishes in seconds (used by tests and benches);
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    import os
+
+    from ..exec import ExecutionReport, RetryPolicy
 
 __all__ = [
     "Table",
@@ -161,21 +166,38 @@ def run_experiments(
     scale: str = "small",
     seed: int = 0,
     jobs: int | None = None,
+    *,
+    policy: RetryPolicy | None = None,
+    report: ExecutionReport | None = None,
+    checkpoint: str | os.PathLike[str] | None = None,
 ) -> list[ExperimentResult]:
     """Run several experiments, optionally sharded across processes.
 
     Experiments are independent (each samples its own networks through the
     per-process cache), so a multi-experiment sweep is embarrassingly
-    parallel: with ``jobs > 1`` the ids are distributed over a
-    ``ProcessPoolExecutor`` via :func:`repro.experiments.common.parallel_map`.
-    Results come back in ``exp_ids`` order either way.
+    parallel: with ``jobs > 1`` the ids are distributed over a worker
+    pool via :func:`repro.experiments.common.parallel_map`.  Results come
+    back in ``exp_ids`` order either way.
+
+    The sharded dispatch is fault tolerant (see :mod:`repro.exec`):
+    ``policy`` tunes per-experiment retries/timeouts/backoff, ``report``
+    accumulates fault accounting across the run, and ``checkpoint``
+    names an on-disk journal so a killed multi-experiment run resumes
+    without recomputing finished experiments.
     """
     from .common import parallel_map
 
     if exp_ids is None:
         exp_ids = all_experiment_ids()
     tasks = [(exp_id, scale, seed) for exp_id in exp_ids]
-    return parallel_map(_run_task, tasks, jobs=jobs)
+    return parallel_map(
+        _run_task,
+        tasks,
+        jobs=jobs,
+        policy=policy,
+        report=report,
+        checkpoint=checkpoint,
+    )
 
 
 def all_experiment_ids() -> list[str]:

@@ -28,17 +28,59 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="shard experiments over N worker processes (default: in-process)",
     )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a faulted experiment shard up to N times (default: 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard timeout for sharded runs; hung workers are "
+        "reaped and the shard retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal completed experiment shards to PATH; a killed run "
+        "re-invoked with the same arguments resumes from it",
+    )
     args = parser.parse_args(argv)
+
+    from repro.exec import ExecutionReport, RetryPolicy
+
+    policy = None
+    if args.shard_retries is not None or args.shard_timeout is not None:
+        kwargs = {}
+        if args.shard_retries is not None:
+            kwargs["max_retries"] = args.shard_retries
+        if args.shard_timeout is not None:
+            kwargs["timeout"] = args.shard_timeout
+        policy = RetryPolicy(**kwargs)
+    report = ExecutionReport()
 
     ids = args.exp or all_experiment_ids()
     failures = []
     start = time.perf_counter()
-    if args.jobs is None or args.jobs <= 1:
+    if (args.jobs is None or args.jobs <= 1) and args.checkpoint is None:
         # Serial: stream each experiment's tables as it completes (a
         # full-scale sweep runs for minutes; don't buffer it all).
+        # (With --checkpoint the whole id list must be one journaled
+        # map, so it takes the buffered branch below even when serial.)
         for exp_id in ids:
             exp_start = time.perf_counter()
-            result = run_experiments([exp_id], scale=args.scale, seed=args.seed)[0]
+            result = run_experiments(
+                [exp_id],
+                scale=args.scale,
+                seed=args.seed,
+                policy=policy,
+                report=report,
+            )[0]
             print(result.render())
             print(f"[{exp_id} finished in {time.perf_counter() - exp_start:.1f}s]")
             print()
@@ -46,17 +88,26 @@ def main(argv: list[str] | None = None) -> int:
                 failures.append(exp_id)
     else:
         results = run_experiments(
-            ids, scale=args.scale, seed=args.seed, jobs=args.jobs
+            ids,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            policy=policy,
+            report=report,
+            checkpoint=args.checkpoint,
         )
         for result in results:
             print(result.render())
             print()
             if not result.passed:
                 failures.append(result.exp_id)
+        workers = args.jobs if args.jobs and args.jobs > 1 else 1
         print(
             f"[{len(ids)} experiments finished in "
-            f"{time.perf_counter() - start:.1f}s across {args.jobs} workers]"
+            f"{time.perf_counter() - start:.1f}s across {workers} worker(s)]"
         )
+    if report.maps:
+        print(f"[dispatch: {report.summary()}]")
     if failures:
         print(f"FAILED shape checks: {failures}", file=sys.stderr)
         return 1

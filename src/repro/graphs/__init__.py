@@ -44,7 +44,7 @@ from .properties import (
     ramanujan_bound,
     spectral_report,
 )
-from .shared import SharedNetwork
+from .shared import SharedNetwork, SharedNetworkPack, cleanup_orphans
 from .smallworld import SmallWorldNetwork, build_small_world, lattice_parameter
 from .wattsstrogatz import WattsStrogatzGraph, generate_watts_strogatz
 
@@ -53,6 +53,8 @@ __all__ = [
     "generate_hgraph",
     "SmallWorldNetwork",
     "SharedNetwork",
+    "SharedNetworkPack",
+    "cleanup_orphans",
     "build_small_world",
     "lattice_parameter",
     "NodeSets",

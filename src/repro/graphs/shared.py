@@ -40,10 +40,23 @@ references (POSIX shm semantics).  On Python < 3.13 attaching registers
 the segment with the worker's ``resource_tracker``, which would unlink it
 when the *worker* exits — :func:`_untrack` undoes that registration so the
 owner stays in charge of the lifetime.
+
+Crash safety: segments are named ``repro-<owner pid>-<hex>`` so they are
+recognizable in ``/dev/shm`` even after their owner dies.  The owning
+process keeps a registry of its live segments and unlinks them from an
+``atexit`` hook and a chained ``SIGTERM`` handler (both pid-checked, so
+forked workers that inherit the registry never unlink the owner's
+segments), and :func:`cleanup_orphans` sweeps segments whose owner pid no
+longer exists — the backstop for ``SIGKILL``/power-loss, where no handler
+can run.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import signal
+import threading
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -54,7 +67,13 @@ from .._types import AnyArray, Int64Array
 from .hgraph import HGraph
 from .smallworld import SmallWorldNetwork
 
-__all__ = ["NetworkTuple", "SharedNetwork", "SharedNetworkPack", "UnionCSR"]
+__all__ = [
+    "NetworkTuple",
+    "SharedNetwork",
+    "SharedNetworkPack",
+    "UnionCSR",
+    "cleanup_orphans",
+]
 
 #: ``(sizes, indptr, indices)`` of a block-diagonal union CSR
 #: (:func:`repro.sim.flood.stack_union_csr`).
@@ -120,6 +139,136 @@ _ATTACHED: dict[str, tuple[Any, Any]] = {}
 #: for the rest of the process (the *segment* is still unlinked; the OS
 #: frees the memory when the last mapping dies with the process).
 _KEEPALIVE: list[Any] = []
+
+#: Recognizable prefix of every segment this library creates; the owner
+#: pid embedded after it is what lets :func:`cleanup_orphans` tell a
+#: leaked segment (owner dead) from a live one (owner running).
+_SEGMENT_PREFIX = "repro-"
+
+#: Segments created *by this process*: name -> owning SharedMemory.
+#: Forked workers inherit a snapshot of this dict; the pid recorded at
+#: guard-install time keeps their exit hooks from unlinking the owner's
+#: live segments.
+_OWNED: dict[str, Any] = {}
+
+_GUARD_LOCK = threading.Lock()
+_GUARD_PID: int | None = None
+_PREV_SIGTERM: Any = None
+
+
+def _segment_name() -> str:
+    """A fresh ``repro-<pid>-<hex>`` segment name."""
+    return f"{_SEGMENT_PREFIX}{os.getpid()}-{os.urandom(6).hex()}"
+
+
+def _create_segment(size: int) -> Any:
+    """Create a prefixed shared-memory segment and register ownership."""
+    from multiprocessing import shared_memory
+
+    while True:
+        try:
+            shm = shared_memory.SharedMemory(
+                name=_segment_name(), create=True, size=max(size, 1)
+            )
+            break
+        except FileExistsError:  # pragma: no cover - 48-bit token collision
+            continue
+    _install_owner_guard()
+    _OWNED[shm.name] = shm
+    return shm
+
+
+def _cleanup_owned() -> None:
+    """Unlink every segment this process still owns (pid-checked).
+
+    Runs from ``atexit`` and the ``SIGTERM`` guard.  A forked child
+    inherits ``_OWNED`` but not ownership: the pid check makes its hooks
+    a no-op, so pool teardown (which SIGTERMs workers) can never unlink
+    the owner's live segments.
+    """
+    if os.getpid() != _GUARD_PID:
+        return
+    for name in list(_OWNED):
+        shm = _OWNED.pop(name)
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+
+
+def _sigterm_guard(signum: int, frame: Any) -> None:  # pragma: no cover - signal path
+    _cleanup_owned()
+    prev = _PREV_SIGTERM
+    if callable(prev):
+        prev(signum, frame)
+        return
+    # Restore the previous disposition (default/ignore) and re-deliver so
+    # the process still dies with the conventional SIGTERM status.
+    signal.signal(signum, prev if prev is not None else signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_owner_guard() -> None:
+    """Install the pid-checked atexit/SIGTERM cleanup hooks (idempotent).
+
+    Re-installs after a fork: a child that goes on to *create its own*
+    segments becomes an owner in its own right, so the guard pid must be
+    re-anchored to it (its inherited ``_OWNED`` snapshot is cleared —
+    those entries belong to the parent).
+    """
+    global _GUARD_PID, _PREV_SIGTERM
+    with _GUARD_LOCK:
+        pid = os.getpid()
+        if _GUARD_PID == pid:
+            return
+        if _GUARD_PID is not None:
+            _OWNED.clear()  # inherited from the parent across a fork
+        _GUARD_PID = pid
+        atexit.register(_cleanup_owned)
+        try:
+            handler = signal.getsignal(signal.SIGTERM)
+            if handler is not _sigterm_guard:
+                _PREV_SIGTERM = handler
+                signal.signal(signal.SIGTERM, _sigterm_guard)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+
+
+def cleanup_orphans() -> list[str]:
+    """Unlink ``repro-*`` segments whose owning process is dead.
+
+    Scans ``/dev/shm`` for segments carrying this library's name prefix,
+    parses the owner pid out of the name, and removes the segments whose
+    owner no longer exists — the recovery path for owners that died
+    where no ``atexit``/signal hook could run (``SIGKILL``, kernel OOM,
+    power loss).  Segments with live owners are left alone.  Returns the
+    names unlinked.  No-op (empty list) on hosts without ``/dev/shm``.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX-shm host
+        return []
+    removed: list[str] = []
+    for entry in sorted(os.listdir(shm_dir)):
+        if not entry.startswith(_SEGMENT_PREFIX):
+            continue
+        rest = entry[len(_SEGMENT_PREFIX):]
+        pid_part = rest.split("-", 1)[0]
+        if not pid_part.isdigit():
+            continue
+        pid = int(pid_part)
+        try:
+            os.kill(pid, 0)
+            continue  # owner alive: not an orphan
+        except ProcessLookupError:
+            pass
+        except PermissionError:  # pragma: no cover - pid reused by other user
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+        except FileNotFoundError:  # pragma: no cover - concurrent sweep
+            continue
+        removed.append(entry)
+    return removed
 
 
 def _attach_untracked(name: str) -> Any:
@@ -199,6 +348,7 @@ def _release_segment(shm_name: str, owned_shm: Any) -> None:
         # Views were handed out: keep the mapping alive, never munmap.
         _KEEPALIVE.append(cached[0])
     if owned_shm is not None:
+        _OWNED.pop(shm_name, None)
         if cached is None or cached[0] is not owned_shm:
             owned_shm.close()
         owned_shm.unlink()
@@ -226,9 +376,13 @@ class SharedNetwork:
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, net: SmallWorldNetwork) -> "SharedNetwork":
-        """Copy ``net``'s arrays into a fresh shared-memory segment."""
-        from multiprocessing import shared_memory
+        """Copy ``net``'s arrays into a fresh shared-memory segment.
 
+        The segment is named ``repro-<pid>-<hex>`` and registered with
+        the owner-side cleanup guard; if populating it fails partway the
+        segment is unlinked before the exception propagates — a failed
+        ``create`` never leaks.
+        """
         arrays = [(name, np.ascontiguousarray(get(net))) for name, get in _FIELDS]
         specs: list[_ArraySpec] = []
         offset = 0
@@ -239,12 +393,18 @@ class SharedNetwork:
                 _ArraySpec(name=name, dtype=arr.dtype.str, shape=arr.shape, offset=offset)
             )
             offset += arr.nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        for spec, (_, arr) in zip(specs, arrays):
-            dst = np.ndarray(
-                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
-            )
-            dst[...] = arr
+        shm = _create_segment(offset)
+        try:
+            for spec, (_, arr) in zip(specs, arrays):
+                dst = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+                )
+                dst[...] = arr
+        except BaseException:
+            _OWNED.pop(shm.name, None)
+            shm.close()
+            shm.unlink()
+            raise
         handle = cls(shm.name, tuple(specs), net.n, net.d, net.k)
         handle._owned_shm = shm
         return handle
@@ -355,9 +515,11 @@ class SharedNetworkPack:
         (:func:`repro.sim.flood.stack_union_csr`) is stacked once here and
         laid into the same segment, so workers read it zero-copy instead
         of re-concatenating per process.
-        """
-        from multiprocessing import shared_memory
 
+        The segment is named ``repro-<pid>-<hex>`` and registered with
+        the owner-side cleanup guard; if populating it fails partway the
+        segment is unlinked before the exception propagates.
+        """
         per_net: list[tuple[tuple[_ArraySpec, ...], int, int, int]] = []
         writes: list[tuple[_ArraySpec, AnyArray]] = []
         offset = 0
@@ -390,12 +552,18 @@ class SharedNetworkPack:
                 writes.append((spec, arr))
                 offset += arr.nbytes
             union_specs = tuple(pair)
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        for spec, arr in writes:
-            dst = np.ndarray(
-                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
-            )
-            dst[...] = arr
+        shm = _create_segment(offset)
+        try:
+            for spec, arr in writes:
+                dst = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+                )
+                dst[...] = arr
+        except BaseException:
+            _OWNED.pop(shm.name, None)
+            shm.close()
+            shm.unlink()
+            raise
         handle = cls(shm.name, tuple(per_net), union_specs, kernel_backend=backend)
         handle._owned_shm = shm
         return handle

@@ -1,7 +1,12 @@
-"""Shared-memory network sharing: fidelity, immutability, lifecycle, and
-the parallel_map integration."""
+"""Shared-memory network sharing: fidelity, immutability, lifecycle,
+crash safety, and the parallel_map integration."""
 
 import glob
+import os
+import pathlib
+import signal
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -12,6 +17,8 @@ from repro.graphs import SharedNetwork
 from repro.graphs.shared import _ATTACHED
 
 CFG = CountingConfig(verification=False, max_phase=10)
+
+_SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
 
 
 def _run_sum(network, seed):
@@ -97,9 +104,9 @@ class TestParallelMapSharedNetwork:
         assert serial == sharded
 
     def test_segment_cleaned_up_after_map(self, net_small):
-        before = set(glob.glob("/dev/shm/psm_*"))
+        before = set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/repro-*"))
         parallel_map(_run_sum, [1, 2], jobs=2, network=net_small)
-        after = set(glob.glob("/dev/shm/psm_*"))
+        after = set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/repro-*"))
         assert after <= before
 
 
@@ -164,3 +171,165 @@ class TestSharedNetworkPackUnion:
             _union_probe, [1, 2], jobs=2, network=nets, union_csr=True
         )
         assert serial == sharded == [expected + (1,), expected + (2,)]
+
+
+class _BoomError(RuntimeError):
+    pass
+
+
+def _raise_boom(network, item):
+    raise _BoomError(f"boom on {item}")
+
+
+def _raise_interrupt(network, item):
+    raise KeyboardInterrupt
+
+
+def _repro_segments() -> set:
+    return set(glob.glob("/dev/shm/repro-*"))
+
+
+class TestWorkerFailureUnlinksSegment:
+    """Regression (PR 8): segments must not leak when a map dies.
+
+    A raising worker used to propagate through ``pool.map`` with the
+    ``with shared:`` unlink as the only line of defense; the resilient
+    dispatch path must preserve that guarantee through retries, typed
+    re-raise, and KeyboardInterrupt aborts.
+    """
+
+    def test_raising_worker_unlinks_segment(self, net_small):
+        from repro.exec import RetryPolicy
+
+        before = _repro_segments()
+        with pytest.raises(_BoomError):
+            parallel_map(
+                _raise_boom,
+                [1, 2, 3, 4],
+                jobs=2,
+                network=net_small,
+                policy=RetryPolicy(max_retries=0),
+            )
+        assert _repro_segments() <= before
+
+    def test_raising_worker_unlinks_pack_segment(self):
+        from repro.exec import RetryPolicy
+        from repro.graphs import build_small_world
+
+        nets = [build_small_world(n, 4, seed=n) for n in (24, 32)]
+        before = _repro_segments()
+        with pytest.raises(_BoomError):
+            parallel_map(
+                _raise_boom,
+                [1, 2, 3, 4],
+                jobs=2,
+                network=nets,
+                policy=RetryPolicy(max_retries=0),
+            )
+        assert _repro_segments() <= before
+
+    def test_keyboard_interrupt_mid_map_unlinks_segment(self, net_small):
+        # A worker-raised KeyboardInterrupt aborts the map (never
+        # retried) and the owner's context manager still unlinks.
+        before = _repro_segments()
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(_raise_interrupt, [1, 2, 3, 4], jobs=2, network=net_small)
+        assert _repro_segments() <= before
+
+    def test_serial_raise_never_touches_shm(self, net_small):
+        before = _repro_segments()
+        with pytest.raises(_BoomError):
+            parallel_map(_raise_boom, [1, 2], network=net_small)
+        assert _repro_segments() <= before
+
+
+class TestCrashSafeSegments:
+    """PR 8: recognizable names, owner guards, and the orphan sweeper."""
+
+    def test_segment_name_carries_owner_pid(self, net_small):
+        with SharedNetwork.create(net_small) as shared:
+            assert shared.name.startswith(f"repro-{os.getpid()}-")
+
+    def test_create_failure_unlinks_partial_segment(self, net_small, monkeypatch):
+        import numpy as np
+
+        import repro.graphs.shared as shared_mod
+
+        def explode(*args, **kwargs):
+            raise MemoryError("simulated copy failure")
+
+        before = _repro_segments()
+        monkeypatch.setattr(np, "ndarray", explode)
+        with pytest.raises(MemoryError):
+            shared_mod.SharedNetwork.create(net_small)
+        monkeypatch.undo()
+        assert _repro_segments() <= before
+
+    def test_cleanup_orphans_reaps_dead_owner_segment(self, tmp_path):
+        from repro.graphs import cleanup_orphans
+
+        # A segment named for a pid that cannot exist (> pid_max) is an
+        # orphan by construction; shm segments are plain files in
+        # /dev/shm, so creating one directly simulates an owner that
+        # died without running any cleanup hook.
+        name = "repro-99999999-deadbeef"
+        path = f"/dev/shm/{name}"
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 16)
+        try:
+            removed = cleanup_orphans()
+            assert name in removed
+            assert not os.path.exists(path)
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def test_cleanup_orphans_spares_live_owner(self, net_small):
+        from repro.graphs import cleanup_orphans
+
+        with SharedNetwork.create(net_small) as shared:
+            removed = cleanup_orphans()
+            assert shared.name not in removed
+            assert os.path.exists(f"/dev/shm/{shared.name}")
+
+    def test_sigterm_guard_unlinks_owned_segments(self, tmp_path):
+        # A real owner process killed with SIGTERM must leave no
+        # segment behind (the chained signal guard unlinks before the
+        # process dies with the conventional -SIGTERM status).
+        code = (
+            "import sys, time\n"
+            f"sys.path.insert(0, {str(_SRC)!r})\n"
+            "from repro.graphs import SharedNetwork\n"
+            "from repro.graphs.smallworld import build_small_world\n"
+            "net = build_small_world(32, 4, seed=3)\n"
+            "sh = SharedNetwork.create(net)\n"
+            "print(sh.name, flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code], stdout=subprocess.PIPE, text=True
+        )
+        try:
+            assert proc.stdout is not None
+            name = proc.stdout.readline().strip()
+            assert os.path.exists(f"/dev/shm/{name}")
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == -signal.SIGTERM
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_forked_worker_exit_spares_owner_segment(self, net_small):
+        # parallel_map tears its pool down with SIGTERM during crash
+        # recovery; workers inherit the owner's _OWNED registry under
+        # fork, and the pid check must keep their exit hooks from
+        # unlinking the owner's live segment.  Exercised by mapping over
+        # a live segment and checking it survives the pool's exit.
+        with SharedNetwork.create(net_small) as shared:
+            out = parallel_map(_run_sum, [1, 2], jobs=2, network=net_small)
+            assert len(out) == 2
+            assert os.path.exists(f"/dev/shm/{shared.name}")
+

@@ -1,0 +1,35 @@
+"""Module-level picklable workers for the resilience suite.
+
+Worker functions must be importable in forked/spawned pool processes,
+so everything the chaos tests map lives here rather than in test
+bodies.
+"""
+
+
+import os
+
+
+class FlakyError(RuntimeError):
+    """Typed error used to check original-exception re-raise."""
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def boom(x: int) -> int:
+    raise FlakyError(f"boom on {x}")
+
+
+def boom_on_three(x: int) -> int:
+    if x == 3:
+        raise FlakyError("three is right out")
+    return x * x
+
+
+def touch_and_square(arg: tuple[str, int]) -> int:
+    """Square ``x``, leaving a per-call marker file (recompute detector)."""
+    marker_dir, x = arg
+    with open(os.path.join(marker_dir, f"ran-{x}"), "a"):
+        pass
+    return x * x

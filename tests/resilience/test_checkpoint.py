@@ -1,0 +1,166 @@
+"""Checkpoint-journal contract: crash-safe append, keyed resume, torn tails.
+
+The journal must (a) only ever be resumed by the identical shard plan,
+(b) survive a kill at any byte offset by discarding exactly the torn
+tail, and (c) make a resumed map skip completed shards without
+recomputing them.
+"""
+
+import glob
+import os
+
+import pytest
+from helpers import boom, square, touch_and_square
+
+from repro.exec import CheckpointJournal, ExecutionReport, ShardExecutor, plan_key
+from repro.exec.checkpoint import _FRAME, _MAGIC
+from repro.experiments.common import parallel_map
+
+
+class TestPlanKey:
+    def test_deterministic(self):
+        assert plan_key("f", [1, 2, 3]) == plan_key("f", [1, 2, 3])
+
+    def test_sensitive_to_label_and_items(self):
+        base = plan_key("f", [1, 2, 3])
+        assert plan_key("g", [1, 2, 3]) != base
+        assert plan_key("f", [1, 2]) != base
+        assert plan_key("f", [3, 2, 1]) != base
+
+
+class TestJournal:
+    def test_roundtrip_across_reopen(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        key = plan_key("f", [10, 20])
+        with CheckpointJournal(path, key) as journal:
+            assert journal.completed() == {}
+            journal.record(0, {"result": 100})
+            journal.record(1, {"result": 400})
+        with CheckpointJournal(path, key) as journal:
+            assert journal.completed() == {0: {"result": 100}, 1: {"result": 400}}
+
+    def test_mismatched_plan_key_starts_fresh_with_warning(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with CheckpointJournal(path, "plan-a") as journal:
+            journal.record(0, "stale")
+        with pytest.warns(RuntimeWarning, match="different .*shard plan"):
+            journal = CheckpointJournal(path, "plan-b")
+        try:
+            assert journal.completed() == {}
+        finally:
+            journal.close()
+        # The stale journal was discarded on disk, not just ignored
+        # (the file now belongs to plan-b, so plan-a warns afresh).
+        with pytest.warns(RuntimeWarning, match="different .*shard plan"):
+            journal = CheckpointJournal(path, "plan-a")
+        try:
+            assert journal.completed() == {}
+        finally:
+            journal.close()
+
+    def test_non_journal_file_starts_fresh_with_warning(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        path.write_bytes(b"definitely not a journal")
+        with pytest.warns(RuntimeWarning, match="not a journal"):
+            journal = CheckpointJournal(path, "plan-a")
+        try:
+            assert journal.completed() == {}
+        finally:
+            journal.close()
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        key = "plan-a"
+        with CheckpointJournal(path, key) as journal:
+            journal.record(0, "alpha")
+            journal.record(1, "beta")
+        intact_size = path.stat().st_size
+        # Simulate a kill mid-append: a frame header promising more bytes
+        # than were written.
+        with open(path, "ab") as fh:
+            fh.write(_FRAME.pack(1000, 0) + b"only-a-few-bytes")
+        with CheckpointJournal(path, key) as journal:
+            assert journal.completed() == {0: "alpha", 1: "beta"}
+        assert path.stat().st_size == intact_size  # tail truncated clean
+
+    def test_corrupt_record_drops_only_the_tail(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        key = "plan-a"
+        with CheckpointJournal(path, key) as journal:
+            journal.record(0, "alpha")
+            size_after_first = path.stat().st_size
+            journal.record(1, "beta")
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a byte inside record 1's payload
+        path.write_bytes(bytes(raw))
+        with CheckpointJournal(path, key) as journal:
+            assert journal.completed() == {0: "alpha"}
+        assert path.stat().st_size == size_after_first
+
+    def test_empty_journal_restarts_clean(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        path.write_bytes(_MAGIC)  # header but no records (killed instantly)
+        with CheckpointJournal(path, "plan-a") as journal:
+            assert journal.completed() == {}
+            journal.record(0, "alpha")
+        with CheckpointJournal(path, "plan-a") as journal:
+            assert journal.completed() == {0: "alpha"}
+
+    def test_record_after_close_raises(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "sweep.ckpt", "plan-a")
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.record(0, "x")
+
+
+class TestResume:
+    def test_fully_journaled_map_never_calls_fn(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        key = plan_key("boom", [1, 2, 3])
+        with CheckpointJournal(path, key) as journal:
+            for i, x in enumerate([1, 2, 3]):
+                journal.record(i, x * x)
+        report = ExecutionReport()
+        with CheckpointJournal(path, key) as journal:
+            # boom raises on any call: results can only come from disk.
+            out = ShardExecutor(report=report).run(boom, [1, 2, 3], journal=journal)
+        assert out == [1, 4, 9]
+        assert report.resumed_shards == 3
+        assert report.total_attempts == 0
+        assert all(rec.resumed for rec in report.shards)
+
+    def test_partial_resume_runs_only_missing_shards(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        items = [10, 20, 30, 40]
+        key = plan_key("sq", items)
+        with CheckpointJournal(path, key) as journal:
+            journal.record(1, 400)
+            journal.record(3, 1600)
+        report = ExecutionReport()
+        with CheckpointJournal(path, key) as journal:
+            out = ShardExecutor(report=report).run(square, items, journal=journal)
+        assert out == [100, 400, 900, 1600]
+        assert report.resumed_shards == 2
+        assert report.shard(0).attempts == 1
+        assert report.shard(1).attempts == 0
+        # The journal now holds everything: a third run computes nothing.
+        with CheckpointJournal(path, key) as journal:
+            assert sorted(journal.completed()) == [0, 1, 2, 3]
+
+    def test_parallel_map_checkpoint_skips_recompute(self, tmp_path):
+        # End-to-end through parallel_map: the second run with the same
+        # checkpoint recomputes nothing (no fresh marker files) and
+        # returns identical results.
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        ckpt = tmp_path / "sweep.ckpt"
+        items = [(str(marker_dir), x) for x in range(4)]
+        first = parallel_map(touch_and_square, items, checkpoint=ckpt)
+        assert sorted(os.listdir(marker_dir)) == [f"ran-{x}" for x in range(4)]
+        for stale in glob.glob(str(marker_dir / "ran-*")):
+            os.unlink(stale)
+        report = ExecutionReport()
+        second = parallel_map(touch_and_square, items, checkpoint=ckpt, report=report)
+        assert second == first == [x * x for x in range(4)]
+        assert os.listdir(marker_dir) == []  # nothing recomputed
+        assert report.resumed_shards == 4

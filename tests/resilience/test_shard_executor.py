@@ -1,0 +1,195 @@
+"""ShardExecutor / RetryPolicy / ExecutionReport unit behavior.
+
+Process-fault scenarios (crashes, hangs, rebuilds) live in
+``test_chaos.py`` and ``test_sweep_chaos.py``; this module pins the
+in-process contracts: policy validation, deterministic backoff, retry
+bookkeeping, result ordering, typed re-raise, and the ``parallel_map``
+surface satellites (eager ``jobs`` validation, one-time degradation
+warning).
+"""
+
+import warnings
+
+import pytest
+from helpers import FlakyError, boom, boom_on_three, square
+
+from repro.exec import (
+    ExecutionReport,
+    RetryPolicy,
+    ShardExecutor,
+    ShardFailedError,
+)
+from repro.exec.resilience import _reset_degrade_warning, _warn_degraded
+from repro.experiments.common import parallel_map
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.timeout is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_max": -1.0},
+            {"jitter": -0.5},
+            {"max_pool_rebuilds": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_deterministic(self):
+        a = RetryPolicy(seed=7).backoff_delay(3, 2)
+        b = RetryPolicy(seed=7).backoff_delay(3, 2)
+        assert a == b
+
+    def test_backoff_varies_with_seed_shard_attempt(self):
+        base = RetryPolicy(seed=7).backoff_delay(3, 2)
+        assert RetryPolicy(seed=8).backoff_delay(3, 2) != base
+        assert RetryPolicy(seed=7).backoff_delay(4, 2) != base
+        assert RetryPolicy(seed=7).backoff_delay(3, 3) != base
+
+    def test_backoff_growth_and_cap(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3, jitter=0.0)
+        assert policy.backoff_delay(0, 1) == pytest.approx(0.1)
+        assert policy.backoff_delay(0, 2) == pytest.approx(0.2)
+        assert policy.backoff_delay(0, 3) == pytest.approx(0.3)  # capped
+        assert policy.backoff_delay(0, 9) == pytest.approx(0.3)
+
+    def test_backoff_jitter_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=1.0, jitter=0.5)
+        for i in range(20):
+            d = policy.backoff_delay(i, 1)
+            assert 0.1 <= d <= 0.15
+
+    def test_backoff_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_delay(0, 0)
+
+
+class TestExecutionReport:
+    def test_multi_map_blocks(self):
+        report = ExecutionReport()
+        report.start_map(2)
+        report.shard(1).retries += 1
+        report.start_map(3)
+        report.shard(0).timeouts += 1
+        assert len(report.shards) == 5
+        assert report.maps == 2
+        assert report.total_retries == 1
+        assert report.total_timeouts == 1
+        # shard() always indexes the latest block.
+        assert report.shard(0).timeouts == 1
+
+    def test_summary_mentions_degradation(self):
+        report = ExecutionReport()
+        report.start_map(1)
+        assert "DEGRADED" not in report.summary()
+        report.degraded = True
+        assert "DEGRADED" in report.summary()
+
+
+class TestSerialExecution:
+    def test_results_keep_order(self):
+        out = ShardExecutor().run(square, [3, 1, 2])
+        assert out == [9, 1, 4]
+
+    def test_exhausted_retries_reraise_original_type(self):
+        report = ExecutionReport()
+        executor = ShardExecutor(RetryPolicy(max_retries=2, backoff_base=0.0), report)
+        with pytest.raises(FlakyError):
+            executor.run(boom, [1])
+        rec = report.shard(0)
+        assert rec.attempts == 3  # initial + 2 retries
+        assert rec.retries == 2
+        assert rec.errors == 3
+
+    def test_zero_retries_fail_fast(self):
+        report = ExecutionReport()
+        executor = ShardExecutor(RetryPolicy(max_retries=0), report)
+        with pytest.raises(FlakyError):
+            executor.run(boom_on_three, [1, 2, 3, 4])
+        assert report.shard(2).attempts == 1
+        assert report.total_retries == 0
+
+
+class TestParallelExecution:
+    def test_results_keep_order(self):
+        report = ExecutionReport()
+        out = ShardExecutor(report=report).run(square, list(range(8)), jobs=4)
+        assert out == [x * x for x in range(8)]
+        assert all(rec.attempts == 1 for rec in report.shards)
+        assert report.total_faults == 0
+
+    def test_worker_exception_retried_then_reraised(self):
+        report = ExecutionReport()
+        executor = ShardExecutor(RetryPolicy(max_retries=1, backoff_base=0.0), report)
+        with pytest.raises(FlakyError):
+            executor.run(boom_on_three, [1, 2, 3, 4], jobs=2)
+        rec = report.shard(2)
+        assert rec.attempts == 2
+        assert rec.errors == 2
+        assert rec.retries == 1
+
+    def test_shard_failed_error_reserved_for_faults(self):
+        # ShardFailedError is raised only for timeouts/crashes (exercised
+        # in test_chaos.py); a raising worker keeps its own type, so the
+        # two are distinguishable by callers.
+        assert issubclass(ShardFailedError, RuntimeError)
+
+
+class TestParallelMapSurface:
+    def test_negative_jobs_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="jobs must be None or >= 0"):
+            parallel_map(square, [1, 2], jobs=-1)
+
+    def test_negative_jobs_rejected_before_consuming_items(self):
+        def gen():
+            raise AssertionError("items must not be consumed")
+            yield  # pragma: no cover
+
+        with pytest.raises(ValueError):
+            parallel_map(square, gen(), jobs=-2)
+
+    def test_zero_and_one_jobs_run_serial(self):
+        assert parallel_map(square, [1, 2], jobs=0) == [1, 4]
+        assert parallel_map(square, [1, 2], jobs=1) == [1, 4]
+
+    def test_report_threading(self):
+        report = ExecutionReport()
+        out = parallel_map(square, [1, 2, 3], jobs=2, report=report)
+        assert out == [1, 4, 9]
+        assert report.maps == 1
+        assert len(report.shards) == 3
+
+    def test_serial_path_honors_policy(self):
+        report = ExecutionReport()
+        with pytest.raises(FlakyError):
+            parallel_map(
+                boom,
+                [1],
+                policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+                report=report,
+            )
+        assert report.shard(0).retries == 1
+
+
+class TestDegradationWarning:
+    def test_warning_fires_once(self):
+        _reset_degrade_warning()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _warn_degraded("test reason")
+            _warn_degraded("test reason")
+        _reset_degrade_warning()
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, RuntimeWarning)
+        assert "serial" in str(caught[0].message)

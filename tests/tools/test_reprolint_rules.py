@@ -635,6 +635,57 @@ class TestPathScopedExemptions:
         assert exempt_codes_for("src/repro/core/batch.py") == frozenset()
 
 
+class TestChaosPathExemption:
+    # The chaos harness draws its fault schedule straight from
+    # numpy.random so injection decisions can never share (or perturb)
+    # the simulation's seed universe — the one module where bypassing
+    # repro.sim.rng is the correct design.
+    CHAOS = "src/repro/exec/chaos.py"
+    SNIPPET = """
+        import numpy as np
+
+        def fault_for(seed, index, attempt):
+            rng = np.random.default_rng(np.random.SeedSequence([seed, index, attempt]))
+            return float(rng.random())
+        """
+
+    def test_r005_fires_on_the_shape_without_the_exemption(self):
+        # Proves the exemption is load-bearing on a distilled snippet.
+        from reprolint.engine import ModuleContext
+
+        ctx = ModuleContext(textwrap.dedent(self.SNIPPET), self.CHAOS)
+        findings = RULES_BY_CODE["R005"].check(ctx)
+        # default_rng and SeedSequence are flagged separately.
+        assert [f.code for f in findings] == ["R005", "R005"]
+
+    def test_r005_fires_on_the_real_module_without_the_exemption(self):
+        # And on the shipped source itself: remove the exemption and the
+        # linter would flag chaos.py, so the entry is not dead config.
+        from pathlib import Path
+
+        from reprolint.engine import ModuleContext
+
+        root = Path(__file__).resolve().parents[2]
+        source = (root / self.CHAOS).read_text(encoding="utf-8")
+        ctx = ModuleContext(source, self.CHAOS)
+        findings = RULES_BY_CODE["R005"].check(ctx)
+        assert findings and {f.code for f in findings} == {"R005"}
+        assert lint_source(source, self.CHAOS) == []
+
+    def test_exemption_suppresses_only_for_chaos(self):
+        assert lint_source(textwrap.dedent(self.SNIPPET), self.CHAOS) == []
+        findings = lint_source(
+            textwrap.dedent(self.SNIPPET), "src/repro/exec/resilience.py"
+        )
+        assert findings and {f.code for f in findings} == {"R005"}
+
+    def test_exempt_codes_for_chaos(self):
+        from reprolint.rules import exempt_codes_for
+
+        assert exempt_codes_for(self.CHAOS) == {"R005"}
+        assert exempt_codes_for("src/repro/exec/checkpoint.py") == frozenset()
+
+
 @pytest.mark.parametrize(
     "module",
     [
@@ -646,6 +697,8 @@ class TestPathScopedExemptions:
         "src/repro/adversary/base.py",
         "src/repro/adversary/strategies.py",
         "src/repro/sim/rng.py",
+        "src/repro/exec/resilience.py",
+        "src/repro/exec/checkpoint.py",
     ],
 )
 def test_real_engine_modules_are_clean(module):
