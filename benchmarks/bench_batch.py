@@ -32,6 +32,13 @@ one network, in four workloads:
   elementwise waste and the per-segment scratch copies, so this entry
   must stay above 1x.  A secondary ungated entry tracks union vs the
   padded fused path;
+* **service** — a continuous-estimation deployment under churn: E epochs
+  of (estimate B trials, then churn the overlay) through the resident
+  engine (:class:`repro.service.ResidentEngine` — incremental CSR
+  patches, warm flood kernel) vs the cold per-epoch loop (rebuild +
+  re-validate the graph and a fresh kernel every epoch).  The gated
+  speedup is cold/resident; the entry also records sustained
+  queries/sec under churn for both paths;
 * **baseline** — the geometric-max estimator, scalar vs trials-as-columns
   batch.
 
@@ -76,8 +83,10 @@ from repro.core import (
 )
 from repro.core.runner import run_counting
 from repro.experiments.common import parallel_map
-from repro.graphs import build_small_world
+from repro.graphs import build_small_world, hgraph_from_cycles
+from repro.service import ChurnDelta, ResidentEngine
 from repro.sim.backends import backend_available
+from repro.sim.rng import derive_seed, make_rng
 
 DEFAULT_N = 1024
 DEFAULT_TRIALS = 32
@@ -87,6 +96,12 @@ BYZ_STRATEGIES = ("early-stop", "inflation", "adaptive-record")
 SWEEP_STRATEGIES = BYZ_STRATEGIES
 SWEEP_PLACEMENTS = 4
 MULTI_NS = (256, 512, 1024)
+SERVICE_EPOCHS = 4
+# Fraction of nodes replaced per epoch (>= 1 node).  Kept small on
+# purpose: churn between consecutive estimation rounds is a few nodes,
+# and the lattice's (k-1)-ball geometry makes the incremental patch
+# near-global once many nodes change at once (see repro.graphs.delta).
+SERVICE_CHURN = 0.001
 
 
 def _seeds(trials: int) -> list[int]:
@@ -213,6 +228,61 @@ def run_multinet_union(nets, seeds, config=CFG, backend=None):
     return list(run_counting_unionstack(nets, seeds, config=config, backend=backend))
 
 
+def run_service_resident(
+    n, seeds, epochs=SERVICE_EPOCHS, churn=SERVICE_CHURN, config=CFG
+):
+    """E epochs of (estimate, then churn) through the resident engine.
+
+    The engine keeps the graph and flood kernel warm: each epoch patches
+    the CSR incrementally (:class:`repro.graphs.delta.ResidentGraph`) and
+    rebinds the kernel in place.  The churn deltas derive from a fixed
+    seed stream, so every invocation replays the identical trajectory.
+    """
+    engine = ResidentEngine(config=config)
+    engine.add_overlay("svc", n=n, d=8, seed=3)
+    rng = make_rng(derive_seed(3, "bench-service"))
+    out = []
+    for _ in range(epochs):
+        out.extend(engine.run_epoch("svc", seeds))
+        n_now = engine.network("svc").n
+        cnt = max(1, int(round(churn * n_now)))
+        leaves = tuple(int(v) for v in rng.choice(n_now, size=cnt, replace=False))
+        engine.apply_churn("svc", ChurnDelta(leaves, cnt), rng)
+    return out
+
+
+def _service_snapshots(n, epochs=SERVICE_EPOCHS, churn=SERVICE_CHURN):
+    """The per-epoch networks of the resident trajectory (untimed replay)."""
+    engine = ResidentEngine(config=CFG)
+    engine.add_overlay("svc", n=n, d=8, seed=3)
+    rng = make_rng(derive_seed(3, "bench-service"))
+    snaps = []
+    for _ in range(epochs):
+        snaps.append(engine.network("svc"))
+        n_now = engine.network("svc").n
+        cnt = max(1, int(round(churn * n_now)))
+        leaves = tuple(int(v) for v in rng.choice(n_now, size=cnt, replace=False))
+        engine.apply_churn("svc", ChurnDelta(leaves, cnt), rng)
+    return snaps
+
+
+def run_service_cold(snapshots, seeds, config=CFG):
+    """The rebuild-per-epoch loop a non-resident service pays.
+
+    Every epoch re-derives and re-validates the full graph from its
+    Hamiltonian cycles (all lattice chunks recomputed) and builds a fresh
+    flood kernel — the work the resident engine's incremental patching
+    and kernel reuse avoid.
+    """
+    out = []
+    for net in snapshots:
+        rebuilt = build_small_world(
+            net.n, net.d, h=hgraph_from_cycles(net.h.cycles), k=net.k
+        )
+        out.extend(run_counting_batch(rebuilt, seeds, config=config))
+    return out
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -276,6 +346,14 @@ def test_bench_unionstack_trials(benchmark):
     assert len(results) == len(nets) * len(seeds)
 
 
+def test_bench_service_resident_trials(benchmark):
+    seeds = _seeds(max(2, DEFAULT_TRIALS // 4))
+    results = benchmark.pedantic(
+        run_service_resident, args=(256, seeds), rounds=2, iterations=1
+    )
+    assert len(results) == SERVICE_EPOCHS * len(seeds)
+
+
 def test_bench_baseline_batched_trials(benchmark):
     net = _net()
     seeds = _seeds(DEFAULT_TRIALS)
@@ -334,6 +412,17 @@ def test_unionstack_matches_per_size_runs():
     union = run_multinet_union(nets, seeds)
     loop = run_multinet_batched_loop(nets, seeds)
     for a, b in zip(loop, union):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+
+
+def test_service_resident_matches_cold_rebuilds():
+    """Guard: resident-engine epochs equal cold rebuild-per-epoch runs."""
+    seeds = _seeds(4)
+    cold = run_service_cold(_service_snapshots(256), seeds)
+    res = run_service_resident(256, seeds)
+    assert len(cold) == len(res) == SERVICE_EPOCHS * len(seeds)
+    for a, b in zip(cold, res):
         assert np.array_equal(a.decided_phase, b.decided_phase)
         assert a.meter.as_dict() == b.meter.as_dict()
 
@@ -643,6 +732,36 @@ def main(argv: list[str] | None = None) -> int:
             f"{'union_stack-numba':<28}{t_uni * 1e3:>8.1f}ms"
             f"{t_nbu * 1e3:>8.1f}ms{sp:>9.2f}x"
         )
+
+    # --- continuous estimation service (resident engine under churn) --
+    svc_epochs = SERVICE_EPOCHS
+    svc_queries = svc_epochs * args.trials
+    svc_snaps = _service_snapshots(args.n, epochs=svc_epochs)
+    run_service_resident(args.n, seeds[: min(4, len(seeds))], epochs=2)  # warm
+    t_cold, cold = _time_best(
+        run_service_cold, svc_snaps, seeds, repeats=args.repeats
+    )
+    t_res, res = _time_best(
+        run_service_resident, args.n, seeds, svc_epochs, repeats=args.repeats
+    )
+    for a, b in zip(cold, res):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+    sp = record(
+        "service",
+        t_cold,
+        t_res,
+        {
+            "reference": "cold rebuild per epoch",
+            "epochs": svc_epochs,
+            "churn_per_epoch": SERVICE_CHURN,
+            "queries": svc_queries,
+            "queries_per_s_cold": svc_queries / t_cold,
+            "queries_per_s_resident": svc_queries / t_res,
+        },
+        trials=svc_queries,
+    )
+    print(f"{'service':<28}{t_cold * 1e3:>8.1f}ms{t_res * 1e3:>8.1f}ms{sp:>9.2f}x")
 
     # --- baseline estimator (geometric-max) ---------------------------
     t_seq, seq = _time_best(

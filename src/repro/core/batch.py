@@ -161,6 +161,7 @@ def run_counting_batch(
     adversary_factory: Callable[[], Adversary] | Adversary | None = None,
     byz_mask: AnyArray | Sequence[AnyArray | None] | None = None,
     backend: str | None = None,
+    kernel: FloodKernel | None = None,
 ) -> BatchCountingResult:
     """Run ``len(seeds)`` independent counting trials, batched.
 
@@ -197,6 +198,14 @@ def run_counting_batch(
         ``REPRO_KERNEL_BACKEND`` env override, then auto).  Backends are
         bit-for-bit interchangeable — this is a speed knob, never a
         semantics knob (see :mod:`repro.sim.backends`).
+    kernel:
+        A pre-built :class:`~repro.sim.flood.FloodKernel` over this
+        network's ``H`` adjacency to reuse across calls (the resident
+        churn engine keeps kernels — and their cached gather plans — warm
+        between epochs).  Mutually exclusive with ``backend`` (the kernel
+        already carries one); its CSR must match the network, validated
+        eagerly.  Kernel reuse is a speed knob with the same bit-for-bit
+        guarantee as ``backend``.
 
     Returns
     -------
@@ -204,6 +213,13 @@ def run_counting_batch(
         Per-trial :class:`~repro.core.results.CountingResult` objects, in
         ``seeds`` order, bit-for-bit equal to sequential ``run_counting``.
     """
+    if kernel is not None:
+        if backend is not None:
+            raise ValueError(
+                "pass either backend or a pre-built kernel, not both (the "
+                "kernel already carries its backend)"
+            )
+        _check_kernel_csr(kernel, network, "kernel")
     seeds = list(seeds)
     batch = len(seeds)
     configs = _normalize_configs(config, batch)
@@ -221,6 +237,7 @@ def run_counting_batch(
                 adversary_factory,
                 byz_bn[trial_ids],
                 backend=backend,
+                kernel=kernel,
             )
             for i, res in zip(trial_ids, group):
                 results[i] = res
@@ -231,7 +248,8 @@ def run_counting_batch(
     results = [None] * batch
     for cfg, trial_ids in _group_by_config(configs).items():
         group = _run_batched_group(
-            network, [seeds[i] for i in trial_ids], cfg, backend=backend
+            network, [seeds[i] for i in trial_ids], cfg, backend=backend,
+            kernel=kernel,
         )
         for i, res in zip(trial_ids, group):
             results[i] = res
@@ -284,6 +302,26 @@ def _normalize_byz_masks(byz_mask: Any, batch: int, n: int) -> BoolArray | None:
     )
 
 
+def _check_kernel_csr(
+    kernel: FloodKernel, network: SmallWorldNetwork, name: str
+) -> None:
+    """Reject a reused kernel whose CSR drifted from the network's ``H``.
+
+    The resident churn engine rebinds kernels via
+    :meth:`~repro.sim.flood.FloodKernel.update_csr` after every delta;
+    this guards the handoff so a missed rebind fails loudly instead of
+    flooding a stale adjacency.
+    """
+    if kernel.n != network.n or not (
+        np.array_equal(kernel.indptr, network.h.indptr)
+        and np.array_equal(kernel.indices, network.h.indices)
+    ):
+        raise ValueError(
+            f"{name} adjacency does not match the network's H CSR; rebind "
+            "with kernel.update_csr(...) after mutating the overlay"
+        )
+
+
 def _batch_adversary(factory: AdversarySpec, batch: int) -> Adversary:
     """Resolve the adversary that will drive one placement sub-group."""
     if isinstance(factory, Adversary):
@@ -329,6 +367,7 @@ def _run_batched_group(
     seeds: list[SeedLike],
     config: CountingConfig,
     backend: str | None = None,
+    kernel: FloodKernel | None = None,
 ) -> list[CountingResult]:
     """The batched engine proper: one config, ``B`` seeds, no adversary.
 
@@ -349,7 +388,8 @@ def _run_batched_group(
         color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
         color_rngs.append(color_rng)
 
-    kernel = FloodKernel(network.h.indptr, network.h.indices, backend=backend)
+    if kernel is None:
+        kernel = FloodKernel(network.h.indptr, network.h.indices, backend=backend)
     decided = np.full((batch, n), UNDECIDED, dtype=np.int64)
     meters = MeterBatch(batch)
     traces = [PhaseTrace() for _ in range(batch)]
@@ -662,6 +702,7 @@ def _run_byzantine_batched_group(
     adversary_factory: AdversarySpec,
     byz_bn: BoolArray,
     backend: str | None = None,
+    kernel: FloodKernel | None = None,
 ) -> list[CountingResult]:
     """Batched Algorithm 2: one config, ``B`` seeds, per-trial placements.
 
@@ -732,7 +773,8 @@ def _run_byzantine_batched_group(
             total_ports = int(network.g_indptr[-1])
             meters.add_messages(all_trials, total_ports, ids_each=d)
 
-    kernel = FloodKernel(network.h.indptr, network.h.indices, backend=backend)
+    if kernel is None:
+        kernel = FloodKernel(network.h.indptr, network.h.indices, backend=backend)
     decided = np.full((batch, n), UNDECIDED, dtype=np.int64)
     witness_ball = min(ball_size_bound(d, k, 1), n)
     witness_cap = min(witness_ball, 64)
@@ -1021,6 +1063,7 @@ def run_counting_multinet(
     adversary_factory: Callable[[], Adversary] | Adversary | None = None,
     byz_mask: Sequence[AnyArray | None] | None = None,
     backend: str | None = None,
+    kernel: MultiFloodKernel | None = None,
 ) -> BatchCountingResult:
     """Run independent counting trials on *per-trial networks*, batched.
 
@@ -1050,8 +1093,19 @@ def run_counting_multinet(
         ``kernel_backend`` attribute shipped on the ``networks`` container
         (:class:`repro.graphs.shared.NetworkTuple`), so sharded workers
         inherit the sweep-level choice.
+    kernel:
+        A pre-built :class:`~repro.sim.flood.MultiFloodKernel` over the
+        *distinct* networks of this batch (first-appearance order), reused
+        across calls by the resident churn engine.  Mutually exclusive
+        with ``backend``; member adjacencies are validated against the
+        networks eagerly.
     """
-    if backend is None:
+    if kernel is not None and backend is not None:
+        raise ValueError(
+            "pass either backend or a pre-built kernel, not both (the "
+            "kernel already carries its backend)"
+        )
+    if backend is None and kernel is None:
         backend = getattr(networks, "kernel_backend", None)
     networks = list(networks)
     seeds = list(seeds)
@@ -1088,6 +1142,15 @@ def run_counting_multinet(
             raise ValueError("byz_mask given without an adversary_factory")
         masks = None
 
+    if kernel is not None:
+        if len(kernel.kernels) != len(nets):
+            raise ValueError(
+                f"kernel covers {len(kernel.kernels)} networks but this batch "
+                f"has {len(nets)} distinct networks"
+            )
+        for g, net in enumerate(nets):
+            _check_kernel_csr(kernel.kernels[g], net, f"kernel.kernels[{g}]")
+
     if len(nets) == 1:
         # One distinct graph: the single-network engine is this exact
         # computation without padding.
@@ -1098,6 +1161,7 @@ def run_counting_multinet(
             adversary_factory=adversary_factory,
             byz_mask=masks,
             backend=backend,
+            kernel=kernel.kernels[0] if kernel is not None else None,
         )
 
     configs = _normalize_configs(config, batch)
@@ -1124,6 +1188,7 @@ def run_counting_multinet(
                 adversary_factory,
                 [group_masks[j] for j in order],
                 backend=backend,
+                kernel=kernel,
             )
         else:
             order = sorted(
@@ -1131,7 +1196,8 @@ def run_counting_multinet(
             )
             ids = [trial_ids[j] for j in order]
             group = _run_multinet_group(
-                nets, net_of[ids], [seeds[i] for i in ids], cfg, backend=backend
+                nets, net_of[ids], [seeds[i] for i in ids], cfg, backend=backend,
+                kernel=kernel,
             )
         for i, res in zip(ids, group):
             results[i] = res
@@ -1186,6 +1252,7 @@ def _run_multinet_group(
     seeds: list[SeedLike],
     config: CountingConfig,
     backend: str | None = None,
+    kernel: MultiFloodKernel | None = None,
 ) -> list[CountingResult]:
     """Padded multi-network Algorithm 1: one config, ``B`` (network, seed)
     trials as columns.
@@ -1210,7 +1277,7 @@ def _run_multinet_group(
         color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
         color_rngs.append(color_rng)
 
-    mkernel = MultiFloodKernel(nets, backend=backend)
+    mkernel = kernel if kernel is not None else MultiFloodKernel(nets, backend=backend)
     decided = np.full((batch, n_pad), UNDECIDED, dtype=np.int64)
     meters = MeterBatch(batch)
     traces = [PhaseTrace() for _ in range(batch)]
@@ -1402,6 +1469,7 @@ def _run_multinet_byzantine_group(
     adversary_factory: AdversarySpec,
     masks: list[BoolArray],
     backend: str | None = None,
+    kernel: MultiFloodKernel | None = None,
 ) -> list[CountingResult]:
     """Padded multi-network Algorithm 2: one config, per-trial networks and
     placements.
@@ -1481,7 +1549,7 @@ def _run_multinet_byzantine_group(
             )
             meters.add_messages(all_trials, ports, ids_each=d)
 
-    mkernel = MultiFloodKernel(nets, backend=backend)
+    mkernel = kernel if kernel is not None else MultiFloodKernel(nets, backend=backend)
     decided = np.full((batch, n_pad), UNDECIDED, dtype=np.int64)
     honest_uncrashed = act_bn & ~byz_bn & ~crashed_bn
     alive = np.ones(batch, dtype=bool)
@@ -1776,6 +1844,7 @@ def run_counting_unionstack(
     adversary_factory: Callable[[], Adversary] | Adversary | None = None,
     byz_mask: Any = None,
     backend: str | None = None,
+    kernel: UnionFloodKernel | None = None,
 ) -> BatchCountingResult:
     """Run a rectangular (network x seed) grid as one union-stack batch.
 
@@ -1811,6 +1880,11 @@ def run_counting_unionstack(
     backend:
         As in :func:`run_counting_multinet` (``None`` adopts the
         container's ``kernel_backend`` attribute when present).
+    kernel:
+        A pre-built :class:`~repro.sim.flood.UnionFloodKernel` whose
+        block ``g`` is ``networks[g]``'s ``H`` adjacency, reused across
+        calls by the resident churn engine.  Mutually exclusive with
+        ``backend``; block sizes are validated eagerly.
 
     Returns
     -------
@@ -1848,7 +1922,20 @@ def run_counting_unionstack(
             raise ValueError("byz_mask given without an adversary_factory")
         masks = None
 
-    ukernel = _resolve_union_kernel(networks, nets, backend=backend)
+    if kernel is not None:
+        if backend is not None:
+            raise ValueError(
+                "pass either backend or a pre-built kernel, not both (the "
+                "kernel already carries its backend)"
+            )
+        if kernel.sizes != tuple(int(net.n) for net in nets):
+            raise ValueError(
+                f"kernel block sizes {kernel.sizes} do not match the "
+                f"networks' sizes {tuple(int(net.n) for net in nets)}"
+            )
+        ukernel = kernel
+    else:
+        ukernel = _resolve_union_kernel(networks, nets, backend=backend)
 
     configs = _normalize_configs(config, cols)
     results: list[CountingResult | None] = [None] * (n_g * cols)

@@ -875,6 +875,10 @@ def run_multi_sweep(
     """
     if layout not in LAYOUTS:
         raise ValueError(f"layout must be one of {LAYOUTS}, got {layout!r}")
+    # Keep the caller's container: a ready NetworkTuple (the resident
+    # engine's cached payload, pre-stacked union CSR attached) is handed
+    # to parallel_map as-is so serial maps skip re-stacking.
+    networks_payload = networks if isinstance(networks, tuple) else None
     networks = list(networks)
     if not networks:
         raise ValueError("run_multi_sweep needs at least one network")
@@ -1005,7 +1009,7 @@ def run_multi_sweep(
             _run_union_shard,
             tasks,
             jobs=jobs,
-            network=networks,
+            network=networks_payload if networks_payload is not None else networks,
             union_csr=True,
             kernel_backend=backend,
             policy=policy,
@@ -1097,7 +1101,7 @@ def run_multi_sweep(
         _run_multi_shard,
         padded_tasks,
         jobs=jobs,
-        network=networks,
+        network=networks_payload if networks_payload is not None else networks,
         kernel_backend=backend,
         policy=policy,
         report=report,

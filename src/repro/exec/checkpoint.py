@@ -4,7 +4,8 @@ A resilient map can spill each completed shard's result to disk so a
 killed sweep resumes without recomputing finished shards.  The journal
 is a single append-only file:
 
-* an 8-byte magic header (``REPROCKP``, versioned),
+* an 8-byte magic header (``REPROCK1`` — the trailing byte is the format
+  version, bumped on incompatible layout changes),
 * then framed records, each ``<u32 length> <u32 crc32> <payload>``
   where the payload is a pickled ``(index, result)`` tuple — except the
   **first** record, whose payload is the sweep's *plan key*.

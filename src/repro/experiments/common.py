@@ -262,9 +262,22 @@ def parallel_map(
             if multi:
                 from ..graphs.shared import NetworkTuple
 
-                payload = NetworkTuple.build(
-                    network, union=union_csr, backend=kernel_backend
-                )
+                if (
+                    isinstance(network, NetworkTuple)
+                    and (not union_csr or network.union_csr is not None)
+                    and (
+                        kernel_backend is None
+                        or network.kernel_backend == kernel_backend
+                    )
+                ):
+                    # A ready-made payload (the resident engine hands its
+                    # cached NetworkTuple straight through): reuse it and
+                    # its pre-stacked union CSR instead of re-stacking.
+                    payload = network
+                else:
+                    payload = NetworkTuple.build(
+                        network, union=union_csr, backend=kernel_backend
+                    )
             else:
                 payload = network
             if resilient:

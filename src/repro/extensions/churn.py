@@ -15,6 +15,13 @@ knowledge.  This module models an epoch-based dynamic network:
 The takeaway measurement: the per-epoch median estimate follows the true
 ``log n`` trajectory within the constant-factor band, epoch after epoch,
 with no state carried over — counting is cheap enough to re-run.
+
+Execution-wise the trajectory drives the resident estimation engine
+(:class:`repro.service.ResidentEngine`): every epoch's overlay registers
+with the engine and the per-epoch runs become *columns* of batched
+multi-network rounds (honest epochs fuse into one batch, attacked epochs
+into another), bit-for-bit equal to the scalar per-epoch calls this
+module used to make (pinned by ``tests/extensions/test_churn.py``).
 """
 
 from __future__ import annotations
@@ -24,11 +31,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..adversary.placement import placement_for_delta
-from ..core.basic_counting import run_basic_counting
-from ..core.byzantine_counting import run_byzantine_counting
 from ..core.config import CountingConfig
 from ..core.estimator import make_adversary, practical_band
 from ..graphs.smallworld import build_small_world
+from ..service import ResidentEngine, SizeQuery
 from ..sim.rng import derive_seed
 
 __all__ = ["EpochRecord", "ChurnReport", "track_size_over_epochs"]
@@ -97,35 +103,67 @@ def track_size_over_epochs(
     modelled by re-seeding their randomness and Byzantine placement each
     epoch) before every run; the topology is re-sampled at each epoch's
     size, as rebuild-based overlays do.
+
+    The epochs execute through one :class:`repro.service.ResidentEngine`:
+    each overlay registers once, and the per-epoch runs fuse into batched
+    multi-network rounds (epochs as columns) grouped honest vs attacked.
+    Every record is bit-for-bit what the scalar per-epoch
+    ``run_basic_counting`` / ``run_byzantine_counting`` calls produce.
+
+    ``adversary="honest"`` runs the pure protocol: no Byzantine placement
+    is drawn at all and every record reports ``byz_count=0`` (placed
+    nodes that never act would misreport the attack surface).  A
+    non-honest adversary whose placement comes up empty likewise runs the
+    honest path with ``byz_count=0``.
     """
     if not sizes:
         raise ValueError("need at least one epoch size")
     if not 0.0 <= churn_rate <= 1.0:
         raise ValueError("churn_rate must be in [0, 1]")
     config = config or CountingConfig(max_phase=32)
-    report = ChurnReport()
+    honest_config = config.with_(verification=False)
+    engine = ResidentEngine()
+    factory = None if adversary == "honest" else (lambda: make_adversary(adversary))
+
+    queries: list[SizeQuery] = []
+    epochs: list[tuple[int, int, int, int]] = []  # (epoch, n, churned, byz_count)
     for epoch, n in enumerate(sizes):
         net = build_small_world(n, d, seed=derive_seed(seed, "epoch-net", epoch))
+        engine.add_overlay(f"epoch-{epoch:06d}", network=net)
         churned = int(round(churn_rate * n))
-        byz = placement_for_delta(
-            net, delta, rng=derive_seed(seed, "epoch-byz", epoch)
-        )
-        run_seed = derive_seed(seed, "epoch-run", epoch, churned)
-        if byz.any() and adversary != "honest":
-            result = run_byzantine_counting(
-                net, make_adversary(adversary), byz, config=config, seed=run_seed
+        # Honest mode draws no placement: the run ignores the Byzantine
+        # set, so recording placed nodes would misreport byz_count.
+        byz = None
+        if adversary != "honest":
+            placed = placement_for_delta(
+                net, delta, rng=derive_seed(seed, "epoch-byz", epoch)
             )
-        else:
-            result = run_basic_counting(net, config=config, seed=run_seed)
+            if placed.any():
+                byz = placed
+        run_seed = derive_seed(seed, "epoch-run", epoch, churned)
+        queries.append(
+            SizeQuery(
+                f"epoch-{epoch:06d}",
+                run_seed,
+                config=config if byz is not None else honest_config,
+                strategy=factory if byz is not None else None,
+                byz_mask=byz,
+            )
+        )
+        epochs.append((epoch, n, churned, 0 if byz is None else int(byz.sum())))
+
+    results = engine.serve(queries)
+    band = practical_band(d)
+    report = ChurnReport()
+    for (epoch, n, churned, byz_count), result in zip(epochs, results):
         _, med, _ = result.decision_quantiles()
-        band = practical_band(d)
         report.append(
             EpochRecord(
                 epoch=epoch,
                 n=n,
                 log2_n=float(np.log2(n)),
                 churned=churned,
-                byz_count=int(byz.sum()),
+                byz_count=byz_count,
                 median_phase=med,
                 fraction_in_band=result.fraction_in_band(*band),
                 fraction_decided=result.fraction_decided(),

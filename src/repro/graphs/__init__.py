@@ -30,7 +30,8 @@ from .classification import (
     ltl_mask,
     tree_radius,
 )
-from .hgraph import HGraph, generate_hgraph
+from .delta import AppliedDelta, ResidentGraph
+from .hgraph import HGraph, generate_hgraph, hgraph_from_cycles
 from .properties import (
     DegreeStats,
     SpectralReport,
@@ -45,12 +46,21 @@ from .properties import (
     spectral_report,
 )
 from .shared import SharedNetwork, SharedNetworkPack, cleanup_orphans
-from .smallworld import SmallWorldNetwork, build_small_world, lattice_parameter
+from .smallworld import (
+    SmallWorldNetwork,
+    ball_chunk,
+    build_small_world,
+    lattice_parameter,
+)
 from .wattsstrogatz import WattsStrogatzGraph, generate_watts_strogatz
 
 __all__ = [
+    "AppliedDelta",
     "HGraph",
+    "ResidentGraph",
+    "ball_chunk",
     "generate_hgraph",
+    "hgraph_from_cycles",
     "SmallWorldNetwork",
     "SharedNetwork",
     "SharedNetworkPack",

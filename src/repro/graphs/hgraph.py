@@ -23,7 +23,12 @@ from .._types import Int64Array, IntArray, SeedLike
 from ..sim.rng import make_rng
 from .balls import bfs_distances
 
-__all__ = ["HGraph", "generate_hgraph", "hamiltonian_cycle_edges"]
+__all__ = [
+    "HGraph",
+    "generate_hgraph",
+    "hamiltonian_cycle_edges",
+    "hgraph_from_cycles",
+]
 
 
 def hamiltonian_cycle_edges(perm: IntArray) -> tuple[IntArray, IntArray]:
@@ -165,6 +170,31 @@ def generate_hgraph(n: int, d: int, seed: SeedLike = 0) -> HGraph:
     cycles = np.empty((half, n), dtype=np.int64)
     for c in range(half):
         cycles[c] = rng.permutation(n)
+    return hgraph_from_cycles(cycles)
+
+
+def hgraph_from_cycles(cycles: Int64Array) -> HGraph:
+    """Assemble an :class:`HGraph` from an explicit ``(d/2, n)`` cycle array.
+
+    This is the CSR-assembly half of :func:`generate_hgraph`, split out so
+    callers that *derive* cycles some other way — the incremental churn
+    layer (:mod:`repro.graphs.delta`) snapshots its patched cycles through
+    here — produce adjacency bit-for-bit identical to a sampled graph with
+    the same cycles.  The row ordering contract this establishes (and
+    which :class:`~repro.graphs.delta.ResidentGraph` relies on): row ``v``
+    is ``[succ_0(v), pred_0(v), succ_1(v), pred_1(v), ...]``, one
+    successor/predecessor pair per cycle in cycle order — the stable
+    argsort keeps the per-cycle append order within each row.
+    """
+    cycles = np.ascontiguousarray(cycles, dtype=np.int64)
+    if cycles.ndim != 2:
+        raise ValueError(f"cycles must be a (d/2, n) array, got shape {cycles.shape}")
+    half, n = cycles.shape
+    if n < 3:
+        raise ValueError(f"H(n, d) requires n >= 3, got n={n}")
+    if half < 1:
+        raise ValueError("H(n, d) requires at least one cycle (even d >= 2)")
+    d = 2 * half
 
     # Build CSR adjacency in one shot: every vertex gains two neighbors per
     # cycle (its predecessor and successor on the cycle).

@@ -28,7 +28,12 @@ from .._types import Int64Array, Int8Array, IntArray, SeedLike
 from .balls import bfs_distances, gather_neighbors
 from .hgraph import HGraph, generate_hgraph
 
-__all__ = ["SmallWorldNetwork", "build_small_world", "lattice_parameter"]
+__all__ = [
+    "SmallWorldNetwork",
+    "ball_chunk",
+    "build_small_world",
+    "lattice_parameter",
+]
 
 
 def lattice_parameter(d: int) -> int:
@@ -150,12 +155,10 @@ def build_small_world(
     dist_chunks: list[Int8Array] = []
     counts = np.empty(h.n, dtype=np.int64)
     for v in range(h.n):
-        dist = _local_ball_distances(h, v, k)
-        nodes = np.array(sorted(dist.keys()), dtype=np.int64)
-        nodes = nodes[nodes != v]
+        nodes, dists = ball_chunk(h.indptr, h.indices, v, k)
         counts[v] = nodes.shape[0]
         nbr_chunks.append(nodes)
-        dist_chunks.append(np.array([dist[int(u)] for u in nodes], dtype=np.int8))
+        dist_chunks.append(dists)
     g_indptr = np.zeros(h.n + 1, dtype=np.int64)
     np.cumsum(counts, out=g_indptr[1:])
     g_indices = np.concatenate(nbr_chunks) if nbr_chunks else np.empty(0, np.int64)
@@ -167,12 +170,36 @@ def build_small_world(
     return net
 
 
-def _local_ball_distances(h: HGraph, v: int, k: int) -> dict[int, int]:
+def ball_chunk(
+    indptr: IntArray, indices: IntArray, v: int, k: int
+) -> tuple[Int64Array, Int8Array]:
+    """One node's ``G``-adjacency chunk: ``B_H(v, k) \\ {v}`` with distances.
+
+    Returns ``(neighbors, dists)`` — the sorted node ids within ``H``
+    distance ``<= k`` of ``v`` (excluding ``v``) and their exact
+    distances.  This is the per-node unit :func:`build_small_world`
+    concatenates into the ``G`` CSR; the incremental churn layer
+    (:class:`repro.graphs.delta.ResidentGraph`) recomputes exactly these
+    chunks for nodes whose ``k``-ball a join/leave delta touched, which is
+    why the two paths stay bit-for-bit identical.  The chunk depends only
+    on the ball's membership and distances (ids come out sorted), never on
+    BFS visit order.
+    """
+    dist = _local_ball_distances(indptr, indices, v, k)
+    nodes = np.array(sorted(dist.keys()), dtype=np.int64)
+    nodes = nodes[nodes != v]
+    dists = np.array([dist[int(u)] for u in nodes], dtype=np.int8)
+    return nodes, dists
+
+
+def _local_ball_distances(
+    indptr: IntArray, indices: IntArray, v: int, k: int
+) -> dict[int, int]:
     """Exact ``dist_H`` for every node in ``B_H(v, k)`` via local BFS."""
     dist: dict[int, int] = {v: 0}
     frontier = np.array([v], dtype=np.int64)
     for depth in range(1, k + 1):
-        nbrs = gather_neighbors(h.indptr, h.indices, frontier)
+        nbrs = gather_neighbors(indptr, indices, frontier)
         fresh = [int(u) for u in np.unique(nbrs) if int(u) not in dist]
         if not fresh:
             break

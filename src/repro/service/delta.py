@@ -1,0 +1,55 @@
+"""Churn-delta descriptions consumed by the resident estimation engine.
+
+A :class:`ChurnDelta` is the *membership* half of a churn event — which
+node ids leave and how many fresh nodes join.  The *randomness* half (the
+per-cycle insertion anchors for each joiner) comes from the RNG stream the
+caller passes to :meth:`repro.service.ResidentEngine.apply_churn`, so a
+delta object is pure data: picklable, hashable, and replayable against
+any seed discipline (:mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["ChurnDelta"]
+
+
+@dataclass(frozen=True)
+class ChurnDelta:
+    """One epoch's membership change: ``leaves`` depart, ``joins`` arrive.
+
+    Attributes
+    ----------
+    leaves:
+        Node ids (in the overlay's *current* numbering) to remove.  Must
+        be distinct; validated when applied.
+    joins:
+        Number of fresh nodes to insert.  New nodes receive the ids
+        ``[n_live, n_live + joins)`` after compaction.
+    """
+
+    leaves: tuple[int, ...] = ()
+    joins: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "leaves", tuple(int(v) for v in self.leaves))
+        if self.joins < 0:
+            raise ValueError(f"joins must be >= 0, got {self.joins}")
+        if len(set(self.leaves)) != len(self.leaves):
+            raise ValueError("leave ids must be distinct")
+
+    @property
+    def size_change(self) -> int:
+        """Net change in overlay size (``joins - len(leaves)``)."""
+        return self.joins - len(self.leaves)
+
+    @classmethod
+    def replace(cls, ids: Sequence[int]) -> "ChurnDelta":
+        """A pure-replacement delta: the given nodes leave, as many join."""
+        ids = tuple(int(v) for v in ids)
+        return cls(leaves=ids, joins=len(ids))
+
+    def __bool__(self) -> bool:
+        return bool(self.leaves) or self.joins > 0

@@ -1,0 +1,227 @@
+"""Asyncio query front for the resident estimation engine.
+
+:class:`EstimationService` turns a :class:`~repro.service.engine
+.ResidentEngine` into a concurrent size-estimation endpoint:
+
+* **queries** (`await service.query(...)`) enqueue onto a bounded
+  :class:`asyncio.Queue` — a full queue applies backpressure by making
+  ``query`` await a slot instead of growing an unbounded backlog;
+* a single **worker task** drains the queue, *fusing consecutive
+  queries* into one :meth:`~repro.service.engine.ResidentEngine.serve`
+  batch (concurrent callers pay one batched flood, not N sequential
+  ones) and running the blocking engine call in the default executor so
+  the event loop stays responsive;
+* **churn commands** (`await service.churn(...)`) travel through the
+  same queue and act as *ordering barriers*: queries enqueued before a
+  churn see the pre-delta overlay, queries after it see the patched one
+  — exactly the sequential semantics, made explicit;
+* **shutdown** (`await service.aclose()`) closes the intake, drains
+  every already-accepted item, and joins the worker — no request is
+  dropped, and nothing engine-side leaks (the engine owns no shared
+  memory; pinned segments only exist inside sharded sweeps, which unlink
+  on exit).
+
+Single-worker by design: the engine's caches are not thread-safe, and
+one worker already saturates the numpy core because queries fuse into
+batches.  Results are bit-for-bit equal to calling the engine directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..sim.rng import make_rng
+from .delta import ChurnDelta
+from .engine import ResidentEngine, SizeQuery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Callable
+
+    from ..adversary.base import Adversary
+    from ..core.config import CountingConfig
+    from ..core.results import CountingResult
+    from ..graphs.delta import AppliedDelta
+
+__all__ = ["EstimationService"]
+
+_CLOSE = object()  # intake-closed sentinel; always the queue's last item
+
+
+class _Job:
+    """One queued request: a query or a churn barrier, plus its future."""
+
+    __slots__ = ("kind", "payload", "future")
+
+    def __init__(self, kind: str, payload: Any, future: "asyncio.Future[Any]") -> None:
+        self.kind = kind
+        self.payload = payload
+        self.future = future
+
+
+class EstimationService:
+    """Bounded-queue asyncio front over a :class:`ResidentEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The resident engine to serve from.  The service takes ownership
+        of its execution: do not call the engine concurrently from
+        outside while the service is running.
+    max_pending:
+        Queue bound.  ``query``/``churn`` calls beyond this many
+        in-flight requests await a free slot (backpressure) instead of
+        queueing without limit.
+    """
+
+    def __init__(self, engine: ResidentEngine, *, max_pending: int = 64) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.engine = engine
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=max_pending)
+        self._closed = False
+        self._worker: "asyncio.Task[None] | None" = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        overlay: str,
+        seed: int | None,
+        *,
+        config: "CountingConfig | None" = None,
+        strategy: "Callable[[], Adversary] | Adversary | None" = None,
+        byz_mask: Any = None,
+    ) -> "CountingResult":
+        """Estimate ``overlay``'s size: one counting trial, awaited.
+
+        Concurrent callers are fused into one batched engine round; the
+        returned :class:`~repro.core.results.CountingResult` is
+        bit-for-bit the trial a direct engine call would produce.
+        """
+        q = SizeQuery(
+            overlay=overlay,
+            seed=seed,
+            config=config,
+            strategy=strategy,
+            byz_mask=byz_mask,
+        )
+        return await self._submit("query", q)
+
+    async def churn(
+        self,
+        overlay: str,
+        delta: ChurnDelta,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> "AppliedDelta":
+        """Apply a membership delta to ``overlay``, as an ordering barrier.
+
+        Queries enqueued before this call resolve against the pre-delta
+        overlay; queries after it see the patched one.  ``rng`` seeds the
+        joiners' insertion anchors (anything
+        :func:`repro.sim.rng.make_rng` accepts).
+        """
+        gen = rng if isinstance(rng, np.random.Generator) else make_rng(rng)
+        return await self._submit("churn", (overlay, delta, gen))
+
+    async def aclose(self) -> None:
+        """Close the intake, drain accepted requests, join the worker.
+
+        Idempotent.  After this returns every previously-accepted future
+        has resolved and the worker task has exited; further ``query`` /
+        ``churn`` calls raise :class:`RuntimeError`.
+        """
+        if self._closed:
+            if self._worker is not None:
+                await self._worker
+            return
+        self._closed = True
+        if self._worker is None:
+            return
+        await self._queue.put(_CLOSE)
+        await self._worker
+
+    async def __aenter__(self) -> "EstimationService":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    async def _submit(self, kind: str, payload: Any) -> Any:
+        if self._closed:
+            raise RuntimeError("EstimationService is closed")
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(self._run())
+        future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Job(kind, payload, future))  # backpressure point
+        return await future
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        held: "_Job | None" = None  # churn pulled while batching queries
+        while True:
+            if held is not None:
+                item, held = held, None
+            else:
+                item = await self._queue.get()
+            if item is _CLOSE:
+                return
+            job: _Job = item
+            if job.kind == "churn":
+                await self._run_churn(loop, job)
+                continue
+            # Fuse every immediately-available query into one batch.  A
+            # churn (or the close sentinel) is a barrier: hold it, flush
+            # the batch, then handle it on the next pass — preserving
+            # enqueue order exactly.
+            batch = [job]
+            while held is None:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _CLOSE or nxt.kind == "churn":
+                    held = nxt
+                else:
+                    batch.append(nxt)
+            await self._run_queries(loop, batch)
+            if held is _CLOSE:
+                return
+
+    async def _run_churn(self, loop: asyncio.AbstractEventLoop, job: _Job) -> None:
+        overlay, delta, gen = job.payload
+        try:
+            applied = await loop.run_in_executor(
+                None, self.engine.apply_churn, overlay, delta, gen
+            )
+        except BaseException as exc:  # propagate to the awaiting caller
+            if not job.future.cancelled():
+                job.future.set_exception(exc)
+        else:
+            if not job.future.cancelled():
+                job.future.set_result(applied)
+
+    async def _run_queries(
+        self, loop: asyncio.AbstractEventLoop, batch: "list[_Job]"
+    ) -> None:
+        queries = [job.payload for job in batch]
+        try:
+            results = await loop.run_in_executor(None, self.engine.serve, queries)
+        except BaseException as exc:
+            for job in batch:
+                if not job.future.cancelled():
+                    job.future.set_exception(exc)
+        else:
+            for job, res in zip(batch, results):
+                if not job.future.cancelled():
+                    job.future.set_result(res)

@@ -111,6 +111,40 @@ class FloodKernel:
         """``out[v] = max(sent[u] for u in N(v))`` (0 if all neighbors silent)."""
         return self._backend.neighbor_max(self, sent, out)
 
+    def invalidate_plans(self) -> None:
+        """Drop every cached gather plan (batch plans, neighbor columns).
+
+        Plans are pure functions of the CSR, so they only need dropping
+        when the adjacency itself changes — :meth:`update_csr` calls this;
+        long-lived holders (the resident churn engine) may also call it to
+        release plan memory for an overlay going idle.
+        """
+        self._batch_plans.clear()
+        self._neighbor_cols = None
+
+    def update_csr(self, indptr: IntArray, indices: IntArray) -> None:
+        """Re-point the kernel at a patched adjacency, keeping the backend.
+
+        The resident churn engine (:mod:`repro.service`) patches overlay
+        CSRs incrementally across epochs; rebinding the existing kernel
+        revalidates the new adjacency, recomputes the degree metadata, and
+        invalidates exactly the cached plans — cheaper than constructing a
+        kernel per epoch and a precise answer to "which caches does a
+        churn delta invalidate" (all plans of the mutated overlay, nothing
+        else).
+        """
+        degrees = np.diff(indptr)
+        if degrees.size and degrees.min() <= 0:
+            raise ValueError("FloodKernel requires minimum degree >= 1")
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.n = indptr.shape[0] - 1
+        self._starts = self.indptr[:-1]
+        self._uniform_degree = (
+            int(degrees[0]) if degrees.size and degrees.min() == degrees.max() else 0
+        )
+        self.invalidate_plans()
+
     def _batch_plan(self, batch: int) -> tuple[Int64Array, Int64Array]:
         plan = self._batch_plans.get(batch)
         if plan is None:
@@ -283,13 +317,16 @@ class UnionFloodKernel(FloodKernel):
     def segment_count_nonzero(
         self, values: AnyArray, out: Int64Array | None = None
     ) -> Int64Array:
-        """Per-(block, column) nonzero counts of an ``(N, B)`` matrix."""
+        """Per-(block, column) nonzero counts of an ``(N, B)`` matrix.
+
+        One segmented ``reduceat`` over ``values != 0``, mirroring
+        :meth:`segment_sum` — the per-block Python loop this replaces cost
+        a kernel dispatch per block per round.
+        """
+        counts = np.add.reduceat(values != 0, self.offsets[:-1], axis=0, dtype=np.int64)
         if out is None:
-            out = np.empty((len(self.sizes), values.shape[1]), dtype=np.int64)
-        for g in range(len(self.sizes)):
-            out[g] = np.count_nonzero(
-                values[self.offsets[g] : self.offsets[g + 1]], axis=0
-            )
+            return counts
+        np.copyto(out, counts)
         return out
 
     def segment_sum(self, values: AnyArray) -> AnyArray:
@@ -312,7 +349,7 @@ _MERGE_MAX_RUN = 16
 class _ColumnSegment:
     """One contiguous column span of a :class:`MultiFloodKernel` plan."""
 
-    __slots__ = ("lo", "hi", "n", "kernel", "idx")
+    __slots__ = ("lo", "hi", "n", "kernel", "idx", "ccols")
 
     def __init__(
         self,
@@ -327,6 +364,12 @@ class _ColumnSegment:
         self.n = n
         self.kernel = kernel  # single-network run: dispatch to this kernel
         self.idx = idx  # merged shape group: per-slot (n, width) gathers
+        # Column broadcast for the merged-gather path, built once at
+        # plan-build time (plans are cached; rebuilding this every merged
+        # segment every round cost an allocation per kernel call).
+        self.ccols: Int64Array | None = (
+            np.arange(hi - lo, dtype=np.int64)[None, :] if idx is not None else None
+        )
 
 
 class _ColumnPlan:
@@ -364,15 +407,40 @@ class MultiFloodKernel:
         self,
         networks: Iterable[SmallWorldNetwork],
         backend: str | KernelBackend | None = None,
+        kernels: list[FloodKernel] | None = None,
     ) -> None:
         networks = list(networks)
-        # Resolve once so every member kernel shares one backend instance
-        # (and the env lookup happens once, not per network).
-        resolved = resolve_backend(backend)
-        self.kernels = [
-            FloodKernel(net.h.indptr, net.h.indices, backend=resolved)
-            for net in networks
-        ]
+        if kernels is not None:
+            # Adopt pre-built member kernels (the resident churn engine
+            # keeps one warm FloodKernel per overlay and shares it here so
+            # its cached gather plans survive across epochs).  Mutually
+            # exclusive with an explicit backend; members must already
+            # match the networks' adjacencies.
+            if backend is not None:
+                raise ValueError(
+                    "pass either backend or pre-built kernels, not both "
+                    "(the kernels already carry their backend)"
+                )
+            if len(kernels) != len(networks):
+                raise ValueError(
+                    f"got {len(kernels)} kernels for {len(networks)} networks"
+                )
+            for kern, net in zip(kernels, networks):
+                if kern.n != net.n:
+                    raise ValueError(
+                        f"kernel has {kern.n} rows but its network has "
+                        f"{net.n} nodes"
+                    )
+            resolved = kernels[0]._backend if kernels else resolve_backend(None)
+            self.kernels = kernels
+        else:
+            # Resolve once so every member kernel shares one backend
+            # instance (and the env lookup happens once, not per network).
+            resolved = resolve_backend(backend)
+            self.kernels = [
+                FloodKernel(net.h.indptr, net.h.indices, backend=resolved)
+                for net in networks
+            ]
         self.sizes = tuple(int(net.n) for net in networks)
         self.degrees = tuple(int(net.d) for net in networks)
         self.n_pad = max(self.sizes) if self.sizes else 0
@@ -383,6 +451,17 @@ class MultiFloodKernel:
     def backend(self) -> str:
         """Name of the compute backend shared by the member kernels."""
         return self._backend.name
+
+    def invalidate_plans(self) -> None:
+        """Drop every cached column plan and the member kernels' plans.
+
+        Column plans hold per-graph gather matrices, so they are stale the
+        moment any member adjacency changes; the resident churn engine
+        calls this after patching an overlay the kernel serves.
+        """
+        self._plan_cache.clear()
+        for kernel in self.kernels:
+            kernel.invalidate_plans()
 
     # ------------------------------------------------------------------
     def column_plan(self, col_net: IntArray) -> _ColumnPlan:
@@ -489,7 +568,7 @@ class MultiFloodKernel:
                 else:
                     np.copyto(dst, seg.kernel.neighbor_max_stacked(src))
             else:
-                ccols = np.arange(seg.hi - seg.lo)[None, :]
+                ccols = seg.ccols
                 res = np.maximum(src[seg.idx[0], ccols], src[seg.idx[1], ccols])
                 for j in range(2, len(seg.idx)):
                     np.maximum(res, src[seg.idx[j], ccols], out=res)

@@ -3,8 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.adversary.placement import placement_for_delta
 from repro.core import CountingConfig
+from repro.core.basic_counting import run_basic_counting
+from repro.core.byzantine_counting import run_byzantine_counting
+from repro.core.estimator import make_adversary, practical_band
 from repro.extensions import track_size_over_epochs
+from repro.graphs import build_small_world
+from repro.sim.rng import derive_seed
 
 
 class TestTrajectory:
@@ -47,6 +53,16 @@ class TestTrajectory:
         with pytest.raises(ValueError, match="churn_rate"):
             track_size_over_epochs([128], churn_rate=1.5)
 
+    def test_honest_mode_records_zero_byz_count(self):
+        # Regression: honest-mode runs ignore the Byzantine set entirely,
+        # so records must report byz_count=0 — previously the (unused)
+        # placement's size leaked into the record.
+        report = track_size_over_epochs(
+            [256, 512], d=8, adversary="honest", delta=0.5, seed=6,
+            config=CountingConfig(max_phase=20),
+        )
+        assert [rec.byz_count for rec in report.records] == [0, 0]
+
     def test_epoch_records_fields(self):
         report = track_size_over_epochs(
             [256], d=8, adversary="honest", seed=5,
@@ -57,3 +73,50 @@ class TestTrajectory:
         assert rec.log2_n == pytest.approx(8.0)
         assert rec.rounds > 0
         assert np.isfinite(rec.median_phase)
+
+
+class TestScalarEquivalence:
+    """The resident-engine rewire changed execution, not results.
+
+    Every epoch record must match the scalar per-epoch path this module
+    originally ran: build the epoch network, draw the placement with the
+    same derive_seed keys, and run ``run_basic_counting`` /
+    ``run_byzantine_counting`` directly.
+    """
+
+    @pytest.mark.parametrize("adversary", ["honest", "early-stop", "inflation"])
+    def test_records_match_scalar_per_epoch_runs(self, adversary):
+        sizes = [64, 96, 128, 96]
+        d, delta, churn_rate, seed = 4, 0.5, 0.1, 5
+        config = CountingConfig(max_phase=14)
+        report = track_size_over_epochs(
+            sizes, d, delta=delta, adversary=adversary,
+            churn_rate=churn_rate, config=config, seed=seed,
+        )
+        band = practical_band(d)
+        for epoch, n in enumerate(sizes):
+            net = build_small_world(n, d, seed=derive_seed(seed, "epoch-net", epoch))
+            churned = int(round(churn_rate * n))
+            run_seed = derive_seed(seed, "epoch-run", epoch, churned)
+            byz = None
+            if adversary != "honest":
+                placed = placement_for_delta(
+                    net, delta, rng=derive_seed(seed, "epoch-byz", epoch)
+                )
+                if placed.any():
+                    byz = placed
+            if byz is not None:
+                result = run_byzantine_counting(
+                    net, make_adversary(adversary), byz,
+                    config=config, seed=run_seed,
+                )
+            else:
+                result = run_basic_counting(net, config=config, seed=run_seed)
+            rec = report.records[epoch]
+            _, med, _ = result.decision_quantiles()
+            assert rec.churned == churned
+            assert rec.byz_count == (0 if byz is None else int(byz.sum()))
+            assert rec.median_phase == med
+            assert rec.fraction_in_band == result.fraction_in_band(*band)
+            assert rec.fraction_decided == result.fraction_decided()
+            assert rec.rounds == result.meter.rounds

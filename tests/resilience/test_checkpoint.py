@@ -28,6 +28,20 @@ class TestPlanKey:
         assert plan_key("f", [3, 2, 1]) != base
 
 
+class TestOnDiskFormat:
+    def test_magic_header_bytes_pinned(self, tmp_path):
+        # The on-disk format is a compatibility surface: the first 8
+        # bytes are the literal magic, trailing byte = format version.
+        # Changing either breaks resume of existing journals — this pin
+        # forces that change to be deliberate.
+        assert _MAGIC == b"REPROCK1"
+        path = tmp_path / "sweep.ckpt"
+        with CheckpointJournal(path, plan_key("f", [1])) as journal:
+            journal.record(0, "x")
+        with open(path, "rb") as fh:
+            assert fh.read(8) == b"REPROCK1"
+
+
 class TestJournal:
     def test_roundtrip_across_reopen(self, tmp_path):
         path = tmp_path / "sweep.ckpt"

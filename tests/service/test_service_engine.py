@@ -1,0 +1,195 @@
+"""ResidentEngine: warm caches change speed, never results.
+
+The soak test is the tentpole contract: N epochs of churn driven through
+the resident engine produce estimation results bit-for-bit equal to cold
+per-epoch runs (fresh network object, fresh kernel, stock batch entry
+point) — decisions, estimates, crash sets, meters, and injection
+counters all included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import InflationAdversary, random_placement
+from repro.core.batch import run_counting_batch, run_counting_multinet
+from repro.core.config import CountingConfig
+from repro.core.sweep import run_multi_sweep
+from repro.graphs import build_small_world, hgraph_from_cycles
+from repro.service import ChurnDelta, ResidentEngine, SizeQuery
+from repro.sim.flood import FloodKernel, MultiFloodKernel
+from repro.sim.rng import derive_seed, make_rng
+
+CFG = CountingConfig(max_phase=12)
+SEEDS = list(range(6))
+
+
+def assert_trial_equal(a, b):
+    assert np.array_equal(a.decided_phase, b.decided_phase)
+    assert np.array_equal(a.crashed, b.crashed)
+    assert np.array_equal(a.byz, b.byz)
+    assert a.meter.as_dict() == b.meter.as_dict()
+    assert list(a.trace) == list(b.trace)
+    assert a.injections_accepted == b.injections_accepted
+    assert a.injections_rejected == b.injections_rejected
+
+
+def cold_copy(net):
+    """An independent rebuild of ``net`` (no shared arrays or caches)."""
+    return build_small_world(net.n, net.d, h=hgraph_from_cycles(net.h.cycles), k=net.k)
+
+
+class TestKernelAdoption:
+    """MultiFloodKernel(kernels=...): warm member kernels, same results."""
+
+    def test_adopted_kernels_bit_for_bit(self):
+        nets = [build_small_world(40, 4, seed=s) for s in range(3)]
+        trial_nets = [nets[i % 3] for i in range(7)]
+        seeds = list(range(7))
+        cold = run_counting_multinet(trial_nets, seeds, config=CFG)
+        members = [FloodKernel(n.h.indptr, n.h.indices) for n in nets]
+        warm = run_counting_multinet(
+            trial_nets,
+            seeds,
+            config=CFG,
+            kernel=MultiFloodKernel(nets, kernels=members),
+        )
+        for a, b in zip(cold, warm):
+            assert_trial_equal(a, b)
+
+    def test_adoption_validation(self):
+        nets = [build_small_world(40, 4, seed=s) for s in range(2)]
+        members = [FloodKernel(n.h.indptr, n.h.indices) for n in nets]
+        with pytest.raises(ValueError, match="not both"):
+            MultiFloodKernel(nets, backend="numpy", kernels=members)
+        with pytest.raises(ValueError):
+            MultiFloodKernel(nets, kernels=members[:1])
+
+
+class TestSoak:
+    """N epochs of churn: resident results == cold per-epoch results."""
+
+    def test_epochs_under_churn_equal_cold_runs(self):
+        engine = ResidentEngine(config=CFG)
+        engine.add_overlay("east", n=72, d=4, seed=1)
+        engine.add_overlay("west", n=56, d=4, seed=2)
+        rng = make_rng(derive_seed(11, "soak"))
+        for epoch in range(5):
+            for name in engine.overlay_names():
+                warm = engine.run_epoch(name, SEEDS)
+                cold = run_counting_batch(
+                    cold_copy(engine.network(name)), SEEDS, config=CFG
+                )
+                for a, b in zip(warm, cold):
+                    assert_trial_equal(a, b)
+            # Churn both overlays before the next epoch.
+            for name in engine.overlay_names():
+                n = engine.network(name).n
+                leaves = rng.choice(n, size=int(rng.integers(1, 5)), replace=False)
+                joins = int(rng.integers(0, 5))
+                engine.apply_churn(name, ChurnDelta(tuple(leaves), joins), rng)
+                assert engine.version(name) == epoch + 1
+
+    def test_byzantine_epoch_after_churn(self):
+        engine = ResidentEngine(config=CFG)
+        engine.add_overlay("o", n=64, d=4, seed=3)
+        rng = make_rng(7)
+        engine.apply_churn("o", ChurnDelta.replace((1, 2, 3)), rng)
+        net = engine.network("o")
+        mask = random_placement(net.n, 5, rng=make_rng(4))
+        warm = engine.run_epoch(
+            "o", SEEDS, adversary_factory=InflationAdversary, byz_mask=mask
+        )
+        cold = run_counting_batch(
+            cold_copy(net),
+            SEEDS,
+            config=CFG,
+            adversary_factory=InflationAdversary,
+            byz_mask=mask,
+        )
+        for a, b in zip(warm, cold):
+            assert_trial_equal(a, b)
+
+
+class TestServe:
+    def test_mixed_query_batch_matches_direct_runs(self):
+        engine = ResidentEngine(config=CFG)
+        engine.add_overlay("a", n=48, d=4, seed=1)
+        engine.add_overlay("b", n=40, d=4, seed=2)
+        mask = random_placement(48, 4, rng=make_rng(5))
+        queries = [
+            SizeQuery("b", 10),
+            SizeQuery("a", 11),
+            SizeQuery("b", 12, config=CountingConfig(max_phase=9)),
+            SizeQuery("a", 13, strategy=InflationAdversary, byz_mask=mask),
+        ]
+        results = engine.serve(queries)
+        assert len(results) == len(queries)
+        for q, r in zip(queries, results):
+            ref = run_counting_batch(
+                cold_copy(engine.network(q.overlay)),
+                [q.seed],
+                config=q.config or CFG,
+                adversary_factory=q.strategy,
+                byz_mask=q.byz_mask,
+            )[0]
+            assert_trial_equal(r, ref)
+
+    def test_serve_reuses_cached_multinet_kernel_until_churn(self):
+        engine = ResidentEngine(config=CFG)
+        engine.add_overlay("a", n=40, d=4, seed=1)
+        engine.add_overlay("b", n=48, d=4, seed=2)
+        engine.serve([SizeQuery("a", 1), SizeQuery("b", 2)])
+        (key1,) = engine._multi_cache
+        engine.serve([SizeQuery("a", 3), SizeQuery("b", 4)])
+        assert list(engine._multi_cache) == [key1]  # hit, not rebuild
+        engine.apply_churn("a", ChurnDelta(joins=1), make_rng(0))
+        engine.serve([SizeQuery("a", 5), SizeQuery("b", 6)])
+        assert key1 in engine._multi_cache  # old version entry retained (FIFO)
+        assert len(engine._multi_cache) == 2  # new version got its own entry
+
+    def test_unknown_overlay_raises(self):
+        engine = ResidentEngine(config=CFG)
+        with pytest.raises(KeyError, match="unknown overlay"):
+            engine.serve([SizeQuery("ghost", 1)])
+        with pytest.raises(KeyError):
+            engine.run_epoch("ghost", SEEDS)
+
+
+class TestSweep:
+    def test_cached_union_payload_matches_cold_sweep(self):
+        engine = ResidentEngine(config=CFG)
+        engine.add_overlay("a", n=40, d=4, seed=1)
+        engine.add_overlay("b", n=48, d=4, seed=2)
+        engine.apply_churn("b", ChurnDelta.replace((0,)), make_rng(3))
+        warm = engine.sweep(seeds=range(4))
+        cold = run_multi_sweep(
+            [cold_copy(engine.network(nm)) for nm in engine.overlay_names()],
+            seeds=range(4),
+        )
+        assert len(warm.results) == len(cold.results)
+        for a, b in zip(warm.results, cold.results):
+            assert_trial_equal(a, b)
+        # Payload is cached per version: a second sweep reuses the stack.
+        (key,) = engine._tuple_cache
+        engine.sweep(seeds=range(2))
+        assert list(engine._tuple_cache) == [key]
+
+
+class TestLifecycle:
+    def test_duplicate_overlay_rejected(self):
+        engine = ResidentEngine(config=CFG)
+        engine.add_overlay("a", n=40, d=4, seed=1)
+        with pytest.raises(ValueError, match="already registered"):
+            engine.add_overlay("a", n=40, d=4, seed=1)
+
+    def test_remove_overlay_evicts_caches(self):
+        engine = ResidentEngine(config=CFG)
+        engine.add_overlay("a", n=40, d=4, seed=1)
+        engine.add_overlay("b", n=40, d=4, seed=2)
+        engine.serve([SizeQuery("a", 1), SizeQuery("b", 2)])
+        engine.sweep(seeds=range(2))
+        assert engine._multi_cache and engine._tuple_cache
+        engine.remove_overlay("a")
+        assert not engine._multi_cache
+        assert not engine._tuple_cache
+        assert engine.overlay_names() == ("b",)

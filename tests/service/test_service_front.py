@@ -1,0 +1,158 @@
+"""EstimationService: concurrency, backpressure, barriers, clean shutdown.
+
+Plain-``asyncio.run`` tests (no pytest-asyncio dependency).  The leak
+check mirrors ``tests/resilience/test_sweep_chaos.py``: the set of
+``/dev/shm`` segments before and after a full service lifecycle must be
+identical.
+"""
+
+import asyncio
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.batch import run_counting_batch
+from repro.core.config import CountingConfig
+from repro.service import ChurnDelta, EstimationService, ResidentEngine
+
+CFG = CountingConfig(max_phase=10)
+
+
+def _repro_segments():
+    return sorted(glob.glob("/dev/shm/psm_*") + glob.glob("/dev/shm/repro-*"))
+
+
+def _engine(n=56, seed=5):
+    engine = ResidentEngine(config=CFG)
+    engine.add_overlay("x", n=n, d=4, seed=seed)
+    return engine
+
+
+def assert_trial_equal(a, b):
+    assert np.array_equal(a.decided_phase, b.decided_phase)
+    assert np.array_equal(a.crashed, b.crashed)
+    assert a.meter.as_dict() == b.meter.as_dict()
+
+
+class TestQueries:
+    def test_concurrent_queries_match_batched_reference(self):
+        async def main():
+            engine = _engine()
+            ref_net = engine.network("x")
+            async with EstimationService(engine) as svc:
+                results = await asyncio.gather(
+                    *(svc.query("x", s) for s in range(8))
+                )
+            reference = run_counting_batch(ref_net, list(range(8)), config=CFG)
+            for a, b in zip(results, reference):
+                assert_trial_equal(a, b)
+
+        asyncio.run(main())
+
+    def test_churn_is_an_ordering_barrier(self):
+        async def main():
+            engine = _engine()
+            pre_net = engine.network("x")
+            async with EstimationService(engine) as svc:
+                before = asyncio.ensure_future(svc.query("x", 1))
+                churned = asyncio.ensure_future(
+                    svc.churn("x", ChurnDelta.replace((0, 3)), rng=7)
+                )
+                after = asyncio.ensure_future(svc.query("x", 2))
+                r_before, applied, r_after = await asyncio.gather(
+                    before, churned, after
+                )
+            assert applied.left == (0, 3) and len(applied.joined) == 2
+            post_net = engine.network("x")
+            assert_trial_equal(
+                r_before, run_counting_batch(pre_net, [1], config=CFG)[0]
+            )
+            assert_trial_equal(
+                r_after, run_counting_batch(post_net, [2], config=CFG)[0]
+            )
+
+        asyncio.run(main())
+
+    def test_engine_errors_propagate_to_caller(self):
+        async def main():
+            async with EstimationService(_engine()) as svc:
+                with pytest.raises(KeyError, match="unknown overlay"):
+                    await svc.query("ghost", 1)
+                # The worker survives a failed batch.
+                await svc.query("x", 1)
+
+        asyncio.run(main())
+
+
+class TestBackpressure:
+    def test_bounded_queue_blocks_producers(self):
+        async def main():
+            engine = _engine()
+            async with EstimationService(engine, max_pending=2) as svc:
+                # More producers than slots: submissions beyond the bound
+                # must wait in put() rather than growing the queue.
+                tasks = [
+                    asyncio.ensure_future(svc.query("x", s)) for s in range(10)
+                ]
+                await asyncio.sleep(0)  # let producers hit the queue
+                assert svc._queue.qsize() <= 2
+                results = await asyncio.gather(*tasks)
+            assert len(results) == 10
+
+        asyncio.run(main())
+
+    def test_max_pending_validated(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            EstimationService(_engine(), max_pending=0)
+
+
+class TestShutdown:
+    def test_aclose_drains_then_rejects(self):
+        async def main():
+            engine = _engine()
+            svc = EstimationService(engine, max_pending=4)
+            pending = [asyncio.ensure_future(svc.query("x", s)) for s in range(4)]
+            await asyncio.sleep(0)
+            await svc.aclose()
+            # Every accepted request resolved during the drain.
+            results = await asyncio.gather(*pending)
+            assert len(results) == 4
+            assert svc.closed
+            with pytest.raises(RuntimeError, match="closed"):
+                await svc.query("x", 99)
+            with pytest.raises(RuntimeError, match="closed"):
+                await svc.churn("x", ChurnDelta(joins=1))
+
+        asyncio.run(main())
+
+    def test_aclose_idempotent_and_lazy_worker(self):
+        async def main():
+            svc = EstimationService(_engine())
+            await svc.aclose()  # no worker ever started
+            await svc.aclose()
+            assert svc.closed
+
+        asyncio.run(main())
+
+    def test_no_leaked_shm_segments(self):
+        before = _repro_segments()
+
+        async def main():
+            engine = _engine()
+            async with EstimationService(engine) as svc:
+                await asyncio.gather(*(svc.query("x", s) for s in range(4)))
+                await svc.churn("x", ChurnDelta(joins=2), rng=1)
+                await svc.query("x", 9)
+
+        asyncio.run(main())
+        assert _repro_segments() == before  # zero leaked shm segments
+
+    def test_context_manager_closes(self):
+        async def main():
+            svc = EstimationService(_engine())
+            async with svc:
+                await svc.query("x", 1)
+            assert svc.closed
+
+        asyncio.run(main())
