@@ -32,6 +32,11 @@ one network, in four workloads:
   elementwise waste and the per-segment scratch copies, so this entry
   must stay above 1x.  A secondary ungated entry tracks union vs the
   padded fused path;
+* **lossy** — the scenario-pack channel axis: ``B`` trials under a lossy
+  and noisy :class:`repro.sim.channel.ChannelModel` as ONE batched call vs
+  the per-seed loop of single-trial batches (the scalar runner has no
+  channel axis, so batch-of-1 calls are the sequential reference — the
+  channel stream is per trial, making the two bit-for-bit comparable);
 * **service** — a continuous-estimation deployment under churn: E epochs
   of (estimate B trials, then churn the overlay) through the resident
   engine (:class:`repro.service.ResidentEngine` — incremental CSR
@@ -86,6 +91,7 @@ from repro.experiments.common import parallel_map
 from repro.graphs import build_small_world, hgraph_from_cycles
 from repro.service import ChurnDelta, ResidentEngine
 from repro.sim.backends import backend_available
+from repro.sim.channel import ChannelModel
 from repro.sim.rng import derive_seed, make_rng
 
 DEFAULT_N = 1024
@@ -96,6 +102,10 @@ BYZ_STRATEGIES = ("early-stop", "inflation", "adaptive-record")
 SWEEP_STRATEGIES = BYZ_STRATEGIES
 SWEEP_PLACEMENTS = 4
 MULTI_NS = (256, 512, 1024)
+#: The scenario-pack channel the lossy workload runs under: a moderate
+#: drop rate plus light value noise, enough to lengthen runs realistically
+#: without stalling them.
+LOSSY_CHANNEL = ChannelModel(loss_p=0.15, noise_p=0.05, noise_amp=2)
 SERVICE_EPOCHS = 4
 # Fraction of nodes replaced per epoch (>= 1 node).  Kept small on
 # purpose: churn between consecutive estimation rounds is a few nodes,
@@ -131,6 +141,24 @@ def run_sharded(net, seeds, config=CFG, jobs: int = 2):
     ]
     parts = parallel_map(_shard_task, shards, jobs=jobs, network=net)
     return [res for part in parts for res in part]
+
+
+def run_lossy_per_seed(net, seeds, config=CFG, channel=LOSSY_CHANNEL):
+    """Per-seed single-trial batches under the channel.
+
+    The scalar runner has no channel axis, so the sequential reference is
+    a loop of batch-of-1 calls; each trial's channel stream is its own
+    (spawned per trial, sized by the trial's network), so the loop equals
+    the fused batch bit for bit.
+    """
+    out = []
+    for s in seeds:
+        out.extend(run_counting_batch(net, [s], config=config, channel=channel))
+    return out
+
+
+def run_lossy_batched(net, seeds, config=CFG, channel=LOSSY_CHANNEL):
+    return list(run_counting_batch(net, seeds, config=config, channel=channel))
 
 
 def run_byz_sequential(net, seeds, byz, strategy: str, config=BYZ_CFG):
@@ -308,6 +336,15 @@ def test_bench_batched_trials(benchmark):
     assert len(results) == DEFAULT_TRIALS
 
 
+def test_bench_lossy_batched_trials(benchmark):
+    net = _net()
+    seeds = _seeds(DEFAULT_TRIALS)
+    results = benchmark.pedantic(
+        run_lossy_batched, args=(net, seeds), rounds=3, iterations=1
+    )
+    assert len(results) == DEFAULT_TRIALS
+
+
 def test_bench_byzantine_batched_trials(benchmark):
     net = _net()
     seeds = _seeds(DEFAULT_TRIALS)
@@ -369,6 +406,17 @@ def test_batched_matches_sequential():
     seeds = _seeds(8)
     seq = run_sequential(net, seeds)
     bat = run_batched(net, seeds)
+    for a, b in zip(seq, bat):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+
+
+def test_lossy_batched_matches_per_seed():
+    """Guard: fusing lossy trials into one batch changes no statistic."""
+    net = build_small_world(256, 8, seed=3)
+    seeds = _seeds(8)
+    seq = run_lossy_per_seed(net, seeds)
+    bat = run_lossy_batched(net, seeds)
     for a, b in zip(seq, bat):
         assert np.array_equal(a.decided_phase, b.decided_phase)
         assert a.meter.as_dict() == b.meter.as_dict()
@@ -569,6 +617,26 @@ def main(argv: list[str] | None = None) -> int:
             f"{'honest-numba':<28}{t_np_honest * 1e3:>8.1f}ms"
             f"{t_nb * 1e3:>8.1f}ms{sp:>9.2f}x"
         )
+
+    # --- lossy (scenario-pack channel axis) ---------------------------
+    run_lossy_batched(net, seeds[: min(4, len(seeds))])  # warm
+    t_seq, seq = _time_best(run_lossy_per_seed, net, seeds, repeats=args.repeats)
+    t_bat, bat = _time_best(run_lossy_batched, net, seeds, repeats=args.repeats)
+    for a, b in zip(seq, bat):
+        assert np.array_equal(a.decided_phase, b.decided_phase)
+        assert a.meter.as_dict() == b.meter.as_dict()
+    sp = record(
+        "lossy",
+        t_seq,
+        t_bat,
+        {
+            "reference": "per-seed batch-of-1 under the same channel",
+            "loss_p": LOSSY_CHANNEL.loss_p,
+            "noise_p": LOSSY_CHANNEL.noise_p,
+            "noise_amp": LOSSY_CHANNEL.noise_amp,
+        },
+    )
+    print(f"{'lossy':<28}{t_seq * 1e3:>8.1f}ms{t_bat * 1e3:>8.1f}ms{sp:>9.2f}x")
 
     # --- byzantine (Algorithm 2, batched adversary fast path) ---------
     for strategy in BYZ_STRATEGIES:

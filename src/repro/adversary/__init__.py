@@ -1,7 +1,9 @@
 """Full-information Byzantine adversaries (Section 2.1 model, §3.4 attacks)."""
 
+from .adaptive import MobileAdversary, TrafficAdaptiveAdversary
 from .base import (
     Adversary,
+    BatchAdaptationState,
     BatchSubphasePlan,
     BatchSubphaseState,
     HonestAdversary,
@@ -32,6 +34,7 @@ __all__ = [
     "SubphaseState",
     "BatchSubphasePlan",
     "BatchSubphaseState",
+    "BatchAdaptationState",
     "PerTrialAdversaryBatch",
     "stack_subphase_plans",
     "has_native_batch",
@@ -45,5 +48,7 @@ __all__ = [
     "TopologyLiarAdversary",
     "ComboAdversary",
     "AdaptiveRecordAdversary",
+    "MobileAdversary",
+    "TrafficAdaptiveAdversary",
     "HUGE_COLOR",
 ]

@@ -1,0 +1,178 @@
+"""Adaptive and mobile Byzantine adversaries (the scenario-pack attackers).
+
+The base protocol's :meth:`~repro.adversary.base.Adversary.batch_adapt`
+hook lets an adversary relocate its placement *between subphases* from the
+traffic it observed.  Two concrete attackers live here:
+
+* :class:`MobileAdversary` — the Byzantine set *walks the graph*: at each
+  adaptation point every Byzantine node steps to a uniformly chosen free
+  ``G``-neighbor (count-preserving, collision-free).  The walk randomness
+  comes from a dedicated stream spawned off the adversary's first trial
+  stream at bind time, so the inner strategy's own draws are bit-for-bit
+  unchanged (spawning advances the child counter, not the bitstream).
+* :class:`TrafficAdaptiveAdversary` — re-places the whole Byzantine set
+  onto the nodes that transmitted in the most (``mode="hot"``) or fewest
+  (``mode="cold"``) rounds since the last adaptation point, summed across
+  the live trials.  Hot placement parks the attackers on the flooding
+  backbone; cold placement hides them where the protocol looks least.
+
+Both are *wrappers* in the :class:`TopologyLiarAdversary` idiom: the
+during-subphase behavior delegates to an ``inner`` adversary (default:
+honest behavior), so mobility/adaptivity composes with every built-in
+strategy — ``MobileAdversary(EarlyStopAdversary())`` is a roaming
+early-stopper.  The inner plans read placement from ``state.byz_nodes``
+(all built-ins do), so they follow relocations automatically.
+
+The engines apply one placement per adversary *group* (all trials bound to
+one instance share a mask), so adaptation here is group-level: one walk /
+one traffic ranking per adaptation point, deterministic given the bound
+seed universe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .._types import BoolArray
+from ..sim.rng import spawn
+from .base import (
+    Adversary,
+    BatchAdaptationState,
+    BatchSubphasePlan,
+    BatchSubphaseState,
+    SubphasePlan,
+    SubphaseState,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.config import CountingConfig
+    from ..core.neighborhood import ByzantineClaims
+    from ..graphs.smallworld import SmallWorldNetwork
+
+__all__ = ["MobileAdversary", "TrafficAdaptiveAdversary"]
+
+
+class _DelegatingAdversary(Adversary):
+    """Shared wrapper plumbing: bind and plan hooks delegate to ``inner``."""
+
+    def __init__(self, inner: Adversary | None = None) -> None:
+        super().__init__()
+        self.inner = inner if inner is not None else Adversary()
+
+    def bind(
+        self,
+        network: "SmallWorldNetwork",
+        byz_mask: BoolArray,
+        rng: np.random.Generator | None,
+        config: "CountingConfig",
+    ) -> None:
+        super().bind(network, byz_mask, rng, config)
+        self.inner.bind(network, byz_mask, rng, config)
+
+    def bind_batch(
+        self,
+        network: "SmallWorldNetwork",
+        byz_mask: BoolArray,
+        rngs: Sequence[np.random.Generator],
+        config: "CountingConfig",
+    ) -> None:
+        super().bind_batch(network, byz_mask, rngs, config)
+        self.inner.bind_batch(network, byz_mask, rngs, config)
+
+    def topology_claims(self) -> "ByzantineClaims":
+        return self.inner.topology_claims()
+
+    def batch_topology_claims(self) -> "list[ByzantineClaims]":
+        return self.inner.batch_topology_claims()
+
+    def subphase_plan(self, state: SubphaseState) -> SubphasePlan:
+        return self.inner.subphase_plan(state)
+
+    def batch_subphase_plan(self, state: BatchSubphaseState) -> BatchSubphasePlan:
+        return self.inner.batch_subphase_plan(state)
+
+
+class MobileAdversary(_DelegatingAdversary):
+    """Byzantine set walks the graph between subphases.
+
+    At every adaptation point each Byzantine node (in ascending node
+    order) steps to a uniformly chosen ``G``-neighbor not already claimed
+    by an earlier walker this step; if every neighbor is claimed it stays
+    put (and, in the degenerate case where even its own position was
+    claimed, takes the lowest free node).  The rule is count-preserving
+    and collision-free by construction, and deterministic given the walk
+    stream — a child spawned off the first trial's adversary stream at
+    :meth:`bind_batch`, which leaves the inner strategy's bitstreams
+    untouched.
+    """
+
+    name = "mobile"
+
+    def __init__(self, inner: Adversary | None = None) -> None:
+        super().__init__(inner)
+        self._walk_rng: np.random.Generator | None = None
+
+    def bind_batch(
+        self,
+        network: "SmallWorldNetwork",
+        byz_mask: BoolArray,
+        rngs: Sequence[np.random.Generator],
+        config: "CountingConfig",
+    ) -> None:
+        super().bind_batch(network, byz_mask, rngs, config)
+        self._walk_rng = spawn(self.batch_rngs[0], 1)[0] if self.batch_rngs else None
+
+    def batch_adapt(self, state: BatchAdaptationState) -> BoolArray | None:
+        rng = self._walk_rng
+        if rng is None or state.byz_nodes.shape[0] == 0:
+            return None
+        n = state.n
+        taken = np.zeros(n, dtype=bool)
+        dests: list[int] = []
+        for b in (int(v) for v in state.byz_nodes):
+            nbrs = state.network.g_neighbors(b)
+            dest = -1
+            if nbrs.shape[0]:
+                for idx in rng.permutation(nbrs.shape[0]):
+                    cand = int(nbrs[idx])
+                    if not taken[cand]:
+                        dest = cand
+                        break
+            if dest < 0:
+                dest = b if not taken[b] else int(np.flatnonzero(~taken)[0])
+            taken[dest] = True
+            dests.append(dest)
+        mask = np.zeros(n, dtype=bool)
+        mask[dests] = True
+        return mask
+
+
+class TrafficAdaptiveAdversary(_DelegatingAdversary):
+    """Re-place the Byzantine set by observed transmission traffic.
+
+    Ranks nodes by total attempted transmissions since the last adaptation
+    point (summed over live trials, ties broken toward lower node IDs) and
+    claims the top (``mode="hot"``) or bottom (``mode="cold"``) ``|byz|``
+    nodes.  Purely deterministic — no randomness is consumed.
+    """
+
+    name = "traffic-adaptive"
+
+    def __init__(self, inner: Adversary | None = None, mode: str = "hot") -> None:
+        super().__init__(inner)
+        if mode not in ("hot", "cold"):
+            raise ValueError(f"mode must be 'hot' or 'cold', got {mode!r}")
+        self.mode = mode
+
+    def batch_adapt(self, state: BatchAdaptationState) -> BoolArray | None:
+        m = state.byz_nodes.shape[0]
+        if m == 0:
+            return None
+        totals = state.traffic.sum(axis=1)
+        key = -totals if self.mode == "hot" else totals
+        order = np.argsort(key, kind="stable")
+        mask = np.zeros(state.n, dtype=bool)
+        mask[order[:m]] = True
+        return mask

@@ -76,6 +76,7 @@ __all__ = [
     "SubphaseState",
     "BatchSubphasePlan",
     "BatchSubphaseState",
+    "BatchAdaptationState",
     "Adversary",
     "HonestAdversary",
     "PerTrialAdversaryBatch",
@@ -282,6 +283,34 @@ class BatchSubphaseState:
         )
 
 
+@dataclass
+class BatchAdaptationState:
+    """Observed-traffic snapshot handed to :meth:`Adversary.batch_adapt`.
+
+    The batched Byzantine engines call the adaptation hook at the **end of
+    every subphase** (so the run's first subphase always executes under
+    the placement the adversary was bound with).  ``traffic`` is an
+    ``(n, B_live)`` int64 matrix counting, per node and live trial, the
+    rounds in which that node *attempted* a transmission (sent a nonzero
+    value, before any channel loss) since the previous adaptation point.
+    ``trials`` indexes the adversary's bound trial list exactly like
+    :attr:`BatchSubphaseState.trials`, and ``rngs`` carries the same
+    per-trial private streams in the same order.
+    """
+
+    phase: int
+    subphase: int
+    network: "SmallWorldNetwork"
+    byz_nodes: IntArray
+    trials: IntArray
+    traffic: Int64Array
+    rngs: tuple[np.random.Generator, ...]
+
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+
 def stack_subphase_plans(
     plans: Sequence[SubphasePlan], byz_count: int
 ) -> BatchSubphasePlan:
@@ -413,6 +442,24 @@ class Adversary:
             self.rng = state.rngs[j]
             plans.append(self.subphase_plan(state.column(j)))
         return stack_subphase_plans(plans, state.byz_nodes.shape[0])
+
+    def batch_adapt(self, state: BatchAdaptationState) -> BoolArray | None:
+        """Optional between-subphase adaptation hook (default: static).
+
+        The batched Byzantine engines call this at the end of every
+        subphase with a :class:`BatchAdaptationState` carrying the traffic
+        observed since the last adaptation point.  Return a replacement
+        ``(n,)`` boolean placement mask to relocate the Byzantine set for
+        the *remaining* subphases, or ``None`` to keep the current
+        placement.  The engines detect overrides by method identity
+        (``type(adv).batch_adapt is not Adversary.batch_adapt``), so the
+        base no-op costs nothing on static runs and all built-in
+        strategies are unchanged.  A returned mask must preserve the
+        placement *size* guarantees the run was configured with — engines
+        validate only shape and dtype.  Per-phase crash simulation is not
+        re-run: crashes from topology lies precede any adaptation.
+        """
+        return None
 
 
 class HonestAdversary(Adversary):

@@ -109,6 +109,41 @@ Byzantine trials sub-group by (network block, placement).  Bit-for-bit
 equal to the padded and per-network engines per cell, enforced by the
 5-engine grid in ``tests/integration/test_engine_equivalence.py`` and the
 hypothesis properties in ``tests/property/test_unionstack_properties.py``.
+
+Channel models
+--------------
+Every engine takes an optional ``channel``
+(:class:`~repro.sim.channel.ChannelModel`): per-round Bernoulli message
+loss and additive corruption noise applied inside the kernel call (see
+:mod:`repro.sim.channel` for the determinism contract).  Each trial's
+channel stream is the third spawned child of its root generator — spawned
+only when a channel is active, which leaves the color and adversary
+streams untouched (``Generator.spawn`` advances a child counter, not the
+bit stream), so lossless runs stay bit-for-bit equal to the historical
+output and a null channel is normalized away entirely.  Under an active
+channel the honest engines switch from the receive-at-``phase-1``
+shortcut to an explicit running-max ``prev_kt`` (a dropped message breaks
+the monotonicity that shortcut relies on); sender-side metering still
+charges *attempted* transmissions (corruption happens on a kernel-side
+scratch copy), while verification's new-record metering naturally counts
+only what the channel delivered.
+
+Adaptive adversaries
+--------------------
+Byzantine engines invoke :meth:`~repro.adversary.base.Adversary.batch_adapt`
+on every placement sub-group at the end of every subphase (so the first
+subphase always runs the bound placement).  Adversaries that override the
+hook observe per-node attempted-send traffic accumulated since the last
+adaptation and may return a replacement placement mask for the group; the
+engines then re-point the group's Byzantine set — affecting subsequent
+planning, suppression, and the Lemma 16 membership check immediately,
+and the undecided/color bookkeeping from the next phase boundary (the
+per-phase draw schedule is fixed at phase start in every engine, which is
+what keeps the three layouts bit-for-bit identical under adaptation).
+Pre-phase crash simulation is not re-run: crashes are a property of the
+verification phase, which precedes any adaptation.  All built-in static
+strategies inherit the default no-op hook and are byte-for-byte
+unaffected.
 """
 
 from __future__ import annotations
@@ -120,6 +155,7 @@ import numpy as np
 from .._types import AnyArray, BoolArray, Int64Array, IntArray, SeedLike
 from ..adversary.base import (
     Adversary,
+    BatchAdaptationState,
     BatchSubphasePlan,
     BatchSubphaseState,
     Injection,
@@ -127,6 +163,7 @@ from ..adversary.base import (
     has_native_batch,
 )
 from ..analysis.bounds import ball_size_bound
+from ..sim.channel import ChannelModel, ChannelState, _normalize_channel
 from ..sim.flood import FloodKernel, MultiFloodKernel, UnionFloodKernel
 from ..sim.metrics import MeterBatch, PhaseRecord, PhaseTrace
 from ..sim.rng import make_rng, spawn
@@ -162,6 +199,7 @@ def run_counting_batch(
     byz_mask: AnyArray | Sequence[AnyArray | None] | None = None,
     backend: str | None = None,
     kernel: FloodKernel | None = None,
+    channel: ChannelModel | None = None,
 ) -> BatchCountingResult:
     """Run ``len(seeds)`` independent counting trials, batched.
 
@@ -206,13 +244,21 @@ def run_counting_batch(
         already carries one); its CSR must match the network, validated
         eagerly.  Kernel reuse is a speed knob with the same bit-for-bit
         guarantee as ``backend``.
+    channel:
+        Optional :class:`~repro.sim.channel.ChannelModel` applying
+        per-round message loss / corruption noise inside every flooding
+        round (see the module docstring's channel section).  ``None`` or
+        a null model runs the exact lossless code path.
 
     Returns
     -------
     BatchCountingResult
         Per-trial :class:`~repro.core.results.CountingResult` objects, in
-        ``seeds`` order, bit-for-bit equal to sequential ``run_counting``.
+        ``seeds`` order, bit-for-bit equal to sequential ``run_counting``
+        (when no channel is active; channel draws are deterministic per
+        trial seed).
     """
+    channel = _normalize_channel(channel)
     if kernel is not None:
         if backend is not None:
             raise ValueError(
@@ -238,8 +284,9 @@ def run_counting_batch(
                 byz_bn[trial_ids],
                 backend=backend,
                 kernel=kernel,
+                channel=channel,
             )
-            for i, res in zip(trial_ids, group):
+            for i, res in zip(trial_ids, group, strict=True):
                 results[i] = res
         return BatchCountingResult(results)  # type: ignore[arg-type]
     if byz_bn is not None and byz_bn.any():
@@ -249,9 +296,9 @@ def run_counting_batch(
     for cfg, trial_ids in _group_by_config(configs).items():
         group = _run_batched_group(
             network, [seeds[i] for i in trial_ids], cfg, backend=backend,
-            kernel=kernel,
+            kernel=kernel, channel=channel,
         )
-        for i, res in zip(trial_ids, group):
+        for i, res in zip(trial_ids, group, strict=True):
             results[i] = res
     return BatchCountingResult(results)  # type: ignore[arg-type]
 
@@ -337,6 +384,27 @@ def _batch_adversary(factory: AdversarySpec, batch: int) -> Adversary:
     return PerTrialAdversaryBatch(factory, batch)
 
 
+def _is_adaptive(adversary: Adversary) -> bool:
+    """Whether this adversary overrides the between-subphase adapt hook.
+
+    Static strategies inherit :meth:`Adversary.batch_adapt` unchanged, so
+    identity on the unbound method gates all adaptation bookkeeping
+    (traffic accumulation, hook dispatch) out of non-adaptive runs.
+    """
+    return type(adversary).batch_adapt is not Adversary.batch_adapt
+
+
+def _adapted_mask(mask: AnyArray, n: int) -> BoolArray:
+    """Validate one group's replacement placement from ``batch_adapt``."""
+    arr = np.ascontiguousarray(np.asarray(mask, dtype=bool))
+    if arr.shape != (n,):
+        raise ValueError(
+            f"batch_adapt must return an ({n},) placement mask or None, "
+            f"got shape {arr.shape}"
+        )
+    return arr
+
+
 def _normalize_configs(
     config: CountingConfig | Sequence[CountingConfig] | None, batch: int
 ) -> list[CountingConfig]:
@@ -368,6 +436,7 @@ def _run_batched_group(
     config: CountingConfig,
     backend: str | None = None,
     kernel: FloodKernel | None = None,
+    channel: ChannelModel | None = None,
 ) -> list[CountingResult]:
     """The batched engine proper: one config, ``B`` seeds, no adversary.
 
@@ -383,10 +452,16 @@ def _run_batched_group(
         return []
 
     color_rngs: list[np.random.Generator] = []
+    chan_rngs: list[np.random.Generator] = []
     for seed in seeds:
         root = make_rng(seed)
         color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
         color_rngs.append(color_rng)
+        if channel is not None:
+            # Child 2 of the trial root: spawned only when a channel is
+            # active, which leaves the color/adversary streams bit-for-bit
+            # unchanged (spawn advances a child counter, not the stream).
+            chan_rngs.append(spawn(root, 1)[0])
 
     if kernel is None:
         kernel = FloodKernel(network.h.indptr, network.h.indices, backend=backend)
@@ -440,12 +515,21 @@ def _run_batched_group(
         # hence max_{t < phase} recv_t == recv at round phase-1 and no
         # running "previous k_t" accumulation is needed — round phase-1's
         # receive buffer *is* prev_kt.  phase == 1 has no earlier rounds,
-        # so prev stays at its zero initialization.
+        # so prev stays at its zero initialization.  An active channel
+        # breaks that monotonicity (a dropped message can shrink a
+        # neighbor-max), so the lossy path below keeps an explicit running
+        # maximum instead and resets it every subphase.
         prev_t = np.zeros((n, b_live), dtype=np.int32)
         recv_t = np.empty((n, b_live), dtype=np.int32)
         k_last_t = np.empty((n, b_live), dtype=np.int32)
         flag_continue = np.zeros((n, b_live), dtype=bool)
         senders = np.zeros(b_live, dtype=np.int64)
+        chan: ChannelState | None = None
+        if channel is not None:
+            chan = ChannelState(
+                channel,
+                [(row, 0, n, chan_rngs[int(t)]) for row, t in enumerate(live)],
+            )
 
         for sub in range(n_sub):
             # Rows whose mask is partial keep untouched entries at their
@@ -460,6 +544,8 @@ def _run_batched_group(
                 else:
                     colors_bn[row, und[row]] = draws[sub]
             np.copyto(cur_t, colors_bn.T)
+            if chan is not None:
+                prev_t.fill(0)
 
             senders.fill(0)
             saturated = False
@@ -467,6 +553,8 @@ def _run_batched_group(
                 # No crashes and no Byzantine suppression on this path, so
                 # every node transmits its running max: sent == cur, and
                 # the copy the sequential engine makes is unnecessary.
+                # (The channel corrupts a kernel-side scratch copy, so the
+                # sender count below still meters attempted transmissions.)
                 if config.count_messages:
                     if saturated:
                         senders += n
@@ -477,7 +565,21 @@ def _run_batched_group(
                         # (running max), so once every node transmits in
                         # every trial the count stays pinned at n.
                         saturated = bool(nonzero.min() == n)
-                if t == phase:
+                if chan is not None:
+                    # Lossy path: prev_kt must be an explicit running max
+                    # over every pre-final round's (possibly shrunken)
+                    # receive, not just round phase-1's.
+                    if t == phase:
+                        kernel.neighbor_max_stacked(
+                            cur_t, out=k_last_t, channel=chan
+                        )
+                    else:
+                        kernel.neighbor_max_stacked(
+                            cur_t, out=recv_t, channel=chan
+                        )
+                        np.maximum(prev_t, recv_t, out=prev_t)
+                        np.maximum(cur_t, recv_t, out=cur_t)
+                elif t == phase:
                     # Last round: only k_t is still needed — recv, prev,
                     # and the running max are dead after this point.
                     kernel.neighbor_max_stacked(cur_t, out=k_last_t)
@@ -703,6 +805,7 @@ def _run_byzantine_batched_group(
     byz_bn: BoolArray,
     backend: str | None = None,
     kernel: FloodKernel | None = None,
+    channel: ChannelModel | None = None,
 ) -> list[CountingResult]:
     """Batched Algorithm 2: one config, ``B`` seeds, per-trial placements.
 
@@ -726,13 +829,17 @@ def _run_byzantine_batched_group(
 
     color_rngs: list[np.random.Generator] = []
     adv_rngs: list[np.random.Generator] = []
+    chan_rngs: list[np.random.Generator] = []
     for seed in seeds:
         root = make_rng(seed)
         color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
         color_rngs.append(color_rng)
         adv_rngs.append(adv_rng)
+        if channel is not None:
+            chan_rngs.append(spawn(root, 1)[0])  # child 2, channel stream
 
     groups = _placement_groups(adversary_factory, byz_bn)
+    adaptive_groups = [g for g in groups if _is_adaptive(g.adversary)]
     meters = MeterBatch(batch)
     traces = [PhaseTrace() for _ in range(batch)]
     crashed_bn = np.zeros((batch, n), dtype=bool)
@@ -838,6 +945,15 @@ def _run_byzantine_batched_group(
         phase_inj_rej = np.zeros(b_live, dtype=np.int64)
         msg_senders = np.zeros(b_live, dtype=np.int64)
         msg_records = np.zeros(b_live, dtype=np.int64)
+        chan: ChannelState | None = None
+        if channel is not None:
+            chan = ChannelState(
+                channel,
+                [(row, 0, n, chan_rngs[int(c)]) for row, c in enumerate(live)],
+            )
+        traffic_nb = (
+            np.zeros((n, b_live), dtype=np.int64) if adaptive_groups else None
+        )
         live_rngs = tuple(adv_rngs[t] for t in live)
         for g in groups:
             if g.full:
@@ -975,9 +1091,13 @@ def _run_byzantine_batched_group(
                             sent[inj.nodes, col] = inj.value
 
                 # --- receive ---------------------------------------------
-                kernel.neighbor_max_stacked(sent, out=recv)
+                kernel.neighbor_max_stacked(sent, out=recv, channel=chan)
                 if any_crash:
                     recv[crashed_nb] = 0
+                if traffic_nb is not None:
+                    # Attempted (pre-channel) sends: what an observer of
+                    # the medium's input would meter.
+                    traffic_nb += sent != 0
 
                 # --- accounting (before the running-max update eats the
                 # new-record evidence) ------------------------------------
@@ -999,6 +1119,38 @@ def _run_byzantine_batched_group(
                 (k_last > prev_kt) & (k_last > threshold),
                 out=flag_continue,
             )
+
+            # --- between-subphase adaptation (mobility, re-planning) -----
+            if traffic_nb is not None:
+                relocated = False
+                for g in adaptive_groups:
+                    if g.sel.shape[0] == 0:
+                        continue
+                    mask = g.adversary.batch_adapt(
+                        BatchAdaptationState(
+                            phase=phase,
+                            subphase=sub,
+                            network=network,
+                            byz_nodes=g.byz_nodes,
+                            trials=g.alive_local,
+                            traffic=(
+                                traffic_nb if g.full else traffic_nb[:, g.sel]
+                            ),
+                            rngs=g.rng_cols,
+                        )
+                    )
+                    if mask is not None:
+                        new_byz = _adapted_mask(mask, n)
+                        g.byz = new_byz
+                        g.byz_nodes = np.flatnonzero(new_byz)
+                        g.honest_nodes = np.flatnonzero(~new_byz)
+                        byz_bn[g.trials] = new_byz
+                        relocated = True
+                if relocated:
+                    # Future phases read the moved placement; this phase's
+                    # draw schedule stays fixed (see module docstring).
+                    honest_uncrashed = ~byz_bn & ~crashed_bn
+                traffic_nb.fill(0)
 
         # Per-round message/round charges are additive, so the phase total
         # factors out of the round loop (witness messages cost 2 queries
@@ -1064,6 +1216,7 @@ def run_counting_multinet(
     byz_mask: Sequence[AnyArray | None] | None = None,
     backend: str | None = None,
     kernel: MultiFloodKernel | None = None,
+    channel: ChannelModel | None = None,
 ) -> BatchCountingResult:
     """Run independent counting trials on *per-trial networks*, batched.
 
@@ -1099,6 +1252,11 @@ def run_counting_multinet(
         across calls by the resident churn engine.  Mutually exclusive
         with ``backend``; member adjacencies are validated against the
         networks eagerly.
+    channel:
+        As in :func:`run_counting_batch`.  ``None`` additionally adopts a
+        ``channel`` attribute shipped on the ``networks`` container
+        (:class:`repro.graphs.shared.NetworkTuple`), so sharded workers
+        inherit the sweep-level channel the way they inherit the backend.
     """
     if kernel is not None and backend is not None:
         raise ValueError(
@@ -1107,6 +1265,9 @@ def run_counting_multinet(
         )
     if backend is None and kernel is None:
         backend = getattr(networks, "kernel_backend", None)
+    if channel is None:
+        channel = getattr(networks, "channel", None)
+    channel = _normalize_channel(channel)
     networks = list(networks)
     seeds = list(seeds)
     batch = len(seeds)
@@ -1162,6 +1323,7 @@ def run_counting_multinet(
             byz_mask=masks,
             backend=backend,
             kernel=kernel.kernels[0] if kernel is not None else None,
+            channel=channel,
         )
 
     configs = _normalize_configs(config, batch)
@@ -1189,6 +1351,7 @@ def run_counting_multinet(
                 [group_masks[j] for j in order],
                 backend=backend,
                 kernel=kernel,
+                channel=channel,
             )
         else:
             order = sorted(
@@ -1197,9 +1360,9 @@ def run_counting_multinet(
             ids = [trial_ids[j] for j in order]
             group = _run_multinet_group(
                 nets, net_of[ids], [seeds[i] for i in ids], cfg, backend=backend,
-                kernel=kernel,
+                kernel=kernel, channel=channel,
             )
-        for i, res in zip(ids, group):
+        for i, res in zip(ids, group, strict=True):
             results[i] = res
     return BatchCountingResult(results)  # type: ignore[arg-type]
 
@@ -1253,6 +1416,7 @@ def _run_multinet_group(
     config: CountingConfig,
     backend: str | None = None,
     kernel: MultiFloodKernel | None = None,
+    channel: ChannelModel | None = None,
 ) -> list[CountingResult]:
     """Padded multi-network Algorithm 1: one config, ``B`` (network, seed)
     trials as columns.
@@ -1272,10 +1436,13 @@ def _run_multinet_group(
     n_act, act_bn = _active_rows(net_of, sizes, n_pad)
 
     color_rngs: list[np.random.Generator] = []
+    chan_rngs: list[np.random.Generator] = []
     for seed in seeds:
         root = make_rng(seed)
         color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
         color_rngs.append(color_rng)
+        if channel is not None:
+            chan_rngs.append(spawn(root, 1)[0])  # child 2, channel stream
 
     mkernel = kernel if kernel is not None else MultiFloodKernel(nets, backend=backend)
     decided = np.full((batch, n_pad), UNDECIDED, dtype=np.int64)
@@ -1319,6 +1486,18 @@ def _run_multinet_group(
         k_last_t = np.empty((n_pad, b_live), dtype=np.int32)
         flag_continue = np.zeros((n_pad, b_live), dtype=bool)
         senders = np.zeros(b_live, dtype=np.int64)
+        chan: ChannelState | None = None
+        if channel is not None:
+            # Slots cover each column's live prefix only, so a trial's
+            # draws are sized by its own network — identical to what its
+            # per-network batch would consume — and padding stays zero.
+            chan = ChannelState(
+                channel,
+                [
+                    (row, 0, int(n_act_live[row]), chan_rngs[int(c)])
+                    for row, c in enumerate(live)
+                ],
+            )
 
         for sub in range(n_sub):
             for row, _trial in enumerate(live):
@@ -1331,6 +1510,8 @@ def _run_multinet_group(
                 else:
                     colors_bn[row, und[row]] = draws[sub]
             np.copyto(cur_t, colors_bn.T)
+            if chan is not None:
+                prev_t.fill(0)
 
             senders.fill(0)
             saturated = False
@@ -1344,7 +1525,20 @@ def _run_multinet_group(
                         nonzero = np.count_nonzero(cur_t, axis=0)
                         senders += nonzero
                         saturated = bool((nonzero == n_act_live).all())
-                if t == phase:
+                if chan is not None:
+                    # Lossy path: explicit running-max prev (see
+                    # _run_batched_group).
+                    if t == phase:
+                        mkernel.neighbor_max_stacked(
+                            cur_t, plan, out=k_last_t, channel=chan
+                        )
+                    else:
+                        mkernel.neighbor_max_stacked(
+                            cur_t, plan, out=recv_t, channel=chan
+                        )
+                        np.maximum(prev_t, recv_t, out=prev_t)
+                        np.maximum(cur_t, recv_t, out=cur_t)
+                elif t == phase:
                     mkernel.neighbor_max_stacked(cur_t, plan, out=k_last_t)
                 elif t == phase - 1:
                     mkernel.neighbor_max_stacked(cur_t, plan, out=prev_t)
@@ -1470,6 +1664,7 @@ def _run_multinet_byzantine_group(
     masks: list[BoolArray],
     backend: str | None = None,
     kernel: MultiFloodKernel | None = None,
+    channel: ChannelModel | None = None,
 ) -> list[CountingResult]:
     """Padded multi-network Algorithm 2: one config, per-trial networks and
     placements.
@@ -1500,13 +1695,17 @@ def _run_multinet_byzantine_group(
 
     color_rngs: list[np.random.Generator] = []
     adv_rngs: list[np.random.Generator] = []
+    chan_rngs: list[np.random.Generator] = []
     for seed in seeds:
         root = make_rng(seed)
         color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
         color_rngs.append(color_rng)
         adv_rngs.append(adv_rng)
+        if channel is not None:
+            chan_rngs.append(spawn(root, 1)[0])  # child 2, channel stream
 
     groups = _multinet_placement_groups(adversary_factory, nets, net_of, masks)
+    adaptive_groups = [g for g in groups if _is_adaptive(g.adversary)]
     meters = MeterBatch(batch)
     traces = [PhaseTrace() for _ in range(batch)]
     byz_bn = np.zeros((batch, n_pad), dtype=bool)
@@ -1608,6 +1807,18 @@ def _run_multinet_byzantine_group(
         phase_inj_rej = np.zeros(b_live, dtype=np.int64)
         msg_senders = np.zeros(b_live, dtype=np.int64)
         msg_records = np.zeros(b_live, dtype=np.int64)
+        chan: ChannelState | None = None
+        if channel is not None:
+            chan = ChannelState(
+                channel,
+                [
+                    (row, 0, int(n_act[int(c)]), chan_rngs[int(c)])
+                    for row, c in enumerate(live)
+                ],
+            )
+        traffic_nb = (
+            np.zeros((n_pad, b_live), dtype=np.int64) if adaptive_groups else None
+        )
         live_rngs = tuple(adv_rngs[t] for t in live)
         for g in groups:
             if g.full and g.n == n_pad:
@@ -1753,9 +1964,11 @@ def _run_multinet_byzantine_group(
                                 sent[inj.nodes, col] = inj.value
 
                 # --- receive ---------------------------------------------
-                mkernel.neighbor_max_stacked(sent, plan, out=recv)
+                mkernel.neighbor_max_stacked(sent, plan, out=recv, channel=chan)
                 if any_crash:
                     recv[crashed_nb] = 0
+                if traffic_nb is not None:
+                    traffic_nb += sent != 0
 
                 # --- accounting (before the running-max update eats the
                 # new-record evidence) ------------------------------------
@@ -1777,6 +1990,35 @@ def _run_multinet_byzantine_group(
                 (k_last > prev_kt) & (k_last > threshold),
                 out=flag_continue,
             )
+
+            # --- between-subphase adaptation (mobility, re-planning) -----
+            if traffic_nb is not None:
+                relocated = False
+                for g in adaptive_groups:
+                    if g.sel.shape[0] == 0:
+                        continue
+                    mask = g.adversary.batch_adapt(
+                        BatchAdaptationState(
+                            phase=phase,
+                            subphase=sub,
+                            network=g.network,
+                            byz_nodes=g.byz_nodes,
+                            trials=g.alive_local,
+                            traffic=_col_block(traffic_nb, g.sel, g.n),
+                            rngs=g.rng_cols,
+                        )
+                    )
+                    if mask is not None:
+                        new_byz = _adapted_mask(mask, g.n)
+                        g.byz = new_byz
+                        g.byz_nodes = np.flatnonzero(new_byz)
+                        g.honest_nodes = np.flatnonzero(~new_byz)
+                        for trial in g.trials:
+                            byz_bn[int(trial), : g.n] = new_byz
+                        relocated = True
+                if relocated:
+                    honest_uncrashed = act_bn & ~byz_bn & ~crashed_bn
+                traffic_nb.fill(0)
 
         if config.count_messages:
             meters.add_messages(live, msg_senders * d)
@@ -1845,6 +2087,7 @@ def run_counting_unionstack(
     byz_mask: Any = None,
     backend: str | None = None,
     kernel: UnionFloodKernel | None = None,
+    channel: ChannelModel | None = None,
 ) -> BatchCountingResult:
     """Run a rectangular (network x seed) grid as one union-stack batch.
 
@@ -1885,6 +2128,11 @@ def run_counting_unionstack(
         block ``g`` is ``networks[g]``'s ``H`` adjacency, reused across
         calls by the resident churn engine.  Mutually exclusive with
         ``backend``; block sizes are validated eagerly.
+    channel:
+        As in :func:`run_counting_multinet` (``None`` adopts the
+        container's ``channel`` attribute when present).  Channel draws
+        are per (network, seed) trial, so lossy union runs stay
+        bit-for-bit equal to the padded and per-network engines.
 
     Returns
     -------
@@ -1893,6 +2141,9 @@ def run_counting_unionstack(
         ``(g, j)`` is element ``g * C + j`` — the order of the equivalent
         ``run_counting_multinet([net_g for g .. for j ..], ...)`` call.
     """
+    if channel is None:
+        channel = getattr(networks, "channel", None)
+    channel = _normalize_channel(channel)
     nets = list(networks)
     if not nets:
         raise ValueError("run_counting_unionstack needs at least one network")
@@ -1951,10 +2202,11 @@ def run_counting_unionstack(
                 else [[masks[g][j] for j in col_ids] for g in range(n_g)]
             )
             group = _run_union_byzantine_group(
-                nets, ukernel, col_seeds, cfg, adversary_factory, group_masks
+                nets, ukernel, col_seeds, cfg, adversary_factory, group_masks,
+                channel=channel,
             )
         else:
-            group = _run_union_group(nets, ukernel, col_seeds, cfg)
+            group = _run_union_group(nets, ukernel, col_seeds, cfg, channel=channel)
         n_cols = len(col_ids)
         for g in range(n_g):
             for local, j in enumerate(col_ids):
@@ -2063,6 +2315,7 @@ def _run_union_group(
     ukernel: UnionFloodKernel,
     seeds: list[SeedLike],
     config: CountingConfig,
+    channel: ChannelModel | None = None,
 ) -> list[CountingResult]:
     """Union-stack Algorithm 1: one config, G network blocks x C columns.
 
@@ -2081,13 +2334,18 @@ def _run_union_group(
     n_act = np.asarray(ukernel.sizes, dtype=np.int64)  # (G,)
 
     color_rngs: list[list[np.random.Generator]] = []
+    chan_rngs: list[list[np.random.Generator]] = []
     for _g in range(blocks):
         row_rngs: list[np.random.Generator] = []
+        crow_rngs: list[np.random.Generator] = []
         for seed in seeds:
             root = make_rng(seed)
             color_rng, _adv_rng = spawn(root, 2)  # same split as run_counting
             row_rngs.append(color_rng)
+            if channel is not None:
+                crow_rngs.append(spawn(root, 1)[0])  # child 2, channel stream
         color_rngs.append(row_rngs)
+        chan_rngs.append(crow_rngs)
 
     decided = np.full((cols, rows_n), UNDECIDED, dtype=np.int64)
     meters = MeterBatch(blocks * cols)
@@ -2142,6 +2400,25 @@ def _run_union_group(
         flag_continue = np.zeros((rows_n, b_live), dtype=bool)
         senders = np.zeros((blocks, b_live), dtype=np.int64)
         seg_nz = np.empty((blocks, b_live), dtype=np.int64)
+        chan: ChannelState | None = None
+        if channel is not None:
+            # One slot per live (network, seed) cell over its own block
+            # segment: a dead cell stops consuming draws exactly when its
+            # per-network batch would have dropped the column.
+            chan = ChannelState(
+                channel,
+                [
+                    (
+                        row,
+                        int(offsets[g]),
+                        int(offsets[g + 1]),
+                        chan_rngs[g][int(col)],
+                    )
+                    for g in range(blocks)
+                    for row, col in enumerate(live)
+                    if alive_live[g, row]
+                ],
+            )
 
         for sub in range(n_sub):
             for g in range(blocks):
@@ -2156,6 +2433,8 @@ def _run_union_group(
                         seg = colors_cn[row, lo:hi]
                         seg[und[row, lo:hi]] = draws[sub]
             np.copyto(cur_t, colors_cn.T)
+            if chan is not None:
+                prev_t.fill(0)
 
             senders.fill(0)
             saturated = False
@@ -2173,7 +2452,20 @@ def _run_union_group(
                         saturated = bool(
                             ((nz == n_act[:, None]) | ~alive_live).all()
                         )
-                if t == phase:
+                if chan is not None:
+                    # Lossy path: explicit running-max prev (see
+                    # _run_batched_group).
+                    if t == phase:
+                        ukernel.neighbor_max_stacked(
+                            cur_t, out=k_last_t, channel=chan
+                        )
+                    else:
+                        ukernel.neighbor_max_stacked(
+                            cur_t, out=recv_t, channel=chan
+                        )
+                        np.maximum(prev_t, recv_t, out=prev_t)
+                        np.maximum(cur_t, recv_t, out=cur_t)
+                elif t == phase:
                     ukernel.neighbor_max_stacked(cur_t, out=k_last_t)
                 elif t == phase - 1:
                     ukernel.neighbor_max_stacked(cur_t, out=prev_t)
@@ -2341,6 +2633,7 @@ def _run_union_byzantine_group(
     config: CountingConfig,
     adversary_factory: AdversarySpec,
     masks: list[list[BoolArray]],
+    channel: ChannelModel | None = None,
 ) -> list[CountingResult]:
     """Union-stack Algorithm 2: one config, per-(network, column) placements.
 
@@ -2368,18 +2661,24 @@ def _run_union_byzantine_group(
 
     color_rngs: list[list[np.random.Generator]] = []
     adv_rngs: list[list[np.random.Generator]] = []
+    chan_rngs: list[list[np.random.Generator]] = []
     for _g in range(blocks):
         crow: list[np.random.Generator] = []
         arow: list[np.random.Generator] = []
+        chrow: list[np.random.Generator] = []
         for seed in seeds:
             root = make_rng(seed)
             color_rng, adv_rng = spawn(root, 2)  # same split as run_counting
             crow.append(color_rng)
             arow.append(adv_rng)
+            if channel is not None:
+                chrow.append(spawn(root, 1)[0])  # child 2, channel stream
         color_rngs.append(crow)
         adv_rngs.append(arow)
+        chan_rngs.append(chrow)
 
     groups = _union_placement_groups(adversary_factory, nets, offsets, masks)
+    adaptive_groups = [grp for grp in groups if _is_adaptive(grp.adversary)]
     meters = MeterBatch(blocks * cols)
     traces = [PhaseTrace() for _ in range(blocks * cols)]
     byz_cn = np.zeros((cols, rows_n), dtype=bool)
@@ -2493,6 +2792,25 @@ def _run_union_byzantine_group(
         msg_records = np.zeros((blocks, b_live), dtype=np.int64)
         seg_nz = np.empty((blocks, b_live), dtype=np.int64)
         seg_rec = np.empty((blocks, b_live), dtype=np.int64)
+        chan: ChannelState | None = None
+        if channel is not None:
+            chan = ChannelState(
+                channel,
+                [
+                    (
+                        row,
+                        int(offsets[g]),
+                        int(offsets[g + 1]),
+                        chan_rngs[g][int(col)],
+                    )
+                    for g in range(blocks)
+                    for row, col in enumerate(live)
+                    if alive_live[g, row]
+                ],
+            )
+        traffic_nb = (
+            np.zeros((rows_n, b_live), dtype=np.int64) if adaptive_groups else None
+        )
         for grp in groups:
             grp.dec_cols = _col_block(decided_nc[grp.lo : grp.hi], grp.sel, grp.n)
             grp.crash_cols = _col_block(crashed_nc[grp.lo : grp.hi], grp.sel, grp.n)
@@ -2614,9 +2932,11 @@ def _run_union_byzantine_group(
                         sent[inj.nodes + grp.lo, col] = inj.value
 
                 # --- receive ---------------------------------------------
-                ukernel.neighbor_max_stacked(sent, out=recv)
+                ukernel.neighbor_max_stacked(sent, out=recv, channel=chan)
                 if any_crash:
                     recv[crashed_nc] = 0
+                if traffic_nb is not None:
+                    traffic_nb += sent != 0
 
                 # --- accounting (before the running-max update eats the
                 # new-record evidence) ------------------------------------
@@ -2640,6 +2960,38 @@ def _run_union_byzantine_group(
                 (k_last > prev_kt) & (k_last > threshold),
                 out=flag_continue,
             )
+
+            # --- between-subphase adaptation (mobility, re-planning) -----
+            if traffic_nb is not None:
+                relocated = False
+                for grp in adaptive_groups:
+                    if grp.sel.shape[0] == 0:
+                        continue
+                    mask = grp.adversary.batch_adapt(
+                        BatchAdaptationState(
+                            phase=phase,
+                            subphase=sub,
+                            network=grp.network,
+                            byz_nodes=grp.byz_nodes,
+                            trials=grp.alive_local,
+                            traffic=_col_block(
+                                traffic_nb[grp.lo : grp.hi], grp.sel, grp.n
+                            ),
+                            rngs=grp.rng_cols,
+                        )
+                    )
+                    if mask is not None:
+                        new_byz = _adapted_mask(mask, grp.n)
+                        grp.byz = new_byz
+                        grp.byz_nodes = np.flatnonzero(new_byz)
+                        grp.byz_rows = grp.byz_nodes + grp.lo
+                        grp.honest_nodes = np.flatnonzero(~new_byz)
+                        for j in grp.cols:
+                            byz_cn[int(j), grp.lo : grp.hi] = new_byz
+                        relocated = True
+                if relocated:
+                    honest_uncrashed = ~byz_cn & ~crashed_cn
+                traffic_nb.fill(0)
 
         if config.count_messages:
             meters.add_messages(live_ids, (msg_senders * d)[alive_live])

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._types import BoolArray
+from ..adversary import adaptive as adversary_adaptive
 from ..adversary import base as adversary_base
 from ..adversary import strategies
 from ..adversary.placement import placement_for_delta
@@ -43,6 +44,8 @@ ADVERSARIES: dict[str, type[adversary_base.Adversary]] = {
     "topology-liar": strategies.TopologyLiarAdversary,
     "combo": strategies.ComboAdversary,
     "adaptive-record": strategies.AdaptiveRecordAdversary,
+    "mobile": adversary_adaptive.MobileAdversary,
+    "traffic-adaptive": adversary_adaptive.TrafficAdaptiveAdversary,
 }
 
 

@@ -93,6 +93,7 @@ import numpy as np
 
 from .._types import BoolArray, SeedLike
 from ..adversary.base import Adversary
+from ..sim.channel import ChannelModel, _normalize_channel
 from .batch import run_counting_batch, run_counting_multinet, run_counting_unionstack
 from .config import CountingConfig
 from .results import BatchCountingResult, CountingResult
@@ -139,6 +140,8 @@ STRATEGY_COST_FACTORS: dict[str, float] = {
     "topology-liar": 0.7,
     "combo": 0.85,
     "adaptive-record": 0.9,
+    "mobile": 0.85,
+    "traffic-adaptive": 0.9,
     "inflation": 1.0,
     "honest": 0.8,
     "honest-behavior": 0.8,
@@ -307,18 +310,21 @@ def _split_seed_axes(
 def _run_shard(network: SmallWorldNetwork, task: tuple[Any, ...]) -> list[CountingResult]:
     """Module-level worker: one fused (strategy, cells-chunk) batch.
 
-    ``task`` is ``(spec, seeds, configs, masks, backend)`` with ``masks``
-    a ``(B, n)`` stack or None; runs on the (possibly shared-memory
-    attached) network inside a worker process.  The kernel backend rides
-    in the task tuple because a bare ``SmallWorldNetwork`` has no
-    container to carry it (multi-network shards ship it on the
+    ``task`` is ``(spec, seeds, configs, masks, backend, channel)`` with
+    ``masks`` a ``(B, n)`` stack or None; runs on the (possibly
+    shared-memory attached) network inside a worker process.  The kernel
+    backend and the channel model ride in the task tuple because a bare
+    ``SmallWorldNetwork`` has no container to carry them (multi-network
+    shards ship them on the
     :class:`~repro.graphs.shared.NetworkTuple` instead).
     """
-    spec, seeds, configs, masks, backend = task
+    spec, seeds, configs, masks, backend, channel = task
     factory = _strategy_factory(spec)
     if factory is None:
         return list(
-            run_counting_batch(network, seeds, config=configs, backend=backend)
+            run_counting_batch(
+                network, seeds, config=configs, backend=backend, channel=channel
+            )
         )
     return list(
         run_counting_batch(
@@ -328,6 +334,7 @@ def _run_shard(network: SmallWorldNetwork, task: tuple[Any, ...]) -> list[Counti
             adversary_factory=factory,
             byz_mask=masks,
             backend=backend,
+            channel=channel,
         )
     )
 
@@ -341,15 +348,19 @@ def _run_multi_shard(
     shared-memory segment inside workers); ``task`` carries per-trial
     indices into it plus per-trial masks over each trial's own network.
     """
-    spec, seeds, configs, net_ids, masks = task
+    spec, seeds, configs, net_ids, masks, channel = task
     factory = _strategy_factory(spec)
     # Indexing into the shared tuple yields a plain list, which would drop
-    # the container-level backend attribute — forward it explicitly.
+    # the container-level backend/channel attributes — forward explicitly.
     backend = getattr(networks, "kernel_backend", None)
+    if channel is None:
+        channel = getattr(networks, "channel", None)
     trial_nets = [networks[i] for i in net_ids]
     if factory is None:
         return list(
-            run_counting_multinet(trial_nets, seeds, config=configs, backend=backend)
+            run_counting_multinet(
+                trial_nets, seeds, config=configs, backend=backend, channel=channel
+            )
         )
     return list(
         run_counting_multinet(
@@ -359,6 +370,7 @@ def _run_multi_shard(
             adversary_factory=factory,
             byz_mask=masks,
             backend=backend,
+            channel=channel,
         )
     )
 
@@ -374,10 +386,14 @@ def _run_union_shard(
     ``task`` carries the shard's seed columns, per-column configs, and
     per-network per-column masks.
     """
-    spec, col_seeds, col_configs, masks = task
+    spec, col_seeds, col_configs, masks, channel = task
     factory = _strategy_factory(spec)
     if factory is None:
-        return list(run_counting_unionstack(networks, col_seeds, config=col_configs))
+        return list(
+            run_counting_unionstack(
+                networks, col_seeds, config=col_configs, channel=channel
+            )
+        )
     return list(
         run_counting_unionstack(
             networks,
@@ -385,6 +401,7 @@ def _run_union_shard(
             config=col_configs,
             adversary_factory=factory,
             byz_mask=masks,
+            channel=channel,
         )
     )
 
@@ -633,6 +650,7 @@ def run_sweep(
     shard_cells: int | None = None,
     layout: str = "auto",
     backend: str | None = None,
+    channel: ChannelModel | None = None,
     policy: RetryPolicy | None = None,
     report: ExecutionReport | None = None,
     checkpoint: str | os.PathLike[str] | None = None,
@@ -689,6 +707,12 @@ def run_sweep(
         single-network sweeps, on the shared network container for
         multi-network ones); bit-for-bit neutral (see
         :mod:`repro.sim.backends`).
+    channel:
+        Optional :class:`~repro.sim.channel.ChannelModel` applied to every
+        cell — the lossy/noisy message channel sweep axis.  Rides the
+        shard task tuples like ``backend`` does (plain frozen data, so it
+        pickles to workers); a null channel is normalized to ``None`` and
+        the sweep is then bit-for-bit identical to a channel-free run.
     policy:
         :class:`repro.exec.RetryPolicy` for the sharded dispatch —
         per-shard timeout, retry budget, backoff, degradation threshold.
@@ -720,6 +744,7 @@ def run_sweep(
             shard_cells=shard_cells,
             layout=layout,
             backend=backend,
+            channel=channel,
             policy=policy,
             report=report,
             checkpoint=checkpoint,
@@ -731,6 +756,7 @@ def run_sweep(
             f"layout={layout!r})"
         )
     n = network.n
+    channel = _normalize_channel(channel)
     seeds = _validate_seeds(seeds)
     config_axis = _normalize_axis(configs, CountingConfig(), CountingConfig)
     strategy_axis = _normalize_strategy_axis(strategies)
@@ -776,7 +802,7 @@ def run_sweep(
             if spec is not None:
                 masks = np.array(trial_masks[lo:hi], dtype=bool).reshape(hi - lo, n)
             tasks.append(
-                (spec, trial_seeds[lo:hi], trial_configs[lo:hi], masks, backend)
+                (spec, trial_seeds[lo:hi], trial_configs[lo:hi], masks, backend, channel)
             )
 
     from ..experiments.common import parallel_map
@@ -812,6 +838,7 @@ def run_multi_sweep(
     shard_cells: int | None = None,
     layout: str = "auto",
     backend: str | None = None,
+    channel: ChannelModel | None = None,
     policy: RetryPolicy | None = None,
     report: ExecutionReport | None = None,
     checkpoint: str | os.PathLike[str] | None = None,
@@ -861,6 +888,11 @@ def run_multi_sweep(
         As in :func:`run_sweep`; rides on the shared network container
         (``NetworkTuple.kernel_backend``), so it survives shared-memory
         reconstruction inside sharded workers.
+    channel:
+        As in :func:`run_sweep`; the channel model rides the shard task
+        tuples (and, when the caller hands in a ready
+        :class:`~repro.graphs.shared.NetworkTuple` with a ``channel``
+        attribute, the engines adopt that container default too).
     policy, report, checkpoint:
         Resilient-dispatch knobs, as in :func:`run_sweep` — retry/timeout
         policy, per-shard fault accounting, and the checkpoint/resume
@@ -889,6 +921,7 @@ def run_multi_sweep(
             f"phase schedule is d-dependent); got d in {sorted(degrees)}"
         )
     d = networks[0].d
+    channel = _normalize_channel(channel)
     shared_seeds, seed_axes = _split_seed_axes(seeds, networks)
     if layout == "union":
         if seed_axes is not None:
@@ -999,6 +1032,7 @@ def run_multi_sweep(
                         [shared_seeds[b] for _p, _c, b in chunk],
                         [config_axis[c] for _p, c, _b in chunk],
                         masks,
+                        channel,
                     )
                 )
                 task_cols.append(
@@ -1017,7 +1051,7 @@ def run_multi_sweep(
             checkpoint=checkpoint,
         )
         results: list[CountingResult | None] = [None] * (n_g * block)
-        for offs, shard in zip(task_cols, shard_results):
+        for offs, shard in zip(task_cols, shard_results, strict=True):
             n_cols = len(offs)
             for g in range(n_g):
                 for j, off in enumerate(offs):
@@ -1094,6 +1128,7 @@ def run_multi_sweep(
                     [cell[2] for cell in cells],
                     [cell[3] for cell in cells],
                     cell_masks,
+                    channel,
                 )
             )
 
@@ -1108,8 +1143,8 @@ def run_multi_sweep(
         checkpoint=checkpoint,
     )
     results = [None] * total_cells
-    for flats, shard in zip(task_flats, shard_results):
-        for flat, res in zip(flats, shard):
+    for flats, shard in zip(task_flats, shard_results, strict=True):
+        for flat, res in zip(flats, shard, strict=True):
             results[flat] = res
     assert all(res is not None for res in results)
     return MultiSweepResult(

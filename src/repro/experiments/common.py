@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover
     import os
 
     from ..exec import ExecutionReport, RetryPolicy
+    from ..sim.channel import ChannelModel
 
 from ..adversary.base import Adversary
 from ..core.batch import run_counting_batch
@@ -204,6 +205,7 @@ def parallel_map(
     network: SmallWorldNetwork | Sequence[SmallWorldNetwork] | None = None,
     union_csr: bool = False,
     kernel_backend: str | None = None,
+    channel: "ChannelModel | None" = None,
     policy: RetryPolicy | None = None,
     report: ExecutionReport | None = None,
     checkpoint: str | os.PathLike[str] | None = None,
@@ -250,6 +252,9 @@ def parallel_map(
     (``NetworkTuple.kernel_backend``) — through the shared segment's
     handle for process sharding — so engine calls inside workers adopt the
     sweep-level backend choice (see :mod:`repro.sim.backends`).
+    ``channel`` (multi-network only) rides the container the same way
+    (``NetworkTuple.channel``), so the engines' container adoption picks
+    up a sweep-level lossy/noisy channel inside workers.
     """
     if jobs is not None and jobs < 0:
         raise ValueError(f"jobs must be None or >= 0, got {jobs}")
@@ -269,6 +274,7 @@ def parallel_map(
                         kernel_backend is None
                         or network.kernel_backend == kernel_backend
                     )
+                    and (channel is None or network.channel == channel)
                 ):
                     # A ready-made payload (the resident engine hands its
                     # cached NetworkTuple straight through): reuse it and
@@ -276,7 +282,10 @@ def parallel_map(
                     payload = network
                 else:
                     payload = NetworkTuple.build(
-                        network, union=union_csr, backend=kernel_backend
+                        network,
+                        union=union_csr,
+                        backend=kernel_backend,
+                        channel=channel,
                     )
             else:
                 payload = network
@@ -289,7 +298,7 @@ def parallel_map(
 
         shared = (
             SharedNetworkPack.create(
-                list(network), union=union_csr, backend=kernel_backend
+                list(network), union=union_csr, backend=kernel_backend, channel=channel
             )
             if multi
             else SharedNetwork.create(network)

@@ -222,4 +222,5 @@ def _ensure_loaded() -> None:
         e12_figure1,
         e13_ablation_verify,
         e14_ablations,
+        e15_scenarios,
     )

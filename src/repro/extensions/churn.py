@@ -26,6 +26,7 @@ module used to make (pinned by ``tests/extensions/test_churn.py``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -102,7 +103,10 @@ def track_size_over_epochs(
     ``churn_rate`` of the nodes are replaced ("fresh", no protocol state —
     modelled by re-seeding their randomness and Byzantine placement each
     epoch) before every run; the topology is re-sampled at each epoch's
-    size, as rebuild-based overlays do.
+    size, as rebuild-based overlays do.  The churned count per epoch is
+    ``floor(churn_rate * n + 0.5)`` — half-up rounding, so an exact ``.5``
+    always rounds up (never banker's rounding, which would make the count
+    non-monotone in ``n`` at a fixed rate).
 
     The epochs execute through one :class:`repro.service.ResidentEngine`:
     each overlay registers once, and the per-epoch runs fuse into batched
@@ -130,7 +134,12 @@ def track_size_over_epochs(
     for epoch, n in enumerate(sizes):
         net = build_small_world(n, d, seed=derive_seed(seed, "epoch-net", epoch))
         engine.add_overlay(f"epoch-{epoch:06d}", network=net)
-        churned = int(round(churn_rate * n))
+        # Half-up rounding, explicitly: round() is round-half-to-even, so
+        # churn_rate=0.5 on n=5 would report 2 churned nodes while n=7
+        # reports 4 — the churned count would not be monotone in n for a
+        # fixed rate.  floor(x + 0.5) gives the deterministic rule the
+        # docstring promises (exact .5 rounds up at every size).
+        churned = int(math.floor(churn_rate * n + 0.5))
         # Honest mode draws no placement: the run ignores the Byzantine
         # set, so recording placed nodes would misreport byz_count.
         byz = None
@@ -155,7 +164,7 @@ def track_size_over_epochs(
     results = engine.serve(queries)
     band = practical_band(d)
     report = ChurnReport()
-    for (epoch, n, churned, byz_count), result in zip(epochs, results):
+    for (epoch, n, churned, byz_count), result in zip(epochs, results, strict=True):
         _, med, _ = result.decision_quantiles()
         report.append(
             EpochRecord(

@@ -59,11 +59,14 @@ import signal
 import threading
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from .._types import AnyArray, Int64Array
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.channel import ChannelModel
 from .hgraph import HGraph
 from .smallworld import SmallWorldNetwork
 
@@ -95,10 +98,17 @@ class NetworkTuple(tuple[SmallWorldNetwork, ...]):
     :mod:`repro.sim.backends`); the multi-network entry points adopt it
     when no explicit ``backend=`` is given, which is how a sweep-level
     backend choice survives the trip into sharded workers.
+
+    ``channel`` optionally carries a
+    :class:`~repro.sim.channel.ChannelModel` the same way: the
+    multi-network engines adopt it when no explicit ``channel=`` is
+    given, so a lossy/noisy scenario choice rides the container through
+    shared-memory reconstruction exactly like the backend does.
     """
 
     union_csr: UnionCSR | None = None
     kernel_backend: str | None = None
+    channel: "ChannelModel | None" = None
 
     @classmethod
     def build(
@@ -106,6 +116,7 @@ class NetworkTuple(tuple[SmallWorldNetwork, ...]):
         networks: Iterable[SmallWorldNetwork],
         union: bool = False,
         backend: str | None = None,
+        channel: "ChannelModel | None" = None,
     ) -> "NetworkTuple":
         """Wrap ``networks``; with ``union=True`` stack the union CSR once."""
         out = cls(networks)
@@ -115,6 +126,8 @@ class NetworkTuple(tuple[SmallWorldNetwork, ...]):
             out.union_csr = stack_union_csr(out)
         if backend is not None:
             out.kernel_backend = backend
+        if channel is not None:
+            out.channel = channel
         return out
 
 #: The array attributes that define a network, in serialization order.
@@ -489,6 +502,7 @@ class SharedNetworkPack:
         per_net: tuple[tuple[tuple[_ArraySpec, ...], int, int, int], ...],
         union_specs: tuple[_ArraySpec, ...] | None = None,
         kernel_backend: str | None = None,
+        channel: "ChannelModel | None" = None,
     ) -> None:
         self._shm_name = shm_name
         # per_net: one (specs, n, d, k) tuple per network, in input order.
@@ -499,6 +513,10 @@ class SharedNetworkPack:
         # kernel_backend: sweep-level flood-kernel backend choice, restored
         # onto the reconstructed NetworkTuple in every worker.
         self._kernel_backend = kernel_backend
+        # channel: sweep-level lossy/noisy channel model, restored onto the
+        # reconstructed NetworkTuple the same way (plain frozen data, so it
+        # pickles inside the handle rather than living in the segment).
+        self._channel = channel
         self._owned_shm: Any = None  # set only in the creating process
 
     # ------------------------------------------------------------------
@@ -508,6 +526,7 @@ class SharedNetworkPack:
         nets: Sequence[SmallWorldNetwork],
         union: bool = False,
         backend: str | None = None,
+        channel: "ChannelModel | None" = None,
     ) -> "SharedNetworkPack":
         """Copy every network's arrays into one fresh shared segment.
 
@@ -564,7 +583,13 @@ class SharedNetworkPack:
             shm.close()
             shm.unlink()
             raise
-        handle = cls(shm.name, tuple(per_net), union_specs, kernel_backend=backend)
+        handle = cls(
+            shm.name,
+            tuple(per_net),
+            union_specs,
+            kernel_backend=backend,
+            channel=channel,
+        )
         handle._owned_shm = shm
         return handle
 
@@ -608,6 +633,8 @@ class SharedNetworkPack:
             nets.union_csr = (sizes, views[0], views[1])
         if self._kernel_backend is not None:
             nets.kernel_backend = self._kernel_backend
+        if self._channel is not None:
+            nets.channel = self._channel
         _ATTACHED[self._shm_name] = (shm, nets)
         return nets
 
@@ -636,6 +663,7 @@ class SharedNetworkPack:
             "per_net": self._per_net,
             "union_specs": self._union_specs,
             "kernel_backend": self._kernel_backend,
+            "channel": self._channel,
         }
 
     def __setstate__(self, state: dict[str, Any]) -> None:
@@ -643,6 +671,7 @@ class SharedNetworkPack:
         self._per_net = state["per_net"]
         self._union_specs = state.get("union_specs")
         self._kernel_backend = state.get("kernel_backend")
+        self._channel = state.get("channel")
         self._owned_shm = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -266,7 +266,7 @@ class ResidentEngine:
                 byz_mask=masks if any(m is not None for m in masks) else None,
                 kernel=kernel,
             )
-            for i, res in zip(ids, batch):
+            for i, res in zip(ids, batch, strict=True):
                 results[i] = res
         assert all(res is not None for res in results)
         return results  # type: ignore[return-value]

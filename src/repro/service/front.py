@@ -222,6 +222,6 @@ class EstimationService:
                 if not job.future.cancelled():
                     job.future.set_exception(exc)
         else:
-            for job, res in zip(batch, results):
+            for job, res in zip(batch, results, strict=True):
                 if not job.future.cancelled():
                     job.future.set_result(res)

@@ -20,6 +20,7 @@ round), so the env lookup and availability probes are off the hot path.
 from __future__ import annotations
 
 import os
+import sys
 import warnings
 from typing import Callable
 
@@ -111,10 +112,32 @@ def get_backend(name: str) -> KernelBackend:
     return instance
 
 
+def _user_stacklevel() -> int:
+    """Stacklevel that attributes a warning to the first frame outside repro.
+
+    Backend resolution is reached through several call depths — directly
+    (``resolve_backend(...)``), through kernel construction
+    (``FloodKernel(...) -> resolve_backend``), or deeper still through the
+    engines — so no hardcoded stacklevel can land the fallback warning on
+    the *user's* call site from every entry point.  Walking the live stack
+    for the first frame whose module is not part of this package computes
+    the right depth each time.
+    """
+    level = 1  # stacklevel 1 == _warn_once's own frame
+    frame = sys._getframe(1)
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if module != "repro" and not module.startswith("repro."):
+            break
+        frame = frame.f_back
+        level += 1
+    return level
+
+
 def _warn_once(key: str, message: str) -> None:
     if key not in _WARNED:
         _WARNED.add(key)
-        warnings.warn(message, RuntimeWarning, stacklevel=4)
+        warnings.warn(message, RuntimeWarning, stacklevel=_user_stacklevel())
 
 
 def resolve_backend(backend: str | KernelBackend | None = None) -> KernelBackend:

@@ -56,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from collections.abc import Iterable
 
     from ..graphs.smallworld import SmallWorldNetwork
+    from .channel import ChannelState
 
 __all__ = ["FloodKernel", "MultiFloodKernel", "UnionFloodKernel", "stack_union_csr"]
 
@@ -182,7 +183,11 @@ class FloodKernel:
         return self._backend.neighbor_max_batch(self, sent, out)
 
     def neighbor_max_stacked(
-        self, values: AnyArray, out: AnyArray | None = None
+        self,
+        values: AnyArray,
+        out: AnyArray | None = None,
+        *,
+        channel: "ChannelState | None" = None,
     ) -> AnyArray:
         """Batched neighbor-max over an ``(n, B)`` trials-as-columns matrix.
 
@@ -194,12 +199,21 @@ class FloodKernel:
         because the gather reads whole cache lines and the giant ``(B*nnz,)``
         intermediate disappears.  Non-regular graphs fall back to the
         general kernel (transpose in, transpose out).
+
+        When ``channel`` is given, the transmitted values are first passed
+        through :meth:`repro.sim.channel.ChannelState.corrupt` (per-round
+        drop/noise draws on a scratch copy; ``values`` is never written),
+        so the gather operates on what the lossy medium delivered.  The
+        corruption happens before backend dispatch, which keeps every
+        backend bit-for-bit identical under channels by construction.
         """
         values = np.asarray(values)
         if values.ndim != 2 or values.shape[0] != self.n:
             raise ValueError(
                 f"expected an ({self.n}, B) matrix, got shape {values.shape}"
             )
+        if channel is not None:
+            values = channel.corrupt(values)
         return self._backend.neighbor_max_stacked(self, values, out)
 
     def _cols(self) -> Int64Array:
@@ -536,14 +550,27 @@ class MultiFloodKernel:
 
     # ------------------------------------------------------------------
     def neighbor_max_stacked(
-        self, values: AnyArray, plan: _ColumnPlan, out: AnyArray | None = None
+        self,
+        values: AnyArray,
+        plan: _ColumnPlan,
+        out: AnyArray | None = None,
+        *,
+        channel: "ChannelState | None" = None,
     ) -> AnyArray:
         """Masked batched neighbor-max over the padded ``(n_pad, B)`` state.
 
         Column ``b``'s live prefix receives its own network's neighbor
         maxima; its padding rows are written to ``0`` (never read by any
         live reduction), so padding cannot leak into live columns.
+
+        ``channel`` applies per-round drop/noise corruption to a scratch
+        copy of ``values`` before the masked gathers (see
+        :meth:`FloodKernel.neighbor_max_stacked`); the channel's slots are
+        sized to each column's live prefix, so padding rows consume no
+        draws and stay identically zero.
         """
+        if channel is not None:
+            values = channel.corrupt(values)
         if values.ndim != 2 or values.shape[0] != self.n_pad:
             raise ValueError(
                 f"expected an ({self.n_pad}, B) matrix, got shape {values.shape}"

@@ -135,6 +135,8 @@ class TestByzantineBatchedEquivalence:
 
     @pytest.mark.parametrize("strategy", sorted(ADVERSARIES))
     def test_strategy_matches_sequential(self, net_small, strategy):
+        if type(make_adversary(strategy)).batch_adapt is not Adversary.batch_adapt:
+            pytest.skip("adaptive placement exists only in the batched protocol")
         cfg = CountingConfig(max_phase=12)
         byz = placement_for_delta(net_small, 0.55, rng=4)
         seeds = [10, 11, 12, 13]

@@ -59,6 +59,8 @@ class TestPerTrialMasks:
 
     @pytest.mark.parametrize("strategy", sorted(ADVERSARIES))
     def test_strategy_matches_sequential(self, net_small, strategy):
+        if type(make_adversary(strategy)).batch_adapt is not Adversary.batch_adapt:
+            pytest.skip("adaptive placement exists only in the batched protocol")
         base = _mixed_placements(net_small)
         masks = [base[0], base[1], base[2], base[0], base[2]]
         seeds = [20, 21, 22, 23, 24]

@@ -10,11 +10,11 @@ from repro.experiments import (
     run_experiment,
 )
 
-EXPECTED_IDS = [f"E{i:02d}" for i in range(1, 15)]
+EXPECTED_IDS = [f"E{i:02d}" for i in range(1, 18)]
 
 
 class TestRegistry:
-    def test_all_fourteen_registered(self):
+    def test_all_seventeen_registered(self):
         assert all_experiment_ids() == EXPECTED_IDS
 
     def test_get_unknown_raises(self):

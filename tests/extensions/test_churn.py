@@ -1,5 +1,7 @@
 """Tests for the dynamic-network (churn) extension."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -46,6 +48,19 @@ class TestTrajectory:
             config=CountingConfig(max_phase=20),
         )
         assert report.records[0].churned == 125
+
+    def test_churn_count_rounds_half_up(self):
+        # The churned count is floor(rate * n + 0.5): an exact .5 always
+        # rounds up.  Python's round() would give 64 for 0.25 * 258
+        # (banker's rounding toward even) — pin the half-up rule on sizes
+        # whose product lands exactly on .5 with both parities.
+        report = track_size_over_epochs(
+            [258, 262], d=8, adversary="honest", churn_rate=0.25, seed=4,
+            config=CountingConfig(max_phase=16),
+        )
+        # 0.25 * 258 = 64.5 -> 65 (round() says 64); 0.25 * 262 = 65.5
+        # -> 66 (round() agrees: 66) — the first case is discriminating.
+        assert [rec.churned for rec in report.records] == [65, 66]
 
     def test_validation(self):
         with pytest.raises(ValueError, match="epoch"):
@@ -96,7 +111,7 @@ class TestScalarEquivalence:
         band = practical_band(d)
         for epoch, n in enumerate(sizes):
             net = build_small_world(n, d, seed=derive_seed(seed, "epoch-net", epoch))
-            churned = int(round(churn_rate * n))
+            churned = int(math.floor(churn_rate * n + 0.5))  # half-up, like the module
             run_seed = derive_seed(seed, "epoch-run", epoch, churned)
             byz = None
             if adversary != "honest":

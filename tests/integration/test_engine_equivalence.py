@@ -43,6 +43,7 @@ from repro.core.batch import (
 from repro.core.runner import run_counting
 from repro.graphs import build_small_world
 from repro.sim.backends import available_backends
+from repro.sim.channel import ChannelModel
 
 STRATEGIES = [
     "honest",
@@ -104,14 +105,17 @@ def reference(net, byz):
     return get
 
 
-def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed, backend=None):
+def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed, backend=None,
+             channel=None):
     """Execute one (network, config, strategy, seed) cell on one engine.
 
     This is the single shared entry point every equivalence test goes
     through; adding an engine or a cell extends the grid, not the tests.
     ``backend`` selects the flood-kernel compute backend on the batched
     engines (batch/multinet/union); the runner and agents paths have no
-    kernel backend axis.
+    kernel backend axis.  ``channel`` (a
+    :class:`~repro.sim.channel.ChannelModel`) likewise exists only on the
+    batched engines.
     """
     mask = byz if strategy is not None else None
     if engine == "runner":
@@ -128,7 +132,7 @@ def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed, backend=None):
         )
         return run_counting_batch(
             net, [seed], config=cfg, adversary_factory=factory, byz_mask=mask,
-            backend=backend,
+            backend=backend, channel=channel,
         )[0]
     if engine == "multinet":
         # The cell under test shares a padded batch with a decoy trial on
@@ -144,6 +148,7 @@ def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed, backend=None):
             adversary_factory=factory,
             byz_mask=masks,
             backend=backend,
+            channel=channel,
         )
         return out[1]
     if engine == "union":
@@ -162,6 +167,7 @@ def run_cell(engine, net, *, decoy_net, byz, cfg, strategy, seed, backend=None):
             adversary_factory=factory,
             byz_mask=masks,
             backend=backend,
+            channel=channel,
         )
         return out[1 * 2 + 1]
     raise ValueError(f"unknown engine {engine!r}")
@@ -202,6 +208,41 @@ class TestEngineGrid:
             seed=seed, backend=backend,
         )
         assert_cell_equal(ref, got, full=full)
+
+
+#: Every way to spell "no channel effect": all-zero, noise probability
+#: with zero amplitude, amplitude with zero probability.
+NULL_CHANNELS = [
+    ChannelModel(),
+    ChannelModel(noise_p=0.7, noise_amp=0),
+    ChannelModel(noise_p=0.0, noise_amp=4),
+]
+NULL_CHANNEL_IDS = ["all-zero", "zero-amp", "zero-prob"]
+
+
+class TestLosslessChannelGrid:
+    """A null channel must be invisible: bit-for-bit the maskless output.
+
+    Extends the engine grid with the channel axis — every cell, on every
+    batched engine (the runner and agents paths have no channel), under
+    every available kernel backend, run with a provably-null
+    :class:`ChannelModel` must equal the channel-free runner reference
+    exactly.  This pins the ``loss_p=0`` / zero-amplitude normalization
+    contract of :mod:`repro.sim.channel` at full grid coverage.
+    """
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("channel", NULL_CHANNELS, ids=NULL_CHANNEL_IDS)
+    @pytest.mark.parametrize("engine", ["batch", "multinet", "union"])
+    @pytest.mark.parametrize("cell", CELLS, ids=CELL_IDS)
+    def test_cell(self, net, decoy, byz, reference, cell, engine, channel, backend):
+        name, cfg, strategy, seed = cell
+        ref = reference(name, cfg, strategy, seed)
+        got = run_cell(
+            engine, net, decoy_net=decoy, byz=byz, cfg=cfg, strategy=strategy,
+            seed=seed, backend=backend, channel=channel,
+        )
+        assert_cell_equal(ref, got, full=True)
 
 
 class TestMultinetPaddingColumn:

@@ -162,6 +162,42 @@ class TestResolution:
 
 
 # ----------------------------------------------------------------------
+# Fallback warnings are attributed to the user's call site
+# ----------------------------------------------------------------------
+class TestWarningAttribution:
+    """``_warn_once`` computes its stacklevel from the live stack, so the
+    warning lands on the first frame *outside* the repro package no matter
+    how deep the resolution was reached — directly via
+    ``resolve_backend(...)`` or through ``FloodKernel(...)`` construction.
+    A hardcoded stacklevel can only be right for one of these."""
+
+    @pytest.fixture
+    def fake_unavailable(self):
+        from repro.sim.backends import _REGISTRY, register_backend
+
+        register_backend("fake", NumpyBackend, lambda: False)
+        yield
+        _REGISTRY.pop("fake", None)
+        _reset_selection_state()
+
+    def test_resolve_backend_warns_on_this_file(self, fake_unavailable):
+        with pytest.warns(RuntimeWarning, match="falling back") as rec:
+            resolve_backend("fake")
+        assert rec[0].filename == __file__
+
+    def test_kernel_construction_warns_on_this_file(self, fake_unavailable):
+        with pytest.warns(RuntimeWarning, match="falling back") as rec:
+            ragged_kernel(backend="fake")
+        assert rec[0].filename == __file__
+
+    def test_env_typo_warns_on_this_file(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "bogus")
+        with pytest.warns(RuntimeWarning, match="bogus") as rec:
+            resolve_backend(None)
+        assert rec[0].filename == __file__
+
+
+# ----------------------------------------------------------------------
 # Kernel-level equivalence: numba (pure-Python mode) vs numpy
 # ----------------------------------------------------------------------
 class TestNumbaKernelEquivalence:

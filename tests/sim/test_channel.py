@@ -1,0 +1,158 @@
+"""Unit tests for the lossy/noisy channel model and its per-batch state."""
+
+import numpy as np
+import pytest
+
+from repro.sim.channel import ChannelModel, ChannelState, _normalize_channel
+
+
+def state_for(model, *, cols, rows, seed=0):
+    """A ChannelState with one full-height slot per column."""
+    slots = [
+        (c, 0, rows, np.random.default_rng(seed + c)) for c in range(cols)
+    ]
+    return ChannelState(model, slots)
+
+
+class TestChannelModel:
+    def test_defaults_are_null(self):
+        model = ChannelModel()
+        assert model.loss_p == 0.0
+        assert model.noise_p == 0.0
+        assert model.noise_amp == 0
+        assert model.is_null
+
+    @pytest.mark.parametrize("loss_p", [-0.1, 1.5, float("nan")])
+    def test_loss_p_out_of_range(self, loss_p):
+        with pytest.raises(ValueError, match="loss_p"):
+            ChannelModel(loss_p=loss_p)
+
+    @pytest.mark.parametrize("noise_p", [-0.01, 2.0])
+    def test_noise_p_out_of_range(self, noise_p):
+        with pytest.raises(ValueError, match="noise_p"):
+            ChannelModel(noise_p=noise_p)
+
+    @pytest.mark.parametrize("noise_amp", [-1, 0.5])
+    def test_noise_amp_must_be_nonnegative_integer(self, noise_amp):
+        with pytest.raises(ValueError, match="noise_amp"):
+            ChannelModel(noise_amp=noise_amp)
+
+    def test_is_null_requires_both_noise_knobs(self):
+        # Either knob at zero disables the noise term entirely.
+        assert ChannelModel(noise_p=0.5, noise_amp=0).is_null
+        assert ChannelModel(noise_p=0.0, noise_amp=3).is_null
+        assert not ChannelModel(noise_p=0.5, noise_amp=3).is_null
+        assert not ChannelModel(loss_p=0.1).is_null
+
+    def test_frozen_and_hashable(self):
+        model = ChannelModel(loss_p=0.2)
+        with pytest.raises(AttributeError):
+            model.loss_p = 0.3
+        assert ChannelModel(loss_p=0.2) == model
+        assert hash(ChannelModel(loss_p=0.2)) == hash(model)
+
+
+class TestNormalizeChannel:
+    def test_none_passes_through(self):
+        assert _normalize_channel(None) is None
+
+    def test_null_channel_normalizes_to_none(self):
+        assert _normalize_channel(ChannelModel()) is None
+        assert _normalize_channel(ChannelModel(noise_p=0.9, noise_amp=0)) is None
+
+    def test_effective_channel_passes_through(self):
+        model = ChannelModel(loss_p=0.25, noise_p=0.1, noise_amp=2)
+        assert _normalize_channel(model) is model
+
+    @pytest.mark.parametrize("bad", [0.5, "lossy", {"loss_p": 0.5}])
+    def test_non_channel_rejected(self, bad):
+        with pytest.raises(TypeError, match="ChannelModel"):
+            _normalize_channel(bad)
+
+
+class TestChannelStateCorrupt:
+    def test_full_loss_silences_every_sender(self):
+        state = state_for(ChannelModel(loss_p=1.0), cols=3, rows=8)
+        values = np.arange(1, 25, dtype=np.int32).reshape(8, 3)
+        out = state.corrupt(values)
+        assert np.all(out == 0)
+
+    def test_input_buffer_is_never_written(self):
+        # Metering charges attempted sends off the caller's buffer, so
+        # corrupt() must leave it untouched.
+        state = state_for(ChannelModel(loss_p=1.0), cols=2, rows=6)
+        values = np.ones((6, 2), dtype=np.int32)
+        snapshot = values.copy()
+        out = state.corrupt(values)
+        assert out is not values
+        assert np.array_equal(values, snapshot)
+
+    def test_rows_outside_slot_pass_through_unchanged(self):
+        # A padded column's dead suffix is outside the slot's [lo, hi).
+        model = ChannelModel(loss_p=1.0)
+        state = ChannelState(model, [(0, 0, 4, np.random.default_rng(0))])
+        values = np.arange(1, 9, dtype=np.int64).reshape(8, 1)
+        out = state.corrupt(values)
+        assert np.all(out[:4] == 0)
+        assert np.array_equal(out[4:], values[4:])
+
+    def test_columns_without_slots_pass_through_unchanged(self):
+        model = ChannelModel(loss_p=1.0)
+        state = ChannelState(model, [(1, 0, 5, np.random.default_rng(0))])
+        values = np.full((5, 3), 7, dtype=np.int32)
+        out = state.corrupt(values)
+        assert np.all(out[:, 1] == 0)
+        assert np.array_equal(out[:, 0], values[:, 0])
+        assert np.array_equal(out[:, 2], values[:, 2])
+
+    def test_noise_only_perturbs_nonzero_within_amp(self):
+        amp = 3
+        state = state_for(
+            ChannelModel(noise_p=1.0, noise_amp=amp), cols=1, rows=64
+        )
+        values = np.zeros((64, 1), dtype=np.int32)
+        values[::2, 0] = 50
+        out = state.corrupt(values)
+        assert np.all(out[1::2] == 0)  # silence is never resurrected
+        assert np.all(np.abs(out[::2] - 50) <= amp)
+
+    def test_noise_clamps_at_one_and_dtype_max(self):
+        amp = 5
+        state = state_for(
+            ChannelModel(noise_p=1.0, noise_amp=amp), cols=1, rows=128
+        )
+        limit = np.iinfo(np.int32).max
+        values = np.empty((128, 1), dtype=np.int32)
+        values[::2, 0] = 2  # can only dip below 1 via negative offsets
+        values[1::2, 0] = limit - 1  # can only wrap via positive offsets
+        out = state.corrupt(values)
+        assert out.dtype == np.int32
+        assert np.all(out >= 1)
+        assert np.all(out <= limit)
+
+    def test_draws_are_deterministic_per_slot_stream(self):
+        model = ChannelModel(loss_p=0.3, noise_p=0.4, noise_amp=2)
+        values = (
+            np.random.default_rng(9)
+            .integers(0, 100, size=(32, 2))
+            .astype(np.int64)
+        )
+        a = state_for(model, cols=2, rows=32, seed=5).corrupt(values).copy()
+        b = state_for(model, cols=2, rows=32, seed=5).corrupt(values).copy()
+        assert np.array_equal(a, b)
+        c = state_for(model, cols=2, rows=32, seed=6).corrupt(values).copy()
+        assert not np.array_equal(a, c)
+
+    def test_scratch_reused_until_shape_or_dtype_changes(self):
+        state = state_for(ChannelModel(loss_p=0.5), cols=2, rows=16)
+        v32 = np.ones((16, 2), dtype=np.int32)
+        first = state.corrupt(v32)
+        assert state.corrupt(v32) is first  # same shape+dtype: reused
+        v64 = np.ones((16, 2), dtype=np.int64)
+        widened = state.corrupt(v64)  # lazy int64 widening mid-run
+        assert widened is not first
+        assert widened.dtype == np.int64
+
+    def test_model_property(self):
+        model = ChannelModel(loss_p=0.1)
+        assert state_for(model, cols=1, rows=4).model is model
